@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the compiler pass and the simulator: how long
+//! instrumentation takes per optimization level on the radiosity module,
+//! and the simulator's instruction throughput per execution mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use detlock_passes::cost::CostModel;
+use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+use detlock_passes::plan::Placement;
+use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
+use std::hint::black_box;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let w = detlock_workloads::by_name("radiosity", 4, 0.05).unwrap();
+    let cost = CostModel::default();
+    let mut g = c.benchmark_group("instrument_radiosity_module");
+    for level in OptLevel::table1_rows() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{level:?}")),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    black_box(instrument(
+                        &w.module,
+                        &cost,
+                        &OptConfig::only(level),
+                        Placement::Start,
+                        &w.entries,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    let w = detlock_workloads::by_name("raytrace", 4, 0.05).unwrap();
+    let cost = CostModel::default();
+    let inst = instrument(
+        &w.module,
+        &cost,
+        &OptConfig::all(),
+        Placement::Start,
+        &w.entries,
+    );
+    let specs: Vec<ThreadSpec> = w
+        .threads
+        .iter()
+        .map(|t| ThreadSpec {
+            func: t.func,
+            args: t.args.clone(),
+        })
+        .collect();
+    let mk = |mode| MachineConfig {
+        mode,
+        mem_words: w.mem_words,
+        jitter: Jitter::default(),
+        ..MachineConfig::default()
+    };
+    // Establish the instruction count once for throughput reporting.
+    let (probe, _) = run(&inst.module, &cost, &specs, mk(ExecMode::Baseline));
+    let insts = probe.instructions();
+
+    let mut g = c.benchmark_group("vm_raytrace");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(insts));
+    for (name, mode) in [
+        ("baseline", ExecMode::Baseline),
+        ("clocks_only", ExecMode::ClocksOnly),
+        ("det", ExecMode::Det),
+        ("kendo", ExecMode::Kendo(detlock_vm::KendoParams::default())),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(&inst.module, &cost, &specs, mk(mode))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let w = detlock_workloads::by_name("radiosity", 4, 0.05).unwrap();
+    let mut g = c.benchmark_group("analyses_radiosity_module");
+    g.bench_function("cfg+dom+loops_all_functions", |b| {
+        b.iter(|| {
+            for f in &w.module.functions {
+                let cfg = detlock_ir::analysis::cfg::Cfg::compute(f);
+                let dom = detlock_ir::analysis::dom::DomTree::compute(&cfg);
+                let loops = detlock_ir::analysis::loops::LoopInfo::compute(&cfg, &dom);
+                black_box((cfg, dom, loops));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrumentation, bench_vm_throughput, bench_analyses);
+criterion_main!(benches);

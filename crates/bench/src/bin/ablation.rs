@@ -1,0 +1,187 @@
+//! Ablation studies for the design choices DESIGN.md calls out — beyond the
+//! paper's own tables:
+//!
+//! 1. **O2a vs O2b** — the paper reports O2 as one number; here the precise
+//!    and approximate halves are separated.
+//! 2. **Clockability thresholds** — sensitivity of O1 to the paper's
+//!    `mean/2.5` range and `mean/5` σ rules.
+//! 3. **O4 latch threshold** — sweep of the "certain threshold value".
+//! 4. **O2b divergence bound** — sweep of the 1/10 rule.
+//! 5. **Deterministic protocol cost** — how Table I's deterministic rows
+//!    scale with the per-event arbitration cost the simulator charges.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin ablation [--scale F] [--only NAME]
+//! ```
+
+use detlock_bench::{machine_config, run_baseline, thread_specs, CliOptions};
+use detlock_passes::cost::CostModel;
+use detlock_passes::pipeline::{instrument, OptConfig};
+use detlock_passes::plan::Placement;
+use detlock_vm::machine::{run, ExecMode};
+use detlock_workloads::Workload;
+
+fn overheads(
+    w: &Workload,
+    cost: &CostModel,
+    cfg: &OptConfig,
+    seed: u64,
+) -> (f64, f64, usize) {
+    let base = run_baseline(w, cost, seed);
+    let inst = instrument(&w.module, cost, cfg, Placement::Start, &w.entries);
+    let specs = thread_specs(w);
+    let (clk, h1) = run(
+        &inst.module,
+        cost,
+        &specs,
+        machine_config(w, ExecMode::ClocksOnly, seed),
+    );
+    let (det, h2) = run(
+        &inst.module,
+        cost,
+        &specs,
+        machine_config(w, ExecMode::Det, seed),
+    );
+    assert!(!h1 && !h2);
+    (
+        clk.overhead_pct(&base),
+        det.overhead_pct(&base),
+        inst.stats.ticks_inserted,
+    )
+}
+
+fn main() {
+    let mut opts = CliOptions::parse();
+    if opts.scale == 1.0 {
+        opts.scale = 0.2;
+    }
+    let cost = CostModel::default();
+
+    // 1. O2a vs O2b separation.
+    println!("== O2a vs O2b (paper reports them jointly as O2) ==");
+    println!(
+        "{:<12}{:>14}{:>14}{:>14}{:>14}",
+        "benchmark", "none clk%", "O2a-only clk%", "O2b adds", "O2 full clk%"
+    );
+    for w in opts.workloads() {
+        let none = overheads(&w, &cost, &OptConfig::none(), opts.seed);
+        let mut only2a = OptConfig::none();
+        only2a.o2 = true;
+        only2a.opt2b.max_divergence = 0.0; // disables the approximate half
+        let a = overheads(&w, &cost, &only2a, opts.seed);
+        let mut full2 = OptConfig::none();
+        full2.o2 = true;
+        let f = overheads(&w, &cost, &full2, opts.seed);
+        println!(
+            "{:<12}{:>13.1}%{:>13.1}%{:>13.1}%{:>13.1}%",
+            w.name,
+            none.0,
+            a.0,
+            f.0 - a.0,
+            f.0
+        );
+    }
+
+    // 2. Clockability thresholds (radiosity is the sensitive benchmark).
+    println!("\n== O1 clockability thresholds (radiosity) ==");
+    println!(
+        "{:<24}{:>12}{:>12}{:>12}",
+        "range_div/std_div", "clockable", "clk%", "det%"
+    );
+    if let Some(w) = opts
+        .workloads()
+        .into_iter()
+        .find(|w| w.name == "radiosity")
+        .or_else(|| detlock_workloads::by_name("radiosity", opts.threads, opts.scale))
+    {
+        for (rd, sd) in [(1.0, 10.0), (2.5, 5.0), (5.0, 2.5), (10.0, 1.0), (100.0, 0.01)] {
+            let mut cfg = OptConfig::none();
+            cfg.o1 = true;
+            cfg.clockable.range_divisor = rd;
+            cfg.clockable.std_divisor = sd;
+            let inst = instrument(&w.module, &cost, &cfg, Placement::Start, &w.entries);
+            let (clk, det, _) = overheads(&w, &cost, &cfg, opts.seed);
+            println!(
+                "{:<24}{:>12}{:>11.1}%{:>11.1}%",
+                format!("{rd}/{sd}"),
+                inst.stats.clockable_functions,
+                clk,
+                det
+            );
+        }
+    }
+
+    // 3. O4 latch threshold (water is the sensitive benchmark).
+    println!("\n== O4 latch threshold (water-nsq) ==");
+    println!("{:<12}{:>12}{:>12}", "threshold", "ticks", "clk%");
+    if let Some(w) = detlock_workloads::by_name("water-nsq", opts.threads, opts.scale) {
+        for thr in [0u64, 4, 8, 16, 64, 1024] {
+            let mut cfg = OptConfig::none();
+            cfg.o4 = true;
+            cfg.opt4.threshold = thr;
+            let (clk, _, ticks) = overheads(&w, &cost, &cfg, opts.seed);
+            println!("{:<12}{:>12}{:>11.1}%", thr, ticks, clk);
+        }
+    }
+
+    // 4. O2b divergence bound.
+    println!("\n== O2b divergence bound (volrend) ==");
+    println!("{:<12}{:>12}{:>12}", "bound", "ticks", "clk%");
+    if let Some(w) = detlock_workloads::by_name("volrend", opts.threads, opts.scale) {
+        for bound in [0.0, 0.02, 0.1, 0.5] {
+            let mut cfg = OptConfig::none();
+            cfg.o2 = true;
+            cfg.opt2b.max_divergence = bound;
+            let (clk, _, ticks) = overheads(&w, &cost, &cfg, opts.seed);
+            println!("{:<12}{:>12}{:>11.1}%", bound, ticks, clk);
+        }
+    }
+
+    // 5b. Kendo chunk-size balance (paper §V-C: "It also has to balance
+    // the chunk size ... For Radiosity, the authors of Kendo had to
+    // manually adjust the chunk size").
+    println!("\n== Kendo chunk-size balance ==");
+    println!("{:<12}{:>10}{:>14}{:>14}", "benchmark", "chunk", "kendo det%", "");
+    for name in ["radiosity", "water-nsq"] {
+        if let Some(w) = detlock_workloads::kendo_dataset(name, opts.threads, opts.scale) {
+            let base = run_baseline(&w, &cost, opts.seed);
+            let specs = thread_specs(&w);
+            for chunk in [128u64, 512, 2048, 8192, 32768] {
+                let mode = ExecMode::Kendo(detlock_vm::KendoParams {
+                    chunk_size: chunk,
+                    ..Default::default()
+                });
+                let (k, hit) = run(&w.module, &cost, &specs, machine_config(&w, mode, opts.seed));
+                assert!(!hit);
+                println!(
+                    "{:<12}{:>10}{:>13.1}%",
+                    name,
+                    chunk,
+                    k.overhead_pct(&base)
+                );
+            }
+        }
+    }
+
+    // 5. Deterministic protocol cost sensitivity (radiosity).
+    println!("\n== det_event_cost sensitivity (radiosity, all opts) ==");
+    println!("{:<12}{:>12}", "cost", "det%");
+    if let Some(w) = detlock_workloads::by_name("radiosity", opts.threads, opts.scale) {
+        let base = run_baseline(&w, &cost, opts.seed);
+        let inst = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::all(),
+            Placement::Start,
+            &w.entries,
+        );
+        let specs = thread_specs(&w);
+        for dc in [0u64, 40, 120, 400, 1200] {
+            let mut mc = machine_config(&w, ExecMode::Det, opts.seed);
+            mc.det_event_cost = dc;
+            let (det, hit) = run(&inst.module, &cost, &specs, mc);
+            assert!(!hit);
+            println!("{:<12}{:>11.1}%", dc, det.overhead_pct(&base));
+        }
+    }
+}

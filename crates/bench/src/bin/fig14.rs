@@ -1,0 +1,84 @@
+//! Regenerates the paper's **Figure 14**: for each benchmark, two stacked
+//! bars — unoptimized vs all-optimizations — where the lower stack is the
+//! clock-insertion overhead and the upper stack the additional cost of
+//! deterministic execution.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin fig14 [--scale F] [--json]
+//! ```
+
+use detlock_bench::{instrumented, machine_config, run_baseline, thread_specs, CliOptions};
+use detlock_passes::cost::CostModel;
+use detlock_passes::pipeline::OptLevel;
+use detlock_passes::plan::Placement;
+use detlock_vm::machine::{run, ExecMode};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Bar {
+    name: String,
+    config: &'static str,
+    clocks_pct: f64,
+    det_extra_pct: f64,
+    total_pct: f64,
+}
+
+fn main() {
+    let opts = CliOptions::parse();
+    let cost = CostModel::default();
+    let mut bars: Vec<Bar> = Vec::new();
+
+    for w in opts.workloads() {
+        eprintln!("running {} ...", w.name);
+        let base = run_baseline(&w, &cost, opts.seed);
+        for (level, label) in [(OptLevel::None, "no-opt"), (OptLevel::All, "all-opts")] {
+            let inst = instrumented(&w, &cost, level, Placement::Start);
+            let specs = thread_specs(&w);
+            let (clk, h1) = run(
+                &inst.module,
+                &cost,
+                &specs,
+                machine_config(&w, ExecMode::ClocksOnly, opts.seed),
+            );
+            let (det, h2) = run(
+                &inst.module,
+                &cost,
+                &specs,
+                machine_config(&w, ExecMode::Det, opts.seed),
+            );
+            assert!(!h1 && !h2);
+            let clocks_pct = clk.overhead_pct(&base);
+            let total_pct = det.overhead_pct(&base);
+            bars.push(Bar {
+                name: w.name.to_string(),
+                config: label,
+                clocks_pct,
+                det_extra_pct: total_pct - clocks_pct,
+                total_pct,
+            });
+        }
+    }
+
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&bars).unwrap());
+        return;
+    }
+
+    println!("Figure 14: overhead of inserting clocks (lower stack) and of");
+    println!("deterministic execution (upper stack), unoptimized vs all opts\n");
+    let max = bars.iter().map(|b| b.total_pct).fold(1.0, f64::max);
+    for b in &bars {
+        let clocks_w = ((b.clocks_pct / max) * 50.0).round().max(0.0) as usize;
+        let det_w = ((b.det_extra_pct / max) * 50.0).round().max(0.0) as usize;
+        println!(
+            "{:>10} {:>8}  [{}{}] {:5.1}% = {:4.1}% clocks + {:4.1}% det",
+            b.name,
+            b.config,
+            "#".repeat(clocks_w),
+            "+".repeat(det_w),
+            b.total_pct,
+            b.clocks_pct,
+            b.det_extra_pct
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Extension experiment (not in the paper): how DetLock's overheads scale
+//! with core count. The paper measures 4 cores; Kendo's own evaluation
+//! swept 2–8, so this harness does the same for the radiosity (hardest)
+//! and raytrace (moderate) workloads.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin scaling [--scale F]
+//! ```
+
+use detlock_bench::{instrumented, machine_config, run_baseline, thread_specs};
+use detlock_passes::cost::CostModel;
+use detlock_passes::pipeline::OptLevel;
+use detlock_passes::plan::Placement;
+use detlock_vm::machine::{run, ExecMode};
+
+fn main() {
+    let opts = detlock_bench::CliOptions::parse();
+    let scale = if opts.scale == 1.0 { 0.3 } else { opts.scale };
+    let cost = CostModel::default();
+
+    println!(
+        "{:<12}{:>8}{:>14}{:>12}{:>12}{:>14}",
+        "benchmark", "threads", "baseline ms", "clocks %", "det %", "locks/sec"
+    );
+    for name in ["radiosity", "raytrace"] {
+        for threads in [1usize, 2, 4, 8] {
+            let w = detlock_workloads::by_name(name, threads, scale).unwrap();
+            let base = run_baseline(&w, &cost, opts.seed);
+            let inst = instrumented(&w, &cost, OptLevel::All, Placement::Start);
+            let specs = thread_specs(&w);
+            let (clk, h1) = run(
+                &inst.module,
+                &cost,
+                &specs,
+                machine_config(&w, ExecMode::ClocksOnly, opts.seed),
+            );
+            let (det, h2) = run(
+                &inst.module,
+                &cost,
+                &specs,
+                machine_config(&w, ExecMode::Det, opts.seed),
+            );
+            assert!(!h1 && !h2);
+            println!(
+                "{:<12}{:>8}{:>14.3}{:>11.1}%{:>11.1}%{:>14.0}",
+                name,
+                threads,
+                base.seconds() * 1e3,
+                clk.overhead_pct(&base),
+                det.overhead_pct(&base),
+                base.locks_per_sec()
+            );
+        }
+    }
+}

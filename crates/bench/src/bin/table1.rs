@@ -1,0 +1,79 @@
+//! Regenerates the paper's **Table I**: per-benchmark overhead of clock
+//! insertion and of deterministic execution under each optimization
+//! configuration, plus the locks/sec and clockable-function rows.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin table1 [--scale F] [--json]
+//! ```
+
+use detlock_bench::{run_benchmark, CliOptions};
+use detlock_passes::cost::CostModel;
+
+fn main() {
+    let opts = CliOptions::parse();
+    let cost = CostModel::default();
+    let workloads = opts.workloads();
+
+    let results: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            eprintln!("running {} ...", w.name);
+            run_benchmark(w, &cost, opts.seed)
+        })
+        .collect();
+
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+        return;
+    }
+
+    // Header rows.
+    let mut names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    names.push("Average");
+    println!("Table I: Performance results (threads={}, scale={})", opts.threads, opts.scale);
+    print!("{:<52}", "Benchmark");
+    for n in &names {
+        print!("{n:>12}");
+    }
+    println!();
+
+    print!("{:<52}", "Original Exec Time (simulated ms)");
+    for r in &results {
+        print!("{:>12.2}", r.baseline_ms);
+    }
+    println!("{:>12}", "-");
+
+    print!("{:<52}", "Locks/sec");
+    for r in &results {
+        print!("{:>12.0}", r.locks_per_sec);
+    }
+    println!("{:>12}", "-");
+
+    print!("{:<52}", "Clockable Functions");
+    for r in &results {
+        print!("{:>12}", r.clockable_functions);
+    }
+    println!("{:>12}", "-");
+
+    let nlevels = results.first().map_or(0, |r| r.levels.len());
+    println!("--- After Inserting Clocks ---");
+    for li in 0..nlevels {
+        print!("{:<52}", results[0].levels[li].level);
+        let mut sum = 0.0;
+        for r in &results {
+            print!("{:>11.0}%", r.levels[li].clocks_pct);
+            sum += r.levels[li].clocks_pct;
+        }
+        println!("{:>11.0}%", sum / results.len() as f64);
+    }
+    println!("--- After Inserting Clocks and Performing Deterministic Execution ---");
+    for li in 0..nlevels {
+        print!("{:<52}", results[0].levels[li].level);
+        let mut sum = 0.0;
+        for r in &results {
+            print!("{:>11.0}%", r.levels[li].det_pct);
+            sum += r.levels[li].det_pct;
+        }
+        println!("{:>11.0}%", sum / results.len() as f64);
+    }
+}

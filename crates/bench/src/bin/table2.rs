@@ -1,0 +1,80 @@
+//! Regenerates the paper's **Table II**: DetLock (all optimizations) versus
+//! simulated Kendo per benchmark.
+//!
+//! Kendo runs the *uninstrumented* binary with logical clocks driven by a
+//! simulated deterministic retired-store performance counter that surfaces
+//! only at overflow interrupts every `chunk` stores. Like the paper's
+//! authors note, Kendo's chunk size must be balanced by hand; we sweep a
+//! set of chunk sizes and report Kendo's best result per benchmark.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin table2 [--scale F] [--json]
+//! ```
+
+use detlock_bench::{run_kendo_comparison, CliOptions, KendoInputs};
+use detlock_passes::cost::CostModel;
+
+fn main() {
+    let opts = CliOptions::parse();
+    let cost = CostModel::default();
+    let workloads = opts.workloads();
+    let chunks = [256, 512, 1024, 2048, 4096, 8192, 16384];
+
+    let results: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            eprintln!("running {} ...", w.name);
+            let kendo_w = detlock_workloads::kendo_dataset(w.name, opts.threads, opts.scale)
+                .expect("kendo dataset");
+            run_kendo_comparison(
+                KendoInputs {
+                    detlock: w,
+                    kendo: &kendo_w,
+                },
+                &cost,
+                opts.seed,
+                &chunks,
+            )
+        })
+        .collect();
+
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+        return;
+    }
+
+    println!(
+        "Table II: DetLock vs simulated Kendo (threads={}, scale={})",
+        opts.threads, opts.scale
+    );
+    print!("{:<30}", "Benchmark");
+    for r in &results {
+        print!("{:>12}", r.name);
+    }
+    println!();
+    print!("{:<30}", "Locks/sec (Kendo dataset)");
+    for r in &results {
+        print!("{:>12.0}", r.kendo_locks_per_sec);
+    }
+    println!();
+    print!("{:<30}", "Kendo overhead (best chunk)");
+    for r in &results {
+        print!("{:>11.0}%", r.kendo_pct);
+    }
+    println!();
+    print!("{:<30}", "Kendo chunk size");
+    for r in &results {
+        print!("{:>12}", r.kendo_chunk);
+    }
+    println!();
+    print!("{:<30}", "Locks/sec (our dataset)");
+    for r in &results {
+        print!("{:>12.0}", r.locks_per_sec);
+    }
+    println!();
+    print!("{:<30}", "DetLock overhead (all opts)");
+    for r in &results {
+        print!("{:>11.0}%", r.detlock_pct);
+    }
+    println!();
+}

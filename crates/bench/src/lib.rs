@@ -1,0 +1,345 @@
+//! # detlock-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! Table I, Table II, Figure 14 and Figure 15 from the workload generators,
+//! the instrumentation pipeline, and the cycle-level simulator.
+//!
+//! Binaries (run with `--release`):
+//!
+//! * `table1` — per-benchmark overheads for all six optimization configs in
+//!   both clocks-only and deterministic modes;
+//! * `table2` — DetLock (all opts) vs simulated Kendo;
+//! * `fig14` — the stacked no-opt vs all-opt overhead view of Table I;
+//! * `fig15` — Radiosity with clocks at block start vs block end (the
+//!   ahead-of-time effect);
+//! * `detcheck` — run-to-run determinism probe across jitter seeds.
+
+#![warn(missing_docs)]
+
+use detlock_passes::cost::CostModel;
+use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+use detlock_passes::plan::Placement;
+use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
+use detlock_vm::metrics::RunMetrics;
+use detlock_workloads::Workload;
+use serde::Serialize;
+
+/// Convert workload thread plans into VM thread specs.
+pub fn thread_specs(w: &Workload) -> Vec<ThreadSpec> {
+    w.threads
+        .iter()
+        .map(|t| ThreadSpec {
+            func: t.func,
+            args: t.args.clone(),
+        })
+        .collect()
+}
+
+/// Simulator configuration for experiment runs.
+pub fn machine_config(w: &Workload, mode: ExecMode, seed: u64) -> MachineConfig {
+    MachineConfig {
+        mode,
+        mem_words: w.mem_words,
+        jitter: Jitter::default().with_seed(seed),
+        max_cycles: 60_000_000_000,
+        ghz: 2.66,
+        lock_order_limit: 4096,
+        ..MachineConfig::default()
+    }
+}
+
+/// Run a workload's original (uninstrumented-equivalent) binary.
+pub fn run_baseline(w: &Workload, cost: &CostModel, seed: u64) -> RunMetrics {
+    let (m, hit) = run(
+        &w.module,
+        cost,
+        &thread_specs(w),
+        machine_config(w, ExecMode::Baseline, seed),
+    );
+    assert!(!hit, "{}: baseline hit the cycle limit", w.name);
+    m
+}
+
+/// Instrument a workload at `level` with the given placement.
+pub fn instrumented(
+    w: &Workload,
+    cost: &CostModel,
+    level: OptLevel,
+    placement: Placement,
+) -> detlock_passes::pipeline::Instrumented {
+    instrument(&w.module, cost, &OptConfig::only(level), placement, &w.entries)
+}
+
+/// One Table I cell pair: clocks-only and deterministic overhead (percent
+/// over baseline), plus the run cycles behind them.
+#[derive(Debug, Clone, Serialize)]
+pub struct LevelResult {
+    /// Optimization configuration label.
+    pub level: String,
+    /// Overhead of tick execution alone (Table I upper half).
+    pub clocks_pct: f64,
+    /// Overhead of ticks + deterministic execution (Table I lower half).
+    pub det_pct: f64,
+    /// Cycles of the clocks-only run.
+    pub clocks_cycles: u64,
+    /// Cycles of the deterministic run.
+    pub det_cycles: u64,
+    /// Static ticks the pass inserted.
+    pub ticks_inserted: usize,
+}
+
+/// All Table I data for one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline run cycles ("Original Exec Time").
+    pub baseline_cycles: u64,
+    /// Baseline simulated milliseconds.
+    pub baseline_ms: f64,
+    /// Lock acquisitions per simulated second in the baseline run.
+    pub locks_per_sec: f64,
+    /// Clockable functions found by O1 (Table I row 3).
+    pub clockable_functions: usize,
+    /// Results per optimization level, in Table I row order.
+    pub levels: Vec<LevelResult>,
+}
+
+/// Run the full Table I experiment for one workload.
+pub fn run_benchmark(w: &Workload, cost: &CostModel, seed: u64) -> BenchResult {
+    let base = run_baseline(w, cost, seed);
+    let clockable = instrumented(w, cost, OptLevel::O1, Placement::Start)
+        .stats
+        .clockable_functions;
+
+    let mut levels = Vec::new();
+    for level in OptLevel::table1_rows() {
+        let inst = instrumented(w, cost, level, Placement::Start);
+        let specs = thread_specs(w);
+        let (clk, hit1) = run(
+            &inst.module,
+            cost,
+            &specs,
+            machine_config(w, ExecMode::ClocksOnly, seed),
+        );
+        let (det, hit2) = run(
+            &inst.module,
+            cost,
+            &specs,
+            machine_config(w, ExecMode::Det, seed),
+        );
+        assert!(!hit1 && !hit2, "{}: {:?} hit the cycle limit", w.name, level);
+        levels.push(LevelResult {
+            level: level.label().to_string(),
+            clocks_pct: clk.overhead_pct(&base),
+            det_pct: det.overhead_pct(&base),
+            clocks_cycles: clk.cycles,
+            det_cycles: det.cycles,
+            ticks_inserted: inst.stats.ticks_inserted,
+        });
+    }
+
+    BenchResult {
+        name: w.name.to_string(),
+        baseline_cycles: base.cycles,
+        baseline_ms: base.seconds() * 1e3,
+        locks_per_sec: base.locks_per_sec(),
+        clockable_functions: clockable,
+        levels,
+    }
+}
+
+/// Table II data for one benchmark: DetLock (all opts) vs simulated Kendo.
+#[derive(Debug, Clone, Serialize)]
+pub struct KendoComparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Locks per second (baseline run, DetLock dataset).
+    pub locks_per_sec: f64,
+    /// Locks per second of the Kendo dataset (the paper's Kendo rows use
+    /// lower-lock-frequency datasets for radiosity/volrend/raytrace).
+    pub kendo_locks_per_sec: f64,
+    /// DetLock overall overhead (all optimizations, det mode), percent.
+    pub detlock_pct: f64,
+    /// Simulated Kendo overhead, percent.
+    pub kendo_pct: f64,
+    /// The chunk size used for Kendo (the paper notes Kendo tunes this by
+    /// hand per benchmark).
+    pub kendo_chunk: u64,
+}
+
+/// Run the Table II comparison for one workload. `chunks` are the candidate
+/// Kendo chunk sizes; the best (lowest overhead) is reported, mirroring the
+/// paper's hand-tuned Kendo numbers. As in the paper, Kendo runs its own
+/// dataset (`kendo_w`) with a lower lock frequency where the paper's did.
+pub struct KendoInputs<'a> {
+    /// The DetLock-side workload (Table I dataset).
+    pub detlock: &'a Workload,
+    /// The Kendo-side workload (Kendo's published dataset sizes).
+    pub kendo: &'a Workload,
+}
+
+/// See [`KendoInputs`].
+pub fn run_kendo_comparison(
+    inputs: KendoInputs<'_>,
+    cost: &CostModel,
+    seed: u64,
+    chunks: &[u64],
+) -> KendoComparison {
+    let w = inputs.detlock;
+    let base = run_baseline(w, cost, seed);
+    let inst = instrumented(w, cost, OptLevel::All, Placement::Start);
+    let specs = thread_specs(w);
+    let (det, hit) = run(
+        &inst.module,
+        cost,
+        &specs,
+        machine_config(w, ExecMode::Det, seed),
+    );
+    assert!(!hit);
+
+    let kw = inputs.kendo;
+    let kendo_base = run_baseline(kw, cost, seed);
+    let kendo_specs = thread_specs(kw);
+    let mut best: Option<(f64, u64)> = None;
+    for &chunk in chunks {
+        let mode = ExecMode::Kendo(KendoParams {
+            chunk_size: chunk,
+            ..KendoParams::default()
+        });
+        // Kendo runs the uninstrumented module.
+        let (k, hit) = run(&kw.module, cost, &kendo_specs, machine_config(kw, mode, seed));
+        assert!(!hit, "{}: kendo chunk {} hit limit", kw.name, chunk);
+        let pct = k.overhead_pct(&kendo_base);
+        if best.is_none_or(|(b, _)| pct < b) {
+            best = Some((pct, chunk));
+        }
+    }
+    let (kendo_pct, kendo_chunk) = best.unwrap();
+
+    KendoComparison {
+        name: w.name.to_string(),
+        locks_per_sec: base.locks_per_sec(),
+        kendo_locks_per_sec: kendo_base.locks_per_sec(),
+        detlock_pct: det.overhead_pct(&base),
+        kendo_pct,
+        kendo_chunk,
+    }
+}
+
+/// Figure 15 data: Radiosity under O1 with different tick placements.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementResult {
+    /// Benchmark name.
+    pub name: String,
+    /// No-optimization deterministic overhead (left bar).
+    pub none_pct: f64,
+    /// O1 with ticks at block end (middle bar).
+    pub o1_end_pct: f64,
+    /// O1 with ticks at block start (right bar — DetLock's default).
+    pub o1_start_pct: f64,
+    /// Clocks-only portions of the same three bars.
+    pub none_clocks_pct: f64,
+    /// Clocks-only, O1 end placement.
+    pub o1_end_clocks_pct: f64,
+    /// Clocks-only, O1 start placement.
+    pub o1_start_clocks_pct: f64,
+}
+
+/// Run the Figure 15 experiment on a workload.
+pub fn run_placement(w: &Workload, cost: &CostModel, seed: u64) -> PlacementResult {
+    let base = run_baseline(w, cost, seed);
+    let specs = thread_specs(w);
+    let go = |level: OptLevel, placement: Placement| -> (f64, f64) {
+        let inst = instrumented(w, cost, level, placement);
+        let (clk, h1) = run(
+            &inst.module,
+            cost,
+            &specs,
+            machine_config(w, ExecMode::ClocksOnly, seed),
+        );
+        let (det, h2) = run(
+            &inst.module,
+            cost,
+            &specs,
+            machine_config(w, ExecMode::Det, seed),
+        );
+        assert!(!h1 && !h2);
+        (clk.overhead_pct(&base), det.overhead_pct(&base))
+    };
+    let (none_clk, none_det) = go(OptLevel::None, Placement::Start);
+    let (end_clk, end_det) = go(OptLevel::O1, Placement::End);
+    let (start_clk, start_det) = go(OptLevel::O1, Placement::Start);
+    PlacementResult {
+        name: w.name.to_string(),
+        none_pct: none_det,
+        o1_end_pct: end_det,
+        o1_start_pct: start_det,
+        none_clocks_pct: none_clk,
+        o1_end_clocks_pct: end_clk,
+        o1_start_clocks_pct: start_clk,
+    }
+}
+
+/// Shared command-line options for the bench binaries.
+pub struct CliOptions {
+    /// Number of simulated cores/threads.
+    pub threads: usize,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Emit JSON instead of the table format.
+    pub json: bool,
+    /// Jitter seed.
+    pub seed: u64,
+    /// Restrict to one benchmark.
+    pub only: Option<String>,
+}
+
+impl CliOptions {
+    /// Parse from `std::env::args` (ignores the binary name). Supported:
+    /// `--threads N`, `--scale F`, `--seed N`, `--json`, `--only NAME`.
+    pub fn parse() -> CliOptions {
+        let mut opts = CliOptions {
+            threads: 4,
+            scale: 1.0,
+            json: false,
+            seed: 1,
+            only: None,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args[i].parse().expect("--threads N");
+                }
+                "--scale" => {
+                    i += 1;
+                    opts.scale = args[i].parse().expect("--scale F");
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args[i].parse().expect("--seed N");
+                }
+                "--json" => opts.json = true,
+                "--only" => {
+                    i += 1;
+                    opts.only = Some(args[i].clone());
+                }
+                other => panic!("unknown option: {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The workloads selected by `--only` (or all five).
+    pub fn workloads(&self) -> Vec<Workload> {
+        match &self.only {
+            Some(name) => vec![detlock_workloads::by_name(name, self.threads, self.scale)
+                .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))],
+            None => detlock_workloads::all_benchmarks(self.threads, self.scale),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic barrier.
+//!
+//! Arrival is a deterministic event: the arriving thread waits for its turn
+//! and then deterministically deactivates into the barrier (so its frozen
+//! clock cannot stall other threads' events — the classic Kendo barrier
+//! deadlock). The last arriver reconciles every participant's clock to
+//! `max + 1` and reactivates them, all inside its own deterministic event,
+//! so the post-barrier clock state is timing-independent.
+
+use crate::registry::ThreadState;
+use crate::runtime::{current, DetRuntime};
+use parking_lot::{Condvar, Mutex};
+
+struct BarState {
+    arrived: Vec<u32>,
+    generation: u64,
+}
+
+/// A reusable deterministic barrier for `n` participating threads.
+pub struct DetBarrier {
+    rt: DetRuntime,
+    n: usize,
+    state: Mutex<BarState>,
+    cv: Condvar,
+}
+
+/// Returned by [`DetBarrier::wait`]; the *leader* is the deterministically
+/// last arriver (useful for single-thread phase work, like
+/// `std::sync::Barrier`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetBarrierWaitResult {
+    is_leader: bool,
+}
+
+impl DetBarrierWaitResult {
+    /// True for exactly one thread per barrier generation.
+    pub fn is_leader(&self) -> bool {
+        self.is_leader
+    }
+}
+
+impl DetBarrier {
+    /// Create a barrier for `n` threads.
+    pub fn new(rt: &DetRuntime, n: usize) -> DetBarrier {
+        assert!(n >= 1);
+        DetBarrier {
+            rt: rt.clone(),
+            n,
+            state: Mutex::new(BarState {
+                arrived: Vec::new(),
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deterministically wait for all `n` threads.
+    pub fn wait(&self) -> DetBarrierWaitResult {
+        let (inner, me) = current();
+        debug_assert!(std::sync::Arc::ptr_eq(&inner, &self.rt.inner));
+        let reg = &inner.registry;
+        reg.wait_for_turn(me);
+
+        let mut st = self.state.lock();
+        reg.transition(|_| reg.set_state(me, ThreadState::Blocked));
+        st.arrived.push(me);
+        if st.arrived.len() == self.n {
+            // Leader: reconcile clocks and release everyone.
+            let arrived = std::mem::take(&mut st.arrived);
+            let new_clock = arrived.iter().map(|&t| reg.clock(t)).max().unwrap() + 1;
+            reg.transition(|_| {
+                for &t in &arrived {
+                    reg.set_clock(t, new_clock);
+                    reg.set_state(t, ThreadState::Active);
+                }
+            });
+            st.generation += 1;
+            self.cv.notify_all();
+            DetBarrierWaitResult { is_leader: true }
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            DetBarrierWaitResult { is_leader: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{tick, DetRuntime};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_synchronizes_phases() {
+        let rt = DetRuntime::with_defaults();
+        let bar = Arc::new(DetBarrier::new(&rt, 4));
+        let phase1 = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let bar = Arc::clone(&bar);
+            let phase1 = Arc::clone(&phase1);
+            handles.push(rt.spawn(move || {
+                tick(10 * (t + 1)); // unequal pre-barrier work
+                phase1.fetch_add(1, Ordering::SeqCst);
+                bar.wait();
+                // Everyone must see all phase-1 work complete.
+                assert_eq!(phase1.load(Ordering::SeqCst), 4);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let rt = DetRuntime::with_defaults();
+        let bar = Arc::new(DetBarrier::new(&rt, 3));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let bar = Arc::clone(&bar);
+            let leaders = Arc::clone(&leaders);
+            handles.push(rt.spawn(move || {
+                for round in 0..5 {
+                    tick(3 + t + round);
+                    if bar.wait().is_leader() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn clocks_reconciled_after_barrier() {
+        let rt = DetRuntime::with_defaults();
+        let bar = Arc::new(DetBarrier::new(&rt, 2));
+        let rt1 = rt.clone();
+        let rt2 = rt.clone();
+        let bar2 = Arc::clone(&bar);
+        let a = rt.spawn(move || {
+            tick(1000);
+            bar2.wait();
+            rt1.clock()
+        });
+        let bar3 = Arc::clone(&bar);
+        let b = rt.spawn(move || {
+            tick(7);
+            bar3.wait();
+            rt2.clock()
+        });
+        let ca = a.join();
+        let cb = b.join();
+        assert_eq!(ca, cb, "clocks must be equal right after the barrier");
+        assert!(ca > 1000);
+    }
+
+    #[test]
+    fn leader_is_deterministic_across_runs() {
+        fn run() -> Vec<u32> {
+            let rt = DetRuntime::with_defaults();
+            let bar = Arc::new(DetBarrier::new(&rt, 3));
+            let order: Arc<parking_lot::Mutex<Vec<u32>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for t in 0..3u32 {
+                let bar = Arc::clone(&bar);
+                let order = Arc::clone(&order);
+                let rt2 = rt.clone();
+                handles.push(rt.spawn(move || {
+                    for round in 0..8u64 {
+                        tick(2 + ((t as u64 + round) % 5));
+                        if t == 1 && round % 3 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(100));
+                        }
+                        if bar.wait().is_leader() {
+                            order.lock().push(rt2.current_tid());
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let v = order.lock().clone();
+            v
+        }
+        let a = run();
+        let b = run();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, b, "leader sequence must be timing-independent");
+    }
+}

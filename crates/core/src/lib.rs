@@ -1,0 +1,81 @@
+//! # detlock-core
+//!
+//! The DetLock deterministic-execution runtime (Mushtaq, Al-Ars, Bertels,
+//! *DetLock: Portable and Efficient Deterministic Execution for Shared
+//! Memory Multicore Systems*, SC 2012): *weak determinism* — for race-free
+//! programs, the order in which threads win synchronization operations is a
+//! deterministic function of the program and its input, independent of
+//! thread timing. Pure user-space: no kernel modification, no hardware
+//! performance counters; logical clocks are advanced by [`tick`] calls that
+//! the DetLock compiler pass (`detlock-passes`) inserts — or that
+//! applications place by hand at coarse progress points.
+//!
+//! ## Protocol (Kendo's algorithm, as adopted by DetLock)
+//!
+//! Every deterministic thread owns a logical clock. A *deterministic event*
+//! (lock/rwlock acquisition, barrier arrival, condvar wait/signal, spawn,
+//! join, exit) executes only at the thread's **turn**: when its
+//! `(clock, tid)` is minimal over all active threads. Lock acquisition at
+//! the turn additionally requires the lock to be *logically* free — its
+//! last release clock must precede the acquirer's clock — otherwise the
+//! acquirer bumps its clock by one and retries; because bumps happen only
+//! while holding the turn, the whole clock trajectory (and hence the
+//! acquisition order) is timing-independent.
+//!
+//! Why the physical state a turn-holder observes is deterministic: clocks
+//! are monotone in program order, so when every other active thread's clock
+//! is ≥ the turn-holder's clock `c`, every event that logically precedes
+//! `c` has physically completed (its thread's clock has moved past it), and
+//! events logically after `c` cannot yet have happened (their threads would
+//! have needed the turn). Releases are not turn-gated, but their release
+//! clocks make "physically free yet logically still held" detectable — the
+//! acquirer treats it exactly like "held", which is also what a rerun with
+//! different timing observes.
+//!
+//! Threads that block (barrier, join, condvar) deactivate *at their turn*
+//! and are reactivated inside another thread's deterministic event, so the
+//! active set itself changes deterministically.
+//!
+//! ## Example
+//!
+//! ```
+//! use detlock_core::{DetRuntime, DetMutex, tick};
+//! use std::sync::Arc;
+//!
+//! let rt = DetRuntime::with_defaults();
+//! let counter = Arc::new(DetMutex::new(&rt, 0));
+//! let mut handles = Vec::new();
+//! for _ in 0..4 {
+//!     let counter = Arc::clone(&counter);
+//!     handles.push(rt.spawn(move || {
+//!         for _ in 0..1000 {
+//!             tick(10); // compiler-inserted in instrumented builds
+//!             *counter.lock() += 1;
+//!         }
+//!     }));
+//! }
+//! for h in handles { h.join(); }
+//! assert_eq!(*counter.lock(), 4000);
+//! // With tracing enabled, the acquisition order hash is identical on
+//! // every run — see DetRuntime::trace_hash().
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod condvar;
+pub mod mutex;
+pub mod pool;
+pub mod registry;
+pub mod runtime;
+pub mod rwlock;
+pub mod trace;
+
+pub use barrier::{DetBarrier, DetBarrierWaitResult};
+pub use condvar::DetCondvar;
+pub use mutex::{DetMutex, DetMutexGuard};
+pub use pool::{DetPool, DetPoolBox};
+pub use registry::{DetTid, ThreadState};
+pub use runtime::{tick, DetConfig, DetJoinHandle, DetRuntime};
+pub use rwlock::{DetRwLock, DetRwLockReadGuard, DetRwLockWriteGuard};
+pub use trace::TraceEvent;

@@ -1,0 +1,392 @@
+//! The deterministic mutex — Kendo's `det_mutex_lock` as used by DetLock.
+//!
+//! Acquisition is a deterministic event:
+//!
+//! 1. wait for the turn (own `(clock, tid)` globally minimal);
+//! 2. `try_lock`; if physically held, or physically free but *logically*
+//!    still held (last release clock ≥ own clock — the release lies in the
+//!    acquirer's logical future), bump the own clock by one and retry;
+//! 3. on success, bump the clock so later events by this thread order after
+//!    the acquisition.
+//!
+//! Release does **not** wait for the turn: it stamps the lock with the
+//! releaser's clock (making step 2's test deterministic) and bumps the
+//! clock. See the crate docs for the determinism argument.
+
+use crate::runtime::{current, DetRuntime};
+use parking_lot::lock_api::RawMutex as RawMutexTrait;
+use parking_lot::RawMutex;
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NEVER_RELEASED: u64 = u64::MAX;
+
+/// A mutex whose acquisition order is a deterministic function of the
+/// program (given race-free use of the data it protects).
+pub struct DetMutex<T: ?Sized> {
+    rt: DetRuntime,
+    raw: RawMutex,
+    release_clock: AtomicU64,
+    id: u64,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the raw mutex serializes access to `data` exactly like a normal
+// mutex; the deterministic protocol only constrains *when* acquisition
+// succeeds.
+unsafe impl<T: ?Sized + Send> Send for DetMutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for DetMutex<T> {}
+
+impl<T> DetMutex<T> {
+    /// Create a deterministic mutex owned by `rt`.
+    pub fn new(rt: &DetRuntime, value: T) -> DetMutex<T> {
+        DetMutex {
+            rt: rt.clone(),
+            raw: <RawMutex as RawMutexTrait>::INIT,
+            release_clock: AtomicU64::new(NEVER_RELEASED),
+            id: rt.alloc_lock_id(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// The runtime-assigned lock id (used in traces).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Deterministically acquire the mutex.
+    pub fn lock(&self) -> DetMutexGuard<'_, T> {
+        let (inner, me) = current();
+        debug_assert!(
+            std::sync::Arc::ptr_eq(&inner, &self.rt.inner),
+            "DetMutex used from a thread of a different runtime"
+        );
+        let reg = &inner.registry;
+        loop {
+            reg.wait_for_turn(me);
+            let my_clock = reg.clock(me);
+            if self.raw.try_lock() {
+                let r = self.release_clock.load(Ordering::Acquire);
+                if r == NEVER_RELEASED || r < my_clock {
+                    break;
+                }
+                // Physically free but logically released in our future:
+                // indistinguishable (deterministically) from "still held".
+                unsafe { self.raw.unlock() };
+            }
+            reg.tick(me, 1);
+        }
+        reg.tick(me, 1);
+        inner.trace.record(self.id, me, reg.clock(me));
+        DetMutexGuard { mutex: self, tid: me }
+    }
+
+    /// Deterministic `try_lock`: a deterministic event whose *outcome* is
+    /// also deterministic — at the caller's turn, returns `Some` exactly
+    /// when the mutex is logically free (physically free with its last
+    /// release in the caller's logical past). Unlike [`DetMutex::lock`] it
+    /// never bumps the clock to chase a logically-future release; it
+    /// reports failure instead, which is what a timing-independent
+    /// `try_lock` has to mean.
+    pub fn try_lock(&self) -> Option<DetMutexGuard<'_, T>> {
+        let (inner, me) = current();
+        debug_assert!(std::sync::Arc::ptr_eq(&inner, &self.rt.inner));
+        let reg = &inner.registry;
+        reg.wait_for_turn(me);
+        let my_clock = reg.clock(me);
+        let acquired = if self.raw.try_lock() {
+            let r = self.release_clock.load(Ordering::Acquire);
+            if r == NEVER_RELEASED || r < my_clock {
+                true
+            } else {
+                unsafe { self.raw.unlock() };
+                false
+            }
+        } else {
+            false
+        };
+        reg.tick(me, 1); // the attempt is an event either way
+        if acquired {
+            inner.trace.record(self.id, me, reg.clock(me));
+            Some(DetMutexGuard { mutex: self, tid: me })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Mutable access without locking (requires `&mut self`, so no other
+    /// thread can hold the lock).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// RAII guard; releasing is not turn-gated.
+pub struct DetMutexGuard<'a, T: ?Sized> {
+    mutex: &'a DetMutex<T>,
+    tid: u32,
+}
+
+impl<'a, T: ?Sized> DetMutexGuard<'a, T> {
+    /// The mutex this guard locks (used by [`crate::condvar::DetCondvar`]
+    /// to re-acquire after a wait).
+    pub fn mutex(guard: &DetMutexGuard<'a, T>) -> &'a DetMutex<T> {
+        guard.mutex
+    }
+}
+
+impl<T: ?Sized> Deref for DetMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for DetMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for DetMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let reg = &self.mutex.rt.inner.registry;
+        let clock = reg.clock(self.tid);
+        self.mutex.release_clock.store(clock, Ordering::Release);
+        unsafe { self.mutex.raw.unlock() };
+        reg.tick(self.tid, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{tick, DetConfig};
+    use std::sync::Arc;
+
+    fn rt_traced() -> DetRuntime {
+        DetRuntime::new(DetConfig {
+            record_trace: true,
+            ..DetConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_thread_lock_unlock() {
+        let rt = rt_traced();
+        let m = DetMutex::new(&rt, 5);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(rt.trace_len(), 2);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let rt = DetRuntime::with_defaults();
+        let m = Arc::new(DetMutex::new(&rt, 0i64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(rt.spawn(move || {
+                for _ in 0..200 {
+                    tick(3);
+                    let mut g = m.lock();
+                    *g += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*m.lock(), 800);
+    }
+
+    #[test]
+    fn acquisition_order_is_reproducible() {
+        // Run the same contended workload twice (fresh runtimes) with
+        // injected timing noise; the traces must match event for event.
+        fn run(noise: bool) -> Vec<(u64, u32)> {
+            let rt = rt_traced();
+            let m = Arc::new(DetMutex::new(&rt, 0i64));
+            let mut handles = Vec::new();
+            for t in 0..3u32 {
+                let m = Arc::clone(&m);
+                handles.push(rt.spawn(move || {
+                    for i in 0..60 {
+                        tick(5 + t as u64); // deterministic, thread-varying
+                        if noise && i % 17 == t as i32 % 17 {
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                50 * (t as u64 + 1),
+                            ));
+                        }
+                        let mut g = m.lock();
+                        *g += 1;
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            rt.trace_events().iter().map(|e| (e.lock, e.tid)).collect()
+        }
+        let a = run(false);
+        let b = run(true);
+        let c = run(true);
+        assert_eq!(a.len(), 180);
+        assert_eq!(a, b, "timing noise changed the acquisition order");
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn two_locks_reproducible() {
+        fn run(extra_sleep_tid: u32) -> Vec<(u64, u32)> {
+            let rt = rt_traced();
+            let m1 = Arc::new(DetMutex::new(&rt, 0i64));
+            let m2 = Arc::new(DetMutex::new(&rt, 0i64));
+            let mut handles = Vec::new();
+            for t in 0..3u32 {
+                let m1 = Arc::clone(&m1);
+                let m2 = Arc::clone(&m2);
+                handles.push(rt.spawn(move || {
+                    for i in 0..40 {
+                        tick(4);
+                        if t == extra_sleep_tid && i % 10 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        if (i + t as i32) % 2 == 0 {
+                            let mut g = m1.lock();
+                            *g += 1;
+                        } else {
+                            let mut g = m2.lock();
+                            *g += 1;
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            rt.trace_events().iter().map(|e| (e.lock, e.tid)).collect()
+        }
+        let a = run(0);
+        let b = run(1);
+        let c = run(2);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let rt = DetRuntime::with_defaults();
+        let mut m = DetMutex::new(&rt, vec![1, 2]);
+        m.get_mut().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn guard_releases_on_drop_for_other_threads() {
+        let rt = DetRuntime::with_defaults();
+        let m = Arc::new(DetMutex::new(&rt, 0));
+        let g = m.lock();
+        drop(g);
+        let m2 = Arc::clone(&m);
+        let h = rt.spawn(move || {
+            tick(1);
+            *m2.lock() + 1
+        });
+        assert_eq!(h.join(), 1);
+    }
+}
+
+#[cfg(test)]
+mod try_lock_tests {
+    use super::*;
+    use crate::runtime::{tick, DetConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn try_lock_succeeds_when_free() {
+        let rt = DetRuntime::with_defaults();
+        let m = DetMutex::new(&rt, 5);
+        let g = m.try_lock().expect("free mutex");
+        assert_eq!(*g, 5);
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn try_lock_fails_when_logically_held() {
+        // The hold must span the child's attempt in *logical* time — real
+        // time is irrelevant (that is the whole point): main acquires at
+        // clock ~1 and releases at clock ~102, while the child attempts at
+        // clock ~3. Whether main has physically released by then or not,
+        // the child deterministically observes "held".
+        let rt = DetRuntime::with_defaults();
+        let m = Arc::new(DetMutex::new(&rt, 0));
+        let g = m.lock();
+        let m2 = Arc::clone(&m);
+        let h = rt.spawn(move || {
+            tick(1);
+            m2.try_lock().is_none()
+        });
+        tick(100); // main's clock races past the child's attempt point
+        drop(g); // release clock ≈ 102 — logically after the attempt
+        assert!(h.join(), "try_lock inside the logical hold must fail");
+    }
+
+    #[test]
+    fn try_lock_outcomes_reproducible() {
+        fn run(noise: bool) -> Vec<(u32, bool)> {
+            let rt = DetRuntime::new(DetConfig {
+                record_trace: true,
+                ..DetConfig::default()
+            });
+            let m = Arc::new(DetMutex::new(&rt, 0i64));
+            let log: Arc<parking_lot::Mutex<Vec<(u32, u64, bool)>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for t in 0..3u32 {
+                let m = Arc::clone(&m);
+                let log = Arc::clone(&log);
+                let rt2 = rt.clone();
+                handles.push(rt.spawn(move || {
+                    for i in 0..30u64 {
+                        tick(3 + (t as u64 + i) % 4);
+                        if noise && i % 8 == t as u64 {
+                            std::thread::sleep(std::time::Duration::from_micros(70));
+                        }
+                        match m.try_lock() {
+                            Some(mut g) => {
+                                *g += 1;
+                                // Hold across some work so others' attempts
+                                // can fail.
+                                tick(2);
+                                log.lock().push((t, rt2.clock(), true));
+                            }
+                            None => log.lock().push((t, rt2.clock(), false)),
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            let mut v: Vec<(u32, u64, bool)> = log.lock().clone();
+            // Per-thread outcome sequences ordered by that thread's clock.
+            v.sort();
+            v.into_iter().map(|(t, _, ok)| (t, ok)).collect()
+        }
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a, b, "try_lock outcomes must be timing-independent");
+    }
+}

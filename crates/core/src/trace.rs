@@ -1,0 +1,135 @@
+//! Lock-acquisition trace recorder.
+//!
+//! Weak determinism is observable: the sequence of `(lock, thread, clock)`
+//! acquisitions must be identical across runs. The recorder appends events
+//! from inside the acquisition critical path — acquisitions are totally
+//! ordered by the deterministic protocol and a thread's next clock advance
+//! happens only after its record lands, so the append order *is* the
+//! logical order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One recorded acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Runtime-assigned lock id.
+    pub lock: u64,
+    /// Acquiring thread.
+    pub tid: u32,
+    /// The thread's logical clock just after acquisition.
+    pub clock: u64,
+}
+
+/// Append-only event recorder; disabled recorders cost one atomic load per
+/// acquisition.
+pub struct TraceRecorder {
+    enabled: AtomicBool,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    /// Create a recorder.
+    pub fn new(enabled: bool) -> TraceRecorder {
+        TraceRecorder {
+            enabled: AtomicBool::new(enabled),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record one acquisition (no-op when disabled).
+    pub fn record(&self, lock: u64, tid: u32, clock: u64) {
+        if self.is_enabled() {
+            self.events.lock().push(TraceEvent { lock, tid, clock });
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the event log.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Order-sensitive FNV-1a hash of the `(lock, tid)` sequence.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for e in self.events.lock().iter() {
+            for b in e.lock.to_le_bytes().iter().chain(e.tid.to_le_bytes().iter()) {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let t = TraceRecorder::new(false);
+        t.record(1, 0, 5);
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(1, 0, 5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn hash_depends_on_order_not_clock() {
+        let a = TraceRecorder::new(true);
+        a.record(1, 0, 5);
+        a.record(2, 1, 9);
+        let b = TraceRecorder::new(true);
+        b.record(1, 0, 500); // clock differs: same order hash
+        b.record(2, 1, 900);
+        assert_eq!(a.hash(), b.hash());
+        let c = TraceRecorder::new(true);
+        c.record(2, 1, 9);
+        c.record(1, 0, 5);
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn snapshot_and_clear() {
+        let t = TraceRecorder::new(true);
+        t.record(3, 2, 7);
+        let s = t.snapshot();
+        assert_eq!(
+            s,
+            vec![TraceEvent {
+                lock: 3,
+                tid: 2,
+                clock: 7
+            }]
+        );
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

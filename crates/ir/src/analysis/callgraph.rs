@@ -1,0 +1,184 @@
+//! Module-level call graph.
+//!
+//! Optimization 1 greedily promotes functions to *clocked* status over the
+//! call graph (a function whose callees are all clocked may itself become
+//! clockable — paper Fig. 4, `UpdateClockableFuncList`). This module supplies
+//! the callee sets, leaf detection, and a bottom-up ordering.
+
+use crate::module::Module;
+use crate::types::FuncId;
+
+/// Call-graph edges for a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Deduplicated callees per function.
+    pub callees: Vec<Vec<FuncId>>,
+    /// Deduplicated callers per function.
+    pub callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `module`.
+    pub fn compute(module: &Module) -> CallGraph {
+        let n = module.functions.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for (fid, func) in module.iter_funcs() {
+            let mut cs = func.callees();
+            cs.sort_unstable();
+            cs.dedup();
+            for &c in &cs {
+                callers[c.index()].push(fid);
+            }
+            callees[fid.index()] = cs;
+        }
+        for c in &mut callers {
+            c.sort_unstable();
+            c.dedup();
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions directly called by `f`.
+    #[inline]
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.index()]
+    }
+
+    /// Functions that directly call `f`.
+    #[inline]
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.index()]
+    }
+
+    /// Whether `f` calls no other function (builtins don't count — the paper
+    /// charges them from the estimate file, so they never block clocking).
+    #[inline]
+    pub fn is_leaf(&self, f: FuncId) -> bool {
+        self.callees[f.index()].is_empty()
+    }
+
+    /// A bottom-up ordering: callees before callers where the graph is
+    /// acyclic; members of call cycles appear in arbitrary relative order.
+    pub fn bottom_up(&self) -> Vec<FuncId> {
+        let n = self.callees.len();
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n];
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(FuncId(start as u32), 0usize)];
+            state[start] = 1;
+            while let Some(&mut (f, ref mut next)) = stack.last_mut() {
+                let cs = &self.callees[f.index()];
+                if *next < cs.len() {
+                    let c = cs[*next];
+                    *next += 1;
+                    if state[c.index()] == 0 {
+                        state[c.index()] = 1;
+                        stack.push((c, 0));
+                    }
+                } else {
+                    state[f.index()] = 2;
+                    order.push(f);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    /// Whether `f` participates in a call cycle (including self-recursion).
+    pub fn in_cycle(&self, f: FuncId) -> bool {
+        // DFS from f's callees looking for f.
+        let n = self.callees.len();
+        let mut seen = vec![false; n];
+        let mut stack: Vec<FuncId> = self.callees(f).to_vec();
+        while let Some(x) = stack.pop() {
+            if x == f {
+                return true;
+            }
+            if seen[x.index()] {
+                continue;
+            }
+            seen[x.index()] = true;
+            stack.extend_from_slice(self.callees(x));
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Operand;
+
+    /// leaf <- mid <- main, plus rec -> rec (self loop).
+    fn module() -> Module {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("leaf", 0);
+        fb.block("entry");
+        fb.ret_void();
+        let leaf = fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("mid", 0);
+        fb.block("entry");
+        fb.call_void(leaf, vec![]);
+        fb.call_void(leaf, vec![]); // duplicate edge
+        fb.ret_void();
+        let mid = fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("main", 0);
+        fb.block("entry");
+        fb.call_void(mid, vec![]);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("rec", 1);
+        fb.block("entry");
+        fb.call_void(FuncId(3), vec![Operand::Imm(0)]);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+        m
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        let m = module();
+        let cg = CallGraph::compute(&m);
+        assert_eq!(cg.callees(FuncId(1)), &[FuncId(0)]);
+        assert_eq!(cg.callers(FuncId(0)), &[FuncId(1)]);
+        assert_eq!(cg.callers(FuncId(1)), &[FuncId(2)]);
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let m = module();
+        let cg = CallGraph::compute(&m);
+        assert!(cg.is_leaf(FuncId(0)));
+        assert!(!cg.is_leaf(FuncId(1)));
+        assert!(!cg.is_leaf(FuncId(3))); // self-recursive
+    }
+
+    #[test]
+    fn bottom_up_order() {
+        let m = module();
+        let cg = CallGraph::compute(&m);
+        let order = cg.bottom_up();
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        assert!(pos(FuncId(0)) < pos(FuncId(1)));
+        assert!(pos(FuncId(1)) < pos(FuncId(2)));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let m = module();
+        let cg = CallGraph::compute(&m);
+        assert!(cg.in_cycle(FuncId(3)));
+        assert!(!cg.in_cycle(FuncId(0)));
+        assert!(!cg.in_cycle(FuncId(2)));
+    }
+}

@@ -1,0 +1,205 @@
+//! CFG shape queries: successor/predecessor maps, reverse post-order,
+//! reachability.
+
+use crate::module::Function;
+use crate::types::BlockId;
+
+/// Precomputed CFG edges for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block (deduplicated, in branch order).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block (deduplicated, ascending).
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reverse post-order over reachable blocks, starting at the entry.
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] = position of b in rpo`, or `usize::MAX` if unreachable.
+    pub rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Compute the CFG for `func`.
+    pub fn compute(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            let mut ss = block.successors();
+            ss.dedup();
+            // Dedup non-adjacent duplicates too (switch with repeated target).
+            let mut seen: Vec<BlockId> = Vec::with_capacity(ss.len());
+            for s in ss {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                }
+            }
+            for &s in &seen {
+                preds[s.index()].push(bid);
+            }
+            succs[bid.index()] = seen;
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        // Iterative DFS post-order, then reverse.
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        state[func.entry().index()] = 1;
+        while let Some(&mut (bb, ref mut next)) = stack.last_mut() {
+            let ss = &succs[bb.index()];
+            if *next < ss.len() {
+                let child = ss[*next];
+                *next += 1;
+                if state[child.index()] == 0 {
+                    state[child.index()] = 1;
+                    stack.push((child, 0));
+                }
+            } else {
+                state[bb.index()] = 2;
+                post.push(bb);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let rpo = post;
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// Successors of `b`.
+    #[inline]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    #[inline]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Whether `b` is reachable from the entry.
+    #[inline]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// Number of blocks (including unreachable ones).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the function has no blocks (cannot normally happen for a
+    /// verified function).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+
+    /// entry -> {then, else} -> merge -> ret ; plus an unreachable block.
+    fn diamond_with_unreachable() -> Function {
+        let mut fb = FunctionBuilder::new("f", 1);
+        let entry = fb.block("entry");
+        let t = fb.create_block("then");
+        let e = fb.create_block("else");
+        let m = fb.create_block("merge");
+        let u = fb.create_block("unreachable");
+        let c = {
+            let p = fb.param(0);
+            fb.cmp(CmpOp::Gt, p, 0)
+        };
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(m);
+        fb.switch_to(e);
+        fb.br(m);
+        fb.switch_to(m);
+        fb.ret_void();
+        fb.switch_to(u);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        assert_eq!(entry, BlockId(0));
+        f
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond_with_unreachable();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let f = diamond_with_unreachable();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        // merge must come after both then and else in RPO.
+        let pos = |b: BlockId| cfg.rpo_index[b.index()];
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let f = diamond_with_unreachable();
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_switch_targets_deduplicated() {
+        let mut fb = FunctionBuilder::new("s", 1);
+        fb.block("entry");
+        let a = fb.create_block("a");
+        let p = fb.param(0);
+        fb.switch(p, vec![(0, a), (1, a)], a);
+        fb.switch_to(a);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[a]);
+        assert_eq!(cfg.preds(a), &[BlockId(0)]);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut fb = FunctionBuilder::new("l", 1);
+        let entry = fb.block("entry");
+        let body = fb.create_block("body");
+        fb.br(body);
+        fb.switch_to(body);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, body, entry /* irreducible-ish back to entry */);
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.succs(body).contains(&body));
+        assert!(cfg.preds(body).contains(&body));
+        assert_eq!(cfg.rpo.len(), 2);
+    }
+}

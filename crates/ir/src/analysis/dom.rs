@@ -1,0 +1,286 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+//!
+//! Optimization 3 of the paper averages clocks only over regions *dominated*
+//! by a block, and Optimization 2a's cond-node rule requires the parent to
+//! dominate its successors; both queries come from here.
+
+use crate::analysis::cfg::Cfg;
+use crate::types::BlockId;
+
+/// Immediate-dominator tree for one function's reachable blocks.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself.
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute dominators given a precomputed [`Cfg`].
+    pub fn compute(cfg: &Cfg) -> DomTree {
+        let n = cfg.len();
+        let entry = if cfg.rpo.is_empty() {
+            BlockId(0)
+        } else {
+            cfg.rpo[0]
+        };
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return DomTree { idom, entry };
+        }
+        idom[entry.index()] = Some(entry);
+
+        let rpo_index = &cfg.rpo_index;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// The immediate dominator of `b` (entry maps to itself); `None` for
+    /// unreachable blocks.
+    #[inline]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Does `a` dominate `b`? (Reflexive: every block dominates itself.)
+    /// Unreachable blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+
+    /// Strict domination (`a` dominates `b` and `a != b`).
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The entry block this tree was computed from.
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::module::Function;
+
+    fn cfg_of(f: &Function) -> (Cfg, DomTree) {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        (cfg, dom)
+    }
+
+    /// entry(0) -> then(1), else(2) -> merge(3)
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("f", 1);
+        fb.block("entry");
+        let t = fb.create_block("then");
+        let e = fb.create_block("else");
+        let m = fb.create_block("merge");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(m);
+        fb.switch_to(e);
+        fb.br(m);
+        fb.switch_to(m);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let (_, dom) = cfg_of(&f);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(0)), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn diamond_dominates() {
+        let f = diamond();
+        let (_, dom) = cfg_of(&f);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+        assert!(!dom.strictly_dominates(BlockId(3), BlockId(3)));
+        assert!(dom.strictly_dominates(BlockId(0), BlockId(1)));
+    }
+
+    /// entry(0) -> header(1) -> body(2) -> header ; header -> exit(3)
+    fn loop_fn() -> Function {
+        let mut fb = FunctionBuilder::new("loop", 1);
+        fb.block("entry");
+        let h = fb.create_block("header");
+        let b = fb.create_block("body");
+        let x = fb.create_block("exit");
+        let i = fb.iconst(0);
+        fb.br(h);
+        fb.switch_to(h);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c, b, x);
+        fb.switch_to(b);
+        fb.bin_to(crate::inst::BinOp::Add, i, i, 1);
+        fb.br(h);
+        fb.switch_to(x);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn loop_idoms() {
+        let f = loop_fn();
+        let (_, dom) = cfg_of(&f);
+        // header dominated by entry; body & exit by header.
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(!dom.dominates(BlockId(2), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut fb = FunctionBuilder::new("u", 0);
+        fb.block("entry");
+        let dead = fb.create_block("dead");
+        fb.ret_void();
+        fb.switch_to(dead);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (_, dom) = cfg_of(&f);
+        assert_eq!(dom.idom(dead), None);
+        assert!(!dom.dominates(BlockId(0), dead));
+        assert!(!dom.dominates(dead, BlockId(0)));
+    }
+
+    /// Definition check on a random-ish nested graph: a dominates b iff
+    /// removing a from the graph makes b unreachable.
+    #[test]
+    fn dominance_matches_definition_on_nested_graph() {
+        // entry(0) -> a(1) -> b(2) -> d(4)
+        //          \-> c(3) ----------^   ; d -> ret(5)
+        let mut fb = FunctionBuilder::new("n", 1);
+        fb.block("entry");
+        let a = fb.create_block("a");
+        let b = fb.create_block("b");
+        let c = fb.create_block("c");
+        let d = fb.create_block("d");
+        let r = fb.create_block("r");
+        let p = fb.param(0);
+        let cond = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(cond, a, c);
+        fb.switch_to(a);
+        fb.br(b);
+        fb.switch_to(b);
+        fb.br(d);
+        fb.switch_to(c);
+        fb.br(d);
+        fb.switch_to(d);
+        fb.br(r);
+        fb.switch_to(r);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+
+        // Brute-force: reachable from entry avoiding block `x`.
+        let reaches_avoiding = |avoid: BlockId, target: BlockId| -> bool {
+            if avoid == BlockId(0) {
+                return target == BlockId(0) && avoid != target;
+            }
+            let mut seen = vec![false; f.blocks.len()];
+            let mut stack = vec![BlockId(0)];
+            seen[0] = true;
+            while let Some(x) = stack.pop() {
+                if x == target {
+                    return true;
+                }
+                for &s in cfg.succs(x) {
+                    if s != avoid && !seen[s.index()] {
+                        seen[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            false
+        };
+
+        for x in f.block_ids() {
+            for y in f.block_ids() {
+                if x == y {
+                    continue;
+                }
+                let dominated = dom.dominates(x, y);
+                let by_def = !reaches_avoiding(x, y);
+                assert_eq!(
+                    dominated, by_def,
+                    "dominates({x},{y}) = {dominated}, definition says {by_def}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Natural-loop detection: back edges, loop membership, loop depth.
+//!
+//! Used by Optimization 2b (clock motion prefers to *stay out of* deeper
+//! loops), Optimization 4 (back-edge clock merging), and `is_clockable`
+//! (functions containing loops are never clockable — paper Fig. 4 line 2).
+
+use crate::analysis::cfg::Cfg;
+use crate::analysis::dom::DomTree;
+use crate::types::BlockId;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge, dominates the latch).
+    pub header: BlockId,
+    /// Blocks that jump back to the header (latches).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body, including header and latches.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Loop analysis results for one function.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// All natural loops found (loops sharing a header are merged).
+    pub loops: Vec<Loop>,
+    /// `depth[b]` = number of loops containing block `b` (0 = not in a loop).
+    pub depth: Vec<u32>,
+    /// All back edges `(latch, header)` where `header` dominates `latch`.
+    pub back_edges: Vec<(BlockId, BlockId)>,
+    /// `is_header[b]`.
+    pub is_header: Vec<bool>,
+}
+
+impl LoopInfo {
+    /// Compute loops from a CFG and its dominator tree.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> LoopInfo {
+        let n = cfg.len();
+        let mut back_edges = Vec::new();
+        for b in 0..n {
+            let bid = BlockId(b as u32);
+            if !cfg.is_reachable(bid) {
+                continue;
+            }
+            for &s in cfg.succs(bid) {
+                if dom.dominates(s, bid) {
+                    back_edges.push((bid, s));
+                }
+            }
+        }
+
+        // Group back edges by header, collect natural loop bodies.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for &(latch, header) in &back_edges {
+            match by_header.iter_mut().find(|(h, _)| *h == header) {
+                Some((_, latches)) => latches.push(latch),
+                None => by_header.push((header, vec![latch])),
+            }
+        }
+
+        let mut loops = Vec::new();
+        let mut depth = vec![0u32; n];
+        let mut is_header = vec![false; n];
+        for (header, latches) in by_header {
+            is_header[header.index()] = true;
+            // Natural loop: header + all blocks that reach a latch without
+            // passing through the header (walk predecessors from latches).
+            let mut in_loop = vec![false; n];
+            in_loop[header.index()] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if !in_loop[l.index()] {
+                    in_loop[l.index()] = true;
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if cfg.is_reachable(p) && !in_loop[p.index()] {
+                        in_loop[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<BlockId> = (0..n as u32)
+                .map(BlockId)
+                .filter(|b| in_loop[b.index()])
+                .collect();
+            for b in &blocks {
+                depth[b.index()] += 1;
+            }
+            loops.push(Loop {
+                header,
+                latches,
+                blocks,
+            });
+        }
+
+        LoopInfo {
+            loops,
+            depth,
+            back_edges,
+            is_header,
+        }
+    }
+
+    /// Loop nesting depth of `b` (0 if not in any loop).
+    #[inline]
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Whether `b` is a loop header.
+    #[inline]
+    pub fn is_loop_header(&self, b: BlockId) -> bool {
+        self.is_header[b.index()]
+    }
+
+    /// Whether the function contains any loop.
+    #[inline]
+    pub fn has_loops(&self) -> bool {
+        !self.loops.is_empty()
+    }
+
+    /// Whether the edge `from -> to` is a back edge.
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.contains(&(from, to))
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body).
+    pub fn innermost_loop_of(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.blocks.contains(&b))
+            .min_by_key(|l| l.blocks.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, CmpOp};
+    use crate::module::Function;
+
+    fn analyze(f: &Function) -> (Cfg, DomTree, LoopInfo) {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let li = LoopInfo::compute(&cfg, &dom);
+        (cfg, dom, li)
+    }
+
+    /// entry(0) -> cond(1) -> body(2) -> inc(3) -> cond ; cond -> exit(4)
+    fn simple_for() -> Function {
+        let mut fb = FunctionBuilder::new("for", 1);
+        fb.block("entry");
+        let cond = fb.create_block("for.cond");
+        let body = fb.create_block("for.body");
+        let inc = fb.create_block("for.inc");
+        let exit = fb.create_block("for.end");
+        let i = fb.iconst(0);
+        fb.br(cond);
+        fb.switch_to(cond);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.compute(3);
+        fb.br(inc);
+        fb.switch_to(inc);
+        fb.bin_to(BinOp::Add, i, i, 1);
+        fb.br(cond);
+        fb.switch_to(exit);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn simple_for_loop_found() {
+        let f = simple_for();
+        let (_, _, li) = analyze(&f);
+        assert!(li.has_loops());
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(3)]);
+        let mut blocks = l.blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![BlockId(1), BlockId(2), BlockId(3)]);
+        assert!(li.is_back_edge(BlockId(3), BlockId(1)));
+        assert!(!li.is_back_edge(BlockId(1), BlockId(2)));
+        assert!(li.is_loop_header(BlockId(1)));
+        assert!(!li.is_loop_header(BlockId(2)));
+    }
+
+    #[test]
+    fn depths_in_simple_for() {
+        let f = simple_for();
+        let (_, _, li) = analyze(&f);
+        assert_eq!(li.depth(BlockId(0)), 0);
+        assert_eq!(li.depth(BlockId(1)), 1);
+        assert_eq!(li.depth(BlockId(2)), 1);
+        assert_eq!(li.depth(BlockId(3)), 1);
+        assert_eq!(li.depth(BlockId(4)), 0);
+    }
+
+    /// Nested: outer(1..5) containing inner(2..3).
+    fn nested_loops() -> Function {
+        let mut fb = FunctionBuilder::new("nest", 1);
+        fb.block("entry");
+        let oh = fb.create_block("outer.head");
+        let ih = fb.create_block("inner.head");
+        let ib = fb.create_block("inner.body");
+        let ol = fb.create_block("outer.latch");
+        let ex = fb.create_block("exit");
+        let i = fb.iconst(0);
+        fb.br(oh);
+        fb.switch_to(oh);
+        let p = fb.param(0);
+        let c1 = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c1, ih, ex);
+        fb.switch_to(ih);
+        let c2 = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c2, ib, ol);
+        fb.switch_to(ib);
+        fb.bin_to(BinOp::Add, i, i, 1);
+        fb.br(ih);
+        fb.switch_to(ol);
+        fb.bin_to(BinOp::Add, i, i, 1);
+        fb.br(oh);
+        fb.switch_to(ex);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn nested_loop_depths() {
+        let f = nested_loops();
+        let (_, _, li) = analyze(&f);
+        assert_eq!(li.loops.len(), 2);
+        assert_eq!(li.depth(BlockId(1)), 1); // outer head
+        assert_eq!(li.depth(BlockId(2)), 2); // inner head
+        assert_eq!(li.depth(BlockId(3)), 2); // inner body
+        assert_eq!(li.depth(BlockId(4)), 1); // outer latch
+        assert_eq!(li.depth(BlockId(5)), 0);
+        let inner = li.innermost_loop_of(BlockId(3)).unwrap();
+        assert_eq!(inner.header, BlockId(2));
+    }
+
+    #[test]
+    fn acyclic_function_has_no_loops() {
+        let mut fb = FunctionBuilder::new("a", 0);
+        fb.block("entry");
+        let b = fb.create_block("b");
+        fb.br(b);
+        fb.switch_to(b);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (_, _, li) = analyze(&f);
+        assert!(!li.has_loops());
+        assert!(li.back_edges.is_empty());
+        assert!(li.innermost_loop_of(BlockId(0)).is_none());
+    }
+
+    #[test]
+    fn self_loop_block() {
+        let mut fb = FunctionBuilder::new("s", 1);
+        fb.block("entry");
+        let l = fb.create_block("self");
+        let x = fb.create_block("exit");
+        fb.br(l);
+        fb.switch_to(l);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, l, x);
+        fb.switch_to(x);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (_, _, li) = analyze(&f);
+        assert_eq!(li.loops.len(), 1);
+        assert_eq!(li.loops[0].header, l);
+        assert_eq!(li.loops[0].blocks, vec![l]);
+        assert_eq!(li.depth(l), 1);
+    }
+}

@@ -1,0 +1,325 @@
+//! Bounded enumeration of acyclic paths through a CFG region.
+//!
+//! Optimization 1 (*Function Clocking*) needs the clock totals of *all
+//! paths* through a loop-free function (paper Fig. 4, `getClocksOfAllPaths`);
+//! Optimization 3 (*Averaging of Clocks*) needs the totals of all paths
+//! emanating from a block through the region it dominates (paper Fig. 11,
+//! `getClocksOfAllOpt3Paths`). Both are served by [`enumerate_paths`], which
+//! walks the CFG from a start block, accumulating a caller-supplied per-block
+//! value, with a caller-supplied per-edge policy deciding how far paths
+//! extend.
+
+use crate::analysis::cfg::Cfg;
+use crate::types::BlockId;
+
+/// Decision for extending a path along the edge `from -> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Enter `to`, add its value, and keep walking.
+    Follow,
+    /// The path ends at `from` (recorded with its current total); `to` is
+    /// not entered and not counted. Each such edge records its own
+    /// truncated path — it represents a real dynamic continuation whose
+    /// remainder lies outside the region.
+    StopBefore,
+    /// Enter `to`, add its value, and end the path there.
+    StopAfter,
+    /// The whole enumeration is invalid (e.g. region contains a construct
+    /// the optimization cannot handle).
+    Abort,
+}
+
+/// Result of a successful enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSet {
+    /// Accumulated value of every complete path (start block included).
+    pub totals: Vec<u64>,
+    /// Every block that appeared on at least one path (start included;
+    /// `StopBefore` targets excluded). Sorted ascending.
+    pub touched: Vec<BlockId>,
+}
+
+/// Why an enumeration failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// The per-edge policy returned [`Step::Abort`].
+    Aborted,
+    /// More than `max_paths` paths exist.
+    TooManyPaths,
+    /// A block repeated within a single path (cycle not filtered by the
+    /// policy).
+    Cycle,
+}
+
+/// Enumerate all paths from `start`.
+///
+/// * `block_value(b)` — the value accumulated when a path enters `b`.
+/// * `decide(from, to)` — how to extend paths along each edge.
+/// * `max_paths` — enumeration cap to bound the (potentially exponential)
+///   walk; exceeded ⇒ `Err(TooManyPaths)`.
+///
+/// A path ends when it reaches a block with no successors, or when every
+/// outgoing edge is `StopBefore`, or along a `StopAfter` edge.
+pub fn enumerate_paths(
+    cfg: &Cfg,
+    start: BlockId,
+    max_paths: usize,
+    mut block_value: impl FnMut(BlockId) -> u64,
+    mut decide: impl FnMut(BlockId, BlockId) -> Step,
+) -> Result<PathSet, PathError> {
+    let mut totals = Vec::new();
+    let mut touched = vec![start];
+    let mut on_path = vec![false; cfg.len()];
+
+    // Explicit DFS over partial paths: (block, accumulated, succ cursor).
+    struct Frame {
+        block: BlockId,
+        acc: u64,
+        next_succ: usize,
+    }
+
+    let start_val = block_value(start);
+    let mut stack = vec![Frame {
+        block: start,
+        acc: start_val,
+        next_succ: 0,
+    }];
+    on_path[start.index()] = true;
+
+    while !stack.is_empty() {
+        let idx = stack.len() - 1;
+        let from = stack[idx].block;
+        let succs = cfg.succs(from);
+        if stack[idx].next_succ < succs.len() {
+            let to = succs[stack[idx].next_succ];
+            stack[idx].next_succ += 1;
+            match decide(from, to) {
+                Step::Abort => return Err(PathError::Aborted),
+                Step::StopBefore => {
+                    // The path ends here; record its total as-is.
+                    totals.push(stack[idx].acc);
+                    if totals.len() > max_paths {
+                        return Err(PathError::TooManyPaths);
+                    }
+                }
+                Step::StopAfter => {
+                    if on_path[to.index()] {
+                        return Err(PathError::Cycle);
+                    }
+                    let v = block_value(to);
+                    if !touched.contains(&to) {
+                        touched.push(to);
+                    }
+                    totals.push(stack[idx].acc + v);
+                    if totals.len() > max_paths {
+                        return Err(PathError::TooManyPaths);
+                    }
+                }
+                Step::Follow => {
+                    if on_path[to.index()] {
+                        return Err(PathError::Cycle);
+                    }
+                    let v = block_value(to);
+                    if !touched.contains(&to) {
+                        touched.push(to);
+                    }
+                    on_path[to.index()] = true;
+                    let acc = stack[idx].acc;
+                    stack.push(Frame {
+                        block: to,
+                        acc: acc + v,
+                        next_succ: 0,
+                    });
+                }
+            }
+        } else {
+            // All successors processed; terminal blocks end their path.
+            if succs.is_empty() {
+                totals.push(stack[idx].acc);
+                if totals.len() > max_paths {
+                    return Err(PathError::TooManyPaths);
+                }
+            }
+            on_path[from.index()] = false;
+            stack.pop();
+        }
+    }
+
+    touched.sort_unstable();
+    Ok(PathSet { totals, touched })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::CmpOp;
+    use crate::module::Function;
+
+    /// Diamond with per-block "values" equal to block index + 1.
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("f", 1);
+        fb.block("entry"); // 0
+        let t = fb.create_block("then"); // 1
+        let e = fb.create_block("else"); // 2
+        let m = fb.create_block("merge"); // 3
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(m);
+        fb.switch_to(e);
+        fb.br(m);
+        fb.switch_to(m);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    fn val(b: BlockId) -> u64 {
+        b.0 as u64 + 1
+    }
+
+    #[test]
+    fn diamond_paths() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |_, _| Step::Follow).unwrap();
+        let mut totals = ps.totals.clone();
+        totals.sort();
+        // entry(1)+then(2)+merge(4)=7 ; entry(1)+else(3)+merge(4)=8
+        assert_eq!(totals, vec![7, 8]);
+        assert_eq!(
+            ps.touched,
+            vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]
+        );
+    }
+
+    #[test]
+    fn stop_before_prunes_edge() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        // Never enter merge: both paths end at then/else.
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |_, to| {
+            if to == BlockId(3) {
+                Step::StopBefore
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        let mut totals = ps.totals.clone();
+        totals.sort();
+        assert_eq!(totals, vec![3, 4]); // 1+2, 1+3
+        assert!(!ps.touched.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn stop_after_includes_target_then_ends() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |_, to| {
+            if to == BlockId(3) {
+                Step::StopAfter
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        let mut totals = ps.totals.clone();
+        totals.sort();
+        assert_eq!(totals, vec![7, 8]);
+        assert!(ps.touched.contains(&BlockId(3)));
+    }
+
+    #[test]
+    fn abort_propagates() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let r = enumerate_paths(&cfg, BlockId(0), 100, val, |_, to| {
+            if to == BlockId(2) {
+                Step::Abort
+            } else {
+                Step::Follow
+            }
+        });
+        assert_eq!(r.unwrap_err(), PathError::Aborted);
+    }
+
+    #[test]
+    fn cycle_detected_when_policy_follows_back_edge() {
+        let mut fb = FunctionBuilder::new("l", 1);
+        fb.block("entry");
+        let h = fb.create_block("h");
+        fb.br(h);
+        fb.switch_to(h);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, h, BlockId(0)); // h -> h self loop and back to entry
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::compute(&f);
+        let r = enumerate_paths(&cfg, BlockId(0), 100, val, |_, _| Step::Follow);
+        assert_eq!(r.unwrap_err(), PathError::Cycle);
+    }
+
+    #[test]
+    fn too_many_paths() {
+        // Chain of k diamonds => 2^k paths; cap below that.
+        let mut fb = FunctionBuilder::new("many", 1);
+        fb.block("entry");
+        let mut prev_merge = BlockId(0);
+        let p = fb.param(0);
+        for i in 0..8 {
+            let t = fb.create_block(format!("t{i}"));
+            let e = fb.create_block(format!("e{i}"));
+            let m = fb.create_block(format!("m{i}"));
+            fb.switch_to(prev_merge);
+            let c = fb.cmp(CmpOp::Gt, p, i);
+            fb.cond_br(c, t, e);
+            fb.switch_to(t);
+            fb.br(m);
+            fb.switch_to(e);
+            fb.br(m);
+            prev_merge = m;
+        }
+        fb.switch_to(prev_merge);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let cfg = Cfg::compute(&f);
+        let r = enumerate_paths(&cfg, BlockId(0), 10, |_| 1, |_, _| Step::Follow);
+        assert_eq!(r.unwrap_err(), PathError::TooManyPaths);
+        let ok = enumerate_paths(&cfg, BlockId(0), 1 << 12, |_| 1, |_, _| Step::Follow).unwrap();
+        assert_eq!(ok.totals.len(), 256);
+    }
+
+    #[test]
+    fn all_edges_stop_before_record_truncated_paths() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |_, _| Step::StopBefore).unwrap();
+        // One truncated path per stopped edge (each is a real dynamic
+        // continuation leaving the region).
+        assert_eq!(ps.totals, vec![1, 1]);
+        assert_eq!(ps.touched, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn mixed_follow_and_stop_records_both() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        // Follow the then-arm, stop before the else-arm: the truncated
+        // entry-only path must still be recorded (this is what keeps
+        // Optimization 3 from averaging a region as if a pruned exit did
+        // not exist).
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |_, to| {
+            if to == BlockId(2) {
+                Step::StopBefore
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        let mut t = ps.totals.clone();
+        t.sort_unstable();
+        assert_eq!(t, vec![1, 7]); // truncated at entry; entry+then+merge
+    }
+}

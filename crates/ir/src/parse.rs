@@ -1,0 +1,762 @@
+//! Textual IR parser — the inverse of [`crate::dot::function_to_text`].
+//!
+//! The format is exactly what the pretty-printer emits, so modules survive a
+//! print → parse → print round trip (the property tests check the printed
+//! fixpoint). This is what makes the `dlc` driver binary usable: write a
+//! program in a file, instrument it, run it.
+//!
+//! ```text
+//! fn kernel(params=1) {
+//!   entry (bb0):
+//!     r1 = const 0
+//!     r2 = cmp.lt r1, r0
+//!     condbr r2, bb1, bb2
+//!   body (bb1):
+//!     r1 = add r1, 1
+//!     br bb0
+//!   done (bb2):
+//!     ret r1
+//! }
+//! ```
+//!
+//! Block headers may carry `clock = N` annotations (as in instrumented
+//! dumps); the annotation is ignored. Lines starting with `#` or `//` are
+//! comments. Function references are positional: `@f0` is the first
+//! function in the file.
+
+use crate::inst::{BinOp, Builtin, CmpOp, Inst, Operand, Terminator};
+use crate::module::{Block, Function, Module};
+use crate::types::{BarrierId, BlockId, FuncId, Reg};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parse a whole module.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut p = Parser {
+        lines: text.lines().collect(),
+        pos: 0,
+    };
+    let mut module = Module::new();
+    loop {
+        p.skip_blank();
+        if p.at_end() {
+            break;
+        }
+        let f = p.parse_function()?;
+        module.add_function(f);
+    }
+    if module.functions.is_empty() {
+        return err(1, "no functions in input");
+    }
+    Ok(module)
+}
+
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.lines.len()
+    }
+
+    fn lineno(&self) -> usize {
+        self.pos + 1
+    }
+
+    fn current(&self) -> &'a str {
+        self.lines[self.pos].trim()
+    }
+
+    fn skip_blank(&mut self) {
+        while !self.at_end() {
+            let l = self.current();
+            if l.is_empty() || l.starts_with('#') || l.starts_with("//") {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn parse_function(&mut self) -> Result<Function, ParseError> {
+        let line = self.current();
+        let ln = self.lineno();
+        let rest = line
+            .strip_prefix("fn ")
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("expected `fn name(params=N) {{`, got `{line}`"),
+            })?;
+        let open = rest.find('(').ok_or_else(|| ParseError {
+            line: ln,
+            message: "missing `(` in function header".into(),
+        })?;
+        let name = rest[..open].trim().to_string();
+        let close = rest.find(')').ok_or_else(|| ParseError {
+            line: ln,
+            message: "missing `)` in function header".into(),
+        })?;
+        let params_part = rest[open + 1..close].trim();
+        let params: u32 = params_part
+            .strip_prefix("params=")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("expected `params=N`, got `{params_part}`"),
+            })?;
+        if !rest[close + 1..].trim().starts_with('{') {
+            return err(ln, "expected `{` after function header");
+        }
+        self.pos += 1;
+
+        let mut blocks: Vec<(String, Vec<Inst>, Option<Terminator>)> = Vec::new();
+        let mut max_reg: u32 = params.saturating_sub(1);
+        let bump = |r: Reg, max_reg: &mut u32| {
+            if r.0 > *max_reg {
+                *max_reg = r.0;
+            }
+        };
+
+        loop {
+            self.skip_blank();
+            if self.at_end() {
+                return err(self.lineno(), "unexpected end of input inside function");
+            }
+            let l = self.current();
+            let ln = self.lineno();
+            if l == "}" {
+                self.pos += 1;
+                break;
+            }
+            if l.ends_with(':') || l.contains("):") {
+                // Block header: `name (bbK):` or `name:` with optional
+                // trailing `clock = N`.
+                let header = l.split("clock =").next().unwrap().trim();
+                let header = header.trim_end_matches(':').trim();
+                let name = match header.find(" (bb") {
+                    Some(i) => header[..i].trim().to_string(),
+                    None => header.trim_end_matches(':').to_string(),
+                };
+                // Ordering check: block ids in the text must be sequential
+                // when given explicitly.
+                if let Some(i) = header.find(" (bb") {
+                    let idpart = &header[i + 4..];
+                    let id: usize = idpart
+                        .trim_end_matches(')')
+                        .parse()
+                        .map_err(|_| ParseError {
+                            line: ln,
+                            message: format!("bad block id in `{l}`"),
+                        })?;
+                    if id != blocks.len() {
+                        return err(
+                            ln,
+                            format!("block id bb{id} out of order (expected bb{})", blocks.len()),
+                        );
+                    }
+                }
+                blocks.push((name, Vec::new(), None));
+                self.pos += 1;
+                continue;
+            }
+
+            // Instruction or terminator inside the current block.
+            let Some(cur) = blocks.last_mut() else {
+                return err(ln, format!("statement `{l}` before any block header"));
+            };
+            if cur.2.is_some() {
+                return err(ln, format!("statement `{l}` after block terminator"));
+            }
+            if let Some(term) = parse_terminator(l, ln)? {
+                for r in term_regs(&term) {
+                    bump(r, &mut max_reg);
+                }
+                cur.2 = Some(term);
+            } else {
+                let inst = parse_inst(l, ln)?;
+                let mut used = Vec::new();
+                inst.uses(&mut used);
+                if let Some(d) = inst.def() {
+                    used.push(d);
+                }
+                for r in used {
+                    bump(r, &mut max_reg);
+                }
+                cur.1.push(inst);
+            }
+            self.pos += 1;
+        }
+
+        if blocks.is_empty() {
+            return err(self.lineno(), "function has no blocks");
+        }
+        let blocks = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, insts, term))| {
+                let term = term.ok_or_else(|| ParseError {
+                    line: self.lineno(),
+                    message: format!("block bb{i} (`{name}`) has no terminator"),
+                })?;
+                Ok(Block { name, insts, term })
+            })
+            .collect::<Result<Vec<_>, ParseError>>()?;
+        Ok(Function {
+            name,
+            params,
+            num_regs: max_reg + 1,
+            blocks,
+        })
+    }
+}
+
+fn term_regs(t: &Terminator) -> Vec<Reg> {
+    match t {
+        Terminator::CondBr { cond, .. } => vec![*cond],
+        Terminator::Switch { disc, .. } => vec![*disc],
+        Terminator::Ret {
+            value: Some(Operand::Reg(r)),
+        } => vec![*r],
+        _ => vec![],
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|v| v.parse().ok())
+        .map(Reg)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected register, got `{tok}`"),
+        })
+}
+
+fn parse_block_ref(tok: &str, line: usize) -> Result<BlockId, ParseError> {
+    tok.strip_prefix("bb")
+        .and_then(|v| v.parse().ok())
+        .map(BlockId)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected block reference, got `{tok}`"),
+        })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    let tok = tok.trim();
+    if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) && tok.len() > 1 {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    } else {
+        tok.parse::<i64>()
+            .map(Operand::Imm)
+            .map_err(|_| ParseError {
+                line,
+                message: format!("expected operand (rN or integer), got `{tok}`"),
+            })
+    }
+}
+
+fn binop_from(mnemonic: &str) -> Option<BinOp> {
+    Some(match mnemonic {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        _ => return None,
+    })
+}
+
+fn cmpop_from(mnemonic: &str) -> Option<CmpOp> {
+    Some(match mnemonic {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn builtin_from(name: &str) -> Option<Builtin> {
+    Builtin::all().iter().copied().find(|b| b.name() == name)
+}
+
+/// Parse `[rA+K]` into (addr, offset).
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `[rA+K]`, got `{tok}`"),
+        })?;
+    // Offset may be negative: rA+-3 prints as r0+-3.
+    let plus = inner.find('+').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected `+` in address `{tok}`"),
+    })?;
+    let addr = parse_reg(&inner[..plus], line)?;
+    let offset: i64 = inner[plus + 1..].parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad offset in `{tok}`"),
+    })?;
+    Ok((addr, offset))
+}
+
+fn parse_call_args(argstr: &str, line: usize) -> Result<Vec<Operand>, ParseError> {
+    let argstr = argstr.trim();
+    if argstr.is_empty() {
+        return Ok(vec![]);
+    }
+    argstr
+        .split(',')
+        .map(|a| parse_operand(a.trim(), line))
+        .collect()
+}
+
+fn parse_terminator(l: &str, ln: usize) -> Result<Option<Terminator>, ParseError> {
+    let mut it = l.split_whitespace();
+    let head = it.next().unwrap_or("");
+    match head {
+        "br" => {
+            let target = parse_block_ref(it.next().unwrap_or(""), ln)?;
+            Ok(Some(Terminator::Br { target }))
+        }
+        "condbr" => {
+            // condbr r4, bb2, bb15
+            let rest: Vec<&str> = l["condbr".len()..]
+                .split(',')
+                .map(str::trim)
+                .collect();
+            if rest.len() != 3 {
+                return err(ln, format!("expected `condbr rC, bbT, bbF`, got `{l}`"));
+            }
+            Ok(Some(Terminator::CondBr {
+                cond: parse_reg(rest[0], ln)?,
+                then_bb: parse_block_ref(rest[1], ln)?,
+                else_bb: parse_block_ref(rest[2], ln)?,
+            }))
+        }
+        "switch" => {
+            // switch r1 [0 -> bb2, 1 -> bb3] default bb4
+            let open = l.find('[').ok_or_else(|| ParseError {
+                line: ln,
+                message: "missing `[` in switch".into(),
+            })?;
+            let close = l.rfind(']').ok_or_else(|| ParseError {
+                line: ln,
+                message: "missing `]` in switch".into(),
+            })?;
+            let disc = parse_reg(l["switch".len()..open].trim(), ln)?;
+            let mut cases = Vec::new();
+            let body = l[open + 1..close].trim();
+            if !body.is_empty() {
+                for case in body.split(',') {
+                    let (v, b) = case.split_once("->").ok_or_else(|| ParseError {
+                        line: ln,
+                        message: format!("bad switch case `{case}`"),
+                    })?;
+                    let v: i64 = v.trim().parse().map_err(|_| ParseError {
+                        line: ln,
+                        message: format!("bad case value `{v}`"),
+                    })?;
+                    cases.push((v, parse_block_ref(b.trim(), ln)?));
+                }
+            }
+            let tail = l[close + 1..].trim();
+            let default = tail
+                .strip_prefix("default")
+                .map(str::trim)
+                .ok_or_else(|| ParseError {
+                    line: ln,
+                    message: "missing `default bbN` in switch".into(),
+                })?;
+            Ok(Some(Terminator::Switch {
+                disc,
+                cases,
+                default: parse_block_ref(default, ln)?,
+            }))
+        }
+        "ret" => {
+            let rest = l["ret".len()..].trim();
+            let value = if rest.is_empty() {
+                None
+            } else {
+                Some(parse_operand(rest, ln)?)
+            };
+            Ok(Some(Terminator::Ret { value }))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn parse_inst(l: &str, ln: usize) -> Result<Inst, ParseError> {
+    // Statements without a destination first.
+    if let Some(rest) = l.strip_prefix("store ") {
+        // store [r2+8] = r3
+        let (mem, src) = rest.split_once('=').ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected `store [..] = v`, got `{l}`"),
+        })?;
+        let (addr, offset) = parse_mem(mem.trim(), ln)?;
+        return Ok(Inst::Store {
+            src: parse_operand(src.trim(), ln)?,
+            addr,
+            offset,
+        });
+    }
+    if let Some(rest) = l.strip_prefix("tick ") {
+        // `tick 7` or `tick 3 + 2*r5`
+        if let Some((base, scaled)) = rest.split_once('+') {
+            let base: u64 = base.trim().parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad tick base in `{l}`"),
+            })?;
+            let (per, size) = scaled.trim().split_once('*').ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("expected `per*size` in `{l}`"),
+            })?;
+            let per_unit: u64 = per.trim().parse().map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad tick coefficient in `{l}`"),
+            })?;
+            return Ok(Inst::TickDyn {
+                base,
+                per_unit,
+                size: parse_operand(size.trim(), ln)?,
+            });
+        }
+        let amount: u64 = rest.trim().parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad tick amount in `{l}`"),
+        })?;
+        return Ok(Inst::Tick { amount });
+    }
+    if let Some(rest) = l.strip_prefix("lock ") {
+        return Ok(Inst::Lock {
+            id: parse_operand(rest.trim(), ln)?,
+        });
+    }
+    if let Some(rest) = l.strip_prefix("unlock ") {
+        return Ok(Inst::Unlock {
+            id: parse_operand(rest.trim(), ln)?,
+        });
+    }
+    if let Some(rest) = l.strip_prefix("barrier ") {
+        let id = rest
+            .trim()
+            .strip_prefix("bar")
+            .and_then(|v| v.parse().ok())
+            .map(BarrierId)
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("expected `barrier barN`, got `{l}`"),
+            })?;
+        return Ok(Inst::Barrier { id });
+    }
+    if l.starts_with("call ") || l.starts_with("call@") {
+        return parse_call(None, l["call".len()..].trim(), ln);
+    }
+    if let Some(bi) = l.split('(').next().and_then(builtin_from) {
+        return parse_builtin_call(None, bi, l, ln);
+    }
+
+    // Destination forms: `rN = ...`
+    let (dst, rhs) = l.split_once('=').ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("unrecognized statement `{l}`"),
+    })?;
+    let dst = parse_reg(dst.trim(), ln)?;
+    let rhs = rhs.trim();
+    let mut it = rhs.split_whitespace();
+    let head = it.next().unwrap_or("");
+
+    if head == "const" {
+        let v: i64 = rhs["const".len()..].trim().parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad constant in `{l}`"),
+        })?;
+        return Ok(Inst::Const { dst, value: v });
+    }
+    if head == "mov" {
+        return Ok(Inst::Mov {
+            dst,
+            src: parse_operand(rhs["mov".len()..].trim(), ln)?,
+        });
+    }
+    if head == "load" {
+        let (addr, offset) = parse_mem(rhs["load".len()..].trim(), ln)?;
+        return Ok(Inst::Load { dst, addr, offset });
+    }
+    if head == "call" || rhs.starts_with("call") {
+        return parse_call(Some(dst), rhs["call".len()..].trim(), ln);
+    }
+    if let Some(op) = cmpop_from(head.strip_prefix("cmp.").unwrap_or("")) {
+        let rest: Vec<&str> = rhs[head.len()..].split(',').map(str::trim).collect();
+        if rest.len() != 2 {
+            return err(ln, format!("expected `cmp.op rA, v`, got `{l}`"));
+        }
+        return Ok(Inst::Cmp {
+            op,
+            dst,
+            lhs: parse_reg(rest[0], ln)?,
+            rhs: parse_operand(rest[1], ln)?,
+        });
+    }
+    if let Some(op) = binop_from(head) {
+        let rest: Vec<&str> = rhs[head.len()..].split(',').map(str::trim).collect();
+        if rest.len() != 2 {
+            return err(ln, format!("expected `{head} rA, v`, got `{l}`"));
+        }
+        return Ok(Inst::Bin {
+            op,
+            dst,
+            lhs: parse_reg(rest[0], ln)?,
+            rhs: parse_operand(rest[1], ln)?,
+        });
+    }
+    if let Some(bi) = rhs.split('(').next().and_then(builtin_from) {
+        return parse_builtin_call(Some(dst), bi, rhs, ln);
+    }
+    err(ln, format!("unrecognized statement `{l}`"))
+}
+
+fn parse_call(dst: Option<Reg>, rest: &str, ln: usize) -> Result<Inst, ParseError> {
+    // @f3(r2, 5)
+    let rest = rest.trim();
+    let func = rest
+        .strip_prefix("@f")
+        .and_then(|r| r.split('(').next())
+        .and_then(|v| v.parse().ok())
+        .map(FuncId)
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected `@fN(...)`, got `{rest}`"),
+        })?;
+    let open = rest.find('(').ok_or_else(|| ParseError {
+        line: ln,
+        message: "missing `(` in call".into(),
+    })?;
+    let close = rest.rfind(')').ok_or_else(|| ParseError {
+        line: ln,
+        message: "missing `)` in call".into(),
+    })?;
+    let args = parse_call_args(&rest[open + 1..close], ln)?;
+    Ok(Inst::Call { func, args, dst })
+}
+
+fn parse_builtin_call(
+    dst: Option<Reg>,
+    builtin: Builtin,
+    text: &str,
+    ln: usize,
+) -> Result<Inst, ParseError> {
+    let open = text.find('(').ok_or_else(|| ParseError {
+        line: ln,
+        message: "missing `(` in builtin call".into(),
+    })?;
+    let close = text.rfind(')').ok_or_else(|| ParseError {
+        line: ln,
+        message: "missing `)` in builtin call".into(),
+    })?;
+    let args = parse_call_args(&text[open + 1..close], ln)?;
+    let tail = text[close + 1..].trim();
+    let size_arg = if let Some(sz) = tail.strip_prefix("[size=#") {
+        let k: usize = sz.trim_end_matches(']').parse().map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad size annotation `{tail}`"),
+        })?;
+        Some(k)
+    } else {
+        None
+    };
+    Ok(Inst::CallBuiltin {
+        builtin,
+        args,
+        dst,
+        size_arg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dot::function_to_text;
+    use crate::verify::verify_module;
+
+    fn print_module(m: &Module) -> String {
+        m.functions
+            .iter()
+            .map(|f| function_to_text(f, |_| None))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    const SAMPLE: &str = r#"
+fn helper(params=1) {
+  entry (bb0):
+    r1 = add r0, 3
+    ret r1
+}
+
+fn main(params=2) {
+  entry (bb0):
+    r2 = const 0
+    r3 = mov r2
+    br bb1
+  loop.head (bb1):
+    r4 = cmp.lt r2, r1
+    condbr r4, bb2, bb3
+  loop.body (bb2):
+    r5 = call @f0(r2)
+    r6 = load [r0+4]
+    store [r0+8] = r6
+    tick 7
+    tick 2 + 1*r5
+    lock 3
+    unlock 3
+    barrier bar0
+    r2 = add r2, 1
+    memset(r0, 0, 16) [size=#2]
+    br bb1
+  done (bb3):
+    r7 = sqrt(r2)
+    switch r7 [0 -> bb0, 5 -> bb3] default bb1
+}
+"#;
+
+    #[test]
+    fn parses_sample_and_verifies() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert_eq!(m.functions.len(), 2);
+        assert!(verify_module(&m).is_ok());
+        let main = m.func_by_name("main").unwrap();
+        let f = m.func(main);
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.blocks[2].insts.len(), 10);
+        assert!(f.blocks[2].insts.iter().any(|i| i.is_tick()));
+    }
+
+    #[test]
+    fn print_parse_print_fixpoint_on_sample() {
+        let m1 = parse_module(SAMPLE).unwrap();
+        let p1 = print_module(&m1);
+        let m2 = parse_module(&p1).unwrap();
+        let p2 = print_module(&m2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn builder_modules_round_trip() {
+        use crate::builder::FunctionBuilder;
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("leaf", 1);
+        fb.block("entry");
+        let p = fb.param(0);
+        let v = fb.mul(p, -3);
+        fb.store(v, -2, 11i64);
+        fb.ret(v);
+        fb.finish_into(&mut m);
+
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).unwrap();
+        assert_eq!(print_module(&m2), p1);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = parse_module("fn f(params=0) {\n  entry (bb0):\n    garbage here\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("garbage"));
+
+        let e = parse_module("not a function").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_order_block_ids() {
+        let e = parse_module("fn f(params=0) {\n  a (bb1):\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("out of order"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let e = parse_module("fn f(params=0) {\n  a (bb0):\n    r0 = const 1\n}").unwrap_err();
+        assert!(e.message.contains("no terminator"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let m = parse_module(
+            "# leading comment\n\nfn f(params=0) {\n  // block\n  entry (bb0):\n    ret\n}\n",
+        )
+        .unwrap();
+        assert_eq!(m.functions.len(), 1);
+    }
+
+    #[test]
+    fn clock_annotations_in_headers_are_ignored() {
+        let m = parse_module(
+            "fn f(params=0) {\n  entry (bb0):    clock = 42\n    ret\n}\n",
+        )
+        .unwrap();
+        assert_eq!(m.functions[0].blocks[0].name, "entry");
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates() {
+        let m = parse_module(
+            "fn f(params=1) {\n  entry (bb0):\n    r1 = load [r0+-3]\n    store [r0+-5] = -17\n    ret -1\n}\n",
+        )
+        .unwrap();
+        let b = &m.functions[0].blocks[0];
+        assert_eq!(
+            b.insts[0],
+            Inst::Load {
+                dst: Reg(1),
+                addr: Reg(0),
+                offset: -3
+            }
+        );
+        assert_eq!(
+            b.insts[1],
+            Inst::Store {
+                src: Operand::Imm(-17),
+                addr: Reg(0),
+                offset: -5
+            }
+        );
+    }
+}

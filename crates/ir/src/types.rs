@@ -1,0 +1,104 @@
+//! Core identifier types used throughout the IR.
+//!
+//! All identifiers are thin newtype wrappers over `u32` indices into the
+//! arena-style vectors owned by [`crate::Module`] and [`crate::Function`].
+//! They are `Copy`, ordered, and hashable so analyses can use them freely as
+//! map keys.
+
+use std::fmt;
+
+/// Identifies a function within a [`crate::Module`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FuncId(pub u32);
+
+/// Identifies a basic block within a [`crate::Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// A virtual register within a function frame.
+///
+/// The IR is a (non-SSA) register machine: registers are mutable slots local
+/// to a call frame, numbered from zero. Function parameters occupy the first
+/// `Function::params` registers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u32);
+
+/// Identifies a barrier object. Barriers are few and statically numbered.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BarrierId(pub u32);
+
+impl FuncId {
+    /// Index into `Module::functions`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Index into `Function::blocks`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Reg {
+    /// Index into an interpreter register file.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BarrierId {
+    /// Index into a barrier table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@f{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for BarrierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bar{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(BlockId(0) < BlockId(1));
+        assert!(FuncId(3) > FuncId(2));
+        assert_eq!(Reg(7).index(), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId(1).to_string(), "@f1");
+        assert_eq!(BlockId(4).to_string(), "bb4");
+        assert_eq!(Reg(2).to_string(), "r2");
+        assert_eq!(BarrierId(0).to_string(), "bar0");
+    }
+}

@@ -1,0 +1,196 @@
+//! Clock-divergence audit.
+//!
+//! The paper's precise transformations (base insertion, O2a, and O4 on full
+//! iterations) keep every acyclic path's clock total equal to the true cost
+//! of the instructions on it; the approximate ones (O1, O2b, O3, O4's
+//! loop-exit path) bound the error. This module measures the divergence of a
+//! plan against the split module's true per-block costs so tests can assert
+//! both properties.
+
+use crate::cost::CostModel;
+use crate::plan::{block_clock_amount, ModulePlan};
+use detlock_ir::analysis::cfg::Cfg;
+use detlock_ir::analysis::dom::DomTree;
+use detlock_ir::analysis::loops::LoopInfo;
+use detlock_ir::analysis::paths::{enumerate_paths, Step};
+use detlock_ir::module::Module;
+use detlock_ir::types::FuncId;
+
+/// Divergence of one function's plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDivergence {
+    /// The function.
+    pub func: FuncId,
+    /// Largest |planned − true| over all enumerated acyclic paths.
+    pub max_abs: u64,
+    /// Largest |planned − true| / true over all paths (0 when true is 0).
+    pub max_frac: f64,
+    /// Number of paths compared.
+    pub paths: usize,
+}
+
+/// Audit every unclocked function of the split module against its plan.
+///
+/// Paths are acyclic (back edges are not followed) and capped at
+/// `max_paths`; functions exceeding the cap are skipped (`None` entries).
+/// Clocked functions are skipped too — their divergence is governed by the
+/// `is_clockable` tightness criteria at the call sites instead.
+pub fn audit(
+    split: &Module,
+    plan: &ModulePlan,
+    cost: &CostModel,
+    max_paths: usize,
+) -> Vec<Option<FuncDivergence>> {
+    let mut out = Vec::with_capacity(split.functions.len());
+    for (fid, func) in split.iter_funcs() {
+        if plan.clocked[fid.index()].is_some() {
+            out.push(None);
+            continue;
+        }
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        let fplan = &plan.funcs[fid.index()];
+
+        // Enumerate paths once over pairs (planned, true) by packing both
+        // sums: enumerate twice with identical policies.
+        let policy = |from, to| {
+            if loops.is_back_edge(from, to) {
+                Step::StopBefore
+            } else {
+                Step::Follow
+            }
+        };
+        let planned = enumerate_paths(&cfg, func.entry(), max_paths, |b| fplan.clock(b), policy);
+        let truth = enumerate_paths(
+            &cfg,
+            func.entry(),
+            max_paths,
+            |b| block_clock_amount(func.block(b), cost, &plan.clocked),
+            policy,
+        );
+        let (planned, truth) = match (planned, truth) {
+            (Ok(p), Ok(t)) => (p, t),
+            _ => {
+                out.push(None);
+                continue;
+            }
+        };
+        debug_assert_eq!(planned.totals.len(), truth.totals.len());
+        let mut max_abs = 0u64;
+        let mut max_frac = 0f64;
+        for (&p, &t) in planned.totals.iter().zip(&truth.totals) {
+            let d = p.abs_diff(t);
+            max_abs = max_abs.max(d);
+            if t > 0 {
+                max_frac = max_frac.max(d as f64 / t as f64);
+            } else if d > 0 {
+                max_frac = f64::INFINITY;
+            }
+        }
+        out.push(Some(FuncDivergence {
+            func: fid,
+            max_abs,
+            max_frac,
+            paths: planned.totals.len(),
+        }));
+    }
+    out
+}
+
+/// True when every audited function has zero divergence (precise plans).
+pub fn is_exact(audits: &[Option<FuncDivergence>]) -> bool {
+    audits
+        .iter()
+        .flatten()
+        .all(|d| d.max_abs == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{instrument, OptConfig, OptLevel};
+    use crate::plan::Placement;
+    use detlock_ir::builder::FunctionBuilder;
+    use detlock_ir::inst::CmpOp;
+
+    /// Branchy function with uneven arms plus a loop.
+    fn module() -> Module {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 1);
+        fb.block("entry");
+        let t = fb.create_block("t");
+        let e = fb.create_block("e");
+        let mrg = fb.create_block("m");
+        let head = fb.create_block("head");
+        let body = fb.create_block("body");
+        let done = fb.create_block("done");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.compute(9);
+        fb.br(mrg);
+        fb.switch_to(e);
+        fb.compute(2);
+        fb.br(mrg);
+        fb.switch_to(mrg);
+        let i = fb.iconst(0);
+        fb.br(head);
+        fb.switch_to(head);
+        let c2 = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c2, body, done);
+        fb.switch_to(body);
+        fb.bin_to(detlock_ir::BinOp::Add, i, i, 1);
+        fb.br(head);
+        fb.switch_to(done);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+        m
+    }
+
+    #[test]
+    fn base_plan_is_exact() {
+        let m = module();
+        let cost = CostModel::default();
+        let inst = instrument(&m, &cost, &OptConfig::none(), Placement::Start, &[]);
+        let audits = audit(&inst.module, &inst.plan, &cost, 4096);
+        assert!(is_exact(&audits), "{audits:?}");
+    }
+
+    #[test]
+    fn opt2a_only_is_exact() {
+        let m = module();
+        let cost = CostModel::default();
+        let mut cfg = OptConfig::none();
+        cfg.o2 = true;
+        // Disable 2b's approximation by setting its bound to zero.
+        cfg.opt2b.max_divergence = 0.0;
+        let inst = instrument(&m, &cost, &cfg, Placement::Start, &[]);
+        let audits = audit(&inst.module, &inst.plan, &cost, 4096);
+        assert!(is_exact(&audits), "{audits:?}");
+    }
+
+    #[test]
+    fn full_pipeline_divergence_is_bounded() {
+        let m = module();
+        let cost = CostModel::default();
+        let inst = instrument(
+            &m,
+            &cost,
+            &OptConfig::only(OptLevel::All),
+            Placement::Start,
+            &[],
+        );
+        let audits = audit(&inst.module, &inst.plan, &cost, 4096);
+        for d in audits.iter().flatten() {
+            // O2b's bound is 1/10 per move; O3/O4 introduce comparable
+            // bounded error. Across a whole function allow 50%.
+            assert!(
+                d.max_frac <= 0.5,
+                "divergence too large: {:?}",
+                d
+            );
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Optimization 2a — precise conditional-block clock motion (paper §IV-B1,
+//! Fig. 6).
+//!
+//! Two rewrite rules, both *exact* (no path's clock total changes):
+//!
+//! * **Cond-node rule** — if a block has two or more successors, each
+//!   reached only through it (the parent dominates them; they are not merge
+//!   blocks), the minimum successor clock is hoisted into the parent and
+//!   subtracted from every successor, zeroing at least one of them and
+//!   advancing the clock ahead of time.
+//! * **Merge-node rule** — if every predecessor of a merge block has that
+//!   block as its only successor, the merge block's clock is pushed up into
+//!   all predecessors (`pushClockUp`), recursively.
+//!
+//! Neither rule fires across blocks with unmovable clock code (unclocked
+//! calls / sync ops — `pinned`), across back edges, or on loop headers, per
+//! the paper's `meetsOpt2a*Requirements`.
+
+use crate::plan::FuncPlan;
+use detlock_ir::analysis::cfg::Cfg;
+use detlock_ir::analysis::loops::LoopInfo;
+use detlock_ir::types::BlockId;
+
+/// Context for one function's Opt2a run.
+pub struct Opt2a<'a> {
+    cfg: &'a Cfg,
+    loops: &'a LoopInfo,
+}
+
+impl<'a> Opt2a<'a> {
+    /// Create the pass context.
+    pub fn new(cfg: &'a Cfg, loops: &'a LoopInfo) -> Self {
+        Opt2a { cfg, loops }
+    }
+
+    /// `meetsOpt2aCondNodeRequirements`: parent with ≥2 successors, all of
+    /// which are single-predecessor (dominated, not merge blocks), none
+    /// pinned, parent not pinned, no back edges involved.
+    fn meets_cond_node_req(&self, bb: BlockId, plan: &FuncPlan) -> bool {
+        let succs = self.cfg.succs(bb);
+        if succs.len() < 2 || plan.is_pinned(bb) {
+            return false;
+        }
+        for &s in succs {
+            if s == bb
+                || plan.is_pinned(s)
+                || self.cfg.preds(s) != [bb]
+                || self.loops.is_back_edge(bb, s)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `meetsOpt2aMergeNodeRequirements`: every predecessor's only successor
+    /// is `bb`; nothing pinned; `bb` is not a loop header and not the entry.
+    fn meets_merge_node_req(&self, bb: BlockId, plan: &FuncPlan) -> bool {
+        if bb == self.dom_entry() || plan.is_pinned(bb) || self.loops.is_loop_header(bb) {
+            return false;
+        }
+        let preds = self.cfg.preds(bb);
+        if preds.is_empty() {
+            return false;
+        }
+        for &p in preds {
+            if plan.is_pinned(p) || self.cfg.succs(p) != [bb] || self.loops.is_back_edge(p, bb) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dom_entry(&self) -> BlockId {
+        // Entry is always block 0 (see Function::entry).
+        BlockId(0)
+    }
+
+    /// `pushClockUp` (paper Fig. 6 lines 24–34): move `bb`'s clock into all
+    /// predecessors, recursing while they qualify too.
+    fn push_clock_up(&self, bb: BlockId, plan: &mut FuncPlan, modified: &mut bool) {
+        let clock = plan.clock(bb);
+        if clock == 0 {
+            return;
+        }
+        plan.set_clock(bb, 0);
+        *modified = true;
+        let preds: Vec<BlockId> = self.cfg.preds(bb).to_vec();
+        for p in preds {
+            plan.set_clock(p, plan.clock(p) + clock);
+            if self.meets_merge_node_req(p, plan) {
+                self.push_clock_up(p, plan, modified);
+            }
+        }
+    }
+
+    /// `updateOpt2aClocks`: one DFS sweep from the entry applying both rules.
+    fn sweep(&self, plan: &mut FuncPlan) -> bool {
+        let mut modified = false;
+        let mut visited = vec![false; self.cfg.len()];
+        let mut stack = vec![self.dom_entry()];
+        visited[self.dom_entry().index()] = true;
+        while let Some(bb) = stack.pop() {
+            if self.meets_cond_node_req(bb, plan) {
+                let min = self
+                    .cfg
+                    .succs(bb)
+                    .iter()
+                    .map(|&s| plan.clock(s))
+                    .min()
+                    .unwrap_or(0);
+                if min > 0 {
+                    modified = true;
+                    plan.set_clock(bb, plan.clock(bb) + min);
+                    for &s in self.cfg.succs(bb) {
+                        plan.set_clock(s, plan.clock(s) - min);
+                    }
+                }
+            } else if self.meets_merge_node_req(bb, plan) {
+                self.push_clock_up(bb, plan, &mut modified);
+            }
+            for &s in self.cfg.succs(bb) {
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        modified
+    }
+
+    /// `APPLYOPT2A`: iterate sweeps to a fixpoint.
+    pub fn run(&self, plan: &mut FuncPlan) {
+        while self.sweep(plan) {}
+    }
+}
+
+/// Convenience: run Opt2a over one function plan.
+pub fn apply_opt2a(cfg: &Cfg, loops: &LoopInfo, plan: &mut FuncPlan) {
+    Opt2a::new(cfg, loops).run(plan);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::analysis::dom::DomTree;
+    use detlock_ir::builder::FunctionBuilder;
+    use detlock_ir::inst::CmpOp;
+    use detlock_ir::module::Function;
+
+    fn analyses(f: &Function) -> (Cfg, LoopInfo) {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        (cfg, loops)
+    }
+
+    /// entry(0) -> then(1), else(2) -> merge(3).
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("d", 1);
+        fb.block("entry");
+        let t = fb.create_block("then");
+        let e = fb.create_block("else");
+        let m = fb.create_block("merge");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, t, e);
+        fb.switch_to(t);
+        fb.br(m);
+        fb.switch_to(e);
+        fb.br(m);
+        fb.switch_to(m);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    fn plan_with(clocks: Vec<u64>) -> FuncPlan {
+        let n = clocks.len();
+        FuncPlan {
+            block_clock: clocks,
+            pinned: vec![false; n],
+        }
+    }
+
+    /// Path totals over all acyclic entry paths must be preserved exactly —
+    /// Opt2a is the paper's *precise* optimization.
+    fn path_totals(f: &Function, plan: &FuncPlan) -> Vec<u64> {
+        use detlock_ir::analysis::paths::{enumerate_paths, Step};
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        let mut t = enumerate_paths(
+            &cfg,
+            f.entry(),
+            4096,
+            |b| plan.clock(b),
+            |from, to| {
+                if loops.is_back_edge(from, to) {
+                    Step::StopBefore
+                } else {
+                    Step::Follow
+                }
+            },
+        )
+        .unwrap()
+        .totals;
+        t.sort_unstable();
+        t
+    }
+
+    #[test]
+    fn cond_rule_hoists_min_into_parent() {
+        let f = diamond();
+        let (cfg, loops) = analyses(&f);
+        // entry=10, then=4, else=9, merge=0 (merge rule won't fire: merge is
+        // a real merge but its clock is 0; zero push is a no-op).
+        let mut plan = plan_with(vec![10, 4, 9, 0]);
+        let before = path_totals(&f, &plan);
+        apply_opt2a(&cfg, &loops, &mut plan);
+        assert_eq!(plan.block_clock, vec![14, 0, 5, 0]);
+        assert_eq!(path_totals(&f, &plan), before);
+    }
+
+    #[test]
+    fn merge_rule_pushes_up_then_cond_rule_finishes() {
+        let f = diamond();
+        let (cfg, loops) = analyses(&f);
+        // merge=6 pushes into then & else, then min(4+6, 9+6)=10 hoists up.
+        let mut plan = plan_with(vec![10, 4, 9, 6]);
+        let before = path_totals(&f, &plan);
+        apply_opt2a(&cfg, &loops, &mut plan);
+        assert_eq!(plan.block_clock, vec![20, 0, 5, 0]);
+        assert_eq!(path_totals(&f, &plan), before);
+    }
+
+    #[test]
+    fn pinned_parent_blocks_cond_rule() {
+        let f = diamond();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![10, 4, 9, 0]);
+        plan.pinned[0] = true;
+        apply_opt2a(&cfg, &loops, &mut plan);
+        assert_eq!(plan.block_clock, vec![10, 4, 9, 0]);
+    }
+
+    #[test]
+    fn pinned_successor_blocks_cond_rule() {
+        let f = diamond();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![10, 4, 9, 0]);
+        plan.pinned[1] = true;
+        apply_opt2a(&cfg, &loops, &mut plan);
+        // Cond rule blocked; merge rule has nothing (merge clock 0).
+        assert_eq!(plan.block_clock, vec![10, 4, 9, 0]);
+    }
+
+    #[test]
+    fn merge_rule_blocked_when_pred_has_other_successors() {
+        // entry -> {a, merge}; a -> merge. a's other path means entry's
+        // successor set isn't {merge} only... here pred `entry` has two
+        // successors so pushing merge's clock up would double-count.
+        let mut fb = FunctionBuilder::new("v", 1);
+        fb.block("entry");
+        let a = fb.create_block("a");
+        let m = fb.create_block("merge");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, a, m);
+        fb.switch_to(a);
+        fb.br(m);
+        fb.switch_to(m);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (cfg, loops) = analyses(&f);
+        // merge has clock 7. preds = {entry, a}; entry's succs = {a, merge}
+        // ≠ {merge}, so the merge rule must not fire.
+        let mut plan = plan_with(vec![1, 2, 7]);
+        let before = path_totals(&f, &plan);
+        apply_opt2a(&cfg, &loops, &mut plan);
+        assert_eq!(path_totals(&f, &plan), before);
+        assert_eq!(plan.clock(BlockId(2)), 7);
+    }
+
+    #[test]
+    fn loop_header_not_merged_up() {
+        // entry -> header ; latch -> header (back edge). Header is a merge
+        // by pred count but is a loop header: rule must not fire.
+        let mut fb = FunctionBuilder::new("l", 1);
+        fb.block("entry");
+        let h = fb.create_block("header");
+        let b = fb.create_block("body");
+        let x = fb.create_block("exit");
+        let p = fb.param(0);
+        let i = fb.iconst(0);
+        fb.br(h);
+        fb.switch_to(h);
+        let c = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c, b, x);
+        fb.switch_to(b);
+        fb.br(h);
+        fb.switch_to(x);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![3, 5, 2, 1]);
+        apply_opt2a(&cfg, &loops, &mut plan);
+        // The cond rule may hoist min(body, exit) = 1 into the header
+        // (exact), but the merge rule must NOT push the header's clock up
+        // into entry + latch (it is a loop header): entry stays put.
+        assert_eq!(plan.clock(BlockId(0)), 3);
+        assert_eq!(plan.clock(h), 6);
+    }
+
+    #[test]
+    fn nested_diamonds_reach_fixpoint_precisely() {
+        // Two stacked diamonds; totals preserved, entry accumulates the
+        // common minimum of everything below.
+        let mut fb = FunctionBuilder::new("nn", 1);
+        fb.block("entry");
+        let t1 = fb.create_block("t1");
+        let e1 = fb.create_block("e1");
+        let m1 = fb.create_block("m1");
+        let t2 = fb.create_block("t2");
+        let e2 = fb.create_block("e2");
+        let m2 = fb.create_block("m2");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, t1, e1);
+        fb.switch_to(t1);
+        fb.br(m1);
+        fb.switch_to(e1);
+        fb.br(m1);
+        fb.switch_to(m1);
+        let c2 = fb.cmp(CmpOp::Gt, p, 5);
+        fb.cond_br(c2, t2, e2);
+        fb.switch_to(t2);
+        fb.br(m2);
+        fb.switch_to(e2);
+        fb.br(m2);
+        fb.switch_to(m2);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![1, 5, 3, 2, 8, 6, 4]);
+        let before = path_totals(&f, &plan);
+        apply_opt2a(&cfg, &loops, &mut plan);
+        assert_eq!(path_totals(&f, &plan), before);
+        // Both diamonds should have at least one zero-clock arm.
+        assert!(plan.clock(t1) == 0 || plan.clock(e1) == 0);
+        assert!(plan.clock(t2) == 0 || plan.clock(e2) == 0);
+        // m2's clock was pushed up (it qualifies: preds t2,e2 single-succ).
+        assert_eq!(plan.clock(m2), 0);
+    }
+
+    #[test]
+    fn idempotent_at_fixpoint() {
+        let f = diamond();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![10, 4, 9, 6]);
+        apply_opt2a(&cfg, &loops, &mut plan);
+        let after_once = plan.block_clock.clone();
+        apply_opt2a(&cfg, &loops, &mut plan);
+        assert_eq!(plan.block_clock, after_once);
+    }
+}

@@ -1,0 +1,356 @@
+//! Optimization 2b — approximate clock motion across short-circuit
+//! conditionals (paper §IV-B2, Fig. 9).
+//!
+//! Pattern (the paper's `if.end21` / `lor.lhs.false23` / `if.then28`):
+//!
+//! ```text
+//!        upper ──────────┐
+//!          │             ▼
+//!        middle ───▶ endSucc        (middle may also exit elsewhere,
+//!          │                         e.g. to `for.inc`)
+//!          ▼
+//!        elsewhere
+//! ```
+//!
+//! `upper` branches to `middle` (its only predecessor) and to `endSucc`;
+//! `middle` also branches to `endSucc`. Clock can be moved between `upper`
+//! and `endSucc`; the move is exact on the `upper→endSucc` and
+//! `upper→middle→endSucc` paths and diverges only on `middle`'s *other*
+//! successors. The move is applied when that divergence is below one tenth
+//! (paper: "if the divergence is less than one tenth, we proceed" — the
+//! example computes 1/93).
+//!
+//! Direction (paper §IV-B2):
+//! * default — remove from the **lower** block (`endSucc`) and add to
+//!   `upper`, incrementing the clock ahead of time;
+//! * if `upper` is at a higher loop depth than `endSucc` — remove from
+//!   `upper` instead (it is on the more critical path);
+//! * if `endSucc`'s clock exceeds `upper`'s and `middle` has more than one
+//!   successor — also remove from `upper` (moving the larger clock up would
+//!   cause a larger divergence).
+
+use crate::plan::FuncPlan;
+use detlock_ir::analysis::cfg::Cfg;
+use detlock_ir::analysis::loops::LoopInfo;
+use detlock_ir::types::BlockId;
+
+/// Tunables for Opt2b.
+#[derive(Debug, Clone, Copy)]
+pub struct Opt2bParams {
+    /// Maximum tolerated divergence fraction (paper: 1/10).
+    pub max_divergence: f64,
+}
+
+impl Default for Opt2bParams {
+    fn default() -> Self {
+        Opt2bParams {
+            max_divergence: 0.1,
+        }
+    }
+}
+
+/// The match result of `meetsOpt2bRequirements`.
+struct Opt2bMatch {
+    sw_succ: BlockId,
+    end_succ: BlockId,
+}
+
+/// Context for one function's Opt2b run.
+pub struct Opt2b<'a> {
+    cfg: &'a Cfg,
+    loops: &'a LoopInfo,
+    params: Opt2bParams,
+}
+
+impl<'a> Opt2b<'a> {
+    /// Create the pass context.
+    pub fn new(cfg: &'a Cfg, loops: &'a LoopInfo, params: Opt2bParams) -> Self {
+        Opt2b { cfg, loops, params }
+    }
+
+    /// `meetsOpt2bRequirements` (paper Fig. 9 line 6).
+    fn meets_requirements(&self, bb: BlockId, plan: &FuncPlan) -> Option<Opt2bMatch> {
+        if plan.is_pinned(bb) {
+            return None;
+        }
+        let succs = self.cfg.succs(bb);
+        if succs.len() != 2 {
+            return None;
+        }
+        for &(a, b) in &[(succs[0], succs[1]), (succs[1], succs[0])] {
+            let (sw, end) = (a, b);
+            // middle: only reachable through bb, itself branching, one of
+            // its successors being endSucc.
+            if self.cfg.preds(sw) != [bb] || sw == bb || end == bb {
+                continue;
+            }
+            let sw_succs = self.cfg.succs(sw);
+            if sw_succs.len() < 2 || !sw_succs.contains(&end) {
+                continue;
+            }
+            // endSucc joins exactly {bb, middle}; moving clock in or out of
+            // it must not perturb paths arriving from elsewhere.
+            let mut ep = self.cfg.preds(end).to_vec();
+            ep.sort_unstable();
+            let mut expect = vec![bb, sw];
+            expect.sort_unstable();
+            if ep != expect {
+                continue;
+            }
+            if plan.is_pinned(end) || plan.is_pinned(sw) {
+                continue;
+            }
+            if self.loops.is_loop_header(end)
+                || self.loops.is_back_edge(bb, end)
+                || self.loops.is_back_edge(sw, end)
+                || self.loops.is_back_edge(bb, sw)
+            {
+                continue;
+            }
+            return Some(Opt2bMatch {
+                sw_succ: sw,
+                end_succ: end,
+            });
+        }
+        None
+    }
+
+    /// Divergence denominator: the clock mass of the region the divergent
+    /// path runs through. The paper's example relates the moved amount to
+    /// the surrounding path's total (1/93); we approximate that total with
+    /// the innermost loop body containing `upper` when there is one
+    /// (divergent paths in hot code iterate the loop), otherwise with the
+    /// function's whole clock mass.
+    fn denominator(&self, upper: BlockId, plan: &FuncPlan) -> u64 {
+        if let Some(l) = self.loops.innermost_loop_of(upper) {
+            let s: u64 = l.blocks.iter().map(|&b| plan.clock(b)).sum();
+            s.max(1)
+        } else {
+            plan.total_mass().max(1)
+        }
+    }
+
+    /// `modifyClocks` (paper Fig. 9 line 8): pick the direction, check the
+    /// divergence bound, apply. Returns whether a move happened.
+    fn modify_clocks(&self, bb: BlockId, m: &Opt2bMatch, plan: &mut FuncPlan) -> bool {
+        let upper = bb;
+        let lower = m.end_succ;
+        let sw_multi_exit = self.cfg.succs(m.sw_succ).len() > 1;
+
+        // Direction per §IV-B2.
+        let move_upper_down = self.loops.depth(upper) > self.loops.depth(lower)
+            || (plan.clock(lower) > plan.clock(upper) && sw_multi_exit);
+
+        let (from, to) = if move_upper_down {
+            (upper, lower)
+        } else {
+            (lower, upper)
+        };
+        let moved = plan.clock(from);
+        if moved == 0 {
+            return false;
+        }
+
+        // The move is exact when middle's only successor is endSucc.
+        if sw_multi_exit {
+            let denom = self.denominator(upper, plan) as f64;
+            if (moved as f64) / denom >= self.params.max_divergence {
+                return false;
+            }
+        }
+        plan.set_clock(to, plan.clock(to) + moved);
+        plan.set_clock(from, 0);
+        true
+    }
+
+    /// `APPLYOPT2B`: one DFS from the entry (paper Fig. 9 lines 23–28).
+    pub fn run(&self, plan: &mut FuncPlan) {
+        let mut visited = vec![false; self.cfg.len()];
+        let mut stack = vec![BlockId(0)];
+        visited[0] = true;
+        while let Some(bb) = stack.pop() {
+            if let Some(m) = self.meets_requirements(bb, plan) {
+                self.modify_clocks(bb, &m, plan);
+            }
+            for &s in self.cfg.succs(bb) {
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: run Opt2b over one function plan.
+pub fn apply_opt2b(cfg: &Cfg, loops: &LoopInfo, params: Opt2bParams, plan: &mut FuncPlan) {
+    Opt2b::new(cfg, loops, params).run(plan);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::analysis::dom::DomTree;
+    use detlock_ir::builder::FunctionBuilder;
+    use detlock_ir::inst::CmpOp;
+    use detlock_ir::module::Function;
+
+    fn analyses(f: &Function) -> (Cfg, LoopInfo) {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        (cfg, loops)
+    }
+
+    fn plan_with(clocks: Vec<u64>) -> FuncPlan {
+        let n = clocks.len();
+        FuncPlan {
+            block_clock: clocks,
+            pinned: vec![false; n],
+        }
+    }
+
+    /// The paper's shape: upper(0) -> {middle(1), end(2)};
+    /// middle -> {end, other(3)}; end -> exit(4); other -> exit.
+    fn short_circuit() -> Function {
+        let mut fb = FunctionBuilder::new("sc", 1);
+        fb.block("if.end21");
+        let mid = fb.create_block("lor.lhs.false23");
+        let end = fb.create_block("if.then28");
+        let other = fb.create_block("for.inc");
+        let exit = fb.create_block("exit");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, mid, end);
+        fb.switch_to(mid);
+        let c2 = fb.cmp(CmpOp::Gt, p, 5);
+        fb.cond_br(c2, end, other);
+        fb.switch_to(end);
+        fb.br(exit);
+        fb.switch_to(other);
+        fb.br(exit);
+        fb.switch_to(exit);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn default_direction_moves_lower_up() {
+        let f = short_circuit();
+        let (cfg, loops) = analyses(&f);
+        // upper=1, middle=91, end=1: moving end's 1 up diverges by
+        // 1/(total=100) = 1% < 10%.
+        let mut plan = plan_with(vec![1, 91, 1, 3, 4]);
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.clock(BlockId(0)), 2, "upper gains end's clock");
+        assert_eq!(plan.clock(BlockId(2)), 0, "lower removed");
+    }
+
+    #[test]
+    fn divergence_bound_blocks_large_moves() {
+        let f = short_circuit();
+        let (cfg, loops) = analyses(&f);
+        // end's clock (50) vs total 100 → divergence 50% ≥ 10%: blocked.
+        // (Direction flips to upper→lower because lower > upper, but moving
+        // upper's 20 is still 20% ≥ 10%: also blocked.)
+        let mut plan = plan_with(vec![20, 20, 50, 5, 5]);
+        let before = plan.block_clock.clone();
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+
+    #[test]
+    fn lower_bigger_than_upper_moves_upper_down() {
+        let f = short_circuit();
+        let (cfg, loops) = analyses(&f);
+        // lower(6) > upper(2) and middle has 2 successors → move upper down.
+        // Divergence 2/100 = 2% < 10%.
+        let mut plan = plan_with(vec![2, 86, 6, 3, 3]);
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.clock(BlockId(0)), 0, "upper removed");
+        assert_eq!(plan.clock(BlockId(2)), 8, "lower gains upper's clock");
+    }
+
+    #[test]
+    fn pinned_blocks_prevent_the_move() {
+        let f = short_circuit();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![1, 91, 1, 3, 4]);
+        plan.pinned[2] = true;
+        let before = plan.block_clock.clone();
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+
+    #[test]
+    fn no_match_on_plain_diamond() {
+        // middle's only successor is the merge — that is Opt2a's precise
+        // territory; 2b still applies (exact move, no divergence check), per
+        // the paper: "we could have straight away removed clock updating
+        // code". Build: upper -> {mid, end}; mid -> {end} only.
+        let mut fb = FunctionBuilder::new("d", 1);
+        fb.block("upper");
+        let mid = fb.create_block("mid");
+        let end = fb.create_block("end");
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, mid, end);
+        fb.switch_to(mid);
+        fb.br(end);
+        fb.switch_to(end);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (cfg, loops) = analyses(&f);
+        // mid has a single successor → pattern requires ≥2 succ of middle:
+        // no match, clocks unchanged.
+        let mut plan = plan_with(vec![5, 2, 9]);
+        let before = plan.block_clock.clone();
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+
+    #[test]
+    fn loop_depth_rule_moves_upper_down() {
+        // Put the pattern inside a loop where upper is in the loop but
+        // endSucc is outside: upper at depth 1, end at depth 0 → remove from
+        // upper (paper: "the upper block is at a higher loop depth").
+        let mut fb = FunctionBuilder::new("ld", 1);
+        fb.block("entry"); // 0
+        let header = fb.create_block("header"); // 1 (upper)
+        let mid = fb.create_block("mid"); // 2
+        let end = fb.create_block("end"); // 3 (outside loop)
+        let latch = fb.create_block("latch"); // 4
+        let p = fb.param(0);
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, mid, end);
+        fb.switch_to(mid);
+        let c2 = fb.cmp(CmpOp::Gt, p, 5);
+        fb.cond_br(c2, end, latch);
+        fb.switch_to(latch);
+        fb.br(header);
+        fb.switch_to(end);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (cfg, loops) = analyses(&f);
+        assert_eq!(loops.depth(header), 1);
+        assert_eq!(loops.depth(end), 0);
+        // upper=2, mid=90, end=5, latch=3. Loop mass = 2+90+3=95;
+        // divergence 2/95 ≈ 2.1% < 10% → move upper's 2 down into end.
+        let mut plan = plan_with(vec![1, 2, 90, 5, 3]);
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.clock(header), 0);
+        assert_eq!(plan.clock(end), 7);
+    }
+
+    #[test]
+    fn zero_clock_move_is_noop() {
+        let f = short_circuit();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![5, 91, 0, 3, 4]);
+        let before = plan.block_clock.clone();
+        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+}

@@ -1,0 +1,190 @@
+//! Optimization 4 — *Loops* (paper §IV-D).
+//!
+//! Loop latches (blocks whose back edge jumps to the header) execute once
+//! per iteration right before the header. When the latch's clock is small —
+//! below a threshold and below the header's clock — it is merged into the
+//! header and the latch's clock code removed, saving one clock update per
+//! iteration (the paper's example merges `for.inc` into `for.cond`).
+//!
+//! The merge is exact for every full iteration (each iteration passes
+//! through both blocks); only a path that leaves the loop between header and
+//! latch diverges, once per loop execution.
+
+use crate::plan::FuncPlan;
+use detlock_ir::analysis::cfg::Cfg;
+use detlock_ir::analysis::loops::LoopInfo;
+
+/// Tunables for Opt4.
+#[derive(Debug, Clone, Copy)]
+pub struct Opt4Params {
+    /// Latch clocks at or above this are left alone ("less than a certain
+    /// threshold value", §IV-D).
+    pub threshold: u64,
+}
+
+impl Default for Opt4Params {
+    fn default() -> Self {
+        Opt4Params { threshold: 16 }
+    }
+}
+
+/// Apply Opt4 to one function plan.
+///
+/// Requirements per back edge `(latch, header)`:
+/// * the header is the latch's **only** successor (merging a conditional
+///   latch would diverge on the exit path every iteration);
+/// * neither block is pinned;
+/// * `clock(latch) < threshold` and `clock(latch) < clock(header)`.
+pub fn apply_opt4(cfg: &Cfg, loops: &LoopInfo, params: Opt4Params, plan: &mut FuncPlan) {
+    for &(latch, header) in &loops.back_edges {
+        if plan.is_pinned(latch) || plan.is_pinned(header) {
+            continue;
+        }
+        if cfg.succs(latch) != [header] {
+            continue;
+        }
+        let lc = plan.clock(latch);
+        let hc = plan.clock(header);
+        if lc == 0 || lc >= params.threshold || lc >= hc {
+            continue;
+        }
+        plan.set_clock(header, hc + lc);
+        plan.set_clock(latch, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::analysis::dom::DomTree;
+    use detlock_ir::builder::FunctionBuilder;
+    use detlock_ir::inst::CmpOp;
+    use detlock_ir::module::Function;
+    use detlock_ir::types::BlockId;
+
+    fn analyses(f: &Function) -> (Cfg, LoopInfo) {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg);
+        let loops = LoopInfo::compute(&cfg, &dom);
+        (cfg, loops)
+    }
+
+    fn plan_with(clocks: Vec<u64>) -> FuncPlan {
+        let n = clocks.len();
+        FuncPlan {
+            block_clock: clocks,
+            pinned: vec![false; n],
+        }
+    }
+
+    /// entry(0) -> cond(1) <-> {body(2) -> inc(3)} ; cond -> exit(4).
+    fn for_loop() -> Function {
+        let mut fb = FunctionBuilder::new("for", 1);
+        fb.block("entry");
+        let cond = fb.create_block("for.cond");
+        let body = fb.create_block("for.body");
+        let inc = fb.create_block("for.inc");
+        let exit = fb.create_block("for.end");
+        let i = fb.iconst(0);
+        fb.br(cond);
+        fb.switch_to(cond);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Lt, i, p);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(inc);
+        fb.switch_to(inc);
+        fb.bin_to(detlock_ir::BinOp::Add, i, i, 1);
+        fb.br(cond);
+        fb.switch_to(exit);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn latch_merged_into_header() {
+        let f = for_loop();
+        let (cfg, loops) = analyses(&f);
+        // inc=3 < threshold and < cond=5 → merged.
+        let mut plan = plan_with(vec![2, 5, 7, 3, 1]);
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.clock(BlockId(1)), 8);
+        assert_eq!(plan.clock(BlockId(3)), 0);
+        assert_eq!(plan.clock(BlockId(2)), 7, "body untouched");
+    }
+
+    #[test]
+    fn latch_bigger_than_header_not_merged() {
+        let f = for_loop();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![2, 3, 7, 5, 1]);
+        let before = plan.block_clock.clone();
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+
+    #[test]
+    fn latch_above_threshold_not_merged() {
+        let f = for_loop();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![2, 100, 7, 50, 1]);
+        let before = plan.block_clock.clone();
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+        // But a raised threshold allows it.
+        apply_opt4(&cfg, &loops, Opt4Params { threshold: 64 }, &mut plan);
+        assert_eq!(plan.clock(BlockId(1)), 150);
+        assert_eq!(plan.clock(BlockId(3)), 0);
+    }
+
+    #[test]
+    fn pinned_latch_or_header_not_merged() {
+        let f = for_loop();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![2, 5, 7, 3, 1]);
+        plan.pinned[3] = true;
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.clock(BlockId(3)), 3);
+
+        let mut plan = plan_with(vec![2, 5, 7, 3, 1]);
+        plan.pinned[1] = true;
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.clock(BlockId(3)), 3);
+    }
+
+    #[test]
+    fn conditional_latch_not_merged() {
+        // while-style loop: body conditionally continues or exits; the
+        // latch has two successors → skipped.
+        let mut fb = FunctionBuilder::new("w", 1);
+        fb.block("entry");
+        let h = fb.create_block("head");
+        let body = fb.create_block("body");
+        let x = fb.create_block("exit");
+        fb.br(h);
+        fb.switch_to(h);
+        fb.br(body);
+        fb.switch_to(body);
+        let p = fb.param(0);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, h, x);
+        fb.switch_to(x);
+        fb.ret_void();
+        let f = fb.finish().unwrap();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![1, 9, 3, 1]);
+        let before = plan.block_clock.clone();
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+
+    #[test]
+    fn zero_latch_is_noop() {
+        let f = for_loop();
+        let (cfg, loops) = analyses(&f);
+        let mut plan = plan_with(vec![2, 5, 7, 0, 1]);
+        let before = plan.block_clock.clone();
+        apply_opt4(&cfg, &loops, Opt4Params::default(), &mut plan);
+        assert_eq!(plan.block_clock, before);
+    }
+}

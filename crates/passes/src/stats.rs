@@ -1,0 +1,106 @@
+//! Instrumentation statistics — feeds the "Clockable Functions" row of
+//! Table I and general reporting.
+
+use crate::plan::ModulePlan;
+use detlock_ir::inst::Inst;
+use detlock_ir::module::Module;
+
+/// Static statistics about an instrumented module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Functions clocked by Optimization 1 (Table I row).
+    pub clockable_functions: usize,
+    /// Total functions in the module.
+    pub functions: usize,
+    /// Total basic blocks after splitting.
+    pub blocks: usize,
+    /// Blocks that received a static tick.
+    pub blocks_with_tick: usize,
+    /// Static `Tick` instructions inserted.
+    pub ticks_inserted: usize,
+    /// Dynamic (`TickDyn`) instructions inserted.
+    pub dynamic_ticks: usize,
+    /// Sum of all static tick amounts (total clock mass).
+    pub static_clock_mass: u64,
+}
+
+impl Stats {
+    /// Collect statistics from a materialized module and its plan.
+    pub fn collect(module: &Module, plan: &ModulePlan) -> Stats {
+        let mut blocks = 0;
+        let mut blocks_with_tick = 0;
+        let mut ticks_inserted = 0;
+        let mut dynamic_ticks = 0;
+        let mut static_clock_mass = 0u64;
+        for func in &module.functions {
+            for block in &func.blocks {
+                blocks += 1;
+                let mut any = false;
+                for inst in &block.insts {
+                    match inst {
+                        Inst::Tick { amount } => {
+                            ticks_inserted += 1;
+                            static_clock_mass += amount;
+                            any = true;
+                        }
+                        Inst::TickDyn { .. } => {
+                            dynamic_ticks += 1;
+                            any = true;
+                        }
+                        _ => {}
+                    }
+                }
+                if any {
+                    blocks_with_tick += 1;
+                }
+            }
+        }
+        Stats {
+            clockable_functions: plan.clockable_functions(),
+            functions: module.functions.len(),
+            blocks,
+            blocks_with_tick,
+            ticks_inserted,
+            dynamic_ticks,
+            static_clock_mass,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FuncPlan, Placement};
+    use detlock_ir::builder::FunctionBuilder;
+
+    #[test]
+    fn counts_ticks_and_mass() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 0);
+        fb.block("a");
+        fb.push(Inst::Tick { amount: 5 });
+        fb.compute(2);
+        let b = fb.create_block("b");
+        fb.br(b);
+        fb.switch_to(b);
+        fb.push(Inst::Tick { amount: 7 });
+        fb.ret_void();
+        fb.finish_into(&mut m);
+        let plan = ModulePlan {
+            placement: Placement::Start,
+            clocked: vec![None],
+            funcs: vec![FuncPlan {
+                block_clock: vec![5, 7],
+                pinned: vec![false, false],
+            }],
+        };
+        let s = Stats::collect(&m, &plan);
+        assert_eq!(s.functions, 1);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.blocks_with_tick, 2);
+        assert_eq!(s.ticks_inserted, 2);
+        assert_eq!(s.static_clock_mass, 12);
+        assert_eq!(s.dynamic_ticks, 0);
+        assert_eq!(s.clockable_functions, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Run-to-run determinism checking.
+//!
+//! *Weak determinism* (the paper's guarantee, after Kendo) means the lock
+//! acquisition order of a race-free program is identical on every run with
+//! the same input, regardless of timing. The simulator's jitter seed models
+//! timing perturbation; [`check_determinism`] reruns a workload across seeds
+//! and compares the acquisition-order fingerprints.
+
+use crate::machine::{run, MachineConfig, ThreadSpec};
+use crate::metrics::RunMetrics;
+use detlock_passes::cost::CostModel;
+use detlock_ir::module::Module;
+
+/// Result of a multi-seed determinism probe.
+#[derive(Debug, Clone)]
+pub struct DeterminismReport {
+    /// Acquisition-order hash per seed.
+    pub hashes: Vec<u64>,
+    /// Whether all seeds produced the same order.
+    pub deterministic: bool,
+    /// Metrics of the first run (for inspection).
+    pub first: RunMetrics,
+    /// Whether any run hit the cycle limit.
+    pub any_hit_limit: bool,
+}
+
+/// Run the workload once per seed and compare lock-acquisition orders.
+pub fn check_determinism(
+    module: &Module,
+    cost: &CostModel,
+    threads: &[ThreadSpec],
+    base_cfg: &MachineConfig,
+    seeds: &[u64],
+) -> DeterminismReport {
+    assert!(!seeds.is_empty());
+    let mut hashes = Vec::with_capacity(seeds.len());
+    let mut first: Option<RunMetrics> = None;
+    let mut any_hit_limit = false;
+    for &seed in seeds {
+        let mut cfg = base_cfg.clone();
+        cfg.jitter = cfg.jitter.with_seed(seed);
+        let (metrics, hit) = run(module, cost, threads, cfg);
+        any_hit_limit |= hit;
+        hashes.push(metrics.lock_order_hash);
+        if first.is_none() {
+            first = Some(metrics);
+        }
+    }
+    let deterministic = hashes.windows(2).all(|w| w[0] == w[1]);
+    DeterminismReport {
+        hashes,
+        deterministic,
+        first: first.unwrap(),
+        any_hit_limit,
+    }
+}

@@ -1,0 +1,967 @@
+//! The cycle-level multicore simulator.
+//!
+//! Each thread is pinned to its own core and issues one instruction at a
+//! time; an instruction occupies the core for its cost-model cycle count
+//! (plus seeded OS-noise jitter). Synchronization intrinsics route through a
+//! lock table and barrier table whose arbitration depends on the execution
+//! mode:
+//!
+//! * [`ExecMode::Baseline`] — tick instructions are skipped at zero cost
+//!   (the uninstrumented binary); locks are granted first-come-first-served,
+//!   so the acquisition order varies with the jitter seed. This run defines
+//!   "Original Exec Time" in Table I.
+//! * [`ExecMode::ClocksOnly`] — ticks execute (and cost cycles) but locks
+//!   stay FCFS: measures pure instrumentation overhead (Table I, "After
+//!   Inserting Clocks").
+//! * [`ExecMode::Det`] — ticks execute and every synchronization operation
+//!   is a *deterministic event* performed only when the thread's logical
+//!   clock is the global minimum (ties by thread id), following Kendo's
+//!   algorithm as adopted by DetLock: a blocked acquirer deterministically
+//!   bumps its clock and retries; a releaser stamps the lock with its
+//!   release clock; an acquire succeeds only when the lock is free *and*
+//!   logically released in the acquirer's past (Table I, "After Inserting
+//!   Clocks and Performing Deterministic Execution").
+//! * [`ExecMode::Kendo`] — same deterministic arbitration, but clocks come
+//!   from a simulated *retired-store* hardware counter that only updates
+//!   every `chunk_size` stores (costing `interrupt_cost` cycles per
+//!   overflow interrupt), and ticks are skipped: the paper's Table II
+//!   comparison baseline.
+
+use crate::builtins;
+use crate::metrics::{OrderHasher, RunMetrics, ThreadMetrics};
+use detlock_passes::cost::CostModel;
+use detlock_ir::inst::{Inst, Operand, Terminator};
+use detlock_ir::module::Module;
+use detlock_ir::types::{BlockId, FuncId, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// CoreDet-style bulk-synchronous parameters (paper §II): execution
+/// proceeds in fixed quanta; threads that exhaust their quantum or reach a
+/// synchronization operation wait for the round barrier; a commit phase
+/// (publishing the round's store buffers) stalls everyone, then pending
+/// synchronization operations run serially in thread-id order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BulkSyncParams {
+    /// Cycles each thread may execute per round.
+    pub quantum: u64,
+    /// Fixed commit-phase cost per round.
+    pub commit_base: u64,
+    /// Additional commit cost per store executed in the round.
+    pub commit_per_store: u64,
+}
+
+impl Default for BulkSyncParams {
+    fn default() -> Self {
+        BulkSyncParams {
+            quantum: 2000,
+            commit_base: 300,
+            commit_per_store: 2,
+        }
+    }
+}
+
+/// Kendo-simulation parameters (Table II). The paper notes Kendo must
+/// balance chunk size by hand; `chunk_size` is that knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KendoParams {
+    /// Retired stores between performance-counter overflow interrupts.
+    pub chunk_size: u64,
+    /// Cycle cost of servicing one overflow interrupt.
+    pub interrupt_cost: u64,
+}
+
+impl Default for KendoParams {
+    fn default() -> Self {
+        KendoParams {
+            chunk_size: 1024,
+            // A performance-counter overflow interrupt traps into the
+            // kernel: order 10^3 cycles on the paper's era of hardware.
+            interrupt_cost: 800,
+        }
+    }
+}
+
+/// Execution mode (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Uninstrumented, nondeterministic locks.
+    Baseline,
+    /// Instrumented, nondeterministic locks.
+    ClocksOnly,
+    /// Instrumented, deterministic (DetLock).
+    Det,
+    /// Uninstrumented, deterministic with chunked store-counter clocks.
+    Kendo(KendoParams),
+    /// Uninstrumented; lock grants forced to follow a recorded log
+    /// (see [`crate::replay`]). Ticks are skipped and no clock arbitration
+    /// runs — determinism comes entirely from the log.
+    Replay,
+    /// Uninstrumented; CoreDet-style deterministic rounds (see
+    /// [`BulkSyncParams`]). No logical clocks: determinism comes from the
+    /// quantum barrier and the serial sync phase.
+    BulkSync(BulkSyncParams),
+}
+
+impl ExecMode {
+    fn executes_ticks(self) -> bool {
+        matches!(self, ExecMode::ClocksOnly | ExecMode::Det)
+    }
+
+    fn deterministic(self) -> bool {
+        matches!(self, ExecMode::Det | ExecMode::Kendo(_))
+    }
+
+    fn replayed(self) -> bool {
+        matches!(self, ExecMode::Replay)
+    }
+
+    fn bulk_sync(self) -> Option<BulkSyncParams> {
+        match self {
+            ExecMode::BulkSync(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Seeded OS-noise model: with probability `prob_num/prob_den` an
+/// instruction takes `1..=max_extra` extra cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jitter {
+    /// RNG seed (also perturbs baseline lock-grant rotation).
+    pub seed: u64,
+    /// Jitter probability numerator.
+    pub prob_num: u32,
+    /// Jitter probability denominator (0 disables jitter).
+    pub prob_den: u32,
+    /// Maximum extra cycles per jittered instruction.
+    pub max_extra: u64,
+}
+
+impl Default for Jitter {
+    fn default() -> Self {
+        Jitter {
+            seed: 1,
+            prob_num: 1,
+            prob_den: 64,
+            max_extra: 3,
+        }
+    }
+}
+
+impl Jitter {
+    /// A jitter config with a different seed (for determinism tests).
+    pub fn with_seed(self, seed: u64) -> Jitter {
+        Jitter { seed, ..self }
+    }
+}
+
+/// One thread to run: an entry function and its arguments.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Entry function.
+    pub func: FuncId,
+    /// Arguments placed in the entry function's parameter registers.
+    pub args: Vec<i64>,
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Words of shared memory.
+    pub mem_words: usize,
+    /// OS-noise model.
+    pub jitter: Jitter,
+    /// Safety stop: the run fails (`hit_cycle_limit`) past this many cycles.
+    pub max_cycles: u64,
+    /// Simulated core frequency (paper testbed: 2.66 GHz).
+    pub ghz: f64,
+    /// How many acquisition events to keep verbatim (hash covers all).
+    pub lock_order_limit: usize,
+    /// Protocol cost charged per deterministic lock acquisition in `Det` /
+    /// `Kendo` modes: the arbitration rounds themselves are not free on
+    /// real hardware (each turn check reads every other thread's clock
+    /// cache line; the acquire publishes with fences — Kendo reports
+    /// hundreds of cycles per deterministic lock operation). Baseline
+    /// modes charge only the raw `sync` cost.
+    pub det_event_cost: u64,
+    /// The grant log consulted in [`ExecMode::Replay`] (set by
+    /// [`crate::replay::replay`]).
+    pub replay_log: std::sync::Arc<Vec<(i64, u32)>>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            mode: ExecMode::Baseline,
+            mem_words: 1 << 16,
+            jitter: Jitter::default(),
+            max_cycles: 20_000_000_000,
+            ghz: 2.66,
+            lock_order_limit: 100_000,
+            det_event_cost: 120,
+            replay_log: std::sync::Arc::new(Vec::new()),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    Ready,
+    AcquiringLock(i64),
+    AcquiringBarrier(u32),
+    InBarrier(u32),
+    /// Bulk-sync mode: quantum exhausted; waiting for the round barrier.
+    QuantumDone,
+    ExitWait,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    reg_base: usize,
+    ret_dst: Option<Reg>,
+}
+
+struct Thread {
+    status: Status,
+    frames: Vec<Frame>,
+    regs: Vec<i64>,
+    clock: u64,
+    pending: u64,
+    /// Bulk-sync: cycles left in the current quantum.
+    quantum_left: u64,
+    /// Bulk-sync: stores executed this round (drives the commit cost).
+    round_stores: u64,
+    rng: SmallRng,
+    m: ThreadMetrics,
+}
+
+#[derive(Debug, Default, Clone)]
+struct LockState {
+    held_by: Option<u32>,
+    release_clock: Option<u64>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct BarrierState {
+    arrivals: Vec<u32>,
+}
+
+enum Action {
+    None,
+    /// A tick skipped in a mode that does not execute ticks: the
+    /// uninstrumented binary never contained it, so it must not consume a
+    /// cycle either — the stepper immediately retries the next instruction.
+    Free,
+    Lock(i64),
+    Unlock(i64),
+    Barrier(u32),
+    Exited,
+}
+
+/// The simulator. Build with [`Machine::new`], run with [`Machine::run`].
+pub struct Machine<'m> {
+    module: &'m Module,
+    cost: &'m CostModel,
+    cfg: MachineConfig,
+    threads: Vec<Thread>,
+    mem: Vec<i64>,
+    locks: HashMap<i64, LockState>,
+    barriers: HashMap<u32, BarrierState>,
+    hasher: OrderHasher,
+    lock_order: Vec<(i64, u32)>,
+    cycle: u64,
+    done_count: usize,
+    replay_pos: usize,
+    /// Bulk-sync: remaining commit-phase stall cycles.
+    commit_stall: u64,
+}
+
+impl<'m> Machine<'m> {
+    /// Create a machine over `module` with one core per thread spec.
+    pub fn new(
+        module: &'m Module,
+        cost: &'m CostModel,
+        threads: &[ThreadSpec],
+        cfg: MachineConfig,
+    ) -> Machine<'m> {
+        assert!(!threads.is_empty(), "need at least one thread");
+        let mem = vec![0i64; cfg.mem_words.max(1)];
+        let threads = threads
+            .iter()
+            .enumerate()
+            .map(|(tid, spec)| {
+                let func = &module.functions[spec.func.index()];
+                assert!(
+                    spec.args.len() == func.params as usize,
+                    "thread {tid}: entry {} expects {} args, got {}",
+                    func.name,
+                    func.params,
+                    spec.args.len()
+                );
+                let mut regs = vec![0i64; func.num_regs as usize];
+                regs[..spec.args.len()].copy_from_slice(&spec.args);
+                Thread {
+                    status: Status::Ready,
+                    frames: vec![Frame {
+                        func: spec.func,
+                        block: BlockId(0),
+                        ip: 0,
+                        reg_base: 0,
+                        ret_dst: None,
+                    }],
+                    regs,
+                    clock: 0,
+                    pending: 0,
+                    quantum_left: match cfg.mode {
+                        ExecMode::BulkSync(p) => p.quantum,
+                        _ => u64::MAX,
+                    },
+                    round_stores: 0,
+                    rng: SmallRng::seed_from_u64(
+                        cfg.jitter.seed ^ (tid as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                    ),
+                    m: ThreadMetrics::default(),
+                }
+            })
+            .collect();
+        Machine {
+            module,
+            cost,
+            cfg,
+            threads,
+            mem,
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            hasher: OrderHasher::new(),
+            lock_order: Vec::new(),
+            cycle: 0,
+            done_count: 0,
+            replay_pos: 0,
+            commit_stall: 0,
+        }
+    }
+
+    /// Run to completion (or the cycle limit). Returns metrics plus whether
+    /// the limit was hit.
+    pub fn run(self) -> (RunMetrics, bool) {
+        let (metrics, _mem, hit) = self.run_with_memory();
+        (metrics, hit)
+    }
+
+    /// Like [`Machine::run`], additionally returning the final shared
+    /// memory — lets tests assert that deterministic runs converge to
+    /// identical program *state*, not just identical lock orders.
+    pub fn run_with_memory(mut self) -> (RunMetrics, Vec<i64>, bool) {
+        let n = self.threads.len();
+        while self.done_count < n && self.cycle < self.cfg.max_cycles {
+            if let Some(bp) = self.cfg.mode.bulk_sync() {
+                if self.commit_stall > 0 {
+                    // Commit phase: every thread stalls.
+                    self.commit_stall -= 1;
+                    for th in self.threads.iter_mut() {
+                        if th.status != Status::Done {
+                            th.m.wait_cycles += 1;
+                        }
+                    }
+                    self.cycle += 1;
+                    continue;
+                }
+                if self.bulk_round_complete() {
+                    self.bulk_serial_phase(bp);
+                    self.cycle += 1;
+                    continue;
+                }
+            }
+            let turn = self.compute_turn();
+            // Rotate the service order so baseline FCFS has no fixed
+            // lowest-tid bias; in deterministic modes only the turn holder
+            // acts on sync events, so rotation is inert there.
+            let start = ((self
+                .cycle
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(self.cfg.jitter.seed))
+                % n as u64) as usize;
+            for k in 0..n {
+                let t = (start + k) % n;
+                self.step(t, turn);
+            }
+            self.cycle += 1;
+        }
+        let hit_limit = self.done_count < n;
+        let metrics = RunMetrics {
+            cycles: self.cycle,
+            per_thread: self.threads.into_iter().map(|t| t.m).collect(),
+            lock_order_hash: self.hasher.value(),
+            lock_order: self.lock_order,
+            ghz: self.cfg.ghz,
+        };
+        (metrics, self.mem, hit_limit)
+    }
+
+    /// The thread currently holding the deterministic turn: minimum
+    /// `(clock, tid)` among threads participating in arbitration.
+    fn compute_turn(&self) -> Option<u32> {
+        let mut best: Option<(u64, u32)> = None;
+        for (tid, th) in self.threads.iter().enumerate() {
+            let participates = matches!(
+                th.status,
+                Status::Ready
+                    | Status::AcquiringLock(_)
+                    | Status::AcquiringBarrier(_)
+                    | Status::ExitWait
+            );
+            if !participates {
+                continue;
+            }
+            let key = (th.clock, tid as u32);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, tid)| tid)
+    }
+
+    fn step(&mut self, t: usize, turn: Option<u32>) {
+        let det = self.cfg.mode.deterministic();
+        let tid = t as u32;
+        match self.threads[t].status.clone() {
+            Status::Done => {}
+            Status::InBarrier(_) => {
+                self.threads[t].m.wait_cycles += 1;
+            }
+            Status::QuantumDone => {
+                self.threads[t].m.wait_cycles += 1;
+            }
+            Status::ExitWait => {
+                if self.cfg.mode.bulk_sync().is_some() {
+                    // Exits resolve in the serial phase.
+                    self.threads[t].m.wait_cycles += 1;
+                } else if !det || turn == Some(tid) {
+                    self.finish(t);
+                } else {
+                    self.threads[t].m.wait_cycles += 1;
+                }
+            }
+            Status::AcquiringBarrier(id) => {
+                if self.cfg.mode.bulk_sync().is_some() {
+                    self.threads[t].m.wait_cycles += 1;
+                } else if !det || turn == Some(tid) {
+                    self.arrive_barrier(t, id);
+                } else {
+                    self.threads[t].m.wait_cycles += 1;
+                }
+            }
+            Status::AcquiringLock(id) => {
+                if self.cfg.mode.bulk_sync().is_some() {
+                    // Grants happen only in the serial phase.
+                    self.threads[t].m.wait_cycles += 1;
+                } else if det {
+                    if turn == Some(tid) {
+                        let (held_by, release_clock) = {
+                            let st = self.locks.entry(id).or_default();
+                            (st.held_by, st.release_clock)
+                        };
+                        let clock = self.threads[t].clock;
+                        let logically_free =
+                            held_by.is_none() && release_clock.is_none_or(|r| r < clock);
+                        if logically_free {
+                            self.grant_lock(t, id);
+                        } else {
+                            // Deterministic clock bump and retry (Kendo).
+                            self.threads[t].clock += 1;
+                            self.threads[t].m.lock_clock_bumps += 1;
+                            self.threads[t].m.wait_cycles += 1;
+                        }
+                    } else {
+                        self.threads[t].m.wait_cycles += 1;
+                    }
+                } else if self.cfg.mode.replayed() {
+                    // Grant only when the log names this thread next for
+                    // this lock (and the lock is physically free).
+                    let held = self.locks.entry(id).or_default().held_by;
+                    let next = self.cfg.replay_log.get(self.replay_pos).copied();
+                    if held.is_none() && next == Some((id, tid)) {
+                        self.replay_pos += 1;
+                        self.grant_lock(t, id);
+                    } else {
+                        self.threads[t].m.wait_cycles += 1;
+                    }
+                } else {
+                    let held = self.locks.entry(id).or_default().held_by;
+                    if held.is_none() {
+                        self.grant_lock(t, id);
+                    } else {
+                        self.threads[t].m.wait_cycles += 1;
+                    }
+                }
+            }
+            Status::Ready => {
+                // Bulk-sync quanta are counted in *instructions* (as in
+                // CoreDet), not cycles: jitter must not change which
+                // instructions land in a round, or determinism is lost.
+                if self.cfg.mode.bulk_sync().is_some() && self.threads[t].quantum_left == 0 {
+                    self.threads[t].status = Status::QuantumDone;
+                    self.threads[t].m.wait_cycles += 1;
+                    return;
+                }
+                if self.threads[t].pending > 0 {
+                    self.threads[t].pending -= 1;
+                    self.threads[t].m.busy_cycles += 1;
+                    return;
+                }
+                if self.cfg.mode.bulk_sync().is_some() {
+                    self.threads[t].quantum_left -= 1;
+                }
+                let mut action = self.exec_next(t);
+                // Skipped ticks are free: retry until a real instruction
+                // issues this cycle.
+                while matches!(action, Action::Free) {
+                    action = self.exec_next(t);
+                }
+                match action {
+                    Action::None | Action::Free => {}
+                    Action::Lock(id) => {
+                        self.threads[t].status = Status::AcquiringLock(id);
+                    }
+                    Action::Unlock(id) => {
+                        let clock = self.threads[t].clock;
+                        let st = self.locks.entry(id).or_default();
+                        st.held_by = None;
+                        st.release_clock = Some(clock);
+                        if det {
+                            self.threads[t].clock += 1;
+                        }
+                        self.charge(t, self.cost.sync);
+                    }
+                    Action::Barrier(id) => {
+                        self.threads[t].status = Status::AcquiringBarrier(id);
+                    }
+                    Action::Exited => {
+                        self.threads[t].status = Status::ExitWait;
+                        // Baseline exits resolve immediately next step; in
+                        // deterministic modes the exit is a det event.
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bulk-sync: is every live thread parked at the round barrier (quantum
+    /// exhausted, pending sync op, exiting) or inside an application
+    /// barrier?
+    fn bulk_round_complete(&self) -> bool {
+        let mut any_parked = false;
+        for th in &self.threads {
+            match th.status {
+                Status::Done | Status::InBarrier(_) => {}
+                Status::QuantumDone
+                | Status::AcquiringLock(_)
+                | Status::AcquiringBarrier(_)
+                | Status::ExitWait => any_parked = true,
+                Status::Ready => return false,
+            }
+        }
+        any_parked
+    }
+
+    /// Bulk-sync serial phase: commit the round's store buffers (a stall
+    /// charged to everyone) and run pending synchronization operations in
+    /// thread-id order — CoreDet's deterministic serial mode.
+    fn bulk_serial_phase(&mut self, bp: BulkSyncParams) {
+        let total_stores: u64 = self.threads.iter().map(|t| t.round_stores).sum();
+        self.commit_stall = bp.commit_base + bp.commit_per_store * total_stores;
+        for t in 0..self.threads.len() {
+            match self.threads[t].status.clone() {
+                Status::AcquiringLock(id) => {
+                    let held = self.locks.entry(id).or_default().held_by;
+                    if held.is_none() {
+                        self.grant_lock(t, id);
+                    }
+                }
+                Status::AcquiringBarrier(id) => {
+                    self.arrive_barrier(t, id);
+                }
+                Status::ExitWait => {
+                    self.finish(t);
+                }
+                _ => {}
+            }
+        }
+        for th in self.threads.iter_mut() {
+            th.round_stores = 0;
+            th.quantum_left = bp.quantum;
+            if th.status == Status::QuantumDone {
+                th.status = Status::Ready;
+            }
+        }
+    }
+
+    fn grant_lock(&mut self, t: usize, id: i64) {
+        let tid = t as u32;
+        {
+            let st = self.locks.entry(id).or_default();
+            st.held_by = Some(tid);
+        }
+        if self.cfg.mode.deterministic() {
+            self.threads[t].clock += 1;
+        }
+        self.threads[t].m.lock_acquires += 1;
+        self.threads[t].status = Status::Ready;
+        let protocol = if self.cfg.mode.deterministic() {
+            self.cfg.det_event_cost
+        } else {
+            0
+        };
+        self.charge(t, self.cost.sync + protocol);
+        self.hasher.record(id, tid);
+        if self.lock_order.len() < self.cfg.lock_order_limit {
+            self.lock_order.push((id, tid));
+        }
+    }
+
+    fn arrive_barrier(&mut self, t: usize, id: u32) {
+        let tid = t as u32;
+        self.threads[t].m.barrier_waits += 1;
+        self.threads[t].status = Status::InBarrier(id);
+        let bar = self.barriers.entry(id).or_default();
+        bar.arrivals.push(tid);
+        let everyone = self.threads.len() - self.done_count;
+        if bar.arrivals.len() >= everyone {
+            // Release: reconcile clocks to max+1 in deterministic modes.
+            let arrivals = std::mem::take(&mut self.barriers.get_mut(&id).unwrap().arrivals);
+            let new_clock = arrivals
+                .iter()
+                .map(|&a| self.threads[a as usize].clock)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            let det = self.cfg.mode.deterministic();
+            for a in arrivals {
+                let th = &mut self.threads[a as usize];
+                th.status = Status::Ready;
+                if det {
+                    th.clock = new_clock;
+                }
+                th.pending = self.cost.sync;
+            }
+        }
+    }
+
+    fn finish(&mut self, t: usize) {
+        self.threads[t].status = Status::Done;
+        self.threads[t].m.finish_cycle = self.cycle;
+        self.threads[t].m.final_clock = self.threads[t].clock;
+        self.done_count += 1;
+    }
+
+    /// Charge `cost` cycles for the instruction just applied (1 cycle is
+    /// consumed now; the remainder plus jitter occupies subsequent cycles).
+    fn charge(&mut self, t: usize, cost: u64) {
+        let th = &mut self.threads[t];
+        let extra = if self.cfg.jitter.prob_den > 0
+            && th.rng.gen_range(0..self.cfg.jitter.prob_den) < self.cfg.jitter.prob_num
+        {
+            1 + th.rng.gen_range(0..self.cfg.jitter.max_extra.max(1))
+        } else {
+            0
+        };
+        th.pending = cost.saturating_sub(1) + extra;
+        th.m.busy_cycles += 1;
+    }
+
+    #[inline]
+    fn reg(&self, t: usize, r: Reg) -> i64 {
+        let th = &self.threads[t];
+        th.regs[th.frames.last().unwrap().reg_base + r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, t: usize, r: Reg, v: i64) {
+        let th = &mut self.threads[t];
+        let base = th.frames.last().unwrap().reg_base;
+        th.regs[base + r.index()] = v;
+    }
+
+    #[inline]
+    fn operand(&self, t: usize, o: Operand) -> i64 {
+        match o {
+            Operand::Reg(r) => self.reg(t, r),
+            Operand::Imm(v) => v,
+        }
+    }
+
+    #[inline]
+    fn mem_index(&self, addr: i64) -> usize {
+        (addr.rem_euclid(self.mem.len() as i64)) as usize
+    }
+
+    fn retired_store(&mut self, t: usize, count: u64) {
+        let th = &mut self.threads[t];
+        let before = th.m.retired_stores;
+        th.m.retired_stores += count;
+        th.round_stores += count;
+        if let ExecMode::Kendo(kp) = self.cfg.mode {
+            // The virtualized performance counter only surfaces at overflow
+            // interrupts: the clock advances in chunk_size units, and each
+            // interrupt costs cycles.
+            let chunks = th.m.retired_stores / kp.chunk_size - before / kp.chunk_size;
+            if chunks > 0 {
+                th.clock += chunks * kp.chunk_size;
+                th.pending += chunks * kp.interrupt_cost;
+            }
+        }
+    }
+
+    /// Fetch, apply, and charge the next instruction (or terminator) of
+    /// thread `t`. Returns the synchronization action, if any.
+    fn exec_next(&mut self, t: usize) -> Action {
+        let frame = self.threads[t].frames.last().unwrap().clone();
+        let func = &self.module.functions[frame.func.index()];
+        let block = &func.blocks[frame.block.index()];
+
+        if frame.ip >= block.insts.len() {
+            // Terminator.
+            self.threads[t].m.instructions += 1;
+            let term = &block.term;
+            self.charge(t, self.cost.alu);
+            match term {
+                Terminator::Br { target } => {
+                    let f = self.threads[t].frames.last_mut().unwrap();
+                    f.block = *target;
+                    f.ip = 0;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.reg(t, *cond);
+                    let f = self.threads[t].frames.last_mut().unwrap();
+                    f.block = if c != 0 { *then_bb } else { *else_bb };
+                    f.ip = 0;
+                }
+                Terminator::Switch {
+                    disc,
+                    cases,
+                    default,
+                } => {
+                    let d = self.reg(t, *disc);
+                    let target = cases
+                        .iter()
+                        .find(|(v, _)| *v == d)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                    let f = self.threads[t].frames.last_mut().unwrap();
+                    f.block = target;
+                    f.ip = 0;
+                }
+                Terminator::Ret { value } => {
+                    let v = value.map(|o| self.operand(t, o));
+                    let th = &mut self.threads[t];
+                    let popped = th.frames.pop().unwrap();
+                    th.regs.truncate(popped.reg_base);
+                    if th.frames.is_empty() {
+                        return Action::Exited;
+                    }
+                    if let (Some(dst), Some(v)) = (popped.ret_dst, v) {
+                        self.set_reg(t, dst, v);
+                    }
+                }
+            }
+            return Action::None;
+        }
+
+        let inst = &block.insts[frame.ip];
+        // Advance ip first; sync instructions have already "issued".
+        self.threads[t].frames.last_mut().unwrap().ip += 1;
+
+        match inst {
+            Inst::Const { dst, value } => {
+                let (dst, value) = (*dst, *value);
+                self.threads[t].m.instructions += 1;
+                self.set_reg(t, dst, value);
+                self.charge(t, self.cost.alu);
+            }
+            Inst::Mov { dst, src } => {
+                let (dst, src) = (*dst, *src);
+                self.threads[t].m.instructions += 1;
+                let v = self.operand(t, src);
+                self.set_reg(t, dst, v);
+                self.charge(t, self.cost.alu);
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let (op, dst, lhs, rhs) = (*op, *dst, *lhs, *rhs);
+                self.threads[t].m.instructions += 1;
+                let a = self.reg(t, lhs);
+                let b = self.operand(t, rhs);
+                self.set_reg(t, dst, op.apply(a, b));
+                let c = match op {
+                    detlock_ir::BinOp::Mul => self.cost.mul,
+                    detlock_ir::BinOp::Div | detlock_ir::BinOp::Rem => self.cost.div,
+                    _ => self.cost.alu,
+                };
+                self.charge(t, c);
+            }
+            Inst::Cmp { op, dst, lhs, rhs } => {
+                let (op, dst, lhs, rhs) = (*op, *dst, *lhs, *rhs);
+                self.threads[t].m.instructions += 1;
+                let a = self.reg(t, lhs);
+                let b = self.operand(t, rhs);
+                self.set_reg(t, dst, op.apply(a, b));
+                self.charge(t, self.cost.alu);
+            }
+            Inst::Load { dst, addr, offset } => {
+                let (dst, addr, offset) = (*dst, *addr, *offset);
+                self.threads[t].m.instructions += 1;
+                let a = self.reg(t, addr).wrapping_add(offset);
+                let v = self.mem[self.mem_index(a)];
+                self.set_reg(t, dst, v);
+                self.charge(t, self.cost.load);
+            }
+            Inst::Store { src, addr, offset } => {
+                let (src, addr, offset) = (*src, *addr, *offset);
+                self.threads[t].m.instructions += 1;
+                let a = self.reg(t, addr).wrapping_add(offset);
+                let v = self.operand(t, src);
+                let idx = self.mem_index(a);
+                self.mem[idx] = v;
+                self.charge(t, self.cost.store);
+                self.retired_store(t, 1);
+            }
+            Inst::Call { func, args, dst } => {
+                let callee_id = *func;
+                let dst = *dst;
+                self.threads[t].m.instructions += 1;
+                let argv: Vec<i64> = args.iter().map(|&a| self.operand(t, a)).collect();
+                let callee = &self.module.functions[callee_id.index()];
+                let th = &mut self.threads[t];
+                let reg_base = th.regs.len();
+                th.regs.resize(reg_base + callee.num_regs as usize, 0);
+                th.regs[reg_base..reg_base + argv.len()].copy_from_slice(&argv);
+                th.frames.push(Frame {
+                    func: callee_id,
+                    block: BlockId(0),
+                    ip: 0,
+                    reg_base,
+                    ret_dst: dst,
+                });
+                self.charge(t, self.cost.call);
+            }
+            Inst::CallBuiltin {
+                builtin,
+                args,
+                dst,
+                size_arg,
+            } => {
+                let builtin = *builtin;
+                let dst = *dst;
+                let size_arg = *size_arg;
+                self.threads[t].m.instructions += 1;
+                let argv: Vec<i64> = args.iter().map(|&a| self.operand(t, a)).collect();
+                let est = self.cost.builtin(builtin);
+                let size = size_arg.and_then(|i| argv.get(i).copied()).unwrap_or(0);
+                let cycles = est.eval(size);
+                use detlock_ir::Builtin as B;
+                let result = match builtin {
+                    B::Memset => {
+                        let (base, val, len) =
+                            (argv.first().copied().unwrap_or(0), argv.get(1).copied().unwrap_or(0), size.max(0));
+                        for k in 0..len.min(self.mem.len() as i64) {
+                            let idx = self.mem_index(base.wrapping_add(k));
+                            self.mem[idx] = val;
+                        }
+                        self.retired_store(t, len.max(0) as u64);
+                        0
+                    }
+                    B::Memcpy => {
+                        let (d, s, len) =
+                            (argv.first().copied().unwrap_or(0), argv.get(1).copied().unwrap_or(0), size.max(0));
+                        for k in 0..len.min(self.mem.len() as i64) {
+                            let si = self.mem_index(s.wrapping_add(k));
+                            let di = self.mem_index(d.wrapping_add(k));
+                            self.mem[di] = self.mem[si];
+                        }
+                        self.retired_store(t, len.max(0) as u64);
+                        0
+                    }
+                    B::Sqrt => builtins::isqrt(argv.first().copied().unwrap_or(0)),
+                    B::Sin => builtins::fixed_sin(argv.first().copied().unwrap_or(0)),
+                    B::Cos => builtins::fixed_cos(argv.first().copied().unwrap_or(0)),
+                    B::Exp => builtins::fixed_exp(argv.first().copied().unwrap_or(0)),
+                    B::Log => builtins::ilog2(argv.first().copied().unwrap_or(0)),
+                    B::Rand => builtins::xorshift64(argv.first().copied().unwrap_or(0)),
+                };
+                if let Some(d) = dst {
+                    self.set_reg(t, d, result);
+                }
+                self.charge(t, cycles.max(1));
+            }
+            Inst::Tick { amount } => {
+                let amount = *amount;
+                if self.cfg.mode.executes_ticks() {
+                    self.threads[t].m.instructions += 1;
+                    self.threads[t].m.ticks_executed += 1;
+                    self.threads[t].clock += amount;
+                    self.charge(t, self.cost.tick);
+                }
+                else {
+                    // Baseline / Kendo: the binary was never instrumented —
+                    // skip at zero cost and zero cycles.
+                    return Action::Free;
+                }
+            }
+            Inst::TickDyn {
+                base,
+                per_unit,
+                size,
+            } => {
+                let (base, per_unit, size) = (*base, *per_unit, *size);
+                if self.cfg.mode.executes_ticks() {
+                    self.threads[t].m.instructions += 1;
+                    self.threads[t].m.ticks_executed += 1;
+                    let s = self.operand(t, size).max(0) as u64;
+                    self.threads[t].clock += base + per_unit * s;
+                    self.charge(t, self.cost.tick + self.cost.tick_dyn_extra);
+                } else {
+                    return Action::Free;
+                }
+            }
+            Inst::Lock { id } => {
+                let id = *id;
+                self.threads[t].m.instructions += 1;
+                let v = self.operand(t, id);
+                return Action::Lock(v);
+            }
+            Inst::Unlock { id } => {
+                let id = *id;
+                self.threads[t].m.instructions += 1;
+                let v = self.operand(t, id);
+                return Action::Unlock(v);
+            }
+            Inst::Barrier { id } => {
+                let id = *id;
+                self.threads[t].m.instructions += 1;
+                return Action::Barrier(id.0);
+            }
+        }
+        Action::None
+    }
+}
+
+/// Run a module on the simulator — the main entry point.
+pub fn run(
+    module: &Module,
+    cost: &CostModel,
+    threads: &[ThreadSpec],
+    cfg: MachineConfig,
+) -> (RunMetrics, bool) {
+    Machine::new(module, cost, threads, cfg).run()
+}

@@ -1,0 +1,808 @@
+//! Integration tests for the cycle-level simulator: interpreter semantics,
+//! mode behaviour, deterministic arbitration, and the Kendo simulation.
+
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Inst, Operand};
+use detlock_ir::types::{BarrierId, FuncId};
+use detlock_ir::Module;
+use detlock_passes::cost::CostModel;
+use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
+use detlock_vm::determinism::check_determinism;
+
+fn cfg(mode: ExecMode) -> MachineConfig {
+    MachineConfig {
+        mode,
+        max_cycles: 50_000_000,
+        ..MachineConfig::default()
+    }
+}
+
+fn no_jitter(mut c: MachineConfig) -> MachineConfig {
+    c.jitter = Jitter {
+        seed: 0,
+        prob_num: 0,
+        prob_den: 0,
+        max_extra: 0,
+    };
+    c
+}
+
+/// A program that computes a value into shared memory: mem[0] = sum of
+/// 1..=n via a loop, then returns.
+fn sum_program() -> (Module, FuncId) {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("sum", 1);
+    fb.block("entry");
+    let head = fb.create_block("head");
+    let body = fb.create_block("body");
+    let done = fb.create_block("done");
+    let n = fb.param(0);
+    let i = fb.iconst(0);
+    let acc = fb.iconst(0);
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, n);
+    fb.cond_br(c, body, done);
+    fb.switch_to(body);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.bin_to(BinOp::Add, acc, acc, i);
+    fb.br(head);
+    fb.switch_to(done);
+    let addr = fb.iconst(0);
+    fb.store(addr, 0, acc);
+    fb.ret(acc);
+    let f = fb.finish_into(&mut m);
+    (m, f)
+}
+
+#[test]
+fn interpreter_computes_correct_sum() {
+    let (m, f) = sum_program();
+    let cost = CostModel::default();
+    let (metrics, hit) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: f,
+            args: vec![10],
+        }],
+        no_jitter(cfg(ExecMode::Baseline)),
+    );
+    assert!(!hit);
+    // 1+..+10 = 55 stored; verify via instruction count sanity + stores.
+    assert_eq!(metrics.per_thread[0].retired_stores, 1);
+    assert!(metrics.per_thread[0].instructions > 30);
+    assert!(metrics.cycles > 0);
+}
+
+/// Threads increment a shared counter under a lock, `iters` times each.
+fn counter_program(iters: i64, compute_between: usize) -> (Module, FuncId) {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("worker", 2); // (tid, iters)
+    fb.block("entry");
+    let head = fb.create_block("head");
+    let body = fb.create_block("body");
+    let done = fb.create_block("done");
+    let iters_r = fb.param(1);
+    let i = fb.iconst(0);
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, iters_r);
+    fb.cond_br(c, body, done);
+    fb.switch_to(body);
+    fb.compute(compute_between);
+    fb.lock(0i64);
+    let addr = fb.iconst(100);
+    let v = fb.load(addr, 0);
+    let v2 = fb.add(v, 1);
+    fb.store(addr, 0, v2);
+    fb.unlock(0i64);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(head);
+    fb.switch_to(done);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let _ = iters;
+    (m, f)
+}
+
+fn counter_threads(f: FuncId, n: usize, iters: i64) -> Vec<ThreadSpec> {
+    (0..n)
+        .map(|t| ThreadSpec {
+            func: f,
+            args: vec![t as i64, iters],
+        })
+        .collect()
+}
+
+#[test]
+fn locks_are_mutually_exclusive_and_all_acquires_counted() {
+    let (m, f) = counter_program(50, 5);
+    let cost = CostModel::default();
+    let (metrics, hit) = run(
+        &m,
+        &cost,
+        &counter_threads(f, 4, 50),
+        cfg(ExecMode::Baseline),
+    );
+    assert!(!hit);
+    assert_eq!(metrics.lock_acquires(), 200);
+    assert_eq!(metrics.lock_order.len(), 200);
+}
+
+#[test]
+fn baseline_lock_order_varies_with_seed() {
+    let (m, f) = counter_program(60, 3);
+    let cost = CostModel::default();
+    let report = check_determinism(
+        &m,
+        &cost,
+        &counter_threads(f, 4, 60),
+        &cfg(ExecMode::Baseline),
+        &[1, 2, 3, 4, 5],
+    );
+    assert!(!report.any_hit_limit);
+    assert!(
+        !report.deterministic,
+        "baseline should be timing-dependent: {:?}",
+        report.hashes
+    );
+}
+
+#[test]
+fn clocks_only_mode_is_still_nondeterministic() {
+    // Without instrumentation in the module, ClocksOnly == Baseline; the
+    // point is that the lock discipline (FCFS) remains timing-dependent.
+    let (m, f) = counter_program(60, 3);
+    let cost = CostModel::default();
+    let report = check_determinism(
+        &m,
+        &cost,
+        &counter_threads(f, 4, 60),
+        &cfg(ExecMode::ClocksOnly),
+        &[7, 8, 9, 10],
+    );
+    assert!(!report.deterministic);
+}
+
+/// Instrument the counter program so Det mode has clocks to arbitrate on.
+fn instrumented_counter(compute: usize) -> (Module, FuncId) {
+    let (m, f) = counter_program(0, compute);
+    let cost = CostModel::default();
+    let out = detlock_passes::pipeline::instrument(
+        &m,
+        &cost,
+        &detlock_passes::pipeline::OptConfig::none(),
+        detlock_passes::plan::Placement::Start,
+        &[f],
+    );
+    (out.module, f)
+}
+
+#[test]
+fn det_mode_is_deterministic_across_seeds() {
+    let (m, f) = instrumented_counter(8);
+    let cost = CostModel::default();
+    let report = check_determinism(
+        &m,
+        &cost,
+        &counter_threads(f, 4, 40),
+        &cfg(ExecMode::Det),
+        &[1, 2, 3, 4, 5, 99, 12345],
+    );
+    assert!(!report.any_hit_limit, "deadlock or runaway");
+    assert!(
+        report.deterministic,
+        "det mode must be seed-invariant: {:?}",
+        report.hashes
+    );
+    assert_eq!(report.first.lock_acquires(), 160);
+}
+
+#[test]
+fn det_mode_differs_from_unbalanced_compute_still_deterministic() {
+    // Unequal per-thread work: thread 0 computes more between locks. The
+    // order is no longer round-robin but must still be seed-invariant.
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("worker", 2); // (extra, iters)
+    fb.block("entry");
+    let head = fb.create_block("head");
+    let body = fb.create_block("body");
+    let heavy = fb.create_block("heavy");
+    let light = fb.create_block("light");
+    let lock_bb = fb.create_block("lock");
+    let done = fb.create_block("done");
+    let extra = fb.param(0);
+    let iters = fb.param(1);
+    let i = fb.iconst(0);
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, iters);
+    fb.cond_br(c, body, done);
+    fb.switch_to(body);
+    let is_heavy = fb.cmp(CmpOp::Gt, extra, 0);
+    fb.cond_br(is_heavy, heavy, light);
+    fb.switch_to(heavy);
+    fb.compute(30);
+    fb.br(lock_bb);
+    fb.switch_to(light);
+    fb.compute(4);
+    fb.br(lock_bb);
+    fb.switch_to(lock_bb);
+    fb.lock(7i64);
+    let a = fb.iconst(50);
+    let v = fb.load(a, 0);
+    let v2 = fb.add(v, 1);
+    fb.store(a, 0, v2);
+    fb.unlock(7i64);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(head);
+    fb.switch_to(done);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+
+    let cost = CostModel::default();
+    let out = detlock_passes::pipeline::instrument(
+        &m,
+        &cost,
+        &detlock_passes::pipeline::OptConfig::none(),
+        detlock_passes::plan::Placement::Start,
+        &[f],
+    );
+    let threads: Vec<ThreadSpec> = (0..4)
+        .map(|t| ThreadSpec {
+            func: f,
+            args: vec![(t == 0) as i64, 30],
+        })
+        .collect();
+    let report = check_determinism(
+        &out.module,
+        &cost,
+        &threads,
+        &cfg(ExecMode::Det),
+        &[3, 1416, 55],
+    );
+    assert!(!report.any_hit_limit);
+    assert!(report.deterministic, "{:?}", report.hashes);
+}
+
+#[test]
+fn kendo_mode_is_deterministic_across_seeds() {
+    // Kendo runs the *uninstrumented* module (clocks from stores). The
+    // counter program stores once per iteration inside the lock plus the
+    // compute filler; give it store traffic via memset.
+    let (m, f) = counter_program(0, 6);
+    let cost = CostModel::default();
+    let report = check_determinism(
+        &m,
+        &cost,
+        &counter_threads(f, 4, 40),
+        &cfg(ExecMode::Kendo(KendoParams {
+            chunk_size: 8,
+            interrupt_cost: 30,
+        })),
+        &[1, 2, 3, 42],
+    );
+    assert!(!report.any_hit_limit);
+    assert!(report.deterministic, "{:?}", report.hashes);
+}
+
+#[test]
+fn clocks_only_overhead_is_positive_and_modest() {
+    let (m, f) = instrumented_counter(20);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 50);
+    let (base, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::Baseline)));
+    let (clk, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::ClocksOnly)));
+    let overhead = clk.overhead_pct(&base);
+    assert!(overhead > 0.0, "ticks must cost cycles: {overhead}");
+    assert!(overhead < 150.0, "tick overhead out of range: {overhead}");
+    assert!(clk.ticks_executed() > 0);
+    assert_eq!(base.ticks_executed(), 0);
+}
+
+#[test]
+fn det_overhead_at_least_clocks_overhead() {
+    let (m, f) = instrumented_counter(20);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 50);
+    let (base, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::Baseline)));
+    let (clk, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::ClocksOnly)));
+    let (det, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::Det)));
+    assert!(det.cycles >= clk.cycles, "det adds waiting on top of ticks");
+    assert!(det.wait_cycles() > base.wait_cycles());
+}
+
+#[test]
+fn barrier_releases_all_threads_and_reconciles_clocks() {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("bar", 1); // tid
+    fb.block("entry");
+    let after = fb.create_block("after");
+    // Unequal pre-barrier work.
+    let tid = fb.param(0);
+    let amount = fb.mul(tid, 40);
+    let i = fb.iconst(0);
+    let head = fb.create_block("head");
+    let body = fb.create_block("body");
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, amount);
+    fb.cond_br(c, body, after);
+    fb.switch_to(body);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(head);
+    fb.switch_to(after);
+    fb.barrier(BarrierId(0));
+    fb.compute(3);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+
+    let cost = CostModel::default();
+    let out = detlock_passes::pipeline::instrument(
+        &m,
+        &cost,
+        &detlock_passes::pipeline::OptConfig::none(),
+        detlock_passes::plan::Placement::Start,
+        &[f],
+    );
+    let threads: Vec<ThreadSpec> = (0..4)
+        .map(|t| ThreadSpec {
+            func: f,
+            args: vec![t],
+        })
+        .collect();
+    let (metrics, hit) = run(&out.module, &cost, &threads, no_jitter(cfg(ExecMode::Det)));
+    assert!(!hit, "barrier must release everyone");
+    for t in &metrics.per_thread {
+        assert_eq!(t.barrier_waits, 1);
+    }
+    // After reconciliation all threads executed the same post-barrier code:
+    // final clocks equal (same post-barrier ticks from the same base).
+    let clocks: Vec<u64> = metrics.per_thread.iter().map(|t| t.final_clock).collect();
+    assert!(
+        clocks.windows(2).all(|w| w[0] == w[1]),
+        "clocks diverged after barrier: {clocks:?}"
+    );
+}
+
+#[test]
+fn function_calls_and_returns_work() {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("double", 1);
+    fb.block("entry");
+    let x = fb.param(0);
+    let d = fb.mul(x, 2);
+    fb.ret(d);
+    let double = fb.finish_into(&mut m);
+
+    let mut fb = FunctionBuilder::new("main", 0);
+    fb.block("entry");
+    let a = fb.call(double, vec![Operand::Imm(21)]);
+    let addr = fb.iconst(5);
+    fb.store(addr, 0, a);
+    fb.ret(a);
+    let f = fb.finish_into(&mut m);
+
+    let cost = CostModel::default();
+    let (metrics, hit) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: f,
+            args: vec![],
+        }],
+        no_jitter(cfg(ExecMode::Baseline)),
+    );
+    assert!(!hit);
+    // double executed: its mul counted.
+    assert!(metrics.per_thread[0].instructions >= 6);
+}
+
+#[test]
+fn recursion_executes() {
+    // fib via naive recursion, depth-limited.
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("fib", 1);
+    fb.block("entry");
+    let rec = fb.create_block("rec");
+    let basecase = fb.create_block("base");
+    let n = fb.param(0);
+    let c = fb.cmp(CmpOp::Lt, n, 2);
+    fb.cond_br(c, basecase, rec);
+    fb.switch_to(basecase);
+    fb.ret(n);
+    fb.switch_to(rec);
+    let n1 = fb.sub(n, 1);
+    let n2 = fb.sub(n, 2);
+    let a = fb.call(FuncId(0), vec![Operand::Reg(n1)]);
+    let b = fb.call(FuncId(0), vec![Operand::Reg(n2)]);
+    let s = fb.add(a, Operand::Reg(b));
+    fb.ret(s);
+    let f = fb.finish_into(&mut m);
+
+    let mut fb = FunctionBuilder::new("main", 0);
+    fb.block("entry");
+    let r = fb.call(f, vec![Operand::Imm(12)]);
+    let addr = fb.iconst(0);
+    fb.store(addr, 0, r);
+    fb.ret_void();
+    let main = fb.finish_into(&mut m);
+
+    let cost = CostModel::default();
+    let (metrics, hit) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: main,
+            args: vec![],
+        }],
+        no_jitter(cfg(ExecMode::Baseline)),
+    );
+    assert!(!hit);
+    // fib(12) = 144 recursive calls dominate the instruction count.
+    assert!(metrics.per_thread[0].instructions > 1000);
+}
+
+#[test]
+fn tick_dyn_advances_clock_by_size() {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("f", 1);
+    fb.block("entry");
+    let len = fb.param(0);
+    fb.push(Inst::TickDyn {
+        base: 3,
+        per_unit: 2,
+        size: Operand::Reg(len),
+    });
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let (metrics, _) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: f,
+            args: vec![10],
+        }],
+        no_jitter(cfg(ExecMode::ClocksOnly)),
+    );
+    assert_eq!(metrics.per_thread[0].final_clock, 3 + 2 * 10);
+}
+
+#[test]
+fn ticks_free_in_baseline_and_kendo() {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("f", 0);
+    fb.block("entry");
+    for _ in 0..100 {
+        fb.push(Inst::Tick { amount: 5 });
+    }
+    fb.compute(10);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let t = [ThreadSpec {
+        func: f,
+        args: vec![],
+    }];
+    let (base, _) = run(&m, &cost, &t, no_jitter(cfg(ExecMode::Baseline)));
+    let (clk, _) = run(&m, &cost, &t, no_jitter(cfg(ExecMode::ClocksOnly)));
+    let (kendo, _) = run(
+        &m,
+        &cost,
+        &t,
+        no_jitter(cfg(ExecMode::Kendo(KendoParams::default()))),
+    );
+    assert!(clk.cycles > base.cycles + 150, "100 ticks cost ≥ 200 cycles");
+    // Kendo executes no ticks: same busy cycles as baseline (single thread,
+    // exit is a det event but with one thread it is always the min).
+    assert_eq!(kendo.per_thread[0].ticks_executed, 0);
+    assert_eq!(base.per_thread[0].ticks_executed, 0);
+    assert_eq!(clk.per_thread[0].ticks_executed, 100);
+}
+
+#[test]
+fn kendo_chunked_clock_advances_on_stores() {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("f", 0);
+    fb.block("entry");
+    let addr = fb.iconst(0);
+    for k in 0..20 {
+        fb.store(addr, k, 1i64);
+    }
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let (metrics, _) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: f,
+            args: vec![],
+        }],
+        no_jitter(cfg(ExecMode::Kendo(KendoParams {
+            chunk_size: 8,
+            interrupt_cost: 10,
+        }))),
+    );
+    // 20 stores → 2 full chunks of 8 → clock 16 (chunk granularity).
+    assert_eq!(metrics.per_thread[0].final_clock, 16);
+    assert_eq!(metrics.per_thread[0].retired_stores, 20);
+}
+
+#[test]
+fn memset_counts_stores_and_writes_memory() {
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("f", 0);
+    fb.block("entry");
+    fb.builtin_void(
+        detlock_ir::Builtin::Memset,
+        vec![Operand::Imm(10), Operand::Imm(7), Operand::Imm(16)],
+        Some(2),
+    );
+    let a = fb.iconst(10);
+    let v = fb.load(a, 3);
+    let out = fb.iconst(200);
+    fb.store(out, 0, v);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let (metrics, _) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: f,
+            args: vec![],
+        }],
+        no_jitter(cfg(ExecMode::Baseline)),
+    );
+    assert_eq!(metrics.per_thread[0].retired_stores, 17);
+}
+
+#[test]
+fn cycle_limit_reported() {
+    // Infinite loop must hit the limit, not hang.
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("spin", 0);
+    let entry = fb.block("entry");
+    fb.compute(2);
+    fb.br(entry);
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let mut c = no_jitter(cfg(ExecMode::Baseline));
+    c.max_cycles = 10_000;
+    let (metrics, hit) = run(
+        &m,
+        &cost,
+        &[ThreadSpec {
+            func: f,
+            args: vec![],
+        }],
+        c,
+    );
+    assert!(hit);
+    assert_eq!(metrics.cycles, 10_000);
+}
+
+#[test]
+fn start_placement_reduces_det_wait_vs_end_placement() {
+    // The Figure 15 mechanism: a lock waiter is released once every other
+    // thread's logical clock passes its own bar; clocks only move at ticks,
+    // so a runner inside a big block is "stale" by the unexecuted part of
+    // the block with End placement, but runs ahead of execution with Start
+    // placement. The effect needs *heterogeneous* per-iteration work (as in
+    // Radiosity's variable-size tasks) so that bars land mid-block.
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("worker", 2); // (tid, iters)
+    fb.block("entry");
+    let head = fb.create_block("head");
+    let pick = fb.create_block("pick");
+    let small = fb.create_block("small");
+    let medium = fb.create_block("medium");
+    let large = fb.create_block("large");
+    let huge = fb.create_block("huge");
+    let lock_bb = fb.create_block("lock_bb");
+    let next = fb.create_block("next");
+    let done = fb.create_block("done");
+    let tid = fb.param(0);
+    let iters = fb.param(1);
+    let i = fb.iconst(0);
+    let seed0 = fb.add(tid, 12345);
+    let state = fb.mov(seed0);
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, iters);
+    fb.cond_br(c, pick, done);
+    fb.switch_to(pick);
+    // Pseudo-random size class per (thread, iteration).
+    let state2 = fb.builtin(detlock_ir::Builtin::Rand, vec![Operand::Reg(state)], None);
+    fb.mov_to(state, state2);
+    let cls = fb.bin(BinOp::And, state2, 3);
+    fb.switch(cls, vec![(0, small), (1, medium), (2, large)], huge);
+    fb.switch_to(small);
+    fb.compute(40);
+    fb.br(lock_bb);
+    fb.switch_to(medium);
+    fb.compute(130);
+    fb.br(lock_bb);
+    fb.switch_to(large);
+    fb.compute(260);
+    fb.br(lock_bb);
+    fb.switch_to(huge);
+    fb.compute(400);
+    fb.br(lock_bb);
+    fb.switch_to(lock_bb);
+    fb.lock(0i64);
+    let a = fb.iconst(300);
+    let v = fb.load(a, 0);
+    let v2 = fb.add(v, 1);
+    fb.store(a, 0, v2);
+    fb.unlock(0i64);
+    fb.br(next);
+    fb.switch_to(next);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(head);
+    fb.switch_to(done);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let threads: Vec<ThreadSpec> = (0..4)
+        .map(|t| ThreadSpec {
+            func: f,
+            args: vec![t, 100],
+        })
+        .collect();
+
+    let mk = |placement| {
+        detlock_passes::pipeline::instrument(
+            &m,
+            &cost,
+            &detlock_passes::pipeline::OptConfig::none(),
+            placement,
+            &[f],
+        )
+    };
+    let start = mk(detlock_passes::plan::Placement::Start);
+    let end = mk(detlock_passes::plan::Placement::End);
+    let (ms, _) = run(&start.module, &cost, &threads, no_jitter(cfg(ExecMode::Det)));
+    let (me, _) = run(&end.module, &cost, &threads, no_jitter(cfg(ExecMode::Det)));
+    assert!(
+        ms.wait_cycles() < me.wait_cycles(),
+        "ahead-of-time (start) placement should cut deterministic wait: \
+         start={} end={} (cycles {} vs {})",
+        ms.wait_cycles(),
+        me.wait_cycles(),
+        ms.cycles,
+        me.cycles
+    );
+}
+
+#[test]
+fn bulk_sync_mode_is_deterministic_and_slower() {
+    // CoreDet-style rounds (paper §II): deterministic across seeds, with a
+    // much higher overhead than DetLock at small quanta — the reason the
+    // paper adopts weak determinism instead.
+    use detlock_vm::machine::BulkSyncParams;
+    let (m, f) = counter_program(0, 20);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 40);
+    let mode = ExecMode::BulkSync(BulkSyncParams {
+        quantum: 300,
+        commit_base: 200,
+        commit_per_store: 2,
+    });
+    let report = check_determinism(&m, &cost, &threads, &cfg(mode), &[1, 2, 99, 4242]);
+    assert!(!report.any_hit_limit, "bulk-sync deadlocked");
+    assert!(report.deterministic, "{:x?}", report.hashes);
+
+    let (base, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::Baseline)));
+    let (bulk, _) = run(&m, &cost, &threads, no_jitter(cfg(mode)));
+    assert!(
+        bulk.cycles as f64 > base.cycles as f64 * 1.2,
+        "rounds + commits must cost real time: {} vs {}",
+        bulk.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn bulk_sync_overhead_explodes_at_tiny_quanta() {
+    // Uncontended variant (per-thread locks): with a shared lock the
+    // dominant cost is that grants happen only at round boundaries (so
+    // *long* quanta serialize handoffs — the other side of CoreDet's
+    // tradeoff, covered by bulk_sync_mode_is_deterministic_and_slower).
+    // With private locks, what varies is pure quantum-barrier + commit
+    // frequency.
+    use detlock_vm::machine::BulkSyncParams;
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("worker", 2); // (tid, iters)
+    fb.block("entry");
+    let head = fb.create_block("head");
+    let body = fb.create_block("body");
+    let done = fb.create_block("done");
+    let tid = fb.param(0);
+    let iters = fb.param(1);
+    let i = fb.iconst(0);
+    let my_lock = fb.add(tid, 100);
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, iters);
+    fb.cond_br(c, body, done);
+    fb.switch_to(body);
+    fb.compute(3000);
+    fb.lock(my_lock);
+    let a = fb.add(tid, 500);
+    let v = fb.load(a, 0);
+    let v2 = fb.add(v, 1);
+    fb.store(a, 0, v2);
+    fb.unlock(my_lock);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(head);
+    fb.switch_to(done);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 2);
+    let (base, _) = run(&m, &cost, &threads, no_jitter(cfg(ExecMode::Baseline)));
+    let at = |quantum: u64| {
+        let mode = ExecMode::BulkSync(BulkSyncParams {
+            quantum,
+            commit_base: 200,
+            commit_per_store: 2,
+        });
+        let (r, hit) = run(&m, &cost, &threads, no_jitter(cfg(mode)));
+        assert!(!hit);
+        r.cycles as f64 / base.cycles as f64
+    };
+    let coarse = at(5000);
+    let fine = at(100);
+    assert!(
+        fine > coarse * 1.5,
+        "smaller quanta must cost much more: {fine:.2}x vs {coarse:.2}x"
+    );
+}
+
+#[test]
+fn bulk_sync_handles_barriers() {
+    use detlock_vm::machine::BulkSyncParams;
+    // App barriers inside bulk-sync rounds must release correctly.
+    let mut m = Module::new();
+    let mut fb = FunctionBuilder::new("bar", 1);
+    fb.block("entry");
+    let after = fb.create_block("after");
+    let tid = fb.param(0);
+    let work = fb.mul(tid, 30);
+    let i = fb.iconst(0);
+    let head = fb.create_block("head");
+    let body = fb.create_block("body");
+    fb.br(head);
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, i, work);
+    fb.cond_br(c, body, after);
+    fb.switch_to(body);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(head);
+    fb.switch_to(after);
+    fb.barrier(BarrierId(0));
+    fb.compute(5);
+    fb.ret_void();
+    let f = fb.finish_into(&mut m);
+    let cost = CostModel::default();
+    let threads: Vec<ThreadSpec> = (0..4)
+        .map(|t| ThreadSpec {
+            func: f,
+            args: vec![t],
+        })
+        .collect();
+    let (metrics, hit) = run(
+        &m,
+        &cost,
+        &threads,
+        no_jitter(cfg(ExecMode::BulkSync(BulkSyncParams::default()))),
+    );
+    assert!(!hit, "barrier under bulk-sync must not deadlock");
+    for t in &metrics.per_thread {
+        assert_eq!(t.barrier_waits, 1);
+    }
+}

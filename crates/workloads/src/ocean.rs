@@ -1,0 +1,148 @@
+//! *Ocean*-shaped workload: large straight-line grid sweeps separated by
+//! barriers, with a single end-of-run reduction lock.
+//!
+//! SPLASH-2 Ocean simulates eddy currents with red-black Gauss-Seidel
+//! sweeps; per-thread work is long runs of dense stencil arithmetic. The
+//! relevant shape for DetLock (Table I column 1): very large basic blocks
+//! (tick overhead amortizes to ~0%) and a lock frequency orders of
+//! magnitude below every other benchmark.
+
+use crate::{ThreadPlan, Workload};
+use crate::util::{mixed_compute, scratch_base, GenRng};
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::types::BarrierId;
+use detlock_ir::Module;
+
+/// Ocean parameters.
+#[derive(Debug, Clone)]
+pub struct OceanParams {
+    /// Outer timesteps.
+    pub timesteps: i64,
+    /// Grid rows swept per thread per phase.
+    pub rows: i64,
+    /// Instructions per row sweep (the big-block size).
+    pub row_ops: usize,
+}
+
+impl OceanParams {
+    /// Parameters scaled from the defaults.
+    pub fn scaled(scale: f64) -> OceanParams {
+        OceanParams {
+            timesteps: ((400.0 * scale) as i64).max(2),
+            rows: 24,
+            row_ops: 250,
+        }
+    }
+}
+
+/// Build the Ocean workload for `threads` threads.
+pub fn build(threads: usize, params: &OceanParams) -> Workload {
+    let mut module = Module::new();
+    let mut rng = GenRng::new(0x0cea);
+
+    // entry(tid, timesteps, rows)
+    let mut fb = FunctionBuilder::new("ocean_thread", 3);
+    fb.block("entry");
+    let ts_head = fb.create_block("ts.cond");
+    let phase_a_head = fb.create_block("sweepA.cond");
+    let phase_a_body = fb.create_block("sweepA.body");
+    let phase_a_end = fb.create_block("sweepA.end");
+    let phase_b_head = fb.create_block("sweepB.cond");
+    let phase_b_body = fb.create_block("sweepB.body");
+    let phase_b_end = fb.create_block("sweepB.end");
+    let ts_latch = fb.create_block("ts.inc");
+    let reduce = fb.create_block("reduce");
+    let done = fb.create_block("done");
+
+    let tid = fb.param(0);
+    let timesteps = fb.param(1);
+    let rows = fb.param(2);
+    let scratch = scratch_base(&mut fb, tid);
+    let ts = fb.iconst(0);
+    let r = fb.iconst(0);
+    fb.br(ts_head);
+
+    fb.switch_to(ts_head);
+    let c = fb.cmp(CmpOp::Lt, ts, timesteps);
+    fb.cond_br(c, phase_a_head, reduce);
+
+    // Phase A sweep.
+    fb.switch_to(phase_a_head);
+    fb.mov_to(r, 0i64);
+    fb.br(phase_a_body);
+    fb.switch_to(phase_a_body);
+    mixed_compute(&mut fb, params.row_ops + (rng.range(0, 16) as usize), scratch);
+    fb.bin_to(BinOp::Add, r, r, 1);
+    let ca = fb.cmp(CmpOp::Lt, r, rows);
+    fb.cond_br(ca, phase_a_body, phase_a_end);
+    fb.switch_to(phase_a_end);
+    fb.barrier(BarrierId(0));
+    fb.br(phase_b_head);
+
+    // Phase B sweep.
+    fb.switch_to(phase_b_head);
+    fb.mov_to(r, 0i64);
+    fb.br(phase_b_body);
+    fb.switch_to(phase_b_body);
+    mixed_compute(&mut fb, params.row_ops + (rng.range(0, 16) as usize), scratch);
+    fb.bin_to(BinOp::Add, r, r, 1);
+    let cb = fb.cmp(CmpOp::Lt, r, rows);
+    fb.cond_br(cb, phase_b_body, phase_b_end);
+    fb.switch_to(phase_b_end);
+    fb.barrier(BarrierId(0));
+    fb.br(ts_latch);
+
+    fb.switch_to(ts_latch);
+    fb.bin_to(BinOp::Add, ts, ts, 1);
+    fb.br(ts_head);
+
+    // End-of-run global error reduction under the lock.
+    fb.switch_to(reduce);
+    fb.lock(1i64);
+    let acc_addr = fb.iconst(16);
+    let v = fb.load(acc_addr, 0);
+    let local = fb.load(scratch, 0);
+    let sum = fb.add(v, Operand::Reg(local));
+    fb.store(acc_addr, 0, sum);
+    fb.unlock(1i64);
+    fb.br(done);
+    fb.switch_to(done);
+    fb.ret_void();
+    let entry = fb.finish_into(&mut module);
+
+    Workload {
+        name: "ocean",
+        module,
+        entries: vec![entry],
+        threads: (0..threads)
+            .map(|t| ThreadPlan {
+                func: entry,
+                args: vec![t as i64, params.timesteps, params.rows],
+            })
+            .collect(),
+        mem_words: 1 << 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::verify::verify_module;
+
+    #[test]
+    fn builds_and_verifies() {
+        let w = build(4, &OceanParams::scaled(0.1));
+        assert!(verify_module(&w.module).is_ok());
+        assert_eq!(w.threads.len(), 4);
+        assert_eq!(w.name, "ocean");
+    }
+
+    #[test]
+    fn big_blocks_dominate() {
+        let w = build(4, &OceanParams::scaled(0.1));
+        let f = w.module.func(w.entries[0]);
+        let max_block = f.blocks.iter().map(|b| b.insts.len()).max().unwrap();
+        assert!(max_block >= 200, "ocean must have large blocks: {max_block}");
+    }
+}

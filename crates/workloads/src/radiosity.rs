@@ -1,0 +1,402 @@
+//! *Radiosity*-shaped workload: a task queue with a very high lock
+//! frequency feeding heterogeneous, compute-dense tasks built from many
+//! small clockable functions.
+//!
+//! Radiosity is the paper's stress test: 2.2M locks/sec, high clock
+//! overhead (41% unoptimized), the largest deterministic-execution overhead
+//! (72% unoptimized), and the benchmark where Function Clocking (O1)
+//! shines — its compute-intensive leaf functions are exactly the
+//! "clockable" shape, and charging their whole cost ahead of time at the
+//! call site slashes the time lock waiters spend watching stale clocks
+//! (§V-A/§V-B, Figure 15).
+//!
+//! Structure mirrored from the original: *task processing* functions
+//! (`process_kind*`) contain subdivision loops and branchy glue — loops
+//! make them unclockable, so their clock code survives O1 and is what O2/O4
+//! attack; the *leaf* functions they call (`form_factor*`,
+//! `intersection_type*` — the paper's running example is
+//! `intersection_type`) are loop-free ladders of small balanced diamonds —
+//! dense with ticks when unoptimized, fully de-clocked by O1. Task sizes
+//! span ~25× (visibility test vs full element subdivision), which drifts
+//! thread clocks apart and makes deterministic waits bite at this lock
+//! rate.
+
+use crate::util::{scratch_base, single_block_leaf, GenRng, SCRATCH_WORDS};
+use crate::{ThreadPlan, Workload};
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::types::FuncId;
+use detlock_ir::Module;
+
+/// Radiosity parameters.
+#[derive(Debug, Clone)]
+pub struct RadiosityParams {
+    /// Total tasks in the queue.
+    pub tasks: i64,
+    /// Number of generated leaf compute functions.
+    pub leaves: usize,
+    /// Number of mid-level functions (each calls a few leaves).
+    pub mids: usize,
+    /// Distinct task kinds (switch fan-out).
+    pub kinds: usize,
+}
+
+impl RadiosityParams {
+    /// Parameters scaled from the defaults.
+    pub fn scaled(scale: f64) -> RadiosityParams {
+        RadiosityParams {
+            tasks: ((1400.0 * scale) as i64).max(16),
+            leaves: 26,
+            mids: 6,
+            kinds: 8,
+        }
+    }
+}
+
+/// Build the Radiosity workload.
+pub fn build(threads: usize, params: &RadiosityParams) -> Workload {
+    build_with_iters(threads, params, 7)
+}
+
+/// [`build`] with an explicit subdivision multiplier (larger ⇒ bigger tasks
+/// ⇒ lower lock frequency — used for the Kendo-dataset variant).
+pub fn build_with_iters(
+    threads: usize,
+    params: &RadiosityParams,
+    iter_multiplier: i64,
+) -> Workload {
+    let mut module = Module::new();
+    let mut rng = GenRng::new(0x4ad1051);
+
+    // Micro-leaves: tiny single-block helpers (vector ops, table lookups).
+    let n_micro = 8;
+    let mut micros: Vec<FuncId> = Vec::new();
+    for i in 0..n_micro {
+        micros.push(single_block_leaf(
+            &mut module,
+            format!("vec_op{i}"),
+            rng.range(8, 16) as usize,
+        ));
+    }
+
+    // Leaf compute functions: ladders of small balanced diamonds whose arms
+    // call micro-leaves. This is the paper's call-graph shape: a ladder is
+    // *tight* only after the micro-leaves' means are substituted at their
+    // call sites — which is exactly what Optimization 1's greedy fixpoint
+    // does (Fig. 4). Optimization 3, being intra-function, sees unclocked
+    // calls pinning the arm blocks and cannot average the region — the
+    // paper's observation that O3 helps Radiosity far less than O1.
+    let mut leaves: Vec<FuncId> = Vec::new();
+    for i in 0..params.leaves {
+        let name = if i % 3 == 0 {
+            format!("intersection_type{i}")
+        } else {
+            format!("form_factor{i}")
+        };
+        let rungs = rng.range(6, 12) as usize;
+        let mut fb = FunctionBuilder::new(name, 2); // (scratch, sel)
+        fb.block("entry");
+        let scratch = fb.param(0);
+        let sel = fb.param(1);
+        let acc = fb.iconst(1);
+        for rung in 0..rungs {
+            let t = fb.create_block(format!("r{rung}.then"));
+            let e = fb.create_block(format!("r{rung}.else"));
+            let m = fb.create_block(format!("r{rung}.end"));
+            let bit = fb.bin(BinOp::Shr, sel, rung as i64 & 31);
+            let bit = fb.bin(BinOp::And, bit, 1);
+            let c = fb.cmp(CmpOp::Ne, bit, 0);
+            fb.cond_br(c, t, e);
+            let arm = rng.range(2, 6) as i64;
+            fb.switch_to(t);
+            for k in 0..arm {
+                fb.bin_to(BinOp::Add, acc, acc, Operand::Imm(k + 1));
+            }
+            if rung % 3 == 0 {
+                let micro = micros[rng.range(0, n_micro as u64) as usize];
+                fb.call_void(micro, vec![Operand::Reg(scratch)]);
+            }
+            fb.br(m);
+            fb.switch_to(e);
+            for k in 0..arm {
+                fb.bin_to(BinOp::Xor, acc, acc, Operand::Imm(k + 3));
+            }
+            if rung % 3 == 0 {
+                let micro = micros[rng.range(0, n_micro as u64) as usize];
+                fb.call_void(micro, vec![Operand::Reg(scratch)]);
+            }
+            fb.store(scratch, (rung as i64 * 3) % SCRATCH_WORDS, Operand::Reg(acc));
+            fb.br(m);
+            fb.switch_to(m);
+            fb.bin_to(BinOp::Mul, acc, acc, Operand::Imm(3));
+        }
+        fb.store(scratch, 1, Operand::Reg(acc));
+        fb.ret_void();
+        leaves.push(fb.finish_into(&mut module));
+    }
+
+    // Mid-level functions: call 2-4 leaves with small glue; clockable once
+    // the leaves are (exercises the greedy fixpoint of Fig. 4).
+    let mut mids: Vec<FuncId> = Vec::new();
+    for i in 0..params.mids {
+        let mut fb = FunctionBuilder::new(format!("compute_patch{i}"), 2); // (scratch, sel)
+        fb.block("entry");
+        let scratch = fb.param(0);
+        let sel = fb.param(1);
+        let ncalls = rng.range(4, 7);
+        for c in 0..ncalls {
+            let leaf = leaves[rng.range(0, leaves.len() as u64) as usize];
+            let s = fb.add(sel, c as i64);
+            fb.call_void(leaf, vec![Operand::Reg(scratch), Operand::Reg(s)]);
+        }
+        fb.ret_void();
+        mids.push(fb.finish_into(&mut module));
+    }
+
+    // Task-kind processors: a subdivision loop (unclockable) whose body is
+    // branchy small-block glue plus leaf/mid calls. Task cost scales with
+    // the kind: kind 0 ≈ a quick visibility test, kind 7 ≈ a full
+    // subdivision pass — ~25× spread.
+    let mut kind_funcs: Vec<FuncId> = Vec::new();
+    for kind in 0..params.kinds {
+        let mut fb = FunctionBuilder::new(format!("process_kind{kind}"), 2); // (scratch, task)
+        fb.block("entry");
+        let head = fb.create_block("sub.cond");
+        let body = fb.create_block("sub.body");
+        let glue_a = fb.create_block("glue.then");
+        let glue_b = fb.create_block("glue.else");
+        let glue_m = fb.create_block("glue.end");
+        let call_bb = fb.create_block("calls");
+        let latch = fb.create_block("sub.inc");
+        let out = fb.create_block("out");
+
+        let scratch = fb.param(0);
+        let task = fb.param(1);
+        let sub = fb.iconst(0);
+        // Subdivision count scales with the kind: ~25x spread of task cost.
+        let iters = fb.iconst((1 + 2 * kind as i64) * iter_multiplier);
+        fb.br(head);
+
+        fb.switch_to(head);
+        let budget = fb.add(iters, 0i64); // header slightly heavier than latch
+        let c = fb.cmp(CmpOp::Lt, sub, budget);
+        fb.cond_br(c, body, out);
+
+        fb.switch_to(body);
+        // Small glue diamond (O2's shape).
+        let mix = fb.add(task, Operand::Reg(sub));
+        let bit = fb.bin(BinOp::And, mix, 1);
+        let gc = fb.cmp(CmpOp::Ne, bit, 0);
+        fb.cond_br(gc, glue_a, glue_b);
+        fb.switch_to(glue_a);
+        let v = fb.mul(mix, 5);
+        fb.store(scratch, 30, Operand::Reg(v));
+        fb.br(glue_m);
+        // The else arm is several times heavier: the imbalance keeps
+        // Optimization 3 from averaging the glue (paper: O3 has little
+        // effect on Radiosity) while Optimization 2a still hoists the
+        // minimum precisely.
+        fb.switch_to(glue_b);
+        let w = fb.bin(BinOp::Xor, mix, 0x3f);
+        crate::util::mixed_compute(&mut fb, 12, scratch);
+        fb.store(scratch, 31, Operand::Reg(w));
+        fb.br(glue_m);
+        fb.switch_to(glue_m);
+        // Every 128th subdivision updates a patch element under its own lock
+        // (radiosity locks the element being refined).
+        let lock_m = fb.create_block("elem.lock");
+        let lock_skip = fb.create_block("elem.skip");
+        let phase = fb.bin(BinOp::And, sub, 127);
+        let do_lock = fb.cmp(CmpOp::Eq, phase, 0);
+        fb.cond_br(do_lock, lock_m, lock_skip);
+        fb.switch_to(lock_m);
+        let elem = fb.bin(BinOp::And, mix, 63);
+        let elem_lock = fb.add(elem, 200);
+        fb.lock(elem_lock);
+        let eaddr = fb.add(elem, 2048);
+        let old = fb.load(eaddr, 0);
+        let upd = fb.add(old, Operand::Reg(mix));
+        fb.store(eaddr, 0, upd);
+        crate::util::mixed_compute(&mut fb, 24, scratch);
+        fb.unlock(elem_lock);
+        fb.br(call_bb);
+        fb.switch_to(lock_skip);
+        crate::util::mixed_compute(&mut fb, 5, scratch);
+        fb.br(call_bb);
+
+        fb.switch_to(call_bb);
+        // A leaf/mid call every 4th subdivision iteration; the rest of the
+        // loop is raw branchy glue (the unclockable clock mass O1 cannot
+        // touch but O2/O4 can reduce).
+        let call_do = fb.create_block("call.do");
+        let call_skip = fb.create_block("call.skip");
+        let cphase = fb.bin(BinOp::And, sub, 3);
+        let do_call = fb.cmp(CmpOp::Eq, cphase, 0);
+        fb.cond_br(do_call, call_do, call_skip);
+        fb.switch_to(call_do);
+        let use_mid = kind >= 5 && !mids.is_empty();
+        let callee = if use_mid {
+            mids[rng.range(0, mids.len() as u64) as usize]
+        } else {
+            leaves[rng.range(0, leaves.len() as u64) as usize]
+        };
+        let sel = fb.add(mix, 1i64);
+        fb.call_void(callee, vec![Operand::Reg(scratch), Operand::Reg(sel)]);
+        fb.br(latch);
+        fb.switch_to(call_skip);
+        crate::util::mixed_compute(&mut fb, 6, scratch);
+        fb.br(latch);
+
+        fb.switch_to(latch);
+        fb.bin_to(BinOp::Add, sub, sub, 1);
+        fb.br(head);
+
+        fb.switch_to(out);
+        fb.ret_void();
+        kind_funcs.push(fb.finish_into(&mut module));
+    }
+
+    // Entry: pop tasks from the shared queue (the hot lock) until empty.
+    // entry(tid, total_tasks)
+    let mut fb = FunctionBuilder::new("radiosity_thread", 2);
+    fb.block("entry");
+    let loop_head = fb.create_block("task.loop");
+    let dispatch = fb.create_block("task.dispatch");
+    let done = fb.create_block("done");
+    let tid = fb.param(0);
+    let total = fb.param(1);
+    let scratch = scratch_base(&mut fb, tid);
+    fb.br(loop_head);
+
+    fb.switch_to(loop_head);
+    // Realistic dequeue: the critical section updates several queue words
+    // (head, tail, per-kind counters), not just one counter — the hold time
+    // is what turns high lock frequency into deterministic-execution cost.
+    let qaddr = fb.iconst(crate::util::QUEUE_HEAD);
+    fb.lock(0i64);
+    let task = fb.load(qaddr, 0);
+    let next = fb.add(task, 1);
+    fb.store(qaddr, 0, next);
+    crate::util::mixed_compute(&mut fb, 420, scratch);
+    fb.unlock(0i64);
+    let have = fb.cmp(CmpOp::Lt, task, total);
+    fb.cond_br(have, dispatch, done);
+
+    fb.switch_to(dispatch);
+    // kind = mix(task) % kinds — heterogeneous, deterministic.
+    let h = fb.mul(task, 2654435761i64);
+    let h = fb.bin(BinOp::Shr, h, 8);
+    let kind = fb.bin(BinOp::Rem, h, params.kinds as i64);
+    let cases: Vec<(i64, detlock_ir::BlockId)> = (0..params.kinds)
+        .map(|k| (k as i64, fb.create_block(format!("kind{k}"))))
+        .collect();
+    let default_bb = cases[0].1;
+    fb.switch(kind, cases.clone(), default_bb);
+    for (k, bb) in &cases {
+        fb.switch_to(*bb);
+        fb.call_void(
+            kind_funcs[*k as usize],
+            vec![Operand::Reg(scratch), Operand::Reg(task)],
+        );
+        fb.br(loop_head);
+    }
+
+    fb.switch_to(done);
+    fb.ret_void();
+    let entry = fb.finish_into(&mut module);
+
+    Workload {
+        name: "radiosity",
+        module,
+        entries: vec![entry],
+        threads: (0..threads)
+            .map(|t| ThreadPlan {
+                func: entry,
+                args: vec![t as i64, params.tasks],
+            })
+            .collect(),
+        mem_words: 1 << 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::verify::verify_module;
+    use detlock_passes::cost::CostModel;
+    use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+    use detlock_passes::plan::Placement;
+
+    #[test]
+    fn builds_and_verifies() {
+        let w = build(4, &RadiosityParams::scaled(0.05));
+        assert!(verify_module(&w.module).is_ok());
+        assert!(w.module.functions.len() > 40);
+    }
+
+    #[test]
+    fn o1_finds_many_clockable_functions() {
+        // The paper reports 39 clockable functions for Radiosity.
+        let w = build(4, &RadiosityParams::scaled(0.05));
+        let cost = CostModel::default();
+        let out = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::only(OptLevel::O1),
+            Placement::Start,
+            &w.entries,
+        );
+        let n = out.stats.clockable_functions;
+        assert!(
+            (30..=44).contains(&n),
+            "clockable function count out of the paper's ballpark: {n}"
+        );
+    }
+
+    #[test]
+    fn task_processors_are_not_clockable() {
+        // Their loops must keep them (and their glue ticks) out of O1's
+        // reach — that is what keeps Radiosity's O1 row at 30%, not 0%.
+        let w = build(4, &RadiosityParams::scaled(0.05));
+        let cost = CostModel::default();
+        let out = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::only(OptLevel::O1),
+            Placement::Start,
+            &w.entries,
+        );
+        for (fid, f) in w.module.iter_funcs() {
+            if f.name.starts_with("process_kind") {
+                assert!(
+                    out.plan.clocked[fid.index()].is_none(),
+                    "{} must not be clockable",
+                    f.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn o1_reduces_ticks_substantially_but_not_fully() {
+        let w = build(4, &RadiosityParams::scaled(0.05));
+        let cost = CostModel::default();
+        let count = |lvl| {
+            instrument(
+                &w.module,
+                &cost,
+                &OptConfig::only(lvl),
+                Placement::Start,
+                &w.entries,
+            )
+            .stats
+            .ticks_inserted
+        };
+        let none = count(OptLevel::None);
+        let o1 = count(OptLevel::O1);
+        let all = count(OptLevel::All);
+        assert!(o1 < none * 3 / 4, "O1 should remove ≥25% of ticks: {o1} vs {none}");
+        assert!(o1 > 10, "O1 must leave the task-processor glue ticks");
+        assert!(all < o1, "All should beat O1 alone: {all} vs {o1}");
+    }
+}

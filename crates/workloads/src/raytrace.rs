@@ -1,0 +1,202 @@
+//! *Raytrace*-shaped workload: a tile queue feeding per-pixel ray casts
+//! with a branchy BVH-descent ladder and calls to small shading leaves.
+//!
+//! Table I shape: moderate lock frequency (~230k locks/sec — one lock per
+//! 64-pixel tile), medium basic blocks (~7% unoptimized clock overhead),
+//! many clockable functions (paper: 33), modest improvement from every
+//! optimization, and a deterministic-execution overhead a bit above the
+//! clock overhead.
+
+use crate::util::{branchy_leaf, pop_task, scratch_base, single_block_leaf, GenRng};
+use crate::{ThreadPlan, Workload};
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::types::FuncId;
+use detlock_ir::Module;
+
+/// Raytrace parameters.
+#[derive(Debug, Clone)]
+pub struct RaytraceParams {
+    /// Total tiles in the work queue.
+    pub tiles: i64,
+    /// Pixels per tile (work between queue locks).
+    pub pixels_per_tile: i64,
+    /// Generated leaf functions (paper's clockable count: 33).
+    pub leaves: usize,
+}
+
+impl RaytraceParams {
+    /// Parameters scaled from the defaults.
+    pub fn scaled(scale: f64) -> RaytraceParams {
+        RaytraceParams {
+            tiles: ((120.0 * scale) as i64).max(8),
+            pixels_per_tile: 64,
+            leaves: 30,
+        }
+    }
+}
+
+/// Build the Raytrace workload.
+pub fn build(threads: usize, params: &RaytraceParams) -> Workload {
+    let mut module = Module::new();
+    let mut rng = GenRng::new(0x4a117ace);
+
+    let mut leaves: Vec<FuncId> = Vec::new();
+    for i in 0..params.leaves {
+        let id = if i % 4 == 0 {
+            branchy_leaf(
+                &mut module,
+                format!("shade{i}"),
+                rng.range(14, 30) as usize,
+                rng.range(0, 3) as usize,
+            )
+        } else {
+            single_block_leaf(&mut module, format!("intersect{i}"), rng.range(20, 60) as usize)
+        };
+        leaves.push(id);
+    }
+
+    // trace_pixel(scratch, seed): BVH-descent ladder of medium blocks with
+    // data-dependent depth, then 2-4 shading calls.
+    let mut fb = FunctionBuilder::new("trace_pixel", 2);
+    fb.block("entry");
+    let scratch = fb.param(0);
+    let seed = fb.param(1);
+    let state = fb.mov(seed);
+    let exit_bb = fb.create_block("shade.calls");
+    const LADDER: usize = 6;
+    for level in 0..LADDER {
+        let hit = fb.create_block(format!("bvh{level}.hit"));
+        let slab = fb.create_block(format!("bvh{level}.lor.rhs"));
+        let miss = fb.create_block(format!("bvh{level}.miss"));
+        let cont = fb.create_block(format!("bvh{level}.cont"));
+        // Node test with a short-circuit OR — `if (quick_accept ||
+        // slab_test) hit else miss` — the exact `if.end21` /
+        // `lor.lhs.false23` / `if.then28` shape Optimization 2b targets.
+        crate::util::mixed_compute(&mut fb, 22, scratch);
+        let s2 = fb.builtin(detlock_ir::Builtin::Rand, vec![Operand::Reg(state)], None);
+        fb.mov_to(state, s2);
+        let b = fb.bin(BinOp::And, s2, 7);
+        let quick = fb.cmp(CmpOp::Lt, b, 4);
+        fb.cond_br(quick, hit, slab);
+        fb.switch_to(slab);
+        // The slower slab test (~8 instructions).
+        let t1 = fb.bin(BinOp::Shr, s2, 3);
+        let t2 = fb.bin(BinOp::And, t1, 15);
+        let t3 = fb.mul(t2, 3);
+        let t4 = fb.bin(BinOp::Xor, t3, Operand::Reg(b));
+        let c2 = fb.cmp(CmpOp::Lt, t4, 28);
+        fb.cond_br(c2, hit, miss);
+        fb.switch_to(miss);
+        // Early exit: a minority of rays leave the ladder here (pixel-cost
+        // heterogeneity).
+        crate::util::mixed_compute(&mut fb, 6, scratch);
+        fb.br(exit_bb);
+        fb.switch_to(hit);
+        crate::util::mixed_compute(&mut fb, 12, scratch);
+        fb.br(cont);
+        fb.switch_to(cont);
+    }
+    fb.br(exit_bb);
+    fb.switch_to(exit_bb);
+    // ~1 in 16 rays hits a reflective surface and pays a much deeper
+    // traversal (pixel-cost heterogeneity drives the deterministic waits).
+    let refl = fb.create_block("reflect");
+    let shade = fb.create_block("shade");
+    let rbits = fb.bin(BinOp::And, state, 15);
+    let is_refl = fb.cmp(CmpOp::Eq, rbits, 0);
+    fb.cond_br(is_refl, refl, shade);
+    fb.switch_to(refl);
+    crate::util::mixed_compute(&mut fb, 700, scratch);
+    fb.br(shade);
+    fb.switch_to(shade);
+    for c in 0..3 {
+        let leaf = leaves[rng.range(0, leaves.len() as u64) as usize];
+        let sel = fb.add(state, c as i64);
+        let mut args = vec![Operand::Reg(scratch)];
+        if module.func(leaf).params == 2 {
+            args.push(Operand::Reg(sel));
+        }
+        fb.call_void(leaf, args);
+    }
+    fb.ret_void();
+    let trace_pixel = fb.finish_into(&mut module);
+
+    // entry(tid, tiles, pixels_per_tile)
+    let mut fb = FunctionBuilder::new("raytrace_thread", 3);
+    fb.block("entry");
+    let tile_loop = fb.create_block("tile.loop");
+    let pixel_head = fb.create_block("pixel.cond");
+    let pixel_body = fb.create_block("pixel.body");
+    let done = fb.create_block("done");
+    let tid = fb.param(0);
+    let tiles = fb.param(1);
+    let ppt = fb.param(2);
+    let scratch = scratch_base(&mut fb, tid);
+    let p = fb.iconst(0);
+    fb.br(tile_loop);
+
+    fb.switch_to(tile_loop);
+    let tile = pop_task(&mut fb, 0);
+    let have = fb.cmp(CmpOp::Lt, tile, tiles);
+    fb.mov_to(p, 0i64);
+    fb.cond_br(have, pixel_head, done);
+
+    fb.switch_to(pixel_head);
+    let c = fb.cmp(CmpOp::Lt, p, ppt);
+    fb.cond_br(c, pixel_body, tile_loop);
+
+    fb.switch_to(pixel_body);
+    let tile_base = fb.mul(tile, 4096);
+    let seed = fb.add(tile_base, Operand::Reg(p));
+    fb.call_void(trace_pixel, vec![Operand::Reg(scratch), Operand::Reg(seed)]);
+    fb.bin_to(BinOp::Add, p, p, 1);
+    fb.br(pixel_head);
+
+    fb.switch_to(done);
+    fb.ret_void();
+    let entry = fb.finish_into(&mut module);
+
+    Workload {
+        name: "raytrace",
+        module,
+        entries: vec![entry],
+        threads: (0..threads)
+            .map(|t| ThreadPlan {
+                func: entry,
+                args: vec![t as i64, params.tiles, params.pixels_per_tile],
+            })
+            .collect(),
+        mem_words: 1 << 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::verify::verify_module;
+    use detlock_passes::cost::CostModel;
+    use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+    use detlock_passes::plan::Placement;
+
+    #[test]
+    fn builds_and_verifies() {
+        let w = build(4, &RaytraceParams::scaled(0.1));
+        assert!(verify_module(&w.module).is_ok());
+    }
+
+    #[test]
+    fn clockable_count_near_paper() {
+        let w = build(4, &RaytraceParams::scaled(0.1));
+        let cost = CostModel::default();
+        let out = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::only(OptLevel::O1),
+            Placement::Start,
+            &w.entries,
+        );
+        let n = out.stats.clockable_functions;
+        assert!((20..=40).contains(&n), "clockable: {n} (paper: 33)");
+    }
+}

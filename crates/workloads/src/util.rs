@@ -1,0 +1,289 @@
+//! Shared building blocks for workload generators.
+
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::types::{FuncId, Reg};
+use detlock_ir::Module;
+
+/// Memory layout constants shared by workloads: the task-queue head lives
+/// at word 0; per-thread scratch regions start here, 1024 words each.
+pub const QUEUE_HEAD: i64 = 0;
+/// Base address of per-thread scratch regions.
+pub const SCRATCH_BASE: i64 = 4096;
+/// Words per thread scratch region.
+pub const SCRATCH_WORDS: i64 = 1024;
+
+/// Deterministic pseudo-random stream for generator-time decisions (block
+/// sizes, branch shapes). Not `rand`-seeded: workload shapes must be stable
+/// across builds.
+#[derive(Clone)]
+pub struct GenRng(u64);
+
+impl GenRng {
+    /// Create with a fixed seed.
+    pub fn new(seed: u64) -> GenRng {
+        GenRng(seed.max(1))
+    }
+
+    /// Next raw value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `lo..hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// Emit a straight-line compute sequence of roughly `n` instructions with a
+/// realistic mix: ~60% ALU, ~20% loads, ~20% stores (stores matter — they
+/// drive the simulated-Kendo retired-store counter). Reads/writes stay
+/// within the scratch region addressed by `scratch` (a register holding the
+/// region base).
+pub fn mixed_compute(fb: &mut FunctionBuilder, n: usize, scratch: Reg) {
+    if n == 0 {
+        return;
+    }
+    let acc = fb.iconst(1);
+    let mut emitted = 1;
+    let mut k = 0i64;
+    while emitted < n {
+        match k % 5 {
+            0 => {
+                let v = fb.load(scratch, (k * 7) % SCRATCH_WORDS);
+                fb.bin_to(BinOp::Add, acc, acc, Operand::Reg(v));
+                emitted += 2;
+            }
+            1 => {
+                fb.store(scratch, (k * 11) % SCRATCH_WORDS, Operand::Reg(acc));
+                emitted += 1;
+            }
+            2 => {
+                fb.bin_to(BinOp::Xor, acc, acc, Operand::Imm(k & 0xff));
+                emitted += 1;
+            }
+            3 => {
+                fb.bin_to(BinOp::Mul, acc, acc, Operand::Imm(3));
+                emitted += 1;
+            }
+            _ => {
+                fb.bin_to(BinOp::Add, acc, acc, Operand::Imm(k));
+                emitted += 1;
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Generate a single-block leaf function of roughly `cost` instructions
+/// (always clockable: one path). Takes one scratch-base parameter.
+pub fn single_block_leaf(module: &mut Module, name: String, size: usize) -> FuncId {
+    let mut fb = FunctionBuilder::new(name, 1);
+    fb.block("entry");
+    let scratch = fb.param(0);
+    mixed_compute(&mut fb, size, scratch);
+    fb.ret_void();
+    fb.finish_into(module)
+}
+
+/// Generate a branchy leaf with two nearly-balanced arms (clockable when
+/// `imbalance` is small relative to the arm size, per the paper's
+/// mean/2.5 and mean/5 criteria; unclockable when large).
+pub fn branchy_leaf(
+    module: &mut Module,
+    name: String,
+    arm: usize,
+    imbalance: usize,
+) -> FuncId {
+    let mut fb = FunctionBuilder::new(name, 2); // (scratch, selector)
+    fb.block("entry");
+    let t = fb.create_block("if.then");
+    let e = fb.create_block("if.else");
+    let m = fb.create_block("if.end");
+    let scratch = fb.param(0);
+    let sel = fb.param(1);
+    let bit = fb.bin(BinOp::And, sel, 1);
+    let c = fb.cmp(CmpOp::Ne, bit, 0);
+    fb.cond_br(c, t, e);
+    fb.switch_to(t);
+    mixed_compute(&mut fb, arm, scratch);
+    fb.br(m);
+    fb.switch_to(e);
+    mixed_compute(&mut fb, arm + imbalance, scratch);
+    fb.br(m);
+    fb.switch_to(m);
+    mixed_compute(&mut fb, 4, scratch);
+    fb.ret_void();
+    fb.finish_into(module)
+}
+
+/// Generate a *laddered* leaf: a chain of `rungs` small balanced diamonds
+/// (blocks of 2–6 instructions). High tick density when unoptimized, tight
+/// path totals (clockable) — the compute-intensive-but-regular shape the
+/// paper credits for Radiosity's Function Clocking gains.
+pub fn laddered_leaf(
+    module: &mut Module,
+    name: String,
+    rungs: usize,
+    rng: &mut GenRng,
+) -> FuncId {
+    laddered_leaf_with_arms(module, name, rungs, 2, 6, rng)
+}
+
+/// [`laddered_leaf`] with explicit arm-size bounds — larger arms make the
+/// function compute-dense (radiosity's form-factor kernels) while staying
+/// clockable.
+pub fn laddered_leaf_with_arms(
+    module: &mut Module,
+    name: String,
+    rungs: usize,
+    arm_lo: u64,
+    arm_hi: u64,
+    rng: &mut GenRng,
+) -> FuncId {
+    let mut fb = FunctionBuilder::new(name, 2); // (scratch, sel)
+    fb.block("entry");
+    let scratch = fb.param(0);
+    let sel = fb.param(1);
+    let acc = fb.iconst(1);
+    for rung in 0..rungs {
+        let t = fb.create_block(format!("r{rung}.then"));
+        let e = fb.create_block(format!("r{rung}.else"));
+        let m = fb.create_block(format!("r{rung}.end"));
+        let bit = fb.bin(BinOp::Shr, sel, rung as i64 & 31);
+        let bit = fb.bin(BinOp::And, bit, 1);
+        let c = fb.cmp(CmpOp::Ne, bit, 0);
+        fb.cond_br(c, t, e);
+        let arm = rng.range(arm_lo, arm_hi) as i64;
+        fb.switch_to(t);
+        for k in 0..arm {
+            fb.bin_to(BinOp::Add, acc, acc, Operand::Imm(k + 1));
+        }
+        fb.br(m);
+        fb.switch_to(e);
+        for k in 0..arm {
+            fb.bin_to(BinOp::Xor, acc, acc, Operand::Imm(k + 3));
+        }
+        fb.store(scratch, (rung as i64 * 3) % SCRATCH_WORDS, Operand::Reg(acc));
+        fb.br(m);
+        fb.switch_to(m);
+        fb.bin_to(BinOp::Mul, acc, acc, Operand::Imm(3));
+    }
+    fb.store(scratch, 1, Operand::Reg(acc));
+    fb.ret_void();
+    fb.finish_into(module)
+}
+
+/// Emit a shared-counter task pop protected by the queue lock:
+///
+/// ```text
+/// lock(lock_id);
+/// head = mem[QUEUE_HEAD];
+/// task = head; mem[QUEUE_HEAD] = head + 1;
+/// unlock(lock_id);
+/// return task (caller compares against the total)
+/// ```
+///
+/// The emitted code lives in the current block; returns the register
+/// holding the claimed task index.
+pub fn pop_task(fb: &mut FunctionBuilder, lock_id: i64) -> Reg {
+    let qaddr = fb.iconst(QUEUE_HEAD);
+    fb.lock(lock_id);
+    let head = fb.load(qaddr, 0);
+    let next = fb.add(head, 1);
+    fb.store(qaddr, 0, next);
+    fb.unlock(lock_id);
+    head
+}
+
+/// Register holding `SCRATCH_BASE + tid * SCRATCH_WORDS`.
+pub fn scratch_base(fb: &mut FunctionBuilder, tid: Reg) -> Reg {
+    let off = fb.mul(tid, SCRATCH_WORDS);
+    fb.add(off, SCRATCH_BASE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::verify::verify_module;
+
+    #[test]
+    fn gen_rng_is_deterministic() {
+        let mut a = GenRng::new(42);
+        let mut b = GenRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let v = a.range(10, 20);
+        assert!((10..20).contains(&v));
+    }
+
+    #[test]
+    fn mixed_compute_emits_roughly_n() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", 1);
+        fb.block("entry");
+        let s = fb.param(0);
+        mixed_compute(&mut fb, 50, s);
+        fb.ret_void();
+        let id = fb.finish_into(&mut m);
+        let n = m.func(id).blocks[0].insts.len();
+        assert!((45..=55).contains(&n), "emitted {n}");
+        // Contains loads and stores (Kendo needs store traffic).
+        let stores = m.func(id).blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, detlock_ir::Inst::Store { .. }))
+            .count();
+        assert!(stores >= 5, "stores: {stores}");
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn leaves_verify_and_have_expected_shape() {
+        let mut m = Module::new();
+        let a = single_block_leaf(&mut m, "leaf1".into(), 30);
+        let b = branchy_leaf(&mut m, "leaf2".into(), 20, 2);
+        assert!(verify_module(&m).is_ok());
+        assert_eq!(m.func(a).blocks.len(), 1);
+        assert_eq!(m.func(b).blocks.len(), 4);
+    }
+
+    #[test]
+    fn balanced_branchy_leaf_is_clockable_unbalanced_not() {
+        use detlock_passes::cost::CostModel;
+        use detlock_passes::opt1::{compute_clocked, ClockableParams};
+        let mut m = Module::new();
+        branchy_leaf(&mut m, "tight".into(), 30, 3);
+        branchy_leaf(&mut m, "loose".into(), 10, 80);
+        let cost = CostModel::default();
+        let clocked = compute_clocked(&m, &cost, &[], &ClockableParams::default());
+        assert!(clocked[0].is_some(), "tight leaf should be clockable");
+        assert!(clocked[1].is_none(), "loose leaf should not be clockable");
+    }
+
+    #[test]
+    fn pop_task_emits_lock_protected_counter() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("popper", 0);
+        fb.block("entry");
+        let t = pop_task(&mut fb, 0);
+        fb.ret(t);
+        let id = fb.finish_into(&mut m);
+        assert!(verify_module(&m).is_ok());
+        let b = &m.func(id).blocks[0];
+        assert!(b.insts.iter().any(|i| matches!(i, detlock_ir::Inst::Lock { .. })));
+        assert!(b
+            .insts
+            .iter()
+            .any(|i| matches!(i, detlock_ir::Inst::Unlock { .. })));
+    }
+}

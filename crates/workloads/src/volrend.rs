@@ -1,0 +1,239 @@
+//! *Volrend*-shaped workload: ray casting through a volume with
+//! empty-space skipping, fed from a batch queue.
+//!
+//! Table I shape: fairly high lock frequency (~440k locks/sec — one lock
+//! per small ray batch), medium blocks (~8% unoptimized clock overhead)
+//! arranged in a conditional ladder that Optimization 2 halves, ~35
+//! clockable functions, and near-zero extra deterministic-execution
+//! overhead (batches are cheap and uniform, so thread clocks stay close).
+
+use crate::util::{pop_task, scratch_base, single_block_leaf, GenRng};
+use crate::{ThreadPlan, Workload};
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::types::FuncId;
+use detlock_ir::Module;
+
+/// Volrend parameters.
+#[derive(Debug, Clone)]
+pub struct VolrendParams {
+    /// Total ray batches in the queue.
+    pub batches: i64,
+    /// Rays per batch.
+    pub rays_per_batch: i64,
+    /// Samples marched per ray.
+    pub samples: i64,
+    /// Generated leaf functions (paper's clockable count: 35).
+    pub leaves: usize,
+}
+
+impl VolrendParams {
+    /// Parameters scaled from the defaults.
+    pub fn scaled(scale: f64) -> VolrendParams {
+        VolrendParams {
+            batches: ((260.0 * scale) as i64).max(8),
+            rays_per_batch: 8,
+            samples: 36,
+            leaves: 32,
+        }
+    }
+}
+
+/// Build the Volrend workload.
+pub fn build(threads: usize, params: &VolrendParams) -> Workload {
+    let mut module = Module::new();
+    let mut rng = GenRng::new(0x701e3d);
+
+    let mut leaves: Vec<FuncId> = Vec::new();
+    for i in 0..params.leaves {
+        leaves.push(single_block_leaf(
+            &mut module,
+            format!("voxel_op{i}"),
+            rng.range(16, 44) as usize,
+        ));
+    }
+
+    // march_ray(scratch, seed, samples): sample loop whose body is a clean
+    // if/else diamond — transparent voxels skip cheaply, others composite —
+    // the precise shape Optimization 2a collapses (zero one arm, push the
+    // merge up, hoist the minimum into the branch block).
+    let mut fb = FunctionBuilder::new("march_ray", 3); // (scratch, seed, samples)
+    fb.block("entry");
+    let head = fb.create_block("sample.cond");
+    let body = fb.create_block("sample.body");
+    let transparent = fb.create_block("skip");
+    let composite = fb.create_block("composite");
+    let latch = fb.create_block("sample.inc");
+    let out = fb.create_block("out");
+    let scratch = fb.param(0);
+    let seed = fb.param(1);
+    let samples = fb.param(2);
+    let state = fb.mov(seed);
+    let s = fb.iconst(0);
+    let opacity = fb.iconst(0);
+    fb.br(head);
+
+    fb.switch_to(head);
+    let c = fb.cmp(CmpOp::Lt, s, samples);
+    fb.cond_br(c, body, out);
+
+    fb.switch_to(body);
+    crate::util::mixed_compute(&mut fb, 24, scratch);
+    let s2 = fb.builtin(detlock_ir::Builtin::Rand, vec![Operand::Reg(state)], None);
+    fb.mov_to(state, s2);
+    let v = fb.bin(BinOp::And, s2, 15);
+    let is_empty = fb.cmp(CmpOp::Lt, v, 6);
+    fb.cond_br(is_empty, transparent, composite);
+
+    fb.switch_to(transparent);
+    // Empty-space skip: tiny.
+    fb.bin_to(BinOp::Add, opacity, opacity, 1);
+    fb.br(latch);
+
+    fb.switch_to(composite);
+    crate::util::mixed_compute(&mut fb, 30, scratch);
+    fb.bin_to(BinOp::Add, opacity, opacity, Operand::Reg(v));
+    fb.br(latch);
+
+    fb.switch_to(latch);
+    fb.bin_to(BinOp::Add, s, s, 1);
+    fb.br(head);
+
+    fb.switch_to(out);
+    fb.store(scratch, 1, Operand::Reg(opacity));
+    fb.ret_void();
+    let march = fb.finish_into(&mut module);
+
+    // render_batch(scratch, batch, rays, samples): calls march per ray plus
+    // a few leaf table lookups — gives O1 call sites outside the hot loop.
+    let mut fb = FunctionBuilder::new("render_batch", 4);
+    fb.block("entry");
+    let rhead = fb.create_block("ray.cond");
+    let rbody = fb.create_block("ray.body");
+    let rdone = fb.create_block("ray.done");
+    let scratch = fb.param(0);
+    let batch = fb.param(1);
+    let rays = fb.param(2);
+    let samples = fb.param(3);
+    let r = fb.iconst(0);
+    fb.br(rhead);
+    fb.switch_to(rhead);
+    let c = fb.cmp(CmpOp::Lt, r, rays);
+    fb.cond_br(c, rbody, rdone);
+    fb.switch_to(rbody);
+    let base = fb.mul(batch, 131);
+    let seed = fb.add(base, Operand::Reg(r));
+    fb.call_void(
+        march,
+        vec![Operand::Reg(scratch), Operand::Reg(seed), Operand::Reg(samples)],
+    );
+    let li = fb.bin(BinOp::Rem, seed, leaves.len() as i64);
+    let _ = li;
+    let leaf = leaves[1 % leaves.len()];
+    fb.call_void(leaf, vec![Operand::Reg(scratch)]);
+    fb.bin_to(BinOp::Add, r, r, 1);
+    fb.br(rhead);
+    fb.switch_to(rdone);
+    fb.ret_void();
+    let render_batch = fb.finish_into(&mut module);
+
+    // entry(tid, batches, rays_per_batch, samples)
+    let mut fb = FunctionBuilder::new("volrend_thread", 4);
+    fb.block("entry");
+    let bloop = fb.create_block("batch.loop");
+    let work = fb.create_block("batch.work");
+    let done = fb.create_block("done");
+    let tid = fb.param(0);
+    let batches = fb.param(1);
+    let rpb = fb.param(2);
+    let samples = fb.param(3);
+    let scratch = scratch_base(&mut fb, tid);
+    fb.br(bloop);
+
+    fb.switch_to(bloop);
+    let batch = pop_task(&mut fb, 0);
+    let have = fb.cmp(CmpOp::Lt, batch, batches);
+    fb.cond_br(have, work, done);
+
+    fb.switch_to(work);
+    fb.call_void(
+        render_batch,
+        vec![
+            Operand::Reg(scratch),
+            Operand::Reg(batch),
+            Operand::Reg(rpb),
+            Operand::Reg(samples),
+        ],
+    );
+    fb.br(bloop);
+
+    fb.switch_to(done);
+    fb.ret_void();
+    let entry = fb.finish_into(&mut module);
+
+    Workload {
+        name: "volrend",
+        module,
+        entries: vec![entry],
+        threads: (0..threads)
+            .map(|t| ThreadPlan {
+                func: entry,
+                args: vec![
+                    t as i64,
+                    params.batches,
+                    params.rays_per_batch,
+                    params.samples,
+                ],
+            })
+            .collect(),
+        mem_words: 1 << 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::verify::verify_module;
+    use detlock_passes::cost::CostModel;
+    use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+    use detlock_passes::plan::Placement;
+
+    #[test]
+    fn builds_and_verifies() {
+        let w = build(4, &VolrendParams::scaled(0.1));
+        assert!(verify_module(&w.module).is_ok());
+    }
+
+    #[test]
+    fn o2_reduces_ticks() {
+        let w = build(4, &VolrendParams::scaled(0.1));
+        let cost = CostModel::default();
+        let count = |lvl| {
+            instrument(
+                &w.module,
+                &cost,
+                &OptConfig::only(lvl),
+                Placement::Start,
+                &w.entries,
+            )
+            .stats
+            .ticks_inserted
+        };
+        assert!(count(OptLevel::O2) < count(OptLevel::None));
+    }
+
+    #[test]
+    fn clockable_count_near_paper() {
+        let w = build(4, &VolrendParams::scaled(0.1));
+        let cost = CostModel::default();
+        let out = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::only(OptLevel::O1),
+            Placement::Start,
+            &w.entries,
+        );
+        let n = out.stats.clockable_functions;
+        assert!((20..=40).contains(&n), "clockable: {n} (paper: 35)");
+    }
+}

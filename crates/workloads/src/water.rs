@@ -1,0 +1,217 @@
+//! *Water-nsq*-shaped workload: a tiny, extremely hot inner `for` loop
+//! containing an `if`, with per-molecule locks and a per-step barrier.
+//!
+//! The paper singles Water-nsq out twice: its clock-insertion overhead is
+//! the highest of all benchmarks (43% unoptimized — the inner loop's blocks
+//! are only a handful of instructions, so a tick per block nearly doubles
+//! them) and it is the one benchmark where DetLock loses to Kendo, because
+//! no optimization can remove the *frequency* of updates in that loop
+//! (§V-C). Optimizations 2 (conditional blocks) and 4 (loops) are the ones
+//! that bite; there are no calls, so 1 and 3 do nothing.
+
+use crate::util::scratch_base;
+use crate::{ThreadPlan, Workload};
+use detlock_ir::builder::FunctionBuilder;
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::types::BarrierId;
+use detlock_ir::Module;
+
+/// Water-nsq parameters.
+#[derive(Debug, Clone)]
+pub struct WaterParams {
+    /// Outer molecular-dynamics steps.
+    pub steps: i64,
+    /// Molecules per thread per step (one lock per molecule).
+    pub molecules: i64,
+    /// Partner interactions per molecule — inner-loop trip count.
+    pub partners: i64,
+    /// Number of distinct molecule locks.
+    pub num_locks: i64,
+}
+
+impl WaterParams {
+    /// Parameters scaled from the defaults.
+    pub fn scaled(scale: f64) -> WaterParams {
+        WaterParams {
+            steps: ((8.0 * scale) as i64).max(1),
+            molecules: 4,
+            partners: 3400,
+            num_locks: 64,
+        }
+    }
+}
+
+/// Build the Water-nsq workload.
+pub fn build(threads: usize, params: &WaterParams) -> Workload {
+    let mut module = Module::new();
+
+    // entry(tid, steps, molecules, partners)
+    let mut fb = FunctionBuilder::new("water_thread", 4);
+    fb.block("entry");
+    let step_head = fb.create_block("step.cond");
+    let mol_head = fb.create_block("mol.cond");
+    let inner_head = fb.create_block("for.cond");
+    let inner_body = fb.create_block("for.body");
+    let if_then = fb.create_block("if.then");
+    let if_else = fb.create_block("if.else");
+    let inner_inc = fb.create_block("for.inc");
+    let mol_update = fb.create_block("mol.update");
+    let mol_inc = fb.create_block("mol.inc");
+    let step_latch = fb.create_block("step.inc");
+    let done = fb.create_block("done");
+
+    let tid = fb.param(0);
+    let steps = fb.param(1);
+    let molecules = fb.param(2);
+    let partners = fb.param(3);
+    let scratch = scratch_base(&mut fb, tid);
+    let step = fb.iconst(0);
+    let m = fb.iconst(0);
+    let k = fb.iconst(0);
+    let force = fb.iconst(0);
+    fb.br(step_head);
+
+    fb.switch_to(step_head);
+    let cs = fb.cmp(CmpOp::Lt, step, steps);
+    fb.cond_br(cs, mol_head, done);
+
+    fb.switch_to(mol_head);
+    let cm = fb.cmp(CmpOp::Lt, m, molecules);
+    fb.mov_to(k, 0i64);
+    fb.cond_br(cm, inner_head, step_latch);
+
+    // The hot inner for loop (paper §V-C): small body with an `if` inside.
+    // The header recomputes the cutoff bound (making it slightly heavier
+    // than the latch, which is what lets Optimization 4 merge the latch's
+    // clock into it, exactly like the paper's for.inc → for.cond merge).
+    fb.switch_to(inner_head);
+    let bound = fb.bin(BinOp::Sub, partners, Operand::Reg(m));
+    let ck = fb.cmp(CmpOp::Lt, k, bound);
+    fb.cond_br(ck, inner_body, mol_update);
+
+    fb.switch_to(inner_body);
+    // A handful of pair-distance instructions. The running force is
+    // spilled each iteration (real compilers keep a store in this loop;
+    // retired stores are what drive Kendo's counter).
+    fb.store(scratch, 11, Operand::Reg(force));
+    let dx = fb.bin(BinOp::Sub, k, Operand::Reg(m));
+    let dx2 = fb.mul(dx, Operand::Reg(dx));
+    let r = fb.load(scratch, 7);
+    let sum = fb.add(dx2, Operand::Reg(r));
+    // ~7 of 8 partners are outside the cutoff (cheap arm); the occasional
+    // in-range pair pays the full force computation. The imbalance is what
+    // keeps Optimization 3's tightness test from averaging this diamond
+    // (paper: O3 has no effect on Water-nsq).
+    let kb = fb.bin(BinOp::And, k, 7);
+    let inrange = fb.cmp(CmpOp::Eq, kb, 0);
+    fb.cond_br(inrange, if_else, if_then);
+
+    // Short arm: interaction skipped.
+    fb.switch_to(if_then);
+    fb.bin_to(BinOp::Add, force, force, 1);
+    fb.br(inner_inc);
+
+    // Longer arm: the force contribution.
+    fb.switch_to(if_else);
+    let a = fb.bin(BinOp::Shr, sum, 2);
+    let e = fb.bin(BinOp::Xor, a, Operand::Reg(sum));
+    let f = fb.bin(BinOp::And, e, 0xffff);
+    let g = fb.mul(f, 7);
+    let h = fb.add(g, Operand::Reg(e));
+    let i2 = fb.bin(BinOp::Shr, h, 3);
+    let j = fb.bin(BinOp::Xor, i2, Operand::Reg(f));
+    fb.store(scratch, 9, Operand::Reg(j));
+    fb.bin_to(BinOp::Add, force, force, Operand::Reg(j));
+    fb.br(inner_inc);
+
+    fb.switch_to(inner_inc);
+    fb.bin_to(BinOp::Add, k, k, 1);
+    fb.br(inner_head);
+
+    // Per-molecule force write-back under the molecule's lock.
+    fb.switch_to(mol_update);
+    let lock_id = fb.bin(BinOp::And, m, params.num_locks - 1);
+    let lock_id = fb.add(lock_id, 100);
+    fb.lock(lock_id);
+    let maddr = fb.bin(BinOp::And, m, 255);
+    let maddr = fb.add(maddr, 512);
+    let old = fb.load(maddr, 0);
+    let newv = fb.add(old, Operand::Reg(force));
+    fb.store(maddr, 0, newv);
+    fb.unlock(lock_id);
+    fb.br(mol_inc);
+
+    fb.switch_to(mol_inc);
+    fb.bin_to(BinOp::Add, m, m, 1);
+    fb.br(mol_head);
+
+    fb.switch_to(step_latch);
+    fb.barrier(BarrierId(0));
+    fb.bin_to(BinOp::Add, step, step, 1);
+    fb.mov_to(m, 0i64);
+    fb.br(step_head);
+
+    fb.switch_to(done);
+    fb.ret_void();
+    let entry = fb.finish_into(&mut module);
+
+    Workload {
+        name: "water-nsq",
+        module,
+        entries: vec![entry],
+        threads: (0..threads)
+            .map(|t| ThreadPlan {
+                func: entry,
+                args: vec![t as i64, params.steps, params.molecules, params.partners],
+            })
+            .collect(),
+        mem_words: 1 << 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::verify::verify_module;
+
+    #[test]
+    fn builds_and_verifies() {
+        let w = build(4, &WaterParams::scaled(0.1));
+        assert!(verify_module(&w.module).is_ok());
+        assert_eq!(w.threads.len(), 4);
+    }
+
+    #[test]
+    fn inner_loop_blocks_are_small() {
+        let w = build(4, &WaterParams::scaled(0.1));
+        let f = w.module.func(w.entries[0]);
+        let body = f.block_by_name("for.body").unwrap();
+        assert!(f.block(body).insts.len() <= 12);
+        let then = f.block_by_name("if.then").unwrap();
+        assert!(f.block(then).insts.len() <= 3);
+    }
+
+    #[test]
+    fn o1_and_o3_do_not_help_water() {
+        use detlock_passes::cost::CostModel;
+        use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+        use detlock_passes::plan::Placement;
+        let w = build(4, &WaterParams::scaled(0.05));
+        let cost = CostModel::default();
+        let count = |lvl| {
+            instrument(
+                &w.module,
+                &cost,
+                &OptConfig::only(lvl),
+                Placement::Start,
+                &w.entries,
+            )
+            .stats
+            .ticks_inserted
+        };
+        let none = count(OptLevel::None);
+        assert_eq!(count(OptLevel::O1), none, "no calls, O1 inert");
+        assert!(count(OptLevel::O2) < none, "O2 must reduce ticks");
+        assert!(count(OptLevel::O4) < none, "O4 must reduce ticks");
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's running example (Figures 3–13): a Radiosity-style function
+//! walked through every optimization stage, printing the per-block clock
+//! annotations after each one and writing Graphviz dumps.
+//!
+//! The paper's Figure 3 function (from SPLASH-2 Radiosity) has the same
+//! shape built here: a loop whose body is a 4-way conditional region
+//! converging on the merge node `_Z17intersection_typeP6_patchP6...`, a
+//! call to a clockable function at the start of `lor.lhs.false23`, and the
+//! short-circuit `if.end21` / `lor.lhs.false23` / `if.then28` pattern that
+//! Optimization 2b targets.
+//!
+//! ```text
+//! cargo run --example compiler_pipeline
+//! ```
+//! Graphviz files land in `target/pipeline/`.
+
+use detlock_ir::analysis::cfg::Cfg;
+use detlock_ir::analysis::dom::DomTree;
+use detlock_ir::analysis::loops::LoopInfo;
+use detlock_ir::dot::{function_to_dot, function_to_text};
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+use detlock_ir::{FunctionBuilder, Module};
+use detlock_passes::cost::CostModel;
+use detlock_passes::opt1::{compute_clocked, ClockableParams};
+use detlock_passes::opt2a::apply_opt2a;
+use detlock_passes::opt2b::{apply_opt2b, Opt2bParams};
+use detlock_passes::opt3::apply_opt3;
+use detlock_passes::opt4::{apply_opt4, Opt4Params};
+use detlock_passes::plan::{base_plan, split_module, FuncPlan};
+
+/// Build the module: a clockable leaf plus the running-example function.
+fn build_module() -> (Module, detlock_ir::FuncId, detlock_ir::FuncId) {
+    let mut m = Module::new();
+
+    // The clockable callee (the paper's `intersection_type`).
+    let mut fb = FunctionBuilder::new("_Z17intersection_typeP6_patchP6ray", 1);
+    fb.block("entry");
+    let p = fb.param(0);
+    let mut acc = fb.add(p, 3);
+    for k in 0..7 {
+        acc = fb.bin(BinOp::Xor, acc, (k * 5 + 1) as i64);
+    }
+    fb.ret(acc);
+    let callee = fb.finish_into(&mut m);
+
+    // The running example (paper Fig. 3 shape).
+    let mut fb = FunctionBuilder::new("v_intersect", 2); // (patch, n)
+    fb.block("entry");
+    let for_cond = fb.create_block("for.cond");
+    let if_end = fb.create_block("if.end");
+    let if_then_i = fb.create_block("if.then.i");
+    let if_else_i = fb.create_block("if.else.i");
+    let if_end27 = fb.create_block("if.end27");
+    let if_then29_i = fb.create_block("if.then29.i");
+    let if_else33 = fb.create_block("if.else33");
+    let if_then35_i = fb.create_block("if.then35.i");
+    let if_else39 = fb.create_block("if.else39");
+    let isect_merge = fb.create_block("_Z17intersection_type.merge");
+    let if_end21 = fb.create_block("if.end21");
+    let lor = fb.create_block("lor.lhs.false23");
+    let if_then28 = fb.create_block("if.then28");
+    let for_inc = fb.create_block("for.inc");
+    let for_end = fb.create_block("for.end");
+
+    let patch = fb.param(0);
+    let n = fb.param(1);
+    let i = fb.iconst(0);
+    let acc = fb.iconst(0);
+    fb.br(for_cond);
+
+    fb.switch_to(for_cond);
+    let c = fb.cmp(CmpOp::Lt, i, n);
+    fb.cond_br(c, if_end, for_end);
+
+    // if.end: first split of the element kind.
+    fb.switch_to(if_end);
+    let kind = fb.bin(BinOp::And, patch, 3);
+    let k1 = fb.add(kind, Operand::Reg(i));
+    let c1 = fb.cmp(CmpOp::Eq, k1, 0);
+    fb.cond_br(c1, if_then_i, if_end27);
+
+    fb.switch_to(if_then_i);
+    for k in 0..4 {
+        fb.bin_to(BinOp::Add, acc, acc, k as i64 + 1);
+    }
+    fb.br(isect_merge);
+
+    fb.switch_to(if_end27);
+    let c2 = fb.cmp(CmpOp::Lt, kind, 2);
+    fb.cond_br(c2, if_then29_i, if_else33);
+
+    fb.switch_to(if_then29_i);
+    for k in 0..5 {
+        fb.bin_to(BinOp::Xor, acc, acc, k as i64 + 7);
+    }
+    fb.br(isect_merge);
+
+    fb.switch_to(if_else33);
+    let c3 = fb.cmp(CmpOp::Eq, kind, 2);
+    fb.cond_br(c3, if_then35_i, if_else39);
+
+    fb.switch_to(if_then35_i);
+    for k in 0..4 {
+        fb.bin_to(BinOp::Add, acc, acc, k as i64 + 2);
+    }
+    fb.br(isect_merge);
+
+    fb.switch_to(if_else39);
+    for k in 0..4 {
+        fb.bin_to(BinOp::Xor, acc, acc, k as i64 + 9);
+    }
+    fb.br(if_else_i);
+
+    fb.switch_to(if_else_i);
+    for k in 0..2 {
+        fb.bin_to(BinOp::Add, acc, acc, k as i64 + 4);
+    }
+    fb.br(isect_merge);
+
+    // The paper's 4-predecessor merge node. It exits conditionally (some
+    // intersections end the iteration immediately), so its clock cannot be
+    // pushed into it by Optimization 2a's merge rule and `if.end21` keeps a
+    // clock for Optimization 2b to work on.
+    fb.switch_to(isect_merge);
+    let t = fb.mul(acc, 3);
+    fb.mov_to(acc, t);
+    let c35 = fb.cmp(CmpOp::Eq, t, 0);
+    fb.cond_br(c35, for_inc, if_end21);
+
+    // if.end21 / lor.lhs.false23 / if.then28 — Optimization 2b's pattern,
+    // with the clockable call at the start of lor.lhs.false23 (Fig. 5).
+    fb.switch_to(if_end21);
+    let c4 = fb.cmp(CmpOp::Gt, acc, 100);
+    fb.cond_br(c4, if_then28, lor);
+
+    fb.switch_to(lor);
+    let r = fb.call(callee, vec![Operand::Reg(patch)]);
+    let c5 = fb.cmp(CmpOp::Gt, r, 0);
+    fb.cond_br(c5, if_then28, for_inc);
+
+    fb.switch_to(if_then28);
+    fb.bin_to(BinOp::Add, acc, acc, 1);
+    fb.br(for_inc);
+
+    fb.switch_to(for_inc);
+    fb.bin_to(BinOp::Add, i, i, 1);
+    fb.br(for_cond);
+
+    fb.switch_to(for_end);
+    fb.ret(acc);
+    let example = fb.finish_into(&mut m);
+    (m, callee, example)
+}
+
+fn dump(
+    stage: &str,
+    fileno: usize,
+    func: &detlock_ir::Function,
+    plan: &FuncPlan,
+) {
+    println!("==== {stage} ====");
+    print!(
+        "{}",
+        function_to_text(func, |b| Some(plan.block_clock[b.index()]))
+    );
+    let zeroed: Vec<&str> = func
+        .iter_blocks()
+        .filter(|(b, _)| plan.block_clock[b.index()] == 0)
+        .map(|(_, blk)| blk.name.as_str())
+        .collect();
+    println!("blocks without clock code (gray in the paper): {zeroed:?}\n");
+
+    let dir = std::path::Path::new("target/pipeline");
+    std::fs::create_dir_all(dir).ok();
+    let dot = function_to_dot(func, |b| Some(plan.block_clock[b.index()]));
+    let path = dir.join(format!("{fileno:02}-{}.dot", stage.replace(' ', "_")));
+    std::fs::write(&path, dot).ok();
+}
+
+fn main() {
+    let cost = CostModel::default();
+    let (module, _callee, example) = build_module();
+
+    // --- Figure 3: base insertion, no optimization (splitting at the call).
+    {
+        let clocked = vec![None; module.functions.len()];
+        let split = split_module(&module, &clocked);
+        let plans = base_plan(&split, &cost, &clocked);
+        dump(
+            "Fig 3 — clocks inserted, no optimization",
+            3,
+            split.func(example),
+            &plans[example.index()],
+        );
+    }
+
+    // --- Figure 5: Optimization 1 — the callee is clockable, so
+    // lor.lhs.false23 is not split and absorbs the callee's mean.
+    let clocked = compute_clocked(&module, &cost, &[example], &ClockableParams::default());
+    assert!(
+        clocked[0].is_some(),
+        "intersection_type must be clockable (paper Fig. 5)"
+    );
+    println!(
+        "Optimization 1: `{}` is clockable, mean path clock = {}\n",
+        module.functions[0].name,
+        clocked[0].unwrap()
+    );
+    let split = split_module(&module, &clocked);
+    let mut plans = base_plan(&split, &cost, &clocked);
+    dump(
+        "Fig 5 — after Optimization 1 (Function Clocking)",
+        5,
+        split.func(example),
+        &plans[example.index()],
+    );
+
+    let func = split.func(example);
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(&cfg);
+    let loops = LoopInfo::compute(&cfg, &dom);
+    let plan = &mut plans[example.index()];
+
+    // --- Figures 7–8: Optimization 2a to its fixpoint.
+    apply_opt2a(&cfg, &loops, plan);
+    dump(
+        "Fig 7-8 — after Optimization 2a (precise conditional motion)",
+        7,
+        func,
+        plan,
+    );
+
+    // --- Figure 10: Optimization 2b on the short-circuit pattern.
+    apply_opt2b(&cfg, &loops, Opt2bParams::default(), plan);
+    dump(
+        "Fig 10 — after Optimization 2b (approximate, divergence < 1/10)",
+        10,
+        func,
+        plan,
+    );
+
+    // --- Figure 12: Optimization 3 averages tight dominated regions.
+    apply_opt3(&cfg, &dom, &loops, ClockableParams::default(), plan);
+    dump(
+        "Fig 12 — after Optimization 3 (averaging of clocks)",
+        12,
+        func,
+        plan,
+    );
+
+    // --- Figure 13: Optimization 4 merges the loop latch into the header.
+    apply_opt4(&cfg, &loops, Opt4Params::default(), plan);
+    dump(
+        "Fig 13 — after Optimization 4 (loops) — final",
+        13,
+        func,
+        plan,
+    );
+
+    println!("Graphviz dumps written to target/pipeline/*.dot");
+}

@@ -1,0 +1,355 @@
+//! Property-based tests over randomly generated structured programs:
+//! invariants of the instrumentation passes and of the deterministic
+//! simulator that must hold for *any* program, not just the workloads.
+
+use detlock_ir::analysis::cfg::Cfg;
+use detlock_ir::analysis::dom::DomTree;
+use detlock_ir::analysis::loops::LoopInfo;
+use detlock_ir::analysis::paths::{enumerate_paths, Step};
+use detlock_ir::verify::verify_module;
+use detlock_passes::cost::CostModel;
+use detlock_passes::divergence::{audit, is_exact};
+use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+use detlock_passes::plan::Placement;
+use detlock_vm::determinism::check_determinism;
+use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
+use detlock_workloads::micro::{random_module, MicroParams};
+use proptest::prelude::*;
+
+fn micro_params() -> MicroParams {
+    MicroParams {
+        depth: 3,
+        max_ops: 10,
+        loop_pct: 35,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every optimization level produces a structurally valid module on
+    /// random structured programs.
+    #[test]
+    fn random_programs_instrument_cleanly(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 3, &micro_params());
+        let cost = CostModel::default();
+        for level in OptLevel::table1_rows() {
+            let out = instrument(
+                &m,
+                &cost,
+                &OptConfig::only(level),
+                Placement::Start,
+                &[driver],
+            );
+            prop_assert!(verify_module(&out.module).is_ok());
+        }
+    }
+
+    /// The unoptimized plan and the O2a-only plan are *exact*: every
+    /// acyclic path's planned clock equals its true cost.
+    #[test]
+    fn precise_configs_have_zero_divergence(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 3, &micro_params());
+        let cost = CostModel::default();
+
+        let base = instrument(&m, &cost, &OptConfig::none(), Placement::Start, &[driver]);
+        prop_assert!(is_exact(&audit(&base.module, &base.plan, &cost, 1 << 14)));
+
+        let mut o2a_only = OptConfig::none();
+        o2a_only.o2 = true;
+        o2a_only.opt2b.max_divergence = 0.0; // disable the approximate half
+        let o2a = instrument(&m, &cost, &o2a_only, Placement::Start, &[driver]);
+        prop_assert!(is_exact(&audit(&o2a.module, &o2a.plan, &cost, 1 << 14)));
+    }
+
+    /// The full pipeline's divergence stays bounded on random programs.
+    #[test]
+    fn full_pipeline_divergence_bounded(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 3, &micro_params());
+        let cost = CostModel::default();
+        let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
+        for d in audit(&out.module, &out.plan, &cost, 1 << 14).iter().flatten() {
+            prop_assert!(
+                d.max_frac <= 0.6,
+                "function {:?} diverged by {:.3}",
+                d.func,
+                d.max_frac
+            );
+        }
+    }
+
+    /// Optimizations never increase the inserted tick count.
+    #[test]
+    fn opts_never_add_ticks(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 3, &micro_params());
+        let cost = CostModel::default();
+        let count = |cfg: &OptConfig| {
+            instrument(&m, &cost, cfg, Placement::Start, &[driver])
+                .stats
+                .ticks_inserted
+        };
+        let none = count(&OptConfig::none());
+        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4, OptLevel::All] {
+            prop_assert!(count(&OptConfig::only(level)) <= none);
+        }
+    }
+
+    /// Dominator-tree sanity on random CFGs: the entry dominates every
+    /// reachable block; immediate dominators are strict dominators.
+    #[test]
+    fn dominator_invariants(seed in 1u64..10_000) {
+        let (m, _) = random_module(seed, 2, &micro_params());
+        for f in &m.functions {
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(&cfg);
+            for b in f.block_ids() {
+                if !cfg.is_reachable(b) {
+                    continue;
+                }
+                prop_assert!(dom.dominates(f.entry(), b));
+                if b != f.entry() {
+                    let id = dom.idom(b).unwrap();
+                    prop_assert!(dom.strictly_dominates(id, b));
+                }
+            }
+        }
+    }
+
+    /// Loop-analysis sanity: headers dominate their latches; depth is
+    /// positive exactly on loop blocks.
+    #[test]
+    fn loop_invariants(seed in 1u64..10_000) {
+        let (m, _) = random_module(seed, 2, &micro_params());
+        for f in &m.functions {
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(&cfg);
+            let li = LoopInfo::compute(&cfg, &dom);
+            for l in &li.loops {
+                for latch in &l.latches {
+                    prop_assert!(dom.dominates(l.header, *latch));
+                }
+                for b in &l.blocks {
+                    prop_assert!(li.depth(*b) >= 1);
+                }
+            }
+        }
+    }
+
+    /// Path totals over the instrumented module equal the materialized tick
+    /// sums along those paths (plan ↔ ticks consistency).
+    #[test]
+    fn materialized_ticks_match_plan(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 2, &micro_params());
+        let cost = CostModel::default();
+        let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
+        for (fid, f) in out.module.iter_funcs() {
+            let plan = &out.plan.funcs[fid.index()];
+            let cfg = Cfg::compute(f);
+            let dom = DomTree::compute(&cfg);
+            let li = LoopInfo::compute(&cfg, &dom);
+            let from_ticks = enumerate_paths(
+                &cfg,
+                f.entry(),
+                1 << 14,
+                |b| {
+                    f.block(b)
+                        .insts
+                        .iter()
+                        .filter_map(|i| match i {
+                            detlock_ir::Inst::Tick { amount } => Some(*amount),
+                            _ => None,
+                        })
+                        .sum()
+                },
+                |from, to| {
+                    if li.is_back_edge(from, to) {
+                        Step::StopBefore
+                    } else {
+                        Step::Follow
+                    }
+                },
+            );
+            let from_plan = enumerate_paths(
+                &cfg,
+                f.entry(),
+                1 << 14,
+                |b| plan.block_clock[b.index()],
+                |from, to| {
+                    if li.is_back_edge(from, to) {
+                        Step::StopBefore
+                    } else {
+                        Step::Follow
+                    }
+                },
+            );
+            if let (Ok(a), Ok(b)) = (from_ticks, from_plan) {
+                prop_assert_eq!(a.totals, b.totals);
+            }
+        }
+    }
+
+    /// Weak determinism on random contended programs: lock order identical
+    /// across jitter seeds in Det mode.
+    #[test]
+    fn random_contended_programs_are_deterministic(seed in 1u64..2_000) {
+        // Wrap each random function in a lock-using driver.
+        let (mut m, _) = random_module(seed, 2, &micro_params());
+        let mut fb = detlock_ir::FunctionBuilder::new("locked_driver", 2);
+        fb.block("entry");
+        let head = fb.create_block("head");
+        let body = fb.create_block("body");
+        let done = fb.create_block("done");
+        let data = fb.param(0);
+        let iters = fb.param(1);
+        let i = fb.iconst(0);
+        fb.br(head);
+        fb.switch_to(head);
+        let c = fb.cmp(detlock_ir::CmpOp::Lt, i, iters);
+        fb.cond_br(c, body, done);
+        fb.switch_to(body);
+        let arg = fb.add(data, detlock_ir::Operand::Reg(i));
+        fb.call_void(detlock_ir::FuncId(0), vec![detlock_ir::Operand::Reg(arg)]);
+        fb.lock(0i64);
+        let a = fb.iconst(64);
+        let v = fb.load(a, 0);
+        let v2 = fb.add(v, 1);
+        fb.store(a, 0, v2);
+        fb.unlock(0i64);
+        fb.bin_to(detlock_ir::BinOp::Add, i, i, 1);
+        fb.br(head);
+        fb.switch_to(done);
+        fb.ret_void();
+        let driver = fb.finish_into(&mut m);
+
+        let cost = CostModel::default();
+        let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
+        let threads: Vec<ThreadSpec> = (0..3)
+            .map(|t| ThreadSpec {
+                func: driver,
+                args: vec![t * 17, 25],
+            })
+            .collect();
+        let cfg = MachineConfig {
+            mode: ExecMode::Det,
+            jitter: Jitter::default(),
+            max_cycles: 500_000_000,
+            ..MachineConfig::default()
+        };
+        let report = check_determinism(&out.module, &cost, &threads, &cfg, &[1, 99, 4242]);
+        prop_assert!(!report.any_hit_limit);
+        prop_assert!(report.deterministic, "hashes: {:x?}", report.hashes);
+    }
+
+    /// Application work (retired stores) is identical between baseline and
+    /// instrumented runs: ticks observe, they don't perturb.
+    #[test]
+    fn instrumentation_preserves_work(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 2, &micro_params());
+        let cost = CostModel::default();
+        let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
+        let t = [ThreadSpec { func: driver, args: vec![seed as i64, 4] }];
+        let mk = |mode| MachineConfig {
+            mode,
+            jitter: Jitter { seed: 0, prob_num: 0, prob_den: 0, max_extra: 0 },
+            max_cycles: 500_000_000,
+            ..MachineConfig::default()
+        };
+        let (base, _) = run(&out.module, &cost, &t, mk(ExecMode::Baseline));
+        let (clk, _) = run(&out.module, &cost, &t, mk(ExecMode::ClocksOnly));
+        prop_assert_eq!(
+            base.per_thread[0].retired_stores,
+            clk.per_thread[0].retired_stores
+        );
+        // And the tick execution shows up only in the instrumented run.
+        prop_assert_eq!(base.per_thread[0].ticks_executed, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The textual printer and parser are inverses: printing the parse of a
+    /// printed module reproduces the text exactly, for random programs and
+    /// for every instrumented variant.
+    #[test]
+    fn print_parse_print_roundtrip(seed in 1u64..10_000) {
+        let (m, driver) = random_module(seed, 2, &micro_params());
+        let cost = CostModel::default();
+        let inst = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
+        for module in [&m, &inst.module] {
+            let printed: String = module
+                .functions
+                .iter()
+                .map(|f| detlock_ir::dot::function_to_text(f, |_| None))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let reparsed = detlock_ir::parse::parse_module(&printed)
+                .expect("printed module must parse");
+            prop_assert!(verify_module(&reparsed).is_ok());
+            let reprinted: String = reparsed
+                .functions
+                .iter()
+                .map(|f| detlock_ir::dot::function_to_text(f, |_| None))
+                .collect::<Vec<_>>()
+                .join("\n");
+            prop_assert_eq!(&printed, &reprinted);
+        }
+    }
+
+    /// Reparsed modules run identically: same retired stores and lock
+    /// acquisitions as the original under identical seeds.
+    #[test]
+    fn reparsed_modules_execute_identically(seed in 1u64..2_000) {
+        let (m, driver) = random_module(seed, 2, &micro_params());
+        let printed: String = m
+            .functions
+            .iter()
+            .map(|f| detlock_ir::dot::function_to_text(f, |_| None))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = detlock_ir::parse::parse_module(&printed).unwrap();
+        let cost = CostModel::default();
+        let t = [ThreadSpec { func: driver, args: vec![seed as i64, 3] }];
+        let mk = || MachineConfig {
+            mode: ExecMode::Baseline,
+            jitter: Jitter { seed: 3, prob_num: 1, prob_den: 16, max_extra: 2 },
+            max_cycles: 500_000_000,
+            ..MachineConfig::default()
+        };
+        let (a, _) = run(&m, &cost, &t, mk());
+        let (b, _) = run(&reparsed, &cost, &t, mk());
+        prop_assert_eq!(a.per_thread[0].retired_stores, b.per_thread[0].retired_stores);
+        prop_assert_eq!(a.per_thread[0].instructions, b.per_thread[0].instructions);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total: arbitrary input produces Ok or a positioned
+    /// error, never a panic.
+    #[test]
+    fn parser_never_panics(input in ".{0,400}") {
+        let _ = detlock_ir::parse::parse_module(&input);
+    }
+
+    /// Near-miss inputs (mutations of a valid program) also never panic.
+    #[test]
+    fn parser_survives_mutations(seed in 1u64..5_000, cut in 0usize..300) {
+        let (m, _) = random_module(seed, 1, &micro_params());
+        let mut printed: String = m
+            .functions
+            .iter()
+            .map(|f| detlock_ir::dot::function_to_text(f, |_| None))
+            .collect();
+        if !printed.is_empty() {
+            let mut k = cut % printed.len();
+            while k > 0 && !printed.is_char_boundary(k) {
+                k -= 1;
+            }
+            printed.truncate(k);
+            printed.push('%');
+        }
+        let _ = detlock_ir::parse::parse_module(&printed);
+    }
+}

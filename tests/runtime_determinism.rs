@@ -1,0 +1,214 @@
+//! Real-thread integration tests of the deterministic runtime: mixed
+//! primitives under injected timing noise must reproduce the same
+//! synchronization order, run after run.
+
+use detlock::{tick, DetBarrier, DetCondvar, DetConfig, DetMutex, DetPool, DetRuntime, DetRwLock};
+use std::sync::Arc;
+
+fn traced() -> DetRuntime {
+    DetRuntime::new(DetConfig {
+        record_trace: true,
+        ..DetConfig::default()
+    })
+}
+
+/// Mixed-primitive stress: mutexes + a barrier phase + rwlock reads, with
+/// per-run timing perturbations. The full acquisition trace must match.
+fn mixed_run(noise_profile: u64) -> Vec<(u64, u32)> {
+    let rt = traced();
+    let m1 = Arc::new(DetMutex::new(&rt, 0i64));
+    let m2 = Arc::new(DetMutex::new(&rt, Vec::<i64>::new()));
+    let rw = Arc::new(DetRwLock::new(&rt, [0i64; 8]));
+    let bar = Arc::new(DetBarrier::new(&rt, 3));
+
+    let mut handles = Vec::new();
+    for t in 0..3u64 {
+        let m1 = Arc::clone(&m1);
+        let m2 = Arc::clone(&m2);
+        let rw = Arc::clone(&rw);
+        let bar = Arc::clone(&bar);
+        handles.push(rt.spawn(move || {
+            for phase in 0..3u64 {
+                for i in 0..25u64 {
+                    tick(3 + (t * 7 + i) % 5);
+                    if (i * 31 + t) % 16 == noise_profile % 16 {
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            30 + noise_profile % 200,
+                        ));
+                    }
+                    match (i + t) % 3 {
+                        0 => {
+                            *m1.lock() += 1;
+                        }
+                        1 => {
+                            m2.lock().push((t * 100 + i) as i64);
+                        }
+                        _ => {
+                            let mut g = rw.write();
+                            g[(i % 8) as usize] += t as i64;
+                        }
+                    }
+                }
+                tick(2 + phase);
+                bar.wait();
+            }
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    rt.trace_events().iter().map(|e| (e.lock, e.tid)).collect()
+}
+
+#[test]
+fn mixed_primitives_reproduce_across_noise_profiles() {
+    let a = mixed_run(0);
+    let b = mixed_run(5);
+    let c = mixed_run(11);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "noise profile changed the synchronization order");
+    assert_eq!(b, c);
+}
+
+#[test]
+fn producer_consumers_with_condvar_reproduce() {
+    fn run(noise: bool) -> Vec<(u64, u32)> {
+        let rt = traced();
+        let q = Arc::new(DetMutex::new(&rt, std::collections::VecDeque::<u64>::new()));
+        let cv = Arc::new(DetCondvar::new(&rt));
+        let mut handles = Vec::new();
+        for t in 0..2u64 {
+            let q = Arc::clone(&q);
+            let cv = Arc::clone(&cv);
+            handles.push(rt.spawn(move || {
+                let mut got = 0;
+                while got < 15 {
+                    tick(4 + t);
+                    let mut g = q.lock();
+                    while g.is_empty() {
+                        g = cv.wait(g);
+                    }
+                    let _ = g.pop_front();
+                    got += 1;
+                    drop(g);
+                    if noise {
+                        std::thread::sleep(std::time::Duration::from_micros(20 * (t + 1)));
+                    }
+                }
+            }));
+        }
+        let q2 = Arc::clone(&q);
+        let cv2 = Arc::clone(&cv);
+        handles.push(rt.spawn(move || {
+            for i in 0..30u64 {
+                tick(6);
+                q2.lock().push_back(i);
+                cv2.signal();
+            }
+        }));
+        for h in handles {
+            h.join();
+        }
+        rt.trace_events().iter().map(|e| (e.lock, e.tid)).collect()
+    }
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn pool_allocation_addresses_reproduce() {
+    fn run(noise: bool) -> Vec<Vec<u32>> {
+        let rt = DetRuntime::with_defaults();
+        let pool: Arc<DetPool<u64>> = Arc::new(DetPool::new(&rt, 24));
+        let log: Arc<parking_lot::Mutex<Vec<(u32, u32)>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for t in 0..3u32 {
+            let pool = Arc::clone(&pool);
+            let log = Arc::clone(&log);
+            handles.push(rt.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..30u64 {
+                    tick(3 + (i + t as u64) % 4);
+                    if noise && i % 9 == t as u64 {
+                        std::thread::sleep(std::time::Duration::from_micros(60));
+                    }
+                    if let Some(b) = pool.alloc(i) {
+                        log.lock().push((t, b.slot()));
+                        held.push(b);
+                    }
+                    if held.len() > 3 {
+                        tick(1);
+                        held.remove(0);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+        let v = log.lock().clone();
+        (0..3)
+            .map(|t| v.iter().filter(|(tt, _)| *tt == t).map(|(_, s)| *s).collect())
+            .collect()
+    }
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn nested_spawn_trees_reproduce() {
+    fn run(noise: bool) -> Vec<(u64, u32)> {
+        let rt = traced();
+        let m = Arc::new(DetMutex::new(&rt, 0i64));
+        let rt2 = rt.clone();
+        let m2 = Arc::clone(&m);
+        let parent = rt.spawn(move || {
+            let mut kids = Vec::new();
+            for t in 0..2u64 {
+                let m = Arc::clone(&m2);
+                kids.push(rt2.spawn(move || {
+                    for i in 0..20 {
+                        tick(3 + t + (i % 3));
+                        if noise && i % 7 == 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(40));
+                        }
+                        *m.lock() += 1;
+                    }
+                }));
+            }
+            for k in kids {
+                k.join();
+            }
+        });
+        // Main also competes for the lock while the tree runs.
+        for i in 0..20 {
+            tick(5 + (i % 2));
+            *m.lock() += 1;
+        }
+        parent.join();
+        rt.trace_events().iter().map(|e| (e.lock, e.tid)).collect()
+    }
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.len(), 60);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn runtime_handles_many_threads() {
+    let rt = DetRuntime::with_defaults();
+    let m = Arc::new(DetMutex::new(&rt, 0u64));
+    let mut handles = Vec::new();
+    for t in 0..12u64 {
+        let m = Arc::clone(&m);
+        handles.push(rt.spawn(move || {
+            for i in 0..50 {
+                tick(2 + (t + i) % 6);
+                *m.lock() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*m.lock(), 600);
+}
