@@ -1,39 +1,58 @@
-//! Criterion benchmarks of the compiler pass and the simulator: how long
+//! Benchmarks of the compiler pass and the simulator: how long
 //! instrumentation takes per optimization level on the radiosity module,
 //! and the simulator's instruction throughput per execution mode.
+//!
+//! Plain timing harness (`harness = false`): best-of-3 mean per case, no
+//! external benchmarking crate required.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_instrumentation(c: &mut Criterion) {
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    if best >= 1_000_000.0 {
+        println!("{name:<52} {:>12.3} ms/iter", best / 1_000_000.0);
+    } else {
+        println!("{name:<52} {best:>12.1} ns/iter");
+    }
+}
+
+fn bench_instrumentation() {
     let w = detlock_workloads::by_name("radiosity", 4, 0.05).unwrap();
     let cost = CostModel::default();
-    let mut g = c.benchmark_group("instrument_radiosity_module");
     for level in OptLevel::table1_rows() {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{level:?}")),
-            &level,
-            |b, &level| {
-                b.iter(|| {
-                    black_box(instrument(
-                        &w.module,
-                        &cost,
-                        &OptConfig::only(level),
-                        Placement::Start,
-                        &w.entries,
-                    ))
-                })
+        bench(
+            &format!("instrument_radiosity_module/{level:?}"),
+            20,
+            || {
+                black_box(instrument(
+                    &w.module,
+                    &cost,
+                    &OptConfig::only(level),
+                    Placement::Start,
+                    &w.entries,
+                ));
             },
         );
     }
-    g.finish();
 }
 
-fn bench_vm_throughput(c: &mut Criterion) {
+fn bench_vm_throughput() {
     let w = detlock_workloads::by_name("raytrace", 4, 0.05).unwrap();
     let cost = CostModel::default();
     let inst = instrument(
@@ -59,39 +78,41 @@ fn bench_vm_throughput(c: &mut Criterion) {
     };
     // Establish the instruction count once for throughput reporting.
     let (probe, _) = run(&inst.module, &cost, &specs, mk(ExecMode::Baseline));
-    let insts = probe.instructions();
+    println!(
+        "vm_raytrace: {} simulated instructions per run",
+        probe.instructions()
+    );
 
-    let mut g = c.benchmark_group("vm_raytrace");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(insts));
     for (name, mode) in [
         ("baseline", ExecMode::Baseline),
         ("clocks_only", ExecMode::ClocksOnly),
         ("det", ExecMode::Det),
         ("kendo", ExecMode::Kendo(detlock_vm::KendoParams::default())),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run(&inst.module, &cost, &specs, mk(mode))))
+        bench(&format!("vm_raytrace/{name}"), 5, || {
+            black_box(run(&inst.module, &cost, &specs, mk(mode)));
         });
     }
-    g.finish();
 }
 
-fn bench_analyses(c: &mut Criterion) {
+fn bench_analyses() {
     let w = detlock_workloads::by_name("radiosity", 4, 0.05).unwrap();
-    let mut g = c.benchmark_group("analyses_radiosity_module");
-    g.bench_function("cfg+dom+loops_all_functions", |b| {
-        b.iter(|| {
+    bench(
+        "analyses_radiosity_module/cfg+dom+loops_all_functions",
+        50,
+        || {
             for f in &w.module.functions {
                 let cfg = detlock_ir::analysis::cfg::Cfg::compute(f);
                 let dom = detlock_ir::analysis::dom::DomTree::compute(&cfg);
                 let loops = detlock_ir::analysis::loops::LoopInfo::compute(&cfg, &dom);
                 black_box((cfg, dom, loops));
             }
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-criterion_group!(benches, bench_instrumentation, bench_vm_throughput, bench_analyses);
-criterion_main!(benches);
+fn main() {
+    bench_instrumentation();
+    bench_vm_throughput();
+    bench_analyses();
+}

@@ -1,155 +1,150 @@
-//! Criterion micro-benchmarks of the real-threads runtime primitives:
-//! what a `tick` costs, what a deterministic lock costs uncontended and
-//! contended, against `std::sync::Mutex` and `parking_lot::Mutex`
-//! baselines.
+//! Micro-benchmarks of the real-threads runtime primitives: what a `tick`
+//! costs, what a deterministic lock costs uncontended and contended,
+//! against `std::sync::Mutex` and the shim mutex baselines.
+//!
+//! Plain timing harness (`harness = false`): each case runs a warmup pass
+//! and then reports the best-of-3 mean ns/iteration, so it works without
+//! any external benchmarking crate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use detlock_core::{tick, DetBarrier, DetMutex, DetRuntime};
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::Instant;
 
-fn bench_tick(c: &mut Criterion) {
-    let _rt = DetRuntime::with_defaults();
-    c.bench_function("tick", |b| {
-        b.iter(|| tick(black_box(3)));
-    });
+/// Time `f` over `iters` iterations, repeated 3 times; report best mean.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warmup.
+    for _ in 0..iters.min(1000) {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!("{name:<44} {best:>12.1} ns/iter");
 }
 
-fn bench_uncontended_locks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uncontended_lock");
+fn bench_tick() {
+    let _rt = DetRuntime::with_defaults();
+    bench("tick", 1_000_000, || tick(black_box(3)));
+}
+
+fn bench_uncontended_locks() {
     let rt = DetRuntime::with_defaults();
     let det = DetMutex::new(&rt, 0u64);
-    g.bench_function("DetMutex", |b| {
-        b.iter(|| {
-            tick(1); // keep the clock moving as instrumented code would
-            *det.lock() += 1;
-        })
+    bench("uncontended_lock/DetMutex", 200_000, || {
+        tick(1); // keep the clock moving as instrumented code would
+        *det.lock() += 1;
     });
     let std_m = std::sync::Mutex::new(0u64);
-    g.bench_function("std::sync::Mutex", |b| {
-        b.iter(|| {
-            *std_m.lock().unwrap() += 1;
-        })
+    bench("uncontended_lock/std::sync::Mutex", 1_000_000, || {
+        *std_m.lock().unwrap() += 1;
     });
-    let pl = parking_lot::Mutex::new(0u64);
-    g.bench_function("parking_lot::Mutex", |b| {
-        b.iter(|| {
-            *pl.lock() += 1;
-        })
+    let shim_m = detlock_shim::sync::Mutex::new(0u64);
+    bench("uncontended_lock/shim::Mutex", 1_000_000, || {
+        *shim_m.lock() += 1;
     });
-    g.finish();
 }
 
-fn bench_contended_throughput(c: &mut Criterion) {
+fn bench_contended_throughput() {
     // Whole-workload timing: N threads × K increments through one lock.
-    let mut g = c.benchmark_group("contended_800_increments");
-    g.sample_size(10);
     for threads in [2usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("DetMutex", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let rt = DetRuntime::with_defaults();
-                    let m = Arc::new(DetMutex::new(&rt, 0u64));
-                    let iters = 800 / threads as u64;
-                    let handles: Vec<_> = (0..threads)
-                        .map(|t| {
-                            let m = Arc::clone(&m);
-                            rt.spawn(move || {
-                                for i in 0..iters {
-                                    tick(5 + ((t as u64 + i) % 3));
-                                    *m.lock() += 1;
-                                }
-                            })
+        bench(
+            &format!("contended_800_increments/DetMutex/{threads}"),
+            10,
+            || {
+                let rt = DetRuntime::with_defaults();
+                let m = Arc::new(DetMutex::new(&rt, 0u64));
+                let iters = 800 / threads as u64;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let m = Arc::clone(&m);
+                        rt.spawn(move || {
+                            for i in 0..iters {
+                                tick(5 + ((t as u64 + i) % 3));
+                                *m.lock() += 1;
+                            }
                         })
-                        .collect();
-                    for h in handles {
-                        h.join();
-                    }
-                    let v = black_box(*m.lock());
-                    v
-                })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join();
+                }
+                black_box(*m.lock());
             },
         );
-        g.bench_with_input(
-            BenchmarkId::new("std::sync::Mutex", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let m = Arc::new(std::sync::Mutex::new(0u64));
-                    let iters = 800 / threads as u64;
-                    let handles: Vec<_> = (0..threads)
-                        .map(|_| {
-                            let m = Arc::clone(&m);
-                            std::thread::spawn(move || {
-                                for _ in 0..iters {
-                                    *m.lock().unwrap() += 1;
-                                }
-                            })
+        bench(
+            &format!("contended_800_increments/std::sync::Mutex/{threads}"),
+            10,
+            || {
+                let m = Arc::new(std::sync::Mutex::new(0u64));
+                let iters = 800 / threads as u64;
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let m = Arc::clone(&m);
+                        std::thread::spawn(move || {
+                            for _ in 0..iters {
+                                *m.lock().unwrap() += 1;
+                            }
                         })
-                        .collect();
-                    for h in handles {
-                        h.join().unwrap();
-                    }
-                    let v = black_box(*m.lock().unwrap());
-                    v
-                })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                black_box(*m.lock().unwrap());
             },
         );
     }
-    g.finish();
 }
 
-fn bench_barrier(c: &mut Criterion) {
-    let mut g = c.benchmark_group("barrier_x20");
-    g.sample_size(10);
-    g.bench_function("DetBarrier_4threads", |b| {
-        b.iter(|| {
-            let rt = DetRuntime::with_defaults();
-            let bar = Arc::new(DetBarrier::new(&rt, 4));
-            let handles: Vec<_> = (0..4u64)
-                .map(|t| {
-                    let bar = Arc::clone(&bar);
-                    rt.spawn(move || {
-                        for r in 0..20 {
-                            tick(2 + (t + r) % 4);
-                            bar.wait();
-                        }
-                    })
+fn bench_barrier() {
+    bench("barrier_x20/DetBarrier_4threads", 10, || {
+        let rt = DetRuntime::with_defaults();
+        let bar = Arc::new(DetBarrier::new(&rt, 4));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let bar = Arc::clone(&bar);
+                rt.spawn(move || {
+                    for r in 0..20 {
+                        tick(2 + (t + r) % 4);
+                        bar.wait();
+                    }
                 })
-                .collect();
-            for h in handles {
-                h.join();
-            }
-        })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
     });
-    g.bench_function("std_Barrier_4threads", |b| {
-        b.iter(|| {
-            let bar = Arc::new(std::sync::Barrier::new(4));
-            let handles: Vec<_> = (0..4)
-                .map(|_| {
-                    let bar = Arc::clone(&bar);
-                    std::thread::spawn(move || {
-                        for _ in 0..20 {
-                            bar.wait();
-                        }
-                    })
+    bench("barrier_x20/std_Barrier_4threads", 10, || {
+        let bar = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let bar = Arc::clone(&bar);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        bar.wait();
+                    }
                 })
-                .collect();
-            for h in handles {
-                h.join().unwrap();
-            }
-        })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tick,
-    bench_uncontended_locks,
-    bench_contended_throughput,
-    bench_barrier
-);
-criterion_main!(benches);
+fn main() {
+    bench_tick();
+    bench_uncontended_locks();
+    bench_contended_throughput();
+    bench_barrier();
+}

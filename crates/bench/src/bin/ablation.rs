@@ -21,12 +21,7 @@ use detlock_passes::plan::Placement;
 use detlock_vm::machine::{run, ExecMode};
 use detlock_workloads::Workload;
 
-fn overheads(
-    w: &Workload,
-    cost: &CostModel,
-    cfg: &OptConfig,
-    seed: u64,
-) -> (f64, f64, usize) {
+fn overheads(w: &Workload, cost: &CostModel, cfg: &OptConfig, seed: u64) -> (f64, f64, usize) {
     let base = run_baseline(w, cost, seed);
     let inst = instrument(&w.module, cost, cfg, Placement::Start, &w.entries);
     let specs = thread_specs(w);
@@ -94,7 +89,13 @@ fn main() {
         .find(|w| w.name == "radiosity")
         .or_else(|| detlock_workloads::by_name("radiosity", opts.threads, opts.scale))
     {
-        for (rd, sd) in [(1.0, 10.0), (2.5, 5.0), (5.0, 2.5), (10.0, 1.0), (100.0, 0.01)] {
+        for (rd, sd) in [
+            (1.0, 10.0),
+            (2.5, 5.0),
+            (5.0, 2.5),
+            (10.0, 1.0),
+            (100.0, 0.01),
+        ] {
             let mut cfg = OptConfig::none();
             cfg.o1 = true;
             cfg.clockable.range_divisor = rd;
@@ -141,7 +142,10 @@ fn main() {
     // the chunk size ... For Radiosity, the authors of Kendo had to
     // manually adjust the chunk size").
     println!("\n== Kendo chunk-size balance ==");
-    println!("{:<12}{:>10}{:>14}{:>14}", "benchmark", "chunk", "kendo det%", "");
+    println!(
+        "{:<12}{:>10}{:>14}{:>14}",
+        "benchmark", "chunk", "kendo det%", ""
+    );
     for name in ["radiosity", "water-nsq"] {
         if let Some(w) = detlock_workloads::kendo_dataset(name, opts.threads, opts.scale) {
             let base = run_baseline(&w, &cost, opts.seed);
@@ -151,14 +155,14 @@ fn main() {
                     chunk_size: chunk,
                     ..Default::default()
                 });
-                let (k, hit) = run(&w.module, &cost, &specs, machine_config(&w, mode, opts.seed));
-                assert!(!hit);
-                println!(
-                    "{:<12}{:>10}{:>13.1}%",
-                    name,
-                    chunk,
-                    k.overhead_pct(&base)
+                let (k, hit) = run(
+                    &w.module,
+                    &cost,
+                    &specs,
+                    machine_config(&w, mode, opts.seed),
                 );
+                assert!(!hit);
+                println!("{:<12}{:>10}{:>13.1}%", name, chunk, k.overhead_pct(&base));
             }
         }
     }

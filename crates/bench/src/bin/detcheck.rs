@@ -60,6 +60,20 @@ fn main() {
         if !det_ok {
             failures += 1;
             eprintln!("  det hashes: {:x?}", det.hashes);
+            if let Some(d) = &det.divergence {
+                let show = |e: Option<(i64, u32)>| match e {
+                    Some((lock, tid)) => format!("lock {lock} acquired by tid {tid}"),
+                    None => "beyond the recorded window".to_string(),
+                };
+                eprintln!(
+                    "  first diverging acquisition: event #{}: seed {} saw {}, seed {} saw {}",
+                    d.index,
+                    d.seed_a,
+                    show(d.a),
+                    d.seed_b,
+                    show(d.b)
+                );
+            }
         }
     }
     if failures > 0 {

@@ -11,16 +11,27 @@ use detlock_bench::{instrumented, machine_config, run_baseline, thread_specs, Cl
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
+use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Bar {
     name: String,
     config: &'static str,
     clocks_pct: f64,
     det_extra_pct: f64,
     total_pct: f64,
+}
+
+impl ToJson for Bar {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("config", self.config.to_json()),
+            ("clocks_pct", self.clocks_pct.to_json()),
+            ("det_extra_pct", self.det_extra_pct.to_json()),
+            ("total_pct", self.total_pct.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -60,7 +71,7 @@ fn main() {
     }
 
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&bars).unwrap());
+        println!("{}", bars.to_json().to_string_pretty());
         return;
     }
 

@@ -11,6 +11,7 @@
 
 use detlock_bench::{run_placement, CliOptions};
 use detlock_passes::cost::CostModel;
+use detlock_shim::json::ToJson;
 
 fn main() {
     let mut opts = CliOptions::parse();
@@ -29,7 +30,7 @@ fn main() {
         .collect();
 
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+        println!("{}", results.to_json().to_string_pretty());
         return;
     }
 
@@ -41,7 +42,11 @@ fn main() {
         let rows = [
             ("no optimization", r.none_clocks_pct, r.none_pct),
             ("O1, clocks at block END", r.o1_end_clocks_pct, r.o1_end_pct),
-            ("O1, clocks at block START", r.o1_start_clocks_pct, r.o1_start_pct),
+            (
+                "O1, clocks at block START",
+                r.o1_start_clocks_pct,
+                r.o1_start_pct,
+            ),
         ];
         let max = rows.iter().map(|(_, _, t)| *t).fold(1.0, f64::max);
         for (label, clk, total) in rows {

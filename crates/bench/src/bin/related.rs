@@ -52,7 +52,12 @@ fn main() {
                     chunk_size: chunk,
                     ..Default::default()
                 });
-                let (k, h) = run(&w.module, &cost, &specs, machine_config(&w, mode, opts.seed));
+                let (k, h) = run(
+                    &w.module,
+                    &cost,
+                    &specs,
+                    machine_config(&w, mode, opts.seed),
+                );
                 assert!(!h);
                 k.overhead_pct(&base)
             })
@@ -66,7 +71,12 @@ fn main() {
                     quantum,
                     ..Default::default()
                 });
-                let (b, h) = run(&w.module, &cost, &specs, machine_config(&w, mode, opts.seed));
+                let (b, h) = run(
+                    &w.module,
+                    &cost,
+                    &specs,
+                    machine_config(&w, mode, opts.seed),
+                );
                 assert!(!h, "{} bulksync q={quantum}", w.name);
                 b.overhead_pct(&base)
             })

@@ -8,6 +8,7 @@
 
 use detlock_bench::{run_benchmark, CliOptions};
 use detlock_passes::cost::CostModel;
+use detlock_shim::json::ToJson;
 
 fn main() {
     let opts = CliOptions::parse();
@@ -23,14 +24,17 @@ fn main() {
         .collect();
 
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+        println!("{}", results.to_json().to_string_pretty());
         return;
     }
 
     // Header rows.
     let mut names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
     names.push("Average");
-    println!("Table I: Performance results (threads={}, scale={})", opts.threads, opts.scale);
+    println!(
+        "Table I: Performance results (threads={}, scale={})",
+        opts.threads, opts.scale
+    );
     print!("{:<52}", "Benchmark");
     for n in &names {
         print!("{n:>12}");

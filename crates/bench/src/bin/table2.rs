@@ -13,6 +13,7 @@
 
 use detlock_bench::{run_kendo_comparison, CliOptions, KendoInputs};
 use detlock_passes::cost::CostModel;
+use detlock_shim::json::ToJson;
 
 fn main() {
     let opts = CliOptions::parse();
@@ -39,7 +40,7 @@ fn main() {
         .collect();
 
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&results).unwrap());
+        println!("{}", results.to_json().to_string_pretty());
         return;
     }
 

@@ -19,10 +19,10 @@
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
+use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
 use detlock_vm::metrics::RunMetrics;
 use detlock_workloads::Workload;
-use serde::Serialize;
 
 /// Convert workload thread plans into VM thread specs.
 pub fn thread_specs(w: &Workload) -> Vec<ThreadSpec> {
@@ -67,12 +67,18 @@ pub fn instrumented(
     level: OptLevel,
     placement: Placement,
 ) -> detlock_passes::pipeline::Instrumented {
-    instrument(&w.module, cost, &OptConfig::only(level), placement, &w.entries)
+    instrument(
+        &w.module,
+        cost,
+        &OptConfig::only(level),
+        placement,
+        &w.entries,
+    )
 }
 
 /// One Table I cell pair: clocks-only and deterministic overhead (percent
 /// over baseline), plus the run cycles behind them.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LevelResult {
     /// Optimization configuration label.
     pub level: String,
@@ -88,8 +94,21 @@ pub struct LevelResult {
     pub ticks_inserted: usize,
 }
 
+impl ToJson for LevelResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("level", self.level.to_json()),
+            ("clocks_pct", self.clocks_pct.to_json()),
+            ("det_pct", self.det_pct.to_json()),
+            ("clocks_cycles", self.clocks_cycles.to_json()),
+            ("det_cycles", self.det_cycles.to_json()),
+            ("ticks_inserted", self.ticks_inserted.to_json()),
+        ])
+    }
+}
+
 /// All Table I data for one benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchResult {
     /// Benchmark name.
     pub name: String,
@@ -103,6 +122,19 @@ pub struct BenchResult {
     pub clockable_functions: usize,
     /// Results per optimization level, in Table I row order.
     pub levels: Vec<LevelResult>,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("baseline_cycles", self.baseline_cycles.to_json()),
+            ("baseline_ms", self.baseline_ms.to_json()),
+            ("locks_per_sec", self.locks_per_sec.to_json()),
+            ("clockable_functions", self.clockable_functions.to_json()),
+            ("levels", self.levels.to_json()),
+        ])
+    }
 }
 
 /// Run the full Table I experiment for one workload.
@@ -128,7 +160,12 @@ pub fn run_benchmark(w: &Workload, cost: &CostModel, seed: u64) -> BenchResult {
             &specs,
             machine_config(w, ExecMode::Det, seed),
         );
-        assert!(!hit1 && !hit2, "{}: {:?} hit the cycle limit", w.name, level);
+        assert!(
+            !hit1 && !hit2,
+            "{}: {:?} hit the cycle limit",
+            w.name,
+            level
+        );
         levels.push(LevelResult {
             level: level.label().to_string(),
             clocks_pct: clk.overhead_pct(&base),
@@ -150,7 +187,7 @@ pub fn run_benchmark(w: &Workload, cost: &CostModel, seed: u64) -> BenchResult {
 }
 
 /// Table II data for one benchmark: DetLock (all opts) vs simulated Kendo.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KendoComparison {
     /// Benchmark name.
     pub name: String,
@@ -166,6 +203,19 @@ pub struct KendoComparison {
     /// The chunk size used for Kendo (the paper notes Kendo tunes this by
     /// hand per benchmark).
     pub kendo_chunk: u64,
+}
+
+impl ToJson for KendoComparison {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("locks_per_sec", self.locks_per_sec.to_json()),
+            ("kendo_locks_per_sec", self.kendo_locks_per_sec.to_json()),
+            ("detlock_pct", self.detlock_pct.to_json()),
+            ("kendo_pct", self.kendo_pct.to_json()),
+            ("kendo_chunk", self.kendo_chunk.to_json()),
+        ])
+    }
 }
 
 /// Run the Table II comparison for one workload. `chunks` are the candidate
@@ -208,7 +258,12 @@ pub fn run_kendo_comparison(
             ..KendoParams::default()
         });
         // Kendo runs the uninstrumented module.
-        let (k, hit) = run(&kw.module, cost, &kendo_specs, machine_config(kw, mode, seed));
+        let (k, hit) = run(
+            &kw.module,
+            cost,
+            &kendo_specs,
+            machine_config(kw, mode, seed),
+        );
         assert!(!hit, "{}: kendo chunk {} hit limit", kw.name, chunk);
         let pct = k.overhead_pct(&kendo_base);
         if best.is_none_or(|(b, _)| pct < b) {
@@ -228,7 +283,7 @@ pub fn run_kendo_comparison(
 }
 
 /// Figure 15 data: Radiosity under O1 with different tick placements.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PlacementResult {
     /// Benchmark name.
     pub name: String,
@@ -244,6 +299,20 @@ pub struct PlacementResult {
     pub o1_end_clocks_pct: f64,
     /// Clocks-only, O1 start placement.
     pub o1_start_clocks_pct: f64,
+}
+
+impl ToJson for PlacementResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("none_pct", self.none_pct.to_json()),
+            ("o1_end_pct", self.o1_end_pct.to_json()),
+            ("o1_start_pct", self.o1_start_pct.to_json()),
+            ("none_clocks_pct", self.none_clocks_pct.to_json()),
+            ("o1_end_clocks_pct", self.o1_end_clocks_pct.to_json()),
+            ("o1_start_clocks_pct", self.o1_start_clocks_pct.to_json()),
+        ])
+    }
 }
 
 /// Run the Figure 15 experiment on a workload.

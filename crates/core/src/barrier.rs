@@ -8,8 +8,8 @@
 //! so the post-barrier clock state is timing-independent.
 
 use crate::registry::ThreadState;
-use crate::runtime::{current, DetRuntime};
-use parking_lot::{Condvar, Mutex};
+use crate::runtime::{current, fault_point, raise, wait_turn, DetRuntime};
+use detlock_shim::sync::{Condvar, Mutex};
 
 struct BarState {
     arrived: Vec<u32>,
@@ -20,6 +20,7 @@ struct BarState {
 pub struct DetBarrier {
     rt: DetRuntime,
     n: usize,
+    id: u64,
     state: Mutex<BarState>,
     cv: Condvar,
 }
@@ -46,6 +47,7 @@ impl DetBarrier {
         DetBarrier {
             rt: rt.clone(),
             n,
+            id: rt.alloc_lock_id(),
             state: Mutex::new(BarState {
                 arrived: Vec::new(),
                 generation: 0,
@@ -55,33 +57,65 @@ impl DetBarrier {
     }
 
     /// Deterministically wait for all `n` threads.
+    ///
+    /// Raises a [`crate::DetError`] panic (stall report or eviction) if the
+    /// watchdog declares the wait dead.
     pub fn wait(&self) -> DetBarrierWaitResult {
         let (inner, me) = current();
         debug_assert!(std::sync::Arc::ptr_eq(&inner, &self.rt.inner));
         let reg = &inner.registry;
-        reg.wait_for_turn(me);
+        fault_point(&inner, me);
+        reg.set_waiting(me, Some(self.id));
+        wait_turn(&inner, me);
 
         let mut st = self.state.lock();
         reg.transition(|_| reg.set_state(me, ThreadState::Blocked));
         st.arrived.push(me);
         if st.arrived.len() == self.n {
-            // Leader: reconcile clocks and release everyone.
+            // Leader: reconcile clocks and release everyone. Skip arrivers
+            // no longer Blocked (e.g. evicted by the watchdog while parked)
+            // — reactivating one would resurrect a retired clock and wedge
+            // arbitration on it.
             let arrived = std::mem::take(&mut st.arrived);
             let new_clock = arrived.iter().map(|&t| reg.clock(t)).max().unwrap() + 1;
             reg.transition(|_| {
                 for &t in &arrived {
-                    reg.set_clock(t, new_clock);
-                    reg.set_state(t, ThreadState::Active);
+                    if reg.state(t) == ThreadState::Blocked {
+                        reg.set_clock(t, new_clock);
+                        reg.set_state(t, ThreadState::Active);
+                    }
                 }
             });
             st.generation += 1;
             self.cv.notify_all();
+            reg.set_waiting(me, None);
             DetBarrierWaitResult { is_leader: true }
         } else {
             let gen = st.generation;
+            let mut timer = reg.stall_timer();
             while st.generation == gen {
-                self.cv.wait(&mut st);
+                let timed_out = self.cv.wait_for(&mut st, timer.poll_interval());
+                if timed_out && st.generation == gen && timer.expired(reg) {
+                    match reg.on_blocked_stall(me) {
+                        Ok(()) => {} // culprit evicted; the missing arriver may show up
+                        Err(e) => {
+                            // Withdraw from the barrier and re-activate
+                            // ourselves so the error propagates instead of
+                            // leaving a ghost arriver.
+                            st.arrived.retain(|&t| t != me);
+                            drop(st);
+                            reg.transition(|_| {
+                                if reg.state(me) == ThreadState::Blocked {
+                                    reg.set_state(me, ThreadState::Active);
+                                }
+                            });
+                            reg.set_waiting(me, None);
+                            raise(e);
+                        }
+                    }
+                }
             }
+            reg.set_waiting(me, None);
             DetBarrierWaitResult { is_leader: false }
         }
     }
@@ -169,8 +203,8 @@ mod tests {
         fn run() -> Vec<u32> {
             let rt = DetRuntime::with_defaults();
             let bar = Arc::new(DetBarrier::new(&rt, 3));
-            let order: Arc<parking_lot::Mutex<Vec<u32>>> =
-                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let order: Arc<detlock_shim::sync::Mutex<Vec<u32>>> =
+                Arc::new(detlock_shim::sync::Mutex::new(Vec::new()));
             let mut handles = Vec::new();
             for t in 0..3u32 {
                 let bar = Arc::clone(&bar);

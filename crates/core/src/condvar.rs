@@ -17,8 +17,8 @@
 
 use crate::mutex::{DetMutex, DetMutexGuard};
 use crate::registry::ThreadState;
-use crate::runtime::{current, DetRuntime};
-use parking_lot::{Condvar, Mutex};
+use crate::runtime::{current, fault_point, raise, wait_turn, DetRuntime};
+use detlock_shim::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 
 struct CvState {
@@ -28,6 +28,7 @@ struct CvState {
 /// A deterministic condition variable (use with [`DetMutex`]).
 pub struct DetCondvar {
     rt: DetRuntime,
+    id: u64,
     state: Mutex<CvState>,
     cv: Condvar,
 }
@@ -37,6 +38,7 @@ impl DetCondvar {
     pub fn new(rt: &DetRuntime) -> DetCondvar {
         DetCondvar {
             rt: rt.clone(),
+            id: rt.alloc_lock_id(),
             state: Mutex::new(CvState {
                 queue: VecDeque::new(),
             }),
@@ -55,7 +57,9 @@ impl DetCondvar {
         debug_assert!(std::sync::Arc::ptr_eq(&inner, &self.rt.inner));
         let reg = &inner.registry;
         // The wait is a det event at our turn.
-        reg.wait_for_turn(me);
+        fault_point(&inner, me);
+        reg.set_waiting(me, Some(self.id));
+        wait_turn(&inner, me);
         let mutex: &'a DetMutex<T> = DetMutexGuard::mutex(&guard);
         {
             let mut st = self.state.lock();
@@ -65,10 +69,30 @@ impl DetCondvar {
             // signaler that wins the mutex next deterministically sees us.
             drop(guard);
             // Block until a signaler reactivates us.
+            let mut timer = reg.stall_timer();
             while reg.state(me) != ThreadState::Active {
-                self.cv.wait(&mut st);
+                let timed_out = self.cv.wait_for(&mut st, timer.poll_interval());
+                if timed_out && reg.state(me) != ThreadState::Active && timer.expired(reg) {
+                    match reg.on_blocked_stall(me) {
+                        Ok(()) => {} // culprit evicted; a signaler may now run
+                        Err(e) => {
+                            // Withdraw from the queue and reactivate before
+                            // erroring, so a late signal can't wake a ghost.
+                            st.queue.retain(|&t| t != me);
+                            drop(st);
+                            reg.transition(|_| {
+                                if reg.state(me) == ThreadState::Blocked {
+                                    reg.set_state(me, ThreadState::Active);
+                                }
+                            });
+                            reg.set_waiting(me, None);
+                            raise(e);
+                        }
+                    }
+                }
             }
         }
+        reg.set_waiting(me, None);
         mutex.lock()
     }
 
@@ -86,7 +110,8 @@ impl DetCondvar {
         let (inner, me) = current();
         debug_assert!(std::sync::Arc::ptr_eq(&inner, &self.rt.inner));
         let reg = &inner.registry;
-        reg.wait_for_turn(me);
+        fault_point(&inner, me);
+        wait_turn(&inner, me);
         let my_clock = reg.clock(me);
         let mut st = self.state.lock();
         let count = st.queue.len().min(max);
@@ -94,8 +119,13 @@ impl DetCondvar {
             let woken: Vec<u32> = st.queue.drain(..count).collect();
             reg.transition(|_| {
                 for &t in &woken {
-                    reg.set_clock(t, my_clock + 1);
-                    reg.set_state(t, ThreadState::Active);
+                    // Only reactivate waiters still Blocked: a queued tid
+                    // that was evicted (or already gave up on a stall) must
+                    // not be resurrected into arbitration.
+                    if reg.state(t) == ThreadState::Blocked {
+                        reg.set_clock(t, my_clock + 1);
+                        reg.set_state(t, ThreadState::Active);
+                    }
                 }
             });
             self.cv.notify_all();

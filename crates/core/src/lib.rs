@@ -64,6 +64,8 @@
 
 pub mod barrier;
 pub mod condvar;
+pub mod error;
+pub mod fault;
 pub mod mutex;
 pub mod pool;
 pub mod registry;
@@ -73,9 +75,11 @@ pub mod trace;
 
 pub use barrier::{DetBarrier, DetBarrierWaitResult};
 pub use condvar::DetCondvar;
+pub use error::{panic_message, DetError, StallAction, StallReport, ThreadSnapshot};
+pub use fault::{FaultPlan, InjectedPanic};
 pub use mutex::{DetMutex, DetMutexGuard};
 pub use pool::{DetPool, DetPoolBox};
 pub use registry::{DetTid, ThreadState};
-pub use runtime::{tick, DetConfig, DetJoinHandle, DetRuntime};
+pub use runtime::{tick, try_tick, DetConfig, DetJoinHandle, DetRuntime};
 pub use rwlock::{DetRwLock, DetRwLockReadGuard, DetRwLockWriteGuard};
-pub use trace::TraceEvent;
+pub use trace::{first_divergence, TraceEvent};

@@ -13,9 +13,8 @@
 //! releaser's clock (making step 2's test deterministic) and bumps the
 //! clock. See the crate docs for the determinism argument.
 
-use crate::runtime::{current, DetRuntime};
-use parking_lot::lock_api::RawMutex as RawMutexTrait;
-use parking_lot::RawMutex;
+use crate::runtime::{current, fault_point, wait_turn, DetRuntime};
+use detlock_shim::sync::RawMutex;
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,7 +42,7 @@ impl<T> DetMutex<T> {
     pub fn new(rt: &DetRuntime, value: T) -> DetMutex<T> {
         DetMutex {
             rt: rt.clone(),
-            raw: <RawMutex as RawMutexTrait>::INIT,
+            raw: RawMutex::INIT,
             release_clock: AtomicU64::new(NEVER_RELEASED),
             id: rt.alloc_lock_id(),
             data: UnsafeCell::new(value),
@@ -63,8 +62,10 @@ impl<T> DetMutex<T> {
             "DetMutex used from a thread of a different runtime"
         );
         let reg = &inner.registry;
+        fault_point(&inner, me);
+        reg.set_waiting(me, Some(self.id));
         loop {
-            reg.wait_for_turn(me);
+            wait_turn(&inner, me);
             let my_clock = reg.clock(me);
             if self.raw.try_lock() {
                 let r = self.release_clock.load(Ordering::Acquire);
@@ -73,13 +74,17 @@ impl<T> DetMutex<T> {
                 }
                 // Physically free but logically released in our future:
                 // indistinguishable (deterministically) from "still held".
-                unsafe { self.raw.unlock() };
+                self.raw.unlock();
             }
             reg.tick(me, 1);
         }
+        reg.set_waiting(me, None);
         reg.tick(me, 1);
         inner.trace.record(self.id, me, reg.clock(me));
-        DetMutexGuard { mutex: self, tid: me }
+        DetMutexGuard {
+            mutex: self,
+            tid: me,
+        }
     }
 
     /// Deterministic `try_lock`: a deterministic event whose *outcome* is
@@ -93,14 +98,15 @@ impl<T> DetMutex<T> {
         let (inner, me) = current();
         debug_assert!(std::sync::Arc::ptr_eq(&inner, &self.rt.inner));
         let reg = &inner.registry;
-        reg.wait_for_turn(me);
+        fault_point(&inner, me);
+        wait_turn(&inner, me);
         let my_clock = reg.clock(me);
         let acquired = if self.raw.try_lock() {
             let r = self.release_clock.load(Ordering::Acquire);
             if r == NEVER_RELEASED || r < my_clock {
                 true
             } else {
-                unsafe { self.raw.unlock() };
+                self.raw.unlock();
                 false
             }
         } else {
@@ -109,7 +115,10 @@ impl<T> DetMutex<T> {
         reg.tick(me, 1); // the attempt is an event either way
         if acquired {
             inner.trace.record(self.id, me, reg.clock(me));
-            Some(DetMutexGuard { mutex: self, tid: me })
+            Some(DetMutexGuard {
+                mutex: self,
+                tid: me,
+            })
         } else {
             None
         }
@@ -159,7 +168,7 @@ impl<T: ?Sized> Drop for DetMutexGuard<'_, T> {
         let reg = &self.mutex.rt.inner.registry;
         let clock = reg.clock(self.tid);
         self.mutex.release_clock.store(clock, Ordering::Release);
-        unsafe { self.mutex.raw.unlock() };
+        self.mutex.raw.unlock();
         reg.tick(self.tid, 1);
     }
 }
@@ -351,8 +360,8 @@ mod try_lock_tests {
                 ..DetConfig::default()
             });
             let m = Arc::new(DetMutex::new(&rt, 0i64));
-            let log: Arc<parking_lot::Mutex<Vec<(u32, u64, bool)>>> =
-                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let log: Arc<detlock_shim::sync::Mutex<Vec<(u32, u64, bool)>>> =
+                Arc::new(detlock_shim::sync::Mutex::new(Vec::new()));
             let mut handles = Vec::new();
             for t in 0..3u32 {
                 let m = Arc::clone(&m);

@@ -7,6 +7,7 @@
 //! handed out* — the addresses a deterministic malloc returns — is itself a
 //! deterministic function of the program.
 
+use crate::error::DetError;
 use crate::mutex::DetMutex;
 use crate::runtime::DetRuntime;
 use std::cell::UnsafeCell;
@@ -61,6 +62,15 @@ impl<T> DetPool<T> {
             (*self.slots[idx as usize].get()).write(value);
         }
         Some(DetPoolBox { pool: self, idx })
+    }
+
+    /// [`DetPool::alloc`] with a typed error: exhaustion surfaces as
+    /// [`DetError::PoolExhausted`] carrying the capacity, fitting `?`-style
+    /// propagation alongside the runtime's other `DetError`s.
+    pub fn try_alloc(&self, value: T) -> Result<DetPoolBox<'_, T>, DetError> {
+        self.alloc(value).ok_or(DetError::PoolExhausted {
+            capacity: self.capacity(),
+        })
     }
 }
 
@@ -139,6 +149,10 @@ mod tests {
         let a = pool.alloc(1).unwrap();
         let b = pool.alloc(2).unwrap();
         assert!(pool.alloc(3).is_none());
+        assert!(matches!(
+            pool.try_alloc(3),
+            Err(DetError::PoolExhausted { capacity: 2 })
+        ));
         drop(a);
         assert!(pool.alloc(4).is_some());
         drop(b);
@@ -160,8 +174,8 @@ mod tests {
         fn run(noise: bool) -> Vec<(u32, u32)> {
             let rt = DetRuntime::with_defaults();
             let pool: Arc<DetPool<u64>> = Arc::new(DetPool::new(&rt, 16));
-            let log: Arc<parking_lot::Mutex<Vec<(u32, u32)>>> =
-                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let log: Arc<detlock_shim::sync::Mutex<Vec<(u32, u32)>>> =
+                Arc::new(detlock_shim::sync::Mutex::new(Vec::new()));
             let mut handles = Vec::new();
             for t in 0..3u32 {
                 let pool = Arc::clone(&pool);
@@ -196,7 +210,12 @@ mod tests {
         // Compare per-thread projections.
         let project = |v: Vec<(u32, u32)>| -> Vec<Vec<u32>> {
             (0..3)
-                .map(|t| v.iter().filter(|(tt, _)| *tt == t).map(|(_, s)| *s).collect())
+                .map(|t| {
+                    v.iter()
+                        .filter(|(tt, _)| *tt == t)
+                        .map(|(_, s)| *s)
+                        .collect()
+                })
                 .collect()
         };
         let a = project(run(false));

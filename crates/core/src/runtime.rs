@@ -5,14 +5,31 @@
 //! replaces pthread creation/join and provides the logical-clock plumbing
 //! that compiler-inserted `tick` calls drive. No kernel support, no
 //! hardware counters — plain atomics and a spin-with-yield arbiter.
+//!
+//! # Panic safety
+//!
+//! A deterministic thread that panics is not allowed to wedge the arbiter:
+//! the spawned closure runs under `catch_unwind`, the deterministic exit
+//! protocol runs unconditionally afterwards (so the slot reaches
+//! `Finished` and a joining parent is reactivated), and the panic payload
+//! travels to the parent — [`DetJoinHandle::join`] re-raises it,
+//! [`DetJoinHandle::try_join`] returns it as
+//! [`DetError::ChildPanicked`]. Runtime-internal failures (capacity,
+//! stalls, eviction) surface as typed [`DetError`] values; infallible
+//! entry points raise them as panics *carrying the `DetError` payload*, so
+//! even through the panic channel the error stays machine-readable.
 
+use crate::error::{DetError, StallAction};
+use crate::fault::FaultPlan;
 use crate::registry::{DetTid, Registry, ThreadState};
 use crate::trace::TraceRecorder;
-use parking_lot::{Condvar, Mutex};
+use detlock_shim::sync::{Condvar, Mutex};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Runtime configuration.
 #[derive(Debug, Clone)]
@@ -22,6 +39,16 @@ pub struct DetConfig {
     pub max_threads: usize,
     /// Record the lock-acquisition trace (see [`crate::trace`]).
     pub record_trace: bool,
+    /// Stall watchdog: when `Some`, a deterministic wait that observes no
+    /// arbitration progress for this long triggers `on_stall`. `None`
+    /// disables the watchdog (waits may hang forever on a wedged program).
+    pub watchdog_timeout: Option<Duration>,
+    /// What the watchdog does on a suspected deadlock (see
+    /// [`StallAction`]).
+    pub on_stall: StallAction,
+    /// Deterministic fault injection plan (see [`crate::fault`]); `None`
+    /// injects nothing.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for DetConfig {
@@ -29,6 +56,9 @@ impl Default for DetConfig {
         DetConfig {
             max_threads: 64,
             record_trace: false,
+            watchdog_timeout: Some(Duration::from_secs(5)),
+            on_stall: StallAction::Abort,
+            fault_plan: None,
         }
     }
 }
@@ -37,6 +67,7 @@ pub(crate) struct Inner {
     pub(crate) registry: Registry,
     pub(crate) trace: TraceRecorder,
     pub(crate) next_lock_id: AtomicU64,
+    pub(crate) fault: Option<FaultPlan>,
     /// child tid → parent tid blocked joining it.
     join_waiters: Mutex<HashMap<DetTid, DetTid>>,
     join_cv_mutex: Mutex<()>,
@@ -59,14 +90,22 @@ impl DetRuntime {
     /// with logical clock 0.
     pub fn new(config: DetConfig) -> DetRuntime {
         let inner = Arc::new(Inner {
-            registry: Registry::new(config.max_threads),
+            registry: Registry::with_watchdog(
+                config.max_threads,
+                config.watchdog_timeout,
+                config.on_stall,
+            ),
             trace: TraceRecorder::new(config.record_trace),
             next_lock_id: AtomicU64::new(0),
+            fault: config.fault_plan.filter(|p| !p.is_empty()),
             join_waiters: Mutex::new(HashMap::new()),
             join_cv_mutex: Mutex::new(()),
             join_cv: Condvar::new(),
         });
-        let main_tid = inner.registry.register(0);
+        let main_tid = inner
+            .registry
+            .register(0)
+            .expect("fresh registry has capacity for main");
         debug_assert_eq!(main_tid, 0);
         CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), main_tid)));
         DetRuntime { inner }
@@ -78,14 +117,19 @@ impl DetRuntime {
     }
 
     /// The calling thread's deterministic tid (panics if the thread is not
-    /// registered with this runtime).
+    /// registered with this runtime; see [`DetRuntime::try_current_tid`]).
     pub fn current_tid(&self) -> DetTid {
-        let (inner, tid) = current();
-        assert!(
-            Arc::ptr_eq(&inner, &self.inner),
-            "calling thread belongs to a different DetRuntime"
-        );
-        tid
+        self.try_current_tid().unwrap_or_else(|e| raise(e))
+    }
+
+    /// The calling thread's deterministic tid, or
+    /// [`DetError::NotRegistered`] / [`DetError::WrongRuntime`].
+    pub fn try_current_tid(&self) -> Result<DetTid, DetError> {
+        let (inner, tid) = try_current()?;
+        if !Arc::ptr_eq(&inner, &self.inner) {
+            return Err(DetError::WrongRuntime);
+        }
+        Ok(tid)
     }
 
     /// Advance the calling thread's logical clock — the operation the
@@ -106,36 +150,69 @@ impl DetRuntime {
     /// the parent waits for its turn, so child tids (the arbitration
     /// tie-breakers) are assigned in a timing-independent order; the child
     /// starts with `parent clock + 1`.
+    ///
+    /// Panics on runtime errors (capacity, stall, OS spawn failure) with a
+    /// [`DetError`] payload; use [`DetRuntime::try_spawn`] for a `Result`.
     pub fn spawn<F, T>(&self, f: F) -> DetJoinHandle<T>
     where
         F: FnOnce() -> T + Send + 'static,
         T: Send + 'static,
     {
-        let (inner, me) = current();
-        assert!(Arc::ptr_eq(&inner, &self.inner));
+        self.try_spawn(f).unwrap_or_else(|e| raise(e))
+    }
+
+    /// Fallible [`DetRuntime::spawn`]: surfaces
+    /// [`DetError::CapacityExhausted`] (the registry's fixed slots ran
+    /// out), [`DetError::SpawnFailed`] (the OS refused a thread; the
+    /// reserved slot is rolled back so arbitration stays healthy), and
+    /// watchdog errors from the spawn event's own turn wait.
+    pub fn try_spawn<F, T>(&self, f: F) -> Result<DetJoinHandle<T>, DetError>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (inner, me) = try_current()?;
+        if !Arc::ptr_eq(&inner, &self.inner) {
+            return Err(DetError::WrongRuntime);
+        }
         let reg = &self.inner.registry;
-        reg.wait_for_turn(me);
+        fault_point(&inner, me);
+        reg.wait_for_turn(me)?;
         let child_clock = reg.clock(me) + 1;
-        let child_tid = reg.register(child_clock);
+        let child_tid = reg.register(child_clock)?;
         reg.tick(me, 1);
 
         let child_inner = Arc::clone(&self.inner);
-        let std_handle = std::thread::Builder::new()
+        let spawn_result = std::thread::Builder::new()
             .name(format!("det-{child_tid}"))
             .spawn(move || {
-                CURRENT.with(|c| {
-                    *c.borrow_mut() = Some((Arc::clone(&child_inner), child_tid))
-                });
-                let result = f();
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&child_inner), child_tid)));
+                // Panic safety: catch the payload so the deterministic exit
+                // protocol ALWAYS runs — a panicking child must still reach
+                // `Finished` and reactivate a joining parent, otherwise the
+                // whole arbiter wedges on its frozen clock.
+                let result = catch_unwind(AssertUnwindSafe(f));
                 det_exit(&child_inner, child_tid);
                 result
-            })
-            .expect("failed to spawn OS thread");
-        DetJoinHandle {
+            });
+        let std_handle = match spawn_result {
+            Ok(h) => h,
+            Err(source) => {
+                // The child slot was reserved but no thread will ever run
+                // it: retire it so its zero-progress clock cannot stall
+                // arbitration.
+                reg.transition(|_| {
+                    reg.set_exit_clock(child_tid, child_clock);
+                    reg.set_state(child_tid, ThreadState::Finished);
+                });
+                return Err(DetError::SpawnFailed { source });
+            }
+        };
+        Ok(DetJoinHandle {
             rt: self.clone(),
             tid: child_tid,
             std: Some(std_handle),
-        }
+        })
     }
 
     /// Deterministically retire the calling thread from arbitration without
@@ -172,24 +249,69 @@ impl DetRuntime {
         self.inner.trace.clear()
     }
 
+    /// Diagnostic snapshot of every deterministic thread (tid, clock,
+    /// state, event count, waited-on lock) — the same data a
+    /// [`crate::StallReport`] carries.
+    pub fn thread_snapshots(&self) -> Vec<crate::ThreadSnapshot> {
+        self.inner.registry.snapshot()
+    }
+
     pub(crate) fn alloc_lock_id(&self) -> u64 {
         self.inner.next_lock_id.fetch_add(1, Ordering::Relaxed)
     }
 }
 
-/// The calling thread's `(runtime, tid)`; panics when called from a thread
-/// not registered with any deterministic runtime.
+/// The calling thread's `(runtime, tid)`; panics (with a
+/// [`DetError::NotRegistered`] payload) when called from a thread not
+/// registered with any deterministic runtime.
 pub(crate) fn current() -> (Arc<Inner>, DetTid) {
+    try_current().unwrap_or_else(|e| raise(e))
+}
+
+/// Fallible [`current`].
+pub(crate) fn try_current() -> Result<(Arc<Inner>, DetTid), DetError> {
     CURRENT.with(|c| {
         c.borrow()
             .as_ref()
             .map(|(i, t)| (Arc::clone(i), *t))
-            .expect("current thread is not registered with a DetRuntime")
+            .ok_or(DetError::NotRegistered)
     })
 }
 
+/// Raise a runtime error from an infallible API: panic carrying the typed
+/// [`DetError`] payload, so `catch_unwind` / [`DetJoinHandle::try_join`]
+/// callers can downcast it rather than parse a message.
+pub(crate) fn raise(e: DetError) -> ! {
+    std::panic::panic_any(e)
+}
+
+/// Enter a deterministic event for fault accounting: bumps the thread's
+/// event counter and applies the configured [`FaultPlan`] (seeded delay
+/// and/or injected panic) at the `(tid, event)` coordinate. Called at the
+/// top of every deterministic event *except* exit — injecting a panic into
+/// the exit protocol would turn recovery itself into a fault.
+pub(crate) fn fault_point(inner: &Arc<Inner>, tid: DetTid) {
+    let event = inner.registry.bump_events(tid);
+    if let Some(plan) = &inner.fault {
+        if let Some(us) = plan.delay_us(tid, event) {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+        if plan.panics_at(tid, event) {
+            std::panic::panic_any(crate::fault::InjectedPanic { tid, event });
+        }
+    }
+}
+
+/// Wait for the deterministic turn, raising watchdog/eviction errors as
+/// typed panics (used by the infallible lock/barrier/condvar paths).
+pub(crate) fn wait_turn(inner: &Inner, me: DetTid) {
+    if let Err(e) = inner.registry.wait_for_turn(me) {
+        raise(e)
+    }
+}
+
 /// Advance the calling thread's logical clock (free-function form used by
-/// instrumented code).
+/// instrumented code). Panics on an unregistered thread; see [`try_tick`].
 #[inline]
 pub fn tick(amount: u64) {
     CURRENT.with(|c| {
@@ -201,12 +323,31 @@ pub fn tick(amount: u64) {
     });
 }
 
+/// Fallible [`tick`]: `Err(DetError::NotRegistered)` instead of panicking
+/// when the calling thread is not deterministic.
+#[inline]
+pub fn try_tick(amount: u64) -> Result<(), DetError> {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (inner, tid) = b.as_ref().ok_or(DetError::NotRegistered)?;
+        inner.registry.tick(*tid, amount);
+        Ok(())
+    })
+}
+
 /// Deterministic thread exit: a det event at the thread's turn. Marks the
 /// slot finished and, if a parent is blocked joining, reactivates it with
 /// `max(parent, child) + 1`.
+///
+/// Must never wedge: if the thread is no longer `Active` (evicted) or its
+/// turn wait fails, it *force-exits* — skips arbitration and goes straight
+/// to the finish transition. An imperfectly-ordered exit clock is strictly
+/// better than a `Finished`-less slot stalling every survivor.
 fn det_exit(inner: &Arc<Inner>, me: DetTid) {
     let reg = &inner.registry;
-    reg.wait_for_turn(me);
+    if reg.state(me) == ThreadState::Active {
+        let _ = reg.wait_for_turn(me);
+    }
     let my_clock = reg.clock(me);
     reg.transition(|_| {
         reg.set_exit_clock(me, my_clock);
@@ -221,10 +362,14 @@ fn det_exit(inner: &Arc<Inner>, me: DetTid) {
 }
 
 /// Join handle for a deterministic thread.
+///
+/// Dropping an unjoined handle *detaches* the child deterministically: the
+/// child keeps running and its exit event proceeds normally (no parent to
+/// wake), and no stale `join_waiters` entry is left behind.
 pub struct DetJoinHandle<T> {
     rt: DetRuntime,
     tid: DetTid,
-    std: Option<std::thread::JoinHandle<T>>,
+    std: Option<std::thread::JoinHandle<std::thread::Result<T>>>,
 }
 
 impl<T> DetJoinHandle<T> {
@@ -236,11 +381,35 @@ impl<T> DetJoinHandle<T> {
     /// Deterministically join the child: a det event at the parent's turn.
     /// While blocked, the parent is excluded from arbitration; the child's
     /// exit event reactivates it with `max(parent, child) + 1`.
+    ///
+    /// If the child panicked, the panic is re-raised here (like
+    /// `std::thread::JoinHandle::join().unwrap()`); other runtime errors
+    /// raise a [`DetError`] panic. Use [`DetJoinHandle::try_join`] to
+    /// handle both as values.
     pub fn join(mut self) -> T {
-        let (inner, me) = current();
-        assert!(Arc::ptr_eq(&inner, &self.rt.inner));
+        match self.join_inner() {
+            Ok(v) => v,
+            Err(DetError::ChildPanicked { payload, .. }) => resume_unwind(payload),
+            Err(e) => raise(e),
+        }
+    }
+
+    /// Fallible join: [`DetError::ChildPanicked`] carries a panicking
+    /// child's payload (inspect with [`crate::panic_message`] or downcast
+    /// to e.g. [`crate::fault::InjectedPanic`]); stall-watchdog and
+    /// misuse errors are returned typed as well.
+    pub fn try_join(mut self) -> Result<T, DetError> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> Result<T, DetError> {
+        let (inner, me) = try_current()?;
+        if !Arc::ptr_eq(&inner, &self.rt.inner) {
+            return Err(DetError::WrongRuntime);
+        }
         let reg = &inner.registry;
-        reg.wait_for_turn(me);
+        fault_point(&inner, me);
+        reg.wait_for_turn(me)?;
         let finished_now = reg.transition(|_| {
             if reg.state(self.tid) == ThreadState::Finished {
                 true
@@ -254,16 +423,57 @@ impl<T> DetJoinHandle<T> {
             let c = reg.clock(me).max(reg.exit_clock(self.tid)) + 1;
             reg.set_clock(me, c);
         } else {
+            let mut timer = reg.stall_timer();
             let mut g = inner.join_cv_mutex.lock();
             while reg.state(me) != ThreadState::Active {
-                inner.join_cv.wait(&mut g);
+                let timed_out = inner.join_cv.wait_for(&mut g, timer.poll_interval());
+                if timed_out && timer.expired(reg) {
+                    match reg.on_blocked_stall(me) {
+                        Ok(()) => {} // culprit evicted; child may now exit
+                        Err(e) => {
+                            drop(g);
+                            // Un-block ourselves and withdraw the waiter
+                            // entry so a late child exit does not touch a
+                            // parent that already gave up.
+                            reg.transition(|_| {
+                                inner.join_waiters.lock().remove(&self.tid);
+                                if reg.state(me) == ThreadState::Blocked {
+                                    reg.set_state(me, ThreadState::Active);
+                                }
+                            });
+                            return Err(e);
+                        }
+                    }
+                }
             }
         }
-        self.std
-            .take()
-            .expect("joined twice")
-            .join()
-            .expect("deterministic thread panicked")
+        let handle = self.std.take().expect("joined twice");
+        match handle.join() {
+            Ok(Ok(v)) => Ok(v),
+            // The closure panicked and catch_unwind captured the payload.
+            Ok(Err(payload)) => Err(DetError::ChildPanicked {
+                tid: self.tid,
+                payload,
+            }),
+            // Panic escaped catch_unwind (i.e. inside det_exit) — still
+            // surface it rather than poison the caller.
+            Err(payload) => Err(DetError::ChildPanicked {
+                tid: self.tid,
+                payload,
+            }),
+        }
+    }
+}
+
+impl<T> Drop for DetJoinHandle<T> {
+    fn drop(&mut self) {
+        if self.std.take().is_some() {
+            // Never joined: detach. No join_waiters entry can exist for an
+            // unjoined child (join_inner inserts it and always consumes the
+            // handle), but withdraw defensively so a logic slip elsewhere
+            // can never redirect a wake-up at a dead parent.
+            self.rt.inner.join_waiters.lock().remove(&self.tid);
+        }
     }
 }
 
@@ -342,6 +552,12 @@ mod tests {
     }
 
     #[test]
+    fn try_tick_outside_runtime_errors() {
+        let r = std::thread::spawn(|| try_tick(1)).join().unwrap();
+        assert!(matches!(r, Err(DetError::NotRegistered)));
+    }
+
+    #[test]
     fn retire_current_releases_workers() {
         let rt = DetRuntime::with_defaults();
         let h = rt.spawn(|| {
@@ -354,5 +570,111 @@ mod tests {
         let v = h.join();
         rt.retire_current();
         assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn child_panic_propagates_through_join() {
+        let rt = DetRuntime::with_defaults();
+        let h = rt.spawn(|| -> u32 { panic!("child exploded") });
+        // join() re-raises the child's panic in the parent...
+        let caught = catch_unwind(AssertUnwindSafe(|| h.join()));
+        let payload = caught.expect_err("join must re-raise the child panic");
+        assert_eq!(crate::panic_message(payload.as_ref()), "child exploded");
+        // ...and the runtime is still healthy: spawn/join again.
+        assert_eq!(rt.spawn(|| 9).join(), 9);
+    }
+
+    #[test]
+    fn try_join_returns_child_panic_as_typed_error() {
+        let rt = DetRuntime::with_defaults();
+        let h = rt.spawn(|| -> u32 { panic!("typed boom") });
+        let tid = h.det_tid();
+        match h.try_join() {
+            Err(DetError::ChildPanicked { tid: t, payload }) => {
+                assert_eq!(t, tid);
+                assert_eq!(crate::panic_message(payload.as_ref()), "typed boom");
+            }
+            other => panic!("expected ChildPanicked, got {other:?}"),
+        }
+        assert_eq!(rt.spawn(|| 1).join(), 1);
+    }
+
+    #[test]
+    fn dropping_handle_detaches_without_wedging() {
+        let rt = DetRuntime::with_defaults();
+        {
+            let _dropped = rt.spawn(|| {
+                tick(2);
+                "detached"
+            });
+        } // handle dropped unjoined here
+          // The detached child exits on its own; the runtime keeps working.
+        let h = rt.spawn(|| {
+            tick(1);
+            3
+        });
+        assert_eq!(h.join(), 3);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_a_clean_error() {
+        let rt = DetRuntime::new(DetConfig {
+            max_threads: 2, // main + one child
+            ..DetConfig::default()
+        });
+        let ok = rt.spawn(|| 1);
+        match rt.try_spawn(|| 2) {
+            Err(DetError::CapacityExhausted { capacity: 2 }) => {}
+            Err(other) => panic!("expected CapacityExhausted, got {other:?}"),
+            Ok(_) => panic!("expected CapacityExhausted, got a handle"),
+        }
+        // The failed spawn left arbitration healthy: the live child still
+        // joins fine.
+        assert_eq!(ok.join(), 1);
+    }
+
+    #[test]
+    fn spawn_from_unregistered_thread_errors() {
+        let rt = DetRuntime::with_defaults();
+        let rt2 = rt.clone();
+        let r = std::thread::spawn(move || rt2.try_spawn(|| 1).map(|_| ()))
+            .join()
+            .unwrap();
+        assert!(matches!(r, Err(DetError::NotRegistered)));
+    }
+
+    #[test]
+    fn cross_runtime_handle_misuse_is_a_typed_error() {
+        // A thread registered with runtime B joining a handle from runtime
+        // A must get WrongRuntime, not silently corrupt either arbiter.
+        let rt_a = DetRuntime::with_defaults();
+        let h = rt_a.spawn(|| 41);
+        let misuse = std::thread::spawn(move || {
+            let rt_b = DetRuntime::with_defaults();
+            let verdict = matches!(h.try_join(), Err(DetError::WrongRuntime));
+            rt_b.retire_current();
+            verdict
+        })
+        .join()
+        .unwrap();
+        assert!(misuse, "expected WrongRuntime from the foreign join");
+        // Runtime A is unharmed: its detached child exited cleanly and new
+        // work proceeds.
+        assert_eq!(rt_a.spawn(|| 5).join(), 5);
+    }
+
+    #[test]
+    fn thread_snapshots_expose_state() {
+        let rt = DetRuntime::with_defaults();
+        let h = rt.spawn(|| {
+            tick(7);
+            0
+        });
+        h.join();
+        let snaps = rt.thread_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].tid, 0);
+        assert_eq!(snaps[1].state, ThreadState::Finished);
+        assert!(snaps[0].events >= 1, "join is a counted det event");
     }
 }

@@ -14,8 +14,8 @@
 //! * the stamped `max_read_release` / `write_release` clocks make
 //!   "physically free but logically still held" visible, as in the mutex.
 
-use crate::runtime::{current, DetRuntime};
-use parking_lot::Mutex;
+use crate::runtime::{current, fault_point, wait_turn, DetRuntime};
+use detlock_shim::sync::Mutex;
 use std::cell::UnsafeCell;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
@@ -35,6 +35,7 @@ struct RwState {
 /// A deterministic reader-writer lock.
 pub struct DetRwLock<T: ?Sized> {
     rt: DetRuntime,
+    id: u64,
     state: Mutex<RwState>,
     data: UnsafeCell<T>,
 }
@@ -51,6 +52,7 @@ impl<T> DetRwLock<T> {
     pub fn new(rt: &DetRuntime, value: T) -> DetRwLock<T> {
         DetRwLock {
             rt: rt.clone(),
+            id: rt.alloc_lock_id(),
             state: Mutex::new(RwState {
                 readers: 0,
                 writer: false,
@@ -66,8 +68,10 @@ impl<T> DetRwLock<T> {
         let (inner, me) = current();
         debug_assert!(Arc::ptr_eq(&inner, &self.rt.inner));
         let reg = &inner.registry;
+        fault_point(&inner, me);
+        reg.set_waiting(me, Some(self.id));
         loop {
-            reg.wait_for_turn(me);
+            wait_turn(&inner, me);
             let my_clock = reg.clock(me);
             {
                 let mut st = self.state.lock();
@@ -78,8 +82,13 @@ impl<T> DetRwLock<T> {
             }
             reg.tick(me, 1);
         }
+        reg.set_waiting(me, None);
         reg.tick(me, 1);
-        DetRwLockReadGuard { lock: self, tid: me }
+        inner.trace.record(self.id, me, reg.clock(me));
+        DetRwLockReadGuard {
+            lock: self,
+            tid: me,
+        }
     }
 
     /// Deterministically acquire an exclusive (write) lock.
@@ -87,8 +96,10 @@ impl<T> DetRwLock<T> {
         let (inner, me) = current();
         debug_assert!(Arc::ptr_eq(&inner, &self.rt.inner));
         let reg = &inner.registry;
+        fault_point(&inner, me);
+        reg.set_waiting(me, Some(self.id));
         loop {
-            reg.wait_for_turn(me);
+            wait_turn(&inner, me);
             let my_clock = reg.clock(me);
             {
                 let mut st = self.state.lock();
@@ -103,8 +114,13 @@ impl<T> DetRwLock<T> {
             }
             reg.tick(me, 1);
         }
+        reg.set_waiting(me, None);
         reg.tick(me, 1);
-        DetRwLockWriteGuard { lock: self, tid: me }
+        inner.trace.record(self.id, me, reg.clock(me));
+        DetRwLockWriteGuard {
+            lock: self,
+            tid: me,
+        }
     }
 
     /// Consume the lock, returning the inner value.

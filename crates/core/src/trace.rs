@@ -7,7 +7,7 @@
 //! happens only after its record lands, so the append order *is* the
 //! logical order.
 
-use parking_lot::Mutex;
+use detlock_shim::sync::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// One recorded acquisition.
@@ -73,7 +73,12 @@ impl TraceRecorder {
     pub fn hash(&self) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
         for e in self.events.lock().iter() {
-            for b in e.lock.to_le_bytes().iter().chain(e.tid.to_le_bytes().iter()) {
+            for b in e
+                .lock
+                .to_le_bytes()
+                .iter()
+                .chain(e.tid.to_le_bytes().iter())
+            {
                 h ^= *b as u64;
                 h = h.wrapping_mul(0x100000001b3);
             }
@@ -85,6 +90,24 @@ impl TraceRecorder {
     pub fn clear(&self) {
         self.events.lock().clear();
     }
+}
+
+/// Index of the first position where two traces disagree on `(lock, tid)`
+/// (clock differences are tolerated, matching [`TraceRecorder::hash`]), or
+/// `None` when one trace is a prefix-equal match of the other's length.
+/// Chaos tests and `detcheck` use this to *show* a divergence, not just
+/// detect one.
+pub fn first_divergence(a: &[TraceEvent], b: &[TraceEvent]) -> Option<usize> {
+    if a.len() != b.len() {
+        let common = a.len().min(b.len());
+        for i in 0..common {
+            if (a[i].lock, a[i].tid) != (b[i].lock, b[i].tid) {
+                return Some(i);
+            }
+        }
+        return Some(common);
+    }
+    (0..a.len()).find(|&i| (a[i].lock, a[i].tid) != (b[i].lock, b[i].tid))
 }
 
 #[cfg(test)]
@@ -114,6 +137,22 @@ mod tests {
         c.record(2, 1, 9);
         c.record(1, 0, 5);
         assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn first_divergence_pinpoints_the_event() {
+        let ev = |lock, tid| TraceEvent {
+            lock,
+            tid,
+            clock: 0,
+        };
+        let a = vec![ev(1, 0), ev(2, 1), ev(3, 0)];
+        let same = vec![ev(1, 0), ev(2, 1), ev(3, 0)];
+        let differs = vec![ev(1, 0), ev(2, 2), ev(3, 0)];
+        let shorter = vec![ev(1, 0), ev(2, 1)];
+        assert_eq!(first_divergence(&a, &same), None);
+        assert_eq!(first_divergence(&a, &differs), Some(1));
+        assert_eq!(first_divergence(&a, &shorter), Some(2));
     }
 
     #[test]

@@ -226,7 +226,12 @@ impl FunctionBuilder {
 
     /// Builtin call with a result. `size_arg` indexes `args` if the
     /// builtin's cost scales with one of them.
-    pub fn builtin(&mut self, builtin: Builtin, args: Vec<Operand>, size_arg: Option<usize>) -> Reg {
+    pub fn builtin(
+        &mut self,
+        builtin: Builtin,
+        args: Vec<Operand>,
+        size_arg: Option<usize>,
+    ) -> Reg {
         let dst = self.new_reg();
         self.push(Inst::CallBuiltin {
             builtin,
@@ -238,12 +243,7 @@ impl FunctionBuilder {
     }
 
     /// Builtin call discarding the result.
-    pub fn builtin_void(
-        &mut self,
-        builtin: Builtin,
-        args: Vec<Operand>,
-        size_arg: Option<usize>,
-    ) {
+    pub fn builtin_void(&mut self, builtin: Builtin, args: Vec<Operand>, size_arg: Option<usize>) {
         self.push(Inst::CallBuiltin {
             builtin,
             args,

@@ -241,7 +241,11 @@ pub enum Inst {
     Load { dst: Reg, addr: Reg, offset: i64 },
     /// `mem[addr + offset] = src` — counts as a *retired store* for the
     /// simulated-Kendo performance counter.
-    Store { src: Operand, addr: Reg, offset: i64 },
+    Store {
+        src: Operand,
+        addr: Reg,
+        offset: i64,
+    },
     /// Direct call. Arguments are copied into the callee's first registers;
     /// the callee's return value (if any) lands in `dst`.
     Call {

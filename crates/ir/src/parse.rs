@@ -105,12 +105,10 @@ impl<'a> Parser<'a> {
     fn parse_function(&mut self) -> Result<Function, ParseError> {
         let line = self.current();
         let ln = self.lineno();
-        let rest = line
-            .strip_prefix("fn ")
-            .ok_or_else(|| ParseError {
-                line: ln,
-                message: format!("expected `fn name(params=N) {{`, got `{line}`"),
-            })?;
+        let rest = line.strip_prefix("fn ").ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected `fn name(params=N) {{`, got `{line}`"),
+        })?;
         let open = rest.find('(').ok_or_else(|| ParseError {
             line: ln,
             message: "missing `(` in function header".into(),
@@ -165,13 +163,14 @@ impl<'a> Parser<'a> {
                 // when given explicitly.
                 if let Some(i) = header.find(" (bb") {
                     let idpart = &header[i + 4..];
-                    let id: usize = idpart
-                        .trim_end_matches(')')
-                        .parse()
-                        .map_err(|_| ParseError {
-                            line: ln,
-                            message: format!("bad block id in `{l}`"),
-                        })?;
+                    let id: usize =
+                        idpart
+                            .trim_end_matches(')')
+                            .parse()
+                            .map_err(|_| ParseError {
+                                line: ln,
+                                message: format!("bad block id in `{l}`"),
+                            })?;
                     if id != blocks.len() {
                         return err(
                             ln,
@@ -356,10 +355,7 @@ fn parse_terminator(l: &str, ln: usize) -> Result<Option<Terminator>, ParseError
         }
         "condbr" => {
             // condbr r4, bb2, bb15
-            let rest: Vec<&str> = l["condbr".len()..]
-                .split(',')
-                .map(str::trim)
-                .collect();
+            let rest: Vec<&str> = l["condbr".len()..].split(',').map(str::trim).collect();
             if rest.len() != 3 {
                 return err(ln, format!("expected `condbr rC, bbT, bbF`, got `{l}`"));
             }
@@ -396,13 +392,13 @@ fn parse_terminator(l: &str, ln: usize) -> Result<Option<Terminator>, ParseError
                 }
             }
             let tail = l[close + 1..].trim();
-            let default = tail
-                .strip_prefix("default")
-                .map(str::trim)
-                .ok_or_else(|| ParseError {
-                    line: ln,
-                    message: "missing `default bbN` in switch".into(),
-                })?;
+            let default =
+                tail.strip_prefix("default")
+                    .map(str::trim)
+                    .ok_or_else(|| ParseError {
+                        line: ln,
+                        message: "missing `default bbN` in switch".into(),
+                    })?;
             Ok(Some(Terminator::Switch {
                 disc,
                 cases,
@@ -504,10 +500,13 @@ fn parse_inst(l: &str, ln: usize) -> Result<Inst, ParseError> {
     let head = it.next().unwrap_or("");
 
     if head == "const" {
-        let v: i64 = rhs["const".len()..].trim().parse().map_err(|_| ParseError {
-            line: ln,
-            message: format!("bad constant in `{l}`"),
-        })?;
+        let v: i64 = rhs["const".len()..]
+            .trim()
+            .parse()
+            .map_err(|_| ParseError {
+                line: ln,
+                message: format!("bad constant in `{l}`"),
+            })?;
         return Ok(Inst::Const { dst, value: v });
     }
     if head == "mov" {
@@ -728,10 +727,8 @@ fn main(params=2) {
 
     #[test]
     fn clock_annotations_in_headers_are_ignored() {
-        let m = parse_module(
-            "fn f(params=0) {\n  entry (bb0):    clock = 42\n    ret\n}\n",
-        )
-        .unwrap();
+        let m =
+            parse_module("fn f(params=0) {\n  entry (bb0):    clock = 42\n    ret\n}\n").unwrap();
         assert_eq!(m.functions[0].blocks[0].name, "entry");
     }
 

@@ -171,32 +171,29 @@ fn verify_function_inner(
         }
         // Terminator register uses.
         match &block.term {
-            crate::inst::Terminator::CondBr { cond, .. }
-                if cond.0 >= func.num_regs => {
-                    errors.push(VerifyError::BadRegister {
-                        func: fid,
-                        block: bid,
-                        reg: *cond,
-                    });
-                }
-            crate::inst::Terminator::Switch { disc, .. }
-                if disc.0 >= func.num_regs => {
-                    errors.push(VerifyError::BadRegister {
-                        func: fid,
-                        block: bid,
-                        reg: *disc,
-                    });
-                }
+            crate::inst::Terminator::CondBr { cond, .. } if cond.0 >= func.num_regs => {
+                errors.push(VerifyError::BadRegister {
+                    func: fid,
+                    block: bid,
+                    reg: *cond,
+                });
+            }
+            crate::inst::Terminator::Switch { disc, .. } if disc.0 >= func.num_regs => {
+                errors.push(VerifyError::BadRegister {
+                    func: fid,
+                    block: bid,
+                    reg: *disc,
+                });
+            }
             crate::inst::Terminator::Ret {
                 value: Some(crate::inst::Operand::Reg(r)),
+            } if r.0 >= func.num_regs => {
+                errors.push(VerifyError::BadRegister {
+                    func: fid,
+                    block: bid,
+                    reg: *r,
+                });
             }
-                if r.0 >= func.num_regs => {
-                    errors.push(VerifyError::BadRegister {
-                        func: fid,
-                        block: bid,
-                        reg: *r,
-                    });
-                }
             _ => {}
         }
     }

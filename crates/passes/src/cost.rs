@@ -70,8 +70,20 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         let mut builtins = HashMap::new();
-        builtins.insert("memset".into(), Estimate { base: 8, per_unit: 1 });
-        builtins.insert("memcpy".into(), Estimate { base: 8, per_unit: 2 });
+        builtins.insert(
+            "memset".into(),
+            Estimate {
+                base: 8,
+                per_unit: 1,
+            },
+        );
+        builtins.insert(
+            "memcpy".into(),
+            Estimate {
+                base: 8,
+                per_unit: 2,
+            },
+        );
         builtins.insert("sqrt".into(), Estimate::flat(20));
         builtins.insert("sin".into(), Estimate::flat(24));
         builtins.insert("cos".into(), Estimate::flat(24));
@@ -150,7 +162,10 @@ impl CostModel {
             Inst::Store { .. } => self.store,
             Inst::Call { .. } => self.call,
             Inst::CallBuiltin {
-                builtin, size_arg, args, ..
+                builtin,
+                size_arg,
+                args,
+                ..
             } => {
                 let est = self.builtin(*builtin);
                 match size_arg.and_then(|i| args.get(i)) {

@@ -100,10 +100,7 @@ pub fn audit(
 
 /// True when every audited function has zero divergence (precise plans).
 pub fn is_exact(audits: &[Option<FuncDivergence>]) -> bool {
-    audits
-        .iter()
-        .flatten()
-        .all(|d| d.max_abs == 0)
+    audits.iter().flatten().all(|d| d.max_abs == 0)
 }
 
 #[cfg(test)]
@@ -186,11 +183,7 @@ mod tests {
         for d in audits.iter().flatten() {
             // O2b's bound is 1/10 per move; O3/O4 introduce comparable
             // bounded error. Across a whole function allow 50%.
-            assert!(
-                d.max_frac <= 0.5,
-                "divergence too large: {:?}",
-                d
-            );
+            assert!(d.max_frac <= 0.5, "divergence too large: {:?}", d);
         }
     }
 }

@@ -317,9 +317,8 @@ mod tests {
         let cost = CostModel::default();
         let none = instrument(&m, &cost, &OptConfig::none(), Placement::Start, &[entry]);
         let all = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[entry]);
-        let count = |i: &Instrumented| -> usize {
-            i.module.functions.iter().map(|f| f.tick_count()).sum()
-        };
+        let count =
+            |i: &Instrumented| -> usize { i.module.functions.iter().map(|f| f.tick_count()).sum() };
         assert!(
             count(&all) < count(&none),
             "all-opts should emit fewer ticks: {} vs {}",

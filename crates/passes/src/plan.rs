@@ -134,7 +134,9 @@ pub fn split_function(func: &Function, is_clocked: impl Fn(FuncId) -> bool) -> F
         }
         // Drop a trailing empty non-call segment only if there are earlier
         // segments (we need at least one segment to carry the terminator).
-        while segments.len() > 1 && segments.last().unwrap().is_empty() && !call_segments.last().unwrap()
+        while segments.len() > 1
+            && segments.last().unwrap().is_empty()
+            && !call_segments.last().unwrap()
         {
             segments.pop();
             call_segments.pop();
@@ -208,11 +210,7 @@ pub fn split_module(module: &Module, clocked: &[Option<u64>]) -> Module {
 /// (size-dependent builtins contribute only their base; the scaled part
 /// becomes a dynamic tick), plus the mean path clock of every *clocked*
 /// callee charged at the call site, plus the terminator cost.
-pub fn block_clock_amount(
-    block: &Block,
-    cost: &CostModel,
-    clocked: &[Option<u64>],
-) -> u64 {
+pub fn block_clock_amount(block: &Block, cost: &CostModel, clocked: &[Option<u64>]) -> u64 {
     let mut total = 0u64;
     for inst in &block.insts {
         // Tick instructions are the instrumentation itself, never part of a

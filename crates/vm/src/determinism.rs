@@ -8,8 +8,8 @@
 
 use crate::machine::{run, MachineConfig, ThreadSpec};
 use crate::metrics::RunMetrics;
-use detlock_passes::cost::CostModel;
 use detlock_ir::module::Module;
+use detlock_passes::cost::CostModel;
 
 /// Result of a multi-seed determinism probe.
 #[derive(Debug, Clone)]
@@ -22,6 +22,39 @@ pub struct DeterminismReport {
     pub first: RunMetrics,
     /// Whether any run hit the cycle limit.
     pub any_hit_limit: bool,
+    /// On violation, the first diverging acquisition between the first run
+    /// and the earliest run that disagreed with it.
+    pub divergence: Option<Divergence>,
+}
+
+/// The first point where two runs' lock-acquisition sequences differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Jitter seed of the reference (first) run.
+    pub seed_a: u64,
+    /// Jitter seed of the earliest run disagreeing with the reference.
+    pub seed_b: u64,
+    /// Index of the first differing acquisition.
+    pub index: usize,
+    /// `(lock_id, tid)` the reference run acquired at `index`, if the
+    /// recorded (bounded) prefix reaches that far.
+    pub a: Option<(i64, u32)>,
+    /// `(lock_id, tid)` the diverging run acquired at `index`.
+    pub b: Option<(i64, u32)>,
+}
+
+/// First index where two acquisition sequences differ; `None` if one is a
+/// prefix of the other and no element disagrees (divergence lies beyond the
+/// recorded window, or the sequences are identical).
+fn first_diff(a: &[(i64, u32)], b: &[(i64, u32)]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    (0..n).find(|&i| a[i] != b[i]).or({
+        if a.len() != b.len() {
+            Some(n)
+        } else {
+            None
+        }
+    })
 }
 
 /// Run the workload once per seed and compare lock-acquisition orders.
@@ -36,14 +69,29 @@ pub fn check_determinism(
     let mut hashes = Vec::with_capacity(seeds.len());
     let mut first: Option<RunMetrics> = None;
     let mut any_hit_limit = false;
+    let mut divergence: Option<Divergence> = None;
     for &seed in seeds {
         let mut cfg = base_cfg.clone();
         cfg.jitter = cfg.jitter.with_seed(seed);
         let (metrics, hit) = run(module, cost, threads, cfg);
         any_hit_limit |= hit;
         hashes.push(metrics.lock_order_hash);
-        if first.is_none() {
-            first = Some(metrics);
+        match &first {
+            None => first = Some(metrics),
+            Some(reference) => {
+                if divergence.is_none() && metrics.lock_order_hash != reference.lock_order_hash {
+                    let idx = first_diff(&reference.lock_order, &metrics.lock_order);
+                    divergence = Some(Divergence {
+                        seed_a: seeds[0],
+                        seed_b: seed,
+                        // Hashes disagreed but the bounded recorded prefixes
+                        // agree: the divergence lies past the window.
+                        index: idx.unwrap_or(reference.lock_order.len()),
+                        a: idx.and_then(|i| reference.lock_order.get(i).copied()),
+                        b: idx.and_then(|i| metrics.lock_order.get(i).copied()),
+                    });
+                }
+            }
         }
     }
     let deterministic = hashes.windows(2).all(|w| w[0] == w[1]);
@@ -52,5 +100,30 @@ pub fn check_determinism(
         deterministic,
         first: first.unwrap(),
         any_hit_limit,
+        divergence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_diff_finds_earliest_disagreement() {
+        let a = [(1i64, 0u32), (2, 1), (3, 0)];
+        let b = [(1i64, 0u32), (2, 0), (3, 0)];
+        assert_eq!(first_diff(&a, &b), Some(1));
+        assert_eq!(first_diff(&a, &a), None);
+    }
+
+    #[test]
+    fn first_diff_on_prefix_points_past_the_shorter() {
+        let a = [(1i64, 0u32), (2, 1)];
+        let b = [(1i64, 0u32), (2, 1), (3, 0)];
+        assert_eq!(first_diff(&a, &b), Some(2));
+        assert_eq!(first_diff(&b, &a), Some(2));
+        let empty: [(i64, u32); 0] = [];
+        assert_eq!(first_diff(&empty, &empty), None);
+        assert_eq!(first_diff(&empty, &a), Some(0));
     }
 }

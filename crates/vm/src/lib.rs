@@ -27,7 +27,7 @@ pub mod machine;
 pub mod metrics;
 pub mod replay;
 
-pub use determinism::{check_determinism, DeterminismReport};
+pub use determinism::{check_determinism, DeterminismReport, Divergence};
 pub use machine::{
     run, BulkSyncParams, ExecMode, Jitter, KendoParams, Machine, MachineConfig, ThreadSpec,
 };

@@ -29,12 +29,11 @@
 
 use crate::builtins;
 use crate::metrics::{OrderHasher, RunMetrics, ThreadMetrics};
-use detlock_passes::cost::CostModel;
 use detlock_ir::inst::{Inst, Operand, Terminator};
 use detlock_ir::module::Module;
 use detlock_ir::types::{BlockId, FuncId, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use detlock_passes::cost::CostModel;
+use detlock_shim::rng::SmallRng;
 use std::collections::HashMap;
 
 /// CoreDet-style bulk-synchronous parameters (paper §II): execution
@@ -667,7 +666,8 @@ impl<'m> Machine<'m> {
     fn charge(&mut self, t: usize, cost: u64) {
         let th = &mut self.threads[t];
         let extra = if self.cfg.jitter.prob_den > 0
-            && th.rng.gen_range(0..self.cfg.jitter.prob_den) < self.cfg.jitter.prob_num
+            && th.rng.gen_range(0..self.cfg.jitter.prob_den as u64)
+                < self.cfg.jitter.prob_num as u64
         {
             1 + th.rng.gen_range(0..self.cfg.jitter.max_extra.max(1))
         } else {
@@ -872,8 +872,11 @@ impl<'m> Machine<'m> {
                 use detlock_ir::Builtin as B;
                 let result = match builtin {
                     B::Memset => {
-                        let (base, val, len) =
-                            (argv.first().copied().unwrap_or(0), argv.get(1).copied().unwrap_or(0), size.max(0));
+                        let (base, val, len) = (
+                            argv.first().copied().unwrap_or(0),
+                            argv.get(1).copied().unwrap_or(0),
+                            size.max(0),
+                        );
                         for k in 0..len.min(self.mem.len() as i64) {
                             let idx = self.mem_index(base.wrapping_add(k));
                             self.mem[idx] = val;
@@ -882,8 +885,11 @@ impl<'m> Machine<'m> {
                         0
                     }
                     B::Memcpy => {
-                        let (d, s, len) =
-                            (argv.first().copied().unwrap_or(0), argv.get(1).copied().unwrap_or(0), size.max(0));
+                        let (d, s, len) = (
+                            argv.first().copied().unwrap_or(0),
+                            argv.get(1).copied().unwrap_or(0),
+                            size.max(0),
+                        );
                         for k in 0..len.min(self.mem.len() as i64) {
                             let si = self.mem_index(s.wrapping_add(k));
                             let di = self.mem_index(d.wrapping_add(k));
@@ -911,8 +917,7 @@ impl<'m> Machine<'m> {
                     self.threads[t].m.ticks_executed += 1;
                     self.threads[t].clock += amount;
                     self.charge(t, self.cost.tick);
-                }
-                else {
+                } else {
                     // Baseline / Kendo: the binary was never instrumented —
                     // skip at zero cost and zero cycles.
                     return Action::Free;

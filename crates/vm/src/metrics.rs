@@ -107,11 +107,7 @@ impl OrderHasher {
     /// Fold one acquisition event into the hash.
     pub fn record(&mut self, lock: i64, tid: u32) {
         let mut h = self.0;
-        for b in lock
-            .to_le_bytes()
-            .iter()
-            .chain(tid.to_le_bytes().iter())
-        {
+        for b in lock.to_le_bytes().iter().chain(tid.to_le_bytes().iter()) {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }

@@ -15,8 +15,8 @@
 
 use crate::machine::{run, ExecMode, MachineConfig, ThreadSpec};
 use crate::metrics::RunMetrics;
-use detlock_passes::cost::CostModel;
 use detlock_ir::module::Module;
+use detlock_passes::cost::CostModel;
 
 /// A recorded synchronization interleaving: the global sequence of
 /// `(lock id, thread)` grants.

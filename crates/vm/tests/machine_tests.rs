@@ -6,8 +6,8 @@ use detlock_ir::inst::{BinOp, CmpOp, Inst, Operand};
 use detlock_ir::types::{BarrierId, FuncId};
 use detlock_ir::Module;
 use detlock_passes::cost::CostModel;
-use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
 use detlock_vm::determinism::check_determinism;
+use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
 
 fn cfg(mode: ExecMode) -> MachineConfig {
     MachineConfig {
@@ -147,6 +147,12 @@ fn baseline_lock_order_varies_with_seed() {
         "baseline should be timing-dependent: {:?}",
         report.hashes
     );
+    // A violated probe pinpoints the first diverging acquisition so the
+    // operator can see *where* the orders split, not just that they did.
+    let d = report.divergence.expect("divergence located");
+    assert_eq!(d.seed_a, 1);
+    assert!(d.a.is_some() || d.b.is_some());
+    assert_ne!(d.a, d.b);
 }
 
 #[test]
@@ -494,7 +500,10 @@ fn ticks_free_in_baseline_and_kendo() {
         &t,
         no_jitter(cfg(ExecMode::Kendo(KendoParams::default()))),
     );
-    assert!(clk.cycles > base.cycles + 150, "100 ticks cost ≥ 200 cycles");
+    assert!(
+        clk.cycles > base.cycles + 150,
+        "100 ticks cost ≥ 200 cycles"
+    );
     // Kendo executes no ticks: same busy cycles as baseline (single thread,
     // exit is a det event but with one thread it is always the min).
     assert_eq!(kendo.per_thread[0].ticks_executed, 0);
@@ -665,7 +674,12 @@ fn start_placement_reduces_det_wait_vs_end_placement() {
     };
     let start = mk(detlock_passes::plan::Placement::Start);
     let end = mk(detlock_passes::plan::Placement::End);
-    let (ms, _) = run(&start.module, &cost, &threads, no_jitter(cfg(ExecMode::Det)));
+    let (ms, _) = run(
+        &start.module,
+        &cost,
+        &threads,
+        no_jitter(cfg(ExecMode::Det)),
+    );
     let (me, _) = run(&end.module, &cost, &threads, no_jitter(cfg(ExecMode::Det)));
     assert!(
         ms.wait_cycles() < me.wait_cycles(),

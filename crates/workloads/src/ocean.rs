@@ -7,8 +7,8 @@
 //! (tick overhead amortizes to ~0%) and a lock frequency orders of
 //! magnitude below every other benchmark.
 
-use crate::{ThreadPlan, Workload};
 use crate::util::{mixed_compute, scratch_base, GenRng};
+use crate::{ThreadPlan, Workload};
 use detlock_ir::builder::FunctionBuilder;
 use detlock_ir::inst::{BinOp, CmpOp, Operand};
 use detlock_ir::types::BarrierId;
@@ -72,7 +72,11 @@ pub fn build(threads: usize, params: &OceanParams) -> Workload {
     fb.mov_to(r, 0i64);
     fb.br(phase_a_body);
     fb.switch_to(phase_a_body);
-    mixed_compute(&mut fb, params.row_ops + (rng.range(0, 16) as usize), scratch);
+    mixed_compute(
+        &mut fb,
+        params.row_ops + (rng.range(0, 16) as usize),
+        scratch,
+    );
     fb.bin_to(BinOp::Add, r, r, 1);
     let ca = fb.cmp(CmpOp::Lt, r, rows);
     fb.cond_br(ca, phase_a_body, phase_a_end);
@@ -85,7 +89,11 @@ pub fn build(threads: usize, params: &OceanParams) -> Workload {
     fb.mov_to(r, 0i64);
     fb.br(phase_b_body);
     fb.switch_to(phase_b_body);
-    mixed_compute(&mut fb, params.row_ops + (rng.range(0, 16) as usize), scratch);
+    mixed_compute(
+        &mut fb,
+        params.row_ops + (rng.range(0, 16) as usize),
+        scratch,
+    );
     fb.bin_to(BinOp::Add, r, r, 1);
     let cb = fb.cmp(CmpOp::Lt, r, rows);
     fb.cond_br(cb, phase_b_body, phase_b_end);
@@ -143,6 +151,9 @@ mod tests {
         let w = build(4, &OceanParams::scaled(0.1));
         let f = w.module.func(w.entries[0]);
         let max_block = f.blocks.iter().map(|b| b.insts.len()).max().unwrap();
-        assert!(max_block >= 200, "ocean must have large blocks: {max_block}");
+        assert!(
+            max_block >= 200,
+            "ocean must have large blocks: {max_block}"
+        );
     }
 }

@@ -125,7 +125,11 @@ pub fn build_with_iters(
                 let micro = micros[rng.range(0, n_micro as u64) as usize];
                 fb.call_void(micro, vec![Operand::Reg(scratch)]);
             }
-            fb.store(scratch, (rung as i64 * 3) % SCRATCH_WORDS, Operand::Reg(acc));
+            fb.store(
+                scratch,
+                (rung as i64 * 3) % SCRATCH_WORDS,
+                Operand::Reg(acc),
+            );
             fb.br(m);
             fb.switch_to(m);
             fb.bin_to(BinOp::Mul, acc, acc, Operand::Imm(3));
@@ -395,7 +399,10 @@ mod tests {
         let none = count(OptLevel::None);
         let o1 = count(OptLevel::O1);
         let all = count(OptLevel::All);
-        assert!(o1 < none * 3 / 4, "O1 should remove ≥25% of ticks: {o1} vs {none}");
+        assert!(
+            o1 < none * 3 / 4,
+            "O1 should remove ≥25% of ticks: {o1} vs {none}"
+        );
         assert!(o1 > 10, "O1 must leave the task-processor glue ticks");
         assert!(all < o1, "All should beat O1 alone: {all} vs {o1}");
     }

@@ -51,7 +51,11 @@ pub fn build(threads: usize, params: &RaytraceParams) -> Workload {
                 rng.range(0, 3) as usize,
             )
         } else {
-            single_block_leaf(&mut module, format!("intersect{i}"), rng.range(20, 60) as usize)
+            single_block_leaf(
+                &mut module,
+                format!("intersect{i}"),
+                rng.range(20, 60) as usize,
+            )
         };
         leaves.push(id);
     }

@@ -97,12 +97,7 @@ pub fn single_block_leaf(module: &mut Module, name: String, size: usize) -> Func
 /// Generate a branchy leaf with two nearly-balanced arms (clockable when
 /// `imbalance` is small relative to the arm size, per the paper's
 /// mean/2.5 and mean/5 criteria; unclockable when large).
-pub fn branchy_leaf(
-    module: &mut Module,
-    name: String,
-    arm: usize,
-    imbalance: usize,
-) -> FuncId {
+pub fn branchy_leaf(module: &mut Module, name: String, arm: usize, imbalance: usize) -> FuncId {
     let mut fb = FunctionBuilder::new(name, 2); // (scratch, selector)
     fb.block("entry");
     let t = fb.create_block("if.then");
@@ -129,12 +124,7 @@ pub fn branchy_leaf(
 /// (blocks of 2–6 instructions). High tick density when unoptimized, tight
 /// path totals (clockable) — the compute-intensive-but-regular shape the
 /// paper credits for Radiosity's Function Clocking gains.
-pub fn laddered_leaf(
-    module: &mut Module,
-    name: String,
-    rungs: usize,
-    rng: &mut GenRng,
-) -> FuncId {
+pub fn laddered_leaf(module: &mut Module, name: String, rungs: usize, rng: &mut GenRng) -> FuncId {
     laddered_leaf_with_arms(module, name, rungs, 2, 6, rng)
 }
 
@@ -172,7 +162,11 @@ pub fn laddered_leaf_with_arms(
         for k in 0..arm {
             fb.bin_to(BinOp::Xor, acc, acc, Operand::Imm(k + 3));
         }
-        fb.store(scratch, (rung as i64 * 3) % SCRATCH_WORDS, Operand::Reg(acc));
+        fb.store(
+            scratch,
+            (rung as i64 * 3) % SCRATCH_WORDS,
+            Operand::Reg(acc),
+        );
         fb.br(m);
         fb.switch_to(m);
         fb.bin_to(BinOp::Mul, acc, acc, Operand::Imm(3));
@@ -280,7 +274,10 @@ mod tests {
         let id = fb.finish_into(&mut m);
         assert!(verify_module(&m).is_ok());
         let b = &m.func(id).blocks[0];
-        assert!(b.insts.iter().any(|i| matches!(i, detlock_ir::Inst::Lock { .. })));
+        assert!(b
+            .insts
+            .iter()
+            .any(|i| matches!(i, detlock_ir::Inst::Lock { .. })));
         assert!(b
             .insts
             .iter()

@@ -125,7 +125,11 @@ pub fn build(threads: usize, params: &VolrendParams) -> Workload {
     let seed = fb.add(base, Operand::Reg(r));
     fb.call_void(
         march,
-        vec![Operand::Reg(scratch), Operand::Reg(seed), Operand::Reg(samples)],
+        vec![
+            Operand::Reg(scratch),
+            Operand::Reg(seed),
+            Operand::Reg(samples),
+        ],
     );
     let li = fb.bin(BinOp::Rem, seed, leaves.len() as i64);
     let _ = li;

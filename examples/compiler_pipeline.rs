@@ -152,12 +152,7 @@ fn build_module() -> (Module, detlock_ir::FuncId, detlock_ir::FuncId) {
     (m, callee, example)
 }
 
-fn dump(
-    stage: &str,
-    fileno: usize,
-    func: &detlock_ir::Function,
-    plan: &FuncPlan,
-) {
+fn dump(stage: &str, fileno: usize, func: &detlock_ir::Function, plan: &FuncPlan) {
     println!("==== {stage} ====");
     print!(
         "{}",

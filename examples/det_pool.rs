@@ -15,8 +15,8 @@ use std::sync::Arc;
 fn one_run(noise: bool) -> Vec<Vec<u32>> {
     let rt = DetRuntime::with_defaults();
     let pool: Arc<DetPool<[u64; 8]>> = Arc::new(DetPool::new(&rt, 32));
-    let logs: Arc<parking_lot::Mutex<Vec<(u32, u32)>>> =
-        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let logs: Arc<detlock_shim::sync::Mutex<Vec<(u32, u32)>>> =
+        Arc::new(detlock_shim::sync::Mutex::new(Vec::new()));
 
     let mut handles = Vec::new();
     for t in 0..3u32 {

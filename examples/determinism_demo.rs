@@ -27,22 +27,20 @@ fn std_run(noise_us: u64) -> Assignment {
     for c in 0..CONSUMERS {
         let queue = Arc::clone(&queue);
         let log = Arc::clone(&log);
-        handles.push(std::thread::spawn(move || {
-            loop {
-                let (lock, cv) = &*queue;
-                let mut q = lock.lock().unwrap();
-                while q.is_empty() {
-                    q = cv.wait(q).unwrap();
-                }
-                let item = q.pop_front().unwrap();
-                drop(q);
-                if item == usize::MAX {
-                    return;
-                }
-                log.lock().unwrap().push((item, c));
-                if item % 9 == c {
-                    std::thread::sleep(std::time::Duration::from_micros(noise_us));
-                }
+        handles.push(std::thread::spawn(move || loop {
+            let (lock, cv) = &*queue;
+            let mut q = lock.lock().unwrap();
+            while q.is_empty() {
+                q = cv.wait(q).unwrap();
+            }
+            let item = q.pop_front().unwrap();
+            drop(q);
+            if item == usize::MAX {
+                return;
+            }
+            log.lock().unwrap().push((item, c));
+            if item % 9 == c {
+                std::thread::sleep(std::time::Duration::from_micros(noise_us));
             }
         }));
     }

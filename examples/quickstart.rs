@@ -32,9 +32,7 @@ fn one_run(run_idx: usize) -> (u64, i64) {
                 // Make physical timing deliberately erratic: determinism
                 // must not depend on it.
                 if (i + t) % 40 == 0 {
-                    std::thread::sleep(std::time::Duration::from_micros(
-                        50 * (t + run_idx as u64),
-                    ));
+                    std::thread::sleep(std::time::Duration::from_micros(50 * (t + run_idx as u64)));
                 }
 
                 *counter.lock() += 1;

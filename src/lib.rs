@@ -91,6 +91,6 @@ pub use detlock_vm;
 pub use detlock_workloads;
 
 pub use detlock_core::{
-    tick, DetBarrier, DetCondvar, DetConfig, DetJoinHandle, DetMutex, DetPool, DetRuntime,
-    DetRwLock,
+    panic_message, tick, try_tick, DetBarrier, DetCondvar, DetConfig, DetError, DetJoinHandle,
+    DetMutex, DetPool, DetRuntime, DetRwLock, FaultPlan, InjectedPanic, StallAction,
 };

@@ -1,0 +1,176 @@
+//! Chaos tests of the fault-tolerance layer: deterministically injected
+//! delays must not perturb the synchronization order (they only move
+//! physical time, which weak determinism is immune to), and injected
+//! panics must surface as typed join errors instead of wedging the
+//! runtime.
+
+use detlock::{
+    tick, DetBarrier, DetConfig, DetError, DetMutex, DetRuntime, DetRwLock, FaultPlan,
+    InjectedPanic, StallAction,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CHAOS_THREADS: u64 = 8;
+
+/// Mixed mutex/rwlock/barrier workload over 8 threads with seeded fault
+/// delays; returns the acquisition-trace fingerprint.
+fn chaos_run(plan: FaultPlan) -> u64 {
+    let rt = DetRuntime::new(DetConfig {
+        record_trace: true,
+        fault_plan: Some(plan),
+        // Generous watchdog: the injected delays slow physical progress,
+        // and a false Abort would kill the whole test process.
+        watchdog_timeout: Some(Duration::from_secs(60)),
+        on_stall: StallAction::Abort,
+        ..DetConfig::default()
+    });
+    let counters: Arc<Vec<DetMutex<u64>>> =
+        Arc::new((0..3).map(|_| DetMutex::new(&rt, 0u64)).collect());
+    let rw = Arc::new(DetRwLock::new(&rt, [0u64; 4]));
+    let bar = Arc::new(DetBarrier::new(&rt, CHAOS_THREADS as usize));
+
+    let mut handles = Vec::new();
+    for t in 0..CHAOS_THREADS {
+        let counters = Arc::clone(&counters);
+        let rw = Arc::clone(&rw);
+        let bar = Arc::clone(&bar);
+        handles.push(rt.spawn(move || {
+            for phase in 0..2u64 {
+                for i in 0..12u64 {
+                    tick(2 + (t * 5 + i) % 7);
+                    match (i + t + phase) % 4 {
+                        0 => *counters[(t % 3) as usize].lock() += 1,
+                        1 => *counters[(i % 3) as usize].lock() += t,
+                        2 => {
+                            let sum: u64 = rw.read().iter().sum();
+                            std::hint::black_box(sum);
+                        }
+                        _ => rw.write()[(t % 4) as usize] += i,
+                    }
+                }
+                tick(1);
+                bar.wait();
+            }
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    rt.trace_hash()
+}
+
+/// Acceptance bar: ≥8 threads with seeded fault-injection delays produce
+/// the identical trace fingerprint across ≥5 runs — including runs whose
+/// *delay seeds differ*, since delays shift timing only.
+#[test]
+fn chaos_delays_do_not_change_the_trace() {
+    let reference = chaos_run(FaultPlan::new(1).with_delays(1, 4, 300));
+    for seed in [2u64, 3, 99, 4242] {
+        let h = chaos_run(FaultPlan::new(seed).with_delays(1, 3, 500));
+        assert_eq!(h, reference, "fault seed {seed} changed the lock order");
+    }
+    // And the undelayed run agrees too.
+    assert_eq!(chaos_run(FaultPlan::new(0)), reference);
+}
+
+/// An injected child panic surfaces as `DetError::ChildPanicked` carrying
+/// the `InjectedPanic` payload; every sibling still completes — no
+/// deadlock, no poisoned runtime.
+#[test]
+fn injected_panic_fails_join_cleanly_without_deadlock() {
+    let rt = DetRuntime::new(DetConfig {
+        record_trace: true,
+        // Spawned threads get tids 1..=4 in spawn order; each performs 10
+        // lock events (fault-point events 0..=9), so event 4 is mid-run.
+        fault_plan: Some(FaultPlan::new(17).with_panic_at(2, 4)),
+        watchdog_timeout: Some(Duration::from_secs(60)),
+        on_stall: StallAction::Abort,
+        ..DetConfig::default()
+    });
+    let m = Arc::new(DetMutex::new(&rt, 0u64));
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            rt.spawn(move || {
+                for i in 0..10u64 {
+                    tick(3 + (t + i) % 4);
+                    *m.lock() += 1;
+                }
+                t
+            })
+        })
+        .collect();
+
+    let mut failed = Vec::new();
+    for (idx, h) in handles.into_iter().enumerate() {
+        let tid = h.det_tid();
+        match h.try_join() {
+            Ok(v) => assert_eq!(v, idx as u64),
+            Err(DetError::ChildPanicked { tid: ptid, payload }) => {
+                assert_eq!(ptid, tid);
+                let inj = payload
+                    .downcast::<InjectedPanic>()
+                    .expect("payload is the InjectedPanic marker");
+                assert_eq!(inj.tid, 2);
+                assert_eq!(inj.event, 4);
+                failed.push(ptid);
+            }
+            Err(other) => panic!("unexpected join error: {other}"),
+        }
+    }
+    assert_eq!(failed, vec![2], "exactly the targeted thread fails");
+
+    // The runtime is still usable for deterministic work afterwards.
+    let m2 = Arc::clone(&m);
+    let h = rt.spawn(move || *m2.lock());
+    assert_eq!(h.join(), *m.lock());
+}
+
+/// Panics and delays combined: the run completes (the watchdog never has
+/// to fire) and the surviving threads' trace is reproducible.
+#[test]
+fn combined_panic_and_delay_chaos_is_reproducible() {
+    let run = |delay_seed: u64| {
+        let rt = DetRuntime::new(DetConfig {
+            record_trace: true,
+            fault_plan: Some(
+                FaultPlan::new(delay_seed)
+                    .with_delays(1, 5, 200)
+                    .with_panic_at(1, 6)
+                    .with_panic_at(3, 2),
+            ),
+            watchdog_timeout: Some(Duration::from_secs(60)),
+            on_stall: StallAction::Abort,
+            ..DetConfig::default()
+        });
+        let m = Arc::new(DetMutex::new(&rt, 0u64));
+        let handles: Vec<_> = (0..6u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                rt.spawn(move || {
+                    for i in 0..8u64 {
+                        tick(2 + (t * 3 + i) % 5);
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        let outcomes: Vec<bool> = handles.into_iter().map(|h| h.try_join().is_ok()).collect();
+        let total = *m.lock();
+        (outcomes, rt.trace_hash(), total)
+    };
+
+    let (outcomes, hash, total) = run(11);
+    assert_eq!(
+        outcomes,
+        vec![false, true, false, true, true, true],
+        "tids 1 and 3 are the injected casualties"
+    );
+    for seed in [12u64, 77] {
+        let (o2, h2, t2) = run(seed);
+        assert_eq!(o2, outcomes);
+        assert_eq!(h2, hash, "delay seed {seed} changed the surviving order");
+        assert_eq!(t2, total);
+    }
+}

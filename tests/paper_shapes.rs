@@ -4,8 +4,8 @@
 //! EXPERIMENTS.md; these tests keep the qualitative claims from regressing.
 
 use detlock_bench::{
-    instrumented, machine_config, run_baseline, run_benchmark, run_kendo_comparison,
-    run_placement, thread_specs, KendoInputs,
+    instrumented, machine_config, run_baseline, run_benchmark, run_kendo_comparison, run_placement,
+    thread_specs, KendoInputs,
 };
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
@@ -16,7 +16,10 @@ use detlock_workloads::by_name;
 const SCALE: f64 = 0.1;
 
 fn level_idx(l: OptLevel) -> usize {
-    OptLevel::table1_rows().iter().position(|&x| x == l).unwrap()
+    OptLevel::table1_rows()
+        .iter()
+        .position(|&x| x == l)
+        .unwrap()
 }
 
 #[test]
@@ -191,11 +194,7 @@ fn kendo_mode_also_deterministic_on_workloads() {
         &w.module,
         &cost,
         &specs,
-        &machine_config(
-            &w,
-            ExecMode::Kendo(detlock_vm::KendoParams::default()),
-            0,
-        ),
+        &machine_config(&w, ExecMode::Kendo(detlock_vm::KendoParams::default()), 0),
         &[1, 5, 23],
     );
     assert!(!report.any_hit_limit);
@@ -250,8 +249,14 @@ fn det_overhead_grows_with_core_count() {
     };
     let (clk2, det2) = measure(2);
     let (clk8, det8) = measure(8);
-    assert!((clk2 - clk8).abs() < 4.0, "clock overhead ~flat: {clk2} vs {clk8}");
-    assert!(det8 > det2 + 3.0, "det overhead must grow with cores: {det2} -> {det8}");
+    assert!(
+        (clk2 - clk8).abs() < 4.0,
+        "clock overhead ~flat: {clk2} vs {clk8}"
+    );
+    assert!(
+        det8 > det2 + 3.0,
+        "det overhead must grow with cores: {det2} -> {det8}"
+    );
 }
 
 #[test]

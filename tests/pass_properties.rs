@@ -1,6 +1,10 @@
 //! Property-based tests over randomly generated structured programs:
 //! invariants of the instrumentation passes and of the deterministic
 //! simulator that must hold for *any* program, not just the workloads.
+//!
+//! Cases are driven by deterministic seed sweeps (a fixed PRNG draws the
+//! seeds), so every run exercises the same programs and failures name the
+//! exact seed to replay.
 
 use detlock_ir::analysis::cfg::Cfg;
 use detlock_ir::analysis::dom::DomTree;
@@ -11,10 +15,10 @@ use detlock_passes::cost::CostModel;
 use detlock_passes::divergence::{audit, is_exact};
 use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
+use detlock_shim::rng::SmallRng;
 use detlock_vm::determinism::check_determinism;
 use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
 use detlock_workloads::micro::{random_module, MicroParams};
-use proptest::prelude::*;
 
 fn micro_params() -> MicroParams {
     MicroParams {
@@ -24,13 +28,21 @@ fn micro_params() -> MicroParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Draw `cases` seeds from `lo..hi`, deterministically per test name.
+fn seed_sweep(test: &str, cases: u64, lo: u64, hi: u64) -> Vec<u64> {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in test.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    let mut rng = SmallRng::seed_from_u64(h);
+    (0..cases).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    /// Every optimization level produces a structurally valid module on
-    /// random structured programs.
-    #[test]
-    fn random_programs_instrument_cleanly(seed in 1u64..10_000) {
+/// Every optimization level produces a structurally valid module on
+/// random structured programs.
+#[test]
+fn random_programs_instrument_cleanly() {
+    for seed in seed_sweep("random_programs_instrument_cleanly", 24, 1, 10_000) {
         let (m, driver) = random_module(seed, 3, &micro_params());
         let cost = CostModel::default();
         for level in OptLevel::table1_rows() {
@@ -41,46 +53,61 @@ proptest! {
                 Placement::Start,
                 &[driver],
             );
-            prop_assert!(verify_module(&out.module).is_ok());
+            assert!(verify_module(&out.module).is_ok(), "seed {seed}");
         }
     }
+}
 
-    /// The unoptimized plan and the O2a-only plan are *exact*: every
-    /// acyclic path's planned clock equals its true cost.
-    #[test]
-    fn precise_configs_have_zero_divergence(seed in 1u64..10_000) {
+/// The unoptimized plan and the O2a-only plan are *exact*: every
+/// acyclic path's planned clock equals its true cost.
+#[test]
+fn precise_configs_have_zero_divergence() {
+    for seed in seed_sweep("precise_configs_have_zero_divergence", 24, 1, 10_000) {
         let (m, driver) = random_module(seed, 3, &micro_params());
         let cost = CostModel::default();
 
         let base = instrument(&m, &cost, &OptConfig::none(), Placement::Start, &[driver]);
-        prop_assert!(is_exact(&audit(&base.module, &base.plan, &cost, 1 << 14)));
+        assert!(
+            is_exact(&audit(&base.module, &base.plan, &cost, 1 << 14)),
+            "seed {seed}"
+        );
 
         let mut o2a_only = OptConfig::none();
         o2a_only.o2 = true;
         o2a_only.opt2b.max_divergence = 0.0; // disable the approximate half
         let o2a = instrument(&m, &cost, &o2a_only, Placement::Start, &[driver]);
-        prop_assert!(is_exact(&audit(&o2a.module, &o2a.plan, &cost, 1 << 14)));
+        assert!(
+            is_exact(&audit(&o2a.module, &o2a.plan, &cost, 1 << 14)),
+            "seed {seed}"
+        );
     }
+}
 
-    /// The full pipeline's divergence stays bounded on random programs.
-    #[test]
-    fn full_pipeline_divergence_bounded(seed in 1u64..10_000) {
+/// The full pipeline's divergence stays bounded on random programs.
+#[test]
+fn full_pipeline_divergence_bounded() {
+    for seed in seed_sweep("full_pipeline_divergence_bounded", 24, 1, 10_000) {
         let (m, driver) = random_module(seed, 3, &micro_params());
         let cost = CostModel::default();
         let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
-        for d in audit(&out.module, &out.plan, &cost, 1 << 14).iter().flatten() {
-            prop_assert!(
+        for d in audit(&out.module, &out.plan, &cost, 1 << 14)
+            .iter()
+            .flatten()
+        {
+            assert!(
                 d.max_frac <= 0.6,
-                "function {:?} diverged by {:.3}",
+                "seed {seed}: function {:?} diverged by {:.3}",
                 d.func,
                 d.max_frac
             );
         }
     }
+}
 
-    /// Optimizations never increase the inserted tick count.
-    #[test]
-    fn opts_never_add_ticks(seed in 1u64..10_000) {
+/// Optimizations never increase the inserted tick count.
+#[test]
+fn opts_never_add_ticks() {
+    for seed in seed_sweep("opts_never_add_ticks", 24, 1, 10_000) {
         let (m, driver) = random_module(seed, 3, &micro_params());
         let cost = CostModel::default();
         let count = |cfg: &OptConfig| {
@@ -89,15 +116,23 @@ proptest! {
                 .ticks_inserted
         };
         let none = count(&OptConfig::none());
-        for level in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::O4, OptLevel::All] {
-            prop_assert!(count(&OptConfig::only(level)) <= none);
+        for level in [
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::O4,
+            OptLevel::All,
+        ] {
+            assert!(count(&OptConfig::only(level)) <= none, "seed {seed}");
         }
     }
+}
 
-    /// Dominator-tree sanity on random CFGs: the entry dominates every
-    /// reachable block; immediate dominators are strict dominators.
-    #[test]
-    fn dominator_invariants(seed in 1u64..10_000) {
+/// Dominator-tree sanity on random CFGs: the entry dominates every
+/// reachable block; immediate dominators are strict dominators.
+#[test]
+fn dominator_invariants() {
+    for seed in seed_sweep("dominator_invariants", 24, 1, 10_000) {
         let (m, _) = random_module(seed, 2, &micro_params());
         for f in &m.functions {
             let cfg = Cfg::compute(f);
@@ -106,19 +141,21 @@ proptest! {
                 if !cfg.is_reachable(b) {
                     continue;
                 }
-                prop_assert!(dom.dominates(f.entry(), b));
+                assert!(dom.dominates(f.entry(), b), "seed {seed}");
                 if b != f.entry() {
                     let id = dom.idom(b).unwrap();
-                    prop_assert!(dom.strictly_dominates(id, b));
+                    assert!(dom.strictly_dominates(id, b), "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Loop-analysis sanity: headers dominate their latches; depth is
-    /// positive exactly on loop blocks.
-    #[test]
-    fn loop_invariants(seed in 1u64..10_000) {
+/// Loop-analysis sanity: headers dominate their latches; depth is
+/// positive exactly on loop blocks.
+#[test]
+fn loop_invariants() {
+    for seed in seed_sweep("loop_invariants", 24, 1, 10_000) {
         let (m, _) = random_module(seed, 2, &micro_params());
         for f in &m.functions {
             let cfg = Cfg::compute(f);
@@ -126,19 +163,21 @@ proptest! {
             let li = LoopInfo::compute(&cfg, &dom);
             for l in &li.loops {
                 for latch in &l.latches {
-                    prop_assert!(dom.dominates(l.header, *latch));
+                    assert!(dom.dominates(l.header, *latch), "seed {seed}");
                 }
                 for b in &l.blocks {
-                    prop_assert!(li.depth(*b) >= 1);
+                    assert!(li.depth(*b) >= 1, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Path totals over the instrumented module equal the materialized tick
-    /// sums along those paths (plan ↔ ticks consistency).
-    #[test]
-    fn materialized_ticks_match_plan(seed in 1u64..10_000) {
+/// Path totals over the instrumented module equal the materialized tick
+/// sums along those paths (plan ↔ ticks consistency).
+#[test]
+fn materialized_ticks_match_plan() {
+    for seed in seed_sweep("materialized_ticks_match_plan", 24, 1, 10_000) {
         let (m, driver) = random_module(seed, 2, &micro_params());
         let cost = CostModel::default();
         let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
@@ -183,15 +222,17 @@ proptest! {
                 },
             );
             if let (Ok(a), Ok(b)) = (from_ticks, from_plan) {
-                prop_assert_eq!(a.totals, b.totals);
+                assert_eq!(a.totals, b.totals, "seed {seed}");
             }
         }
     }
+}
 
-    /// Weak determinism on random contended programs: lock order identical
-    /// across jitter seeds in Det mode.
-    #[test]
-    fn random_contended_programs_are_deterministic(seed in 1u64..2_000) {
+/// Weak determinism on random contended programs: lock order identical
+/// across jitter seeds in Det mode.
+#[test]
+fn random_contended_programs_are_deterministic() {
+    for seed in seed_sweep("random_contended_programs_are_deterministic", 8, 1, 2_000) {
         // Wrap each random function in a lock-using driver.
         let (mut m, _) = random_module(seed, 2, &micro_params());
         let mut fb = detlock_ir::FunctionBuilder::new("locked_driver", 2);
@@ -236,43 +277,55 @@ proptest! {
             ..MachineConfig::default()
         };
         let report = check_determinism(&out.module, &cost, &threads, &cfg, &[1, 99, 4242]);
-        prop_assert!(!report.any_hit_limit);
-        prop_assert!(report.deterministic, "hashes: {:x?}", report.hashes);
+        assert!(!report.any_hit_limit, "seed {seed}");
+        assert!(
+            report.deterministic,
+            "seed {seed}: hashes: {:x?}",
+            report.hashes
+        );
     }
+}
 
-    /// Application work (retired stores) is identical between baseline and
-    /// instrumented runs: ticks observe, they don't perturb.
-    #[test]
-    fn instrumentation_preserves_work(seed in 1u64..10_000) {
+/// Application work (retired stores) is identical between baseline and
+/// instrumented runs: ticks observe, they don't perturb.
+#[test]
+fn instrumentation_preserves_work() {
+    for seed in seed_sweep("instrumentation_preserves_work", 24, 1, 10_000) {
         let (m, driver) = random_module(seed, 2, &micro_params());
         let cost = CostModel::default();
         let out = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
-        let t = [ThreadSpec { func: driver, args: vec![seed as i64, 4] }];
+        let t = [ThreadSpec {
+            func: driver,
+            args: vec![seed as i64, 4],
+        }];
         let mk = |mode| MachineConfig {
             mode,
-            jitter: Jitter { seed: 0, prob_num: 0, prob_den: 0, max_extra: 0 },
+            jitter: Jitter {
+                seed: 0,
+                prob_num: 0,
+                prob_den: 0,
+                max_extra: 0,
+            },
             max_cycles: 500_000_000,
             ..MachineConfig::default()
         };
         let (base, _) = run(&out.module, &cost, &t, mk(ExecMode::Baseline));
         let (clk, _) = run(&out.module, &cost, &t, mk(ExecMode::ClocksOnly));
-        prop_assert_eq!(
-            base.per_thread[0].retired_stores,
-            clk.per_thread[0].retired_stores
+        assert_eq!(
+            base.per_thread[0].retired_stores, clk.per_thread[0].retired_stores,
+            "seed {seed}"
         );
         // And the tick execution shows up only in the instrumented run.
-        prop_assert_eq!(base.per_thread[0].ticks_executed, 0);
+        assert_eq!(base.per_thread[0].ticks_executed, 0, "seed {seed}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The textual printer and parser are inverses: printing the parse of a
-    /// printed module reproduces the text exactly, for random programs and
-    /// for every instrumented variant.
-    #[test]
-    fn print_parse_print_roundtrip(seed in 1u64..10_000) {
+/// The textual printer and parser are inverses: printing the parse of a
+/// printed module reproduces the text exactly, for random programs and
+/// for every instrumented variant.
+#[test]
+fn print_parse_print_roundtrip() {
+    for seed in seed_sweep("print_parse_print_roundtrip", 16, 1, 10_000) {
         let (m, driver) = random_module(seed, 2, &micro_params());
         let cost = CostModel::default();
         let inst = instrument(&m, &cost, &OptConfig::all(), Placement::Start, &[driver]);
@@ -283,23 +336,25 @@ proptest! {
                 .map(|f| detlock_ir::dot::function_to_text(f, |_| None))
                 .collect::<Vec<_>>()
                 .join("\n");
-            let reparsed = detlock_ir::parse::parse_module(&printed)
-                .expect("printed module must parse");
-            prop_assert!(verify_module(&reparsed).is_ok());
+            let reparsed =
+                detlock_ir::parse::parse_module(&printed).expect("printed module must parse");
+            assert!(verify_module(&reparsed).is_ok(), "seed {seed}");
             let reprinted: String = reparsed
                 .functions
                 .iter()
                 .map(|f| detlock_ir::dot::function_to_text(f, |_| None))
                 .collect::<Vec<_>>()
                 .join("\n");
-            prop_assert_eq!(&printed, &reprinted);
+            assert_eq!(&printed, &reprinted, "seed {seed}");
         }
     }
+}
 
-    /// Reparsed modules run identically: same retired stores and lock
-    /// acquisitions as the original under identical seeds.
-    #[test]
-    fn reparsed_modules_execute_identically(seed in 1u64..2_000) {
+/// Reparsed modules run identically: same retired stores and lock
+/// acquisitions as the original under identical seeds.
+#[test]
+fn reparsed_modules_execute_identically() {
+    for seed in seed_sweep("reparsed_modules_execute_identically", 16, 1, 2_000) {
         let (m, driver) = random_module(seed, 2, &micro_params());
         let printed: String = m
             .functions
@@ -309,33 +364,61 @@ proptest! {
             .join("\n");
         let reparsed = detlock_ir::parse::parse_module(&printed).unwrap();
         let cost = CostModel::default();
-        let t = [ThreadSpec { func: driver, args: vec![seed as i64, 3] }];
+        let t = [ThreadSpec {
+            func: driver,
+            args: vec![seed as i64, 3],
+        }];
         let mk = || MachineConfig {
             mode: ExecMode::Baseline,
-            jitter: Jitter { seed: 3, prob_num: 1, prob_den: 16, max_extra: 2 },
+            jitter: Jitter {
+                seed: 3,
+                prob_num: 1,
+                prob_den: 16,
+                max_extra: 2,
+            },
             max_cycles: 500_000_000,
             ..MachineConfig::default()
         };
         let (a, _) = run(&m, &cost, &t, mk());
         let (b, _) = run(&reparsed, &cost, &t, mk());
-        prop_assert_eq!(a.per_thread[0].retired_stores, b.per_thread[0].retired_stores);
-        prop_assert_eq!(a.per_thread[0].instructions, b.per_thread[0].instructions);
+        assert_eq!(
+            a.per_thread[0].retired_stores, b.per_thread[0].retired_stores,
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.per_thread[0].instructions, b.per_thread[0].instructions,
+            "seed {seed}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The parser is total: arbitrary input produces Ok or a positioned
-    /// error, never a panic.
-    #[test]
-    fn parser_never_panics(input in ".{0,400}") {
+/// The parser is total: arbitrary input produces Ok or a positioned
+/// error, never a panic.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0x70617273);
+    // Bytes drawn from a mix of printable ASCII, IR-ish punctuation, and
+    // raw control characters, approximating an arbitrary-string generator.
+    for _ in 0..256 {
+        let len = rng.gen_range(0..400) as usize;
+        let input: String = (0..len)
+            .map(|_| match rng.gen_range(0..10) {
+                0..=5 => (rng.gen_range(0x20..0x7f) as u8) as char,
+                6..=7 => ['%', ':', '{', '}', '(', ')', ',', '\n'][rng.gen_range(0..8) as usize],
+                _ => (rng.gen_range(0..32) as u8) as char,
+            })
+            .collect();
         let _ = detlock_ir::parse::parse_module(&input);
     }
+}
 
-    /// Near-miss inputs (mutations of a valid program) also never panic.
-    #[test]
-    fn parser_survives_mutations(seed in 1u64..5_000, cut in 0usize..300) {
+/// Near-miss inputs (mutations of a valid program) also never panic.
+#[test]
+fn parser_survives_mutations() {
+    let mut rng = SmallRng::seed_from_u64(0x6d757461);
+    for _ in 0..256 {
+        let seed = rng.gen_range(1..5_000);
+        let cut = rng.gen_range(0..300) as usize;
         let (m, _) = random_module(seed, 1, &micro_params());
         let mut printed: String = m
             .functions

@@ -69,8 +69,18 @@ fn mode_ordering_invariants() {
             Placement::Start,
             &w.entries,
         );
-        let (clk_none, _) = run(&none.module, &cost, &specs(&w), cfg(&w, ExecMode::ClocksOnly));
-        let (clk_all, _) = run(&all.module, &cost, &specs(&w), cfg(&w, ExecMode::ClocksOnly));
+        let (clk_none, _) = run(
+            &none.module,
+            &cost,
+            &specs(&w),
+            cfg(&w, ExecMode::ClocksOnly),
+        );
+        let (clk_all, _) = run(
+            &all.module,
+            &cost,
+            &specs(&w),
+            cfg(&w, ExecMode::ClocksOnly),
+        );
         let (det_all, _) = run(&all.module, &cost, &specs(&w), cfg(&w, ExecMode::Det));
 
         assert!(
@@ -167,7 +177,12 @@ fn baseline_work_is_mode_independent() {
             &w.entries,
         );
         let (base, _) = run(&inst.module, &cost, &specs(&w), cfg(&w, ExecMode::Baseline));
-        let (clk, _) = run(&inst.module, &cost, &specs(&w), cfg(&w, ExecMode::ClocksOnly));
+        let (clk, _) = run(
+            &inst.module,
+            &cost,
+            &specs(&w),
+            cfg(&w, ExecMode::ClocksOnly),
+        );
         let stores = |m: &detlock_vm::RunMetrics| -> u64 {
             m.per_thread.iter().map(|t| t.retired_stores).sum()
         };
@@ -222,8 +237,8 @@ fn det_mode_final_memory_is_seed_invariant() {
         let mem_of = |seed: u64| {
             let mut c = cfg(&w, ExecMode::Det);
             c.jitter = c.jitter.with_seed(seed);
-            let (_, mem, hit) = detlock_vm::Machine::new(&inst.module, &cost, &specs(&w), c)
-                .run_with_memory();
+            let (_, mem, hit) =
+                detlock_vm::Machine::new(&inst.module, &cost, &specs(&w), c).run_with_memory();
             assert!(!hit, "{}", w.name);
             mem
         };

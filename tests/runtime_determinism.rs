@@ -119,8 +119,8 @@ fn pool_allocation_addresses_reproduce() {
     fn run(noise: bool) -> Vec<Vec<u32>> {
         let rt = DetRuntime::with_defaults();
         let pool: Arc<DetPool<u64>> = Arc::new(DetPool::new(&rt, 24));
-        let log: Arc<parking_lot::Mutex<Vec<(u32, u32)>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log: Arc<detlock_shim::sync::Mutex<Vec<(u32, u32)>>> =
+            Arc::new(detlock_shim::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for t in 0..3u32 {
             let pool = Arc::clone(&pool);
@@ -148,7 +148,12 @@ fn pool_allocation_addresses_reproduce() {
         }
         let v = log.lock().clone();
         (0..3)
-            .map(|t| v.iter().filter(|(tt, _)| *tt == t).map(|(_, s)| *s).collect())
+            .map(|t| {
+                v.iter()
+                    .filter(|(tt, _)| *tt == t)
+                    .map(|(_, s)| *s)
+                    .collect()
+            })
             .collect()
     }
     assert_eq!(run(false), run(true));
