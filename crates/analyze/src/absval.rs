@@ -1,0 +1,187 @@
+//! Thread-dependence abstract domain for the lockset race detector.
+//!
+//! Each register is abstracted by how its value depends on the identity of
+//! the executing thread. The domain deliberately ignores *when* threads
+//! reach a point — `Uniform` does not mean "equal right now", it means the
+//! value is computed by a thread-independent function of program state, so
+//! two threads at the same site *may* coincide (a shared address) but never
+//! diverge *because of* thread identity. `Distinct` is the dual: an
+//! injective function of the thread id, so addresses derived from it are
+//! thread-private.
+//!
+//! Two rules are deliberate heuristics rather than theorems, in the Eraser
+//! tradition of useful-over-complete:
+//!
+//! * `Distinct ⊔ Distinct = Distinct` — two control-flow paths may derive
+//!   "distinct" values differently, and a cross-path collision between two
+//!   threads is possible in principle.
+//! * `Distinct × Const(c) = Distinct` for `c ≠ 0` — multiplication by an
+//!   even constant is not injective modulo 2⁶⁴. Workload thread ids are
+//!   tiny, so the wraparound collision cannot occur in practice.
+
+use detlock_ir::inst::{BinOp, CmpOp, Operand};
+
+/// Abstract value: how a register depends on the executing thread's id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unreachable / not yet defined.
+    Bot,
+    /// The known constant `v` on every thread.
+    Const(i64),
+    /// Thread-independent but unknown (e.g. a loop counter).
+    Uniform,
+    /// Pairwise distinct across threads (e.g. `tid`, a scratch base).
+    Distinct,
+    /// May depend on thread identity arbitrarily (e.g. a loaded value).
+    Unknown,
+}
+
+impl AbsVal {
+    /// Thread-independent values: `Const` or `Uniform`.
+    #[inline]
+    pub fn is_thread_independent(self) -> bool {
+        matches!(self, AbsVal::Const(_) | AbsVal::Uniform)
+    }
+
+    /// Least upper bound over control-flow joins.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Const(a), Const(b)) if a == b => Const(a),
+            (a, b) if a.is_thread_independent() && b.is_thread_independent() => Uniform,
+            (Distinct, Distinct) => Distinct,
+            _ => Unknown,
+        }
+    }
+
+    /// Seed a parameter from the concrete per-thread argument values.
+    pub fn seed(values: &[i64]) -> AbsVal {
+        match values {
+            [] => AbsVal::Unknown,
+            [first, rest @ ..] => {
+                if rest.iter().all(|v| v == first) {
+                    return AbsVal::Const(*first);
+                }
+                let mut sorted = values.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.len() == values.len() {
+                    AbsVal::Distinct
+                } else {
+                    AbsVal::Unknown
+                }
+            }
+        }
+    }
+
+    /// Abstract a binary operation.
+    pub fn bin(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        if a == Bot || b == Bot {
+            return Bot;
+        }
+        if let (Const(x), Const(y)) = (a, b) {
+            return Const(op.apply(x, y));
+        }
+        if a.is_thread_independent() && b.is_thread_independent() {
+            return Uniform;
+        }
+        match op {
+            // x ↦ x ± u and x ↦ u − x are injective in x.
+            BinOp::Add | BinOp::Sub | BinOp::Xor => match (a, b) {
+                (Distinct, u) | (u, Distinct) if u.is_thread_independent() => Distinct,
+                _ => Unknown,
+            },
+            BinOp::Mul => match (a, b) {
+                (Distinct, Const(c)) | (Const(c), Distinct) if c != 0 => Distinct,
+                _ => Unknown,
+            },
+            _ => Unknown,
+        }
+    }
+
+    /// Abstract a comparison (result is 0/1).
+    pub fn cmp(op: CmpOp, a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        if a == Bot || b == Bot {
+            return Bot;
+        }
+        if let (Const(x), Const(y)) = (a, b) {
+            return Const(op.apply(x, y));
+        }
+        if a.is_thread_independent() && b.is_thread_independent() {
+            Uniform
+        } else {
+            Unknown
+        }
+    }
+
+    /// Evaluate an operand against a register state.
+    pub fn of_operand(op: &Operand, regs: &[AbsVal]) -> AbsVal {
+        match op {
+            Operand::Imm(v) => AbsVal::Const(*v),
+            Operand::Reg(r) => regs.get(r.index()).copied().unwrap_or(AbsVal::Unknown),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AbsVal::*;
+
+    #[test]
+    fn seeds_from_thread_args() {
+        assert_eq!(AbsVal::seed(&[3, 3, 3, 3]), Const(3));
+        assert_eq!(AbsVal::seed(&[0, 1, 2, 3]), Distinct);
+        assert_eq!(AbsVal::seed(&[0, 1, 1, 3]), Unknown);
+        assert_eq!(AbsVal::seed(&[7]), Const(7));
+        assert_eq!(AbsVal::seed(&[]), Unknown);
+    }
+
+    #[test]
+    fn join_lattice() {
+        assert_eq!(Const(1).join(Const(1)), Const(1));
+        assert_eq!(
+            Const(0).join(Const(1)),
+            Uniform,
+            "loop counters stay uniform"
+        );
+        assert_eq!(Const(1).join(Uniform), Uniform);
+        assert_eq!(Distinct.join(Distinct), Distinct);
+        assert_eq!(Distinct.join(Const(1)), Unknown);
+        assert_eq!(Bot.join(Distinct), Distinct);
+        assert_eq!(Uniform.join(Unknown), Unknown);
+    }
+
+    #[test]
+    fn scratch_base_stays_distinct() {
+        // tid * SCRATCH_WORDS + SCRATCH_BASE: the workload address recipe.
+        let base = AbsVal::bin(BinOp::Mul, Distinct, Const(1024));
+        assert_eq!(base, Distinct);
+        assert_eq!(AbsVal::bin(BinOp::Add, base, Const(4096)), Distinct);
+        // But multiplying by zero collapses every thread to zero.
+        assert_eq!(AbsVal::bin(BinOp::Mul, Distinct, Const(0)), Unknown);
+    }
+
+    #[test]
+    fn uniform_arithmetic_stays_uniform() {
+        assert_eq!(AbsVal::bin(BinOp::And, Uniform, Const(63)), Uniform);
+        assert_eq!(AbsVal::bin(BinOp::Add, Uniform, Const(100)), Uniform);
+        assert_eq!(AbsVal::cmp(CmpOp::Lt, Uniform, Const(10)), Uniform);
+    }
+
+    #[test]
+    fn unknown_poisons() {
+        assert_eq!(AbsVal::bin(BinOp::Add, Unknown, Const(1)), Unknown);
+        assert_eq!(AbsVal::bin(BinOp::And, Distinct, Const(7)), Unknown);
+        assert_eq!(AbsVal::cmp(CmpOp::Eq, Unknown, Uniform), Unknown);
+    }
+
+    #[test]
+    fn consts_fold() {
+        assert_eq!(AbsVal::bin(BinOp::Add, Const(2), Const(3)), Const(5));
+        assert_eq!(AbsVal::cmp(CmpOp::Lt, Const(2), Const(3)), Const(1));
+    }
+}

@@ -1,0 +1,147 @@
+//! # detlock-analyze
+//!
+//! Static analysis over DetLock IR, on the two axes the system's guarantee
+//! actually rests on:
+//!
+//! 1. **Lockset race detection** ([`races`]): DetLock (after Kendo) provides
+//!    *weak* determinism — the lock-acquisition order is deterministic **iff
+//!    the program is race-free**. An Eraser-style interprocedural lockset
+//!    analysis finds shared-memory accesses not consistently protected by a
+//!    deterministic lock and reports them before the runtime silently voids
+//!    its own guarantee.
+//! 2. **Clock-placement translation validation** ([`validate`]): O1–O4
+//!    rewrite tick placements aggressively; the validator checks the emitted
+//!    module against the pipeline's [`PlanCert`](detlock_passes::PlanCert)
+//!    claim — structural equivalence modulo ticks, tick placement/amounts,
+//!    per-path clock sums within the claimed divergence bound, clocked-mean
+//!    re-derivation, and no tick sunk into a lock-held region.
+//!
+//! Both produce [`Finding`]s that render human-readable (`Display`) and as
+//! JSON (`detlock-shim`), consumed by the `detlint` CLI in `detlock-bench`.
+
+#![warn(missing_docs)]
+
+pub mod absval;
+pub mod races;
+pub mod validate;
+
+use detlock_shim::json::{Json, ToJson};
+
+/// How bad a finding is. Ordering: `Error > Warning > Info`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note (e.g. a lock id that varies per thread).
+    Info,
+    /// Possible problem the analysis could not confirm (a "may" race).
+    Warning,
+    /// Confirmed problem: a race, or a validation failure.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One diagnostic from either analysis.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable rule id, e.g. `race`, `may-race`, `lock-across-barrier`,
+    /// `validate/path-sum`, `validate/structure`.
+    pub rule: &'static str,
+    /// Function the finding is in.
+    pub func: String,
+    /// Block label (with its id), when the finding points at a block.
+    pub block: Option<String>,
+    /// Instruction index within the block, when it points at an instruction.
+    pub inst: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+    /// Related context lines: the conflicting access site, the lock history
+    /// that emptied the set, the diverging path, …
+    pub related: Vec<String>,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}] {}", self.severity.label(), self.rule, self.func)?;
+        if let Some(b) = &self.block {
+            write!(f, "/{b}")?;
+        }
+        if let Some(i) = self.inst {
+            write!(f, "#{i}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        for r in &self.related {
+            write!(f, "\n    | {r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for Finding {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("severity", self.severity.label().to_json()),
+            ("rule", self.rule.to_json()),
+            ("func", self.func.to_json()),
+            ("block", self.block.to_json()),
+            ("inst", self.inst.to_json()),
+            ("message", self.message.to_json()),
+            ("related", self.related.to_json()),
+        ])
+    }
+}
+
+/// A batch of findings with counting helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == sev).count()
+    }
+
+    /// Whether the report is acceptable: no errors, and no warnings either
+    /// when `deny_warnings` is set.
+    pub fn ok(&self, deny_warnings: bool) -> bool {
+        self.count(Severity::Error) == 0 && (!deny_warnings || self.count(Severity::Warning) == 0)
+    }
+
+    /// Merge another report's findings into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("errors", self.count(Severity::Error).to_json()),
+            ("warnings", self.count(Severity::Warning).to_json()),
+            ("infos", self.count(Severity::Info).to_json()),
+            ("findings", self.findings.to_json()),
+        ])
+    }
+}

@@ -1,0 +1,997 @@
+//! Eraser-style interprocedural lockset race detection over DetLock IR.
+//!
+//! DetLock's determinism guarantee is *weak* (paper §II): lock acquisition
+//! order is reproducible **iff the program is data-race-free**. A racy
+//! store slips past the deterministic lock arbitration entirely and makes
+//! the final memory image depend on the jitter seed. This pass finds such
+//! stores before a run does.
+//!
+//! The analysis is a combined dataflow over two facts per program point:
+//! the [`AbsVal`] thread-dependence class of every register, and the
+//! *lockset* — the set of deterministic locks provably held. Shared-memory
+//! accesses (addresses not derived injectively from the thread id) are
+//! collected together with their locksets; per shared word, the candidate
+//! lockset is intersected across all access sites (Eraser's discipline),
+//! and an empty intersection with at least one write from two reachable
+//! threads is a race.
+//!
+//! Interprocedural treatment is context-insensitive and bounded: each
+//! function gets one entry abstraction, joined over thread seeds and all
+//! observed call sites (values pointwise-joined, locksets intersected,
+//! symbolic caller locks dropped at the boundary), iterated to fixpoint
+//! over the callgraph. Callees are summarized by their *lock effect*
+//! (balanced, or clobbering with a known residue); callgraph cycles get the
+//! pessimistic summary.
+
+use crate::absval::AbsVal;
+use crate::{Finding, Report, Severity};
+use detlock_ir::analysis::callgraph::CallGraph;
+use detlock_ir::inst::{Inst, Operand, Terminator};
+use detlock_ir::module::Module;
+use detlock_ir::types::{BlockId, FuncId, Reg};
+use std::collections::BTreeMap;
+
+/// A statically-known deterministic lock identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockTok {
+    /// Lock id is the constant.
+    Const(i64),
+    /// Lock id is the (thread-independent or unknown) value of a register —
+    /// the "register-derived lock" heuristic: accesses guarded by the same
+    /// naming site are assumed protected because data addresses computed
+    /// from the same value collide exactly when the lock ids do.
+    Sym(FuncId, Reg),
+}
+
+impl LockTok {
+    fn describe(&self, module: &Module) -> String {
+        match self {
+            LockTok::Const(v) => format!("lock {v}"),
+            LockTok::Sym(f, r) => format!("lock[{r}@{}]", module.func(*f).name),
+        }
+    }
+}
+
+fn describe_locks(locks: &[LockTok], module: &Module) -> String {
+    if locks.is_empty() {
+        "no locks".to_string()
+    } else {
+        locks
+            .iter()
+            .map(|t| t.describe(module))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Where a fact was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Site {
+    func: FuncId,
+    block: BlockId,
+    inst: usize,
+}
+
+/// Address classification of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddrClass {
+    /// A concrete shared word.
+    Concrete(i64),
+    /// Thread-independent but unknown (may collide across threads).
+    Shared,
+    /// Unclassifiable (may be shared).
+    May,
+    /// Injective in the thread id: private, never racy.
+    Private,
+}
+
+/// Lock effect of calling a function.
+#[derive(Debug, Clone)]
+struct LockSummary {
+    /// The callee may release or invalidate locks the caller holds
+    /// (barrier inside, unbalanced unlock, callgraph cycle).
+    kills: bool,
+    /// Constant locks the callee is left holding on return.
+    adds: Vec<LockTok>,
+}
+
+impl LockSummary {
+    fn pessimistic() -> LockSummary {
+        LockSummary {
+            kills: true,
+            adds: Vec::new(),
+        }
+    }
+}
+
+/// Dataflow state at one program point.
+#[derive(Debug, Clone, PartialEq)]
+struct LocalState {
+    vals: Vec<AbsVal>,
+    /// Sorted, deduplicated.
+    locks: Vec<LockTok>,
+    /// Whether locks inherited from the caller are still intact.
+    alive: bool,
+}
+
+impl LocalState {
+    fn join_from(&mut self, other: &LocalState) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.vals.iter_mut().zip(&other.vals) {
+            let j = a.join(b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        let before = self.locks.len();
+        self.locks.retain(|t| other.locks.contains(t));
+        if self.locks.len() != before {
+            changed = true;
+        }
+        if self.alive && !other.alive {
+            self.alive = false;
+            changed = true;
+        }
+        changed
+    }
+}
+
+fn insert_tok(locks: &mut Vec<LockTok>, t: LockTok) {
+    if let Err(pos) = locks.binary_search(&t) {
+        locks.insert(pos, t);
+    }
+}
+
+fn remove_tok(locks: &mut Vec<LockTok>, t: LockTok) -> bool {
+    if let Ok(pos) = locks.binary_search(&t) {
+        locks.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Observer for facts produced while stepping instructions. The fixpoint
+/// phase listens only to call sites; the reporting phase listens to
+/// accesses and findings.
+trait Events {
+    fn call_site(&mut self, _callee: FuncId, _args: Vec<AbsVal>, _locks: &[LockTok]) {}
+    fn access(&mut self, _site: Site, _write: bool, _addr: AddrClass, _locks: &[LockTok]) {}
+    fn finding(&mut self, _f: Finding) {}
+}
+
+struct Quiet;
+impl Events for Quiet {}
+
+/// Abstract-interpret one instruction.
+fn step(
+    fid: FuncId,
+    site: Site,
+    inst: &Inst,
+    st: &mut LocalState,
+    summaries: &[LockSummary],
+    ev: &mut dyn Events,
+) {
+    let classify = |addr: Reg, offset: i64, vals: &[AbsVal]| -> AddrClass {
+        match vals[addr.index()] {
+            AbsVal::Const(v) => AddrClass::Concrete(v.wrapping_add(offset)),
+            AbsVal::Uniform => AddrClass::Shared,
+            AbsVal::Distinct => AddrClass::Private,
+            AbsVal::Unknown | AbsVal::Bot => AddrClass::May,
+        }
+    };
+    let resolve = |id: &Operand, st: &LocalState| -> Option<LockTok> {
+        match id {
+            Operand::Imm(v) => Some(LockTok::Const(*v)),
+            Operand::Reg(r) => match st.vals[r.index()] {
+                AbsVal::Const(v) => Some(LockTok::Const(v)),
+                AbsVal::Uniform | AbsVal::Unknown => Some(LockTok::Sym(fid, *r)),
+                AbsVal::Distinct | AbsVal::Bot => None,
+            },
+        }
+    };
+
+    let mut new_val: Option<(Reg, AbsVal)> = None;
+    match inst {
+        Inst::Const { dst, value } => new_val = Some((*dst, AbsVal::Const(*value))),
+        Inst::Mov { dst, src } => new_val = Some((*dst, AbsVal::of_operand(src, &st.vals))),
+        Inst::Bin { op, dst, lhs, rhs } => {
+            let v = AbsVal::bin(*op, st.vals[lhs.index()], AbsVal::of_operand(rhs, &st.vals));
+            new_val = Some((*dst, v));
+        }
+        Inst::Cmp { op, dst, lhs, rhs } => {
+            let v = AbsVal::cmp(*op, st.vals[lhs.index()], AbsVal::of_operand(rhs, &st.vals));
+            new_val = Some((*dst, v));
+        }
+        Inst::Load { dst, addr, offset } => {
+            ev.access(site, false, classify(*addr, *offset, &st.vals), &st.locks);
+            new_val = Some((*dst, AbsVal::Unknown));
+        }
+        Inst::Store { addr, offset, .. } => {
+            ev.access(site, true, classify(*addr, *offset, &st.vals), &st.locks);
+        }
+        Inst::Call { func, args, dst } => {
+            let av: Vec<AbsVal> = args
+                .iter()
+                .map(|a| AbsVal::of_operand(a, &st.vals))
+                .collect();
+            ev.call_site(*func, av, &st.locks);
+            let summary = &summaries[func.index()];
+            if summary.kills {
+                if !st.locks.is_empty() {
+                    ev.finding(Finding {
+                        severity: Severity::Warning,
+                        rule: "unbalanced-callee",
+                        func: String::new(), // filled by caller context below
+                        block: None,
+                        inst: Some(site.inst),
+                        message: format!(
+                            "call with locks held, but the callee (function {}) \
+                             does not preserve its caller's locks",
+                            func.index()
+                        ),
+                        related: Vec::new(),
+                    });
+                }
+                st.locks.clear();
+                st.alive = false;
+            }
+            for &t in &summary.adds {
+                insert_tok(&mut st.locks, t);
+            }
+            if let Some(d) = dst {
+                new_val = Some((*d, AbsVal::Unknown));
+            }
+        }
+        Inst::CallBuiltin { dst, .. } => {
+            if let Some(d) = dst {
+                new_val = Some((*d, AbsVal::Unknown));
+            }
+        }
+        Inst::Tick { .. } | Inst::TickDyn { .. } => {}
+        Inst::Lock { id } => match resolve(id, st) {
+            Some(t) => insert_tok(&mut st.locks, t),
+            None => ev.finding(Finding {
+                severity: Severity::Info,
+                rule: "thread-varying-lock",
+                func: String::new(),
+                block: None,
+                inst: Some(site.inst),
+                message: "lock id varies per thread: acquiring it provides no \
+                          mutual exclusion for shared data"
+                    .to_string(),
+                related: Vec::new(),
+            }),
+        },
+        Inst::Unlock { id } => {
+            if let Some(t) = resolve(id, st) {
+                if !remove_tok(&mut st.locks, t) {
+                    // Releasing a lock the analysis never saw acquired: the
+                    // caller's locks can no longer be trusted.
+                    st.alive = false;
+                }
+            }
+        }
+        Inst::Barrier { .. } => {
+            if !st.locks.is_empty() {
+                ev.finding(Finding {
+                    severity: Severity::Warning,
+                    rule: "lock-across-barrier",
+                    func: String::new(),
+                    block: None,
+                    inst: Some(site.inst),
+                    message: "barrier reached while holding locks (deadlock-prone \
+                              and breaks the lockset discipline)"
+                        .to_string(),
+                    related: Vec::new(),
+                });
+            }
+            st.locks.clear();
+            st.alive = false;
+        }
+    }
+
+    if let Some((dst, v)) = new_val {
+        st.vals[dst.index()] = v;
+        // The register may have been naming a symbolic lock.
+        st.locks
+            .retain(|t| !matches!(t, LockTok::Sym(f, r) if *f == fid && *r == dst));
+    }
+}
+
+/// Run the intraprocedural fixpoint for `fid` from `entry`, returning the
+/// stable block-entry states (None = unreachable).
+fn local_fixpoint(
+    module: &Module,
+    fid: FuncId,
+    entry: LocalState,
+    summaries: &[LockSummary],
+    ev: &mut dyn Events,
+) -> Vec<Option<LocalState>> {
+    let func = module.func(fid);
+    let n = func.blocks.len();
+    let mut inputs: Vec<Option<LocalState>> = vec![None; n];
+    inputs[func.entry().index()] = Some(entry);
+    let mut work: Vec<BlockId> = vec![func.entry()];
+    // Safety bound far above what the finite lattice can need.
+    let mut budget = 64 * n.max(1) * func.num_regs.max(1) as usize;
+    while let Some(b) = work.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let mut st = inputs[b.index()].clone().expect("queued block has input");
+        let block = func.block(b);
+        for (i, inst) in block.insts.iter().enumerate() {
+            let site = Site {
+                func: fid,
+                block: b,
+                inst: i,
+            };
+            step(fid, site, inst, &mut st, summaries, ev);
+        }
+        for succ in block.successors() {
+            match &mut inputs[succ.index()] {
+                Some(existing) => {
+                    if existing.join_from(&st) && !work.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+                slot @ None => {
+                    *slot = Some(st.clone());
+                    work.push(succ);
+                }
+            }
+        }
+    }
+    inputs
+}
+
+/// Compute per-function lock-effect summaries bottom-up over the callgraph.
+fn compute_summaries(module: &Module, cg: &CallGraph) -> Vec<LockSummary> {
+    let mut summaries: Vec<LockSummary> = vec![LockSummary::pessimistic(); module.functions.len()];
+    for fid in cg.bottom_up() {
+        if cg.in_cycle(fid) {
+            continue; // stays pessimistic
+        }
+        let func = module.func(fid);
+        let mut entry = LocalState {
+            vals: vec![AbsVal::Bot; func.num_regs as usize],
+            locks: Vec::new(),
+            alive: true,
+        };
+        for p in 0..func.params as usize {
+            entry.vals[p] = AbsVal::Unknown;
+        }
+        let inputs = local_fixpoint(module, fid, entry, &summaries, &mut Quiet);
+        let mut kills = false;
+        let mut adds: Option<Vec<LockTok>> = None;
+        for (b, block) in func.iter_blocks() {
+            if !matches!(block.term, Terminator::Ret { .. }) {
+                continue;
+            }
+            let Some(input) = &inputs[b.index()] else {
+                continue;
+            };
+            let mut st = input.clone();
+            for (i, inst) in block.insts.iter().enumerate() {
+                let site = Site {
+                    func: fid,
+                    block: b,
+                    inst: i,
+                };
+                step(fid, site, inst, &mut st, &summaries, &mut Quiet);
+            }
+            if !st.alive {
+                kills = true;
+            }
+            if st.locks.iter().any(|t| matches!(t, LockTok::Sym(..))) {
+                // A symbolic lock held across return cannot be named in the
+                // caller's frame.
+                kills = true;
+            }
+            st.locks.retain(|t| matches!(t, LockTok::Const(_)));
+            match &mut adds {
+                Some(acc) => acc.retain(|t| st.locks.contains(t)),
+                None => adds = Some(st.locks),
+            }
+        }
+        summaries[fid.index()] = LockSummary {
+            kills,
+            adds: adds.unwrap_or_default(),
+        };
+    }
+    summaries
+}
+
+/// Per-function interprocedural facts.
+struct FuncInfo {
+    reached: bool,
+    entry_vals: Vec<AbsVal>,
+    /// None = no caller observed yet (top for the intersection).
+    entry_locks: Option<Vec<LockTok>>,
+    /// Bitmask of thread ids (capped at 64) that can reach this function.
+    threads: u64,
+    block_in: Vec<Option<LocalState>>,
+}
+
+/// Forwards call-site contributions into `FuncInfo`s during the
+/// interprocedural fixpoint.
+struct CallCollector<'a> {
+    infos: &'a mut Vec<FuncInfo>,
+    caller_threads: u64,
+    changed: Vec<FuncId>,
+}
+
+impl Events for CallCollector<'_> {
+    fn call_site(&mut self, callee: FuncId, args: Vec<AbsVal>, locks: &[LockTok]) {
+        let info = &mut self.infos[callee.index()];
+        let mut changed = !info.reached;
+        info.reached = true;
+        for (i, &v) in args.iter().enumerate() {
+            if i >= info.entry_vals.len() {
+                break;
+            }
+            let j = info.entry_vals[i].join(v);
+            if j != info.entry_vals[i] {
+                info.entry_vals[i] = j;
+                changed = true;
+            }
+        }
+        // Symbolic caller locks are register names in the caller's frame;
+        // they cannot protect anything the callee does.
+        let const_locks: Vec<LockTok> = locks
+            .iter()
+            .copied()
+            .filter(|t| matches!(t, LockTok::Const(_)))
+            .collect();
+        match &mut info.entry_locks {
+            Some(existing) => {
+                let before = existing.len();
+                existing.retain(|t| const_locks.contains(t));
+                if existing.len() != before {
+                    changed = true;
+                }
+            }
+            slot @ None => {
+                *slot = Some(const_locks);
+                changed = true;
+            }
+        }
+        if info.threads | self.caller_threads != info.threads {
+            info.threads |= self.caller_threads;
+            changed = true;
+        }
+        if changed && !self.changed.contains(&callee) {
+            self.changed.push(callee);
+        }
+    }
+}
+
+/// One collected shared-memory access.
+#[derive(Debug, Clone)]
+struct AccessRec {
+    site: Site,
+    write: bool,
+    addr: AddrClass,
+    locks: Vec<LockTok>,
+    threads: u64,
+}
+
+/// Collects accesses and site findings during the reporting pass.
+struct Collector {
+    accesses: Vec<AccessRec>,
+    findings: Vec<Finding>,
+    threads: u64,
+}
+
+impl Events for Collector {
+    fn access(&mut self, site: Site, write: bool, addr: AddrClass, locks: &[LockTok]) {
+        if addr == AddrClass::Private {
+            return;
+        }
+        self.accesses.push(AccessRec {
+            site,
+            write,
+            addr,
+            locks: locks.to_vec(),
+            threads: self.threads,
+        });
+    }
+    fn finding(&mut self, f: Finding) {
+        // Deduplicate repeats of the same site/rule (a block is stepped once
+        // per reporting pass, but keep this robust).
+        if !self
+            .findings
+            .iter()
+            .any(|g| g.rule == f.rule && g.inst == f.inst && g.block == f.block)
+        {
+            self.findings.push(f);
+        }
+    }
+}
+
+fn site_label(module: &Module, s: Site) -> (String, String) {
+    let f = module.func(s.func);
+    (f.name.clone(), f.block(s.block).name.clone())
+}
+
+fn describe_site(module: &Module, a: &AccessRec) -> String {
+    let (fname, bname) = site_label(module, a.site);
+    format!(
+        "{} at {fname}/{bname}#{} holding {}",
+        if a.write { "write" } else { "read" },
+        a.site.inst,
+        describe_locks(&a.locks, module)
+    )
+}
+
+/// Can two threads be at `a` and `b` simultaneously?
+fn concurrent(a: &AccessRec, b: &AccessRec) -> bool {
+    if a.site == b.site {
+        a.threads.count_ones() >= 2
+    } else {
+        (a.threads | b.threads).count_ones() >= 2
+    }
+}
+
+fn disjoint(a: &[LockTok], b: &[LockTok]) -> bool {
+    a.iter().all(|t| !b.contains(t))
+}
+
+/// Run the race analysis over `module` for the given threads
+/// (`(entry function, argument values)` per thread).
+pub fn analyze_races(module: &Module, threads: &[(FuncId, Vec<i64>)]) -> Report {
+    let mut report = Report::default();
+    if threads.len() < 2 {
+        return report; // no concurrency, no races
+    }
+
+    let cg = CallGraph::compute(module);
+    let summaries = compute_summaries(module, &cg);
+
+    let mut infos: Vec<FuncInfo> = module
+        .functions
+        .iter()
+        .map(|f| FuncInfo {
+            reached: false,
+            entry_vals: vec![AbsVal::Bot; f.params as usize],
+            entry_locks: None,
+            threads: 0,
+            block_in: Vec::new(),
+        })
+        .collect();
+
+    // Seed thread entries: per entry function, the per-parameter columns of
+    // the thread argument matrix.
+    let mut work: Vec<FuncId> = Vec::new();
+    for (fid, func) in module.iter_funcs() {
+        let rows: Vec<&Vec<i64>> = threads
+            .iter()
+            .filter(|(f, _)| *f == fid)
+            .map(|(_, args)| args)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let info = &mut infos[fid.index()];
+        info.reached = true;
+        info.entry_locks = Some(Vec::new());
+        for p in 0..func.params as usize {
+            let column: Vec<i64> = rows.iter().map(|args| args[p]).collect();
+            info.entry_vals[p] = info.entry_vals[p].join(AbsVal::seed(&column));
+        }
+        for (t, (f, _)) in threads.iter().enumerate() {
+            if *f == fid {
+                info.threads |= 1u64 << t.min(63);
+            }
+        }
+        work.push(fid);
+    }
+
+    // Interprocedural fixpoint: both lattices are finite (value chains of
+    // height ≤ 3 per register, locksets only shrink), so this terminates;
+    // the budget is a defensive backstop.
+    let mut budget = 64 * module.functions.len().max(1);
+    while let Some(fid) = work.pop() {
+        if budget == 0 {
+            report.findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "analysis-budget",
+                func: String::new(),
+                block: None,
+                inst: None,
+                message: "interprocedural fixpoint budget exhausted; results may \
+                          be incomplete"
+                    .to_string(),
+                related: Vec::new(),
+            });
+            break;
+        }
+        budget -= 1;
+        let func = module.func(fid);
+        let info = &infos[fid.index()];
+        let mut entry = LocalState {
+            vals: vec![AbsVal::Bot; func.num_regs as usize],
+            locks: info.entry_locks.clone().unwrap_or_default(),
+            alive: true,
+        };
+        entry.vals[..func.params as usize].copy_from_slice(&info.entry_vals);
+        let caller_threads = info.threads;
+        let mut collector = CallCollector {
+            infos: &mut infos,
+            caller_threads,
+            changed: Vec::new(),
+        };
+        let inputs = local_fixpoint(module, fid, entry, &summaries, &mut collector);
+        let changed = collector.changed;
+        infos[fid.index()].block_in = inputs;
+        for c in changed {
+            if !work.contains(&c) {
+                work.push(c);
+            }
+        }
+    }
+
+    // Reporting pass: step every reached function once from its stable
+    // block-entry states, collecting accesses and site diagnostics.
+    let mut accesses: Vec<AccessRec> = Vec::new();
+    for (fid, func) in module.iter_funcs() {
+        let info = &infos[fid.index()];
+        if !info.reached || info.block_in.is_empty() {
+            continue;
+        }
+        let mut collector = Collector {
+            accesses: Vec::new(),
+            findings: Vec::new(),
+            threads: info.threads,
+        };
+        for (b, block) in func.iter_blocks() {
+            let Some(input) = &info.block_in[b.index()] else {
+                continue;
+            };
+            let mut st = input.clone();
+            for (i, inst) in block.insts.iter().enumerate() {
+                let site = Site {
+                    func: fid,
+                    block: b,
+                    inst: i,
+                };
+                // Findings carry the block context; fill it in here where
+                // the block name is known.
+                let before = collector.findings.len();
+                step(fid, site, inst, &mut st, &summaries, &mut collector);
+                for f in &mut collector.findings[before..] {
+                    f.func = func.name.clone();
+                    f.block = Some(format!("{} ({b})", block.name));
+                }
+            }
+        }
+        accesses.extend(collector.accesses);
+        report.findings.extend(collector.findings);
+    }
+
+    // Unprotected writes to non-concrete shared addresses: can't pin the
+    // word, so these stay warnings ("may" races).
+    for a in &accesses {
+        if a.write
+            && a.locks.is_empty()
+            && matches!(a.addr, AddrClass::Shared | AddrClass::May)
+            && a.threads.count_ones() >= 2
+        {
+            let (fname, bname) = site_label(module, a.site);
+            report.findings.push(Finding {
+                severity: Severity::Warning,
+                rule: "may-race",
+                func: fname,
+                block: Some(format!("{bname} ({})", a.site.block)),
+                inst: Some(a.site.inst),
+                message: format!(
+                    "store to a possibly-shared address ({}) with no lock held",
+                    if a.addr == AddrClass::Shared {
+                        "thread-independent, unknown word"
+                    } else {
+                        "unclassifiable"
+                    }
+                ),
+                related: Vec::new(),
+            });
+        }
+    }
+
+    // Eraser discipline per concrete shared word.
+    let mut by_addr: BTreeMap<i64, Vec<&AccessRec>> = BTreeMap::new();
+    for a in &accesses {
+        if let AddrClass::Concrete(addr) = a.addr {
+            by_addr.entry(addr).or_default().push(a);
+        }
+    }
+    for (addr, accs) in &by_addr {
+        let writes: Vec<&&AccessRec> = accs.iter().filter(|a| a.write).collect();
+        if writes.is_empty() {
+            continue; // read-only shared data is race-free
+        }
+        let mut candidate: Option<Vec<LockTok>> = None;
+        for a in accs {
+            match &mut candidate {
+                Some(c) => c.retain(|t| a.locks.contains(t)),
+                None => candidate = Some(a.locks.clone()),
+            }
+        }
+        if candidate.as_deref().is_some_and(|c| !c.is_empty()) {
+            continue; // consistently protected
+        }
+        // Find a concrete conflicting pair: a write and another access with
+        // no common lock, reachable by two different threads.
+        let pair = writes.iter().find_map(|w| {
+            accs.iter()
+                .find(|x| concurrent(w, x) && disjoint(&w.locks, &x.locks))
+                .map(|x| (**w, *x))
+        });
+        match pair {
+            Some((w, x)) => {
+                let (fname, bname) = site_label(module, w.site);
+                report.findings.push(Finding {
+                    severity: Severity::Error,
+                    rule: "race",
+                    func: fname,
+                    block: Some(format!("{bname} ({})", w.site.block)),
+                    inst: Some(w.site.inst),
+                    message: format!("data race on word {addr}: no lock consistently protects it"),
+                    related: vec![
+                        describe_site(module, w),
+                        if w.site == x.site {
+                            "conflicts with the same site executed by another thread".to_string()
+                        } else {
+                            format!("conflicts with {}", describe_site(module, x))
+                        },
+                    ],
+                });
+            }
+            None => {
+                // Every pair shares some lock but no single lock covers all
+                // accesses (or the only accesses are single-threaded).
+                if accs.iter().any(|a| writes.iter().any(|w| concurrent(w, a))) {
+                    let w = writes[0];
+                    let (fname, bname) = site_label(module, w.site);
+                    report.findings.push(Finding {
+                        severity: Severity::Warning,
+                        rule: "inconsistent-locking",
+                        func: fname,
+                        block: Some(format!("{bname} ({})", w.site.block)),
+                        inst: Some(w.site.inst),
+                        message: format!(
+                            "word {addr} is locked inconsistently: accesses are \
+                             pairwise protected but no single lock covers all of them"
+                        ),
+                        related: accs.iter().map(|a| describe_site(module, a)).collect(),
+                    });
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::builder::FunctionBuilder;
+    use detlock_ir::inst::{BinOp, Operand};
+
+    /// threads × (f, [tid]) for a 4-thread run of one entry.
+    fn four_threads(f: FuncId) -> Vec<(FuncId, Vec<i64>)> {
+        (0..4).map(|t| (f, vec![t])).collect()
+    }
+
+    #[test]
+    fn unlocked_shared_counter_is_a_race() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(0);
+        let v = fb.load(q, 0);
+        let v2 = fb.add(v, 1);
+        fb.store(q, 0, v2);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert_eq!(r.count(Severity::Error), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "race");
+    }
+
+    #[test]
+    fn locked_shared_counter_is_clean() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(0);
+        fb.lock(7i64);
+        let v = fb.load(q, 0);
+        let v2 = fb.add(v, 1);
+        fb.store(q, 0, v2);
+        fb.unlock(7i64);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert!(r.ok(true), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn inconsistent_lock_choice_is_a_race() {
+        // One site uses lock 1, the other lock 2: intersection is empty.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(0);
+        fb.lock(1i64);
+        fb.store(q, 0, 5i64);
+        fb.unlock(1i64);
+        fb.lock(2i64);
+        fb.store(q, 0, 6i64);
+        fb.unlock(2i64);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert_eq!(r.count(Severity::Error), 1, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn thread_private_scratch_is_clean() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let tid = fb.param(0);
+        let off = fb.mul(tid, 1024);
+        let base = fb.add(off, 4096);
+        fb.store(base, 3, 42i64);
+        let v = fb.load(base, 3);
+        fb.store(base, 5, v);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn register_derived_lock_protects_matching_slot() {
+        // The water-nsq shape: slot and lock both derived from the same
+        // uniform loop value.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let mreg = fb.iconst(3); // stand-in for the loop counter
+        let l1 = fb.bin(BinOp::And, mreg, 63);
+        let lock_id = fb.add(l1, 100);
+        fb.lock(lock_id);
+        let a1 = fb.bin(BinOp::And, mreg, 255);
+        let maddr = fb.add(a1, 512);
+        let old = fb.load(maddr, 0);
+        let new = fb.add(old, 1);
+        fb.store(maddr, 0, new);
+        fb.unlock(lock_id);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert!(r.ok(true), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn read_only_shared_data_is_clean() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(64);
+        let tid = fb.param(0);
+        let off = fb.mul(tid, 1024);
+        let base = fb.add(off, 4096);
+        let v = fb.load(q, 0); // unlocked shared READ
+        fb.store(base, 0, v); // private write
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn race_through_a_callee_is_found() {
+        // Thread entry passes a concrete shared address to a helper that
+        // stores through it without a lock.
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("helper", 1);
+        fb.block("entry");
+        let p = fb.param(0);
+        fb.store(p, 0, 1i64);
+        fb.ret_void();
+        let helper = fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(8);
+        fb.call_void(helper, vec![Operand::Reg(q)]);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert_eq!(r.count(Severity::Error), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].func, "helper");
+    }
+
+    #[test]
+    fn caller_lock_protects_callee_access() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("helper", 1);
+        fb.block("entry");
+        let p = fb.param(0);
+        let v = fb.load(p, 0);
+        let v2 = fb.add(v, 1);
+        fb.store(p, 0, v2);
+        fb.ret_void();
+        let helper = fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(8);
+        fb.lock(3i64);
+        fb.call_void(helper, vec![Operand::Reg(q)]);
+        fb.unlock(3i64);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert!(r.ok(true), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn one_unlocked_caller_breaks_callee_protection() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("helper", 1);
+        fb.block("entry");
+        let p = fb.param(0);
+        fb.store(p, 0, 1i64);
+        fb.ret_void();
+        let helper = fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(8);
+        fb.lock(3i64);
+        fb.call_void(helper, vec![Operand::Reg(q)]);
+        fb.unlock(3i64);
+        fb.call_void(helper, vec![Operand::Reg(q)]); // no lock this time
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert_eq!(r.count(Severity::Error), 1, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn barrier_while_holding_lock_warns() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        fb.lock(1i64);
+        fb.barrier(detlock_ir::BarrierId(0));
+        fb.unlock(1i64);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &four_threads(f));
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == "lock-across-barrier" && f.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn single_thread_reports_nothing() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let q = fb.iconst(0);
+        fb.store(q, 0, 1i64);
+        fb.ret_void();
+        let f = fb.finish_into(&mut m);
+        let r = analyze_races(&m, &[(f, vec![0])]);
+        assert!(r.findings.is_empty());
+    }
+}

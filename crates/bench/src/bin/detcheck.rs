@@ -9,7 +9,8 @@
 //! cargo run -p detlock-bench --release --bin detcheck [--scale F]
 //! ```
 
-use detlock_bench::{instrumented, machine_config, thread_specs, CliOptions};
+use detlock_analyze::Severity;
+use detlock_bench::{instrumented, lint_workload, machine_config, thread_specs, CliOptions};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
@@ -26,10 +27,25 @@ fn main() {
     let mut failures = 0;
 
     println!(
-        "{:<12}{:>24}{:>28}",
-        "benchmark", "det mode seed-invariant", "baseline varies with seed"
+        "{:<12}{:>12}{:>24}{:>28}",
+        "benchmark", "static lint", "det mode seed-invariant", "baseline varies with seed"
     );
     for w in opts.workloads() {
+        // Static pre-pass: the empirical determinism probe below only means
+        // anything if the workload is race-free and the instrumentation is
+        // faithful to its certificate — check both before spending cycles.
+        let lint = lint_workload(&w, &cost, Placement::Start);
+        let lint_ok = lint.count(Severity::Error) == 0;
+        if !lint_ok {
+            failures += 1;
+            for f in lint
+                .findings
+                .iter()
+                .filter(|f| f.severity == Severity::Error)
+            {
+                eprintln!("  {f}");
+            }
+        }
         let inst = instrumented(&w, &cost, OptLevel::All, Placement::Start);
         let specs = thread_specs(&w);
         let det = check_determinism(
@@ -48,8 +64,9 @@ fn main() {
         );
         let det_ok = det.deterministic && !det.any_hit_limit;
         println!(
-            "{:<12}{:>24}{:>28}",
+            "{:<12}{:>12}{:>24}{:>28}",
             w.name,
+            if lint_ok { "PASS" } else { "FAIL" },
             if det_ok { "PASS" } else { "FAIL" },
             if base.deterministic {
                 "no (coincidence or too few locks)"

@@ -1,0 +1,173 @@
+//! Static analysis front-end: lockset race detection plus clock-placement
+//! translation validation over the shipped workloads.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin detlint -- \
+//!     [--threads N] [--scale F] [--only NAME] [--racy] [--confirm] \
+//!     [--deny-warnings] [--json] [--out FILE]
+//! ```
+//!
+//! Exit status is 1 when any error-severity finding exists, or any warning
+//! under `--deny-warnings`. `--racy` adds the deliberately racy counter
+//! workload (the negative control — it must FAIL). `--confirm` reruns each
+//! race-flagged workload across jitter seeds in the nondeterministic
+//! baseline VM and reports a two-seed memory-divergence witness when one
+//! manifests. `--out FILE` writes the JSON report regardless of `--json`.
+
+use detlock_analyze::{Report, Severity};
+use detlock_bench::{lint_workload, machine_config, thread_specs};
+use detlock_passes::cost::CostModel;
+use detlock_passes::plan::Placement;
+use detlock_shim::json::{Json, ToJson};
+use detlock_vm::machine::ExecMode;
+use detlock_vm::race::confirm_race;
+use detlock_workloads::{racy, Workload};
+
+struct Options {
+    threads: usize,
+    scale: f64,
+    only: Option<String>,
+    racy: bool,
+    confirm: bool,
+    deny_warnings: bool,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        threads: 4,
+        scale: 0.05,
+        only: None,
+        racy: false,
+        confirm: false,
+        deny_warnings: false,
+        json: false,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                opts.threads = args[i].parse().expect("--threads N");
+            }
+            "--scale" => {
+                i += 1;
+                opts.scale = args[i].parse().expect("--scale F");
+            }
+            "--only" => {
+                i += 1;
+                opts.only = Some(args[i].clone());
+            }
+            "--racy" => opts.racy = true,
+            "--confirm" => opts.confirm = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
+            "--out" => {
+                i += 1;
+                opts.out = Some(args[i].clone());
+            }
+            other => panic!("unknown option: {other}"),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_options();
+    let cost = CostModel::default();
+
+    let mut workloads: Vec<Workload> = match &opts.only {
+        Some(name) if name == "racy-counter" => Vec::new(),
+        Some(name) => vec![detlock_workloads::by_name(name, opts.threads, opts.scale)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))],
+        None => detlock_workloads::all_benchmarks(opts.threads, opts.scale),
+    };
+    if opts.racy || opts.only.as_deref() == Some("racy-counter") {
+        workloads.push(racy::build(
+            opts.threads,
+            &racy::RacyParams::scaled(opts.scale),
+        ));
+    }
+
+    let mut out_workloads: Vec<Json> = Vec::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+
+    for w in &workloads {
+        let report = lint_workload(w, &cost, Placement::Start);
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+
+        let witness = if opts.confirm && report.count(Severity::Error) > 0 {
+            confirm_race(
+                &w.module,
+                &cost,
+                &thread_specs(w),
+                &machine_config(w, ExecMode::Baseline, 0),
+                &[1, 2, 7, 42, 31337],
+            )
+        } else {
+            None
+        };
+
+        if !opts.json {
+            print_text(w, &report, opts.deny_warnings, witness.as_ref());
+        }
+        out_workloads.push(Json::obj([
+            ("name", w.name.to_json()),
+            ("report", report.to_json()),
+            ("witness", witness.map(|x| x.to_string()).to_json()),
+        ]));
+    }
+
+    let json = Json::obj([
+        ("threads", opts.threads.to_json()),
+        ("scale", opts.scale.to_json()),
+        ("deny_warnings", opts.deny_warnings.to_json()),
+        ("errors", errors.to_json()),
+        ("warnings", warnings.to_json()),
+        ("workloads", Json::Arr(out_workloads)),
+    ]);
+    if opts.json {
+        println!("{}", json.to_string_pretty());
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, json.to_string_pretty()).expect("write --out file");
+    }
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        eprintln!("\ndetlint: {errors} error(s), {warnings} warning(s)");
+        std::process::exit(1);
+    }
+}
+
+fn print_text(
+    w: &Workload,
+    report: &Report,
+    deny_warnings: bool,
+    witness: Option<&detlock_vm::RaceWitness>,
+) {
+    let verdict = if report.ok(deny_warnings) {
+        "clean"
+    } else {
+        "FAIL"
+    };
+    println!(
+        "{:<14} {:>5}  ({} errors, {} warnings, {} infos)",
+        w.name,
+        verdict,
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Info),
+    );
+    for f in &report.findings {
+        println!("  {f}");
+    }
+    if let Some(x) = witness {
+        println!("  confirmed by the VM: {x}");
+    }
+}

@@ -350,6 +350,38 @@ pub fn run_placement(w: &Workload, cost: &CostModel, seed: u64) -> PlacementResu
     }
 }
 
+/// Thread entry tuples in the shape `detlock_analyze::races` expects.
+pub fn race_threads(w: &Workload) -> Vec<(detlock_ir::FuncId, Vec<i64>)> {
+    w.threads.iter().map(|t| (t.func, t.args.clone())).collect()
+}
+
+/// The full static lint for one workload: the lockset race analysis once,
+/// plus the translation validator over every Table I configuration at
+/// `placement`. Validator findings get the config label appended to their
+/// context lines.
+pub fn lint_workload(
+    w: &Workload,
+    cost: &CostModel,
+    placement: Placement,
+) -> detlock_analyze::Report {
+    let mut report = detlock_analyze::races::analyze_races(&w.module, &race_threads(w));
+    for level in OptLevel::table1_rows() {
+        let inst = instrument(
+            &w.module,
+            cost,
+            &OptConfig::only(level),
+            placement,
+            &w.entries,
+        );
+        let mut r = detlock_analyze::validate::validate(&w.module, &inst.module, &inst.cert, cost);
+        for f in &mut r.findings {
+            f.related.push(format!("config: {}", level.label()));
+        }
+        report.extend(r);
+    }
+    report
+}
+
 /// Shared command-line options for the bench binaries.
 pub struct CliOptions {
     /// Number of simulated cores/threads.

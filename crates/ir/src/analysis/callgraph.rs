@@ -181,4 +181,67 @@ mod tests {
         assert!(!cg.in_cycle(FuncId(0)));
         assert!(!cg.in_cycle(FuncId(2)));
     }
+
+    /// even -> odd -> even (mutual recursion), plus a driver calling even
+    /// and a leaf called from inside the cycle.
+    fn mutual_module() -> Module {
+        let mut m = Module::new();
+        let even = FuncId(0);
+        let odd = FuncId(1);
+        let leaf = FuncId(2);
+
+        let mut fb = FunctionBuilder::new("even", 1);
+        fb.block("entry");
+        fb.call_void(odd, vec![Operand::Imm(0)]);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("odd", 1);
+        fb.block("entry");
+        fb.call_void(even, vec![Operand::Imm(0)]);
+        fb.call_void(leaf, vec![]);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("leaf", 0);
+        fb.block("entry");
+        fb.ret_void();
+        fb.finish_into(&mut m);
+
+        let mut fb = FunctionBuilder::new("driver", 0);
+        fb.block("entry");
+        fb.call_void(even, vec![Operand::Imm(4)]);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+        m
+    }
+
+    #[test]
+    fn mutual_recursion_edges_and_cycles() {
+        let m = mutual_module();
+        let cg = CallGraph::compute(&m);
+        assert_eq!(cg.callees(FuncId(0)), &[FuncId(1)]);
+        assert_eq!(cg.callees(FuncId(1)), &[FuncId(0), FuncId(2)]);
+        assert!(cg.in_cycle(FuncId(0)), "even is in the even/odd cycle");
+        assert!(cg.in_cycle(FuncId(1)), "odd is in the even/odd cycle");
+        assert!(
+            !cg.in_cycle(FuncId(2)),
+            "a leaf called from a cycle is not itself cyclic"
+        );
+        assert!(!cg.in_cycle(FuncId(3)), "the driver is not in the cycle");
+    }
+
+    #[test]
+    fn mutual_recursion_bottom_up_terminates_and_covers_all() {
+        let m = mutual_module();
+        let cg = CallGraph::compute(&m);
+        let order = cg.bottom_up();
+        assert_eq!(order.len(), 4, "every function appears exactly once");
+        let pos = |f: FuncId| order.iter().position(|&x| x == f).unwrap();
+        // Acyclic constraints still hold around the cycle: the leaf precedes
+        // odd (its caller), and the driver comes after the cycle members.
+        assert!(pos(FuncId(2)) < pos(FuncId(1)));
+        assert!(pos(FuncId(3)) > pos(FuncId(0)));
+        assert!(pos(FuncId(3)) > pos(FuncId(1)));
+    }
 }

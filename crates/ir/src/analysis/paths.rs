@@ -39,6 +39,19 @@ pub struct PathSet {
     pub touched: Vec<BlockId>,
 }
 
+/// Result of [`enumerate_paths_recorded`]: like [`PathSet`] but the block
+/// sequence of every path is retained, so callers (the divergence audit,
+/// the translation validator) can point at the concrete worst path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedPaths {
+    /// Accumulated value of every complete path (aligned with `routes`).
+    pub totals: Vec<u64>,
+    /// Block sequence of every path (start block first). A `StopBefore`
+    /// edge's truncated path ends at the edge source; a `StopAfter` path
+    /// includes the edge target.
+    pub routes: Vec<Vec<BlockId>>,
+}
+
 /// Why an enumeration failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathError {
@@ -147,6 +160,97 @@ pub fn enumerate_paths(
 
     touched.sort_unstable();
     Ok(PathSet { totals, touched })
+}
+
+/// [`enumerate_paths`] with the block sequence of every path retained.
+///
+/// Kept separate from [`enumerate_paths`] so the hot callers (O1's
+/// all-paths fixpoint, O3's region scans) never pay for route allocation;
+/// the walk order and termination rules are identical.
+pub fn enumerate_paths_recorded(
+    cfg: &Cfg,
+    start: BlockId,
+    max_paths: usize,
+    mut block_value: impl FnMut(BlockId) -> u64,
+    mut decide: impl FnMut(BlockId, BlockId) -> Step,
+) -> Result<RecordedPaths, PathError> {
+    let mut totals = Vec::new();
+    let mut routes: Vec<Vec<BlockId>> = Vec::new();
+    let mut on_path = vec![false; cfg.len()];
+
+    struct Frame {
+        block: BlockId,
+        acc: u64,
+        next_succ: usize,
+    }
+
+    let start_val = block_value(start);
+    let mut stack = vec![Frame {
+        block: start,
+        acc: start_val,
+        next_succ: 0,
+    }];
+    on_path[start.index()] = true;
+
+    let route_of = |stack: &[Frame]| -> Vec<BlockId> { stack.iter().map(|f| f.block).collect() };
+
+    while !stack.is_empty() {
+        let idx = stack.len() - 1;
+        let from = stack[idx].block;
+        let succs = cfg.succs(from);
+        if stack[idx].next_succ < succs.len() {
+            let to = succs[stack[idx].next_succ];
+            stack[idx].next_succ += 1;
+            match decide(from, to) {
+                Step::Abort => return Err(PathError::Aborted),
+                Step::StopBefore => {
+                    totals.push(stack[idx].acc);
+                    routes.push(route_of(&stack));
+                    if totals.len() > max_paths {
+                        return Err(PathError::TooManyPaths);
+                    }
+                }
+                Step::StopAfter => {
+                    if on_path[to.index()] {
+                        return Err(PathError::Cycle);
+                    }
+                    let v = block_value(to);
+                    totals.push(stack[idx].acc + v);
+                    let mut r = route_of(&stack);
+                    r.push(to);
+                    routes.push(r);
+                    if totals.len() > max_paths {
+                        return Err(PathError::TooManyPaths);
+                    }
+                }
+                Step::Follow => {
+                    if on_path[to.index()] {
+                        return Err(PathError::Cycle);
+                    }
+                    let v = block_value(to);
+                    on_path[to.index()] = true;
+                    let acc = stack[idx].acc;
+                    stack.push(Frame {
+                        block: to,
+                        acc: acc + v,
+                        next_succ: 0,
+                    });
+                }
+            }
+        } else {
+            if succs.is_empty() {
+                totals.push(stack[idx].acc);
+                routes.push(route_of(&stack));
+                if totals.len() > max_paths {
+                    return Err(PathError::TooManyPaths);
+                }
+            }
+            on_path[from.index()] = false;
+            stack.pop();
+        }
+    }
+
+    Ok(RecordedPaths { totals, routes })
 }
 
 #[cfg(test)]
@@ -289,6 +393,108 @@ mod tests {
         assert_eq!(r.unwrap_err(), PathError::TooManyPaths);
         let ok = enumerate_paths(&cfg, BlockId(0), 1 << 12, |_| 1, |_, _| Step::Follow).unwrap();
         assert_eq!(ok.totals.len(), 256);
+    }
+
+    #[test]
+    fn recorded_routes_align_with_totals() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let rp = enumerate_paths_recorded(&cfg, BlockId(0), 100, val, |_, _| Step::Follow).unwrap();
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |_, _| Step::Follow).unwrap();
+        assert_eq!(rp.totals, ps.totals, "identical walk order");
+        assert_eq!(rp.routes.len(), rp.totals.len());
+        for (route, &total) in rp.routes.iter().zip(&rp.totals) {
+            assert_eq!(route[0], BlockId(0));
+            let sum: u64 = route.iter().map(|&b| val(b)).sum();
+            assert_eq!(sum, total, "route {route:?} sums to its total");
+        }
+    }
+
+    #[test]
+    fn recorded_stop_before_route_ends_at_edge_source() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let rp = enumerate_paths_recorded(&cfg, BlockId(0), 100, val, |_, to| {
+            if to == BlockId(3) {
+                Step::StopBefore
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        for route in &rp.routes {
+            assert!(!route.contains(&BlockId(3)));
+        }
+        let rp2 = enumerate_paths_recorded(&cfg, BlockId(0), 100, val, |_, to| {
+            if to == BlockId(3) {
+                Step::StopAfter
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        for route in &rp2.routes {
+            assert_eq!(*route.last().unwrap(), BlockId(3));
+        }
+    }
+
+    /// Loop-shaped CFG (the block-level analogue of a recursive call):
+    /// a <-> b mutual cycle. `StopBefore` on the back edge terminates; a
+    /// policy that follows it must report `Cycle`, not hang — the lockset
+    /// fixpoint and the validator both rely on this.
+    fn mutual_loop() -> Function {
+        let mut fb = FunctionBuilder::new("ml", 1);
+        fb.block("entry"); // 0
+        let a = fb.create_block("a"); // 1
+        let b = fb.create_block("b"); // 2
+        let out = fb.create_block("out"); // 3
+        let p = fb.param(0);
+        fb.br(a);
+        fb.switch_to(a);
+        let c = fb.cmp(CmpOp::Gt, p, 0);
+        fb.cond_br(c, b, out);
+        fb.switch_to(b);
+        fb.br(a); // closes the a <-> b cycle
+        fb.switch_to(out);
+        fb.ret_void();
+        fb.finish().unwrap()
+    }
+
+    #[test]
+    fn mutual_cycle_terminates_under_stop_before() {
+        let f = mutual_loop();
+        let cfg = Cfg::compute(&f);
+        let ps = enumerate_paths(&cfg, BlockId(0), 100, val, |from, to| {
+            if from == BlockId(2) && to == BlockId(1) {
+                Step::StopBefore
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        let mut totals = ps.totals.clone();
+        totals.sort_unstable();
+        // entry+a+b truncated (1+2+3=6) and entry+a+out (1+2+4=7).
+        assert_eq!(totals, vec![6, 7]);
+        let rp = enumerate_paths_recorded(&cfg, BlockId(0), 100, val, |from, to| {
+            if from == BlockId(2) && to == BlockId(1) {
+                Step::StopBefore
+            } else {
+                Step::Follow
+            }
+        })
+        .unwrap();
+        assert_eq!(rp.totals.len(), 2);
+    }
+
+    #[test]
+    fn mutual_cycle_detected_when_followed() {
+        let f = mutual_loop();
+        let cfg = Cfg::compute(&f);
+        let r = enumerate_paths(&cfg, BlockId(0), 100, val, |_, _| Step::Follow);
+        assert_eq!(r.unwrap_err(), PathError::Cycle);
+        let r = enumerate_paths_recorded(&cfg, BlockId(0), 100, val, |_, _| Step::Follow);
+        assert_eq!(r.unwrap_err(), PathError::Cycle);
     }
 
     #[test]

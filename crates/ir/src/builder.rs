@@ -346,18 +346,16 @@ impl FunctionBuilder {
         if self.names.is_empty() {
             return Err(BuildError::EmptyFunction);
         }
-        let mut blocks = Vec::with_capacity(self.names.len());
-        for (i, ((name, insts), term)) in self
-            .names
-            .into_iter()
-            .zip(self.insts)
-            .zip(self.terms)
-            .enumerate()
+        // The terminator-less check is centralized in the verifier (a
+        // finished `Block` cannot represent the missing-terminator state).
+        if let Err(crate::verify::VerifyError::UnterminatedBlock { block, name }) =
+            crate::verify::check_raw_terminators(&self.names, &self.terms)
         {
-            let term = term.ok_or_else(|| BuildError::UnterminatedBlock {
-                block: BlockId(i as u32),
-                name: name.clone(),
-            })?;
+            return Err(BuildError::UnterminatedBlock { block, name });
+        }
+        let mut blocks = Vec::with_capacity(self.names.len());
+        for ((name, insts), term) in self.names.into_iter().zip(self.insts).zip(self.terms) {
+            let term = term.expect("checked by check_raw_terminators");
             blocks.push(Block { name, insts, term });
         }
         Ok(Function {

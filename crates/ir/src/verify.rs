@@ -5,9 +5,10 @@
 //! references outside the frame, call-arity mismatches, and unreachable
 //! entry manipulation. Run in tests after every pass.
 
-use crate::inst::Inst;
+use crate::inst::{Inst, Terminator};
 use crate::module::{Function, Module};
 use crate::types::{BlockId, FuncId, Reg};
+use std::collections::HashMap;
 
 /// A verification failure.
 #[allow(missing_docs)] // field names (func/block/target/...) are idiomatic
@@ -43,6 +44,19 @@ pub enum VerifyError {
     RegsSmallerThanParams { func: FuncId },
     /// The function has no blocks.
     NoBlocks { func: FuncId },
+    /// Two blocks share one name. Names are the ids used by textual dumps
+    /// and [`Function::block_by_name`]; duplicates make both ambiguous.
+    DuplicateBlockName {
+        func: FuncId,
+        name: String,
+        first: BlockId,
+        second: BlockId,
+    },
+    /// A raw (still under construction) block has no terminator. A finished
+    /// [`Module`] cannot represent this state — every [`crate::module::Block`]
+    /// owns a `Terminator` — so this is only produced by
+    /// [`check_raw_terminators`], which builders run before assembly.
+    UnterminatedBlock { block: BlockId, name: String },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -75,8 +89,36 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "{func}: num_regs < params")
             }
             VerifyError::NoBlocks { func } => write!(f, "{func}: no blocks"),
+            VerifyError::DuplicateBlockName {
+                func,
+                name,
+                first,
+                second,
+            } => write!(f, "{func}: blocks {first} and {second} share name `{name}`"),
+            VerifyError::UnterminatedBlock { block, name } => {
+                write!(f, "block {block} (`{name}`) has no terminator")
+            }
         }
     }
+}
+
+/// Check a raw block list (as held by a builder or parser before final
+/// assembly) for missing terminators. Centralizes the terminator-less
+/// rejection that [`Module`] itself cannot express;
+/// [`crate::builder::FunctionBuilder::finish`] delegates here.
+pub fn check_raw_terminators(
+    names: &[String],
+    terms: &[Option<Terminator>],
+) -> Result<(), VerifyError> {
+    for (i, term) in terms.iter().enumerate() {
+        if term.is_none() {
+            return Err(VerifyError::UnterminatedBlock {
+                block: BlockId(i as u32),
+                name: names.get(i).cloned().unwrap_or_default(),
+            });
+        }
+    }
+    Ok(())
 }
 
 impl std::error::Error for VerifyError {}
@@ -119,6 +161,22 @@ fn verify_function_inner(
         errors.push(VerifyError::RegsSmallerThanParams { func: fid });
     }
     let nblocks = func.blocks.len() as u32;
+    let mut seen_names: HashMap<&str, BlockId> = HashMap::new();
+    for (bid, block) in func.iter_blocks() {
+        match seen_names.entry(block.name.as_str()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(bid);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                errors.push(VerifyError::DuplicateBlockName {
+                    func: fid,
+                    name: block.name.clone(),
+                    first: *e.get(),
+                    second: bid,
+                });
+            }
+        }
+    }
     let mut used = Vec::new();
     for (bid, block) in func.iter_blocks() {
         for target in block.successors() {
@@ -310,6 +368,52 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, VerifyError::RegsSmallerThanParams { .. })));
+    }
+
+    #[test]
+    fn detects_duplicate_block_names() {
+        let mut m = Module::new();
+        let mk_block = |name: &str| Block {
+            name: name.into(),
+            insts: vec![],
+            term: Terminator::Ret { value: None },
+        };
+        m.add_function(Function {
+            name: "dup".into(),
+            params: 0,
+            num_regs: 0,
+            blocks: vec![mk_block("entry"), mk_block("body"), mk_block("body")],
+        });
+        let errs = verify_module(&m).unwrap_err();
+        assert_eq!(
+            errs,
+            vec![VerifyError::DuplicateBlockName {
+                func: FuncId(0),
+                name: "body".into(),
+                first: BlockId(1),
+                second: BlockId(2),
+            }]
+        );
+        assert!(errs[0].to_string().contains("share name `body`"));
+    }
+
+    #[test]
+    fn raw_terminator_check_finds_the_hole() {
+        let names = vec!["entry".to_string(), "gap".to_string()];
+        let terms = vec![Some(Terminator::Ret { value: None }), None];
+        let err = check_raw_terminators(&names, &terms).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::UnterminatedBlock {
+                block: BlockId(1),
+                name: "gap".into(),
+            }
+        );
+        let all = vec![
+            Some(Terminator::Ret { value: None }),
+            Some(Terminator::Ret { value: None }),
+        ];
+        assert!(check_raw_terminators(&names, &all).is_ok());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! The plan certificate — the artifact the translation validator consumes.
+//!
+//! [`instrument`](crate::pipeline::instrument) emits a [`PlanCert`] alongside
+//! the instrumented module: a self-contained record of *what the pipeline
+//! claims it did* (which functions were clocked and at what value, the static
+//! clock planned per block of the split module, the tick placement, and the
+//! divergence bound the enabled optimizations are allowed). A validator can
+//! then check the claim against the pre-instrumentation module and the
+//! emitted binary without trusting any pipeline internals: the cert is the
+//! proof obligation, not the proof.
+
+use crate::opt1::ClockableParams;
+use crate::pipeline::OptConfig;
+use crate::plan::{ModulePlan, Placement};
+
+/// What the instrumentation pipeline claims about its output.
+#[derive(Debug, Clone)]
+pub struct PlanCert {
+    /// Where static ticks were placed in each block.
+    pub placement: Placement,
+    /// Per function: `Some(mean)` when O1 clocked it (call sites charge the
+    /// mean, the body carries no ticks), `None` otherwise.
+    pub clocked: Vec<Option<u64>>,
+    /// Per function, per block of the *split* module: the static clock the
+    /// pipeline planned. Index-aligned with the split module's blocks.
+    pub block_clock: Vec<Vec<u64>>,
+    /// Tightness thresholds used by O1/O3 — the validator re-checks clocked
+    /// means with `tight_average` under the same parameters.
+    pub clockable: ClockableParams,
+    /// Claimed per-path fractional divergence bound: O3's
+    /// `1/(range_divisor - 1)` from the tight-average criterion when O3 ran,
+    /// zero otherwise. (O2b's divergence is *not* a per-path fraction — see
+    /// [`o2b_slack`](Self::o2b_slack).)
+    pub frac_bound: f64,
+    /// Per function: the total clock mass O2b's approximate moves relocated.
+    /// Each move perturbs any single path by at most its own moved amount
+    /// (the move is exact on the `upper→endSucc` and `upper→middle→endSucc`
+    /// paths and off by exactly `moved` on `middle`'s other exits), so the
+    /// per-function sum is an absolute bound on any path's |planned − true|
+    /// contribution from O2b. The pass bounds each individual move by
+    /// `max_divergence` of the surrounding loop (or function) mass, but
+    /// several moves may stack on one path — a per-path *fraction* is not
+    /// something O2b promises, so the cert records the absolute claim.
+    pub o2b_slack: Vec<u64>,
+    /// `Some(threshold)` when O4 ran: each loop's exit path may additionally
+    /// diverge by up to the merged latch clock, which is below this
+    /// threshold (absolute slack per back edge, not a fraction).
+    pub o4_latch_threshold: Option<u64>,
+}
+
+impl PlanCert {
+    /// Build the certificate for a finished plan under `config`.
+    /// `o2b_moved` is the per-function approximate mass O2b reported moving
+    /// (all zeros when O2 did not run).
+    pub fn new(config: &OptConfig, plan: &ModulePlan, o2b_moved: Vec<u64>) -> PlanCert {
+        debug_assert_eq!(o2b_moved.len(), plan.funcs.len());
+        let mut frac_bound = 0.0;
+        if config.o3 {
+            // tight_average admits range ≤ mean/rd, so a region path's true
+            // cost sits within `range` of the charged mean while being at
+            // least `mean·(1 − 1/rd)`; the worst relative error is therefore
+            // range/min ≤ (mean/rd)/(mean·(1 − 1/rd)) = 1/(rd − 1), not the
+            // naive 1/rd.
+            frac_bound += 1.0 / (config.clockable.range_divisor - 1.0);
+        }
+        PlanCert {
+            placement: plan.placement,
+            clocked: plan.clocked.clone(),
+            block_clock: plan.funcs.iter().map(|f| f.block_clock.clone()).collect(),
+            clockable: config.clockable,
+            frac_bound,
+            o2b_slack: o2b_moved,
+            o4_latch_threshold: config.o4.then_some(config.opt4.threshold),
+        }
+    }
+
+    /// Whether the cert claims exact path sums (every enabled transformation
+    /// preserves per-path clock totals).
+    pub fn is_exact(&self) -> bool {
+        self.frac_bound == 0.0
+            && self.o4_latch_threshold.is_none()
+            && self.o2b_slack.iter().all(|&s| s == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{OptConfig, OptLevel};
+    use crate::plan::FuncPlan;
+
+    fn dummy_plan() -> ModulePlan {
+        ModulePlan {
+            placement: Placement::Start,
+            clocked: vec![None, Some(7)],
+            funcs: vec![
+                FuncPlan {
+                    block_clock: vec![3, 0, 5],
+                    pinned: vec![false, true, false],
+                },
+                FuncPlan {
+                    block_clock: vec![0],
+                    pinned: vec![false],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn exactness_tracks_config() {
+        let plan = dummy_plan();
+        let none = vec![0, 0];
+        assert!(PlanCert::new(&OptConfig::none(), &plan, none.clone()).is_exact());
+        assert!(PlanCert::new(&OptConfig::only(OptLevel::O1), &plan, none.clone()).is_exact());
+        // O2 with no approximate move applied is exact (2a is exact and 2b
+        // reported nothing moved)...
+        let c = PlanCert::new(&OptConfig::only(OptLevel::O2), &plan, none.clone());
+        assert!(c.is_exact());
+        assert_eq!(c.frac_bound, 0.0);
+        // ...but any reported 2b move makes the cert approximate.
+        let c = PlanCert::new(&OptConfig::only(OptLevel::O2), &plan, vec![3, 0]);
+        assert!(!c.is_exact());
+        assert_eq!(c.o2b_slack, vec![3, 0]);
+        // O3 contributes the tight-average fractional bound.
+        let c = PlanCert::new(&OptConfig::only(OptLevel::O3), &plan, none.clone());
+        assert!(!c.is_exact());
+        assert!(c.frac_bound > 0.0);
+        let c = PlanCert::new(&OptConfig::only(OptLevel::O4), &plan, none);
+        assert!(!c.is_exact());
+        assert_eq!(c.o4_latch_threshold, Some(16));
+        assert_eq!(c.frac_bound, 0.0);
+    }
+
+    #[test]
+    fn cert_copies_the_plan() {
+        let plan = dummy_plan();
+        let c = PlanCert::new(&OptConfig::all(), &plan, vec![0, 0]);
+        assert_eq!(c.clocked, vec![None, Some(7)]);
+        assert_eq!(c.block_clock, vec![vec![3, 0, 5], vec![0]]);
+        assert_eq!(c.placement, Placement::Start);
+    }
+}

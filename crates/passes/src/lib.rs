@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cert;
 pub mod cost;
 pub mod divergence;
 pub mod materialize;
@@ -52,6 +53,7 @@ pub mod pipeline;
 pub mod plan;
 pub mod stats;
 
+pub use cert::PlanCert;
 pub use cost::CostModel;
 pub use pipeline::{instrument, Instrumented, OptConfig, OptLevel};
 pub use plan::{ModulePlan, Placement};

@@ -131,8 +131,11 @@ impl<'a> Opt2b<'a> {
     }
 
     /// `modifyClocks` (paper Fig. 9 line 8): pick the direction, check the
-    /// divergence bound, apply. Returns whether a move happened.
-    fn modify_clocks(&self, bb: BlockId, m: &Opt2bMatch, plan: &mut FuncPlan) -> bool {
+    /// divergence bound, apply. Returns the clock mass moved (0 when no move
+    /// happened). Every applied move is approximate: the pattern requires
+    /// `middle` to have a second exit, and paths leaving through it diverge
+    /// by exactly the moved amount.
+    fn modify_clocks(&self, bb: BlockId, m: &Opt2bMatch, plan: &mut FuncPlan) -> u64 {
         let upper = bb;
         let lower = m.end_succ;
         let sw_multi_exit = self.cfg.succs(m.sw_succ).len() > 1;
@@ -148,29 +151,34 @@ impl<'a> Opt2b<'a> {
         };
         let moved = plan.clock(from);
         if moved == 0 {
-            return false;
+            return 0;
         }
 
         // The move is exact when middle's only successor is endSucc.
         if sw_multi_exit {
             let denom = self.denominator(upper, plan) as f64;
             if (moved as f64) / denom >= self.params.max_divergence {
-                return false;
+                return 0;
             }
         }
         plan.set_clock(to, plan.clock(to) + moved);
         plan.set_clock(from, 0);
-        true
+        moved
     }
 
     /// `APPLYOPT2B`: one DFS from the entry (paper Fig. 9 lines 23–28).
-    pub fn run(&self, plan: &mut FuncPlan) {
+    ///
+    /// Returns the total clock mass moved by approximate moves — the sum
+    /// bounds any single path's |planned − true| divergence, since each move
+    /// perturbs a path by at most its own moved amount.
+    pub fn run(&self, plan: &mut FuncPlan) -> u64 {
+        let mut moved_total = 0u64;
         let mut visited = vec![false; self.cfg.len()];
         let mut stack = vec![BlockId(0)];
         visited[0] = true;
         while let Some(bb) = stack.pop() {
             if let Some(m) = self.meets_requirements(bb, plan) {
-                self.modify_clocks(bb, &m, plan);
+                moved_total += self.modify_clocks(bb, &m, plan);
             }
             for &s in self.cfg.succs(bb) {
                 if !visited[s.index()] {
@@ -179,12 +187,14 @@ impl<'a> Opt2b<'a> {
                 }
             }
         }
+        moved_total
     }
 }
 
-/// Convenience: run Opt2b over one function plan.
-pub fn apply_opt2b(cfg: &Cfg, loops: &LoopInfo, params: Opt2bParams, plan: &mut FuncPlan) {
-    Opt2b::new(cfg, loops, params).run(plan);
+/// Convenience: run Opt2b over one function plan. Returns the total clock
+/// mass moved approximately (see [`Opt2b::run`]).
+pub fn apply_opt2b(cfg: &Cfg, loops: &LoopInfo, params: Opt2bParams, plan: &mut FuncPlan) -> u64 {
+    Opt2b::new(cfg, loops, params).run(plan)
 }
 
 #[cfg(test)]
@@ -241,9 +251,10 @@ mod tests {
         // upper=1, middle=91, end=1: moving end's 1 up diverges by
         // 1/(total=100) = 1% < 10%.
         let mut plan = plan_with(vec![1, 91, 1, 3, 4]);
-        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        let moved = apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
         assert_eq!(plan.clock(BlockId(0)), 2, "upper gains end's clock");
         assert_eq!(plan.clock(BlockId(2)), 0, "lower removed");
+        assert_eq!(moved, 1, "the approximate move is reported");
     }
 
     #[test]
@@ -255,8 +266,9 @@ mod tests {
         // upper's 20 is still 20% ≥ 10%: also blocked.)
         let mut plan = plan_with(vec![20, 20, 50, 5, 5]);
         let before = plan.block_clock.clone();
-        apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
+        let moved = apply_opt2b(&cfg, &loops, Opt2bParams::default(), &mut plan);
         assert_eq!(plan.block_clock, before);
+        assert_eq!(moved, 0, "blocked moves report no slack");
     }
 
     #[test]

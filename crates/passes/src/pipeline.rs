@@ -9,6 +9,7 @@
 //! 4. Optimizations 2a, 2b, 3, 4 on each function's plan (as enabled);
 //! 5. materialization into `tick` instructions.
 
+use crate::cert::PlanCert;
 use crate::cost::CostModel;
 use crate::materialize::materialize;
 use crate::opt1::{compute_clocked, ClockableParams};
@@ -135,6 +136,9 @@ pub struct Instrumented {
     pub plan: ModulePlan,
     /// Instrumentation statistics.
     pub stats: Stats,
+    /// The pipeline's claim about its own output, for translation
+    /// validation (see [`crate::cert`]).
+    pub cert: PlanCert,
 }
 
 /// Run the DetLock pass over `module`.
@@ -162,6 +166,7 @@ pub fn instrument(
     let mut plans = base_plan(&split, cost, &clocked);
 
     // 4. Per-function clock-motion optimizations.
+    let mut o2b_moved = vec![0u64; split.functions.len()];
     for (fid, func) in split.iter_funcs() {
         if clocked[fid.index()].is_some() {
             continue; // clocked functions carry no clock code at all
@@ -172,7 +177,7 @@ pub fn instrument(
         let plan = &mut plans[fid.index()];
         if config.o2 {
             apply_opt2a(&cfg, &loops, plan);
-            apply_opt2b(&cfg, &loops, config.opt2b, plan);
+            o2b_moved[fid.index()] = apply_opt2b(&cfg, &loops, config.opt2b, plan);
         }
         if config.o3 {
             apply_opt3(&cfg, &dom, &loops, config.clockable, plan);
@@ -190,11 +195,21 @@ pub fn instrument(
 
     // 5. Materialize ticks.
     let out = materialize(&split, &plan, cost);
+
+    // In debug builds, catch pipeline breakage (dangling targets after
+    // splitting, duplicated block names, bad registers) at the source.
+    #[cfg(debug_assertions)]
+    if let Err(errs) = detlock_ir::verify::verify_module(&out) {
+        panic!("instrument produced an invalid module: {errs:?}");
+    }
+
     let stats = Stats::collect(&out, &plan);
+    let cert = PlanCert::new(config, &plan, o2b_moved);
     Instrumented {
         module: out,
         plan,
         stats,
+        cert,
     }
 }
 

@@ -25,6 +25,7 @@ pub mod builtins;
 pub mod determinism;
 pub mod machine;
 pub mod metrics;
+pub mod race;
 pub mod replay;
 
 pub use determinism::{check_determinism, DeterminismReport, Divergence};
@@ -32,3 +33,4 @@ pub use machine::{
     run, BulkSyncParams, ExecMode, Jitter, KendoParams, Machine, MachineConfig, ThreadSpec,
 };
 pub use metrics::{RunMetrics, ThreadMetrics};
+pub use race::{confirm_race, RaceWitness};

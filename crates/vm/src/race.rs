@@ -1,0 +1,144 @@
+//! Targeted empirical race confirmation.
+//!
+//! The static lockset analysis (in `detlock-analyze`) reports *potential*
+//! races; this probe tries to make one manifest. A racy program run under
+//! the nondeterministic `Baseline` mode (FCFS locks, seeded OS-noise
+//! jitter) can finish with a timing-dependent memory image — so rerunning
+//! across jitter seeds and diffing the final memories either produces a
+//! concrete two-seed witness (the race is real) or fails to (the static
+//! report is downgraded to a "may" race; absence of a witness is not a
+//! proof of absence).
+
+use crate::machine::{ExecMode, Machine, MachineConfig, ThreadSpec};
+use detlock_ir::module::Module;
+use detlock_passes::cost::CostModel;
+
+/// Concrete evidence that a program's final state depends on timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceWitness {
+    /// Jitter seed of the reference run.
+    pub seed_a: u64,
+    /// Jitter seed of the run that disagreed with it.
+    pub seed_b: u64,
+    /// First memory word whose final value differs between the two runs.
+    pub addr: usize,
+    /// The word's final value under `seed_a`.
+    pub a: i64,
+    /// The word's final value under `seed_b`.
+    pub b: i64,
+}
+
+impl std::fmt::Display for RaceWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "word {} finished as {} under seed {} but {} under seed {}",
+            self.addr, self.a, self.seed_a, self.b, self.seed_b
+        )
+    }
+}
+
+/// Rerun the workload under `Baseline` (nondeterministic FCFS) across
+/// `seeds`, diffing final memories; the first divergence is returned as a
+/// witness. `None` means no divergence was observed — a race may still
+/// exist on schedules the seeds did not produce.
+pub fn confirm_race(
+    module: &Module,
+    cost: &CostModel,
+    threads: &[ThreadSpec],
+    base_cfg: &MachineConfig,
+    seeds: &[u64],
+) -> Option<RaceWitness> {
+    assert!(!seeds.is_empty());
+    let mut reference: Option<(u64, Vec<i64>)> = None;
+    for &seed in seeds {
+        let mut cfg = base_cfg.clone();
+        cfg.mode = ExecMode::Baseline;
+        cfg.jitter = cfg.jitter.with_seed(seed);
+        let (_, mem, _) = Machine::new(module, cost, threads, cfg).run_with_memory();
+        match &reference {
+            None => reference = Some((seed, mem)),
+            Some((seed_a, ref_mem)) => {
+                if let Some(addr) = ref_mem.iter().zip(&mem).position(|(a, b)| a != b) {
+                    return Some(RaceWitness {
+                        seed_a: *seed_a,
+                        seed_b: seed,
+                        addr,
+                        a: ref_mem[addr],
+                        b: mem[addr],
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_ir::builder::FunctionBuilder;
+    use detlock_ir::inst::CmpOp;
+    use detlock_ir::Module;
+
+    const SEEDS: [u64; 6] = [1, 2, 7, 42, 1337, 31337];
+
+    /// `iters` unlocked (or locked) read-modify-write increments of word 0.
+    fn counter_module(iters: i64, locked: bool) -> Module {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("t", 1);
+        fb.block("entry");
+        let head = fb.create_block("head");
+        let body = fb.create_block("body");
+        let exit = fb.create_block("exit");
+        let i = fb.iconst(0);
+        let q = fb.iconst(0);
+        fb.br(head);
+        fb.switch_to(head);
+        let c = fb.cmp(CmpOp::Lt, i, iters);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        if locked {
+            fb.lock(1i64);
+        }
+        let v = fb.load(q, 0);
+        let v2 = fb.add(v, 1);
+        fb.store(q, 0, v2);
+        if locked {
+            fb.unlock(1i64);
+        }
+        fb.bin_to(detlock_ir::BinOp::Add, i, i, 1);
+        fb.br(head);
+        fb.switch_to(exit);
+        fb.ret_void();
+        fb.finish_into(&mut m);
+        m
+    }
+
+    fn threads(n: u32) -> Vec<ThreadSpec> {
+        (0..n)
+            .map(|t| ThreadSpec {
+                func: detlock_ir::FuncId(0),
+                args: vec![t as i64],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unlocked_counter_yields_a_witness() {
+        let m = counter_module(300, false);
+        let cost = CostModel::default();
+        let w = confirm_race(&m, &cost, &threads(4), &MachineConfig::default(), &SEEDS)
+            .expect("lost updates should surface across seeds");
+        assert_eq!(w.addr, 0);
+        assert_ne!(w.a, w.b);
+    }
+
+    #[test]
+    fn locked_counter_yields_none() {
+        let m = counter_module(50, true);
+        let cost = CostModel::default();
+        let w = confirm_race(&m, &cost, &threads(4), &MachineConfig::default(), &SEEDS);
+        assert_eq!(w, None, "mutual exclusion keeps the final state stable");
+    }
+}

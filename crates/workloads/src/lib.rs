@@ -15,12 +15,15 @@
 //! | [`radiosity`] | task queue at very high rate, clockable compute | 2,211,621 |
 //! | [`volrend`] | ray batches + opacity ladder | 443,070 |
 //!
-//! [`micro`] generates random structured CFGs for property tests.
+//! [`micro`] generates random structured CFGs for property tests;
+//! [`racy`] is a deliberately racy counter used as detlint's negative
+//! control (it is *not* part of [`all_benchmarks`]).
 
 #![warn(missing_docs)]
 
 pub mod micro;
 pub mod ocean;
+pub mod racy;
 pub mod radiosity;
 pub mod raytrace;
 pub mod util;

@@ -43,7 +43,16 @@ pub fn random_function(
     fb.block("entry");
     let data = fb.param(0);
     let acc = fb.iconst(0);
-    emit_region(&mut fb, rng, params, params.depth, data, acc);
+    let mut next_region = 0u32;
+    emit_region(
+        &mut fb,
+        rng,
+        params,
+        params.depth,
+        data,
+        acc,
+        &mut next_region,
+    );
     fb.ret(acc);
     fb.finish_into(module)
 }
@@ -66,16 +75,21 @@ fn emit_region(
     depth: u32,
     data: detlock_ir::Reg,
     acc: detlock_ir::Reg,
+    next_region: &mut u32,
 ) {
     emit_ops(fb, rng, params.max_ops, acc);
     if depth == 0 {
         return;
     }
+    // Region counter keeps block names unique (two sibling regions at the
+    // same depth would otherwise collide, which the verifier now rejects).
+    let id = *next_region;
+    *next_region += 1;
     if rng.range(0, 100) < params.loop_pct as u64 {
         // Bounded loop: i in 0..(data & 7).
-        let head = fb.create_block(format!("loop.head.{depth}"));
-        let body = fb.create_block(format!("loop.body.{depth}"));
-        let exit = fb.create_block(format!("loop.exit.{depth}"));
+        let head = fb.create_block(format!("loop.head.{id}"));
+        let body = fb.create_block(format!("loop.body.{id}"));
+        let exit = fb.create_block(format!("loop.exit.{id}"));
         let i = fb.iconst(0);
         let bound = fb.bin(BinOp::And, data, 7);
         fb.br(head);
@@ -83,24 +97,24 @@ fn emit_region(
         let c = fb.cmp(CmpOp::Lt, i, bound);
         fb.cond_br(c, body, exit);
         fb.switch_to(body);
-        emit_region(fb, rng, params, depth - 1, data, acc);
+        emit_region(fb, rng, params, depth - 1, data, acc, next_region);
         fb.bin_to(BinOp::Add, i, i, 1);
         fb.br(head);
         fb.switch_to(exit);
         emit_ops(fb, rng, params.max_ops, acc);
     } else {
         // Diamond.
-        let t = fb.create_block(format!("then.{depth}"));
-        let e = fb.create_block(format!("else.{depth}"));
-        let m = fb.create_block(format!("merge.{depth}"));
+        let t = fb.create_block(format!("then.{id}"));
+        let e = fb.create_block(format!("else.{id}"));
+        let m = fb.create_block(format!("merge.{id}"));
         let bit = fb.bin(BinOp::And, data, depth as i64 + 1);
         let c = fb.cmp(CmpOp::Ne, bit, 0);
         fb.cond_br(c, t, e);
         fb.switch_to(t);
-        emit_region(fb, rng, params, depth - 1, data, acc);
+        emit_region(fb, rng, params, depth - 1, data, acc, next_region);
         fb.br(m);
         fb.switch_to(e);
-        emit_region(fb, rng, params, depth - 1, data, acc);
+        emit_region(fb, rng, params, depth - 1, data, acc, next_region);
         fb.br(m);
         fb.switch_to(m);
         emit_ops(fb, rng, params.max_ops, acc);
@@ -151,6 +165,20 @@ mod tests {
         for seed in 1..30 {
             let (m, _) = random_module(seed, 3, &MicroParams::default());
             verify_module(&m).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn block_names_are_unique() {
+        for seed in 1..30 {
+            let (m, _) = random_module(seed, 3, &MicroParams::default());
+            for f in &m.functions {
+                let mut names: Vec<&str> = f.blocks.iter().map(|b| b.name.as_str()).collect();
+                names.sort_unstable();
+                let before = names.len();
+                names.dedup();
+                assert_eq!(before, names.len(), "seed {seed}, fn {}", f.name);
+            }
         }
     }
 
