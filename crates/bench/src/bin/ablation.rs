@@ -11,13 +11,14 @@
 //!    scale with the per-event arbitration cost the simulator charges.
 //!
 //! ```text
-//! cargo run -p detlock-bench --release --bin ablation [--scale F] [--only NAME]
+//! cargo run -p detlock-bench --release --bin ablation [--scale F] [--only NAME] [--json] [--out FILE]
 //! ```
 
 use detlock_bench::{machine_config, run_baseline, thread_specs, CliOptions};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, OptConfig};
 use detlock_passes::plan::Placement;
+use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode};
 use detlock_workloads::Workload;
 
@@ -51,13 +52,17 @@ fn main() {
         opts.scale = 0.2;
     }
     let cost = CostModel::default();
+    let text = !opts.json;
 
     // 1. O2a vs O2b separation.
-    println!("== O2a vs O2b (paper reports them jointly as O2) ==");
-    println!(
-        "{:<12}{:>14}{:>14}{:>14}{:>14}",
-        "benchmark", "none clk%", "O2a-only clk%", "O2b adds", "O2 full clk%"
-    );
+    if text {
+        println!("== O2a vs O2b (paper reports them jointly as O2) ==");
+        println!(
+            "{:<12}{:>14}{:>14}{:>14}{:>14}",
+            "benchmark", "none clk%", "O2a-only clk%", "O2b adds", "O2 full clk%"
+        );
+    }
+    let mut o2_rows: Vec<Json> = Vec::new();
     for w in opts.workloads() {
         let none = overheads(&w, &cost, &OptConfig::none(), opts.seed);
         let mut only2a = OptConfig::none();
@@ -67,22 +72,33 @@ fn main() {
         let mut full2 = OptConfig::none();
         full2.o2 = true;
         let f = overheads(&w, &cost, &full2, opts.seed);
-        println!(
-            "{:<12}{:>13.1}%{:>13.1}%{:>13.1}%{:>13.1}%",
-            w.name,
-            none.0,
-            a.0,
-            f.0 - a.0,
-            f.0
-        );
+        if text {
+            println!(
+                "{:<12}{:>13.1}%{:>13.1}%{:>13.1}%{:>13.1}%",
+                w.name,
+                none.0,
+                a.0,
+                f.0 - a.0,
+                f.0
+            );
+        }
+        o2_rows.push(Json::obj([
+            ("name", w.name.to_json()),
+            ("none_clk_pct", none.0.to_json()),
+            ("o2a_only_clk_pct", a.0.to_json()),
+            ("o2_full_clk_pct", f.0.to_json()),
+        ]));
     }
 
     // 2. Clockability thresholds (radiosity is the sensitive benchmark).
-    println!("\n== O1 clockability thresholds (radiosity) ==");
-    println!(
-        "{:<24}{:>12}{:>12}{:>12}",
-        "range_div/std_div", "clockable", "clk%", "det%"
-    );
+    if text {
+        println!("\n== O1 clockability thresholds (radiosity) ==");
+        println!(
+            "{:<24}{:>12}{:>12}{:>12}",
+            "range_div/std_div", "clockable", "clk%", "det%"
+        );
+    }
+    let mut o1_rows: Vec<Json> = Vec::new();
     if let Some(w) = opts
         .workloads()
         .into_iter()
@@ -102,50 +118,82 @@ fn main() {
             cfg.clockable.std_divisor = sd;
             let inst = instrument(&w.module, &cost, &cfg, Placement::Start, &w.entries);
             let (clk, det, _) = overheads(&w, &cost, &cfg, opts.seed);
-            println!(
-                "{:<24}{:>12}{:>11.1}%{:>11.1}%",
-                format!("{rd}/{sd}"),
-                inst.stats.clockable_functions,
-                clk,
-                det
-            );
+            if text {
+                println!(
+                    "{:<24}{:>12}{:>11.1}%{:>11.1}%",
+                    format!("{rd}/{sd}"),
+                    inst.stats.clockable_functions,
+                    clk,
+                    det
+                );
+            }
+            o1_rows.push(Json::obj([
+                ("range_divisor", rd.to_json()),
+                ("std_divisor", sd.to_json()),
+                ("clockable", inst.stats.clockable_functions.to_json()),
+                ("clk_pct", clk.to_json()),
+                ("det_pct", det.to_json()),
+            ]));
         }
     }
 
     // 3. O4 latch threshold (water is the sensitive benchmark).
-    println!("\n== O4 latch threshold (water-nsq) ==");
-    println!("{:<12}{:>12}{:>12}", "threshold", "ticks", "clk%");
+    if text {
+        println!("\n== O4 latch threshold (water-nsq) ==");
+        println!("{:<12}{:>12}{:>12}", "threshold", "ticks", "clk%");
+    }
+    let mut o4_rows: Vec<Json> = Vec::new();
     if let Some(w) = detlock_workloads::by_name("water-nsq", opts.threads, opts.scale) {
         for thr in [0u64, 4, 8, 16, 64, 1024] {
             let mut cfg = OptConfig::none();
             cfg.o4 = true;
             cfg.opt4.threshold = thr;
             let (clk, _, ticks) = overheads(&w, &cost, &cfg, opts.seed);
-            println!("{:<12}{:>12}{:>11.1}%", thr, ticks, clk);
+            if text {
+                println!("{:<12}{:>12}{:>11.1}%", thr, ticks, clk);
+            }
+            o4_rows.push(Json::obj([
+                ("threshold", thr.to_json()),
+                ("ticks", ticks.to_json()),
+                ("clk_pct", clk.to_json()),
+            ]));
         }
     }
 
     // 4. O2b divergence bound.
-    println!("\n== O2b divergence bound (volrend) ==");
-    println!("{:<12}{:>12}{:>12}", "bound", "ticks", "clk%");
+    if text {
+        println!("\n== O2b divergence bound (volrend) ==");
+        println!("{:<12}{:>12}{:>12}", "bound", "ticks", "clk%");
+    }
+    let mut o2b_rows: Vec<Json> = Vec::new();
     if let Some(w) = detlock_workloads::by_name("volrend", opts.threads, opts.scale) {
         for bound in [0.0, 0.02, 0.1, 0.5] {
             let mut cfg = OptConfig::none();
             cfg.o2 = true;
             cfg.opt2b.max_divergence = bound;
             let (clk, _, ticks) = overheads(&w, &cost, &cfg, opts.seed);
-            println!("{:<12}{:>12}{:>11.1}%", bound, ticks, clk);
+            if text {
+                println!("{:<12}{:>12}{:>11.1}%", bound, ticks, clk);
+            }
+            o2b_rows.push(Json::obj([
+                ("bound", bound.to_json()),
+                ("ticks", ticks.to_json()),
+                ("clk_pct", clk.to_json()),
+            ]));
         }
     }
 
     // 5b. Kendo chunk-size balance (paper §V-C: "It also has to balance
     // the chunk size ... For Radiosity, the authors of Kendo had to
     // manually adjust the chunk size").
-    println!("\n== Kendo chunk-size balance ==");
-    println!(
-        "{:<12}{:>10}{:>14}{:>14}",
-        "benchmark", "chunk", "kendo det%", ""
-    );
+    if text {
+        println!("\n== Kendo chunk-size balance ==");
+        println!(
+            "{:<12}{:>10}{:>14}{:>14}",
+            "benchmark", "chunk", "kendo det%", ""
+        );
+    }
+    let mut kendo_rows: Vec<Json> = Vec::new();
     for name in ["radiosity", "water-nsq"] {
         if let Some(w) = detlock_workloads::kendo_dataset(name, opts.threads, opts.scale) {
             let base = run_baseline(&w, &cost, opts.seed);
@@ -162,14 +210,24 @@ fn main() {
                     machine_config(&w, mode, opts.seed),
                 );
                 assert!(!hit);
-                println!("{:<12}{:>10}{:>13.1}%", name, chunk, k.overhead_pct(&base));
+                if text {
+                    println!("{:<12}{:>10}{:>13.1}%", name, chunk, k.overhead_pct(&base));
+                }
+                kendo_rows.push(Json::obj([
+                    ("name", name.to_json()),
+                    ("chunk", chunk.to_json()),
+                    ("kendo_det_pct", k.overhead_pct(&base).to_json()),
+                ]));
             }
         }
     }
 
     // 5. Deterministic protocol cost sensitivity (radiosity).
-    println!("\n== det_event_cost sensitivity (radiosity, all opts) ==");
-    println!("{:<12}{:>12}", "cost", "det%");
+    if text {
+        println!("\n== det_event_cost sensitivity (radiosity, all opts) ==");
+        println!("{:<12}{:>12}", "cost", "det%");
+    }
+    let mut cost_rows: Vec<Json> = Vec::new();
     if let Some(w) = detlock_workloads::by_name("radiosity", opts.threads, opts.scale) {
         let base = run_baseline(&w, &cost, opts.seed);
         let inst = instrument(
@@ -185,7 +243,22 @@ fn main() {
             mc.det_event_cost = dc;
             let (det, hit) = run(&inst.module, &cost, &specs, mc);
             assert!(!hit);
-            println!("{:<12}{:>11.1}%", dc, det.overhead_pct(&base));
+            if text {
+                println!("{:<12}{:>11.1}%", dc, det.overhead_pct(&base));
+            }
+            cost_rows.push(Json::obj([
+                ("det_event_cost", dc.to_json()),
+                ("det_pct", det.overhead_pct(&base).to_json()),
+            ]));
         }
     }
+
+    opts.emit_json(&Json::obj([
+        ("o2a_vs_o2b", Json::Arr(o2_rows)),
+        ("o1_thresholds", Json::Arr(o1_rows)),
+        ("o4_threshold", Json::Arr(o4_rows)),
+        ("o2b_bound", Json::Arr(o2b_rows)),
+        ("kendo_chunks", Json::Arr(kendo_rows)),
+        ("det_event_cost", Json::Arr(cost_rows)),
+    ]));
 }

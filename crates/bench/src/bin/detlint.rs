@@ -15,7 +15,7 @@
 //! manifests. `--out FILE` writes the JSON report regardless of `--json`.
 
 use detlock_analyze::{Report, Severity};
-use detlock_bench::{lint_workload, machine_config, thread_specs};
+use detlock_bench::{lint_workload, machine_config, thread_specs, CliOptions};
 use detlock_passes::cost::CostModel;
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
@@ -23,61 +23,27 @@ use detlock_vm::machine::ExecMode;
 use detlock_vm::race::confirm_race;
 use detlock_workloads::{racy, Workload};
 
-struct Options {
-    threads: usize,
-    scale: f64,
-    only: Option<String>,
+#[derive(Default)]
+struct LintFlags {
     racy: bool,
     confirm: bool,
     deny_warnings: bool,
-    json: bool,
-    out: Option<String>,
-}
-
-fn parse_options() -> Options {
-    let mut opts = Options {
-        threads: 4,
-        scale: 0.05,
-        only: None,
-        racy: false,
-        confirm: false,
-        deny_warnings: false,
-        json: false,
-        out: None,
-    };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--threads" => {
-                i += 1;
-                opts.threads = args[i].parse().expect("--threads N");
-            }
-            "--scale" => {
-                i += 1;
-                opts.scale = args[i].parse().expect("--scale F");
-            }
-            "--only" => {
-                i += 1;
-                opts.only = Some(args[i].clone());
-            }
-            "--racy" => opts.racy = true,
-            "--confirm" => opts.confirm = true,
-            "--deny-warnings" => opts.deny_warnings = true,
-            "--json" => opts.json = true,
-            "--out" => {
-                i += 1;
-                opts.out = Some(args[i].clone());
-            }
-            other => panic!("unknown option: {other}"),
-        }
-        i += 1;
-    }
-    opts
 }
 
 fn main() {
-    let opts = parse_options();
+    let mut flags = LintFlags::default();
+    let mut opts = CliOptions::parse_with(|flag, _args, _i| {
+        match flag {
+            "--racy" => flags.racy = true,
+            "--confirm" => flags.confirm = true,
+            "--deny-warnings" => flags.deny_warnings = true,
+            _ => return false,
+        }
+        true
+    });
+    if opts.scale == 1.0 {
+        opts.scale = 0.05; // lint only needs the small dataset
+    }
     let cost = CostModel::default();
 
     let mut workloads: Vec<Workload> = match &opts.only {
@@ -86,7 +52,7 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))],
         None => detlock_workloads::all_benchmarks(opts.threads, opts.scale),
     };
-    if opts.racy || opts.only.as_deref() == Some("racy-counter") {
+    if flags.racy || opts.only.as_deref() == Some("racy-counter") {
         workloads.push(racy::build(
             opts.threads,
             &racy::RacyParams::scaled(opts.scale),
@@ -102,20 +68,20 @@ fn main() {
         errors += report.count(Severity::Error);
         warnings += report.count(Severity::Warning);
 
-        let witness = if opts.confirm && report.count(Severity::Error) > 0 {
+        let witness = if flags.confirm && report.count(Severity::Error) > 0 {
             confirm_race(
                 &w.module,
                 &cost,
                 &thread_specs(w),
                 &machine_config(w, ExecMode::Baseline, 0),
-                &[1, 2, 7, 42, 31337],
+                &opts.seeds,
             )
         } else {
             None
         };
 
         if !opts.json {
-            print_text(w, &report, opts.deny_warnings, witness.as_ref());
+            print_text(w, &report, flags.deny_warnings, witness.as_ref());
         }
         out_workloads.push(Json::obj([
             ("name", w.name.to_json()),
@@ -127,19 +93,14 @@ fn main() {
     let json = Json::obj([
         ("threads", opts.threads.to_json()),
         ("scale", opts.scale.to_json()),
-        ("deny_warnings", opts.deny_warnings.to_json()),
+        ("deny_warnings", flags.deny_warnings.to_json()),
         ("errors", errors.to_json()),
         ("warnings", warnings.to_json()),
         ("workloads", Json::Arr(out_workloads)),
     ]);
-    if opts.json {
-        println!("{}", json.to_string_pretty());
-    }
-    if let Some(path) = &opts.out {
-        std::fs::write(path, json.to_string_pretty()).expect("write --out file");
-    }
+    opts.emit_json(&json);
 
-    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+    if errors > 0 || (flags.deny_warnings && warnings > 0) {
         eprintln!("\ndetlint: {errors} error(s), {warnings} warning(s)");
         std::process::exit(1);
     }

@@ -1,0 +1,309 @@
+//! `detload` — open-loop load generator and determinism verifier for
+//! `detserved`.
+//!
+//! Fires a fixed job list (workload × seed grid) at the server at a target
+//! arrival rate — open loop: arrivals are scheduled by the clock, not by
+//! completions, so server slowdown shows up as latency rather than as a
+//! politely reduced load. The whole list is driven **twice**; the second
+//! sweep's receipts must be byte-for-byte identical to the first, job for
+//! job. Any difference is a determinism violation: detload prints it and
+//! exits nonzero.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin detload -- --addr HOST:PORT \
+//!     [--rate JOBS_PER_SEC] [--jobs N] [--threads N] [--scale F] \
+//!     [--seeds A,B,C] [--json] [--out BENCH_serve.json] [--shutdown]
+//! ```
+//!
+//! `--out` writes the benchmark report (conventionally `BENCH_serve.json`);
+//! `--shutdown` drains the server when done.
+
+use detlock_bench::CliOptions;
+use detlock_passes::pipeline::OptLevel;
+use detlock_serve::protocol::{Client, JobSpec};
+use detlock_serve::receipt::Receipt;
+use detlock_serve::stats::LatencyHistogram;
+use detlock_shim::json::{Json, ToJson};
+use std::time::{Duration, Instant};
+
+/// How often a rejected (queue-full) submission is retried before the job
+/// counts as failed.
+const MAX_SUBMIT_RETRIES: u32 = 50;
+
+struct JobOutcome {
+    key: String,
+    canonical: Option<String>,
+    shard: Option<u64>,
+    latency_us: u64,
+    rejections: u32,
+    error: Option<String>,
+}
+
+/// Submit one job, honoring `retry_after_ms` backpressure hints.
+fn drive_job(addr: &str, spec: &JobSpec) -> JobOutcome {
+    let started = Instant::now();
+    let mut rejections = 0u32;
+    loop {
+        let outcome = |canonical, shard, error| JobOutcome {
+            key: spec.identity_key(),
+            canonical,
+            shard,
+            latency_us: started.elapsed().as_micros() as u64,
+            rejections,
+            error,
+        };
+        let resp = match Client::connect(addr).and_then(|mut c| c.run(spec)) {
+            Ok(resp) => resp,
+            Err(e) => return outcome(None, None, Some(format!("io: {e}"))),
+        };
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            let canonical = resp
+                .get("receipt")
+                .and_then(Receipt::from_json)
+                .map(|r| r.canonical());
+            if canonical.is_none() {
+                return outcome(None, None, Some("malformed receipt".to_string()));
+            }
+            return outcome(canonical, resp.get("shard").and_then(Json::as_u64), None);
+        }
+        match resp.get("retry_after_ms").and_then(Json::as_u64) {
+            Some(ms) if rejections < MAX_SUBMIT_RETRIES => {
+                rejections += 1;
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            _ => {
+                let err = resp
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string();
+                return outcome(None, None, Some(err));
+            }
+        }
+    }
+}
+
+struct SweepResult {
+    outcomes: Vec<JobOutcome>,
+    wall: Duration,
+}
+
+/// Drive one open-loop sweep: job `i` is released at `i / rate` seconds.
+fn sweep(addr: &str, jobs: &[JobSpec], rate: f64) -> SweepResult {
+    let period = Duration::from_secs_f64(1.0 / rate);
+    let t0 = Instant::now();
+    let handles: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let addr = addr.to_string();
+            let spec = spec.clone();
+            let release = period * i as u32;
+            std::thread::spawn(move || {
+                let now = t0.elapsed();
+                if release > now {
+                    std::thread::sleep(release - now);
+                }
+                drive_job(&addr, &spec)
+            })
+        })
+        .collect();
+    let outcomes = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    SweepResult {
+        outcomes,
+        wall: t0.elapsed(),
+    }
+}
+
+fn sweep_json(s: &SweepResult) -> Json {
+    let hist = LatencyHistogram::default();
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut rejections = 0u64;
+    let mut shards: Vec<u64> = Vec::new();
+    let mut failures: Vec<Json> = Vec::new();
+    for o in &s.outcomes {
+        if o.canonical.is_some() {
+            completed += 1;
+            hist.record_us(o.latency_us);
+        } else {
+            failed += 1;
+            failures.push(Json::obj([
+                ("job", o.key.to_json()),
+                ("error", o.error.clone().to_json()),
+            ]));
+        }
+        rejections += o.rejections as u64;
+        if let Some(sh) = o.shard {
+            if !shards.contains(&sh) {
+                shards.push(sh);
+            }
+        }
+    }
+    shards.sort_unstable();
+    Json::obj([
+        ("completed", completed.to_json()),
+        ("failed", failed.to_json()),
+        ("rejections", rejections.to_json()),
+        ("wall_ms", (s.wall.as_millis() as u64).to_json()),
+        (
+            "throughput_jps",
+            (completed as f64 / s.wall.as_secs_f64()).to_json(),
+        ),
+        ("latency", hist.to_json()),
+        ("shards_used", shards.to_json()),
+        ("failures", Json::Arr(failures)),
+    ])
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut rate = 50.0f64;
+    let mut jobs_target = 0usize; // 0 = one job per workload × seed
+    let mut do_shutdown = false;
+    let mut opts = CliOptions::parse_with(|flag, args, i| {
+        match flag {
+            "--addr" => {
+                *i += 1;
+                addr = args[*i].clone();
+            }
+            "--rate" => {
+                *i += 1;
+                rate = args[*i].parse().expect("--rate JOBS_PER_SEC");
+            }
+            "--jobs" => {
+                *i += 1;
+                jobs_target = args[*i].parse().expect("--jobs N");
+            }
+            "--shutdown" => do_shutdown = true,
+            _ => return false,
+        }
+        true
+    });
+    assert!(!addr.is_empty(), "detload requires --addr HOST:PORT");
+    assert!(rate > 0.0, "--rate must be positive");
+    if opts.scale == 1.0 {
+        opts.scale = 0.02; // service jobs are short episodes, not benchmarks
+    }
+    if opts.threads == 4 {
+        opts.threads = 2;
+    }
+
+    // The job grid: workloads × seeds, truncated/cycled to --jobs.
+    let names: Vec<String> = match &opts.only {
+        Some(name) => vec![name.clone()],
+        None => detlock_workloads::all_benchmarks(opts.threads, opts.scale)
+            .iter()
+            .map(|w| w.name.to_string())
+            .collect(),
+    };
+    let mut grid: Vec<JobSpec> = Vec::new();
+    for seed in &opts.seeds {
+        for name in &names {
+            grid.push(JobSpec {
+                tenant: "detload".to_string(),
+                workload: name.clone(),
+                threads: opts.threads,
+                scale: opts.scale,
+                seed: *seed,
+                opt: OptLevel::All,
+            });
+        }
+    }
+    let jobs: Vec<JobSpec> = if jobs_target == 0 {
+        grid
+    } else {
+        grid.iter().cycle().take(jobs_target).cloned().collect()
+    };
+
+    eprintln!(
+        "detload: {} jobs x 2 sweeps at {} jobs/sec against {}",
+        jobs.len(),
+        rate,
+        addr
+    );
+    let first = sweep(&addr, &jobs, rate);
+    let second = sweep(&addr, &jobs, rate);
+
+    // Receipt identity, job for job. A job that failed in either sweep
+    // (e.g. ran out of submit retries) is reported but is not a
+    // determinism verdict; differing receipts are.
+    let mut mismatches: Vec<Json> = Vec::new();
+    let mut compared = 0u64;
+    for (a, b) in first.outcomes.iter().zip(&second.outcomes) {
+        if let (Some(ra), Some(rb)) = (&a.canonical, &b.canonical) {
+            compared += 1;
+            if ra != rb {
+                mismatches.push(Json::obj([
+                    ("job", a.key.to_json()),
+                    ("sweep1", ra.to_json()),
+                    ("sweep2", rb.to_json()),
+                ]));
+            }
+        }
+    }
+    let identical = mismatches.is_empty();
+
+    let server_stats = Client::connect(&addr)
+        .and_then(|mut c| c.stats())
+        .unwrap_or_else(|e| Json::obj([("error", format!("stats: {e}").to_json())]));
+
+    let report = Json::obj([
+        ("addr", addr.to_json()),
+        ("rate_jps", rate.to_json()),
+        ("jobs_per_sweep", jobs.len().to_json()),
+        ("threads", opts.threads.to_json()),
+        ("scale", opts.scale.to_json()),
+        ("seeds", opts.seeds.to_json()),
+        ("sweep1", sweep_json(&first)),
+        ("sweep2", sweep_json(&second)),
+        ("receipts_compared", compared.to_json()),
+        ("receipts_identical", identical.to_json()),
+        ("mismatches", Json::Arr(mismatches)),
+        ("server_stats", server_stats),
+    ]);
+    opts.emit_json(&report);
+    if !opts.json {
+        let show = |s: &SweepResult, label: &str| {
+            let j = sweep_json(s);
+            eprintln!(
+                "{label}: completed={} failed={} throughput={:.1} jobs/s p50={}us p99={}us shards={}",
+                j.get("completed").and_then(Json::as_u64).unwrap_or(0),
+                j.get("failed").and_then(Json::as_u64).unwrap_or(0),
+                j.get("throughput_jps").and_then(Json::as_f64).unwrap_or(0.0),
+                j.get("latency")
+                    .and_then(|l| l.get("p50_us"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                j.get("latency")
+                    .and_then(|l| l.get("p99_us"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                j.get("shards_used")
+                    .map(Json::to_string_compact)
+                    .unwrap_or_default(),
+            );
+        };
+        show(&first, "sweep 1");
+        show(&second, "sweep 2");
+        eprintln!(
+            "receipts: {} compared, {}",
+            compared,
+            if identical {
+                "all identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+
+    if do_shutdown {
+        if let Ok(mut c) = Client::connect(&addr) {
+            let _ = c.shutdown();
+        }
+    }
+    if !identical || compared == 0 {
+        eprintln!("detload: FAIL (no comparable receipts or receipt mismatch)");
+        std::process::exit(1);
+    }
+}

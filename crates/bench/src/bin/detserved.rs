@@ -1,0 +1,64 @@
+//! `detserved` — the deterministic-execution daemon.
+//!
+//! Boots a [`detlock_serve::server::DetServed`] instance and blocks until a
+//! client sends the `shutdown` op (graceful drain). The bound address is
+//! printed on the first stdout line so scripts driving an ephemeral port
+//! (`--addr 127.0.0.1:0`) can discover it.
+//!
+//! ```text
+//! cargo run -p detlock-bench --release --bin detserved -- \
+//!     [--addr HOST:PORT] [--shards N] [--queue N] [--max-retries N] \
+//!     [--budget CYCLES] [--watchdog-ms MS]
+//! ```
+//!
+//! `--watchdog-ms 0` disables the stall supervisor.
+
+use detlock_serve::server::{DetServed, ServeConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                cfg.addr = args[i].clone();
+            }
+            "--shards" => {
+                i += 1;
+                cfg.shards = args[i].parse().expect("--shards N");
+            }
+            "--queue" => {
+                i += 1;
+                cfg.queue_capacity = args[i].parse().expect("--queue N");
+            }
+            "--max-retries" => {
+                i += 1;
+                cfg.max_retries = args[i].parse().expect("--max-retries N");
+            }
+            "--budget" => {
+                i += 1;
+                cfg.job_cycle_budget = args[i].parse().expect("--budget CYCLES");
+            }
+            "--watchdog-ms" => {
+                i += 1;
+                let ms: u64 = args[i].parse().expect("--watchdog-ms MS");
+                cfg.watchdog = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            other => panic!("unknown option: {other}"),
+        }
+        i += 1;
+    }
+    assert!(cfg.shards >= 1, "--shards must be at least 1");
+
+    let server = DetServed::start(cfg.clone()).expect("bind listen address");
+    println!("detserved listening on {}", server.local_addr());
+    eprintln!(
+        "shards={} queue={} max_retries={} budget={} watchdog={:?}",
+        cfg.shards, cfg.queue_capacity, cfg.max_retries, cfg.job_cycle_budget, cfg.watchdog
+    );
+    server.join();
+    eprintln!("detserved: drained and stopped");
+}

@@ -70,8 +70,8 @@ fn main() {
         }
     }
 
+    opts.emit_json(&bars.to_json());
     if opts.json {
-        println!("{}", bars.to_json().to_string_pretty());
         return;
     }
 

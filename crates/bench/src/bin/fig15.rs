@@ -29,8 +29,8 @@ fn main() {
         })
         .collect();
 
+    opts.emit_json(&results.to_json());
     if opts.json {
-        println!("{}", results.to_json().to_string_pretty());
         return;
     }
 

@@ -10,13 +10,14 @@
 //! | Record/replay (sync log) | Respec / Rerun / Karma | log memory, replay forcing |
 //!
 //! ```text
-//! cargo run -p detlock-bench --release --bin related [--scale F]
+//! cargo run -p detlock-bench --release --bin related [--scale F] [--json] [--out FILE]
 //! ```
 
 use detlock_bench::{instrumented, machine_config, run_baseline, thread_specs, CliOptions};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
+use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, BulkSyncParams, ExecMode, KendoParams};
 
 fn main() {
@@ -25,11 +26,14 @@ fn main() {
         opts.scale = 0.3;
     }
     let cost = CostModel::default();
+    let mut rows: Vec<Json> = Vec::new();
 
-    println!(
-        "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>16}",
-        "benchmark", "detlock %", "kendo %", "bulksync %", "replay %", "log events", "log KiB"
-    );
+    if !opts.json {
+        println!(
+            "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>16}",
+            "benchmark", "detlock %", "kendo %", "bulksync %", "replay %", "log events", "log KiB"
+        );
+    }
     for w in opts.workloads() {
         let base = run_baseline(&w, &cost, opts.seed);
         let specs = thread_specs(&w);
@@ -99,19 +103,33 @@ fn main() {
         );
         assert!(rr.faithful && !rr.hit_limit);
 
+        if !opts.json {
+            println!(
+                "{:<12}{:>11.1}%{:>11.1}%{:>13.1}%{:>13.1}%{:>12}{:>16.1}",
+                w.name,
+                det.overhead_pct(&base),
+                kendo,
+                bulk,
+                rr.metrics.overhead_pct(&base),
+                log.len(),
+                log.bytes() as f64 / 1024.0
+            );
+        }
+        rows.push(Json::obj([
+            ("name", w.name.to_json()),
+            ("detlock_pct", det.overhead_pct(&base).to_json()),
+            ("kendo_pct", kendo.to_json()),
+            ("bulksync_pct", bulk.to_json()),
+            ("replay_pct", rr.metrics.overhead_pct(&base).to_json()),
+            ("log_events", log.len().to_json()),
+            ("log_kib", (log.bytes() as f64 / 1024.0).to_json()),
+        ]));
+    }
+    opts.emit_json(&Json::Arr(rows));
+    if !opts.json {
         println!(
-            "{:<12}{:>11.1}%{:>11.1}%{:>13.1}%{:>13.1}%{:>12}{:>16.1}",
-            w.name,
-            det.overhead_pct(&base),
-            kendo,
-            bulk,
-            rr.metrics.overhead_pct(&base),
-            log.len(),
-            log.bytes() as f64 / 1024.0
+            "\n(replay needs the log — its size grows with execution; DetLock's\n\
+             deterministic state is one clock word per thread)"
         );
     }
-    println!(
-        "\n(replay needs the log — its size grows with execution; DetLock's\n\
-         deterministic state is one clock word per thread)"
-    );
 }

@@ -4,24 +4,28 @@
 //! and raytrace (moderate) workloads.
 //!
 //! ```text
-//! cargo run -p detlock-bench --release --bin scaling [--scale F]
+//! cargo run -p detlock-bench --release --bin scaling [--scale F] [--json] [--out FILE]
 //! ```
 
 use detlock_bench::{instrumented, machine_config, run_baseline, thread_specs};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
+use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode};
 
 fn main() {
     let opts = detlock_bench::CliOptions::parse();
     let scale = if opts.scale == 1.0 { 0.3 } else { opts.scale };
     let cost = CostModel::default();
+    let mut rows: Vec<Json> = Vec::new();
 
-    println!(
-        "{:<12}{:>8}{:>14}{:>12}{:>12}{:>14}",
-        "benchmark", "threads", "baseline ms", "clocks %", "det %", "locks/sec"
-    );
+    if !opts.json {
+        println!(
+            "{:<12}{:>8}{:>14}{:>12}{:>12}{:>14}",
+            "benchmark", "threads", "baseline ms", "clocks %", "det %", "locks/sec"
+        );
+    }
     for name in ["radiosity", "raytrace"] {
         for threads in [1usize, 2, 4, 8] {
             let w = detlock_workloads::by_name(name, threads, scale).unwrap();
@@ -41,15 +45,26 @@ fn main() {
                 machine_config(&w, ExecMode::Det, opts.seed),
             );
             assert!(!h1 && !h2);
-            println!(
-                "{:<12}{:>8}{:>14.3}{:>11.1}%{:>11.1}%{:>14.0}",
-                name,
-                threads,
-                base.seconds() * 1e3,
-                clk.overhead_pct(&base),
-                det.overhead_pct(&base),
-                base.locks_per_sec()
-            );
+            if !opts.json {
+                println!(
+                    "{:<12}{:>8}{:>14.3}{:>11.1}%{:>11.1}%{:>14.0}",
+                    name,
+                    threads,
+                    base.seconds() * 1e3,
+                    clk.overhead_pct(&base),
+                    det.overhead_pct(&base),
+                    base.locks_per_sec()
+                );
+            }
+            rows.push(Json::obj([
+                ("name", name.to_json()),
+                ("threads", threads.to_json()),
+                ("baseline_ms", (base.seconds() * 1e3).to_json()),
+                ("clocks_pct", clk.overhead_pct(&base).to_json()),
+                ("det_pct", det.overhead_pct(&base).to_json()),
+                ("locks_per_sec", base.locks_per_sec().to_json()),
+            ]));
         }
     }
+    opts.emit_json(&Json::Arr(rows));
 }

@@ -382,7 +382,13 @@ pub fn lint_workload(
     report
 }
 
-/// Shared command-line options for the bench binaries.
+/// The seed sweep every determinism probe defaults to.
+pub const DEFAULT_SEEDS: [u64; 5] = [1, 2, 7, 42, 31337];
+
+/// Shared command-line options for the bench binaries. Every binary
+/// accepts the same core flags (`--threads`, `--scale`, `--seed`,
+/// `--seeds`, `--json`, `--out`, `--only`); binaries with extra flags
+/// layer them on via [`CliOptions::parse_with`].
 pub struct CliOptions {
     /// Number of simulated cores/threads.
     pub threads: usize,
@@ -392,19 +398,33 @@ pub struct CliOptions {
     pub json: bool,
     /// Jitter seed.
     pub seed: u64,
+    /// Seed sweep for multi-seed probes (`--seeds a,b,c`).
+    pub seeds: Vec<u64>,
+    /// Write the JSON report to this file (independent of `--json`).
+    pub out: Option<String>,
     /// Restrict to one benchmark.
     pub only: Option<String>,
 }
 
 impl CliOptions {
     /// Parse from `std::env::args` (ignores the binary name). Supported:
-    /// `--threads N`, `--scale F`, `--seed N`, `--json`, `--only NAME`.
+    /// `--threads N`, `--scale F`, `--seed N`, `--seeds A,B,C`, `--json`,
+    /// `--out FILE`, `--only NAME`.
     pub fn parse() -> CliOptions {
+        Self::parse_with(|_, _, _| false)
+    }
+
+    /// Like [`CliOptions::parse`], but unrecognized flags are first offered
+    /// to `extra(flag, args, &mut i)`; the callback consumes any operands
+    /// by advancing `i` and returns `true` if it recognized the flag.
+    pub fn parse_with(mut extra: impl FnMut(&str, &[String], &mut usize) -> bool) -> CliOptions {
         let mut opts = CliOptions {
             threads: 4,
             scale: 1.0,
             json: false,
             seed: 1,
+            seeds: DEFAULT_SEEDS.to_vec(),
+            out: None,
             only: None,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -423,16 +443,43 @@ impl CliOptions {
                     i += 1;
                     opts.seed = args[i].parse().expect("--seed N");
                 }
+                "--seeds" => {
+                    i += 1;
+                    opts.seeds = args[i]
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--seeds A,B,C"))
+                        .collect();
+                    assert!(!opts.seeds.is_empty(), "--seeds needs at least one seed");
+                }
                 "--json" => opts.json = true,
+                "--out" => {
+                    i += 1;
+                    opts.out = Some(args[i].clone());
+                }
                 "--only" => {
                     i += 1;
                     opts.only = Some(args[i].clone());
                 }
-                other => panic!("unknown option: {other}"),
+                other => {
+                    if !extra(other, &args, &mut i) {
+                        panic!("unknown option: {other}");
+                    }
+                }
             }
             i += 1;
         }
         opts
+    }
+
+    /// Shared report emission: print to stdout under `--json`, write to the
+    /// `--out` file when given (pretty-printed in both cases).
+    pub fn emit_json(&self, report: &Json) {
+        if self.json {
+            println!("{}", report.to_string_pretty());
+        }
+        if let Some(path) = &self.out {
+            std::fs::write(path, report.to_string_pretty()).expect("write --out file");
+        }
     }
 
     /// The workloads selected by `--only` (or all five).

@@ -39,6 +39,11 @@ pub struct DetConfig {
     pub max_threads: usize,
     /// Record the lock-acquisition trace (see [`crate::trace`]).
     pub record_trace: bool,
+    /// Trace retention: `None` keeps every event (the detcheck /
+    /// divergence-diagnosis mode); `Some(n)` keeps a ring of the last `n`
+    /// events so long-running episodes stay O(1) in memory. The trace
+    /// *hash* always covers the complete history either way.
+    pub trace_capacity: Option<usize>,
     /// Stall watchdog: when `Some`, a deterministic wait that observes no
     /// arbitration progress for this long triggers `on_stall`. `None`
     /// disables the watchdog (waits may hang forever on a wedged program).
@@ -56,6 +61,7 @@ impl Default for DetConfig {
         DetConfig {
             max_threads: 64,
             record_trace: false,
+            trace_capacity: None,
             watchdog_timeout: Some(Duration::from_secs(5)),
             on_stall: StallAction::Abort,
             fault_plan: None,
@@ -95,7 +101,7 @@ impl DetRuntime {
                 config.watchdog_timeout,
                 config.on_stall,
             ),
-            trace: TraceRecorder::new(config.record_trace),
+            trace: TraceRecorder::with_capacity(config.record_trace, config.trace_capacity),
             next_lock_id: AtomicU64::new(0),
             fault: config.fault_plan.filter(|p| !p.is_empty()),
             join_waiters: Mutex::new(HashMap::new()),

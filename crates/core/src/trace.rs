@@ -6,9 +6,39 @@
 //! ordered by the deterministic protocol and a thread's next clock advance
 //! happens only after its record lands, so the append order *is* the
 //! logical order.
+//!
+//! # Memory model
+//!
+//! The recorder maintains an **incremental FNV-1a hash** over the
+//! `(lock, tid)` sequence, folded in at [`TraceRecorder::record`] time, so
+//! [`TraceRecorder::hash`] is O(1) regardless of episode length — this is
+//! what lets a long-running service hand out *determinism receipts* without
+//! ever buffering the episode. Event retention is configurable:
+//!
+//! * **unbounded** ([`TraceRecorder::new`]) — every event kept; the mode
+//!   `detcheck` and the divergence-pinpointing tooling need;
+//! * **bounded ring** ([`TraceRecorder::with_capacity`]) — only the most
+//!   recent `capacity` events are retained (a divergence-diagnosis window);
+//!   the hash still covers the complete history.
 
 use detlock_shim::sync::Mutex;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// FNV-1a offset basis (the empty-trace hash).
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Fold one `(lock, tid)` acquisition into an FNV-1a accumulator.
+#[inline]
+fn fnv_fold(mut h: u64, lock: u64, tid: u32) -> u64 {
+    for b in lock.to_le_bytes().iter().chain(tid.to_le_bytes().iter()) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// One recorded acquisition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,19 +51,43 @@ pub struct TraceEvent {
     pub clock: u64,
 }
 
+struct TraceState {
+    /// Retained events (the full history, or the ring-buffer tail).
+    events: VecDeque<TraceEvent>,
+    /// Total events ever recorded (≥ `events.len()` in bounded mode).
+    total: u64,
+    /// Incremental order hash over the complete history.
+    hash: u64,
+}
+
 /// Append-only event recorder; disabled recorders cost one atomic load per
 /// acquisition.
 pub struct TraceRecorder {
     enabled: AtomicBool,
-    events: Mutex<Vec<TraceEvent>>,
+    /// `None` = retain everything; `Some(n)` = ring buffer of the last `n`.
+    capacity: Option<usize>,
+    state: Mutex<TraceState>,
 }
 
 impl TraceRecorder {
-    /// Create a recorder.
+    /// Create a recorder that retains the full event history.
     pub fn new(enabled: bool) -> TraceRecorder {
+        TraceRecorder::with_capacity(enabled, None)
+    }
+
+    /// Create a recorder with bounded retention: only the most recent
+    /// `capacity` events are kept (`None` = unbounded). The incremental
+    /// hash and the event count always cover the complete history, so
+    /// receipts stay O(1)-exact however long the episode runs.
+    pub fn with_capacity(enabled: bool, capacity: Option<usize>) -> TraceRecorder {
         TraceRecorder {
             enabled: AtomicBool::new(enabled),
-            events: Mutex::new(Vec::new()),
+            capacity,
+            state: Mutex::new(TraceState {
+                events: VecDeque::new(),
+                total: 0,
+                hash: FNV_OFFSET,
+            }),
         }
     }
 
@@ -50,13 +104,25 @@ impl TraceRecorder {
     /// Record one acquisition (no-op when disabled).
     pub fn record(&self, lock: u64, tid: u32, clock: u64) {
         if self.is_enabled() {
-            self.events.lock().push(TraceEvent { lock, tid, clock });
+            let mut st = self.state.lock();
+            st.hash = fnv_fold(st.hash, lock, tid);
+            st.total += 1;
+            if let Some(cap) = self.capacity {
+                if cap == 0 {
+                    return;
+                }
+                if st.events.len() == cap {
+                    st.events.pop_front();
+                }
+            }
+            st.events.push_back(TraceEvent { lock, tid, clock });
         }
     }
 
-    /// Number of recorded events.
+    /// Number of events recorded over the recorder's lifetime (in bounded
+    /// mode this can exceed [`TraceRecorder::retained`]).
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.state.lock().total as usize
     }
 
     /// Whether no events were recorded.
@@ -64,31 +130,35 @@ impl TraceRecorder {
         self.len() == 0
     }
 
-    /// Copy of the event log.
+    /// Number of events currently held in the buffer.
+    pub fn retained(&self) -> usize {
+        self.state.lock().events.len()
+    }
+
+    /// Events evicted from a bounded ring (0 in unbounded mode).
+    pub fn dropped(&self) -> usize {
+        let st = self.state.lock();
+        st.total as usize - st.events.len()
+    }
+
+    /// Copy of the retained event window (the full log in unbounded mode).
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.events.lock().clone()
+        self.state.lock().events.iter().copied().collect()
     }
 
-    /// Order-sensitive FNV-1a hash of the `(lock, tid)` sequence.
+    /// Order-sensitive FNV-1a hash of the complete `(lock, tid)` history.
+    /// O(1): maintained incrementally at record time.
     pub fn hash(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        for e in self.events.lock().iter() {
-            for b in e
-                .lock
-                .to_le_bytes()
-                .iter()
-                .chain(e.tid.to_le_bytes().iter())
-            {
-                h ^= *b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        }
-        h
+        self.state.lock().hash
     }
 
-    /// Drop all recorded events.
+    /// Drop all recorded events and reset the hash to the empty-trace
+    /// value.
     pub fn clear(&self) {
-        self.events.lock().clear();
+        let mut st = self.state.lock();
+        st.events.clear();
+        st.total = 0;
+        st.hash = FNV_OFFSET;
     }
 }
 
@@ -137,6 +207,51 @@ mod tests {
         c.record(2, 1, 9);
         c.record(1, 0, 5);
         assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn bounded_ring_keeps_tail_but_hashes_everything() {
+        let full = TraceRecorder::new(true);
+        let ring = TraceRecorder::with_capacity(true, Some(3));
+        for i in 0..10u64 {
+            full.record(i, (i % 4) as u32, i);
+            ring.record(i, (i % 4) as u32, i);
+        }
+        // Hash covers the complete history in both modes.
+        assert_eq!(ring.hash(), full.hash());
+        // Counts cover the history; retention is bounded.
+        assert_eq!(ring.len(), 10);
+        assert_eq!(ring.retained(), 3);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(full.retained(), 10);
+        assert_eq!(full.dropped(), 0);
+        // The window is the most recent events, in order.
+        let tail: Vec<u64> = ring.snapshot().iter().map(|e| e.lock).collect();
+        assert_eq!(tail, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_counts_and_hashes() {
+        let t = TraceRecorder::with_capacity(true, Some(0));
+        t.record(1, 0, 1);
+        t.record(2, 1, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.retained(), 0);
+        let reference = TraceRecorder::new(true);
+        reference.record(1, 0, 1);
+        reference.record(2, 1, 2);
+        assert_eq!(t.hash(), reference.hash());
+    }
+
+    #[test]
+    fn clear_resets_hash_to_empty() {
+        let t = TraceRecorder::new(true);
+        let empty_hash = t.hash();
+        t.record(3, 2, 7);
+        assert_ne!(t.hash(), empty_hash);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.hash(), empty_hash);
     }
 
     #[test]

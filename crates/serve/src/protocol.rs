@@ -1,0 +1,259 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one response line per request, in order. The
+//! protocol is hand-rolled on `std::net` + `detlock_shim::json` so the
+//! workspace stays zero-dependency.
+//!
+//! Requests (`op` selects the verb):
+//!
+//! | op         | fields                                              | response |
+//! |------------|-----------------------------------------------------|----------|
+//! | `run`      | `tenant workload threads scale seed opt`            | `ok, job, shard, attempts, receipt{…}, queue_us, exec_us` |
+//! | `stats`    | —                                                   | `ok, stats{…}` |
+//! | `kill`     | `shard`                                             | `ok` (chaos/testing: evict a shard) |
+//! | `shutdown` | —                                                   | `ok, drained` after in-flight jobs finish |
+//! | `ping`     | —                                                   | `ok` |
+//!
+//! Failures answer `{"ok":false,"error":…}`; admission-queue backpressure
+//! additionally carries `retry_after_ms`.
+
+use detlock_passes::pipeline::OptLevel;
+use detlock_shim::json::{Json, ToJson};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One job: "run workload W with config C, seed S".
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Requesting tenant (isolation/diagnostics label; receipts do not
+    /// depend on it).
+    pub tenant: String,
+    /// Workload name (`ocean`, `raytrace`, `water-nsq`, `radiosity`,
+    /// `volrend`).
+    pub workload: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Scale factor.
+    pub scale: f64,
+    /// Jitter seed.
+    pub seed: u64,
+    /// Optimization level.
+    pub opt: OptLevel,
+}
+
+/// Parse an [`OptLevel`] from its lowercase wire name.
+pub fn opt_from_str(s: &str) -> Option<OptLevel> {
+    Some(match s {
+        "none" => OptLevel::None,
+        "o1" => OptLevel::O1,
+        "o2" => OptLevel::O2,
+        "o3" => OptLevel::O3,
+        "o4" => OptLevel::O4,
+        "all" => OptLevel::All,
+        _ => return None,
+    })
+}
+
+/// The lowercase wire name of an [`OptLevel`].
+pub fn opt_to_str(level: OptLevel) -> &'static str {
+    match level {
+        OptLevel::None => "none",
+        OptLevel::O1 => "o1",
+        OptLevel::O2 => "o2",
+        OptLevel::O3 => "o3",
+        OptLevel::O4 => "o4",
+        OptLevel::All => "all",
+    }
+}
+
+impl JobSpec {
+    /// The wire name of this job's optimization level.
+    pub fn opt_label(&self) -> &'static str {
+        opt_to_str(self.opt)
+    }
+
+    /// Cache / receipt-identity key: every field an episode's outcome
+    /// depends on (tenant excluded — two tenants running the same job must
+    /// get the same receipt, and the server checks exactly that).
+    pub fn identity_key(&self) -> String {
+        format!(
+            "{}/t{}/s{}/seed{}/{}",
+            self.workload,
+            self.threads,
+            self.scale.to_bits(),
+            self.seed,
+            self.opt_label()
+        )
+    }
+
+    /// Parse a `run` request body.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string `{k}`"))
+        };
+        let workload = str_field("workload")?;
+        let opt_name = v
+            .get("opt")
+            .map(|o| o.as_str().ok_or("non-string `opt`").map(str::to_string))
+            .unwrap_or_else(|| Ok("all".to_string()))?;
+        Ok(JobSpec {
+            tenant: v
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("anonymous")
+                .to_string(),
+            workload,
+            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(4) as usize,
+            scale: v.get("scale").and_then(Json::as_f64).unwrap_or(0.05),
+            seed: v.get("seed").and_then(Json::as_u64).unwrap_or(1),
+            opt: opt_from_str(&opt_name).ok_or_else(|| format!("unknown opt `{opt_name}`"))?,
+        })
+    }
+}
+
+impl ToJson for JobSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("op", "run".to_json()),
+            ("tenant", self.tenant.to_json()),
+            ("workload", self.workload.to_json()),
+            ("threads", self.threads.to_json()),
+            ("scale", self.scale.to_json()),
+            ("seed", self.seed.to_json()),
+            ("opt", self.opt_label().to_json()),
+        ])
+    }
+}
+
+/// A blocking line-protocol client (one request in flight at a time).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server, with a generous read timeout so a wedged
+    /// server surfaces as an error instead of a hang.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request line and read one response line.
+    pub fn request(&mut self, req: &Json) -> io::Result<Json> {
+        let mut line = req.to_string_compact();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(resp.trim_end()).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad response line: {e}"),
+            )
+        })
+    }
+
+    /// Submit a job and return the raw response object.
+    pub fn run(&mut self, spec: &JobSpec) -> io::Result<Json> {
+        self.request(&spec.to_json())
+    }
+
+    /// Fetch the server's `/stats` snapshot.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj([("op", "stats".to_json())]))
+    }
+
+    /// Evict a shard (chaos/testing).
+    pub fn kill_shard(&mut self, shard: usize) -> io::Result<Json> {
+        self.request(&Json::obj([
+            ("op", "kill".to_json()),
+            ("shard", shard.to_json()),
+        ]))
+    }
+
+    /// Gracefully drain and stop the server.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj([("op", "shutdown".to_json())]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_round_trips() {
+        let spec = JobSpec {
+            tenant: "acme".into(),
+            workload: "radiosity".into(),
+            threads: 4,
+            scale: 0.1,
+            seed: 42,
+            opt: OptLevel::All,
+        };
+        let back = JobSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn job_spec_defaults_apply() {
+        let v = Json::parse(r#"{"op":"run","workload":"ocean"}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec.tenant, "anonymous");
+        assert_eq!(spec.threads, 4);
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.opt, OptLevel::All);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            r#"{"op":"run"}"#,
+            r#"{"op":"run","workload":7}"#,
+            r#"{"op":"run","workload":"ocean","opt":"o9"}"#,
+        ] {
+            assert!(JobSpec::from_json(&Json::parse(bad).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn identity_key_ignores_tenant_only() {
+        let a = JobSpec {
+            tenant: "a".into(),
+            workload: "ocean".into(),
+            threads: 4,
+            scale: 0.05,
+            seed: 1,
+            opt: OptLevel::All,
+        };
+        let mut b = a.clone();
+        b.tenant = "b".into();
+        assert_eq!(a.identity_key(), b.identity_key());
+        b.seed = 2;
+        assert_ne!(a.identity_key(), b.identity_key());
+    }
+
+    #[test]
+    fn opt_names_round_trip() {
+        for level in OptLevel::table1_rows() {
+            assert_eq!(opt_from_str(opt_to_str(level)), Some(level));
+        }
+        assert_eq!(opt_from_str("bogus"), None);
+    }
+}

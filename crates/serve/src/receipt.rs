@@ -1,0 +1,147 @@
+//! Determinism receipts.
+//!
+//! Every job response carries a receipt: the episode's acquisition-order
+//! hash plus the final logical clocks of every thread. Both are O(1) in
+//! episode length (the hash is folded incrementally by the VM; the clocks
+//! are one word per thread — the same "deterministic state is one clock
+//! word per thread" argument `--bin related` makes against log-based
+//! replay). Two runs of the same job are weakly deterministic **iff** their
+//! receipts are byte-for-byte identical in [`Receipt::canonical`] form —
+//! which is what `detload` and the `serve-smoke` CI job assert.
+
+use crate::protocol::JobSpec;
+use detlock_shim::json::{Json, ToJson};
+use detlock_vm::metrics::RunMetrics;
+
+/// The determinism evidence returned with every completed job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Receipt {
+    /// The job this receipt certifies (tenant excluded: receipts are a
+    /// property of the program + input, not of who asked).
+    pub workload: String,
+    /// Thread count of the episode.
+    pub threads: usize,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Jitter seed of the episode.
+    pub seed: u64,
+    /// Optimization configuration label (`none`..`all`).
+    pub opt: String,
+    /// FNV-1a hash over the global `(lock, tid)` acquisition sequence.
+    pub trace_hash: u64,
+    /// Final logical clock of every thread, in tid order.
+    pub final_clocks: Vec<u64>,
+    /// Total lock acquisitions of the episode.
+    pub lock_acquires: u64,
+    /// Simulated cycles of the episode.
+    pub cycles: u64,
+}
+
+impl Receipt {
+    /// Build a receipt from a finished VM run.
+    pub fn from_metrics(spec: &JobSpec, m: &RunMetrics) -> Receipt {
+        Receipt {
+            workload: spec.workload.clone(),
+            threads: spec.threads,
+            scale: spec.scale,
+            seed: spec.seed,
+            opt: spec.opt_label().to_string(),
+            trace_hash: m.lock_order_hash,
+            final_clocks: m.per_thread.iter().map(|t| t.final_clock).collect(),
+            lock_acquires: m.lock_acquires(),
+            cycles: m.cycles,
+        }
+    }
+
+    /// The canonical single-line form used for byte-for-byte identity
+    /// checks (stable field order, hash in fixed-width hex).
+    pub fn canonical(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Parse a receipt back out of a response (`None` on shape mismatch).
+    pub fn from_json(v: &Json) -> Option<Receipt> {
+        Some(Receipt {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            threads: v.get("threads")?.as_u64()? as usize,
+            scale: v.get("scale")?.as_f64()?,
+            seed: v.get("seed")?.as_u64()?,
+            opt: v.get("opt")?.as_str()?.to_string(),
+            trace_hash: u64::from_str_radix(
+                v.get("trace_hash")?.as_str()?.trim_start_matches("0x"),
+                16,
+            )
+            .ok()?,
+            final_clocks: v
+                .get("final_clocks")?
+                .as_arr()?
+                .iter()
+                .map(|c| c.as_u64())
+                .collect::<Option<Vec<u64>>>()?,
+            lock_acquires: v.get("lock_acquires")?.as_u64()?,
+            cycles: v.get("cycles")?.as_u64()?,
+        })
+    }
+}
+
+impl ToJson for Receipt {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", self.workload.to_json()),
+            ("threads", self.threads.to_json()),
+            ("scale", self.scale.to_json()),
+            ("seed", self.seed.to_json()),
+            ("opt", self.opt.to_json()),
+            (
+                "trace_hash",
+                format!("0x{:016x}", self.trace_hash).to_json(),
+            ),
+            ("final_clocks", self.final_clocks.to_json()),
+            ("lock_acquires", self.lock_acquires.to_json()),
+            ("cycles", self.cycles.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Receipt {
+        Receipt {
+            workload: "ocean".into(),
+            threads: 4,
+            scale: 0.05,
+            seed: 7,
+            opt: "all".into(),
+            trace_hash: 0xdeadbeef,
+            final_clocks: vec![10, 20, 30, 40],
+            lock_acquires: 99,
+            cycles: 123456,
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let r = sample();
+        let line = r.canonical();
+        assert!(!line.contains('\n'));
+        let back = Receipt::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.canonical(), line);
+    }
+
+    #[test]
+    fn canonical_is_sensitive_to_every_field() {
+        let base = sample().canonical();
+        let mut r = sample();
+        r.trace_hash ^= 1;
+        assert_ne!(r.canonical(), base);
+        let mut r = sample();
+        r.final_clocks[2] += 1;
+        assert_ne!(r.canonical(), base);
+        let mut r = sample();
+        r.cycles += 1;
+        assert_ne!(r.canonical(), base);
+    }
+}

@@ -1,0 +1,563 @@
+//! The multi-tenant deterministic-execution server (`detserved`'s core).
+//!
+//! Architecture:
+//!
+//! ```text
+//!  clients ──TCP──▶ accept loop ──▶ handler threads
+//!                                        │ try_push (backpressure)
+//!                                        ▼
+//!                               AdmissionQueue<Job>
+//!                                   │ pop
+//!        ┌──────────────┬───────────┴──┬──────────────┐
+//!        ▼              ▼              ▼              ▼
+//!    shard 0        shard 1        shard 2        shard N-1      supervisor
+//!   ShardEngine    ShardEngine    ShardEngine    ShardEngine     (watchdog)
+//! ```
+//!
+//! Failure model, in one paragraph: a job is admitted once (backpressure
+//! at the door), then owned by exactly one shard at a time. A shard that
+//! panics mid-job stays up and reports `Panicked` — the job is requeued
+//! with that shard in its **exclusion set** and a deterministic backoff
+//! (measured in queue pop-sequence numbers, not wall time). A shard
+//! evicted mid-job — by the supervisor's stall watchdog or an explicit
+//! `kill` — finishes its VM step, discards the result, requeues the job
+//! excluding itself, and exits; the job completes on a sibling shard with
+//! a byte-identical receipt, because receipts are a function of the job,
+//! not the shard. Retries are bounded; a job whose exclusion set covers
+//! every live shard fails instead of livelocking. Cycle-budget exhaustion
+//! is deterministic and therefore never retried.
+
+use crate::protocol::JobSpec;
+use crate::queue::{AdmissionQueue, SubmitError};
+use crate::receipt::Receipt;
+use crate::shard::ShardEngine;
+use crate::stats::{Counters, LatencyHistogram};
+use detlock_shim::json::{Json, ToJson};
+use detlock_shim::sync::Mutex;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Number of shards (each owns a private engine + worker thread).
+    pub shards: usize,
+    /// Admission queue bound (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Maximum requeues per job before it fails.
+    pub max_retries: u32,
+    /// Per-job simulated-cycle budget (the deterministic watchdog).
+    pub job_cycle_budget: u64,
+    /// Wall-clock stall watchdog: a shard busy on one job longer than
+    /// this is evicted and the job requeued. `None` disables eviction.
+    pub watchdog: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            queue_capacity: 64,
+            max_retries: 3,
+            job_cycle_budget: 60_000_000_000,
+            watchdog: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// How many distinct job identities the receipt cross-check remembers.
+/// Bounded so the mismatch detector is O(1) in uptime, like everything
+/// else on the serving path.
+const RECEIPT_MEMORY: usize = 4096;
+
+enum JobResult {
+    Done {
+        receipt: Receipt,
+        shard: usize,
+        attempts: u32,
+        queue_us: u64,
+        exec_us: u64,
+    },
+    Failed {
+        error: String,
+        attempts: u32,
+    },
+}
+
+struct Job {
+    spec: JobSpec,
+    respond: mpsc::Sender<JobResult>,
+    enqueued: Instant,
+    attempts: u32,
+    excluded: Vec<usize>,
+    /// Deterministic backoff: not runnable until the queue's pop sequence
+    /// passes this value.
+    not_before: u64,
+}
+
+struct ShardSlot {
+    evicted: AtomicBool,
+    busy_since: Mutex<Option<Instant>>,
+    completed: AtomicU64,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: AdmissionQueue<Job>,
+    counters: Counters,
+    queue_latency: LatencyHistogram,
+    exec_latency: LatencyHistogram,
+    shards: Vec<ShardSlot>,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    in_flight: AtomicU64,
+    /// identity key -> canonical receipt, for cross-tenant/cross-shard
+    /// mismatch detection.
+    receipts_seen: Mutex<HashMap<String, String>>,
+    started: Instant,
+}
+
+impl Shared {
+    fn alive_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| !self.shards[i].evicted.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn evict(&self, shard: usize) -> bool {
+        if shard >= self.shards.len() {
+            return false;
+        }
+        // Never evict the last live shard: a serverful of dead shards
+        // can't drain, and an empty service helps no one.
+        if self.alive_shards() == [shard] {
+            return false;
+        }
+        let was_alive = !self.shards[shard].evicted.swap(true, Ordering::Relaxed);
+        if was_alive {
+            Counters::bump(&self.counters.evictions);
+        }
+        was_alive
+    }
+
+    /// Record a finished receipt; returns `false` on a mismatch with a
+    /// previously seen receipt for the same identity.
+    fn check_receipt(&self, key: String, canonical: &str) -> bool {
+        let mut seen = self.receipts_seen.lock();
+        match seen.get(&key) {
+            Some(prev) => prev == canonical,
+            None => {
+                if seen.len() < RECEIPT_MEMORY {
+                    seen.insert(key, canonical.to_string());
+                }
+                true
+            }
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        let shard_rows: Vec<Json> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Json::obj([
+                    ("id", i.to_json()),
+                    ("alive", (!s.evicted.load(Ordering::Relaxed)).to_json()),
+                    ("busy", s.busy_since.lock().is_some().to_json()),
+                    ("completed", Counters::get(&s.completed).to_json()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("ok", true.to_json()),
+            (
+                "uptime_ms",
+                (self.started.elapsed().as_millis() as u64).to_json(),
+            ),
+            ("queue_depth", self.queue.len().to_json()),
+            (
+                "in_flight",
+                self.in_flight.load(Ordering::Relaxed).to_json(),
+            ),
+            ("draining", self.draining.load(Ordering::Relaxed).to_json()),
+            ("counters", self.counters.to_json()),
+            ("queue_latency", self.queue_latency.to_json()),
+            ("exec_latency", self.exec_latency.to_json()),
+            ("shards", Json::Arr(shard_rows)),
+        ])
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; send a
+/// `shutdown` request (or call [`DetServed::shutdown_and_join`]).
+pub struct DetServed {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DetServed {
+    /// Bind, spawn shard workers + supervisor + accept loop, and return.
+    pub fn start(config: ServeConfig) -> std::io::Result<DetServed> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shards = (0..config.shards)
+            .map(|_| ShardSlot {
+                evicted: AtomicBool::new(false),
+                busy_since: Mutex::new(None),
+                completed: AtomicU64::new(0),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            counters: Counters::default(),
+            queue_latency: LatencyHistogram::default(),
+            exec_latency: LatencyHistogram::default(),
+            shards,
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            receipts_seen: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            config,
+        });
+
+        let mut threads = Vec::new();
+        for shard_id in 0..shared.config.shards {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-{shard_id}"))
+                    .spawn(move || shard_worker(shard_id, &sh))?,
+            );
+        }
+        if shared.config.watchdog.is_some() {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("supervisor".to_string())
+                    .spawn(move || supervisor(&sh))?,
+            );
+        }
+        {
+            let sh = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("accept".to_string())
+                    .spawn(move || accept_loop(listener, &sh))?,
+            );
+        }
+        Ok(DetServed {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until every server thread has exited (i.e. after a client
+    /// sent `shutdown` and the drain completed).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Convenience for tests and `detserved`'s signal path: drain and stop
+    /// from the server side, then join.
+    pub fn shutdown_and_join(self) {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        begin_drain(&shared);
+        wait_drained(&shared);
+        finish_shutdown(&shared, addr);
+        self.join();
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue.close();
+}
+
+fn wait_drained(shared: &Shared) {
+    while !shared.queue.is_empty() || shared.in_flight.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn finish_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept loop with a no-op connection.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let sh = Arc::clone(shared);
+        let addr = listener.local_addr().ok();
+        let _ = std::thread::Builder::new()
+            .name("conn".to_string())
+            .spawn(move || handle_connection(stream, &sh, addr));
+    }
+}
+
+fn error_json(msg: &str) -> Json {
+    Json::obj([("ok", false.to_json()), ("error", msg.to_json())])
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<SocketAddr>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Json::parse(&line) {
+            Err(e) => error_json(&format!("bad json: {e}")),
+            Ok(req) => dispatch(&req, shared, addr),
+        };
+        let mut out = response.to_string_compact();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn dispatch(req: &Json, shared: &Arc<Shared>, addr: Option<SocketAddr>) -> Json {
+    match req.get("op").and_then(Json::as_str) {
+        Some("ping") => Json::obj([("ok", true.to_json())]),
+        Some("stats") => shared.stats_json(),
+        Some("run") => handle_run(req, shared),
+        Some("kill") => {
+            let Some(shard) = req.get("shard").and_then(Json::as_u64) else {
+                return error_json("kill requires `shard`");
+            };
+            let evicted = shared.evict(shard as usize);
+            Json::obj([("ok", true.to_json()), ("evicted", evicted.to_json())])
+        }
+        Some("shutdown") => {
+            begin_drain(shared);
+            wait_drained(shared);
+            if let Some(addr) = addr {
+                finish_shutdown(shared, addr);
+            } else {
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            Json::obj([("ok", true.to_json()), ("drained", true.to_json())])
+        }
+        Some(other) => error_json(&format!("unknown op `{other}`")),
+        None => error_json("missing `op`"),
+    }
+}
+
+fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
+    let spec = match JobSpec::from_json(req) {
+        Ok(spec) => spec,
+        Err(e) => return error_json(&format!("bad job spec: {e}")),
+    };
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        spec,
+        respond: tx,
+        enqueued: Instant::now(),
+        attempts: 0,
+        excluded: Vec::new(),
+        not_before: 0,
+    };
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    if let Err((_, err)) = shared.queue.try_push(job) {
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        Counters::bump(&shared.counters.rejected);
+        return match err {
+            SubmitError::Full { depth } => {
+                // Backpressure hint scaled to the backlog we just refused.
+                let retry_after_ms = (25 * depth as u64).clamp(50, 2000);
+                Json::obj([
+                    ("ok", false.to_json()),
+                    ("error", "queue_full".to_json()),
+                    ("retry_after_ms", retry_after_ms.to_json()),
+                ])
+            }
+            SubmitError::Closed => error_json("draining"),
+        };
+    }
+    Counters::bump(&shared.counters.accepted);
+    match rx.recv() {
+        Ok(JobResult::Done {
+            receipt,
+            shard,
+            attempts,
+            queue_us,
+            exec_us,
+        }) => Json::obj([
+            ("ok", true.to_json()),
+            ("shard", shard.to_json()),
+            ("attempts", (attempts as u64).to_json()),
+            ("queue_us", queue_us.to_json()),
+            ("exec_us", exec_us.to_json()),
+            ("receipt", receipt.to_json()),
+        ]),
+        Ok(JobResult::Failed { error, attempts }) => Json::obj([
+            ("ok", false.to_json()),
+            ("error", error.to_json()),
+            ("attempts", (attempts as u64).to_json()),
+        ]),
+        Err(_) => error_json("server dropped the job"),
+    }
+}
+
+/// Finish a job (success or permanent failure): reply, update counters,
+/// release the in-flight slot.
+fn finish_job(shared: &Shared, job: Job, result: JobResult) {
+    match &result {
+        JobResult::Done { .. } => Counters::bump(&shared.counters.completed),
+        JobResult::Failed { .. } => Counters::bump(&shared.counters.failed),
+    }
+    let _ = job.respond.send(result);
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Requeue with deterministic backoff: runnable only after `2^attempts`
+/// further queue pops.
+fn requeue_with_backoff(shared: &Shared, mut job: Job, failed_shard: usize, seq: u64) {
+    if !job.excluded.contains(&failed_shard) {
+        job.excluded.push(failed_shard);
+    }
+    job.attempts += 1;
+    job.not_before = seq + (1u64 << job.attempts.min(16));
+    Counters::bump(&shared.counters.requeues);
+    shared.queue.requeue(job);
+}
+
+fn shard_worker(id: usize, shared: &Arc<Shared>) {
+    let mut engine = ShardEngine::new(id);
+    let slot = &shared.shards[id];
+    while let Some((job, seq)) = shared.queue.pop() {
+        if slot.evicted.load(Ordering::Relaxed) {
+            // Evicted while idle: hand the job straight back and exit.
+            shared.queue.requeue(job);
+            break;
+        }
+        // A job whose exclusion set covers every live shard can never
+        // complete — fail it rather than rotate forever.
+        let alive = shared.alive_shards();
+        if alive.iter().all(|s| job.excluded.contains(s)) {
+            let attempts = job.attempts;
+            finish_job(
+                shared,
+                job,
+                JobResult::Failed {
+                    error: "no eligible shard (retries exhausted or all excluded)".to_string(),
+                    attempts,
+                },
+            );
+            continue;
+        }
+        if job.excluded.contains(&id) || job.not_before > seq {
+            // Not ours / not yet runnable: rotate. Every rotation advances
+            // the pop sequence, so backoff always expires.
+            shared.queue.requeue(job);
+            continue;
+        }
+
+        *slot.busy_since.lock() = Some(Instant::now());
+        let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        let exec_start = Instant::now();
+        let result = engine.execute(&job.spec, shared.config.job_cycle_budget);
+        let exec_us = exec_start.elapsed().as_micros() as u64;
+        *slot.busy_since.lock() = None;
+
+        if slot.evicted.load(Ordering::Relaxed) {
+            // Killed mid-run (watchdog or `kill`): the result — even a
+            // successful one — is discarded, and the job reruns elsewhere.
+            // Determinism makes that safe: the sibling's receipt is
+            // byte-identical to the one we just threw away.
+            requeue_with_backoff(shared, job, id, seq);
+            break;
+        }
+
+        match result {
+            Ok(receipt) => {
+                let canonical = receipt.canonical();
+                if !shared.check_receipt(job.spec.identity_key(), &canonical) {
+                    Counters::bump(&shared.counters.receipt_mismatches);
+                }
+                shared.queue_latency.record_us(queue_us);
+                shared.exec_latency.record_us(exec_us);
+                Counters::bump(&slot.completed);
+                let attempts = job.attempts;
+                finish_job(
+                    shared,
+                    job,
+                    JobResult::Done {
+                        receipt,
+                        shard: id,
+                        attempts,
+                        queue_us,
+                        exec_us,
+                    },
+                );
+            }
+            Err(err) if err.retryable() && job.attempts < shared.config.max_retries => {
+                requeue_with_backoff(shared, job, id, seq);
+            }
+            Err(err) => {
+                let attempts = job.attempts;
+                finish_job(
+                    shared,
+                    job,
+                    JobResult::Failed {
+                        error: err.to_string(),
+                        attempts,
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn supervisor(shared: &Arc<Shared>) {
+    let Some(limit) = shared.config.watchdog else {
+        return;
+    };
+    let tick = limit.min(Duration::from_millis(50));
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        for (i, slot) in shared.shards.iter().enumerate() {
+            let stalled = slot
+                .busy_since
+                .lock()
+                .map(|since| since.elapsed() > limit)
+                .unwrap_or(false);
+            if stalled && !slot.evicted.load(Ordering::Relaxed) {
+                shared.evict(i);
+            }
+        }
+    }
+}

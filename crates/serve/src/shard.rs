@@ -1,0 +1,221 @@
+//! A shard: one isolated deterministic engine.
+//!
+//! Each shard owns a private VM instance and instrumentation cache —
+//! tenants never share a lock-id space, an instrumented module, or a
+//! clock vector with another shard's jobs. A job is executed start to
+//! finish on one shard under a **cycle budget**: the deterministic
+//! analogue of a wall-clock watchdog. Exceeding the budget is a
+//! deterministic fact about the job (the same job exceeds it on every
+//! shard, every time), so budget exhaustion fails the job instead of
+//! retrying it.
+
+use crate::protocol::JobSpec;
+use crate::receipt::Receipt;
+use detlock_passes::cost::CostModel;
+use detlock_passes::pipeline::{instrument, Instrumented, OptConfig};
+use detlock_passes::plan::Placement;
+use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
+use std::collections::HashMap;
+
+/// Why a shard could not produce a receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The workload name is not in the registry.
+    UnknownWorkload(String),
+    /// The run exceeded the per-job cycle budget (deterministic: no retry).
+    CycleBudgetExhausted(u64),
+    /// The engine panicked mid-run (simulated fault or bug): retryable on
+    /// another shard.
+    Panicked(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            ShardError::CycleBudgetExhausted(budget) => {
+                write!(f, "cycle budget exhausted ({budget} cycles)")
+            }
+            ShardError::Panicked(msg) => write!(f, "shard engine panicked: {msg}"),
+        }
+    }
+}
+
+impl ShardError {
+    /// Whether requeueing on a different shard can help.
+    pub fn retryable(&self) -> bool {
+        matches!(self, ShardError::Panicked(_))
+    }
+}
+
+/// Instrumentation cache key: everything the instrumented module depends
+/// on (seed excluded — it only perturbs the run, not the compilation).
+fn cache_key(spec: &JobSpec) -> String {
+    format!(
+        "{}/t{}/s{}/{}",
+        spec.workload,
+        spec.threads,
+        spec.scale.to_bits(),
+        spec.opt_label()
+    )
+}
+
+struct CachedJob {
+    inst: Instrumented,
+    specs: Vec<ThreadSpec>,
+    mem_words: usize,
+}
+
+/// One shard's private deterministic engine.
+pub struct ShardEngine {
+    /// Shard index (stable for the server's lifetime).
+    pub id: usize,
+    cost: CostModel,
+    cache: HashMap<String, CachedJob>,
+}
+
+impl ShardEngine {
+    /// Create an engine for shard `id`.
+    pub fn new(id: usize) -> ShardEngine {
+        ShardEngine {
+            id,
+            cost: CostModel::default(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Run one job to completion under `cycle_budget` simulated cycles.
+    pub fn execute(&mut self, spec: &JobSpec, cycle_budget: u64) -> Result<Receipt, ShardError> {
+        let key = cache_key(spec);
+        if !self.cache.contains_key(&key) {
+            let w = detlock_workloads::by_name(&spec.workload, spec.threads, spec.scale)
+                .ok_or_else(|| ShardError::UnknownWorkload(spec.workload.clone()))?;
+            let inst = instrument(
+                &w.module,
+                &self.cost,
+                &OptConfig::only(spec.opt),
+                Placement::Start,
+                &w.entries,
+            );
+            let specs = w
+                .threads
+                .iter()
+                .map(|t| ThreadSpec {
+                    func: t.func,
+                    args: t.args.clone(),
+                })
+                .collect();
+            self.cache.insert(
+                key.clone(),
+                CachedJob {
+                    inst,
+                    specs,
+                    mem_words: w.mem_words,
+                },
+            );
+        }
+        let cached = &self.cache[&key];
+        let cfg = MachineConfig {
+            mode: ExecMode::Det,
+            mem_words: cached.mem_words,
+            jitter: Jitter::default().with_seed(spec.seed),
+            max_cycles: cycle_budget,
+            ..MachineConfig::default()
+        };
+        // The engine must survive a panicking run (fault injection, VM
+        // assert): the shard reports it and stays up for the next job.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(&cached.inst.module, &self.cost, &cached.specs, cfg)
+        }));
+        match result {
+            Ok((metrics, hit_limit)) => {
+                if hit_limit {
+                    return Err(ShardError::CycleBudgetExhausted(cycle_budget));
+                }
+                Ok(Receipt::from_metrics(spec, &metrics))
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(ShardError::Panicked(msg))
+            }
+        }
+    }
+
+    /// Number of distinct (workload, threads, scale, opt) configurations
+    /// this shard has compiled.
+    pub fn cached_configs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detlock_passes::pipeline::OptLevel;
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            workload: "ocean".into(),
+            threads: 2,
+            scale: 0.02,
+            seed,
+            opt: OptLevel::All,
+        }
+    }
+
+    #[test]
+    fn execute_produces_stable_receipts() {
+        let mut engine = ShardEngine::new(0);
+        let r1 = engine.execute(&spec(7), u64::MAX).unwrap();
+        let r2 = engine.execute(&spec(7), u64::MAX).unwrap();
+        assert_eq!(r1.canonical(), r2.canonical());
+        assert_eq!(engine.cached_configs(), 1);
+    }
+
+    #[test]
+    fn different_seeds_share_the_compiled_module() {
+        let mut engine = ShardEngine::new(0);
+        let r1 = engine.execute(&spec(1), u64::MAX).unwrap();
+        let r2 = engine.execute(&spec(2), u64::MAX).unwrap();
+        // Weak determinism: the lock order (and so the receipt) is a
+        // function of the program, not the noise seed.
+        assert_eq!(r1.trace_hash, r2.trace_hash);
+        assert_eq!(r1.final_clocks, r2.final_clocks);
+        assert_eq!(engine.cached_configs(), 1);
+    }
+
+    #[test]
+    fn two_engines_agree() {
+        let mut a = ShardEngine::new(0);
+        let mut b = ShardEngine::new(1);
+        let ra = a.execute(&spec(5), u64::MAX).unwrap();
+        let rb = b.execute(&spec(5), u64::MAX).unwrap();
+        assert_eq!(ra.canonical(), rb.canonical());
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let mut engine = ShardEngine::new(0);
+        let mut s = spec(1);
+        s.workload = "nope".into();
+        assert_eq!(
+            engine.execute(&s, u64::MAX),
+            Err(ShardError::UnknownWorkload("nope".into()))
+        );
+    }
+
+    #[test]
+    fn tiny_cycle_budget_exhausts_deterministically() {
+        let mut engine = ShardEngine::new(0);
+        let e1 = engine.execute(&spec(1), 10);
+        let e2 = engine.execute(&spec(1), 10);
+        assert_eq!(e1, Err(ShardError::CycleBudgetExhausted(10)));
+        assert_eq!(e1, e2);
+        assert!(!ShardError::CycleBudgetExhausted(10).retryable());
+    }
+}

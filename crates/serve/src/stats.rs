@@ -1,0 +1,184 @@
+//! Service counters and latency tracking for the `/stats` snapshot.
+//!
+//! Everything here is lock-free (plain atomics) so the hot path never
+//! queues behind observability. Latencies go into a log2-microsecond
+//! histogram: 64 buckets cover nanoseconds to centuries, percentile
+//! queries are O(64), and memory is constant — the same O(1)-evidence
+//! discipline the receipts follow.
+
+use detlock_shim::json::{Json, ToJson};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone service counters.
+#[derive(Default)]
+pub struct Counters {
+    /// Jobs admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Jobs rejected by admission backpressure.
+    pub rejected: AtomicU64,
+    /// Jobs completed with a receipt.
+    pub completed: AtomicU64,
+    /// Jobs that failed permanently (bad spec, retries exhausted).
+    pub failed: AtomicU64,
+    /// Times a job was put back on the queue (eviction or retry).
+    pub requeues: AtomicU64,
+    /// Shards evicted (by the supervisor or a `kill` request).
+    pub evictions: AtomicU64,
+    /// Completed jobs whose receipt differed from an earlier receipt for
+    /// the same identity key. Should stay zero forever.
+    pub receipt_mismatches: AtomicU64,
+}
+
+impl Counters {
+    /// Increment a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+impl ToJson for Counters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("accepted", Counters::get(&self.accepted).to_json()),
+            ("rejected", Counters::get(&self.rejected).to_json()),
+            ("completed", Counters::get(&self.completed).to_json()),
+            ("failed", Counters::get(&self.failed).to_json()),
+            ("requeues", Counters::get(&self.requeues).to_json()),
+            ("evictions", Counters::get(&self.evictions).to_json()),
+            (
+                "receipt_mismatches",
+                Counters::get(&self.receipt_mismatches).to_json(),
+            ),
+        ])
+    }
+}
+
+/// Fixed-size log2 histogram of microsecond latencies.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency observation.
+    pub fn record_us(&self, us: u64) {
+        // Bucket b holds values with highest set bit b (0 for us<=1).
+        let b = 63u32.saturating_sub(us.max(1).leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// An upper bound on the `p`-th percentile (0.0..=1.0), in
+    /// microseconds: the top edge of the bucket holding that rank.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Top edge of bucket b: 2^(b+1) - 1.
+                return if b >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (b + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl ToJson for LatencyHistogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count().to_json()),
+            ("mean_us", self.mean_us().to_json()),
+            ("p50_us", self.percentile_us(0.50).to_json()),
+            ("p90_us", self.percentile_us(0.90).to_json()),
+            ("p99_us", self.percentile_us(0.99).to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_bump_and_snapshot() {
+        let c = Counters::default();
+        Counters::bump(&c.accepted);
+        Counters::bump(&c.accepted);
+        Counters::bump(&c.rejected);
+        assert_eq!(Counters::get(&c.accepted), 2);
+        let snap = c.to_json().to_string_compact();
+        assert!(snap.contains("\"accepted\":2"));
+        assert!(snap.contains("\"receipt_mismatches\":0"));
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_the_data() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 5000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_us(0.50);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile_us(0.99);
+        assert!(p99 >= 5000, "p99 = {p99}");
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = LatencyHistogram::default();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile_us(1.0), u64::MAX);
+    }
+}

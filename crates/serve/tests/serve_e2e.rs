@@ -1,0 +1,293 @@
+//! End-to-end tests: boot a real server on an ephemeral port, talk to it
+//! over TCP, and assert the service-level determinism contract.
+
+use detlock_passes::pipeline::OptLevel;
+use detlock_serve::protocol::{Client, JobSpec};
+use detlock_serve::receipt::Receipt;
+use detlock_serve::server::{DetServed, ServeConfig};
+use detlock_shim::json::{Json, ToJson};
+use std::time::Duration;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 3,
+        queue_capacity: 32,
+        max_retries: 3,
+        job_cycle_budget: u64::MAX,
+        watchdog: Some(Duration::from_secs(60)),
+    }
+}
+
+fn spec(workload: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        tenant: "e2e".to_string(),
+        workload: workload.to_string(),
+        threads: 2,
+        scale: 0.02,
+        seed,
+        opt: OptLevel::All,
+    }
+}
+
+fn run_ok(client: &mut Client, spec: &JobSpec) -> (Json, Receipt) {
+    let resp = client.run(spec).expect("request failed");
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "job failed: {}",
+        resp.to_string_compact()
+    );
+    let receipt =
+        Receipt::from_json(resp.get("receipt").expect("no receipt")).expect("malformed receipt");
+    (resp, receipt)
+}
+
+#[test]
+fn two_sweeps_yield_identical_receipts() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let jobs: Vec<JobSpec> = [("ocean", 1), ("raytrace", 2), ("water-nsq", 3)]
+        .iter()
+        .map(|&(w, s)| spec(w, s))
+        .collect();
+
+    let sweep = |client: &mut Client| -> Vec<String> {
+        jobs.iter()
+            .map(|j| run_ok(client, j).1.canonical())
+            .collect()
+    };
+    let first = sweep(&mut client);
+    let second = sweep(&mut client);
+    assert_eq!(
+        first, second,
+        "receipts must be byte-identical across sweeps"
+    );
+
+    // The server cross-checked them too: zero mismatches.
+    let stats = client.stats().unwrap();
+    let mismatches = stats
+        .get("counters")
+        .and_then(|c| c.get("receipt_mismatches"))
+        .and_then(Json::as_u64);
+    assert_eq!(mismatches, Some(0));
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn receipts_are_identical_across_tenants_and_connections() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    let mut spec_a = spec("radiosity", 9);
+    spec_a.tenant = "tenant-a".to_string();
+    let mut spec_b = spec_a.clone();
+    spec_b.tenant = "tenant-b".to_string();
+
+    let (_, ra) = run_ok(&mut a, &spec_a);
+    let (_, rb) = run_ok(&mut b, &spec_b);
+    assert_eq!(ra.canonical(), rb.canonical());
+
+    a.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn backpressure_rejects_with_retry_hint() {
+    let config = ServeConfig {
+        queue_capacity: 1,
+        shards: 1,
+        ..test_config()
+    };
+    let server = DetServed::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Saturate: several concurrent slow-ish jobs against a 1-deep queue
+    // and a single shard. At least one must be rejected with a hint.
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.run(&spec("volrend", 100 + i)).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let rejected: Vec<&Json> = responses
+        .iter()
+        .filter(|r| r.get("error").and_then(Json::as_str) == Some("queue_full"))
+        .collect();
+    let accepted = responses
+        .iter()
+        .filter(|r| r.get("ok").and_then(Json::as_bool) == Some(true))
+        .count();
+    assert!(accepted >= 1, "at least one job must complete");
+    for r in &rejected {
+        assert!(
+            r.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0) >= 50,
+            "rejects must carry retry_after_ms: {}",
+            r.to_string_compact()
+        );
+    }
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn killed_shard_mid_run_still_yields_identical_receipt() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Reference receipt from a healthy run.
+    let mut c = Client::connect(&addr).unwrap();
+    let job = spec("ocean", 77);
+    let (_, reference) = run_ok(&mut c, &job);
+
+    // Fire the same job again and concurrently kill every shard we can
+    // (the server refuses to evict the last one). Whatever shard picks
+    // the job up — possibly after eviction + requeue — the receipt must
+    // not change.
+    let killer = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut k = Client::connect(&addr).unwrap();
+            for s in 0..3 {
+                let _ = k.kill_shard(s);
+            }
+        })
+    };
+    let (resp, rerun) = run_ok(&mut c, &job);
+    killer.join().unwrap();
+    assert_eq!(
+        rerun.canonical(),
+        reference.canonical(),
+        "receipt changed across eviction/requeue: {}",
+        resp.to_string_compact()
+    );
+
+    // Evictions happened (2 of 3 shards die; the last is protected).
+    let stats = c.stats().unwrap();
+    let evictions = stats
+        .get("counters")
+        .and_then(|s| s.get("evictions"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(evictions, 2);
+    let mismatches = stats
+        .get("counters")
+        .and_then(|s| s.get("receipt_mismatches"))
+        .and_then(Json::as_u64);
+    assert_eq!(mismatches, Some(0));
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn cycle_budget_exhaustion_fails_without_retry() {
+    let config = ServeConfig {
+        job_cycle_budget: 1000,
+        ..test_config()
+    };
+    let server = DetServed::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let resp = c.run(&spec("ocean", 1)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(resp
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("cycle budget"));
+    // Deterministic failure: no retries were attempted.
+    assert_eq!(resp.get("attempts").and_then(Json::as_u64), Some(0));
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn unknown_workload_and_bad_requests_are_rejected() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    let resp = c.run(&spec("not-a-workload", 1)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    let resp = c
+        .request(&Json::obj([("op", "frobnicate".to_json())]))
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    let resp = c.request(&Json::obj([("nop", 1u64.to_json())])).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_work_and_rejects_new() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Start a job, then shut down from another connection while more jobs
+    // try to enter. The in-flight job completes; late jobs get "draining".
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.run(&spec("raytrace", 5)).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    let mut c = Client::connect(&addr).unwrap();
+    let resp = c.shutdown().unwrap();
+    assert_eq!(resp.get("drained").and_then(Json::as_bool), Some(true));
+
+    let in_flight = worker.join().unwrap();
+    assert_eq!(
+        in_flight.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "in-flight job must complete during drain: {}",
+        in_flight.to_string_compact()
+    );
+    server.join();
+}
+
+#[test]
+fn stats_snapshot_has_the_advertised_shape() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    run_ok(&mut c, &spec("water-nsq", 11));
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(stats.get("queue_depth").and_then(Json::as_u64).is_some());
+    assert_eq!(stats.get("draining").and_then(Json::as_bool), Some(false));
+    let shards = stats.get("shards").and_then(Json::as_arr).unwrap();
+    assert_eq!(shards.len(), 3);
+    let completed: u64 = shards
+        .iter()
+        .map(|s| s.get("completed").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert_eq!(completed, 1);
+    let exec = stats.get("exec_latency").unwrap();
+    assert_eq!(exec.get("count").and_then(Json::as_u64), Some(1));
+    assert!(exec.get("p99_us").and_then(Json::as_u64).unwrap() > 0);
+
+    c.shutdown().unwrap();
+    server.join();
+}
