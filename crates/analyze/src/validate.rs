@@ -25,18 +25,24 @@
 //!    given *more* clock than its true cost: optimizations must not sink
 //!    extra ticks into critical sections, where an inflated clock delays
 //!    every other thread's deterministic acquire.
+//!
+//! CFGs, dominator trees, loop forests and path enumerations are obtained
+//! through a shared [`AnalysisManager`], so obligations 4–6 reuse each
+//! other's work instead of recomputing per check. Findings that trace back
+//! to a specific pipeline stage carry a `suspect pass: …` related line —
+//! for path-sum violations the suspect comes from the cert's own per-pass
+//! delta certs ([`PlanCert::suspect_for_path_sum`]).
 
 use crate::{Finding, Report, Severity};
-use detlock_ir::analysis::cfg::Cfg;
-use detlock_ir::analysis::dom::DomTree;
-use detlock_ir::analysis::loops::LoopInfo;
-use detlock_ir::analysis::paths::{enumerate_paths, enumerate_paths_recorded, PathError, Step};
+use detlock_ir::analysis::manager::{AnalysisManager, PathPolicy};
+use detlock_ir::analysis::paths::PathError;
 use detlock_ir::inst::{Inst, Operand};
 use detlock_ir::module::{Function, Module};
-use detlock_ir::types::BlockId;
+use detlock_ir::types::{BlockId, FuncId};
 use detlock_passes::cost::CostModel;
 use detlock_passes::materialize::strip_ticks;
 use detlock_passes::opt1::tight_average;
+use detlock_passes::pass::{PASS_MATERIALIZE, PASS_O1, PASS_SPLIT};
 use detlock_passes::plan::{block_clock_amount, split_module, Placement};
 use detlock_passes::PlanCert;
 
@@ -54,6 +60,12 @@ fn finding(severity: Severity, rule: &'static str, func: &str, message: String) 
         message,
         related: Vec::new(),
     }
+}
+
+/// Append the pipeline stage most plausibly responsible for `f`.
+fn blame(mut f: Finding, suspect: &'static str) -> Finding {
+    f.related.push(format!("suspect pass: {suspect}"));
+    f
 }
 
 /// Validate `post` (the instrumented module) against `pre` (the module
@@ -99,17 +111,28 @@ pub fn validate(pre: &Module, post: &Module, cert: &PlanCert, cost: &CostModel) 
     let split = split_module(pre, &cert.clocked);
     let stripped = strip_ticks(post);
 
+    // Shared analysis caches: one for the pre module (clocked-mean checks),
+    // one for the split module (path sums and lock regions both want its
+    // CFG; the manager computes it once per function).
+    let mut am_pre = AnalysisManager::new(pre.functions.len());
+    let mut am_split = AnalysisManager::new(split.functions.len());
+
     for (fid, split_func) in split.iter_funcs() {
         let post_func = post.func(fid);
         let fname = &split_func.name;
 
         // -- 2. structure --------------------------------------------------
         if let Some(msg) = structural_mismatch(split_func, stripped.func(fid)) {
-            report.findings.push(finding(
-                Severity::Error,
-                "validate/structure",
-                fname,
-                format!("instrumented module differs from the split baseline beyond ticks: {msg}"),
+            report.findings.push(blame(
+                finding(
+                    Severity::Error,
+                    "validate/structure",
+                    fname,
+                    format!(
+                        "instrumented module differs from the split baseline beyond ticks: {msg}"
+                    ),
+                ),
+                PASS_SPLIT,
             ));
             continue; // block-level claims are meaningless for this function
         }
@@ -170,6 +193,7 @@ pub fn validate(pre: &Module, post: &Module, cert: &PlanCert, cost: &CostModel) 
                                 .collect::<Vec<_>>()
                                 .join("; ")
                         ),
+                        format!("suspect pass: {PASS_MATERIALIZE}"),
                     ],
                 });
             }
@@ -178,25 +202,39 @@ pub fn validate(pre: &Module, post: &Module, cert: &PlanCert, cost: &CostModel) 
         // -- 4. clocked functions ------------------------------------------
         if let Some(mean) = cert.clocked[fid.index()] {
             if post_func.tick_count() > 0 {
-                report.findings.push(finding(
-                    Severity::Error,
-                    "validate/clocked-ticks",
-                    fname,
-                    "function is claimed clocked (O1) but still carries ticks".to_string(),
+                report.findings.push(blame(
+                    finding(
+                        Severity::Error,
+                        "validate/clocked-ticks",
+                        fname,
+                        "function is claimed clocked (O1) but still carries ticks".to_string(),
+                    ),
+                    PASS_O1,
                 ));
             }
             if clocks.iter().any(|&c| c > 0) {
-                report.findings.push(finding(
-                    Severity::Error,
-                    "validate/clocked-ticks",
-                    fname,
-                    "cert assigns block clocks to a clocked function".to_string(),
+                report.findings.push(blame(
+                    finding(
+                        Severity::Error,
+                        "validate/clocked-ticks",
+                        fname,
+                        "cert assigns block clocks to a clocked function".to_string(),
+                    ),
+                    PASS_O1,
                 ));
             }
             // Re-derive the mean on the *pre* function (the split adds
             // terminator costs for the chaining branches, so it is not the
             // surface O1 measured).
-            check_clocked_mean(pre.func(fid), mean, cert, cost, &mut report);
+            check_clocked_mean(
+                pre.func(fid),
+                fid,
+                mean,
+                cert,
+                cost,
+                &mut am_pre,
+                &mut report,
+            );
             continue; // no path sums: call sites charge the mean instead
         }
 
@@ -207,13 +245,23 @@ pub fn validate(pre: &Module, post: &Module, cert: &PlanCert, cost: &CostModel) 
         // -- 5 & 6: path sums and lock regions over the split function -----
         check_path_sums(
             split_func,
+            fid,
             clocks,
             cert,
             cert.o2b_slack[fid.index()],
             cost,
+            &mut am_split,
             &mut report,
         );
-        check_lock_regions(split_func, clocks, cert, cost, &mut report);
+        check_lock_regions(
+            split_func,
+            fid,
+            clocks,
+            cert,
+            cost,
+            &mut am_split,
+            &mut report,
+        );
     }
 
     report
@@ -250,37 +298,55 @@ fn structural_mismatch(a: &Function, b: &Function) -> Option<String> {
 
 /// Obligation 4: the claimed O1 mean re-derives from the baseline function
 /// under the cert's own thresholds.
+#[allow(clippy::too_many_arguments)]
 fn check_clocked_mean(
     pre_func: &Function,
+    fid: FuncId,
     mean: u64,
     cert: &PlanCert,
     cost: &CostModel,
+    am: &mut AnalysisManager,
     report: &mut Report,
 ) {
-    let cfg = Cfg::compute(pre_func);
-    let totals = enumerate_paths(
-        &cfg,
-        pre_func.entry(),
+    // Routes are value-independent block sequences, so the cached
+    // enumeration is shared with any other check on this function; totals
+    // re-derive exactly by summing block costs along each route.
+    let routes = am.entry_routes(
+        fid,
+        pre_func,
+        PathPolicy::FollowAll,
         cert.clockable.max_paths,
-        |b| block_clock_amount(pre_func.block(b), cost, &cert.clocked),
-        |_, _| Step::Follow,
     );
-    let rederived = match totals {
-        Ok(ps) => tight_average(&ps.totals, &cert.clockable),
+    let rederived = match routes {
+        Ok(routes) => {
+            let totals: Vec<u64> = routes
+                .iter()
+                .map(|route| {
+                    route
+                        .iter()
+                        .map(|&b| block_clock_amount(pre_func.block(b), cost, &cert.clocked))
+                        .sum()
+                })
+                .collect();
+            tight_average(&totals, &cert.clockable)
+        }
         Err(_) => None, // loops / too many paths: O1 must not have clocked it
     };
     if rederived != Some(mean) {
-        report.findings.push(finding(
-            Severity::Error,
-            "validate/clocked-mean",
-            &pre_func.name,
-            match rederived {
-                Some(m) => format!("claimed clocked mean {mean} but paths re-derive {m}"),
-                None => format!(
-                    "claimed clocked mean {mean} but the function does not satisfy \
-                     the tightness criterion at all"
-                ),
-            },
+        report.findings.push(blame(
+            finding(
+                Severity::Error,
+                "validate/clocked-mean",
+                &pre_func.name,
+                match rederived {
+                    Some(m) => format!("claimed clocked mean {mean} but paths re-derive {m}"),
+                    None => format!(
+                        "claimed clocked mean {mean} but the function does not satisfy \
+                         the tightness criterion at all"
+                    ),
+                },
+            ),
+            PASS_O1,
         ));
     }
 }
@@ -290,34 +356,21 @@ fn check_clocked_mean(
 /// claimed absolute divergence for this function from O2b's approximate
 /// moves (the pass bounds each move against loop/function mass, not against
 /// any particular path, so the claim is an absolute mass, not a fraction).
+#[allow(clippy::too_many_arguments)]
 fn check_path_sums(
     split_func: &Function,
+    fid: FuncId,
     clocks: &[u64],
     cert: &PlanCert,
     o2b_slack: u64,
     cost: &CostModel,
+    am: &mut AnalysisManager,
     report: &mut Report,
 ) {
-    let cfg = Cfg::compute(split_func);
-    let dom = DomTree::compute(&cfg);
-    let loops = LoopInfo::compute(&cfg, &dom);
-    let back: &[(BlockId, BlockId)] = &loops.back_edges;
-
-    let paths = enumerate_paths_recorded(
-        &cfg,
-        split_func.entry(),
-        MAX_PATHS,
-        |b| block_clock_amount(split_func.block(b), cost, &cert.clocked),
-        |from, to| {
-            if back.contains(&(from, to)) {
-                Step::StopBefore
-            } else {
-                Step::Follow
-            }
-        },
-    );
-    let paths = match paths {
-        Ok(p) => p,
+    let loops = am.loops(fid, split_func);
+    let routes = am.entry_routes(fid, split_func, PathPolicy::CutBackEdges, MAX_PATHS);
+    let routes = match routes {
+        Ok(r) => r,
         Err(e) => {
             report.findings.push(finding(
                 Severity::Warning,
@@ -338,8 +391,11 @@ fn check_path_sums(
 
     // Worst violation across all paths; one finding per function.
     let mut worst: Option<(f64, usize, u64, u64, f64)> = None;
-    for (i, route) in paths.routes.iter().enumerate() {
-        let true_sum = paths.totals[i];
+    for (i, route) in routes.iter().enumerate() {
+        let true_sum: u64 = route
+            .iter()
+            .map(|&b| block_clock_amount(split_func.block(b), cost, &cert.clocked))
+            .sum();
         let planned: u64 = route.iter().map(|b| clocks[b.index()]).sum();
         // Allowed divergence: the cert's fractional bound of the true cost
         // (O3), plus the function's absolute O2b slack, plus O4's absolute
@@ -364,10 +420,18 @@ fn check_path_sums(
         }
     }
     if let Some((_, i, true_sum, planned, allowed)) = worst {
-        let route_names: Vec<String> = paths.routes[i]
+        let route_names: Vec<String> = routes[i]
             .iter()
             .map(|b| split_func.block(*b).name.clone())
             .collect();
+        let mut related = vec![format!("worst path: {}", route_names.join(" → "))];
+        // The cert's own per-pass deltas name the approximate pass most
+        // plausibly responsible; when every registered pass was precise the
+        // plan itself is wrong, not over-approximated.
+        related.push(match cert.suspect_for_path_sum(fid.index()) {
+            Some(pass) => format!("suspect pass: {pass}"),
+            None => "suspect pass: none — every registered pass claimed exact sums".to_string(),
+        });
         report.findings.push(Finding {
             severity: Severity::Error,
             rule: "validate/path-sum",
@@ -378,7 +442,7 @@ fn check_path_sums(
                 "path clock diverges from true cost beyond the certified bound \
                  (planned {planned}, true {true_sum}, allowed ±{allowed:.1})"
             ),
-            related: vec![format!("worst path: {}", route_names.join(" → "))],
+            related,
         });
     }
 }
@@ -392,11 +456,14 @@ enum HeldTok {
 
 /// Obligation 6: blocks reachable with a lock possibly held must not be
 /// planned *more* clock than their true cost.
+#[allow(clippy::too_many_arguments)]
 fn check_lock_regions(
     split_func: &Function,
+    fid: FuncId,
     clocks: &[u64],
     cert: &PlanCert,
     cost: &CostModel,
+    am: &mut AnalysisManager,
     report: &mut Report,
 ) {
     let tok = |id: &Operand| -> HeldTok {
@@ -429,7 +496,7 @@ fn check_lock_regions(
 
     // May-held fixpoint: union join, so a block counts as lock-held if ANY
     // path reaches it with a lock still held.
-    let cfg = Cfg::compute(split_func);
+    let cfg = am.cfg(fid, split_func);
     let n = split_func.blocks.len();
     let mut entry_held: Vec<Option<Vec<HeldTok>>> = vec![None; n];
     entry_held[split_func.entry().index()] = Some(Vec::new());
@@ -492,17 +559,20 @@ fn check_lock_regions(
                      against a true cost of {true_amount}: extra ticks were sunk \
                      into a critical section"
                 ),
-                related: vec![format!(
-                    "locks possibly held at the tick: {}",
-                    held_at_tick
-                        .iter()
-                        .map(|t| match t {
-                            HeldTok::Imm(v) => format!("lock {v}"),
-                            HeldTok::Reg(r) => format!("lock[r{r}]"),
-                        })
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )],
+                related: vec![
+                    format!(
+                        "locks possibly held at the tick: {}",
+                        held_at_tick
+                            .iter()
+                            .map(|t| match t {
+                                HeldTok::Imm(v) => format!("lock {v}"),
+                                HeldTok::Reg(r) => format!("lock[r{r}]"),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    format!("suspect pass: {PASS_MATERIALIZE}"),
+                ],
             });
         }
     }
@@ -592,7 +662,18 @@ mod tests {
             }
         }
         let r = validate(&m, &out.module, &out.cert, &cost());
-        assert!(r.findings.iter().any(|f| f.rule == "validate/placement"));
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == "validate/placement")
+            .expect("placement finding");
+        assert!(
+            f.related
+                .iter()
+                .any(|l| l == "suspect pass: materialize-ticks"),
+            "{:#?}",
+            f.related
+        );
     }
 
     #[test]
@@ -620,10 +701,19 @@ mod tests {
             }
         }
         let r = validate(&m, &out.module, &out.cert, &cost());
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == "validate/path-sum")
+            .unwrap_or_else(|| panic!("{:#?}", r.findings));
+        // No-optimization run registered only precise passes: the validator
+        // reports that nobody's slack budget explains the divergence.
         assert!(
-            r.findings.iter().any(|f| f.rule == "validate/path-sum"),
+            f.related
+                .iter()
+                .any(|l| l.starts_with("suspect pass: none")),
             "{:#?}",
-            r.findings
+            f.related
         );
     }
 
@@ -661,11 +751,20 @@ mod tests {
             }
         }
         let r = validate(&m, &out.module, &out.cert, &cost());
-        assert!(
-            r.findings.iter().any(|f| f.rule == "validate/path-sum"),
-            "{:#?}",
-            r.findings
-        );
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == "validate/path-sum")
+            .unwrap_or_else(|| panic!("{:#?}", r.findings));
+        // The suspect line is wired to the cert's own per-pass blame: the
+        // tampered function carried no O2b slack in this module, so no
+        // approximate pass claims the divergence (the policy itself is
+        // unit-tested in detlock-passes' cert module).
+        let expected = match out.cert.suspect_for_path_sum(fid) {
+            Some(p) => format!("suspect pass: {p}"),
+            None => "suspect pass: none — every registered pass claimed exact sums".to_string(),
+        };
+        assert!(f.related.contains(&expected), "{:#?}", f.related);
     }
 
     #[test]

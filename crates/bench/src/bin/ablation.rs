@@ -47,10 +47,10 @@ fn overheads(w: &Workload, cost: &CostModel, cfg: &OptConfig, seed: u64) -> (f64
 }
 
 fn main() {
-    let mut opts = CliOptions::parse();
-    if opts.scale == 1.0 {
-        opts.scale = 0.2;
-    }
+    let opts = CliOptions::parse();
+    // Ablation sweeps re-run every workload dozens of times; default to a
+    // reduced dataset unless `--scale` was given explicitly.
+    let scale = opts.scale_or(0.2);
     let cost = CostModel::default();
     let text = !opts.json;
 
@@ -63,7 +63,7 @@ fn main() {
         );
     }
     let mut o2_rows: Vec<Json> = Vec::new();
-    for w in opts.workloads() {
+    for w in opts.workloads_at(scale) {
         let none = overheads(&w, &cost, &OptConfig::none(), opts.seed);
         let mut only2a = OptConfig::none();
         only2a.o2 = true;
@@ -100,10 +100,10 @@ fn main() {
     }
     let mut o1_rows: Vec<Json> = Vec::new();
     if let Some(w) = opts
-        .workloads()
+        .workloads_at(scale)
         .into_iter()
         .find(|w| w.name == "radiosity")
-        .or_else(|| detlock_workloads::by_name("radiosity", opts.threads, opts.scale))
+        .or_else(|| detlock_workloads::by_name("radiosity", opts.threads, scale))
     {
         for (rd, sd) in [
             (1.0, 10.0),
@@ -143,7 +143,7 @@ fn main() {
         println!("{:<12}{:>12}{:>12}", "threshold", "ticks", "clk%");
     }
     let mut o4_rows: Vec<Json> = Vec::new();
-    if let Some(w) = detlock_workloads::by_name("water-nsq", opts.threads, opts.scale) {
+    if let Some(w) = detlock_workloads::by_name("water-nsq", opts.threads, scale) {
         for thr in [0u64, 4, 8, 16, 64, 1024] {
             let mut cfg = OptConfig::none();
             cfg.o4 = true;
@@ -166,7 +166,7 @@ fn main() {
         println!("{:<12}{:>12}{:>12}", "bound", "ticks", "clk%");
     }
     let mut o2b_rows: Vec<Json> = Vec::new();
-    if let Some(w) = detlock_workloads::by_name("volrend", opts.threads, opts.scale) {
+    if let Some(w) = detlock_workloads::by_name("volrend", opts.threads, scale) {
         for bound in [0.0, 0.02, 0.1, 0.5] {
             let mut cfg = OptConfig::none();
             cfg.o2 = true;
@@ -195,7 +195,7 @@ fn main() {
     }
     let mut kendo_rows: Vec<Json> = Vec::new();
     for name in ["radiosity", "water-nsq"] {
-        if let Some(w) = detlock_workloads::kendo_dataset(name, opts.threads, opts.scale) {
+        if let Some(w) = detlock_workloads::kendo_dataset(name, opts.threads, scale) {
             let base = run_baseline(&w, &cost, opts.seed);
             let specs = thread_specs(&w);
             for chunk in [128u64, 512, 2048, 8192, 32768] {
@@ -228,7 +228,7 @@ fn main() {
         println!("{:<12}{:>12}", "cost", "det%");
     }
     let mut cost_rows: Vec<Json> = Vec::new();
-    if let Some(w) = detlock_workloads::by_name("radiosity", opts.threads, opts.scale) {
+    if let Some(w) = detlock_workloads::by_name("radiosity", opts.threads, scale) {
         let base = run_baseline(&w, &cost, opts.seed);
         let inst = instrument(
             &w.module,
@@ -253,6 +253,57 @@ fn main() {
         }
     }
 
+    // 6. Per-pass pipeline telemetry: where the instrumentation pipeline
+    // spends its time and which passes add/remove clock mass, per workload
+    // at the full configuration.
+    let mut pass_rows: Vec<Json> = Vec::new();
+    for w in opts.workloads_at(scale) {
+        let inst = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::all(),
+            Placement::Start,
+            &w.entries,
+        );
+        if text {
+            println!("\n== pass telemetry ({}, all opts) ==", w.name);
+            print!(
+                "{}",
+                detlock_passes::render_pass_table(&inst.stats.per_pass)
+            );
+            println!(
+                "analysis cache: {} hits / {} misses",
+                inst.stats.analysis_cache_hits, inst.stats.analysis_cache_misses
+            );
+        }
+        let rows: Vec<Json> = inst
+            .stats
+            .per_pass
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("pass", p.name.to_json()),
+                    ("wall_ns", p.wall_ns.to_json()),
+                    ("ticks_added", (p.ticks_added as u64).to_json()),
+                    ("ticks_removed", (p.ticks_removed as u64).to_json()),
+                    ("mass_moved", p.mass_moved.to_json()),
+                ])
+            })
+            .collect();
+        pass_rows.push(Json::obj([
+            ("name", w.name.to_json()),
+            (
+                "analysis_cache_hits",
+                inst.stats.analysis_cache_hits.to_json(),
+            ),
+            (
+                "analysis_cache_misses",
+                inst.stats.analysis_cache_misses.to_json(),
+            ),
+            ("passes", Json::Arr(rows)),
+        ]));
+    }
+
     opts.emit_json(&Json::obj([
         ("o2a_vs_o2b", Json::Arr(o2_rows)),
         ("o1_thresholds", Json::Arr(o1_rows)),
@@ -260,5 +311,6 @@ fn main() {
         ("o2b_bound", Json::Arr(o2b_rows)),
         ("kendo_chunks", Json::Arr(kendo_rows)),
         ("det_event_cost", Json::Arr(cost_rows)),
+        ("pass_telemetry", Json::Arr(pass_rows)),
     ]));
 }

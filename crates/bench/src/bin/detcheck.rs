@@ -18,10 +18,8 @@ use detlock_vm::determinism::check_determinism;
 use detlock_vm::machine::ExecMode;
 
 fn main() {
-    let mut opts = CliOptions::parse();
-    if opts.scale == 1.0 {
-        opts.scale = 0.15; // determinism probing doesn't need long runs
-    }
+    let opts = CliOptions::parse();
+    let scale = opts.scale_or(0.15); // determinism probing doesn't need long runs
     let cost = CostModel::default();
     let seeds = opts.seeds.clone();
     let mut failures = 0;
@@ -30,7 +28,7 @@ fn main() {
         "{:<12}{:>12}{:>24}{:>28}",
         "benchmark", "static lint", "det mode seed-invariant", "baseline varies with seed"
     );
-    for w in opts.workloads() {
+    for w in opts.workloads_at(scale) {
         // Static pre-pass: the empirical determinism probe below only means
         // anything if the workload is race-free and the instrumentation is
         // faithful to its certificate — check both before spending cycles.

@@ -32,7 +32,7 @@ struct LintFlags {
 
 fn main() {
     let mut flags = LintFlags::default();
-    let mut opts = CliOptions::parse_with(|flag, _args, _i| {
+    let opts = CliOptions::parse_with(|flag, _args, _i| {
         match flag {
             "--racy" => flags.racy = true,
             "--confirm" => flags.confirm = true,
@@ -41,22 +41,17 @@ fn main() {
         }
         true
     });
-    if opts.scale == 1.0 {
-        opts.scale = 0.05; // lint only needs the small dataset
-    }
+    let scale = opts.scale_or(0.05); // lint only needs the small dataset
     let cost = CostModel::default();
 
     let mut workloads: Vec<Workload> = match &opts.only {
         Some(name) if name == "racy-counter" => Vec::new(),
-        Some(name) => vec![detlock_workloads::by_name(name, opts.threads, opts.scale)
+        Some(name) => vec![detlock_workloads::by_name(name, opts.threads, scale)
             .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))],
-        None => detlock_workloads::all_benchmarks(opts.threads, opts.scale),
+        None => detlock_workloads::all_benchmarks(opts.threads, scale),
     };
     if flags.racy || opts.only.as_deref() == Some("racy-counter") {
-        workloads.push(racy::build(
-            opts.threads,
-            &racy::RacyParams::scaled(opts.scale),
-        ));
+        workloads.push(racy::build(opts.threads, &racy::RacyParams::scaled(scale)));
     }
 
     let mut out_workloads: Vec<Json> = Vec::new();
@@ -92,7 +87,7 @@ fn main() {
 
     let json = Json::obj([
         ("threads", opts.threads.to_json()),
-        ("scale", opts.scale.to_json()),
+        ("scale", scale.to_json()),
         ("deny_warnings", flags.deny_warnings.to_json()),
         ("errors", errors.to_json()),
         ("warnings", warnings.to_json()),

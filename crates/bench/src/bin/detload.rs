@@ -182,9 +182,7 @@ fn main() {
     });
     assert!(!addr.is_empty(), "detload requires --addr HOST:PORT");
     assert!(rate > 0.0, "--rate must be positive");
-    if opts.scale == 1.0 {
-        opts.scale = 0.02; // service jobs are short episodes, not benchmarks
-    }
+    let scale = opts.scale_or(0.02); // service jobs are short episodes, not benchmarks
     if opts.threads == 4 {
         opts.threads = 2;
     }
@@ -192,7 +190,7 @@ fn main() {
     // The job grid: workloads × seeds, truncated/cycled to --jobs.
     let names: Vec<String> = match &opts.only {
         Some(name) => vec![name.clone()],
-        None => detlock_workloads::all_benchmarks(opts.threads, opts.scale)
+        None => detlock_workloads::all_benchmarks(opts.threads, scale)
             .iter()
             .map(|w| w.name.to_string())
             .collect(),
@@ -204,7 +202,7 @@ fn main() {
                 tenant: "detload".to_string(),
                 workload: name.clone(),
                 threads: opts.threads,
-                scale: opts.scale,
+                scale,
                 seed: *seed,
                 opt: OptLevel::All,
             });
@@ -253,7 +251,7 @@ fn main() {
         ("rate_jps", rate.to_json()),
         ("jobs_per_sweep", jobs.len().to_json()),
         ("threads", opts.threads.to_json()),
-        ("scale", opts.scale.to_json()),
+        ("scale", scale.to_json()),
         ("seeds", opts.seeds.to_json()),
         ("sweep1", sweep_json(&first)),
         ("sweep2", sweep_json(&second)),

@@ -21,10 +21,8 @@ use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, BulkSyncParams, ExecMode, KendoParams};
 
 fn main() {
-    let mut opts = CliOptions::parse();
-    if opts.scale == 1.0 {
-        opts.scale = 0.3;
-    }
+    let opts = CliOptions::parse();
+    let scale = opts.scale_or(0.3);
     let cost = CostModel::default();
     let mut rows: Vec<Json> = Vec::new();
 
@@ -34,7 +32,7 @@ fn main() {
             "benchmark", "detlock %", "kendo %", "bulksync %", "replay %", "log events", "log KiB"
         );
     }
-    for w in opts.workloads() {
+    for w in opts.workloads_at(scale) {
         let base = run_baseline(&w, &cost, opts.seed);
         let specs = thread_specs(&w);
 

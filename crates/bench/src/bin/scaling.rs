@@ -16,7 +16,7 @@ use detlock_vm::machine::{run, ExecMode};
 
 fn main() {
     let opts = detlock_bench::CliOptions::parse();
-    let scale = if opts.scale == 1.0 { 0.3 } else { opts.scale };
+    let scale = opts.scale_or(0.3);
     let cost = CostModel::default();
     let mut rows: Vec<Json> = Vec::new();
 

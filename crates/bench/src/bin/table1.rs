@@ -33,7 +33,8 @@ fn main() {
     names.push("Average");
     println!(
         "Table I: Performance results (threads={}, scale={})",
-        opts.threads, opts.scale
+        opts.threads,
+        opts.scale_or(1.0)
     );
     print!("{:<52}", "Benchmark");
     for n in &names {

@@ -25,8 +25,9 @@ fn main() {
         .iter()
         .map(|w| {
             eprintln!("running {} ...", w.name);
-            let kendo_w = detlock_workloads::kendo_dataset(w.name, opts.threads, opts.scale)
-                .expect("kendo dataset");
+            let kendo_w =
+                detlock_workloads::kendo_dataset(w.name, opts.threads, opts.scale_or(1.0))
+                    .expect("kendo dataset");
             run_kendo_comparison(
                 KendoInputs {
                     detlock: w,
@@ -46,7 +47,8 @@ fn main() {
 
     println!(
         "Table II: DetLock vs simulated Kendo (threads={}, scale={})",
-        opts.threads, opts.scale
+        opts.threads,
+        opts.scale_or(1.0)
     );
     print!("{:<30}", "Benchmark");
     for r in &results {

@@ -392,8 +392,11 @@ pub const DEFAULT_SEEDS: [u64; 5] = [1, 2, 7, 42, 31337];
 pub struct CliOptions {
     /// Number of simulated cores/threads.
     pub threads: usize,
-    /// Workload scale factor.
-    pub scale: f64,
+    /// Workload scale factor: `Some` only when `--scale` was given on the
+    /// command line. Each binary resolves its own default via
+    /// [`CliOptions::scale_or`] (the paper figures want full-size runs, the
+    /// probes and the lint want small datasets).
+    pub scale: Option<f64>,
     /// Emit JSON instead of the table format.
     pub json: bool,
     /// Jitter seed.
@@ -420,7 +423,7 @@ impl CliOptions {
     pub fn parse_with(mut extra: impl FnMut(&str, &[String], &mut usize) -> bool) -> CliOptions {
         let mut opts = CliOptions {
             threads: 4,
-            scale: 1.0,
+            scale: None,
             json: false,
             seed: 1,
             seeds: DEFAULT_SEEDS.to_vec(),
@@ -437,7 +440,7 @@ impl CliOptions {
                 }
                 "--scale" => {
                     i += 1;
-                    opts.scale = args[i].parse().expect("--scale F");
+                    opts.scale = Some(args[i].parse().expect("--scale F"));
                 }
                 "--seed" => {
                     i += 1;
@@ -482,12 +485,25 @@ impl CliOptions {
         }
     }
 
-    /// The workloads selected by `--only` (or all five).
+    /// The effective scale: the `--scale` value when given, else the
+    /// binary's own `default`.
+    pub fn scale_or(&self, default: f64) -> f64 {
+        self.scale.unwrap_or(default)
+    }
+
+    /// The workloads selected by `--only` (or all five) at the paper's
+    /// full scale unless `--scale` was given. Binaries with a smaller
+    /// default use [`CliOptions::workloads_at`] with their resolved scale.
     pub fn workloads(&self) -> Vec<Workload> {
+        self.workloads_at(self.scale_or(1.0))
+    }
+
+    /// The workloads selected by `--only` (or all five) at `scale`.
+    pub fn workloads_at(&self, scale: f64) -> Vec<Workload> {
         match &self.only {
-            Some(name) => vec![detlock_workloads::by_name(name, self.threads, self.scale)
+            Some(name) => vec![detlock_workloads::by_name(name, self.threads, scale)
                 .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))],
-            None => detlock_workloads::all_benchmarks(self.threads, self.scale),
+            None => detlock_workloads::all_benchmarks(self.threads, scale),
         }
     }
 }

@@ -16,7 +16,9 @@
 //! dominators ([`analysis::dom`]), natural loops ([`analysis::loops`]),
 //! bounded path enumeration ([`analysis::paths`]) and the module call graph
 //! ([`analysis::callgraph`]), plus text/Graphviz dumps ([`dot`]) used to
-//! reproduce the paper's running-example figures.
+//! reproduce the paper's running-example figures. [`analysis::manager`]
+//! lazily computes and caches the per-function analyses with invalidation
+//! driven by pass preservation declarations.
 //!
 //! ## Example
 //!
@@ -60,6 +62,7 @@ pub mod analysis {
     pub mod cfg;
     pub mod dom;
     pub mod loops;
+    pub mod manager;
     pub mod paths;
 }
 

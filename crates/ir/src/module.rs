@@ -5,7 +5,7 @@ use crate::types::{BlockId, FuncId, Reg};
 
 /// A basic block: a name (kept for readable dumps mirroring the paper's
 /// figures), a straight-line instruction list, and a terminator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// Human-readable label, e.g. `if.end21` in the paper's running example.
     pub name: String,
@@ -42,7 +42,7 @@ impl Block {
 ///
 /// Block 0 is always the entry block. Parameters arrive in registers
 /// `r0..r{params-1}`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Function {
     /// Function name (used in dumps and by the callgraph).
     pub name: String,
@@ -128,7 +128,7 @@ impl Function {
 }
 
 /// A module: a set of functions. `FuncId(i)` indexes `functions[i]`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Module {
     /// The functions.
     pub functions: Vec<Function>,

@@ -13,8 +13,40 @@ use crate::opt1::ClockableParams;
 use crate::pipeline::OptConfig;
 use crate::plan::{ModulePlan, Placement};
 
+/// One registered pass's contribution to the module cert's divergence
+/// obligations — the delta cert the pass manager collects after each pass
+/// and composes into the [`PlanCert`]. Keeping the deltas alongside the
+/// composed bound lets the validator name the pass that most plausibly
+/// broke an obligation instead of rejecting the whole plan anonymously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassCert {
+    /// The pass that produced this delta (see constants in [`crate::pass`]).
+    pub pass: &'static str,
+    /// The per-path fractional divergence this pass may introduce.
+    pub frac_bound: f64,
+    /// Per function: the absolute clock mass this pass's approximate
+    /// rewrites moved (nonzero only for O2b).
+    pub o2b_slack: Vec<u64>,
+    /// `Some(threshold)` when this pass may shift up to the threshold per
+    /// loop back edge (O4's latch merging).
+    pub o4_latch_threshold: Option<u64>,
+}
+
+impl PassCert {
+    /// A delta cert claiming no divergence at all (precise passes).
+    pub fn exact(pass: &'static str, slack: Vec<u64>) -> PassCert {
+        debug_assert!(slack.iter().all(|&s| s == 0), "{pass} claimed slack");
+        PassCert {
+            pass,
+            frac_bound: 0.0,
+            o2b_slack: slack,
+            o4_latch_threshold: None,
+        }
+    }
+}
+
 /// What the instrumentation pipeline claims about its output.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanCert {
     /// Where static ticks were placed in each block.
     pub placement: Placement,
@@ -46,22 +78,74 @@ pub struct PlanCert {
     /// diverge by up to the merged latch clock, which is below this
     /// threshold (absolute slack per back edge, not a fraction).
     pub o4_latch_threshold: Option<u64>,
+    /// The per-pass delta certs the composed obligations above were summed
+    /// from, in pipeline order (empty for hand-built certs).
+    pub pass_certs: Vec<PassCert>,
 }
 
 impl PlanCert {
     /// Build the certificate for a finished plan under `config`.
     /// `o2b_moved` is the per-function approximate mass O2b reported moving
     /// (all zeros when O2 did not run).
+    ///
+    /// Synthesizes the per-pass delta certs the pass manager would have
+    /// collected and composes them via [`PlanCert::from_passes`].
     pub fn new(config: &OptConfig, plan: &ModulePlan, o2b_moved: Vec<u64>) -> PlanCert {
         debug_assert_eq!(o2b_moved.len(), plan.funcs.len());
-        let mut frac_bound = 0.0;
+        let zeros = vec![0u64; plan.funcs.len()];
+        let mut pass_certs = Vec::new();
+        if config.o2 || o2b_moved.iter().any(|&m| m > 0) {
+            pass_certs.push(PassCert::exact(crate::pass::PASS_O2A, zeros.clone()));
+            pass_certs.push(PassCert {
+                pass: crate::pass::PASS_O2B,
+                frac_bound: 0.0,
+                o2b_slack: o2b_moved,
+                o4_latch_threshold: None,
+            });
+        }
         if config.o3 {
             // tight_average admits range ≤ mean/rd, so a region path's true
             // cost sits within `range` of the charged mean while being at
             // least `mean·(1 − 1/rd)`; the worst relative error is therefore
             // range/min ≤ (mean/rd)/(mean·(1 − 1/rd)) = 1/(rd − 1), not the
             // naive 1/rd.
-            frac_bound += 1.0 / (config.clockable.range_divisor - 1.0);
+            pass_certs.push(PassCert {
+                pass: crate::pass::PASS_O3,
+                frac_bound: 1.0 / (config.clockable.range_divisor - 1.0),
+                o2b_slack: zeros.clone(),
+                o4_latch_threshold: None,
+            });
+        }
+        if config.o4 {
+            pass_certs.push(PassCert {
+                pass: crate::pass::PASS_O4,
+                frac_bound: 0.0,
+                o2b_slack: zeros,
+                o4_latch_threshold: Some(config.opt4.threshold),
+            });
+        }
+        PlanCert::from_passes(config, plan, pass_certs)
+    }
+
+    /// Compose per-pass delta certs into the module certificate: fractional
+    /// bounds and absolute slacks add, the latch threshold is the largest
+    /// any pass claimed.
+    pub fn from_passes(
+        config: &OptConfig,
+        plan: &ModulePlan,
+        pass_certs: Vec<PassCert>,
+    ) -> PlanCert {
+        let mut frac_bound = 0.0;
+        let mut o2b_slack = vec![0u64; plan.funcs.len()];
+        let mut o4_latch_threshold: Option<u64> = None;
+        for pc in &pass_certs {
+            frac_bound += pc.frac_bound;
+            for (total, s) in o2b_slack.iter_mut().zip(&pc.o2b_slack) {
+                *total += s;
+            }
+            if let Some(t) = pc.o4_latch_threshold {
+                o4_latch_threshold = Some(o4_latch_threshold.map_or(t, |cur| cur.max(t)));
+            }
         }
         PlanCert {
             placement: plan.placement,
@@ -69,9 +153,33 @@ impl PlanCert {
             block_clock: plan.funcs.iter().map(|f| f.block_clock.clone()).collect(),
             clockable: config.clockable,
             frac_bound,
-            o2b_slack: o2b_moved,
-            o4_latch_threshold: config.o4.then_some(config.opt4.threshold),
+            o2b_slack,
+            o4_latch_threshold,
+            pass_certs,
         }
+    }
+
+    /// The pass most plausibly responsible for a path-sum violation in
+    /// function `fid`: the approximate pass with the largest claimed slack
+    /// there, falling back to the fractional (O3) and then latch (O4)
+    /// claimants. `None` when every registered pass was precise — a
+    /// violation then means the plan itself is wrong, not over-approximated.
+    pub fn suspect_for_path_sum(&self, fid: usize) -> Option<&'static str> {
+        if let Some(pc) = self
+            .pass_certs
+            .iter()
+            .filter(|pc| pc.o2b_slack.get(fid).copied().unwrap_or(0) > 0)
+            .max_by_key(|pc| pc.o2b_slack.get(fid).copied().unwrap_or(0))
+        {
+            return Some(pc.pass);
+        }
+        if let Some(pc) = self.pass_certs.iter().find(|pc| pc.frac_bound > 0.0) {
+            return Some(pc.pass);
+        }
+        self.pass_certs
+            .iter()
+            .find(|pc| pc.o4_latch_threshold.is_some())
+            .map(|pc| pc.pass)
     }
 
     /// Whether the cert claims exact path sums (every enabled transformation
@@ -138,5 +246,36 @@ mod tests {
         assert_eq!(c.clocked, vec![None, Some(7)]);
         assert_eq!(c.block_clock, vec![vec![3, 0, 5], vec![0]]);
         assert_eq!(c.placement, Placement::Start);
+    }
+
+    #[test]
+    fn pass_certs_compose_and_name_suspects() {
+        let plan = dummy_plan();
+        let c = PlanCert::new(&OptConfig::all(), &plan, vec![4, 0]);
+        // All four plan passes contributed a delta cert.
+        let names: Vec<&str> = c.pass_certs.iter().map(|p| p.pass).collect();
+        assert_eq!(
+            names,
+            vec![
+                crate::pass::PASS_O2A,
+                crate::pass::PASS_O2B,
+                crate::pass::PASS_O3,
+                crate::pass::PASS_O4
+            ]
+        );
+        // Composed obligations match the deltas.
+        assert_eq!(c.o2b_slack, vec![4, 0]);
+        assert!(c.frac_bound > 0.0);
+        assert_eq!(c.o4_latch_threshold, Some(16));
+        // Function 0 has O2b slack: it is the primary suspect there; in
+        // function 1 suspicion falls to the fractional claimant (O3).
+        assert_eq!(c.suspect_for_path_sum(0), Some(crate::pass::PASS_O2B));
+        assert_eq!(c.suspect_for_path_sum(1), Some(crate::pass::PASS_O3));
+        // A fully precise cert names nobody.
+        let c = PlanCert::new(&OptConfig::only(OptLevel::O1), &plan, vec![0, 0]);
+        assert_eq!(c.suspect_for_path_sum(0), None);
+        // O4-only: the latch claimant is the suspect.
+        let c = PlanCert::new(&OptConfig::only(OptLevel::O4), &plan, vec![0, 0]);
+        assert_eq!(c.suspect_for_path_sum(0), Some(crate::pass::PASS_O4));
     }
 }

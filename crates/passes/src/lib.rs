@@ -16,9 +16,13 @@
 //! * [`opt3`] — averaging of clocks over dominated regions.
 //! * [`opt4`] — merging small loop-latch clocks into headers.
 //!
-//! [`pipeline::instrument`] is the entry point; [`cost`] holds the cycle
-//! model and the *instructions estimate file* parser; [`divergence`] audits
-//! how far a plan's path totals stray from the true costs.
+//! [`pipeline::instrument`] is the entry point — a thin wrapper over the
+//! LLVM-style pass manager in [`pass`], which lowers an
+//! [`pipeline::OptConfig`] into a declarative [`pass::PassPipeline`] with
+//! cached analyses, per-pass telemetry and per-pass delta certificates;
+//! [`cost`] holds the cycle model and the *instructions estimate file*
+//! parser; [`divergence`] audits how far a plan's path totals stray from
+//! the true costs.
 //!
 //! ```
 //! use detlock_ir::{FunctionBuilder, Module};
@@ -49,12 +53,14 @@ pub mod opt2a;
 pub mod opt2b;
 pub mod opt3;
 pub mod opt4;
+pub mod pass;
 pub mod pipeline;
 pub mod plan;
 pub mod stats;
 
-pub use cert::PlanCert;
+pub use cert::{PassCert, PlanCert};
 pub use cost::CostModel;
+pub use pass::{Pass, PassPipeline};
 pub use pipeline::{instrument, Instrumented, OptConfig, OptLevel};
 pub use plan::{ModulePlan, Placement};
-pub use stats::Stats;
+pub use stats::{render_pass_table, PassStats, Stats};

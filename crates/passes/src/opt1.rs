@@ -14,16 +14,13 @@
 
 use crate::cost::CostModel;
 use crate::plan::block_clock_amount;
-use detlock_ir::analysis::cfg::Cfg;
-use detlock_ir::analysis::dom::DomTree;
-use detlock_ir::analysis::loops::LoopInfo;
-use detlock_ir::analysis::paths::{enumerate_paths, Step};
+use detlock_ir::analysis::manager::{AnalysisManager, PathPolicy};
 use detlock_ir::inst::Inst;
 use detlock_ir::module::{Function, Module};
 use detlock_ir::types::FuncId;
 
 /// Tunable thresholds for `is_clockable` (paper defaults: 2.5 and 5).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockableParams {
     /// Path-total range must be ≤ `mean / range_divisor`.
     pub range_divisor: f64,
@@ -77,10 +74,25 @@ pub fn is_clockable(
     clocked: &[Option<u64>],
     params: &ClockableParams,
 ) -> Option<u64> {
+    let mut am = AnalysisManager::new(1);
+    is_clockable_with(func, FuncId(0), cost, clocked, params, &mut am)
+}
+
+/// [`is_clockable`] reading its analyses from a shared [`AnalysisManager`]:
+/// the CFG, loop info and route set of a function never change across the
+/// O1 fixpoint's rounds (only the clocked set — and hence the per-block
+/// clock values summed over the cached routes — does), so every round after
+/// the first runs entirely on cache hits.
+pub fn is_clockable_with(
+    func: &Function,
+    fid: FuncId,
+    cost: &CostModel,
+    clocked: &[Option<u64>],
+    params: &ClockableParams,
+    am: &mut AnalysisManager,
+) -> Option<u64> {
     // hasLoops(f)
-    let cfg = Cfg::compute(func);
-    let dom = DomTree::compute(&cfg);
-    let loops = LoopInfo::compute(&cfg, &dom);
+    let loops = am.loops(fid, func);
     if loops.has_loops() {
         return None;
     }
@@ -105,16 +117,21 @@ pub fn is_clockable(
             }
         }
     }
-    // getClocksOfAllPaths(f)
-    let totals = enumerate_paths(
-        &cfg,
-        func.entry(),
-        params.max_paths,
-        |b| block_clock_amount(func.block(b), cost, clocked),
-        |_, _| Step::Follow,
-    )
-    .ok()?
-    .totals;
+    // getClocksOfAllPaths(f): the cached routes are value-independent block
+    // sequences; summing the current block clocks over them reproduces the
+    // direct enumeration's totals exactly (same DFS order, same cap).
+    let routes = am
+        .entry_routes(fid, func, PathPolicy::FollowAll, params.max_paths)
+        .ok()?;
+    let totals: Vec<u64> = routes
+        .iter()
+        .map(|route| {
+            route
+                .iter()
+                .map(|&b| block_clock_amount(func.block(b), cost, clocked))
+                .sum()
+        })
+        .collect();
     tight_average(&totals, params)
 }
 
@@ -127,6 +144,19 @@ pub fn compute_clocked(
     entries: &[FuncId],
     params: &ClockableParams,
 ) -> Vec<Option<u64>> {
+    let mut am = AnalysisManager::new(module.functions.len());
+    compute_clocked_with(module, cost, entries, params, &mut am)
+}
+
+/// [`compute_clocked`] sharing a caller-owned [`AnalysisManager`], so the
+/// analyses the fixpoint computes stay cached for later pipeline stages.
+pub fn compute_clocked_with(
+    module: &Module,
+    cost: &CostModel,
+    entries: &[FuncId],
+    params: &ClockableParams,
+    am: &mut AnalysisManager,
+) -> Vec<Option<u64>> {
     let mut clocked: Vec<Option<u64>> = vec![None; module.functions.len()];
     let mut modified = true;
     while modified {
@@ -135,7 +165,7 @@ pub fn compute_clocked(
             if clocked[fid.index()].is_some() || entries.contains(&fid) {
                 continue;
             }
-            if let Some(avg) = is_clockable(func, cost, &clocked, params) {
+            if let Some(avg) = is_clockable_with(func, fid, cost, &clocked, params, am) {
                 clocked[fid.index()] = Some(avg);
                 modified = true;
             }

@@ -1,27 +1,29 @@
 //! The instrumentation pipeline: the DetLock "compiler pass".
 //!
 //! Mirrors Figure 1 of the paper — the pass sits between the frontend-built
-//! IR and execution. [`instrument`] runs, in order:
+//! IR and execution. [`instrument`] lowers its [`OptConfig`] into a
+//! [`PassPipeline`](crate::pass::PassPipeline) and runs, in order:
 //!
 //! 1. Optimization 1's clockable-function fixpoint (if enabled);
 //! 2. block splitting around calls to unclocked functions (§III-A);
 //! 3. base clock planning (every block gets its static clock);
-//! 4. Optimizations 2a, 2b, 3, 4 on each function's plan (as enabled);
+//! 4. Optimizations 2a, 2b, 3, 4 as registered [`Pass`](crate::pass::Pass)
+//!    objects on each function's plan (as enabled);
 //! 5. materialization into `tick` instructions.
+//!
+//! Analyses are computed once per function through a shared
+//! [`AnalysisManager`](detlock_ir::analysis::manager::AnalysisManager), and
+//! every stage reports per-pass telemetry and a delta certificate — see
+//! [`crate::pass`] for the machinery.
 
 use crate::cert::PlanCert;
 use crate::cost::CostModel;
-use crate::materialize::materialize;
-use crate::opt1::{compute_clocked, ClockableParams};
-use crate::opt2a::apply_opt2a;
-use crate::opt2b::{apply_opt2b, Opt2bParams};
-use crate::opt3::apply_opt3;
-use crate::opt4::{apply_opt4, Opt4Params};
-use crate::plan::{base_plan, split_module, ModulePlan, Placement};
+use crate::opt1::ClockableParams;
+use crate::opt2b::Opt2bParams;
+use crate::opt4::Opt4Params;
+use crate::pass::PassPipeline;
+use crate::plan::{ModulePlan, Placement};
 use crate::stats::Stats;
-use detlock_ir::analysis::cfg::Cfg;
-use detlock_ir::analysis::dom::DomTree;
-use detlock_ir::analysis::loops::LoopInfo;
 use detlock_ir::module::Module;
 use detlock_ir::types::FuncId;
 
@@ -145,6 +147,12 @@ pub struct Instrumented {
 ///
 /// `entries` are thread entry functions: they are never clocked by O1 (no
 /// call site would charge their mean).
+///
+/// This is a thin wrapper: `config` lowers into a
+/// [`PassPipeline`](crate::pass::PassPipeline) whose output is
+/// byte-for-byte identical to the historical hand-rolled stage sequence
+/// (the golden-equivalence suite in `tests/golden_equivalence.rs` pins
+/// this).
 pub fn instrument(
     module: &Module,
     cost: &CostModel,
@@ -152,65 +160,7 @@ pub fn instrument(
     placement: Placement,
     entries: &[FuncId],
 ) -> Instrumented {
-    // 1. Function Clocking fixpoint.
-    let clocked = if config.o1 {
-        compute_clocked(module, cost, entries, &config.clockable)
-    } else {
-        vec![None; module.functions.len()]
-    };
-
-    // 2. Split blocks around unclocked calls.
-    let split = split_module(module, &clocked);
-
-    // 3. Base plan.
-    let mut plans = base_plan(&split, cost, &clocked);
-
-    // 4. Per-function clock-motion optimizations.
-    let mut o2b_moved = vec![0u64; split.functions.len()];
-    for (fid, func) in split.iter_funcs() {
-        if clocked[fid.index()].is_some() {
-            continue; // clocked functions carry no clock code at all
-        }
-        let cfg = Cfg::compute(func);
-        let dom = DomTree::compute(&cfg);
-        let loops = LoopInfo::compute(&cfg, &dom);
-        let plan = &mut plans[fid.index()];
-        if config.o2 {
-            apply_opt2a(&cfg, &loops, plan);
-            o2b_moved[fid.index()] = apply_opt2b(&cfg, &loops, config.opt2b, plan);
-        }
-        if config.o3 {
-            apply_opt3(&cfg, &dom, &loops, config.clockable, plan);
-        }
-        if config.o4 {
-            apply_opt4(&cfg, &loops, config.opt4, plan);
-        }
-    }
-
-    let plan = ModulePlan {
-        placement,
-        clocked,
-        funcs: plans,
-    };
-
-    // 5. Materialize ticks.
-    let out = materialize(&split, &plan, cost);
-
-    // In debug builds, catch pipeline breakage (dangling targets after
-    // splitting, duplicated block names, bad registers) at the source.
-    #[cfg(debug_assertions)]
-    if let Err(errs) = detlock_ir::verify::verify_module(&out) {
-        panic!("instrument produced an invalid module: {errs:?}");
-    }
-
-    let stats = Stats::collect(&out, &plan);
-    let cert = PlanCert::new(config, &plan, o2b_moved);
-    Instrumented {
-        module: out,
-        plan,
-        stats,
-        cert,
-    }
+    PassPipeline::from_config(config, placement).run(module, cost, entries)
 }
 
 #[cfg(test)]

@@ -1,9 +1,64 @@
 //! Instrumentation statistics — feeds the "Clockable Functions" row of
-//! Table I and general reporting.
+//! Table I, the per-pass telemetry consumed by `dlc --pass-stats`,
+//! `ablation --json` and the serve `/stats` endpoint, and general reporting.
 
 use crate::plan::ModulePlan;
 use detlock_ir::inst::Inst;
 use detlock_ir::module::Module;
+
+/// Telemetry for one pipeline stage: what it did to the clock plan and how
+/// long it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassStats {
+    /// Stage name (see the constants in [`crate::pass`]).
+    pub name: &'static str,
+    /// Wall time the stage took, in nanoseconds.
+    pub wall_ns: u64,
+    /// Blocks whose planned clock went from zero to nonzero (a tick the
+    /// stage introduced).
+    pub ticks_added: usize,
+    /// Blocks whose planned clock went from nonzero to zero (a tick the
+    /// stage eliminated).
+    pub ticks_removed: usize,
+    /// Total absolute per-block clock change, in cycles: the clock mass the
+    /// stage moved around the plan (a relocation counts its source decrease
+    /// and destination increase).
+    pub mass_moved: u64,
+}
+
+impl PassStats {
+    /// A zero-delta row for `name` with only the wall time filled in.
+    pub fn timed(name: &'static str, wall_ns: u64) -> PassStats {
+        PassStats {
+            name,
+            wall_ns,
+            ticks_added: 0,
+            ticks_removed: 0,
+            mass_moved: 0,
+        }
+    }
+}
+
+/// Render per-pass telemetry as an aligned text table (shared by
+/// `dlc --pass-stats` and the bench bins).
+pub fn render_pass_table(passes: &[PassStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>8} {:>12} {:>10}\n",
+        "pass", "ticks+", "ticks-", "mass-moved", "wall-us"
+    ));
+    for p in passes {
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>8} {:>12} {:>10.1}\n",
+            p.name,
+            p.ticks_added,
+            p.ticks_removed,
+            p.mass_moved,
+            p.wall_ns as f64 / 1_000.0
+        ));
+    }
+    out
+}
 
 /// Static statistics about an instrumented module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +77,13 @@ pub struct Stats {
     pub dynamic_ticks: usize,
     /// Sum of all static tick amounts (total clock mass).
     pub static_clock_mass: u64,
+    /// Per-stage telemetry, in pipeline order (empty when the stats were
+    /// collected outside a pipeline run).
+    pub per_pass: Vec<PassStats>,
+    /// Analysis-cache requests served without recomputation.
+    pub analysis_cache_hits: u64,
+    /// Analysis-cache requests that computed the analysis.
+    pub analysis_cache_misses: u64,
 }
 
 impl Stats {
@@ -63,6 +125,9 @@ impl Stats {
             ticks_inserted,
             dynamic_ticks,
             static_clock_mass,
+            per_pass: Vec::new(),
+            analysis_cache_hits: 0,
+            analysis_cache_misses: 0,
         }
     }
 }
@@ -102,5 +167,26 @@ mod tests {
         assert_eq!(s.static_clock_mass, 12);
         assert_eq!(s.dynamic_ticks, 0);
         assert_eq!(s.clockable_functions, 0);
+        assert!(s.per_pass.is_empty());
+    }
+
+    #[test]
+    fn pass_table_renders_every_row() {
+        let rows = vec![
+            PassStats {
+                name: "base-plan",
+                wall_ns: 1_500,
+                ticks_added: 7,
+                ticks_removed: 0,
+                mass_moved: 99,
+            },
+            PassStats::timed("o2a-cond-motion", 2_000),
+        ];
+        let table = render_pass_table(&rows);
+        assert!(table.starts_with("pass"));
+        assert!(table.contains("base-plan"));
+        assert!(table.contains("o2a-cond-motion"));
+        assert!(table.contains("99"));
+        assert_eq!(table.lines().count(), 3);
     }
 }

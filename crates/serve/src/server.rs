@@ -32,6 +32,7 @@ use crate::queue::{AdmissionQueue, SubmitError};
 use crate::receipt::Receipt;
 use crate::shard::ShardEngine;
 use crate::stats::{Counters, LatencyHistogram};
+use detlock_passes::stats::PassStats;
 use detlock_shim::json::{Json, ToJson};
 use detlock_shim::sync::Mutex;
 use std::collections::HashMap;
@@ -107,6 +108,12 @@ struct ShardSlot {
     evicted: AtomicBool,
     busy_since: Mutex<Option<Instant>>,
     completed: AtomicU64,
+    /// Analysis-cache hits/misses across every compilation on this shard
+    /// (mirrored out of the worker-owned engine after each job).
+    analysis_hits: AtomicU64,
+    analysis_misses: AtomicU64,
+    /// Cumulative per-pass pipeline telemetry for this shard.
+    pass_totals: Mutex<Vec<PassStats>>,
 }
 
 struct Shared {
@@ -174,9 +181,54 @@ impl Shared {
                     ("alive", (!s.evicted.load(Ordering::Relaxed)).to_json()),
                     ("busy", s.busy_since.lock().is_some().to_json()),
                     ("completed", Counters::get(&s.completed).to_json()),
+                    (
+                        "analysis_hits",
+                        s.analysis_hits.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "analysis_misses",
+                        s.analysis_misses.load(Ordering::Relaxed).to_json(),
+                    ),
                 ])
             })
             .collect();
+        // Module-level pipeline telemetry: analysis-cache totals plus the
+        // per-pass rows summed across shards (by pass name).
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut passes: Vec<PassStats> = Vec::new();
+        for s in &self.shards {
+            hits += s.analysis_hits.load(Ordering::Relaxed);
+            misses += s.analysis_misses.load(Ordering::Relaxed);
+            for ps in s.pass_totals.lock().iter() {
+                match passes.iter_mut().find(|t| t.name == ps.name) {
+                    Some(t) => {
+                        t.wall_ns += ps.wall_ns;
+                        t.ticks_added += ps.ticks_added;
+                        t.ticks_removed += ps.ticks_removed;
+                        t.mass_moved += ps.mass_moved;
+                    }
+                    None => passes.push(ps.clone()),
+                }
+            }
+        }
+        let pass_rows: Vec<Json> = passes
+            .iter()
+            .map(|p| {
+                Json::obj([
+                    ("pass", p.name.to_json()),
+                    ("wall_ns", p.wall_ns.to_json()),
+                    ("ticks_added", (p.ticks_added as u64).to_json()),
+                    ("ticks_removed", (p.ticks_removed as u64).to_json()),
+                    ("mass_moved", p.mass_moved.to_json()),
+                ])
+            })
+            .collect();
+        let instrumentation = Json::obj([
+            ("analysis_cache_hits", hits.to_json()),
+            ("analysis_cache_misses", misses.to_json()),
+            ("passes", Json::Arr(pass_rows)),
+        ]);
         Json::obj([
             ("ok", true.to_json()),
             (
@@ -192,6 +244,7 @@ impl Shared {
             ("counters", self.counters.to_json()),
             ("queue_latency", self.queue_latency.to_json()),
             ("exec_latency", self.exec_latency.to_json()),
+            ("instrumentation", instrumentation),
             ("shards", Json::Arr(shard_rows)),
         ])
     }
@@ -215,6 +268,9 @@ impl DetServed {
                 evicted: AtomicBool::new(false),
                 busy_since: Mutex::new(None),
                 completed: AtomicU64::new(0),
+                analysis_hits: AtomicU64::new(0),
+                analysis_misses: AtomicU64::new(0),
+                pass_totals: Mutex::new(Vec::new()),
             })
             .collect();
         let shared = Arc::new(Shared {
@@ -492,6 +548,14 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
         let result = engine.execute(&job.spec, shared.config.job_cycle_budget);
         let exec_us = exec_start.elapsed().as_micros() as u64;
         *slot.busy_since.lock() = None;
+
+        // Mirror the engine's compilation telemetry into the slot so
+        // `/stats` (served off other threads) can read it.
+        slot.analysis_hits
+            .store(engine.analysis_cache_hits(), Ordering::Relaxed);
+        slot.analysis_misses
+            .store(engine.analysis_cache_misses(), Ordering::Relaxed);
+        *slot.pass_totals.lock() = engine.pass_totals().to_vec();
 
         if slot.evicted.load(Ordering::Relaxed) {
             // Killed mid-run (watchdog or `kill`): the result — even a

@@ -14,6 +14,7 @@ use crate::receipt::Receipt;
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, Instrumented, OptConfig};
 use detlock_passes::plan::Placement;
+use detlock_passes::stats::PassStats;
 use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
 use std::collections::HashMap;
 
@@ -72,6 +73,9 @@ pub struct ShardEngine {
     pub id: usize,
     cost: CostModel,
     cache: HashMap<String, CachedJob>,
+    analysis_hits: u64,
+    analysis_misses: u64,
+    pass_totals: Vec<PassStats>,
 }
 
 impl ShardEngine {
@@ -81,6 +85,27 @@ impl ShardEngine {
             id,
             cost: CostModel::default(),
             cache: HashMap::new(),
+            analysis_hits: 0,
+            analysis_misses: 0,
+            pass_totals: Vec::new(),
+        }
+    }
+
+    /// Fold one compilation's pipeline telemetry into this shard's running
+    /// totals (kept per pass name, across every config ever compiled here).
+    fn absorb_stats(&mut self, inst: &Instrumented) {
+        self.analysis_hits += inst.stats.analysis_cache_hits;
+        self.analysis_misses += inst.stats.analysis_cache_misses;
+        for ps in &inst.stats.per_pass {
+            match self.pass_totals.iter_mut().find(|t| t.name == ps.name) {
+                Some(t) => {
+                    t.wall_ns += ps.wall_ns;
+                    t.ticks_added += ps.ticks_added;
+                    t.ticks_removed += ps.ticks_removed;
+                    t.mass_moved += ps.mass_moved;
+                }
+                None => self.pass_totals.push(ps.clone()),
+            }
         }
     }
 
@@ -97,6 +122,7 @@ impl ShardEngine {
                 Placement::Start,
                 &w.entries,
             );
+            self.absorb_stats(&inst);
             let specs = w
                 .threads
                 .iter()
@@ -150,6 +176,22 @@ impl ShardEngine {
     pub fn cached_configs(&self) -> usize {
         self.cache.len()
     }
+
+    /// Total analysis-cache hits across every compilation on this shard.
+    pub fn analysis_cache_hits(&self) -> u64 {
+        self.analysis_hits
+    }
+
+    /// Total analysis-cache misses across every compilation on this shard.
+    pub fn analysis_cache_misses(&self) -> u64 {
+        self.analysis_misses
+    }
+
+    /// Cumulative per-pass telemetry (summed by pass name) across every
+    /// compilation on this shard.
+    pub fn pass_totals(&self) -> &[PassStats] {
+        &self.pass_totals
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +238,28 @@ mod tests {
         let ra = a.execute(&spec(5), u64::MAX).unwrap();
         let rb = b.execute(&spec(5), u64::MAX).unwrap();
         assert_eq!(ra.canonical(), rb.canonical());
+    }
+
+    #[test]
+    fn compilation_telemetry_accumulates() {
+        let mut engine = ShardEngine::new(0);
+        engine.execute(&spec(1), u64::MAX).unwrap();
+        // The serving config (OptLevel::All) runs the full pipeline, so the
+        // shared analysis cache must have been consulted more than once per
+        // function.
+        assert!(engine.analysis_cache_hits() > 0);
+        assert!(engine.analysis_cache_misses() > 0);
+        assert!(!engine.pass_totals().is_empty());
+        let before = engine.analysis_cache_hits();
+        // A cache hit on the compiled module adds no new telemetry…
+        engine.execute(&spec(2), u64::MAX).unwrap();
+        assert_eq!(engine.analysis_cache_hits(), before);
+        // …a new config compiles again and accumulates.
+        let mut s = spec(3);
+        s.opt = OptLevel::None;
+        engine.execute(&s, u64::MAX).unwrap();
+        assert!(engine.analysis_cache_misses() > 0);
+        assert_eq!(engine.cached_configs(), 2);
     }
 
     #[test]

@@ -288,6 +288,40 @@ fn stats_snapshot_has_the_advertised_shape() {
     assert_eq!(exec.get("count").and_then(Json::as_u64), Some(1));
     assert!(exec.get("p99_us").and_then(Json::as_u64).unwrap() > 0);
 
+    // Pipeline telemetry: the job compiled at OptLevel::All through the
+    // pass manager, so the shared analysis cache must report hits, and the
+    // per-pass rows must be present.
+    let instr = stats.get("instrumentation").expect("instrumentation block");
+    assert!(
+        instr
+            .get("analysis_cache_hits")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0,
+        "serve path must hit the analysis cache: {}",
+        instr.to_string_compact()
+    );
+    assert!(
+        instr
+            .get("analysis_cache_misses")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let passes = instr.get("passes").and_then(Json::as_arr).unwrap();
+    assert!(
+        passes
+            .iter()
+            .any(|p| p.get("pass").and_then(Json::as_str) == Some("materialize-ticks")),
+        "per-pass rows missing: {}",
+        instr.to_string_compact()
+    );
+    let shard_hits: u64 = shards
+        .iter()
+        .map(|s| s.get("analysis_hits").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert!(shard_hits > 0);
+
     c.shutdown().unwrap();
     server.join();
 }

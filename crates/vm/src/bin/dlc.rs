@@ -15,11 +15,14 @@
 //! `--mode` ∈ {baseline, clocks, det, kendo}; `--opt` ∈ {none, o1, o2, o3,
 //! o4, all}; `--placement` ∈ {start, end}. With `--run`, each thread gets
 //! the same entry function and arguments, except that the literal `tid` in
-//! `--args` is replaced by the thread index.
+//! `--args` is replaced by the thread index. `--print-passes` lists the
+//! pass pipeline the selected `--opt`/`--placement` lower to and exits;
+//! `--pass-stats` prints per-pass telemetry after instrumenting.
 
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
+use detlock_passes::{render_pass_table, PassPipeline};
 use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
 
 struct Options {
@@ -33,12 +36,15 @@ struct Options {
     args: Vec<String>,
     seed: u64,
     estimates: Option<String>,
+    print_passes: bool,
+    pass_stats: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlc <input.dir> [--opt none|o1|o2|o3|o4|all] [--placement start|end]\n\
          \x20          [--emit text|dot|none] [--estimates FILE]\n\
+         \x20          [--print-passes] [--pass-stats]\n\
          \x20          [--run ENTRY --threads N --mode baseline|clocks|det|kendo\n\
          \x20           --args a,b,tid --seed S]"
     );
@@ -57,6 +63,8 @@ fn parse_options() -> Options {
         args: vec![],
         seed: 1,
         estimates: None,
+        print_passes: false,
+        pass_stats: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -125,6 +133,8 @@ fn parse_options() -> Options {
                 i += 1;
                 o.estimates = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--print-passes" => o.print_passes = true,
+            "--pass-stats" => o.pass_stats = true,
             flag if flag.starts_with("--") => usage(),
             path => {
                 if !o.input.is_empty() {
@@ -143,6 +153,14 @@ fn parse_options() -> Options {
 
 fn main() {
     let o = parse_options();
+    if o.print_passes {
+        // Describe the pipeline the flags lower to, without compiling.
+        let pipeline = PassPipeline::from_config(&OptConfig::only(o.opt), o.placement);
+        for line in pipeline.describe() {
+            println!("{line}");
+        }
+        return;
+    }
     let text = std::fs::read_to_string(&o.input).unwrap_or_else(|e| {
         eprintln!("dlc: cannot read {}: {e}", o.input);
         std::process::exit(1);
@@ -197,6 +215,13 @@ fn main() {
         out.stats.blocks_with_tick,
         out.stats.blocks
     );
+    if o.pass_stats {
+        eprint!("{}", render_pass_table(&out.stats.per_pass));
+        eprintln!(
+            "dlc: analysis cache: {} hits / {} misses",
+            out.stats.analysis_cache_hits, out.stats.analysis_cache_misses
+        );
+    }
 
     match o.emit.as_str() {
         "text" => {
