@@ -16,7 +16,7 @@
 
 use detlock_bench::{machine_config, run_baseline, thread_specs, CliOptions};
 use detlock_passes::cost::CostModel;
-use detlock_passes::pipeline::{instrument, OptConfig};
+use detlock_passes::pipeline::{instrument, instrument_with, OptConfig};
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode};
@@ -255,15 +255,17 @@ fn main() {
 
     // 6. Per-pass pipeline telemetry: where the instrumentation pipeline
     // spends its time and which passes add/remove clock mass, per workload
-    // at the full configuration.
+    // at the full configuration. Compiled through the shared plan cache so
+    // the cache counters show how much the sweeps above deduplicated.
     let mut pass_rows: Vec<Json> = Vec::new();
     for w in opts.workloads_at(scale) {
-        let inst = instrument(
+        let inst = instrument_with(
             &w.module,
             &cost,
             &OptConfig::all(),
             Placement::Start,
             &w.entries,
+            opts.compile_opts(),
         );
         if text {
             println!("\n== pass telemetry ({}, all opts) ==", w.name);
@@ -274,6 +276,12 @@ fn main() {
             println!(
                 "analysis cache: {} hits / {} misses",
                 inst.stats.analysis_cache_hits, inst.stats.analysis_cache_misses
+            );
+            println!(
+                "plan cache: {} hits / {} misses / {} evictions",
+                inst.stats.plan_cache_hits,
+                inst.stats.plan_cache_misses,
+                inst.stats.plan_cache_evictions
             );
         }
         let rows: Vec<Json> = inst
@@ -300,8 +308,81 @@ fn main() {
                 "analysis_cache_misses",
                 inst.stats.analysis_cache_misses.to_json(),
             ),
+            ("plan_cache_hits", inst.stats.plan_cache_hits.to_json()),
+            ("plan_cache_misses", inst.stats.plan_cache_misses.to_json()),
+            (
+                "plan_cache_evictions",
+                inst.stats.plan_cache_evictions.to_json(),
+            ),
             ("passes", Json::Arr(rows)),
         ]));
+    }
+
+    // 7. Parallel-compile speedup: the same compile, serial vs the
+    // 8-worker pool, uncached on both sides (the cache would turn the
+    // second measurement into a lookup). Output equality is pinned by the
+    // golden suite; this section records the wall-clock win.
+    const SPEEDUP_THREADS: usize = 8;
+    const SPEEDUP_REPS: u32 = 3;
+    if text {
+        println!("\n== parallel compile speedup (all opts, {SPEEDUP_THREADS} workers) ==");
+        println!(
+            "{:<12}{:>14}{:>14}{:>10}",
+            "benchmark", "serial us", "parallel us", "speedup"
+        );
+    }
+    let mut speedup_rows: Vec<Json> = Vec::new();
+    let (mut serial_total, mut parallel_total) = (0u64, 0u64);
+    for w in opts.workloads_at(scale) {
+        let time = |threads: usize| -> u64 {
+            (0..SPEEDUP_REPS)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let inst = instrument_with(
+                        &w.module,
+                        &cost,
+                        &OptConfig::all(),
+                        Placement::Start,
+                        &w.entries,
+                        detlock_passes::CompileOpts::threads(threads),
+                    );
+                    std::hint::black_box(&inst);
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                })
+                .min()
+                .unwrap()
+        };
+        let serial_ns = time(1);
+        let parallel_ns = time(SPEEDUP_THREADS);
+        serial_total += serial_ns;
+        parallel_total += parallel_ns;
+        let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+        if text {
+            println!(
+                "{:<12}{:>14.1}{:>14.1}{:>9.2}x",
+                w.name,
+                serial_ns as f64 / 1e3,
+                parallel_ns as f64 / 1e3,
+                speedup
+            );
+        }
+        speedup_rows.push(Json::obj([
+            ("name", w.name.to_json()),
+            ("serial_ns", serial_ns.to_json()),
+            ("parallel_ns", parallel_ns.to_json()),
+            ("threads", (SPEEDUP_THREADS as u64).to_json()),
+            ("speedup", speedup.to_json()),
+        ]));
+    }
+    let total_speedup = serial_total as f64 / parallel_total.max(1) as f64;
+    if text {
+        println!(
+            "{:<12}{:>14.1}{:>14.1}{:>9.2}x",
+            "TOTAL",
+            serial_total as f64 / 1e3,
+            parallel_total as f64 / 1e3,
+            total_speedup
+        );
     }
 
     opts.emit_json(&Json::obj([
@@ -312,5 +393,15 @@ fn main() {
         ("kendo_chunks", Json::Arr(kendo_rows)),
         ("det_event_cost", Json::Arr(cost_rows)),
         ("pass_telemetry", Json::Arr(pass_rows)),
+        (
+            "parallel_compile",
+            Json::obj([
+                ("threads", (SPEEDUP_THREADS as u64).to_json()),
+                ("serial_total_ns", serial_total.to_json()),
+                ("parallel_total_ns", parallel_total.to_json()),
+                ("total_speedup", total_speedup.to_json()),
+                ("workloads", Json::Arr(speedup_rows)),
+            ]),
+        ),
     ]));
 }

@@ -10,7 +10,9 @@
 //! ```
 
 use detlock_analyze::Severity;
-use detlock_bench::{instrumented, lint_workload, machine_config, thread_specs, CliOptions};
+use detlock_bench::{
+    instrumented_opts, lint_workload_opts, machine_config, thread_specs, CliOptions,
+};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
@@ -36,7 +38,7 @@ fn main() {
         // --deny-warnings` holds the workloads to in CI: a pre-pass that
         // gates on less than the lint does would let a finding the lint
         // rejects slip past the determinism probe.
-        let lint = lint_workload(&w, &cost, Placement::Start);
+        let lint = lint_workload_opts(&w, &cost, Placement::Start, opts.compile_opts());
         let lint_ok = lint.ok(true);
         if !lint_ok {
             failures += 1;
@@ -48,7 +50,13 @@ fn main() {
                 eprintln!("  {f}");
             }
         }
-        let inst = instrumented(&w, &cost, OptLevel::All, Placement::Start);
+        let inst = instrumented_opts(
+            &w,
+            &cost,
+            OptLevel::All,
+            Placement::Start,
+            opts.compile_opts(),
+        );
         let specs = thread_specs(&w);
         let det = check_determinism(
             &inst.module,

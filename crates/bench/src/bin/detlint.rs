@@ -15,7 +15,7 @@
 //! manifests. `--out FILE` writes the JSON report regardless of `--json`.
 
 use detlock_analyze::{Report, Severity};
-use detlock_bench::{lint_workload, machine_config, thread_specs, CliOptions};
+use detlock_bench::{lint_workload_opts, machine_config, thread_specs, CliOptions};
 use detlock_passes::cost::CostModel;
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
@@ -59,7 +59,7 @@ fn main() {
     let mut warnings = 0usize;
 
     for w in &workloads {
-        let report = lint_workload(w, &cost, Placement::Start);
+        let report = lint_workload_opts(w, &cost, Placement::Start, opts.compile_opts());
         errors += report.count(Severity::Error);
         warnings += report.count(Severity::Warning);
 

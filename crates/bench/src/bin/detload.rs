@@ -11,10 +11,14 @@
 //!
 //! ```text
 //! cargo run -p detlock-bench --release --bin detload -- --addr HOST:PORT \
-//!     [--rate JOBS_PER_SEC] [--jobs N] [--threads N] [--scale F] \
-//!     [--seeds A,B,C] [--json] [--out BENCH_serve.json] [--shutdown]
+//!     [--ready-file PATH] [--rate JOBS_PER_SEC] [--jobs N] [--threads N] \
+//!     [--scale F] [--seeds A,B,C] [--json] [--out BENCH_serve.json] \
+//!     [--shutdown]
 //! ```
 //!
+//! `--ready-file PATH` waits for `detserved --ready-file PATH` to publish
+//! its bound address and uses that instead of (or as well as) `--addr` —
+//! the race-free replacement for sleep-polling an ephemeral port.
 //! `--out` writes the benchmark report (conventionally `BENCH_serve.json`);
 //! `--shutdown` drains the server when done.
 
@@ -29,6 +33,28 @@ use std::time::{Duration, Instant};
 /// How often a rejected (queue-full) submission is retried before the job
 /// counts as failed.
 const MAX_SUBMIT_RETRIES: u32 = 50;
+
+/// How long `--ready-file` waits for the server to publish its address.
+const READY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Block until `path` exists (published atomically by `detserved
+/// --ready-file`) and return the address on its first line.
+fn await_ready_file(path: &str) -> String {
+    let deadline = Instant::now() + READY_TIMEOUT;
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(path) {
+            let addr = contents.lines().next().unwrap_or("").trim().to_string();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for ready file `{path}`"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
 
 struct JobOutcome {
     key: String,
@@ -158,6 +184,7 @@ fn sweep_json(s: &SweepResult) -> Json {
 
 fn main() {
     let mut addr = String::new();
+    let mut ready_file: Option<String> = None;
     let mut rate = 50.0f64;
     let mut jobs_target = 0usize; // 0 = one job per workload × seed
     let mut do_shutdown = false;
@@ -166,6 +193,10 @@ fn main() {
             "--addr" => {
                 *i += 1;
                 addr = args[*i].clone();
+            }
+            "--ready-file" => {
+                *i += 1;
+                ready_file = Some(args[*i].clone());
             }
             "--rate" => {
                 *i += 1;
@@ -180,7 +211,14 @@ fn main() {
         }
         true
     });
-    assert!(!addr.is_empty(), "detload requires --addr HOST:PORT");
+    if let Some(path) = &ready_file {
+        addr = await_ready_file(path);
+        eprintln!("detload: server ready at {addr} (via {path})");
+    }
+    assert!(
+        !addr.is_empty(),
+        "detload requires --addr HOST:PORT or --ready-file PATH"
+    );
     assert!(rate > 0.0, "--rate must be positive");
     let scale = opts.scale_or(0.02); // service jobs are short episodes, not benchmarks
     if opts.threads == 4 {

@@ -8,20 +8,49 @@
 //! ```text
 //! cargo run -p detlock-bench --release --bin detserved -- \
 //!     [--addr HOST:PORT] [--shards N] [--queue N] [--max-retries N] \
-//!     [--budget CYCLES] [--watchdog-ms MS]
+//!     [--budget CYCLES] [--watchdog-ms MS] [--compile-threads N] \
+//!     [--ready-file PATH]
 //! ```
 //!
-//! `--watchdog-ms 0` disables the stall supervisor.
+//! `--watchdog-ms 0` disables the stall supervisor. `--compile-threads N`
+//! sizes each shard engine's instrumentation compile pool (byte-identical
+//! output at any setting; also settable via `DETLOCK_COMPILE_THREADS`).
+//! `--ready-file PATH` atomically publishes the bound address to `PATH`
+//! *after* the listener is accepting — a race-free readiness marker for
+//! scripts that would otherwise have to sleep-poll the port.
 
 use detlock_serve::server::{DetServed, ServeConfig};
+use std::io::Write;
 use std::time::Duration;
+
+/// Publish `addr` to `path` atomically: write a sibling temp file, then
+/// rename into place. A reader that sees the file sees the whole address,
+/// and the server is already accepting by the time the rename lands.
+fn write_ready_file(path: &str, addr: &str) {
+    let tmp = format!("{path}.tmp");
+    let mut f = std::fs::File::create(&tmp).expect("create ready file");
+    writeln!(f, "{addr}").expect("write ready file");
+    f.sync_all().expect("sync ready file");
+    drop(f);
+    std::fs::rename(&tmp, path).expect("publish ready file");
+}
 
 fn main() {
     let mut cfg = ServeConfig::default();
+    let mut ready_file: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--compile-threads" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--compile-threads N");
+                cfg.compile_threads = n.max(1);
+            }
+            "--ready-file" => {
+                i += 1;
+                ready_file = Some(args[i].clone());
+            }
             "--addr" => {
                 i += 1;
                 cfg.addr = args[i].clone();
@@ -55,9 +84,17 @@ fn main() {
 
     let server = DetServed::start(cfg.clone()).expect("bind listen address");
     println!("detserved listening on {}", server.local_addr());
+    if let Some(path) = &ready_file {
+        write_ready_file(path, &server.local_addr().to_string());
+    }
     eprintln!(
-        "shards={} queue={} max_retries={} budget={} watchdog={:?}",
-        cfg.shards, cfg.queue_capacity, cfg.max_retries, cfg.job_cycle_budget, cfg.watchdog
+        "shards={} queue={} max_retries={} budget={} watchdog={:?} compile_threads={}",
+        cfg.shards,
+        cfg.queue_capacity,
+        cfg.max_retries,
+        cfg.job_cycle_budget,
+        cfg.watchdog,
+        cfg.compile_threads
     );
     server.join();
     eprintln!("detserved: drained and stopped");

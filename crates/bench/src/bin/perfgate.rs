@@ -1,0 +1,334 @@
+//! `perfgate` — the CI performance/determinism gate.
+//!
+//! Compares a freshly measured benchmark report against a committed
+//! baseline and exits nonzero when either (a) a **wall-time total**
+//! regressed by more than the allowed percentage, or (b) a
+//! **deterministic compile fact** drifted (per-pass tick/mass telemetry,
+//! receipt identity) — those must match *exactly*, machine noise cannot
+//! excuse them.
+//!
+//! ```text
+//! perfgate [--baseline-passes FILE --current-passes FILE]
+//!          [--baseline-serve FILE --current-serve FILE]
+//!          [--max-regress-pct PCT]      # default 25
+//!          [--slowdown F]               # scale current wall times (negative control)
+//!          [--out diff.json]            # machine-readable diff artifact
+//! ```
+//!
+//! Wall-time checks compare **totals** (summed across every workload and
+//! pass), never individual sub-millisecond timings, so single-workload
+//! jitter averages out. `--slowdown 2` multiplies the current run's wall
+//! times by 2 before comparing — CI runs this as a negative control to
+//! prove the gate actually trips.
+//!
+//! Exit status: 0 = gate passed, 1 = regression or determinism mismatch,
+//! 2 = usage / unreadable input.
+
+use detlock_shim::json::{Json, ToJson};
+
+struct Check {
+    name: String,
+    ok: bool,
+    detail: String,
+}
+
+impl Check {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("ok", self.ok.to_json()),
+            ("detail", self.detail.to_json()),
+        ])
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perfgate [--baseline-passes FILE --current-passes FILE]\n\
+         \x20               [--baseline-serve FILE --current-serve FILE]\n\
+         \x20               [--max-regress-pct PCT] [--slowdown F] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perfgate: {path}: bad json: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// One wall-time total comparison: `current * slowdown` may exceed
+/// `baseline` by at most `max_regress_pct` percent.
+fn wall_check(
+    name: &str,
+    baseline_ns: u64,
+    current_ns: u64,
+    slowdown: f64,
+    max_regress_pct: f64,
+) -> Check {
+    let adjusted = current_ns as f64 * slowdown;
+    let limit = baseline_ns as f64 * (1.0 + max_regress_pct / 100.0);
+    // A zero baseline can't express a ratio; treat it as vacuously passing
+    // (the structural checks still guard correctness).
+    let ok = baseline_ns == 0 || adjusted <= limit;
+    Check {
+        name: name.to_string(),
+        ok,
+        detail: format!(
+            "baseline {baseline_ns}ns, current {current_ns}ns (x{slowdown} = {adjusted:.0}ns), \
+             limit {limit:.0}ns (+{max_regress_pct}%)"
+        ),
+    }
+}
+
+/// Sum of `wall_ns` across every per-pass row of every workload in a
+/// `pass_telemetry` array.
+fn total_pass_wall_ns(report: &Json) -> u64 {
+    report
+        .get("pass_telemetry")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .flat_map(|w| w.get("passes").and_then(Json::as_arr).unwrap_or(&[]))
+                .filter_map(|p| p.get("wall_ns").and_then(Json::as_u64))
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Deterministic telemetry must match exactly: for every workload and pass
+/// in the baseline, the current run's ticks_added / ticks_removed /
+/// mass_moved are byte-for-byte the same numbers. Drift here means the
+/// compiler's output changed, which a perf gate must flag regardless of
+/// how fast the machine is.
+fn structural_checks(baseline: &Json, current: &Json, checks: &mut Vec<Check>) {
+    let empty: [Json; 0] = [];
+    let base_rows = baseline
+        .get("pass_telemetry")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let cur_rows = current
+        .get("pass_telemetry")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for bw in base_rows {
+        let name = bw.get("name").and_then(Json::as_str).unwrap_or("?");
+        let Some(cw) = cur_rows
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            checks.push(Check {
+                name: format!("passes/{name}/present"),
+                ok: false,
+                detail: "workload missing from current report".to_string(),
+            });
+            continue;
+        };
+        let bp = bw.get("passes").and_then(Json::as_arr).unwrap_or(&empty);
+        let cp = cw.get("passes").and_then(Json::as_arr).unwrap_or(&empty);
+        let mut drift = Vec::new();
+        for brow in bp {
+            let pass = brow.get("pass").and_then(Json::as_str).unwrap_or("?");
+            let crow = cp
+                .iter()
+                .find(|c| c.get("pass").and_then(Json::as_str) == Some(pass));
+            for field in ["ticks_added", "ticks_removed", "mass_moved"] {
+                let b = brow.get(field).and_then(Json::as_u64);
+                let c = crow.and_then(|r| r.get(field)).and_then(Json::as_u64);
+                if b != c {
+                    drift.push(format!("{pass}.{field}: baseline {b:?} != current {c:?}"));
+                }
+            }
+        }
+        checks.push(Check {
+            name: format!("passes/{name}/telemetry-identical"),
+            ok: drift.is_empty(),
+            detail: if drift.is_empty() {
+                "deterministic pass telemetry matches baseline".to_string()
+            } else {
+                drift.join("; ")
+            },
+        });
+    }
+}
+
+fn check_passes(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks: &mut Vec<Check>) {
+    checks.push(wall_check(
+        "passes/total-pass-wall",
+        total_pass_wall_ns(baseline),
+        total_pass_wall_ns(current),
+        slowdown,
+        pct,
+    ));
+    structural_checks(baseline, current, checks);
+    // Parallel-compile totals: gate the serial total (the reference cost)
+    // and record the measured speedup for the artifact.
+    let pc = |j: &Json, key: &str| {
+        j.get("parallel_compile")
+            .and_then(|p| p.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    checks.push(wall_check(
+        "passes/serial-compile-wall",
+        pc(baseline, "serial_total_ns"),
+        pc(current, "serial_total_ns"),
+        slowdown,
+        pct,
+    ));
+    let speedup = current
+        .get("parallel_compile")
+        .and_then(|p| p.get("total_speedup"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    checks.push(Check {
+        name: "passes/parallel-speedup-recorded".to_string(),
+        ok: speedup > 0.0,
+        detail: format!("parallel compile total speedup {speedup:.2}x (informational)"),
+    });
+}
+
+fn check_serve(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks: &mut Vec<Check>) {
+    let identical = current
+        .get("receipts_identical")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let compared = current
+        .get("receipts_compared")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    checks.push(Check {
+        name: "serve/receipts-identical".to_string(),
+        ok: identical && compared > 0,
+        detail: format!("{compared} receipts compared across sweeps, identical = {identical}"),
+    });
+    let failed = |j: &Json| -> u64 {
+        ["sweep1", "sweep2"]
+            .iter()
+            .filter_map(|s| {
+                j.get(s)
+                    .and_then(|x| x.get("failed"))
+                    .and_then(Json::as_u64)
+            })
+            .sum()
+    };
+    checks.push(Check {
+        name: "serve/no-failed-jobs".to_string(),
+        ok: failed(current) == 0,
+        detail: format!(
+            "failed jobs: baseline {}, current {}",
+            failed(baseline),
+            failed(current)
+        ),
+    });
+    let wall = |j: &Json| -> u64 {
+        j.get("sweep2")
+            .and_then(|s| s.get("wall_ms"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    checks.push(wall_check(
+        "serve/sweep2-wall",
+        wall(baseline) * 1_000_000,
+        wall(current) * 1_000_000,
+        slowdown,
+        pct,
+    ));
+    let plan_hits = current
+        .get("server_stats")
+        .and_then(|s| s.get("instrumentation"))
+        .and_then(|i| i.get("plan_cache_hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    checks.push(Check {
+        name: "serve/plan-cache-hits".to_string(),
+        ok: plan_hits > 0,
+        detail: format!(
+            "server reported {plan_hits} plan-cache hits after the two-sweep drive \
+             (sibling shards must reuse compiled artifacts)"
+        ),
+    });
+}
+
+fn main() {
+    let mut baseline_passes: Option<String> = None;
+    let mut current_passes: Option<String> = None;
+    let mut baseline_serve: Option<String> = None;
+    let mut current_serve: Option<String> = None;
+    let mut max_regress_pct = 25.0f64;
+    let mut slowdown = 1.0f64;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--baseline-passes" => baseline_passes = Some(take(&mut i)),
+            "--current-passes" => current_passes = Some(take(&mut i)),
+            "--baseline-serve" => baseline_serve = Some(take(&mut i)),
+            "--current-serve" => current_serve = Some(take(&mut i)),
+            "--max-regress-pct" => {
+                max_regress_pct = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--slowdown" => slowdown = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(take(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut checks: Vec<Check> = Vec::new();
+    let mut ran_any = false;
+    if let (Some(b), Some(c)) = (&baseline_passes, &current_passes) {
+        ran_any = true;
+        check_passes(&load(b), &load(c), slowdown, max_regress_pct, &mut checks);
+    }
+    if let (Some(b), Some(c)) = (&baseline_serve, &current_serve) {
+        ran_any = true;
+        check_serve(&load(b), &load(c), slowdown, max_regress_pct, &mut checks);
+    }
+    if !ran_any {
+        usage();
+    }
+
+    let failed: Vec<&Check> = checks.iter().filter(|c| !c.ok).collect();
+    for c in &checks {
+        println!(
+            "{} {:<36} {}",
+            if c.ok { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+    }
+
+    if let Some(path) = &out {
+        let artifact = Json::obj([
+            ("max_regress_pct", max_regress_pct.to_json()),
+            ("slowdown", slowdown.to_json()),
+            ("ok", failed.is_empty().to_json()),
+            (
+                "checks",
+                Json::Arr(checks.iter().map(Check::to_json).collect()),
+            ),
+        ]);
+        std::fs::write(path, artifact.to_string_pretty() + "\n").unwrap_or_else(|e| {
+            eprintln!("perfgate: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    if !failed.is_empty() {
+        eprintln!("\nperfgate: {} check(s) failed", failed.len());
+        std::process::exit(1);
+    }
+    println!("\nperfgate: all {} checks passed", checks.len());
+}

@@ -17,7 +17,7 @@
 #![warn(missing_docs)]
 
 use detlock_passes::cost::CostModel;
-use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+use detlock_passes::pipeline::{instrument, instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
@@ -73,6 +73,25 @@ pub fn instrumented(
         &OptConfig::only(level),
         placement,
         &w.entries,
+    )
+}
+
+/// [`instrumented`] with explicit [`CompileOpts`] (compile pool + plan
+/// cache); output is byte-identical for any options.
+pub fn instrumented_opts(
+    w: &Workload,
+    cost: &CostModel,
+    level: OptLevel,
+    placement: Placement,
+    opts: CompileOpts,
+) -> detlock_passes::pipeline::Instrumented {
+    instrument_with(
+        &w.module,
+        cost,
+        &OptConfig::only(level),
+        placement,
+        &w.entries,
+        opts,
     )
 }
 
@@ -364,14 +383,27 @@ pub fn lint_workload(
     cost: &CostModel,
     placement: Placement,
 ) -> detlock_analyze::Report {
+    lint_workload_opts(w, cost, placement, CompileOpts::serial())
+}
+
+/// [`lint_workload`] with explicit [`CompileOpts`], so `detlint`/`detcheck`
+/// honor `--compile-threads` and share the plan cache across the six
+/// configurations they validate.
+pub fn lint_workload_opts(
+    w: &Workload,
+    cost: &CostModel,
+    placement: Placement,
+    opts: CompileOpts,
+) -> detlock_analyze::Report {
     let mut report = detlock_analyze::races::analyze_races(&w.module, &race_threads(w));
     for level in OptLevel::table1_rows() {
-        let inst = instrument(
+        let inst = instrument_with(
             &w.module,
             cost,
             &OptConfig::only(level),
             placement,
             &w.entries,
+            opts,
         );
         let mut r = detlock_analyze::validate::validate(&w.module, &inst.module, &inst.cert, cost);
         for f in &mut r.findings {
@@ -387,8 +419,8 @@ pub const DEFAULT_SEEDS: [u64; 5] = [1, 2, 7, 42, 31337];
 
 /// Shared command-line options for the bench binaries. Every binary
 /// accepts the same core flags (`--threads`, `--scale`, `--seed`,
-/// `--seeds`, `--json`, `--out`, `--only`); binaries with extra flags
-/// layer them on via [`CliOptions::parse_with`].
+/// `--seeds`, `--json`, `--out`, `--only`, `--compile-threads`); binaries
+/// with extra flags layer them on via [`CliOptions::parse_with`].
 pub struct CliOptions {
     /// Number of simulated cores/threads.
     pub threads: usize,
@@ -407,12 +439,16 @@ pub struct CliOptions {
     pub out: Option<String>,
     /// Restrict to one benchmark.
     pub only: Option<String>,
+    /// Instrumentation compile workers (`--compile-threads N`, default
+    /// `DETLOCK_COMPILE_THREADS` or 1). Distinct from `--threads`, which is
+    /// the *simulated* core count.
+    pub compile_threads: usize,
 }
 
 impl CliOptions {
     /// Parse from `std::env::args` (ignores the binary name). Supported:
     /// `--threads N`, `--scale F`, `--seed N`, `--seeds A,B,C`, `--json`,
-    /// `--out FILE`, `--only NAME`.
+    /// `--out FILE`, `--only NAME`, `--compile-threads N`.
     pub fn parse() -> CliOptions {
         Self::parse_with(|_, _, _| false)
     }
@@ -429,6 +465,7 @@ impl CliOptions {
             seeds: DEFAULT_SEEDS.to_vec(),
             out: None,
             only: None,
+            compile_threads: CompileOpts::from_env().threads,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -453,6 +490,10 @@ impl CliOptions {
                         .map(|s| s.trim().parse().expect("--seeds A,B,C"))
                         .collect();
                     assert!(!opts.seeds.is_empty(), "--seeds needs at least one seed");
+                }
+                "--compile-threads" => {
+                    i += 1;
+                    opts.compile_threads = args[i].parse().expect("--compile-threads N");
                 }
                 "--json" => opts.json = true,
                 "--out" => {
@@ -489,6 +530,12 @@ impl CliOptions {
     /// binary's own `default`.
     pub fn scale_or(&self, default: f64) -> f64 {
         self.scale.unwrap_or(default)
+    }
+
+    /// The resolved [`CompileOpts`]: `--compile-threads` workers with the
+    /// process-wide plan cache enabled.
+    pub fn compile_opts(&self) -> CompileOpts {
+        CompileOpts::threads(self.compile_threads).cached()
     }
 
     /// The workloads selected by `--only` (or all five) at the paper's

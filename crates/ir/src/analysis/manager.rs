@@ -6,7 +6,7 @@
 //! these are pure functions of the IR, so as long as no pass mutates the
 //! module they can be computed once and shared. The [`AnalysisManager`]
 //! owns that cache: analyses are computed on first request, returned as
-//! cheap [`Rc`] clones, and dropped when a pass declares (via
+//! cheap [`Arc`] clones, and dropped when a pass declares (via
 //! [`PreservedAnalyses`]) that it changed the underlying IR.
 //!
 //! Hit/miss counters are kept so callers (the pass pipeline, the serve
@@ -18,7 +18,7 @@ use crate::analysis::loops::LoopInfo;
 use crate::analysis::paths::{enumerate_paths_recorded, PathError, Step};
 use crate::module::Function;
 use crate::types::{BlockId, FuncId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What a pass declares about the analyses that were valid before it ran.
 ///
@@ -50,15 +50,15 @@ pub enum PathPolicy {
 struct RouteEntry {
     policy: PathPolicy,
     cap: usize,
-    result: Result<Rc<Vec<Vec<BlockId>>>, PathError>,
+    result: Result<Arc<Vec<Vec<BlockId>>>, PathError>,
 }
 
 /// Per-function cached analyses.
 #[derive(Debug, Clone, Default)]
 struct FuncSlot {
-    cfg: Option<Rc<Cfg>>,
-    dom: Option<Rc<DomTree>>,
-    loops: Option<Rc<LoopInfo>>,
+    cfg: Option<Arc<Cfg>>,
+    dom: Option<Arc<DomTree>>,
+    loops: Option<Arc<LoopInfo>>,
     routes: Vec<RouteEntry>,
 }
 
@@ -101,33 +101,33 @@ impl AnalysisManager {
     ///
     /// The caller is responsible for passing the function the manager's
     /// `fid` slot refers to; the manager never inspects module identity.
-    pub fn cfg(&mut self, fid: FuncId, func: &Function) -> Rc<Cfg> {
+    pub fn cfg(&mut self, fid: FuncId, func: &Function) -> Arc<Cfg> {
         if let Some(cfg) = self.slot(fid).cfg.clone() {
             self.hits += 1;
             return cfg;
         }
         self.misses += 1;
-        let cfg = Rc::new(Cfg::compute(func));
-        self.slot(fid).cfg = Some(Rc::clone(&cfg));
+        let cfg = Arc::new(Cfg::compute(func));
+        self.slot(fid).cfg = Some(Arc::clone(&cfg));
         cfg
     }
 
     /// The dominator tree of `func` (computes the CFG first if needed).
-    pub fn dom(&mut self, fid: FuncId, func: &Function) -> Rc<DomTree> {
+    pub fn dom(&mut self, fid: FuncId, func: &Function) -> Arc<DomTree> {
         if let Some(dom) = self.slot(fid).dom.clone() {
             self.hits += 1;
             return dom;
         }
         let cfg = self.cfg(fid, func);
         self.misses += 1;
-        let dom = Rc::new(DomTree::compute(&cfg));
-        self.slot(fid).dom = Some(Rc::clone(&dom));
+        let dom = Arc::new(DomTree::compute(&cfg));
+        self.slot(fid).dom = Some(Arc::clone(&dom));
         dom
     }
 
     /// The natural-loop analysis of `func` (computes CFG and dominators
     /// first if needed).
-    pub fn loops(&mut self, fid: FuncId, func: &Function) -> Rc<LoopInfo> {
+    pub fn loops(&mut self, fid: FuncId, func: &Function) -> Arc<LoopInfo> {
         if let Some(loops) = self.slot(fid).loops.clone() {
             self.hits += 1;
             return loops;
@@ -135,8 +135,8 @@ impl AnalysisManager {
         let cfg = self.cfg(fid, func);
         let dom = self.dom(fid, func);
         self.misses += 1;
-        let loops = Rc::new(LoopInfo::compute(&cfg, &dom));
-        self.slot(fid).loops = Some(Rc::clone(&loops));
+        let loops = Arc::new(LoopInfo::compute(&cfg, &dom));
+        self.slot(fid).loops = Some(Arc::clone(&loops));
         loops
     }
 
@@ -154,7 +154,7 @@ impl AnalysisManager {
         func: &Function,
         policy: PathPolicy,
         max_paths: usize,
-    ) -> Result<Rc<Vec<Vec<BlockId>>>, PathError> {
+    ) -> Result<Arc<Vec<Vec<BlockId>>>, PathError> {
         if let Some(entry) = self
             .slot(fid)
             .routes
@@ -169,7 +169,7 @@ impl AnalysisManager {
                     // would have overflowed mid-walk.
                     self.hits += 1;
                     return if routes.len() <= max_paths {
-                        Ok(Rc::clone(routes))
+                        Ok(Arc::clone(routes))
                     } else {
                         Err(PathError::TooManyPaths)
                     };
@@ -204,7 +204,7 @@ impl AnalysisManager {
         func: &Function,
         policy: PathPolicy,
         max_paths: usize,
-    ) -> Result<Rc<Vec<Vec<BlockId>>>, PathError> {
+    ) -> Result<Arc<Vec<Vec<BlockId>>>, PathError> {
         let cfg = self.cfg(fid, func);
         let recorded = match policy {
             PathPolicy::FollowAll => {
@@ -227,7 +227,7 @@ impl AnalysisManager {
                 )?
             }
         };
-        Ok(Rc::new(recorded.routes))
+        Ok(Arc::new(recorded.routes))
     }
 
     /// Drop every cached analysis for one function.
@@ -306,6 +306,14 @@ mod tests {
     }
 
     #[test]
+    fn manager_is_send() {
+        // The parallel compile pool hands one manager to each worker
+        // thread; `Arc`-backed slots keep that sound.
+        fn assert_send<T: Send>() {}
+        assert_send::<AnalysisManager>();
+    }
+
+    #[test]
     fn second_request_hits_cache() {
         let f = diamond();
         let mut am = AnalysisManager::new(1);
@@ -314,7 +322,7 @@ mod tests {
         assert_eq!(am.cache_hits(), 0);
         let b = am.cfg(FuncId(0), &f);
         assert_eq!(am.cache_hits(), 1);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -363,7 +371,7 @@ mod tests {
         let again = am
             .entry_routes(FuncId(0), &f, PathPolicy::FollowAll, 100)
             .unwrap();
-        assert!(Rc::ptr_eq(&routes, &again));
+        assert!(Arc::ptr_eq(&routes, &again));
         assert_eq!(am.cache_hits(), h + 1);
     }
 

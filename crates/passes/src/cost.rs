@@ -202,6 +202,38 @@ impl CostModel {
         None
     }
 
+    /// A stable digest of every cost knob, for the plan cache's content
+    /// key: two models with the same fingerprint price every instruction
+    /// and builtin identically, so plans compiled under one are valid under
+    /// the other. Builtins are folded in sorted by name — `HashMap` order
+    /// never leaks into the digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::cache::Fnv64::new();
+        for v in [
+            self.alu,
+            self.mul,
+            self.div,
+            self.load,
+            self.store,
+            self.call,
+            self.sync,
+            self.tick,
+            self.tick_dyn_extra,
+        ] {
+            h.write_u64(v);
+        }
+        let mut names: Vec<&String> = self.builtins.keys().collect();
+        names.sort();
+        for name in names {
+            let est = &self.builtins[name];
+            h.write(name.as_bytes());
+            h.write(&[0]);
+            h.write_u64(est.base);
+            h.write_u64(est.per_unit);
+        }
+        h.finish()
+    }
+
     /// Parse an *instructions estimate file* and merge it into this model.
     ///
     /// Format (one entry per line, `#` comments):

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cert;
 pub mod cost;
 pub mod divergence;
@@ -53,14 +54,19 @@ pub mod opt2a;
 pub mod opt2b;
 pub mod opt3;
 pub mod opt4;
+pub mod parallel;
 pub mod pass;
 pub mod pipeline;
 pub mod plan;
 pub mod stats;
 
+pub use cache::{plan_key, PlanCache};
 pub use cert::{PassCert, PlanCert};
 pub use cost::CostModel;
 pub use pass::{Pass, PassPipeline};
-pub use pipeline::{instrument, Instrumented, OptConfig, OptLevel};
+pub use pipeline::{
+    instrument, instrument_with, CompileOpts, Instrumented, OptConfig, OptLevel,
+    COMPILE_THREADS_ENV,
+};
 pub use plan::{ModulePlan, Placement};
 pub use stats::{render_pass_table, PassStats, Stats};

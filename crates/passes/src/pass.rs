@@ -24,7 +24,7 @@
 
 use crate::cert::{PassCert, PlanCert};
 use crate::cost::CostModel;
-use crate::materialize::materialize;
+use crate::materialize::{materialize, materialize_function};
 use crate::opt1::{compute_clocked_with, ClockableParams};
 use crate::opt2a::apply_opt2a;
 use crate::opt2b::{apply_opt2b, Opt2bParams};
@@ -40,7 +40,11 @@ use std::time::Instant;
 
 /// A registered clock-plan transformation: one of the paper's O2a/O2b/O3/O4
 /// optimizations, run once per unclocked function.
-pub trait Pass {
+///
+/// `Send + Sync` so the parallel pipeline can share the registered pass
+/// objects across compile workers; passes are stateless parameter structs,
+/// so the bound costs implementors nothing.
+pub trait Pass: Send + Sync {
     /// Stable pass name, used in telemetry rows, `--print-passes` listings
     /// and per-pass certificates.
     fn name(&self) -> &'static str;
@@ -271,7 +275,36 @@ impl PassPipeline {
     /// Run every stage over `module`; semantically identical to the
     /// pre-pass-manager `instrument()` for every config and placement.
     pub fn run(&self, module: &Module, cost: &CostModel, entries: &[FuncId]) -> Instrumented {
+        self.run_threads(module, cost, entries, 1)
+    }
+
+    /// [`PassPipeline::run`] with the per-function phases (plan passes and
+    /// tick materialization) fanned out over `threads` compile workers.
+    ///
+    /// Output is byte-identical to the serial run for any thread count:
+    ///
+    /// * the interprocedural stages (O1 fixpoint, splitting, base planning)
+    ///   stay serial;
+    /// * each worker transforms whole functions (function-major), which the
+    ///   golden suite pins as equal to the serial pass-major order because
+    ///   plan passes only touch their own function's plan;
+    /// * results are committed in function-index order, and every
+    ///   aggregate — pass rows, cert slack vectors, analysis counters — is
+    ///   assembled from per-function values by index or by summation, so
+    ///   no aggregate depends on scheduling;
+    /// * analysis hit/miss totals match the serial shared-manager run
+    ///   exactly: splitting invalidates every cached analysis, so the
+    ///   serial phase-2 counts are a per-function sum, and each worker's
+    ///   private manager reproduces its functions' terms verbatim.
+    pub fn run_threads(
+        &self,
+        module: &Module,
+        cost: &CostModel,
+        entries: &[FuncId],
+        threads: usize,
+    ) -> Instrumented {
         let n = module.functions.len();
+        let parallel = threads > 1 && n > 1;
         let mut am = AnalysisManager::new(n);
         let mut per_pass: Vec<PassStats> = Vec::new();
 
@@ -301,34 +334,106 @@ impl PassPipeline {
         base.wall_ns = elapsed_ns(t);
         per_pass.push(base);
 
-        // Registered plan passes, pass-major (see module docs for why this
-        // order is observably identical to the old function-major loop).
+        // Registered plan passes. Serial runs pass-major (see module docs
+        // for why this order is observably identical to the old
+        // function-major loop); parallel runs function-major on the compile
+        // pool and commits per-function results in index order.
         let mut pass_certs: Vec<PassCert> = Vec::new();
-        for pass in &self.passes {
-            let t = Instant::now();
-            let mut slack = vec![0u64; n];
-            let mut row = PassStats::timed(pass.name(), 0);
-            for (fid, func) in split.iter_funcs() {
-                if clocked[fid.index()].is_some() {
-                    continue; // clocked functions carry no clock code at all
-                }
-                let plan = &mut plans[fid.index()];
-                let before = plan.block_clock.clone();
-                slack[fid.index()] = pass.run(func, fid, plan, &mut am);
-                for (b, &new) in plan.block_clock.iter().enumerate() {
-                    let old = before[b];
-                    if old == 0 && new > 0 {
-                        row.ticks_added += 1;
-                    } else if old > 0 && new == 0 {
-                        row.ticks_removed += 1;
+        let mut worker_hits = 0u64;
+        let mut worker_misses = 0u64;
+        if !parallel || self.passes.is_empty() {
+            for pass in &self.passes {
+                let t = Instant::now();
+                let mut slack = vec![0u64; n];
+                let mut row = PassStats::timed(pass.name(), 0);
+                for (fid, func) in split.iter_funcs() {
+                    if clocked[fid.index()].is_some() {
+                        continue; // clocked functions carry no clock code at all
                     }
-                    row.mass_moved += new.abs_diff(old);
+                    let plan = &mut plans[fid.index()];
+                    let before = plan.block_clock.clone();
+                    slack[fid.index()] = pass.run(func, fid, plan, &mut am);
+                    for (b, &new) in plan.block_clock.iter().enumerate() {
+                        let old = before[b];
+                        if old == 0 && new > 0 {
+                            row.ticks_added += 1;
+                        } else if old > 0 && new == 0 {
+                            row.ticks_removed += 1;
+                        }
+                        row.mass_moved += new.abs_diff(old);
+                    }
+                }
+                am.apply_preservation(pass.preserves());
+                pass_certs.push(pass.cert(slack));
+                row.wall_ns = elapsed_ns(t);
+                per_pass.push(row);
+            }
+        } else {
+            let passes = &self.passes;
+            let split_ref = &split;
+            let clocked_ref = &clocked;
+            let plans_ref = &plans;
+            let (results, workers) = crate::parallel::run_indexed_with(
+                n,
+                threads,
+                || AnalysisManager::new(0),
+                |wam, fidx| {
+                    if clocked_ref[fidx].is_some() {
+                        return (None, vec![FnPassDelta::default(); passes.len()]);
+                    }
+                    let fid = FuncId(fidx as u32);
+                    let func = &split_ref.functions[fidx];
+                    let mut plan = plans_ref[fidx].clone();
+                    let mut deltas = Vec::with_capacity(passes.len());
+                    for pass in passes {
+                        let t = Instant::now();
+                        let before = plan.block_clock.clone();
+                        let mut d = FnPassDelta {
+                            slack: pass.run(func, fid, &mut plan, wam),
+                            ..FnPassDelta::default()
+                        };
+                        for (b, &new) in plan.block_clock.iter().enumerate() {
+                            let old = before[b];
+                            if old == 0 && new > 0 {
+                                d.ticks_added += 1;
+                            } else if old > 0 && new == 0 {
+                                d.ticks_removed += 1;
+                            }
+                            d.mass_moved += new.abs_diff(old);
+                        }
+                        d.wall_ns = elapsed_ns(t);
+                        deltas.push(d);
+                    }
+                    (Some(plan), deltas)
+                },
+            );
+            // Commit phase: function-index order, aggregates by summation —
+            // both invariant under scheduling.
+            let mut rows: Vec<PassStats> = passes
+                .iter()
+                .map(|p| PassStats::timed(p.name(), 0))
+                .collect();
+            let mut slacks: Vec<Vec<u64>> = vec![vec![0u64; n]; passes.len()];
+            for (fidx, (new_plan, deltas)) in results.into_iter().enumerate() {
+                if let Some(p) = new_plan {
+                    plans[fidx] = p;
+                }
+                for (j, d) in deltas.into_iter().enumerate() {
+                    slacks[j][fidx] = d.slack;
+                    rows[j].ticks_added += d.ticks_added;
+                    rows[j].ticks_removed += d.ticks_removed;
+                    rows[j].mass_moved += d.mass_moved;
+                    rows[j].wall_ns += d.wall_ns;
                 }
             }
-            am.apply_preservation(pass.preserves());
-            pass_certs.push(pass.cert(slack));
-            row.wall_ns = elapsed_ns(t);
-            per_pass.push(row);
+            for (pass, slack) in passes.iter().zip(slacks) {
+                pass_certs.push(pass.cert(slack));
+            }
+            per_pass.extend(rows);
+            for w in &workers {
+                worker_hits += w.cache_hits();
+                worker_misses += w.cache_misses();
+            }
         }
 
         let plan = ModulePlan {
@@ -337,9 +442,30 @@ impl PassPipeline {
             funcs: plans,
         };
 
-        // Materialize ticks (rewrites the IR again).
+        // Materialize ticks (rewrites the IR again). Per-function and
+        // analysis-free, so the parallel path fans it out too; index-order
+        // reassembly keeps the module byte-identical.
         let t = Instant::now();
-        let out = materialize(&split, &plan, cost);
+        let out = if parallel {
+            let plan_ref = &plan;
+            let split_ref = &split;
+            let (functions, _) = crate::parallel::run_indexed_with(
+                n,
+                threads,
+                || (),
+                |_, fidx| {
+                    materialize_function(
+                        &split_ref.functions[fidx],
+                        &plan_ref.funcs[fidx],
+                        plan_ref.placement,
+                        cost,
+                    )
+                },
+            );
+            Module { functions }
+        } else {
+            materialize(&split, &plan, cost)
+        };
         am.apply_preservation(PreservedAnalyses::None);
         let mut mat = PassStats::timed(PASS_MATERIALIZE, elapsed_ns(t));
 
@@ -354,8 +480,8 @@ impl PassPipeline {
         mat.ticks_added = stats.ticks_inserted + stats.dynamic_ticks;
         per_pass.push(mat);
         stats.per_pass = per_pass;
-        stats.analysis_cache_hits = am.cache_hits();
-        stats.analysis_cache_misses = am.cache_misses();
+        stats.analysis_cache_hits = am.cache_hits() + worker_hits;
+        stats.analysis_cache_misses = am.cache_misses() + worker_misses;
 
         let cert = PlanCert::from_passes(&self.config, &plan, pass_certs);
         Instrumented {
@@ -365,6 +491,17 @@ impl PassPipeline {
             cert,
         }
     }
+}
+
+/// One pass's effect on one function, measured by a compile worker and
+/// folded into the pass row / cert slack vector at commit time.
+#[derive(Debug, Clone, Default)]
+struct FnPassDelta {
+    slack: u64,
+    ticks_added: usize,
+    ticks_removed: usize,
+    mass_moved: u64,
+    wall_ns: u64,
 }
 
 fn elapsed_ns(t: Instant) -> u64 {

@@ -143,6 +143,66 @@ pub struct Instrumented {
     pub cert: PlanCert,
 }
 
+/// How a compile should be executed: worker count and cache participation.
+///
+/// Neither knob affects the output — the golden-equivalence suite pins
+/// serial ≡ parallel(2) ≡ parallel(8) ≡ warm-cache byte-for-byte — they
+/// only trade memory and cores for wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOpts {
+    /// Compile workers for the per-function phases (1 = serial, the
+    /// default).
+    pub threads: usize,
+    /// Consult (and populate) the process-wide content-addressed
+    /// [`PlanCache`](crate::cache::PlanCache).
+    pub cache: bool,
+}
+
+impl Default for CompileOpts {
+    fn default() -> Self {
+        CompileOpts {
+            threads: 1,
+            cache: false,
+        }
+    }
+}
+
+/// Environment variable read by [`CompileOpts::from_env`] (same resolution
+/// the bins' `--compile-threads` flag falls back to).
+pub const COMPILE_THREADS_ENV: &str = "DETLOCK_COMPILE_THREADS";
+
+impl CompileOpts {
+    /// Serial, uncached — the reference configuration.
+    pub fn serial() -> CompileOpts {
+        CompileOpts::default()
+    }
+
+    /// `threads` workers, uncached.
+    pub fn threads(threads: usize) -> CompileOpts {
+        CompileOpts {
+            threads: threads.max(1),
+            cache: false,
+        }
+    }
+
+    /// Same options with the plan cache enabled.
+    pub fn cached(self) -> CompileOpts {
+        CompileOpts {
+            cache: true,
+            ..self
+        }
+    }
+
+    /// Thread count from `DETLOCK_COMPILE_THREADS` (default 1, cache off).
+    pub fn from_env() -> CompileOpts {
+        let threads = std::env::var(COMPILE_THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        CompileOpts::threads(threads)
+    }
+}
+
 /// Run the DetLock pass over `module`.
 ///
 /// `entries` are thread entry functions: they are never clocked by O1 (no
@@ -152,7 +212,8 @@ pub struct Instrumented {
 /// [`PassPipeline`](crate::pass::PassPipeline) whose output is
 /// byte-for-byte identical to the historical hand-rolled stage sequence
 /// (the golden-equivalence suite in `tests/golden_equivalence.rs` pins
-/// this).
+/// this). Always serial and uncached — the reference path; use
+/// [`instrument_with`] to opt into the compile pool or the plan cache.
 pub fn instrument(
     module: &Module,
     cost: &CostModel,
@@ -161,6 +222,38 @@ pub fn instrument(
     entries: &[FuncId],
 ) -> Instrumented {
     PassPipeline::from_config(config, placement).run(module, cost, entries)
+}
+
+/// [`instrument`] with explicit [`CompileOpts`].
+///
+/// With `opts.cache` set, the compile is keyed by
+/// [`plan_key`](crate::cache::plan_key) in the process-wide
+/// [`PlanCache`](crate::cache::PlanCache): a hit clones the cached artifact
+/// instead of recompiling, and the returned `stats` carry a snapshot of the
+/// cache's hit/miss/eviction counters (they are the only stats fields that
+/// differ from a cold compile).
+pub fn instrument_with(
+    module: &Module,
+    cost: &CostModel,
+    config: &OptConfig,
+    placement: Placement,
+    entries: &[FuncId],
+    opts: CompileOpts,
+) -> Instrumented {
+    let pipeline = PassPipeline::from_config(config, placement);
+    if !opts.cache {
+        return pipeline.run_threads(module, cost, entries, opts.threads);
+    }
+    let cache = crate::cache::PlanCache::global();
+    let key = crate::cache::plan_key(module, cost, config, placement, entries);
+    let cached = cache.get_or_compute(key, || {
+        pipeline.run_threads(module, cost, entries, opts.threads)
+    });
+    let mut out = (*cached).clone();
+    out.stats.plan_cache_hits = cache.hits();
+    out.stats.plan_cache_misses = cache.misses();
+    out.stats.plan_cache_evictions = cache.evictions();
+    out
 }
 
 #[cfg(test)]

@@ -84,6 +84,14 @@ pub struct Stats {
     pub analysis_cache_hits: u64,
     /// Analysis-cache requests that computed the analysis.
     pub analysis_cache_misses: u64,
+    /// Plan-cache lookups served from the content-addressed cache
+    /// (snapshot of the process-wide cache at the time of this compile;
+    /// zero when compiled without the cache).
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that ran the full pipeline.
+    pub plan_cache_misses: u64,
+    /// Plan-cache entries discarded to stay within capacity.
+    pub plan_cache_evictions: u64,
 }
 
 impl Stats {
@@ -128,6 +136,9 @@ impl Stats {
             per_pass: Vec::new(),
             analysis_cache_hits: 0,
             analysis_cache_misses: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_evictions: 0,
         }
     }
 }

@@ -32,6 +32,8 @@ use crate::queue::{AdmissionQueue, SubmitError};
 use crate::receipt::Receipt;
 use crate::shard::ShardEngine;
 use crate::stats::{Counters, LatencyHistogram};
+use detlock_passes::cache::PlanCache;
+use detlock_passes::pipeline::CompileOpts;
 use detlock_passes::stats::PassStats;
 use detlock_shim::json::{Json, ToJson};
 use detlock_shim::sync::Mutex;
@@ -59,6 +61,9 @@ pub struct ServeConfig {
     /// Wall-clock stall watchdog: a shard busy on one job longer than
     /// this is evicted and the job requeued. `None` disables eviction.
     pub watchdog: Option<Duration>,
+    /// Compile-pool workers each shard engine uses for instrumentation
+    /// (1 = serial). Output is byte-identical at any setting.
+    pub compile_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +75,7 @@ impl Default for ServeConfig {
             max_retries: 3,
             job_cycle_budget: 60_000_000_000,
             watchdog: Some(Duration::from_secs(30)),
+            compile_threads: CompileOpts::from_env().threads,
         }
     }
 }
@@ -224,9 +230,15 @@ impl Shared {
                 ])
             })
             .collect();
+        // The plan cache is process-wide (shared by every shard), so its
+        // counters are read off the cache itself rather than summed.
+        let plan_cache = PlanCache::global();
         let instrumentation = Json::obj([
             ("analysis_cache_hits", hits.to_json()),
             ("analysis_cache_misses", misses.to_json()),
+            ("plan_cache_hits", plan_cache.hits().to_json()),
+            ("plan_cache_misses", plan_cache.misses().to_json()),
+            ("plan_cache_evictions", plan_cache.evictions().to_json()),
             ("passes", Json::Arr(pass_rows)),
         ]);
         Json::obj([
@@ -512,7 +524,8 @@ fn requeue_with_backoff(shared: &Shared, mut job: Job, failed_shard: usize, seq:
 }
 
 fn shard_worker(id: usize, shared: &Arc<Shared>) {
-    let mut engine = ShardEngine::new(id);
+    let mut engine = ShardEngine::new(id)
+        .with_compile_opts(CompileOpts::threads(shared.config.compile_threads).cached());
     let slot = &shared.shards[id];
     while let Some((job, seq)) = shared.queue.pop() {
         if slot.evicted.load(Ordering::Relaxed) {

@@ -12,7 +12,7 @@
 use crate::protocol::JobSpec;
 use crate::receipt::Receipt;
 use detlock_passes::cost::CostModel;
-use detlock_passes::pipeline::{instrument, Instrumented, OptConfig};
+use detlock_passes::pipeline::{instrument_with, CompileOpts, Instrumented, OptConfig};
 use detlock_passes::plan::Placement;
 use detlock_passes::stats::PassStats;
 use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
@@ -73,22 +73,32 @@ pub struct ShardEngine {
     pub id: usize,
     cost: CostModel,
     cache: HashMap<String, CachedJob>,
+    compile: CompileOpts,
     analysis_hits: u64,
     analysis_misses: u64,
     pass_totals: Vec<PassStats>,
 }
 
 impl ShardEngine {
-    /// Create an engine for shard `id`.
+    /// Create an engine for shard `id`. Compiles through the process-wide
+    /// plan cache (so sibling shards compiling the same tenant config reuse
+    /// one artifact), with the worker count from `DETLOCK_COMPILE_THREADS`.
     pub fn new(id: usize) -> ShardEngine {
         ShardEngine {
             id,
             cost: CostModel::default(),
             cache: HashMap::new(),
+            compile: CompileOpts::from_env().cached(),
             analysis_hits: 0,
             analysis_misses: 0,
             pass_totals: Vec::new(),
         }
+    }
+
+    /// Override the compile options (worker count / cache participation).
+    pub fn with_compile_opts(mut self, opts: CompileOpts) -> ShardEngine {
+        self.compile = opts;
+        self
     }
 
     /// Fold one compilation's pipeline telemetry into this shard's running
@@ -115,12 +125,13 @@ impl ShardEngine {
         if !self.cache.contains_key(&key) {
             let w = detlock_workloads::by_name(&spec.workload, spec.threads, spec.scale)
                 .ok_or_else(|| ShardError::UnknownWorkload(spec.workload.clone()))?;
-            let inst = instrument(
+            let inst = instrument_with(
                 &w.module,
                 &self.cost,
                 &OptConfig::only(spec.opt),
                 Placement::Start,
                 &w.entries,
+                self.compile,
             );
             self.absorb_stats(&inst);
             let specs = w

@@ -16,6 +16,7 @@ fn test_config() -> ServeConfig {
         max_retries: 3,
         job_cycle_budget: u64::MAX,
         watchdog: Some(Duration::from_secs(60)),
+        compile_threads: 2,
     }
 }
 

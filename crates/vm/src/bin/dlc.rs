@@ -18,9 +18,12 @@
 //! `--args` is replaced by the thread index. `--print-passes` lists the
 //! pass pipeline the selected `--opt`/`--placement` lower to and exits;
 //! `--pass-stats` prints per-pass telemetry after instrumenting.
+//! `--compile-threads N` (or `DETLOCK_COMPILE_THREADS`) sizes the compile
+//! pool and routes the compile through the plan cache — output is
+//! byte-identical at any setting.
 
 use detlock_passes::cost::CostModel;
-use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+use detlock_passes::pipeline::{instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_passes::{render_pass_table, PassPipeline};
 use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
@@ -38,13 +41,14 @@ struct Options {
     estimates: Option<String>,
     print_passes: bool,
     pass_stats: bool,
+    compile: CompileOpts,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlc <input.dir> [--opt none|o1|o2|o3|o4|all] [--placement start|end]\n\
          \x20          [--emit text|dot|none] [--estimates FILE]\n\
-         \x20          [--print-passes] [--pass-stats]\n\
+         \x20          [--print-passes] [--pass-stats] [--compile-threads N]\n\
          \x20          [--run ENTRY --threads N --mode baseline|clocks|det|kendo\n\
          \x20           --args a,b,tid --seed S]"
     );
@@ -65,6 +69,7 @@ fn parse_options() -> Options {
         estimates: None,
         print_passes: false,
         pass_stats: false,
+        compile: CompileOpts::from_env().cached(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -135,6 +140,14 @@ fn parse_options() -> Options {
             }
             "--print-passes" => o.print_passes = true,
             "--pass-stats" => o.pass_stats = true,
+            "--compile-threads" => {
+                i += 1;
+                let n: usize = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                o.compile = CompileOpts::threads(n).cached();
+            }
             flag if flag.starts_with("--") => usage(),
             path => {
                 if !o.input.is_empty() {
@@ -200,12 +213,13 @@ fn main() {
         None => vec![],
     };
 
-    let out = instrument(
+    let out = instrument_with(
         &module,
         &cost,
         &OptConfig::only(o.opt),
         o.placement,
         &entries,
+        o.compile,
     );
     eprintln!(
         "dlc: {} functions, {} clockable, {} ticks inserted ({} blocks of {})",
@@ -220,6 +234,10 @@ fn main() {
         eprintln!(
             "dlc: analysis cache: {} hits / {} misses",
             out.stats.analysis_cache_hits, out.stats.analysis_cache_misses
+        );
+        eprintln!(
+            "dlc: plan cache: {} hits / {} misses / {} evictions",
+            out.stats.plan_cache_hits, out.stats.plan_cache_misses, out.stats.plan_cache_evictions
         );
     }
 

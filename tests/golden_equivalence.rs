@@ -23,7 +23,8 @@ use detlock_passes::opt2a::apply_opt2a;
 use detlock_passes::opt2b::apply_opt2b;
 use detlock_passes::opt3::apply_opt3;
 use detlock_passes::opt4::apply_opt4;
-use detlock_passes::pipeline::{instrument, OptConfig, OptLevel};
+use detlock_passes::pipeline::Instrumented;
+use detlock_passes::pipeline::{instrument, instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::{base_plan, split_module, ModulePlan, Placement};
 use detlock_workloads::all_benchmarks;
 
@@ -154,6 +155,102 @@ fn all_and_none_configs_match_reference_too() {
                 reference_instrument(&w.module, &cost, &config, Placement::Start, &w.entries);
             assert_eq!(got.module, ref_module, "{}", w.name);
             assert_eq!(got.cert.o2b_slack, ref_cert.o2b_slack, "{}", w.name);
+        }
+    }
+}
+
+/// Everything observable about two compiles must agree: module bytes,
+/// plan, cert obligations, and the deterministic halves of the stats
+/// (wall times and plan-cache counters are the only legitimate
+/// differences between a serial, a parallel and a cached compile).
+fn assert_compiles_identical(a: &Instrumented, b: &Instrumented, ctx: &str) {
+    assert_eq!(a.module, b.module, "module mismatch: {ctx}");
+    assert_eq!(a.plan.placement, b.plan.placement, "{ctx}");
+    assert_eq!(a.plan.clocked, b.plan.clocked, "{ctx}");
+    for (f, (pa, pb)) in a.plan.funcs.iter().zip(&b.plan.funcs).enumerate() {
+        assert_eq!(pa.block_clock, pb.block_clock, "plan fn {f}: {ctx}");
+        assert_eq!(pa.pinned, pb.pinned, "pinned fn {f}: {ctx}");
+    }
+    assert_eq!(a.cert.block_clock, b.cert.block_clock, "{ctx}");
+    assert_eq!(a.cert.o2b_slack, b.cert.o2b_slack, "{ctx}");
+    assert_eq!(a.cert.pass_certs, b.cert.pass_certs, "{ctx}");
+    assert_eq!(a.stats.ticks_inserted, b.stats.ticks_inserted, "{ctx}");
+    assert_eq!(
+        a.stats.analysis_cache_hits, b.stats.analysis_cache_hits,
+        "per-worker analysis managers must reproduce the serial hit count: {ctx}"
+    );
+    assert_eq!(
+        a.stats.analysis_cache_misses, b.stats.analysis_cache_misses,
+        "per-worker analysis managers must reproduce the serial miss count: {ctx}"
+    );
+    for (pa, pb) in a.stats.per_pass.iter().zip(&b.stats.per_pass) {
+        assert_eq!(pa.name, pb.name, "{ctx}");
+        assert_eq!(pa.ticks_added, pb.ticks_added, "{}: {ctx}", pa.name);
+        assert_eq!(pa.ticks_removed, pb.ticks_removed, "{}: {ctx}", pa.name);
+        assert_eq!(pa.mass_moved, pb.mass_moved, "{}: {ctx}", pa.name);
+    }
+}
+
+#[test]
+fn parallel_and_cached_compiles_match_serial_byte_for_byte() {
+    // The compile pool and the plan cache are pure wall-time knobs:
+    // serial ≡ parallel(2) ≡ parallel(8) ≡ warm-cache, for all six
+    // Table-I configs × both placements × every workload.
+    let cost = CostModel::default();
+    for w in all_benchmarks(2, 0.03) {
+        for level in OptLevel::table1_rows() {
+            let config = OptConfig::only(level);
+            for placement in [Placement::Start, Placement::End] {
+                let ctx = format!("{} / {level:?} / {placement:?}", w.name);
+                let serial = instrument_with(
+                    &w.module,
+                    &cost,
+                    &config,
+                    placement,
+                    &w.entries,
+                    CompileOpts::serial(),
+                );
+                for threads in [2, 8] {
+                    let par = instrument_with(
+                        &w.module,
+                        &cost,
+                        &config,
+                        placement,
+                        &w.entries,
+                        CompileOpts::threads(threads),
+                    );
+                    assert_compiles_identical(
+                        &serial,
+                        &par,
+                        &format!("{ctx} / parallel({threads})"),
+                    );
+                }
+                // Cold fill then warm hit on the process-wide plan cache:
+                // both must still equal the serial compile, and the second
+                // call must be served from the cache.
+                let cold = instrument_with(
+                    &w.module,
+                    &cost,
+                    &config,
+                    placement,
+                    &w.entries,
+                    CompileOpts::threads(2).cached(),
+                );
+                let warm = instrument_with(
+                    &w.module,
+                    &cost,
+                    &config,
+                    placement,
+                    &w.entries,
+                    CompileOpts::serial().cached(),
+                );
+                assert_compiles_identical(&serial, &cold, &format!("{ctx} / cold-cache"));
+                assert_compiles_identical(&serial, &warm, &format!("{ctx} / warm-cache"));
+                assert!(
+                    warm.stats.plan_cache_hits > cold.stats.plan_cache_hits,
+                    "second cached compile must hit: {ctx}"
+                );
+            }
         }
     }
 }
