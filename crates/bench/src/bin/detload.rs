@@ -7,23 +7,37 @@
 //! politely reduced load. The whole list is driven **twice**; the second
 //! sweep's receipts must be byte-for-byte identical to the first, job for
 //! job. Any difference is a determinism violation: detload prints it and
-//! exits nonzero.
+//! exits nonzero. A request that is never definitively answered (all
+//! retries exhausted without an `ok` or a typed rejection) is a hard
+//! error too — silently missing data points don't count as passing.
 //!
 //! ```text
 //! cargo run -p detlock-bench --release --bin detload -- --addr HOST:PORT \
 //!     [--ready-file PATH] [--rate JOBS_PER_SEC] [--jobs N] [--threads N] \
 //!     [--scale F] [--seeds A,B,C] [--json] [--out BENCH_serve.json] \
-//!     [--shutdown]
+//!     [--net-faults SEED] [--crash-faults SEED] [--shutdown]
 //! ```
 //!
 //! `--ready-file PATH` waits for `detserved --ready-file PATH` to publish
 //! its bound address and uses that instead of (or as well as) `--addr` —
 //! the race-free replacement for sleep-polling an ephemeral port.
-//! `--out` writes the benchmark report (conventionally `BENCH_serve.json`);
-//! `--shutdown` drains the server when done.
+//! `--out` writes the benchmark report (conventionally `BENCH_serve.json`,
+//! or `BENCH_chaos.json` in chaos mode); `--shutdown` drains the server
+//! when done.
+//!
+//! **Chaos mode** (`--net-faults` and/or `--crash-faults`): sweep 1 runs
+//! over a clean wire as the reference; detload then arms the server's
+//! seeded fault plans via the `chaos` op, drives sweep 2 through drops,
+//! truncations, stalls, delays and injected shard crashes, disarms, and
+//! compares. The receipts must still be byte-identical, and when crash
+//! faults were armed at least one **checkpoint recovery** must have
+//! happened on the server — otherwise the sweep exercised nothing and
+//! detload exits nonzero.
 
 use detlock_bench::CliOptions;
 use detlock_passes::pipeline::OptLevel;
+use detlock_serve::client::{ClientError, RetryPolicy, RetryingClient};
+use detlock_serve::netfault::{CrashPlan, NetFaultPlan};
 use detlock_serve::protocol::{Client, JobSpec};
 use detlock_serve::receipt::Receipt;
 use detlock_serve::stats::LatencyHistogram;
@@ -63,49 +77,55 @@ struct JobOutcome {
     latency_us: u64,
     rejections: u32,
     error: Option<String>,
+    /// True when the request exhausted its retries without ever getting a
+    /// definitive answer. Always a hard error for the run.
+    unanswered: bool,
 }
 
-/// Submit one job, honoring `retry_after_ms` backpressure hints.
+/// Submit one job through the idempotent retrying client (reconnects,
+/// deterministic backoff, `retry_after_ms` honoring, receipt dedup).
 fn drive_job(addr: &str, spec: &JobSpec) -> JobOutcome {
     let started = Instant::now();
-    let mut rejections = 0u32;
-    loop {
-        let outcome = |canonical, shard, error| JobOutcome {
-            key: spec.identity_key(),
-            canonical,
-            shard,
-            latency_us: started.elapsed().as_micros() as u64,
-            rejections,
-            error,
-        };
-        let resp = match Client::connect(addr).and_then(|mut c| c.run(spec)) {
-            Ok(resp) => resp,
-            Err(e) => return outcome(None, None, Some(format!("io: {e}"))),
-        };
-        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+    let mut client = RetryingClient::new(
+        addr,
+        RetryPolicy {
+            max_attempts: 16,
+            max_shed_retries: MAX_SUBMIT_RETRIES,
+            base_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        },
+    );
+    let result = client.run(spec);
+    let cs = client.stats();
+    let outcome = |canonical, shard, error, unanswered| JobOutcome {
+        key: spec.identity_key(),
+        canonical,
+        shard,
+        latency_us: started.elapsed().as_micros() as u64,
+        rejections: (cs.shed_retries + cs.io_retries) as u32,
+        error,
+        unanswered,
+    };
+    match result {
+        Ok(resp) => {
             let canonical = resp
                 .get("receipt")
                 .and_then(Receipt::from_json)
                 .map(|r| r.canonical());
             if canonical.is_none() {
-                return outcome(None, None, Some("malformed receipt".to_string()));
+                return outcome(None, None, Some("malformed receipt".to_string()), false);
             }
-            return outcome(canonical, resp.get("shard").and_then(Json::as_u64), None);
+            outcome(
+                canonical,
+                resp.get("shard").and_then(Json::as_u64),
+                None,
+                false,
+            )
         }
-        match resp.get("retry_after_ms").and_then(Json::as_u64) {
-            Some(ms) if rejections < MAX_SUBMIT_RETRIES => {
-                rejections += 1;
-                std::thread::sleep(Duration::from_millis(ms));
-            }
-            _ => {
-                let err = resp
-                    .get("error")
-                    .and_then(Json::as_str)
-                    .unwrap_or("unknown error")
-                    .to_string();
-                return outcome(None, None, Some(err));
-            }
+        Err(e @ ClientError::Unanswered { .. }) => {
+            outcome(None, None, Some(e.to_string()), true)
         }
+        Err(e) => outcome(None, None, Some(e.to_string()), false),
     }
 }
 
@@ -145,6 +165,7 @@ fn sweep_json(s: &SweepResult) -> Json {
     let hist = LatencyHistogram::default();
     let mut completed = 0u64;
     let mut failed = 0u64;
+    let mut unanswered = 0u64;
     let mut rejections = 0u64;
     let mut shards: Vec<u64> = Vec::new();
     let mut failures: Vec<Json> = Vec::new();
@@ -154,9 +175,13 @@ fn sweep_json(s: &SweepResult) -> Json {
             hist.record_us(o.latency_us);
         } else {
             failed += 1;
+            if o.unanswered {
+                unanswered += 1;
+            }
             failures.push(Json::obj([
                 ("job", o.key.to_json()),
                 ("error", o.error.clone().to_json()),
+                ("unanswered", o.unanswered.to_json()),
             ]));
         }
         rejections += o.rejections as u64;
@@ -170,6 +195,7 @@ fn sweep_json(s: &SweepResult) -> Json {
     Json::obj([
         ("completed", completed.to_json()),
         ("failed", failed.to_json()),
+        ("unanswered", unanswered.to_json()),
         ("rejections", rejections.to_json()),
         ("wall_ms", (s.wall.as_millis() as u64).to_json()),
         (
@@ -188,6 +214,8 @@ fn main() {
     let mut rate = 50.0f64;
     let mut jobs_target = 0usize; // 0 = one job per workload × seed
     let mut do_shutdown = false;
+    let mut net_seed: Option<u64> = None;
+    let mut crash_seed: Option<u64> = None;
     let mut opts = CliOptions::parse_with(|flag, args, i| {
         match flag {
             "--addr" => {
@@ -206,11 +234,20 @@ fn main() {
                 *i += 1;
                 jobs_target = args[*i].parse().expect("--jobs N");
             }
+            "--net-faults" => {
+                *i += 1;
+                net_seed = Some(args[*i].parse().expect("--net-faults SEED"));
+            }
+            "--crash-faults" => {
+                *i += 1;
+                crash_seed = Some(args[*i].parse().expect("--crash-faults SEED"));
+            }
             "--shutdown" => do_shutdown = true,
             _ => return false,
         }
         true
     });
+    let chaos = net_seed.is_some() || crash_seed.is_some();
     if let Some(path) = &ready_file {
         addr = await_ready_file(path);
         eprintln!("detload: server ready at {addr} (via {path})");
@@ -253,13 +290,39 @@ fn main() {
     };
 
     eprintln!(
-        "detload: {} jobs x 2 sweeps at {} jobs/sec against {}",
+        "detload: {} jobs x 2 sweeps at {} jobs/sec against {}{}",
         jobs.len(),
         rate,
-        addr
+        addr,
+        if chaos { " (chaos mode)" } else { "" },
     );
+    // Chaos mode: sweep 1 is the clean reference, sweep 2 runs with the
+    // server's seeded fault plans armed, then chaos is disarmed. The
+    // `chaos` op is control-plane, so arming/disarming works even while
+    // wire faults are active.
+    let set_chaos = |net: Option<&NetFaultPlan>, crash: Option<&CrashPlan>| {
+        let mut c = Client::connect(&addr).expect("connect for chaos op");
+        let resp = c.chaos(net, crash).expect("chaos op failed");
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "chaos op rejected: {}",
+            resp.to_string_compact()
+        );
+    };
+    if chaos {
+        set_chaos(None, None);
+    }
     let first = sweep(&addr, &jobs, rate);
+    let net_plan = net_seed.map(NetFaultPlan::new);
+    let crash_plan = crash_seed.map(CrashPlan::new);
+    if chaos {
+        set_chaos(net_plan.as_ref(), crash_plan.as_ref());
+    }
     let second = sweep(&addr, &jobs, rate);
+    if chaos {
+        set_chaos(None, None);
+    }
 
     // Receipt identity, job for job. A job that failed in either sweep
     // (e.g. ran out of submit retries) is reported but is not a
@@ -283,7 +346,42 @@ fn main() {
     let server_stats = Client::connect(&addr)
         .and_then(|mut c| c.stats())
         .unwrap_or_else(|e| Json::obj([("error", format!("stats: {e}").to_json())]));
+    let server_counter = |k: &str| {
+        server_stats
+            .get("counters")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let recoveries = server_counter("recoveries");
+    let unanswered_total: u64 = [&first, &second]
+        .iter()
+        .flat_map(|s| &s.outcomes)
+        .filter(|o| o.unanswered)
+        .count() as u64;
 
+    let chaos_json = Json::obj([
+        ("enabled", chaos.to_json()),
+        (
+            "net_seed",
+            net_seed.map(|s| s.to_json()).unwrap_or(Json::Null),
+        ),
+        (
+            "crash_seed",
+            crash_seed.map(|s| s.to_json()).unwrap_or(Json::Null),
+        ),
+        ("recoveries", recoveries.to_json()),
+        ("cold_requeues", server_counter("cold_requeues").to_json()),
+        (
+            "net_faults_injected",
+            server_counter("net_faults_injected").to_json(),
+        ),
+        (
+            "crashes_injected",
+            server_counter("crashes_injected").to_json(),
+        ),
+        ("unanswered", unanswered_total.to_json()),
+    ]);
     let report = Json::obj([
         ("addr", addr.to_json()),
         ("rate_jps", rate.to_json()),
@@ -291,6 +389,7 @@ fn main() {
         ("threads", opts.threads.to_json()),
         ("scale", scale.to_json()),
         ("seeds", opts.seeds.to_json()),
+        ("chaos", chaos_json),
         ("sweep1", sweep_json(&first)),
         ("sweep2", sweep_json(&second)),
         ("receipts_compared", compared.to_json()),
@@ -338,8 +437,18 @@ fn main() {
             let _ = c.shutdown();
         }
     }
+    let mut failures: Vec<&str> = Vec::new();
     if !identical || compared == 0 {
-        eprintln!("detload: FAIL (no comparable receipts or receipt mismatch)");
+        failures.push("no comparable receipts or receipt mismatch");
+    }
+    if unanswered_total > 0 {
+        failures.push("requests went unanswered (lost jobs are errors, not gaps)");
+    }
+    if crash_seed.is_some() && recoveries == 0 {
+        failures.push("crash chaos requested but zero checkpoint recoveries happened");
+    }
+    if !failures.is_empty() {
+        eprintln!("detload: FAIL ({})", failures.join("; "));
         std::process::exit(1);
     }
 }

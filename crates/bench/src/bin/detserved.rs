@@ -9,16 +9,23 @@
 //! cargo run -p detlock-bench --release --bin detserved -- \
 //!     [--addr HOST:PORT] [--shards N] [--queue N] [--max-retries N] \
 //!     [--budget CYCLES] [--watchdog-ms MS] [--compile-threads N] \
-//!     [--ready-file PATH]
+//!     [--checkpoint-interval CYCLES] [--cycle-slice CYCLES] \
+//!     [--net-faults SEED] [--crash-faults SEED] [--ready-file PATH]
 //! ```
 //!
 //! `--watchdog-ms 0` disables the stall supervisor. `--compile-threads N`
 //! sizes each shard engine's instrumentation compile pool (byte-identical
 //! output at any setting; also settable via `DETLOCK_COMPILE_THREADS`).
-//! `--ready-file PATH` atomically publishes the bound address to `PATH`
-//! *after* the listener is accepting — a race-free readiness marker for
-//! scripts that would otherwise have to sleep-poll the port.
+//! `--checkpoint-interval 0` disables checkpointing (crash recovery then
+//! requeues cold); `--cycle-slice N` preempts jobs every N cycles of
+//! progress so long jobs share shards. `--net-faults` / `--crash-faults`
+//! boot the server with seeded fault plans already armed (clients can
+//! also arm/disarm them at runtime via the `chaos` op). `--ready-file
+//! PATH` atomically publishes the bound address to `PATH` *after* the
+//! listener is accepting — a race-free readiness marker for scripts that
+//! would otherwise have to sleep-poll the port.
 
+use detlock_serve::netfault::{CrashPlan, NetFaultPlan};
 use detlock_serve::server::{DetServed, ServeConfig};
 use std::io::Write;
 use std::time::Duration;
@@ -76,6 +83,23 @@ fn main() {
                 let ms: u64 = args[i].parse().expect("--watchdog-ms MS");
                 cfg.watchdog = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--checkpoint-interval" => {
+                i += 1;
+                cfg.checkpoint_interval = args[i].parse().expect("--checkpoint-interval CYCLES");
+            }
+            "--cycle-slice" => {
+                i += 1;
+                cfg.cycle_slice = args[i].parse().expect("--cycle-slice CYCLES");
+            }
+            "--net-faults" => {
+                i += 1;
+                cfg.net_faults = Some(NetFaultPlan::new(args[i].parse().expect("--net-faults SEED")));
+            }
+            "--crash-faults" => {
+                i += 1;
+                cfg.crash_faults =
+                    Some(CrashPlan::new(args[i].parse().expect("--crash-faults SEED")));
+            }
             other => panic!("unknown option: {other}"),
         }
         i += 1;
@@ -88,13 +112,18 @@ fn main() {
         write_ready_file(path, &server.local_addr().to_string());
     }
     eprintln!(
-        "shards={} queue={} max_retries={} budget={} watchdog={:?} compile_threads={}",
+        "shards={} queue={} max_retries={} budget={} watchdog={:?} compile_threads={} \
+         checkpoint_interval={} cycle_slice={} net_faults={:?} crash_faults={:?}",
         cfg.shards,
         cfg.queue_capacity,
         cfg.max_retries,
         cfg.job_cycle_budget,
         cfg.watchdog,
-        cfg.compile_threads
+        cfg.compile_threads,
+        cfg.checkpoint_interval,
+        cfg.cycle_slice,
+        cfg.net_faults.map(|p| p.seed),
+        cfg.crash_faults.map(|p| p.seed),
     );
     server.join();
     eprintln!("detserved: drained and stopped");

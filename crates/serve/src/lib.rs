@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod netfault;
 pub mod protocol;
 pub mod queue;
 pub mod receipt;
@@ -34,6 +36,8 @@ pub mod server;
 pub mod shard;
 pub mod stats;
 
+pub use client::{ClientError, ClientStats, RetryPolicy, RetryingClient};
+pub use netfault::{CrashPlan, InjectedCrash, NetFaultPlan, WireFault};
 pub use protocol::{Client, JobSpec};
 pub use receipt::Receipt;
 pub use server::{DetServed, ServeConfig};

@@ -11,11 +11,15 @@
 //! | `run`      | `tenant workload threads scale seed opt`            | `ok, job, shard, attempts, receipt{…}, queue_us, exec_us` |
 //! | `stats`    | —                                                   | `ok, stats{…}` |
 //! | `kill`     | `shard`                                             | `ok` (chaos/testing: evict a shard) |
+//! | `chaos`    | `net{seed,…}?, crash{seed,…}?`                      | `ok, net, crash` (set/clear fault plans; absent = clear) |
 //! | `shutdown` | —                                                   | `ok, drained` after in-flight jobs finish |
 //! | `ping`     | —                                                   | `ok` |
 //!
-//! Failures answer `{"ok":false,"error":…}`; admission-queue backpressure
-//! additionally carries `retry_after_ms`.
+//! Failures answer `{"ok":false,"error":…}`. Load-shedding refusals are
+//! **typed**: they add `"error_kind":"shed"` plus `"reason":"queue_full"`
+//! (retryable; carries `retry_after_ms`) or `"reason":"draining"` (not
+//! retryable — the server is going away). [`crate::client::RetryingClient`]
+//! understands both.
 
 use detlock_passes::pipeline::OptLevel;
 use detlock_shim::json::{Json, ToJson};
@@ -139,8 +143,14 @@ impl Client {
     /// Connect to a server, with a generous read timeout so a wedged
     /// server surfaces as an error instead of a hang.
     pub fn connect(addr: &str) -> io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(120))
+    }
+
+    /// Connect with an explicit per-request read timeout (the retrying
+    /// client uses this to bound each attempt).
+    pub fn connect_with_timeout(addr: &str, read_timeout: Duration) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_read_timeout(Some(read_timeout))?;
         stream.set_nodelay(true)?;
         Ok(Client {
             writer: stream.try_clone()?,
@@ -185,6 +195,23 @@ impl Client {
             ("op", "kill".to_json()),
             ("shard", shard.to_json()),
         ]))
+    }
+
+    /// Set or clear the server's fault plans (`None` clears). Control-plane
+    /// op: never itself subject to wire faults.
+    pub fn chaos(
+        &mut self,
+        net: Option<&crate::netfault::NetFaultPlan>,
+        crash: Option<&crate::netfault::CrashPlan>,
+    ) -> io::Result<Json> {
+        let mut fields = vec![("op", "chaos".to_json())];
+        if let Some(n) = net {
+            fields.push(("net", n.to_json()));
+        }
+        if let Some(c) = crash {
+            fields.push(("crash", c.to_json()));
+        }
+        self.request(&Json::obj(fields))
     }
 
     /// Gracefully drain and stop the server.

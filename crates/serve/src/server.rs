@@ -15,23 +15,39 @@
 //! ```
 //!
 //! Failure model, in one paragraph: a job is admitted once (backpressure
-//! at the door), then owned by exactly one shard at a time. A shard that
-//! panics mid-job stays up and reports `Panicked` — the job is requeued
-//! with that shard in its **exclusion set** and a deterministic backoff
-//! (measured in queue pop-sequence numbers, not wall time). A shard
-//! evicted mid-job — by the supervisor's stall watchdog or an explicit
-//! `kill` — finishes its VM step, discards the result, requeues the job
-//! excluding itself, and exits; the job completes on a sibling shard with
-//! a byte-identical receipt, because receipts are a function of the job,
-//! not the shard. Retries are bounded; a job whose exclusion set covers
-//! every live shard fails instead of livelocking. Cycle-budget exhaustion
-//! is deterministic and therefore never retried.
+//! at the door, as a **typed shed** the client can reason about), then
+//! owned by exactly one shard at a time. While a shard runs a job it
+//! snapshots a [`Checkpoint`] every `checkpoint_interval` cycles — an
+//! interval measured in turns of the min-clock arbiter, so checkpoint
+//! placement cannot perturb the schedule. A shard that panics mid-job
+//! stays up and reports `Panicked` — the job is requeued with that shard
+//! in its **exclusion set** (unless the panic was an injected
+//! [`CrashPlan`] crash, in which case the shard is healthy), a
+//! deterministic backoff (measured in queue pop-sequence numbers, not
+//! wall time), and **the latest checkpoint**, so the next shard resumes
+//! from it instead of rerunning from cycle 0 (a *recovery*; a requeue
+//! without a checkpoint is a *cold requeue* — `/stats` reports both). A
+//! shard evicted mid-job — by the supervisor's stall watchdog or an
+//! explicit `kill` — aborts at the next checkpoint boundary, requeues the
+//! job from that checkpoint excluding itself, and exits; the job
+//! completes on a sibling shard with a byte-identical receipt, because
+//! receipts are a function of the job, not the shard, and
+//! resume-from-checkpoint provably reproduces run-from-zero. Retries are
+//! bounded; a job whose exclusion set covers every live shard fails
+//! instead of livelocking. Total cycle-budget exhaustion is deterministic
+//! and therefore never retried; the optional per-attempt `cycle_slice` is
+//! a *preemption* (the job continues from its checkpoint) and consumes no
+//! retry budget. Graceful drain refuses new admissions with a typed
+//! `draining` shed, lets in-flight jobs finish, and flushes their final
+//! checkpoints.
 
+use crate::netfault::{CrashPlan, NetFaultPlan, WireFault};
 use crate::protocol::JobSpec;
 use crate::queue::{AdmissionQueue, SubmitError};
 use crate::receipt::Receipt;
-use crate::shard::ShardEngine;
+use crate::shard::{ExecOpts, ExecOutcome, PreemptReason, ShardEngine};
 use crate::stats::{Counters, LatencyHistogram};
+use detlock_vm::machine::Checkpoint;
 use detlock_passes::cache::PlanCache;
 use detlock_passes::pipeline::CompileOpts;
 use detlock_passes::stats::PassStats;
@@ -64,6 +80,18 @@ pub struct ServeConfig {
     /// Compile-pool workers each shard engine uses for instrumentation
     /// (1 = serial). Output is byte-identical at any setting.
     pub compile_threads: usize,
+    /// Snapshot a [`Checkpoint`] every this many arbiter cycles while a
+    /// job runs (0 disables checkpointing — crashes then requeue cold).
+    pub checkpoint_interval: u64,
+    /// Preempt a job after this many cycles of progress per attempt (0
+    /// disables). Preempted jobs continue from their checkpoint and do
+    /// not consume retry budget. Requires `checkpoint_interval > 0`.
+    pub cycle_slice: u64,
+    /// Initial wire-fault plan (normally set at runtime via the `chaos`
+    /// op instead).
+    pub net_faults: Option<NetFaultPlan>,
+    /// Initial shard-crash plan (normally set via `chaos`).
+    pub crash_faults: Option<CrashPlan>,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +104,10 @@ impl Default for ServeConfig {
             job_cycle_budget: 60_000_000_000,
             watchdog: Some(Duration::from_secs(30)),
             compile_threads: CompileOpts::from_env().threads,
+            checkpoint_interval: 200_000,
+            cycle_slice: 0,
+            net_faults: None,
+            crash_faults: None,
         }
     }
 }
@@ -108,12 +140,27 @@ struct Job {
     /// Deterministic backoff: not runnable until the queue's pop sequence
     /// passes this value.
     not_before: u64,
+    /// Migration state: the latest checkpoint from a previous attempt.
+    /// `Some` makes the next attempt a resume (a recovery) instead of a
+    /// rerun from cycle 0.
+    checkpoint: Option<Checkpoint>,
 }
 
 struct ShardSlot {
     evicted: AtomicBool,
     busy_since: Mutex<Option<Instant>>,
+    /// Identity key of the job currently running here (diagnostics: the
+    /// supervisor's stall report names it).
+    current_job: Mutex<Option<String>>,
     completed: AtomicU64,
+    /// Jobs this shard resumed from a migrated checkpoint.
+    recoveries: AtomicU64,
+    /// Jobs this shard had to requeue (crash, eviction, preemption).
+    requeues: AtomicU64,
+    /// Cycle-slice preemptions taken on this shard.
+    preemptions: AtomicU64,
+    /// Checkpoints snapshotted by this shard's engine (mirrored).
+    checkpoints: AtomicU64,
     /// Analysis-cache hits/misses across every compilation on this shard
     /// (mirrored out of the worker-owned engine after each job).
     analysis_hits: AtomicU64,
@@ -135,6 +182,15 @@ struct Shared {
     /// identity key -> canonical receipt, for cross-tenant/cross-shard
     /// mismatch detection.
     receipts_seen: Mutex<HashMap<String, String>>,
+    /// Active wire-fault plan (set/cleared by the `chaos` op).
+    net_faults: Mutex<Option<NetFaultPlan>>,
+    /// Active shard-crash plan (set/cleared by the `chaos` op).
+    crash_faults: Mutex<Option<CrashPlan>>,
+    /// Data-plane connection ids, the stable coordinate wire faults key on.
+    conn_counter: AtomicU64,
+    /// Final checkpoints flushed for jobs that completed during drain
+    /// (identity key -> checkpoint).
+    drain_checkpoints: Mutex<HashMap<String, Checkpoint>>,
     started: Instant,
 }
 
@@ -187,6 +243,10 @@ impl Shared {
                     ("alive", (!s.evicted.load(Ordering::Relaxed)).to_json()),
                     ("busy", s.busy_since.lock().is_some().to_json()),
                     ("completed", Counters::get(&s.completed).to_json()),
+                    ("recoveries", Counters::get(&s.recoveries).to_json()),
+                    ("requeues", Counters::get(&s.requeues).to_json()),
+                    ("preemptions", Counters::get(&s.preemptions).to_json()),
+                    ("checkpoints", Counters::get(&s.checkpoints).to_json()),
                     (
                         "analysis_hits",
                         s.analysis_hits.load(Ordering::Relaxed).to_json(),
@@ -241,6 +301,36 @@ impl Shared {
             ("plan_cache_evictions", plan_cache.evictions().to_json()),
             ("passes", Json::Arr(pass_rows)),
         ]);
+        let checkpoints_total: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.checkpoints.load(Ordering::Relaxed))
+            .sum();
+        let recovery = Json::obj([
+            ("checkpoint_interval", self.config.checkpoint_interval.to_json()),
+            ("cycle_slice", self.config.cycle_slice.to_json()),
+            ("checkpoints_taken", checkpoints_total.to_json()),
+            (
+                "recoveries",
+                Counters::get(&self.counters.recoveries).to_json(),
+            ),
+            (
+                "cold_requeues",
+                Counters::get(&self.counters.cold_requeues).to_json(),
+            ),
+            (
+                "drain_flushed",
+                Counters::get(&self.counters.drain_flushed).to_json(),
+            ),
+            (
+                "net_faults_active",
+                self.net_faults.lock().is_some().to_json(),
+            ),
+            (
+                "crash_faults_active",
+                self.crash_faults.lock().is_some().to_json(),
+            ),
+        ]);
         Json::obj([
             ("ok", true.to_json()),
             (
@@ -254,6 +344,7 @@ impl Shared {
             ),
             ("draining", self.draining.load(Ordering::Relaxed).to_json()),
             ("counters", self.counters.to_json()),
+            ("recovery", recovery),
             ("queue_latency", self.queue_latency.to_json()),
             ("exec_latency", self.exec_latency.to_json()),
             ("instrumentation", instrumentation),
@@ -279,7 +370,12 @@ impl DetServed {
             .map(|_| ShardSlot {
                 evicted: AtomicBool::new(false),
                 busy_since: Mutex::new(None),
+                current_job: Mutex::new(None),
                 completed: AtomicU64::new(0),
+                recoveries: AtomicU64::new(0),
+                requeues: AtomicU64::new(0),
+                preemptions: AtomicU64::new(0),
+                checkpoints: AtomicU64::new(0),
                 analysis_hits: AtomicU64::new(0),
                 analysis_misses: AtomicU64::new(0),
                 pass_totals: Mutex::new(Vec::new()),
@@ -295,6 +391,10 @@ impl DetServed {
             shutdown: AtomicBool::new(false),
             in_flight: AtomicU64::new(0),
             receipts_seen: Mutex::new(HashMap::new()),
+            net_faults: Mutex::new(config.net_faults),
+            crash_faults: Mutex::new(config.crash_faults),
+            conn_counter: AtomicU64::new(0),
+            drain_checkpoints: Mutex::new(HashMap::new()),
             started: Instant::now(),
             config,
         });
@@ -397,18 +497,68 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<Socke
     };
     let mut writer = write_half;
     let reader = BufReader::new(stream);
+    let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
+    // Wire-fault coordinate: index of this connection's data-plane
+    // responses (control-plane traffic doesn't advance it, so a stats
+    // poll can't shift which run responses get mangled).
+    let mut resp_idx = 0u64;
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        let response = match Json::parse(&line) {
+        let parsed = Json::parse(&line);
+        let data_plane = parsed
+            .as_ref()
+            .ok()
+            .and_then(|req| req.get("op"))
+            .and_then(Json::as_str)
+            == Some("run");
+        let response = match &parsed {
             Err(e) => error_json(&format!("bad json: {e}")),
-            Ok(req) => dispatch(&req, shared, addr),
+            Ok(req) => dispatch(req, shared, addr),
         };
         let mut out = response.to_string_compact();
         out.push('\n');
-        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+        let fault = if data_plane {
+            let plan = *shared.net_faults.lock();
+            let f = plan.and_then(|p| p.fault_for(conn_id, resp_idx, out.len()));
+            resp_idx += 1;
+            f
+        } else {
+            None
+        };
+        if let Some(f) = fault {
+            Counters::bump(&shared.counters.net_faults_injected);
+            match f {
+                WireFault::Drop => return,
+                WireFault::Truncate { keep } => {
+                    let _ = writer.write_all(&out.as_bytes()[..keep.min(out.len())]);
+                    let _ = writer.flush();
+                    return;
+                }
+                WireFault::PartialWrite { first, stall_ms } => {
+                    let first = first.min(out.len());
+                    if writer.write_all(&out.as_bytes()[..first]).is_err()
+                        || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(stall_ms));
+                    if writer.write_all(&out.as_bytes()[first..]).is_err()
+                        || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                }
+                WireFault::Delay { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                        break;
+                    }
+                }
+            }
+        } else if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
             break;
         }
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -429,6 +579,31 @@ fn dispatch(req: &Json, shared: &Arc<Shared>, addr: Option<SocketAddr>) -> Json 
             let evicted = shared.evict(shard as usize);
             Json::obj([("ok", true.to_json()), ("evicted", evicted.to_json())])
         }
+        Some("chaos") => {
+            // Absent field = clear that plan; the op is control-plane, so
+            // chaos can always be disarmed even while wire faults rage.
+            let net = match req.get("net") {
+                None => None,
+                Some(v) => match NetFaultPlan::from_json(v) {
+                    Ok(p) => Some(p),
+                    Err(e) => return error_json(&format!("bad net plan: {e}")),
+                },
+            };
+            let crash = match req.get("crash") {
+                None => None,
+                Some(v) => match CrashPlan::from_json(v) {
+                    Ok(p) => Some(p),
+                    Err(e) => return error_json(&format!("bad crash plan: {e}")),
+                },
+            };
+            *shared.net_faults.lock() = net;
+            *shared.crash_faults.lock() = crash;
+            Json::obj([
+                ("ok", true.to_json()),
+                ("net", net.map(|p| p.to_json()).unwrap_or(Json::Null)),
+                ("crash", crash.map(|p| p.to_json()).unwrap_or(Json::Null)),
+            ])
+        }
         Some("shutdown") => {
             begin_drain(shared);
             wait_drained(shared);
@@ -437,7 +612,14 @@ fn dispatch(req: &Json, shared: &Arc<Shared>, addr: Option<SocketAddr>) -> Json 
             } else {
                 shared.shutdown.store(true, Ordering::SeqCst);
             }
-            Json::obj([("ok", true.to_json()), ("drained", true.to_json())])
+            Json::obj([
+                ("ok", true.to_json()),
+                ("drained", true.to_json()),
+                (
+                    "drain_flushed",
+                    Counters::get(&shared.counters.drain_flushed).to_json(),
+                ),
+            ])
         }
         Some(other) => error_json(&format!("unknown op `{other}`")),
         None => error_json("missing `op`"),
@@ -457,6 +639,7 @@ fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
         attempts: 0,
         excluded: Vec::new(),
         not_before: 0,
+        checkpoint: None,
     };
     shared.in_flight.fetch_add(1, Ordering::SeqCst);
     if let Err((_, err)) = shared.queue.try_push(job) {
@@ -464,15 +647,26 @@ fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
         Counters::bump(&shared.counters.rejected);
         return match err {
             SubmitError::Full { depth } => {
+                Counters::bump(&shared.counters.shed_full);
                 // Backpressure hint scaled to the backlog we just refused.
                 let retry_after_ms = (25 * depth as u64).clamp(50, 2000);
                 Json::obj([
                     ("ok", false.to_json()),
                     ("error", "queue_full".to_json()),
+                    ("error_kind", "shed".to_json()),
+                    ("reason", "queue_full".to_json()),
                     ("retry_after_ms", retry_after_ms.to_json()),
                 ])
             }
-            SubmitError::Closed => error_json("draining"),
+            SubmitError::Closed => {
+                Counters::bump(&shared.counters.shed_draining);
+                Json::obj([
+                    ("ok", false.to_json()),
+                    ("error", "draining".to_json()),
+                    ("error_kind", "shed".to_json()),
+                    ("reason", "draining".to_json()),
+                ])
+            }
         };
     }
     Counters::bump(&shared.counters.accepted);
@@ -512,14 +706,39 @@ fn finish_job(shared: &Shared, job: Job, result: JobResult) {
 }
 
 /// Requeue with deterministic backoff: runnable only after `2^attempts`
-/// further queue pops.
-fn requeue_with_backoff(shared: &Shared, mut job: Job, failed_shard: usize, seq: u64) {
-    if !job.excluded.contains(&failed_shard) {
+/// further queue pops. `exclude` is `None` for injected crashes (the
+/// shard is healthy, retrying in place is fine). A job carrying a
+/// checkpoint is a **recovery** (the retry resumes mid-run); one without
+/// is a **cold requeue** (rerun from zero) — counted separately so
+/// `/stats` shows what checkpointing actually bought.
+fn requeue_with_backoff(shared: &Shared, mut job: Job, failed_shard: usize, exclude: bool, seq: u64) {
+    if exclude && !job.excluded.contains(&failed_shard) {
         job.excluded.push(failed_shard);
     }
     job.attempts += 1;
     job.not_before = seq + (1u64 << job.attempts.min(16));
     Counters::bump(&shared.counters.requeues);
+    Counters::bump(&shared.shards[failed_shard].requeues);
+    if job.checkpoint.is_some() {
+        Counters::bump(&shared.counters.recoveries);
+    } else {
+        Counters::bump(&shared.counters.cold_requeues);
+    }
+    eprintln!(
+        "[detserved] shard {} requeued job {} (attempt {}, {}, excluded={:?})",
+        failed_shard,
+        job.spec.identity_key(),
+        job.attempts,
+        if job.checkpoint.is_some() {
+            format!(
+                "warm from cycle {}",
+                job.checkpoint.as_ref().map(|c| c.cycle()).unwrap_or(0)
+            )
+        } else {
+            "cold from zero".to_string()
+        },
+        job.excluded,
+    );
     shared.queue.requeue(job);
 }
 
@@ -527,7 +746,7 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
     let mut engine = ShardEngine::new(id)
         .with_compile_opts(CompileOpts::threads(shared.config.compile_threads).cached());
     let slot = &shared.shards[id];
-    while let Some((job, seq)) = shared.queue.pop() {
+    while let Some((mut job, seq)) = shared.queue.pop() {
         if slot.evicted.load(Ordering::Relaxed) {
             // Evicted while idle: hand the job straight back and exit.
             shared.queue.requeue(job);
@@ -556,34 +775,77 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
         }
 
         *slot.busy_since.lock() = Some(Instant::now());
+        *slot.current_job.lock() = Some(job.spec.identity_key());
         let queue_us = job.enqueued.elapsed().as_micros() as u64;
+        let resume_from = job.checkpoint.take();
+        if resume_from.is_some() {
+            Counters::bump(&slot.recoveries);
+        }
+        let crash = shared
+            .crash_faults
+            .lock()
+            .map(|plan| (plan, job.attempts));
+        let opts = ExecOpts {
+            checkpoint_every: shared.config.checkpoint_interval,
+            cycle_slice: shared.config.cycle_slice,
+            resume_from,
+            crash,
+            evicted: Some(&slot.evicted),
+        };
         let exec_start = Instant::now();
-        let result = engine.execute(&job.spec, shared.config.job_cycle_budget);
+        let outcome = engine.execute_resumable(&job.spec, shared.config.job_cycle_budget, opts);
         let exec_us = exec_start.elapsed().as_micros() as u64;
         *slot.busy_since.lock() = None;
+        *slot.current_job.lock() = None;
 
-        // Mirror the engine's compilation telemetry into the slot so
-        // `/stats` (served off other threads) can read it.
+        // Mirror the engine's compilation + checkpoint telemetry into the
+        // slot so `/stats` (served off other threads) can read it.
         slot.analysis_hits
             .store(engine.analysis_cache_hits(), Ordering::Relaxed);
         slot.analysis_misses
             .store(engine.analysis_cache_misses(), Ordering::Relaxed);
+        slot.checkpoints
+            .store(engine.checkpoints_taken(), Ordering::Relaxed);
         *slot.pass_totals.lock() = engine.pass_totals().to_vec();
 
         if slot.evicted.load(Ordering::Relaxed) {
             // Killed mid-run (watchdog or `kill`): the result — even a
             // successful one — is discarded, and the job reruns elsewhere.
             // Determinism makes that safe: the sibling's receipt is
-            // byte-identical to the one we just threw away.
-            requeue_with_backoff(shared, job, id, seq);
+            // byte-identical to the one we just threw away. The sibling
+            // starts from our latest checkpoint when we managed to take
+            // one, so the eviction costs at most one interval of work.
+            job.checkpoint = match outcome {
+                ExecOutcome::Preempted { checkpoint, .. } => Some(checkpoint),
+                ExecOutcome::Done {
+                    last_checkpoint, ..
+                } => last_checkpoint,
+                ExecOutcome::Crashed { checkpoint, .. } => checkpoint,
+                ExecOutcome::Failed(_) => None,
+            };
+            requeue_with_backoff(shared, job, id, true, seq);
             break;
         }
 
-        match result {
-            Ok(receipt) => {
+        match outcome {
+            ExecOutcome::Done {
+                receipt,
+                last_checkpoint,
+            } => {
                 let canonical = receipt.canonical();
                 if !shared.check_receipt(job.spec.identity_key(), &canonical) {
                     Counters::bump(&shared.counters.receipt_mismatches);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    // Graceful drain: flush the job's final checkpoint so
+                    // a successor process could pick up long-running work.
+                    if let Some(ck) = last_checkpoint {
+                        Counters::bump(&shared.counters.drain_flushed);
+                        shared
+                            .drain_checkpoints
+                            .lock()
+                            .insert(job.spec.identity_key(), ck);
+                    }
                 }
                 shared.queue_latency.record_us(queue_us);
                 shared.exec_latency.record_us(exec_us);
@@ -601,10 +863,58 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
                     },
                 );
             }
-            Err(err) if err.retryable() && job.attempts < shared.config.max_retries => {
-                requeue_with_backoff(shared, job, id, seq);
+            ExecOutcome::Preempted {
+                checkpoint,
+                reason: PreemptReason::SliceExhausted,
+            } => {
+                // Not a failure: the job yields the shard and continues
+                // from its checkpoint. No retry budget consumed, no
+                // exclusion, no backoff.
+                Counters::bump(&shared.counters.preemptions);
+                Counters::bump(&slot.preemptions);
+                job.checkpoint = Some(checkpoint);
+                shared.queue.requeue(job);
             }
-            Err(err) => {
+            ExecOutcome::Preempted {
+                checkpoint,
+                reason: PreemptReason::Evicted,
+            } => {
+                // The eviction flag raced clear of the check above (it was
+                // observed inside the run); same path as evicted-after-run.
+                job.checkpoint = Some(checkpoint);
+                requeue_with_backoff(shared, job, id, true, seq);
+                break;
+            }
+            ExecOutcome::Crashed {
+                error,
+                checkpoint,
+                injected,
+            } if job.attempts < shared.config.max_retries => {
+                if injected {
+                    Counters::bump(&shared.counters.crashes_injected);
+                }
+                eprintln!(
+                    "[detserved] shard {} crashed on job {}: {error}",
+                    id,
+                    job.spec.identity_key(),
+                );
+                job.checkpoint = checkpoint;
+                // An injected crash says nothing about the shard's health,
+                // so it stays eligible — organic panics exclude it.
+                requeue_with_backoff(shared, job, id, !injected, seq);
+            }
+            ExecOutcome::Crashed { error, .. } => {
+                let attempts = job.attempts;
+                finish_job(
+                    shared,
+                    job,
+                    JobResult::Failed {
+                        error: error.to_string(),
+                        attempts,
+                    },
+                );
+            }
+            ExecOutcome::Failed(err) => {
                 let attempts = job.attempts;
                 finish_job(
                     shared,
@@ -632,8 +942,16 @@ fn supervisor(shared: &Arc<Shared>) {
                 .lock()
                 .map(|since| since.elapsed() > limit)
                 .unwrap_or(false);
-            if stalled && !slot.evicted.load(Ordering::Relaxed) {
-                shared.evict(i);
+            if stalled && !slot.evicted.load(Ordering::Relaxed) && shared.evict(i) {
+                eprintln!(
+                    "[detserved] stall report: shard {} exceeded the {:?} watchdog on job {} — evicted",
+                    i,
+                    limit,
+                    slot.current_job
+                        .lock()
+                        .clone()
+                        .unwrap_or_else(|| "<none>".to_string()),
+                );
             }
         }
     }

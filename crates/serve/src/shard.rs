@@ -9,14 +9,18 @@
 //! shard, every time), so budget exhaustion fails the job instead of
 //! retrying it.
 
+use crate::netfault::{CrashPlan, InjectedCrash};
 use crate::protocol::JobSpec;
 use crate::receipt::Receipt;
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument_with, CompileOpts, Instrumented, OptConfig};
 use detlock_passes::plan::Placement;
 use detlock_passes::stats::PassStats;
-use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
+use detlock_vm::machine::{
+    Checkpoint, CkptControl, ExecMode, Jitter, Machine, MachineConfig, RunOutcome, ThreadSpec,
+};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Why a shard could not produce a receipt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +53,83 @@ impl ShardError {
     }
 }
 
+/// Why a resumable execution stopped before producing a receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreemptReason {
+    /// The per-attempt cycle slice was used up: the job yields its shard
+    /// and continues from the checkpoint on the next attempt.
+    SliceExhausted,
+    /// The shard was evicted mid-run (watchdog or `kill`); the run aborted
+    /// at the next checkpoint boundary instead of wasting a full rerun.
+    Evicted,
+}
+
+/// Result of [`ShardEngine::execute_resumable`].
+pub enum ExecOutcome {
+    /// The run finished with a receipt. `last_checkpoint` is the most
+    /// recent snapshot taken on the way (None when checkpointing was off
+    /// or the run finished inside the first interval) — the server flushes
+    /// it during a graceful drain.
+    Done {
+        /// The determinism receipt.
+        receipt: Receipt,
+        /// Latest snapshot taken before completion.
+        last_checkpoint: Option<Checkpoint>,
+    },
+    /// The run stopped at a checkpoint boundary; resume from `checkpoint`.
+    Preempted {
+        /// The state to resume from.
+        checkpoint: Checkpoint,
+        /// Why the run yielded.
+        reason: PreemptReason,
+    },
+    /// The engine panicked mid-run. `checkpoint` is the most recent
+    /// snapshot (the resume point if none was taken this attempt) —
+    /// recovery resumes from it instead of rerunning from zero.
+    Crashed {
+        /// The panic, as a [`ShardError::Panicked`].
+        error: ShardError,
+        /// Latest snapshot to recover from (`None`: recover from zero).
+        checkpoint: Option<Checkpoint>,
+        /// True when the panic was a [`CrashPlan`] injection: the shard
+        /// itself is healthy and need not be excluded from the retry.
+        injected: bool,
+    },
+    /// A deterministic, non-retryable failure (unknown workload, total
+    /// cycle budget exhausted).
+    Failed(ShardError),
+}
+
+/// Knobs for one resumable execution attempt.
+pub struct ExecOpts<'a> {
+    /// Snapshot every this many cycles (0 disables checkpointing).
+    pub checkpoint_every: u64,
+    /// Yield the shard after this many cycles of progress *this attempt*
+    /// (0 disables preemption). Rounded up to the next checkpoint
+    /// boundary; ignored when checkpointing is off.
+    pub cycle_slice: u64,
+    /// Resume from this snapshot instead of starting at cycle 0.
+    pub resume_from: Option<Checkpoint>,
+    /// Seeded crash injection for this attempt (plan, attempt number).
+    pub crash: Option<(CrashPlan, u32)>,
+    /// Checked at every checkpoint: when set, abort with
+    /// [`PreemptReason::Evicted`] so an evicted shard stops burning cycles
+    /// on a result that will be discarded.
+    pub evicted: Option<&'a AtomicBool>,
+}
+
+impl Default for ExecOpts<'_> {
+    fn default() -> Self {
+        ExecOpts {
+            checkpoint_every: 0,
+            cycle_slice: 0,
+            resume_from: None,
+            crash: None,
+            evicted: None,
+        }
+    }
+}
+
 /// Instrumentation cache key: everything the instrumented module depends
 /// on (seed excluded — it only perturbs the run, not the compilation).
 fn cache_key(spec: &JobSpec) -> String {
@@ -77,6 +158,7 @@ pub struct ShardEngine {
     analysis_hits: u64,
     analysis_misses: u64,
     pass_totals: Vec<PassStats>,
+    checkpoints_taken: u64,
 }
 
 impl ShardEngine {
@@ -92,6 +174,7 @@ impl ShardEngine {
             analysis_hits: 0,
             analysis_misses: 0,
             pass_totals: Vec::new(),
+            checkpoints_taken: 0,
         }
     }
 
@@ -119,37 +202,69 @@ impl ShardEngine {
         }
     }
 
-    /// Run one job to completion under `cycle_budget` simulated cycles.
+    /// Run one job to completion under `cycle_budget` simulated cycles
+    /// (compatibility wrapper: no checkpointing, no preemption).
     pub fn execute(&mut self, spec: &JobSpec, cycle_budget: u64) -> Result<Receipt, ShardError> {
+        match self.execute_resumable(spec, cycle_budget, ExecOpts::default()) {
+            ExecOutcome::Done { receipt, .. } => Ok(receipt),
+            ExecOutcome::Crashed { error, .. } | ExecOutcome::Failed(error) => Err(error),
+            ExecOutcome::Preempted { .. } => {
+                unreachable!("no slice or eviction flag configured")
+            }
+        }
+    }
+
+    /// Compile (or fetch) the job's instrumented module, caching it.
+    fn ensure_compiled(&mut self, spec: &JobSpec, key: &str) -> Result<(), ShardError> {
+        if self.cache.contains_key(key) {
+            return Ok(());
+        }
+        let w = detlock_workloads::by_name(&spec.workload, spec.threads, spec.scale)
+            .ok_or_else(|| ShardError::UnknownWorkload(spec.workload.clone()))?;
+        let inst = instrument_with(
+            &w.module,
+            &self.cost,
+            &OptConfig::only(spec.opt),
+            Placement::Start,
+            &w.entries,
+            self.compile,
+        );
+        self.absorb_stats(&inst);
+        let specs = w
+            .threads
+            .iter()
+            .map(|t| ThreadSpec {
+                func: t.func,
+                args: t.args.clone(),
+            })
+            .collect();
+        self.cache.insert(
+            key.to_string(),
+            CachedJob {
+                inst,
+                specs,
+                mem_words: w.mem_words,
+            },
+        );
+        Ok(())
+    }
+
+    /// Run one attempt of a job: optionally resuming from a checkpoint,
+    /// snapshotting every `opts.checkpoint_every` cycles, yielding after
+    /// `opts.cycle_slice` cycles of progress, aborting early on eviction,
+    /// and injecting seeded crashes. The engine survives a panicking run
+    /// (the shard reports it and stays up), and the latest checkpoint
+    /// survives the panic too — that is the whole recovery story: a crash
+    /// loses at most one checkpoint interval of work.
+    pub fn execute_resumable(
+        &mut self,
+        spec: &JobSpec,
+        cycle_budget: u64,
+        opts: ExecOpts<'_>,
+    ) -> ExecOutcome {
         let key = cache_key(spec);
-        if !self.cache.contains_key(&key) {
-            let w = detlock_workloads::by_name(&spec.workload, spec.threads, spec.scale)
-                .ok_or_else(|| ShardError::UnknownWorkload(spec.workload.clone()))?;
-            let inst = instrument_with(
-                &w.module,
-                &self.cost,
-                &OptConfig::only(spec.opt),
-                Placement::Start,
-                &w.entries,
-                self.compile,
-            );
-            self.absorb_stats(&inst);
-            let specs = w
-                .threads
-                .iter()
-                .map(|t| ThreadSpec {
-                    func: t.func,
-                    args: t.args.clone(),
-                })
-                .collect();
-            self.cache.insert(
-                key.clone(),
-                CachedJob {
-                    inst,
-                    specs,
-                    mem_words: w.mem_words,
-                },
-            );
+        if let Err(e) = self.ensure_compiled(spec, &key) {
+            return ExecOutcome::Failed(e);
         }
         let cached = &self.cache[&key];
         let cfg = MachineConfig {
@@ -159,25 +274,92 @@ impl ShardEngine {
             max_cycles: cycle_budget,
             ..MachineConfig::default()
         };
-        // The engine must survive a panicking run (fault injection, VM
-        // assert): the shard reports it and stays up for the next job.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run(&cached.inst.module, &self.cost, &cached.specs, cfg)
-        }));
+        let start_cycle = opts.resume_from.as_ref().map(|c| c.cycle()).unwrap_or(0);
+        let key_hash = CrashPlan::key_hash(&spec.identity_key());
+        // `latest` lives outside the catch_unwind boundary so a panicking
+        // run still leaves its last checkpoint retrievable.
+        let mut latest: Option<Checkpoint> = opts.resume_from.clone();
+        let mut taken: u64 = 0;
+        let mut preempt: Option<PreemptReason> = None;
+        let result = {
+            let latest = &mut latest;
+            let taken = &mut taken;
+            let preempt = &mut preempt;
+            let cost = &self.cost;
+            let opts = &opts;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                move || -> Result<RunOutcome, String> {
+                    let machine = match &opts.resume_from {
+                        Some(ck) => {
+                            Machine::resume(&cached.inst.module, cost, cfg.clone(), ck)?
+                        }
+                        None => Machine::new(&cached.inst.module, cost, &cached.specs, cfg),
+                    };
+                    Ok(machine.run_with_checkpoints(opts.checkpoint_every, &mut |ck| {
+                        *taken += 1;
+                        *latest = Some(ck.clone());
+                        if opts.evicted.is_some_and(|ev| ev.load(Ordering::Relaxed)) {
+                            *preempt = Some(PreemptReason::Evicted);
+                            return CkptControl::Abort;
+                        }
+                        if let Some((plan, attempt)) = opts.crash {
+                            if plan.should_crash(key_hash, attempt, *taken) {
+                                std::panic::panic_any(InjectedCrash {
+                                    attempt,
+                                    at_checkpoint: *taken,
+                                });
+                            }
+                        }
+                        if opts.cycle_slice > 0
+                            && ck.cycle().saturating_sub(start_cycle) >= opts.cycle_slice
+                        {
+                            *preempt = Some(PreemptReason::SliceExhausted);
+                            return CkptControl::Abort;
+                        }
+                        CkptControl::Continue
+                    }))
+                },
+            ))
+        };
+        self.checkpoints_taken += taken;
         match result {
-            Ok((metrics, hit_limit)) => {
+            Ok(Ok(RunOutcome::Finished {
+                metrics, hit_limit, ..
+            })) => {
                 if hit_limit {
-                    return Err(ShardError::CycleBudgetExhausted(cycle_budget));
+                    ExecOutcome::Failed(ShardError::CycleBudgetExhausted(cycle_budget))
+                } else {
+                    ExecOutcome::Done {
+                        receipt: Receipt::from_metrics(spec, &metrics),
+                        last_checkpoint: latest,
+                    }
                 }
-                Ok(Receipt::from_metrics(spec, &metrics))
             }
+            Ok(Ok(RunOutcome::Aborted { .. })) => ExecOutcome::Preempted {
+                checkpoint: latest.expect("an aborted run sank a checkpoint"),
+                reason: preempt.expect("abort always records its reason"),
+            },
+            // A refused resume (fingerprint mismatch) should be impossible
+            // when the server passes matching configs; recover from zero
+            // on another shard rather than wedging the job.
+            Ok(Err(resume_err)) => ExecOutcome::Crashed {
+                error: ShardError::Panicked(format!("resume refused: {resume_err}")),
+                checkpoint: None,
+                injected: false,
+            },
             Err(payload) => {
+                let injected = payload.downcast_ref::<InjectedCrash>().is_some();
                 let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
+                    .downcast_ref::<InjectedCrash>()
+                    .map(|c| c.to_string())
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(ShardError::Panicked(msg))
+                ExecOutcome::Crashed {
+                    error: ShardError::Panicked(msg),
+                    checkpoint: latest,
+                    injected,
+                }
             }
         }
     }
@@ -202,6 +384,11 @@ impl ShardEngine {
     /// compilation on this shard.
     pub fn pass_totals(&self) -> &[PassStats] {
         &self.pass_totals
+    }
+
+    /// Total checkpoints taken across every execution on this shard.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
     }
 }
 
@@ -282,6 +469,121 @@ mod tests {
             engine.execute(&s, u64::MAX),
             Err(ShardError::UnknownWorkload("nope".into()))
         );
+    }
+
+    #[test]
+    fn preempted_job_resumes_to_the_uninterrupted_receipt() {
+        let mut engine = ShardEngine::new(0);
+        let reference = engine.execute(&spec(9), u64::MAX).unwrap();
+        // Re-run the same job in slices: each attempt yields after ~2000
+        // cycles of progress and the next resumes from its checkpoint.
+        let mut resume = None;
+        let mut slices = 0;
+        let receipt = loop {
+            let opts = ExecOpts {
+                checkpoint_every: 1000,
+                cycle_slice: 2000,
+                resume_from: resume.take(),
+                ..ExecOpts::default()
+            };
+            match engine.execute_resumable(&spec(9), u64::MAX, opts) {
+                ExecOutcome::Done { receipt, .. } => break receipt,
+                ExecOutcome::Preempted {
+                    checkpoint,
+                    reason: PreemptReason::SliceExhausted,
+                } => {
+                    slices += 1;
+                    resume = Some(checkpoint);
+                }
+                other => panic!(
+                    "unexpected outcome: {:?}",
+                    match other {
+                        ExecOutcome::Crashed { error, .. } => error.to_string(),
+                        ExecOutcome::Failed(e) => e.to_string(),
+                        _ => "eviction".to_string(),
+                    }
+                ),
+            }
+            assert!(slices < 10_000, "job never finished");
+        };
+        assert!(slices > 0, "job too short to exercise preemption");
+        assert_eq!(receipt.canonical(), reference.canonical());
+        assert!(engine.checkpoints_taken() > 0);
+    }
+
+    #[test]
+    fn injected_crashes_recover_from_checkpoints_to_the_same_receipt() {
+        let mut engine = ShardEngine::new(0);
+        let reference = engine.execute(&spec(4), u64::MAX).unwrap();
+        let plan = CrashPlan {
+            seed: 1234,
+            per_1024: 1024, // always crash at the first boundary of attempt 0
+        };
+        let mut resume = None;
+        let mut attempt = 0u32;
+        let mut crashes = 0;
+        let receipt = loop {
+            let opts = ExecOpts {
+                checkpoint_every: 1500,
+                resume_from: resume.take(),
+                crash: Some((plan, attempt)),
+                ..ExecOpts::default()
+            };
+            match engine.execute_resumable(&spec(4), u64::MAX, opts) {
+                ExecOutcome::Done { receipt, .. } => break receipt,
+                ExecOutcome::Crashed {
+                    checkpoint,
+                    injected,
+                    ..
+                } => {
+                    assert!(injected, "only injected crashes expected");
+                    crashes += 1;
+                    attempt += 1;
+                    resume = checkpoint;
+                }
+                _ => panic!("unexpected outcome"),
+            }
+            assert!(attempt < 32, "crash plan failed to decay");
+        };
+        assert!(crashes > 0, "crash plan never fired");
+        assert_eq!(
+            receipt.canonical(),
+            reference.canonical(),
+            "crash/resume chain diverged from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn eviction_flag_aborts_at_a_checkpoint_with_resumable_state() {
+        let mut engine = ShardEngine::new(0);
+        let reference = engine.execute(&spec(6), u64::MAX).unwrap();
+        let evicted = AtomicBool::new(true); // evict immediately
+        let opts = ExecOpts {
+            checkpoint_every: 1000,
+            evicted: Some(&evicted),
+            ..ExecOpts::default()
+        };
+        let checkpoint = match engine.execute_resumable(&spec(6), u64::MAX, opts) {
+            ExecOutcome::Preempted {
+                checkpoint,
+                reason: PreemptReason::Evicted,
+            } => checkpoint,
+            _ => panic!("expected eviction preempt"),
+        };
+        // A different engine (the migration target) resumes it.
+        evicted.store(false, Ordering::Relaxed);
+        let mut sibling = ShardEngine::new(1);
+        let opts = ExecOpts {
+            checkpoint_every: 1000,
+            resume_from: Some(checkpoint),
+            ..ExecOpts::default()
+        };
+        match sibling.execute_resumable(&spec(6), u64::MAX, opts) {
+            ExecOutcome::Done { receipt, .. } => {
+                assert_eq!(receipt.canonical(), reference.canonical());
+            }
+            _ => panic!("resumed run must finish"),
+        }
     }
 
     #[test]

@@ -27,6 +27,27 @@ pub struct Counters {
     /// Completed jobs whose receipt differed from an earlier receipt for
     /// the same identity key. Should stay zero forever.
     pub receipt_mismatches: AtomicU64,
+    /// Admissions refused because the queue was full (typed shed,
+    /// retryable with `retry_after_ms`).
+    pub shed_full: AtomicU64,
+    /// Admissions refused because the server was draining (typed shed,
+    /// not retryable).
+    pub shed_draining: AtomicU64,
+    /// Warm requeues: a migrated job carried a checkpoint, so the next
+    /// shard resumed instead of rerunning from cycle 0.
+    pub recoveries: AtomicU64,
+    /// Cold requeues: the job had no checkpoint and reran from zero.
+    pub cold_requeues: AtomicU64,
+    /// Cycle-slice preemptions (job yielded its shard at a checkpoint
+    /// boundary and continued later; not a failure, not a retry).
+    pub preemptions: AtomicU64,
+    /// Wire faults injected into data-plane responses by the active
+    /// `NetFaultPlan`.
+    pub net_faults_injected: AtomicU64,
+    /// Shard crashes injected by the active `CrashPlan`.
+    pub crashes_injected: AtomicU64,
+    /// Final checkpoints flushed for in-flight jobs during graceful drain.
+    pub drain_flushed: AtomicU64,
 }
 
 impl Counters {
@@ -53,6 +74,29 @@ impl ToJson for Counters {
             (
                 "receipt_mismatches",
                 Counters::get(&self.receipt_mismatches).to_json(),
+            ),
+            ("shed_full", Counters::get(&self.shed_full).to_json()),
+            (
+                "shed_draining",
+                Counters::get(&self.shed_draining).to_json(),
+            ),
+            ("recoveries", Counters::get(&self.recoveries).to_json()),
+            (
+                "cold_requeues",
+                Counters::get(&self.cold_requeues).to_json(),
+            ),
+            ("preemptions", Counters::get(&self.preemptions).to_json()),
+            (
+                "net_faults_injected",
+                Counters::get(&self.net_faults_injected).to_json(),
+            ),
+            (
+                "crashes_injected",
+                Counters::get(&self.crashes_injected).to_json(),
+            ),
+            (
+                "drain_flushed",
+                Counters::get(&self.drain_flushed).to_json(),
             ),
         ])
     }

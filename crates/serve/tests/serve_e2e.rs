@@ -2,6 +2,8 @@
 //! over TCP, and assert the service-level determinism contract.
 
 use detlock_passes::pipeline::OptLevel;
+use detlock_serve::client::{RetryPolicy, RetryingClient};
+use detlock_serve::netfault::{CrashPlan, NetFaultPlan};
 use detlock_serve::protocol::{Client, JobSpec};
 use detlock_serve::receipt::Receipt;
 use detlock_serve::server::{DetServed, ServeConfig};
@@ -17,6 +19,7 @@ fn test_config() -> ServeConfig {
         job_cycle_budget: u64::MAX,
         watchdog: Some(Duration::from_secs(60)),
         compile_threads: 2,
+        ..ServeConfig::default()
     }
 }
 
@@ -268,6 +271,232 @@ fn graceful_drain_finishes_inflight_work_and_rejects_new() {
 }
 
 #[test]
+fn injected_crashes_recover_via_checkpoints_with_identical_receipts() {
+    // Fault-free reference receipts first.
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let jobs: Vec<JobSpec> = [("ocean", 21), ("raytrace", 22)]
+        .iter()
+        .map(|&(w, s)| spec(w, s))
+        .collect();
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|j| run_ok(&mut c, j).1.canonical())
+        .collect();
+    c.shutdown().unwrap();
+    server.join();
+
+    // Same jobs on a crash-chaos server with aggressive checkpointing.
+    // max_retries is raised because the crash plan needs a few attempts
+    // to decay to zero.
+    let config = ServeConfig {
+        checkpoint_interval: 1500,
+        max_retries: 10,
+        crash_faults: Some(CrashPlan {
+            seed: 7,
+            per_1024: 1024,
+        }),
+        ..test_config()
+    };
+    let server = DetServed::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    let chaotic: Vec<String> = jobs
+        .iter()
+        .map(|j| run_ok(&mut c, j).1.canonical())
+        .collect();
+    assert_eq!(
+        chaotic, reference,
+        "recovered receipts must be byte-identical to fault-free ones"
+    );
+
+    let stats = c.stats().unwrap();
+    let counter = |k: &str| {
+        stats
+            .get("counters")
+            .and_then(|s| s.get(k))
+            .and_then(Json::as_u64)
+            .unwrap()
+    };
+    assert!(counter("crashes_injected") >= 1, "crash plan never fired");
+    assert!(
+        counter("recoveries") >= 1,
+        "crashes must recover warm (from a checkpoint), not cold"
+    );
+    assert_eq!(counter("receipt_mismatches"), 0);
+    let recovery = stats.get("recovery").expect("recovery block");
+    assert!(
+        recovery
+            .get("checkpoints_taken")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert_eq!(
+        recovery.get("crash_faults_active").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Disarm via the control plane and verify the server runs clean again.
+    c.chaos(None, None).unwrap();
+    let (_, clean) = run_ok(&mut c, &jobs[0]);
+    assert_eq!(clean.canonical(), reference[0]);
+
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn drain_under_load_flushes_final_checkpoints_and_sheds_typed() {
+    let config = ServeConfig {
+        checkpoint_interval: 1000,
+        ..test_config()
+    };
+    let server = DetServed::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Keep several jobs in flight, then drain mid-stream.
+    let workers: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.run(&spec("ocean", 500 + i)).unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(20));
+    let mut c = Client::connect(&addr).unwrap();
+    let resp = c.shutdown().unwrap();
+    assert_eq!(resp.get("drained").and_then(Json::as_bool), Some(true));
+    // In-flight jobs checkpointed at a 1000-cycle interval, so the drain
+    // must have flushed a final checkpoint for at least one of them.
+    assert!(
+        resp.get("drain_flushed").and_then(Json::as_u64).unwrap() >= 1,
+        "drain flushed no checkpoints: {}",
+        resp.to_string_compact()
+    );
+
+    // In-flight jobs completed; any job racing admission after the close
+    // got the *typed* draining shed.
+    for w in workers {
+        let r = w.join().unwrap();
+        let ok = r.get("ok").and_then(Json::as_bool) == Some(true);
+        if !ok {
+            assert_eq!(r.get("error_kind").and_then(Json::as_str), Some("shed"));
+            assert_eq!(r.get("reason").and_then(Json::as_str), Some("draining"));
+        }
+    }
+    server.join();
+}
+
+#[test]
+fn retrying_client_survives_wire_chaos_and_observes_one_receipt_per_job() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Reference receipts over a clean wire.
+    let mut control = Client::connect(&addr).unwrap();
+    let jobs: Vec<JobSpec> = (0..4).map(|i| spec("ocean", 40 + i)).collect();
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|j| run_ok(&mut control, j).1.canonical())
+        .collect();
+
+    // Arm aggressive wire faults (short delays to keep the test fast),
+    // then push every job through the retrying client several times.
+    control
+        .chaos(
+            Some(&NetFaultPlan {
+                max_delay_ms: 5,
+                ..NetFaultPlan::new(99)
+            }),
+            None,
+        )
+        .unwrap();
+    let mut rc = RetryingClient::new(
+        &addr,
+        RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_attempts: 16,
+            ..RetryPolicy::default()
+        },
+    );
+    for round in 0..3 {
+        for (j, job) in jobs.iter().enumerate() {
+            let resp = rc.run(job).unwrap_or_else(|e| {
+                panic!("round {round} job {j} failed under wire chaos: {e}")
+            });
+            let receipt = Receipt::from_json(resp.get("receipt").unwrap()).unwrap();
+            assert_eq!(
+                receipt.canonical(),
+                reference[j],
+                "receipt diverged under wire chaos"
+            );
+        }
+    }
+    // The client observed idempotency (same identity key answered more
+    // than once, byte-identically) and never a mismatch.
+    let cs = rc.stats();
+    assert_eq!(cs.receipt_mismatches, 0);
+    assert_eq!(cs.duplicate_receipts, jobs.len() as u64 * 2);
+    assert_eq!(cs.unanswered, 0);
+
+    // Chaos actually happened: faults were injected, and the client had
+    // to reconnect at least once (drops/truncates close the connection).
+    control.chaos(None, None).unwrap();
+    let stats = control.stats().unwrap();
+    let injected = stats
+        .get("counters")
+        .and_then(|c| c.get("net_faults_injected"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(injected >= 1, "no wire faults fired");
+    assert!(cs.connects >= 2, "client never reconnected: {cs:?}");
+    let mismatches = stats
+        .get("counters")
+        .and_then(|c| c.get("receipt_mismatches"))
+        .and_then(Json::as_u64);
+    assert_eq!(mismatches, Some(0));
+
+    control.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn queue_full_sheds_are_typed() {
+    let config = ServeConfig {
+        queue_capacity: 1,
+        shards: 1,
+        ..test_config()
+    };
+    let server = DetServed::start(config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.run(&spec("volrend", 300 + i)).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in responses
+        .iter()
+        .filter(|r| r.get("error").and_then(Json::as_str) == Some("queue_full"))
+    {
+        assert_eq!(r.get("error_kind").and_then(Json::as_str), Some("shed"));
+        assert_eq!(r.get("reason").and_then(Json::as_str), Some("queue_full"));
+        assert!(r.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0) >= 50);
+    }
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
 fn stats_snapshot_has_the_advertised_shape() {
     let server = DetServed::start(test_config()).unwrap();
     let addr = server.local_addr().to_string();
@@ -288,6 +517,52 @@ fn stats_snapshot_has_the_advertised_shape() {
     let exec = stats.get("exec_latency").unwrap();
     assert_eq!(exec.get("count").and_then(Json::as_u64), Some(1));
     assert!(exec.get("p99_us").and_then(Json::as_u64).unwrap() > 0);
+
+    // Recovery/chaos observability: the block and its counters exist, and
+    // per-shard rows carry recovery/requeue/preemption/checkpoint counts.
+    let recovery = stats.get("recovery").expect("recovery block");
+    for k in [
+        "checkpoint_interval",
+        "cycle_slice",
+        "checkpoints_taken",
+        "recoveries",
+        "cold_requeues",
+        "drain_flushed",
+    ] {
+        assert!(
+            recovery.get(k).and_then(Json::as_u64).is_some(),
+            "recovery.{k} missing: {}",
+            recovery.to_string_compact()
+        );
+    }
+    assert_eq!(
+        recovery.get("net_faults_active").and_then(Json::as_bool),
+        Some(false)
+    );
+    for k in ["recoveries", "requeues", "preemptions", "checkpoints"] {
+        assert!(
+            shards
+                .iter()
+                .all(|s| s.get(k).and_then(Json::as_u64).is_some()),
+            "per-shard `{k}` missing"
+        );
+    }
+    let counters = stats.get("counters").unwrap();
+    for k in [
+        "shed_full",
+        "shed_draining",
+        "recoveries",
+        "cold_requeues",
+        "preemptions",
+        "net_faults_injected",
+        "crashes_injected",
+        "drain_flushed",
+    ] {
+        assert!(
+            counters.get(k).and_then(Json::as_u64).is_some(),
+            "counters.{k} missing"
+        );
+    }
 
     // Pipeline telemetry: the job compiled at OptLevel::All through the
     // pass manager, so the shared analysis cache must report hits, and the

@@ -36,6 +36,13 @@ impl SmallRng {
         }
     }
 
+    /// The raw generator state, for fingerprinting snapshots of the
+    /// stream position (checkpoint digests). Two `SmallRng`s with equal
+    /// state produce identical future streams.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

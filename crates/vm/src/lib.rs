@@ -30,7 +30,8 @@ pub mod replay;
 
 pub use determinism::{check_determinism, DeterminismReport, Divergence};
 pub use machine::{
-    run, BulkSyncParams, ExecMode, Jitter, KendoParams, Machine, MachineConfig, ThreadSpec,
+    run, BulkSyncParams, Checkpoint, CkptControl, ExecMode, Jitter, KendoParams, Machine,
+    MachineConfig, RunOutcome, ThreadSpec,
 };
 pub use metrics::{RunMetrics, ThreadMetrics};
 pub use race::{confirm_race, RaceWitness};

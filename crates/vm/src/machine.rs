@@ -207,7 +207,7 @@ impl Default for MachineConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Status {
     Ready,
     AcquiringLock(i64),
@@ -228,6 +228,7 @@ struct Frame {
     ret_dst: Option<Reg>,
 }
 
+#[derive(Clone)]
 struct Thread {
     status: Status,
     frames: Vec<Frame>,
@@ -251,6 +252,209 @@ struct LockState {
 #[derive(Debug, Default, Clone)]
 struct BarrierState {
     arrivals: Vec<u32>,
+}
+
+/// A deterministic snapshot of a running [`Machine`].
+///
+/// Captures *all* mutable machine state — per-thread frames, registers,
+/// logical clocks, pending acquisitions, jitter-RNG positions, the shared
+/// memory image, lock/barrier tables, and the trace-hash prefix — so that
+/// [`Machine::resume`] continues the run exactly where the snapshot was
+/// taken. Because snapshots are pure reads placed at round boundaries of
+/// the min-clock arbiter (see [`Machine::run_with_checkpoints`]),
+/// checkpoint placement cannot perturb the schedule: a resumed run
+/// produces byte-identical final metrics (and hence receipts) to the
+/// uninterrupted run.
+///
+/// A checkpoint is tied to the (module, config, thread-count) it was taken
+/// under via a [`fingerprint`](Checkpoint::fingerprint); `resume` refuses a
+/// mismatched fingerprint rather than silently diverging. It is plain data
+/// (`Clone + Send`), so a serving layer can hand it to another worker —
+/// cross-shard migration is sound exactly when both shards compiled the
+/// byte-identical module, which the fingerprint asserts structurally.
+#[derive(Clone)]
+pub struct Checkpoint {
+    fingerprint: u64,
+    cycle: u64,
+    threads: Vec<Thread>,
+    mem: Vec<i64>,
+    locks: HashMap<i64, LockState>,
+    barriers: HashMap<u32, BarrierState>,
+    hasher: OrderHasher,
+    lock_order: Vec<(i64, u32)>,
+    done_count: usize,
+    replay_pos: usize,
+    commit_stall: u64,
+}
+
+fn fnv_fold(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+impl Checkpoint {
+    /// The cycle at which this snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Threads that had already finished when the snapshot was taken.
+    pub fn done_count(&self) -> usize {
+        self.done_count
+    }
+
+    /// The trace-hash prefix: the FNV-1a fold over every `(lock, tid)`
+    /// acquisition event that happened before the snapshot.
+    pub fn trace_hash_prefix(&self) -> u64 {
+        self.hasher.value()
+    }
+
+    /// The (module, config, thread-count) fingerprint this checkpoint is
+    /// valid against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Approximate heap footprint in bytes (memory image + registers),
+    /// for capacity accounting in serving layers.
+    pub fn approx_bytes(&self) -> usize {
+        let regs: usize = self.threads.iter().map(|t| t.regs.len()).sum();
+        (self.mem.len() + regs) * std::mem::size_of::<i64>()
+    }
+
+    /// A deep digest of the snapshot: two runs of the same program that
+    /// agree on this value at a given cycle are in *identical* machine
+    /// states (same frames, registers, clocks, memory, lock tables, RNG
+    /// positions) and will therefore evolve identically. Used by tests to
+    /// assert state convergence, not just trace-hash convergence.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        fnv_fold(&mut h, self.fingerprint);
+        fnv_fold(&mut h, self.cycle);
+        fnv_fold(&mut h, self.done_count as u64);
+        fnv_fold(&mut h, self.replay_pos as u64);
+        fnv_fold(&mut h, self.commit_stall);
+        fnv_fold(&mut h, self.hasher.value());
+        for &w in &self.mem {
+            fnv_fold(&mut h, w as u64);
+        }
+        for th in &self.threads {
+            let (tag, payload) = match th.status {
+                Status::Ready => (0u64, 0u64),
+                Status::AcquiringLock(id) => (1, id as u64),
+                Status::AcquiringBarrier(id) => (2, id as u64),
+                Status::InBarrier(id) => (3, id as u64),
+                Status::QuantumDone => (4, 0),
+                Status::ExitWait => (5, 0),
+                Status::Done => (6, 0),
+            };
+            fnv_fold(&mut h, tag);
+            fnv_fold(&mut h, payload);
+            fnv_fold(&mut h, th.clock);
+            fnv_fold(&mut h, th.pending);
+            fnv_fold(&mut h, th.quantum_left);
+            fnv_fold(&mut h, th.round_stores);
+            for s in th.rng.state() {
+                fnv_fold(&mut h, s);
+            }
+            for &r in &th.regs {
+                fnv_fold(&mut h, r as u64);
+            }
+            for f in &th.frames {
+                fnv_fold(&mut h, f.func.index() as u64);
+                fnv_fold(&mut h, f.block.index() as u64);
+                fnv_fold(&mut h, f.ip as u64);
+                fnv_fold(&mut h, f.reg_base as u64);
+                fnv_fold(&mut h, f.ret_dst.map(|r| r.index() as u64 + 1).unwrap_or(0));
+            }
+        }
+        let mut lock_ids: Vec<i64> = self.locks.keys().copied().collect();
+        lock_ids.sort_unstable();
+        for id in lock_ids {
+            let st = &self.locks[&id];
+            fnv_fold(&mut h, id as u64);
+            fnv_fold(&mut h, st.held_by.map(|t| t as u64 + 1).unwrap_or(0));
+            fnv_fold(&mut h, st.release_clock.map(|c| c + 1).unwrap_or(0));
+        }
+        let mut bar_ids: Vec<u32> = self.barriers.keys().copied().collect();
+        bar_ids.sort_unstable();
+        for id in bar_ids {
+            fnv_fold(&mut h, id as u64);
+            for &a in &self.barriers[&id].arrivals {
+                fnv_fold(&mut h, a as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Structural fingerprint binding a checkpoint to what it may resume on:
+/// the execution mode (with parameters), jitter model, memory geometry,
+/// cost-relevant config, thread count, and the module shape. Two shards
+/// that compiled the same plan-cache entry agree on all of these.
+fn config_fingerprint(cfg: &MachineConfig, module: &Module, n_threads: usize) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let (mode_tag, a, b, c) = match cfg.mode {
+        ExecMode::Baseline => (0u64, 0u64, 0u64, 0u64),
+        ExecMode::ClocksOnly => (1, 0, 0, 0),
+        ExecMode::Det => (2, 0, 0, 0),
+        ExecMode::Kendo(kp) => (3, kp.chunk_size, kp.interrupt_cost, 0),
+        ExecMode::Replay => (4, 0, 0, 0),
+        ExecMode::BulkSync(bp) => (5, bp.quantum, bp.commit_base, bp.commit_per_store),
+    };
+    for v in [mode_tag, a, b, c] {
+        fnv_fold(&mut h, v);
+    }
+    fnv_fold(&mut h, cfg.jitter.seed);
+    fnv_fold(&mut h, cfg.jitter.prob_num as u64);
+    fnv_fold(&mut h, cfg.jitter.prob_den as u64);
+    fnv_fold(&mut h, cfg.jitter.max_extra);
+    fnv_fold(&mut h, cfg.mem_words as u64);
+    fnv_fold(&mut h, cfg.det_event_cost);
+    fnv_fold(&mut h, cfg.lock_order_limit as u64);
+    fnv_fold(&mut h, n_threads as u64);
+    fnv_fold(&mut h, cfg.replay_log.len() as u64);
+    fnv_fold(&mut h, module.functions.len() as u64);
+    for f in &module.functions {
+        fnv_fold(&mut h, f.blocks.len() as u64);
+        fnv_fold(&mut h, f.num_regs as u64);
+        let insts: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+        fnv_fold(&mut h, insts as u64);
+    }
+    h
+}
+
+/// Per-checkpoint control returned by the sink passed to
+/// [`Machine::run_with_checkpoints`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptControl {
+    /// Keep running.
+    Continue,
+    /// Stop now; the run returns [`RunOutcome::Aborted`]. The sink has
+    /// already received the checkpoint at the abort point, so the caller
+    /// can resume later from exactly here.
+    Abort,
+}
+
+/// Result of a checkpointed run.
+pub enum RunOutcome {
+    /// The program ran to completion (or hit the cycle limit).
+    Finished {
+        /// Whole-run metrics (identical to an uncheckpointed run).
+        metrics: RunMetrics,
+        /// Final shared memory image.
+        memory: Vec<i64>,
+        /// True when the cycle limit stopped the run.
+        hit_limit: bool,
+    },
+    /// The sink aborted the run at a checkpoint boundary.
+    Aborted {
+        /// The cycle at which the run stopped (equal to the cycle of the
+        /// last checkpoint handed to the sink).
+        at_cycle: u64,
+    },
 }
 
 enum Action {
@@ -361,40 +565,85 @@ impl<'m> Machine<'m> {
     pub fn run_with_memory(mut self) -> (RunMetrics, Vec<i64>, bool) {
         let n = self.threads.len();
         while self.done_count < n && self.cycle < self.cfg.max_cycles {
-            if let Some(bp) = self.cfg.mode.bulk_sync() {
-                if self.commit_stall > 0 {
-                    // Commit phase: every thread stalls.
-                    self.commit_stall -= 1;
-                    for th in self.threads.iter_mut() {
-                        if th.status != Status::Done {
-                            th.m.wait_cycles += 1;
-                        }
-                    }
-                    self.cycle += 1;
-                    continue;
-                }
-                if self.bulk_round_complete() {
-                    self.bulk_serial_phase(bp);
-                    self.cycle += 1;
-                    continue;
-                }
-            }
-            let turn = self.compute_turn();
-            // Rotate the service order so baseline FCFS has no fixed
-            // lowest-tid bias; in deterministic modes only the turn holder
-            // acts on sync events, so rotation is inert there.
-            let start = ((self
-                .cycle
-                .wrapping_mul(0x9e3779b97f4a7c15)
-                .wrapping_add(self.cfg.jitter.seed))
-                % n as u64) as usize;
-            for k in 0..n {
-                let t = (start + k) % n;
-                self.step(t, turn);
-            }
-            self.cycle += 1;
+            self.round();
         }
-        let hit_limit = self.done_count < n;
+        self.into_results()
+    }
+
+    /// Run with a checkpoint sink: every `every` cycles (a round boundary
+    /// of the arbiter loop — the snapshot is a pure read between rounds, so
+    /// placement cannot perturb the schedule) the sink receives a
+    /// [`Checkpoint`] and decides whether to continue or abort. `every = 0`
+    /// disables checkpointing entirely. On a machine built by
+    /// [`Machine::resume`], the first sink call happens one full interval
+    /// *after* the resume point, not at it.
+    pub fn run_with_checkpoints(
+        mut self,
+        every: u64,
+        sink: &mut dyn FnMut(&Checkpoint) -> CkptControl,
+    ) -> RunOutcome {
+        let n = self.threads.len();
+        let resumed_at = self.cycle;
+        while self.done_count < n && self.cycle < self.cfg.max_cycles {
+            if every > 0 && self.cycle % every == 0 && self.cycle != resumed_at {
+                let ckpt = self.snapshot();
+                if sink(&ckpt) == CkptControl::Abort {
+                    return RunOutcome::Aborted {
+                        at_cycle: self.cycle,
+                    };
+                }
+            }
+            self.round();
+        }
+        let (metrics, memory, hit_limit) = self.into_results();
+        RunOutcome::Finished {
+            metrics,
+            memory,
+            hit_limit,
+        }
+    }
+
+    /// One round of the main loop: commit-stall / serial-phase handling in
+    /// bulk-sync mode, otherwise one arbiter turn stepping every thread.
+    /// Advances `self.cycle` by exactly 1.
+    fn round(&mut self) {
+        let n = self.threads.len();
+        if let Some(bp) = self.cfg.mode.bulk_sync() {
+            if self.commit_stall > 0 {
+                // Commit phase: every thread stalls.
+                self.commit_stall -= 1;
+                for th in self.threads.iter_mut() {
+                    if th.status != Status::Done {
+                        th.m.wait_cycles += 1;
+                    }
+                }
+                self.cycle += 1;
+                return;
+            }
+            if self.bulk_round_complete() {
+                self.bulk_serial_phase(bp);
+                self.cycle += 1;
+                return;
+            }
+        }
+        let turn = self.compute_turn();
+        // Rotate the service order so baseline FCFS has no fixed
+        // lowest-tid bias; in deterministic modes only the turn holder
+        // acts on sync events, so rotation is inert there.
+        let start = ((self
+            .cycle
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(self.cfg.jitter.seed))
+            % n as u64) as usize;
+        for k in 0..n {
+            let t = (start + k) % n;
+            self.step(t, turn);
+        }
+        self.cycle += 1;
+    }
+
+    fn into_results(self) -> (RunMetrics, Vec<i64>, bool) {
+        let hit_limit = self.done_count < self.threads.len();
         let metrics = RunMetrics {
             cycles: self.cycle,
             per_thread: self.threads.into_iter().map(|t| t.m).collect(),
@@ -403,6 +652,60 @@ impl<'m> Machine<'m> {
             ghz: self.cfg.ghz,
         };
         (metrics, self.mem, hit_limit)
+    }
+
+    /// Take a [`Checkpoint`] of the current state (a pure read).
+    pub fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            fingerprint: config_fingerprint(&self.cfg, self.module, self.threads.len()),
+            cycle: self.cycle,
+            threads: self.threads.clone(),
+            mem: self.mem.clone(),
+            locks: self.locks.clone(),
+            barriers: self.barriers.clone(),
+            hasher: self.hasher.clone(),
+            lock_order: self.lock_order.clone(),
+            done_count: self.done_count,
+            replay_pos: self.replay_pos,
+            commit_stall: self.commit_stall,
+        }
+    }
+
+    /// Rebuild a machine from a checkpoint, continuing exactly where the
+    /// snapshot was taken. `module`, `cost`, and `cfg` must match what the
+    /// checkpoint was taken under — the structural fingerprint is checked
+    /// and a mismatch is refused rather than allowed to silently diverge.
+    /// The caller is responsible for passing the *same* compiled module
+    /// (byte-identical compiles, e.g. from a shared plan cache, qualify).
+    pub fn resume(
+        module: &'m Module,
+        cost: &'m CostModel,
+        cfg: MachineConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<Machine<'m>, String> {
+        let fp = config_fingerprint(&cfg, module, ckpt.threads.len());
+        if fp != ckpt.fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: checkpoint 0x{:016x} vs machine 0x{:016x} \
+                 (different module, config, or thread count)",
+                ckpt.fingerprint, fp
+            ));
+        }
+        Ok(Machine {
+            module,
+            cost,
+            cfg,
+            threads: ckpt.threads.clone(),
+            mem: ckpt.mem.clone(),
+            locks: ckpt.locks.clone(),
+            barriers: ckpt.barriers.clone(),
+            hasher: ckpt.hasher.clone(),
+            lock_order: ckpt.lock_order.clone(),
+            cycle: ckpt.cycle,
+            done_count: ckpt.done_count,
+            replay_pos: ckpt.replay_pos,
+            commit_stall: ckpt.commit_stall,
+        })
     }
 
     /// The thread currently holding the deterministic turn: minimum

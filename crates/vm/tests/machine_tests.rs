@@ -7,7 +7,10 @@ use detlock_ir::types::{BarrierId, FuncId};
 use detlock_ir::Module;
 use detlock_passes::cost::CostModel;
 use detlock_vm::determinism::check_determinism;
-use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
+use detlock_vm::machine::{
+    run, Checkpoint, CkptControl, ExecMode, Jitter, KendoParams, Machine, MachineConfig,
+    RunOutcome, ThreadSpec,
+};
 
 fn cfg(mode: ExecMode) -> MachineConfig {
     MachineConfig {
@@ -775,6 +778,133 @@ fn bulk_sync_overhead_explodes_at_tiny_quanta() {
         fine > coarse * 1.5,
         "smaller quanta must cost much more: {fine:.2}x vs {coarse:.2}x"
     );
+}
+
+/// Crash-at-every-checkpoint chain: abort at the first checkpoint after
+/// each (re)start, resume from it, repeat until the run finishes. The
+/// final metrics and memory must be byte-identical to the uninterrupted
+/// run — the determinism argument behind serve-side crash recovery.
+#[test]
+fn repeated_crash_resume_chain_matches_uninterrupted_run() {
+    let (m, f) = instrumented_counter(8);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 40);
+    let config = cfg(ExecMode::Det);
+
+    let (ref_metrics, ref_mem, ref_hit) =
+        Machine::new(&m, &cost, &threads, config.clone()).run_with_memory();
+    assert!(!ref_hit);
+
+    for every in [700u64, 1777, 4096] {
+        let mut machine = Machine::new(&m, &cost, &threads, config.clone());
+        let mut crashes = 0u32;
+        loop {
+            let mut latest: Option<Checkpoint> = None;
+            match machine.run_with_checkpoints(every, &mut |ck| {
+                latest = Some(ck.clone());
+                CkptControl::Abort
+            }) {
+                RunOutcome::Finished {
+                    metrics,
+                    memory,
+                    hit_limit,
+                } => {
+                    assert!(!hit_limit);
+                    assert!(crashes > 0, "interval {every} never checkpointed");
+                    assert_eq!(
+                        metrics, ref_metrics,
+                        "interval {every}: resumed metrics diverged after {crashes} crashes"
+                    );
+                    assert_eq!(memory, ref_mem, "interval {every}: memory diverged");
+                    break;
+                }
+                RunOutcome::Aborted { at_cycle } => {
+                    crashes += 1;
+                    let ck = latest.expect("abort implies a checkpoint was sunk");
+                    assert_eq!(ck.cycle(), at_cycle);
+                    machine = Machine::resume(&m, &cost, config.clone(), &ck)
+                        .expect("fingerprint matches");
+                }
+            }
+        }
+    }
+}
+
+/// Two identical runs agree on checkpoint digests cycle-for-cycle (deep
+/// state equality, not just trace-hash equality); a different jitter seed
+/// diverges the digests (the RNG position is part of machine state).
+#[test]
+fn checkpoint_digests_fingerprint_machine_state() {
+    let (m, f) = instrumented_counter(8);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 20);
+    let collect = |config: MachineConfig| {
+        let mut digests = Vec::new();
+        let outcome = Machine::new(&m, &cost, &threads, config)
+            .run_with_checkpoints(1000, &mut |ck| {
+                digests.push((ck.cycle(), ck.digest()));
+                CkptControl::Continue
+            });
+        assert!(matches!(outcome, RunOutcome::Finished { .. }));
+        digests
+    };
+    let a = collect(cfg(ExecMode::Det));
+    let b = collect(cfg(ExecMode::Det));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same config must give identical state digests");
+    let c = collect(MachineConfig {
+        jitter: Jitter::default().with_seed(99),
+        ..cfg(ExecMode::Det)
+    });
+    assert_ne!(a, c, "jitter RNG position is machine state");
+}
+
+/// Resume refuses a checkpoint taken under a different config, module, or
+/// thread count instead of silently diverging.
+#[test]
+fn resume_refuses_mismatched_fingerprint() {
+    let (m, f) = instrumented_counter(8);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 20);
+    let config = cfg(ExecMode::Det);
+    let ck = Machine::new(&m, &cost, &threads, config.clone()).snapshot();
+
+    // Same everything: accepted.
+    assert!(Machine::resume(&m, &cost, config.clone(), &ck).is_ok());
+    // Different jitter seed: refused (the RNG streams would not line up).
+    let other = MachineConfig {
+        jitter: Jitter::default().with_seed(31337),
+        ..config.clone()
+    };
+    assert!(Machine::resume(&m, &cost, other, &ck).is_err());
+    // Different module shape: refused.
+    let (m2, _) = counter_program(0, 3);
+    assert!(Machine::resume(&m2, &cost, config.clone(), &ck).is_err());
+    // Different memory geometry: refused.
+    let smaller = MachineConfig {
+        mem_words: 1 << 10,
+        ..config
+    };
+    assert!(Machine::resume(&m, &cost, smaller, &ck).is_err());
+}
+
+/// `run_with_checkpoints(0, ...)` never calls the sink and matches `run`.
+#[test]
+fn zero_interval_disables_checkpointing() {
+    let (m, f) = instrumented_counter(8);
+    let cost = CostModel::default();
+    let threads = counter_threads(f, 4, 10);
+    let config = cfg(ExecMode::Det);
+    let (ref_metrics, _) = run(&m, &cost, &threads, config.clone());
+    let mut calls = 0u32;
+    match Machine::new(&m, &cost, &threads, config).run_with_checkpoints(0, &mut |_| {
+        calls += 1;
+        CkptControl::Continue
+    }) {
+        RunOutcome::Finished { metrics, .. } => assert_eq!(metrics, ref_metrics),
+        RunOutcome::Aborted { .. } => panic!("nothing aborted this run"),
+    }
+    assert_eq!(calls, 0);
 }
 
 #[test]
