@@ -18,11 +18,16 @@
 //!
 //! Both produce [`Finding`]s that render human-readable (`Display`) and as
 //! JSON (`detlock-shim`), consumed by the `detlint` CLI in `detlock-bench`.
+//!
+//! [`triage`] joins the static findings against `detsan` dynamic reports
+//! (see [`detlock_vm::sanitizer`]): every `race` / `may-race` becomes
+//! `confirmed`, `unobserved`, or `refuted-by-HB`.
 
 #![warn(missing_docs)]
 
 pub mod absval;
 pub mod races;
+pub mod triage;
 pub mod validate;
 
 use detlock_shim::json::{Json, ToJson};

@@ -5,13 +5,20 @@
 //! that the determinism is DetLock's doing and not an accident of the
 //! workload.
 //!
+//! The `detsan triage` column runs the happens-before sanitizer over the
+//! source module (seed `--seed`) and reports `clean` when it sees no
+//! dynamic races or lock cycles, else a `confirmed/unobserved/refuted`
+//! triage of the static findings (see `detlock-analyze`'s `triage`).
+//!
 //! ```text
 //! cargo run -p detlock-bench --release --bin detcheck [--scale F]
 //! ```
 
+use detlock_analyze::triage::triage;
 use detlock_analyze::Severity;
 use detlock_bench::{
-    instrumented_opts, lint_workload_opts, machine_config, thread_specs, CliOptions,
+    instrumented_opts, lint_workload_opts, machine_config, sanitize_workload, thread_specs,
+    CliOptions,
 };
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
@@ -27,8 +34,12 @@ fn main() {
     let mut failures = 0;
 
     println!(
-        "{:<12}{:>12}{:>24}{:>28}",
-        "benchmark", "static lint", "det mode seed-invariant", "baseline varies with seed"
+        "{:<12}{:>12}{:>24}{:>28}{:>16}",
+        "benchmark",
+        "static lint",
+        "det mode seed-invariant",
+        "baseline varies with seed",
+        "detsan triage"
     );
     for w in opts.workloads_at(scale) {
         // Static pre-pass: the empirical determinism probe below only means
@@ -73,8 +84,23 @@ fn main() {
             &seeds,
         );
         let det_ok = det.deterministic && !det.any_hit_limit;
+        // Dynamic sanity: the sanitizer must stay silent on the serving
+        // workloads; its triage of the static findings fills the column.
+        let dyn_report = sanitize_workload(&w, &cost, opts.seed);
+        let dyn_clean = dyn_report.races.is_empty() && dyn_report.lock_cycles.is_empty();
+        let tri = triage(&lint, &dyn_report);
+        let triage_cell = if dyn_clean && tri.rows.is_empty() {
+            "clean".to_string()
+        } else {
+            format!(
+                "{} race(s), {} cycle(s), {}",
+                dyn_report.races.len(),
+                dyn_report.lock_cycles.len(),
+                tri.summary()
+            )
+        };
         println!(
-            "{:<12}{:>12}{:>24}{:>28}",
+            "{:<12}{:>12}{:>24}{:>28}{:>16}",
             w.name,
             if lint_ok { "PASS" } else { "FAIL" },
             if det_ok { "PASS" } else { "FAIL" },
@@ -82,8 +108,18 @@ fn main() {
                 "no (coincidence or too few locks)"
             } else {
                 "yes"
-            }
+            },
+            triage_cell
         );
+        if !dyn_clean {
+            failures += 1;
+            for r in &dyn_report.races {
+                eprintln!("  detsan race: {r}");
+            }
+            for c in &dyn_report.lock_cycles {
+                eprintln!("  detsan cycle: {c}");
+            }
+        }
         if !det_ok {
             failures += 1;
             eprintln!("  det hashes: {:x?}", det.hashes);

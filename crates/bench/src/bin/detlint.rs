@@ -1,41 +1,62 @@
 //! Static analysis front-end: lockset race detection plus clock-placement
-//! translation validation over the shipped workloads.
+//! translation validation over the shipped workloads, with optional
+//! `detsan` dynamic triage.
 //!
 //! ```text
 //! cargo run -p detlock-bench --release --bin detlint -- \
 //!     [--threads N] [--scale F] [--only NAME] [--racy] [--confirm] \
-//!     [--deny-warnings] [--json] [--out FILE]
+//!     [--sanitize] [--sanitize-log FILE] [--deny-warnings] [--json] \
+//!     [--out FILE]
 //! ```
 //!
 //! Exit status is 1 when any error-severity finding exists, or any warning
-//! under `--deny-warnings`. `--racy` adds the deliberately racy counter
-//! workload (the negative control — it must FAIL). `--confirm` reruns each
-//! race-flagged workload across jitter seeds in the nondeterministic
-//! baseline VM and reports a two-seed memory-divergence witness when one
-//! manifests. `--out FILE` writes the JSON report regardless of `--json`.
+//! under `--deny-warnings`. `--racy` adds the negative-control workloads
+//! (the racy counter and the deadlock-cycle lock-order reversal — both
+//! must FAIL). `--sanitize` additionally runs the happens-before sanitizer
+//! over the seed sweep: every static `race`/`may-race` finding gets a
+//! triage verdict (`confirmed` / `unobserved` / `refuted-by-HB`), dynamic
+//! races and deadlock-prone lock cycles the static pass missed become
+//! `detsan/*` findings, and `--sanitize-log FILE` writes the minimal
+//! schedule log. `--confirm` attaches a race witness to each race-flagged
+//! workload: a precise happens-before witness when the sanitizer finds
+//! one (the default confirmation path), else the legacy two-seed
+//! memory-divergence probe. `--out FILE` writes the JSON report
+//! regardless of `--json`.
 
+use detlock_analyze::triage::{dynamic_findings, triage, TriageReport};
 use detlock_analyze::{Report, Severity};
-use detlock_bench::{lint_workload_opts, machine_config, thread_specs, CliOptions};
+use detlock_bench::{
+    lint_workload_opts, machine_config, sanitize_workload_sweep, thread_specs, CliOptions,
+};
 use detlock_passes::cost::CostModel;
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::ExecMode;
-use detlock_vm::race::confirm_race;
+use detlock_vm::race::{confirm_race, RaceWitness};
+use detlock_vm::sanitizer::SanitizerReport;
 use detlock_workloads::{racy, Workload};
 
 #[derive(Default)]
 struct LintFlags {
     racy: bool,
     confirm: bool,
+    sanitize: bool,
+    sanitize_log: Option<String>,
     deny_warnings: bool,
 }
 
 fn main() {
     let mut flags = LintFlags::default();
-    let opts = CliOptions::parse_with(|flag, _args, _i| {
+    let opts = CliOptions::parse_with(|flag, args, i| {
         match flag {
             "--racy" => flags.racy = true,
             "--confirm" => flags.confirm = true,
+            "--sanitize" => flags.sanitize = true,
+            "--sanitize-log" => {
+                *i += 1;
+                flags.sanitize_log = Some(args[*i].clone());
+                flags.sanitize = true;
+            }
             "--deny-warnings" => flags.deny_warnings = true,
             _ => return false,
         }
@@ -44,8 +65,9 @@ fn main() {
     let scale = opts.scale_or(0.05); // lint only needs the small dataset
     let cost = CostModel::default();
 
+    let controls = ["racy-counter", "deadlock-cycle"];
     let mut workloads: Vec<Workload> = match &opts.only {
-        Some(name) if name == "racy-counter" => Vec::new(),
+        Some(name) if controls.contains(&name.as_str()) => Vec::new(),
         Some(name) => vec![detlock_workloads::by_name(name, opts.threads, scale)
             .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))],
         None => detlock_workloads::all_benchmarks(opts.threads, scale),
@@ -53,42 +75,86 @@ fn main() {
     if flags.racy || opts.only.as_deref() == Some("racy-counter") {
         workloads.push(racy::build(opts.threads, &racy::RacyParams::scaled(scale)));
     }
+    if flags.racy || opts.only.as_deref() == Some("deadlock-cycle") {
+        workloads.push(racy::build_deadlock(opts.threads));
+    }
 
     let mut out_workloads: Vec<Json> = Vec::new();
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut minimal_logs = String::new();
 
     for w in &workloads {
-        let report = lint_workload_opts(w, &cost, Placement::Start, opts.compile_opts());
+        let mut report = lint_workload_opts(w, &cost, Placement::Start, opts.compile_opts());
+
+        // Dynamic pass: sweep the sanitizer, triage the static findings,
+        // and fold sanitizer-only discoveries into the report so they
+        // drive the exit status like any other finding.
+        let sanitized: Option<(SanitizerReport, TriageReport)> = flags.sanitize.then(|| {
+            let dyn_report = sanitize_workload_sweep(w, &cost, &opts.seeds);
+            let tri = triage(&report, &dyn_report);
+            (dyn_report, tri)
+        });
+        if let Some((dyn_report, _)) = &sanitized {
+            report.extend(dynamic_findings(dyn_report));
+            if flags.sanitize_log.is_some() {
+                minimal_logs.push_str(&format!("# workload: {}\n", w.name));
+                minimal_logs.push_str(&dyn_report.minimal_log());
+            }
+        }
         errors += report.count(Severity::Error);
         warnings += report.count(Severity::Warning);
 
-        let witness = if flags.confirm && report.count(Severity::Error) > 0 {
-            confirm_race(
-                &w.module,
-                &cost,
-                &thread_specs(w),
-                &machine_config(w, ExecMode::Baseline, 0),
-                &opts.seeds,
-            )
+        // Confirmation: the sanitizer's happens-before witness is the
+        // default path; the two-seed divergence probe remains the
+        // fallback when no dynamic witness surfaced.
+        let witness: Option<RaceWitness> = if flags.confirm && report.count(Severity::Error) > 0 {
+            sanitized
+                .as_ref()
+                .and_then(|(_, tri)| tri.witness().cloned())
+                .or_else(|| {
+                    confirm_race(
+                        &w.module,
+                        &cost,
+                        &thread_specs(w),
+                        &machine_config(w, ExecMode::Baseline, 0),
+                        &opts.seeds,
+                    )
+                })
         } else {
             None
         };
 
         if !opts.json {
-            print_text(w, &report, flags.deny_warnings, witness.as_ref());
+            print_text(
+                w,
+                &report,
+                flags.deny_warnings,
+                witness.as_ref(),
+                sanitized.as_ref(),
+            );
         }
-        out_workloads.push(Json::obj([
+        let mut fields = vec![
             ("name", w.name.to_json()),
             ("report", report.to_json()),
             ("witness", witness.map(|x| x.to_string()).to_json()),
-        ]));
+        ];
+        if let Some((dyn_report, tri)) = &sanitized {
+            fields.push(("sanitize", dyn_report.to_json()));
+            fields.push(("triage", tri.to_json()));
+        }
+        out_workloads.push(Json::obj(fields));
+    }
+
+    if let Some(path) = &flags.sanitize_log {
+        std::fs::write(path, &minimal_logs).expect("write --sanitize-log file");
     }
 
     let json = Json::obj([
         ("threads", opts.threads.to_json()),
         ("scale", scale.to_json()),
         ("deny_warnings", flags.deny_warnings.to_json()),
+        ("sanitize", flags.sanitize.to_json()),
         ("errors", errors.to_json()),
         ("warnings", warnings.to_json()),
         ("workloads", Json::Arr(out_workloads)),
@@ -105,7 +171,8 @@ fn print_text(
     w: &Workload,
     report: &Report,
     deny_warnings: bool,
-    witness: Option<&detlock_vm::RaceWitness>,
+    witness: Option<&RaceWitness>,
+    sanitized: Option<&(SanitizerReport, TriageReport)>,
 ) {
     let verdict = if report.ok(deny_warnings) {
         "clean"
@@ -122,6 +189,17 @@ fn print_text(
     );
     for f in &report.findings {
         println!("  {f}");
+    }
+    if let Some((dyn_report, tri)) = sanitized {
+        println!(
+            "  detsan: {} dynamic race(s), {} lock cycle(s); triage {}",
+            dyn_report.races.len(),
+            dyn_report.lock_cycles.len(),
+            tri.summary(),
+        );
+        for row in &tri.rows {
+            println!("    {row}");
+        }
     }
     if let Some(x) = witness {
         println!("  confirmed by the VM: {x}");

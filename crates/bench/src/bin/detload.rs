@@ -122,9 +122,7 @@ fn drive_job(addr: &str, spec: &JobSpec) -> JobOutcome {
                 false,
             )
         }
-        Err(e @ ClientError::Unanswered { .. }) => {
-            outcome(None, None, Some(e.to_string()), true)
-        }
+        Err(e @ ClientError::Unanswered { .. }) => outcome(None, None, Some(e.to_string()), true),
         Err(e) => outcome(None, None, Some(e.to_string()), false),
     }
 }
@@ -280,6 +278,7 @@ fn main() {
                 scale,
                 seed: *seed,
                 opt: OptLevel::All,
+                sanitize: false,
             });
         }
     }

@@ -93,12 +93,15 @@ fn main() {
             }
             "--net-faults" => {
                 i += 1;
-                cfg.net_faults = Some(NetFaultPlan::new(args[i].parse().expect("--net-faults SEED")));
+                cfg.net_faults = Some(NetFaultPlan::new(
+                    args[i].parse().expect("--net-faults SEED"),
+                ));
             }
             "--crash-faults" => {
                 i += 1;
-                cfg.crash_faults =
-                    Some(CrashPlan::new(args[i].parse().expect("--crash-faults SEED")));
+                cfg.crash_faults = Some(CrashPlan::new(
+                    args[i].parse().expect("--crash-faults SEED"),
+                ));
             }
             other => panic!("unknown option: {other}"),
         }

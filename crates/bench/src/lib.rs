@@ -20,8 +20,9 @@ use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
-use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
+use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, Machine, MachineConfig, ThreadSpec};
 use detlock_vm::metrics::RunMetrics;
+use detlock_vm::sanitizer::SanitizerReport;
 use detlock_workloads::Workload;
 
 /// Convert workload thread plans into VM thread specs.
@@ -412,6 +413,37 @@ pub fn lint_workload_opts(
         report.extend(r);
     }
     report
+}
+
+/// Run `w`'s *source* (uninstrumented) module under deterministic
+/// arbitration with the `detsan` happens-before sanitizer enabled, at
+/// jitter seed `seed`. The source module keeps `(function, block, inst)`
+/// coordinates aligned with the static analysis (instrumentation inserts
+/// ticks that shift instruction indices); `Det` mode works uninstrumented
+/// because its logical clocks advance on synchronization events alone.
+pub fn sanitize_workload(w: &Workload, cost: &CostModel, seed: u64) -> SanitizerReport {
+    let mut cfg = machine_config(w, ExecMode::Det, seed);
+    cfg.sanitize = true;
+    let (_, _, hit, report) = Machine::new(&w.module, cost, &thread_specs(w), cfg).run_sanitized();
+    assert!(!hit, "{}: sanitized run hit the cycle limit", w.name);
+    report.expect("sanitize flag was set")
+}
+
+/// [`sanitize_workload`] swept across `seeds` and merged into one report.
+/// The canonical race set is seed-invariant by construction (see
+/// [`detlock_vm::sanitizer`]); the sweep exists so triage verdicts rest on
+/// observed schedules rather than the invariance argument alone.
+pub fn sanitize_workload_sweep(w: &Workload, cost: &CostModel, seeds: &[u64]) -> SanitizerReport {
+    assert!(!seeds.is_empty());
+    let mut merged: Option<SanitizerReport> = None;
+    for &seed in seeds {
+        let r = sanitize_workload(w, cost, seed);
+        match &mut merged {
+            None => merged = Some(r),
+            Some(m) => m.merge(&r),
+        }
+    }
+    merged.unwrap()
 }
 
 /// The seed sweep every determinism probe defaults to.

@@ -132,7 +132,12 @@ impl NetFaultPlan {
             .and_then(Json::as_u64)
             .ok_or("net fault plan needs a numeric `seed`")?;
         let base = NetFaultPlan::new(seed);
-        let rate = |k: &str, d: u32| v.get(k).and_then(Json::as_u64).map(|x| x as u32).unwrap_or(d);
+        let rate = |k: &str, d: u32| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .map(|x| x as u32)
+                .unwrap_or(d)
+        };
         Ok(NetFaultPlan {
             seed,
             drop_per_1024: rate("drop_per_1024", base.drop_per_1024),
@@ -278,11 +283,11 @@ mod tests {
                     None => none += 1,
                     Some(WireFault::Drop) => drops += 1,
                     Some(WireFault::Truncate { keep }) => {
-                        assert!(keep >= 1 && keep < 200);
+                        assert!((1..200).contains(&keep));
                         truncs += 1;
                     }
                     Some(WireFault::PartialWrite { first, stall_ms }) => {
-                        assert!(first >= 1 && first < 200);
+                        assert!((1..200).contains(&first));
                         assert!(stall_ms >= 1 && stall_ms <= plan.max_delay_ms);
                         partials += 1;
                     }

@@ -44,6 +44,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// Optimization level.
     pub opt: OptLevel,
+    /// Run the happens-before sanitizer alongside the job. Diagnostics
+    /// only: the receipt does not depend on it (the sanitizer never
+    /// changes the schedule), so it is excluded from `identity_key`.
+    pub sanitize: bool,
 }
 
 /// Parse an [`OptLevel`] from its lowercase wire name.
@@ -115,6 +119,7 @@ impl JobSpec {
             scale: v.get("scale").and_then(Json::as_f64).unwrap_or(0.05),
             seed: v.get("seed").and_then(Json::as_u64).unwrap_or(1),
             opt: opt_from_str(&opt_name).ok_or_else(|| format!("unknown opt `{opt_name}`"))?,
+            sanitize: v.get("sanitize").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -129,6 +134,7 @@ impl ToJson for JobSpec {
             ("scale", self.scale.to_json()),
             ("seed", self.seed.to_json()),
             ("opt", self.opt_label().to_json()),
+            ("sanitize", self.sanitize.to_json()),
         ])
     }
 }
@@ -233,6 +239,7 @@ mod tests {
             scale: 0.1,
             seed: 42,
             opt: OptLevel::All,
+            sanitize: true,
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -246,6 +253,7 @@ mod tests {
         assert_eq!(spec.threads, 4);
         assert_eq!(spec.seed, 1);
         assert_eq!(spec.opt, OptLevel::All);
+        assert!(!spec.sanitize);
     }
 
     #[test]
@@ -260,7 +268,7 @@ mod tests {
     }
 
     #[test]
-    fn identity_key_ignores_tenant_only() {
+    fn identity_key_ignores_tenant_and_sanitize_only() {
         let a = JobSpec {
             tenant: "a".into(),
             workload: "ocean".into(),
@@ -268,9 +276,12 @@ mod tests {
             scale: 0.05,
             seed: 1,
             opt: OptLevel::All,
+            sanitize: false,
         };
         let mut b = a.clone();
         b.tenant = "b".into();
+        assert_eq!(a.identity_key(), b.identity_key());
+        b.sanitize = true;
         assert_eq!(a.identity_key(), b.identity_key());
         b.seed = 2;
         assert_ne!(a.identity_key(), b.identity_key());

@@ -47,12 +47,13 @@ use crate::queue::{AdmissionQueue, SubmitError};
 use crate::receipt::Receipt;
 use crate::shard::{ExecOpts, ExecOutcome, PreemptReason, ShardEngine};
 use crate::stats::{Counters, LatencyHistogram};
-use detlock_vm::machine::Checkpoint;
 use detlock_passes::cache::PlanCache;
 use detlock_passes::pipeline::CompileOpts;
 use detlock_passes::stats::PassStats;
 use detlock_shim::json::{Json, ToJson};
 use detlock_shim::sync::Mutex;
+use detlock_vm::machine::Checkpoint;
+use detlock_vm::sanitizer::SanitizerReport;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -124,6 +125,9 @@ enum JobResult {
         attempts: u32,
         queue_us: u64,
         exec_us: u64,
+        /// Happens-before sanitizer report for `sanitize: true` jobs
+        /// (boxed: it dwarfs the other fields).
+        sanitizer: Option<Box<SanitizerReport>>,
     },
     Failed {
         error: String,
@@ -167,6 +171,13 @@ struct ShardSlot {
     analysis_misses: AtomicU64,
     /// Cumulative per-pass pipeline telemetry for this shard.
     pass_totals: Mutex<Vec<PassStats>>,
+    /// Jobs this shard ran with the happens-before sanitizer on.
+    sanitized: AtomicU64,
+    /// Dynamic races those sanitized jobs reported (expected 0 on the
+    /// serving workloads — any nonzero here is an incident).
+    san_races: AtomicU64,
+    /// Deadlock-prone lock-order cycles those sanitized jobs reported.
+    san_cycles: AtomicU64,
 }
 
 struct Shared {
@@ -255,6 +266,7 @@ impl Shared {
                         "analysis_misses",
                         s.analysis_misses.load(Ordering::Relaxed).to_json(),
                     ),
+                    ("sanitized", Counters::get(&s.sanitized).to_json()),
                 ])
             })
             .collect();
@@ -307,7 +319,10 @@ impl Shared {
             .map(|s| s.checkpoints.load(Ordering::Relaxed))
             .sum();
         let recovery = Json::obj([
-            ("checkpoint_interval", self.config.checkpoint_interval.to_json()),
+            (
+                "checkpoint_interval",
+                self.config.checkpoint_interval.to_json(),
+            ),
             ("cycle_slice", self.config.cycle_slice.to_json()),
             ("checkpoints_taken", checkpoints_total.to_json()),
             (
@@ -331,6 +346,35 @@ impl Shared {
                 self.crash_faults.lock().is_some().to_json(),
             ),
         ]);
+        // Sanitizer totals: how many jobs opted into the happens-before
+        // check and what it found. Races/cycles are expected to stay 0 on
+        // the serving workloads; the fields exist so a nonzero is visible.
+        let sanitizer = Json::obj([
+            (
+                "jobs",
+                self.shards
+                    .iter()
+                    .map(|s| s.sanitized.load(Ordering::Relaxed))
+                    .sum::<u64>()
+                    .to_json(),
+            ),
+            (
+                "races",
+                self.shards
+                    .iter()
+                    .map(|s| s.san_races.load(Ordering::Relaxed))
+                    .sum::<u64>()
+                    .to_json(),
+            ),
+            (
+                "lock_cycles",
+                self.shards
+                    .iter()
+                    .map(|s| s.san_cycles.load(Ordering::Relaxed))
+                    .sum::<u64>()
+                    .to_json(),
+            ),
+        ]);
         Json::obj([
             ("ok", true.to_json()),
             (
@@ -348,6 +392,7 @@ impl Shared {
             ("queue_latency", self.queue_latency.to_json()),
             ("exec_latency", self.exec_latency.to_json()),
             ("instrumentation", instrumentation),
+            ("sanitizer", sanitizer),
             ("shards", Json::Arr(shard_rows)),
         ])
     }
@@ -379,6 +424,9 @@ impl DetServed {
                 analysis_hits: AtomicU64::new(0),
                 analysis_misses: AtomicU64::new(0),
                 pass_totals: Mutex::new(Vec::new()),
+                sanitized: AtomicU64::new(0),
+                san_races: AtomicU64::new(0),
+                san_cycles: AtomicU64::new(0),
             })
             .collect();
         let shared = Arc::new(Shared {
@@ -677,14 +725,21 @@ fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
             attempts,
             queue_us,
             exec_us,
-        }) => Json::obj([
-            ("ok", true.to_json()),
-            ("shard", shard.to_json()),
-            ("attempts", (attempts as u64).to_json()),
-            ("queue_us", queue_us.to_json()),
-            ("exec_us", exec_us.to_json()),
-            ("receipt", receipt.to_json()),
-        ]),
+            sanitizer,
+        }) => {
+            let mut fields = vec![
+                ("ok", true.to_json()),
+                ("shard", shard.to_json()),
+                ("attempts", (attempts as u64).to_json()),
+                ("queue_us", queue_us.to_json()),
+                ("exec_us", exec_us.to_json()),
+                ("receipt", receipt.to_json()),
+            ];
+            if let Some(report) = sanitizer {
+                fields.push(("sanitize", report.to_json()));
+            }
+            Json::obj(fields)
+        }
         Ok(JobResult::Failed { error, attempts }) => Json::obj([
             ("ok", false.to_json()),
             ("error", error.to_json()),
@@ -711,7 +766,13 @@ fn finish_job(shared: &Shared, job: Job, result: JobResult) {
 /// checkpoint is a **recovery** (the retry resumes mid-run); one without
 /// is a **cold requeue** (rerun from zero) — counted separately so
 /// `/stats` shows what checkpointing actually bought.
-fn requeue_with_backoff(shared: &Shared, mut job: Job, failed_shard: usize, exclude: bool, seq: u64) {
+fn requeue_with_backoff(
+    shared: &Shared,
+    mut job: Job,
+    failed_shard: usize,
+    exclude: bool,
+    seq: u64,
+) {
     if exclude && !job.excluded.contains(&failed_shard) {
         job.excluded.push(failed_shard);
     }
@@ -781,10 +842,7 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
         if resume_from.is_some() {
             Counters::bump(&slot.recoveries);
         }
-        let crash = shared
-            .crash_faults
-            .lock()
-            .map(|plan| (plan, job.attempts));
+        let crash = shared.crash_faults.lock().map(|plan| (plan, job.attempts));
         let opts = ExecOpts {
             checkpoint_every: shared.config.checkpoint_interval,
             cycle_slice: shared.config.cycle_slice,
@@ -831,7 +889,15 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
             ExecOutcome::Done {
                 receipt,
                 last_checkpoint,
+                sanitizer,
             } => {
+                if let Some(report) = &sanitizer {
+                    Counters::bump(&slot.sanitized);
+                    slot.san_races
+                        .fetch_add(report.races.len() as u64, Ordering::Relaxed);
+                    slot.san_cycles
+                        .fetch_add(report.lock_cycles.len() as u64, Ordering::Relaxed);
+                }
                 let canonical = receipt.canonical();
                 if !shared.check_receipt(job.spec.identity_key(), &canonical) {
                     Counters::bump(&shared.counters.receipt_mismatches);
@@ -860,6 +926,7 @@ fn shard_worker(id: usize, shared: &Arc<Shared>) {
                         attempts,
                         queue_us,
                         exec_us,
+                        sanitizer: sanitizer.map(Box::new),
                     },
                 );
             }

@@ -19,6 +19,7 @@ use detlock_passes::stats::PassStats;
 use detlock_vm::machine::{
     Checkpoint, CkptControl, ExecMode, Jitter, Machine, MachineConfig, RunOutcome, ThreadSpec,
 };
+use detlock_vm::sanitizer::SanitizerReport;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -75,6 +76,10 @@ pub enum ExecOutcome {
         receipt: Receipt,
         /// Latest snapshot taken before completion.
         last_checkpoint: Option<Checkpoint>,
+        /// Happens-before sanitizer report, when the job opted in with
+        /// `sanitize: true` (None otherwise — the hooks cost nothing when
+        /// off).
+        sanitizer: Option<SanitizerReport>,
     },
     /// The run stopped at a checkpoint boundary; resume from `checkpoint`.
     Preempted {
@@ -101,6 +106,7 @@ pub enum ExecOutcome {
 }
 
 /// Knobs for one resumable execution attempt.
+#[derive(Default)]
 pub struct ExecOpts<'a> {
     /// Snapshot every this many cycles (0 disables checkpointing).
     pub checkpoint_every: u64,
@@ -116,18 +122,6 @@ pub struct ExecOpts<'a> {
     /// [`PreemptReason::Evicted`] so an evicted shard stops burning cycles
     /// on a result that will be discarded.
     pub evicted: Option<&'a AtomicBool>,
-}
-
-impl Default for ExecOpts<'_> {
-    fn default() -> Self {
-        ExecOpts {
-            checkpoint_every: 0,
-            cycle_slice: 0,
-            resume_from: None,
-            crash: None,
-            evicted: None,
-        }
-    }
 }
 
 /// Instrumentation cache key: everything the instrumented module depends
@@ -272,6 +266,7 @@ impl ShardEngine {
             mem_words: cached.mem_words,
             jitter: Jitter::default().with_seed(spec.seed),
             max_cycles: cycle_budget,
+            sanitize: spec.sanitize,
             ..MachineConfig::default()
         };
         let start_cycle = opts.resume_from.as_ref().map(|c| c.cycle()).unwrap_or(0);
@@ -290,41 +285,44 @@ impl ShardEngine {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                 move || -> Result<RunOutcome, String> {
                     let machine = match &opts.resume_from {
-                        Some(ck) => {
-                            Machine::resume(&cached.inst.module, cost, cfg.clone(), ck)?
-                        }
+                        Some(ck) => Machine::resume(&cached.inst.module, cost, cfg.clone(), ck)?,
                         None => Machine::new(&cached.inst.module, cost, &cached.specs, cfg),
                     };
-                    Ok(machine.run_with_checkpoints(opts.checkpoint_every, &mut |ck| {
-                        *taken += 1;
-                        *latest = Some(ck.clone());
-                        if opts.evicted.is_some_and(|ev| ev.load(Ordering::Relaxed)) {
-                            *preempt = Some(PreemptReason::Evicted);
-                            return CkptControl::Abort;
-                        }
-                        if let Some((plan, attempt)) = opts.crash {
-                            if plan.should_crash(key_hash, attempt, *taken) {
-                                std::panic::panic_any(InjectedCrash {
-                                    attempt,
-                                    at_checkpoint: *taken,
-                                });
+                    Ok(
+                        machine.run_with_checkpoints(opts.checkpoint_every, &mut |ck| {
+                            *taken += 1;
+                            *latest = Some(ck.clone());
+                            if opts.evicted.is_some_and(|ev| ev.load(Ordering::Relaxed)) {
+                                *preempt = Some(PreemptReason::Evicted);
+                                return CkptControl::Abort;
                             }
-                        }
-                        if opts.cycle_slice > 0
-                            && ck.cycle().saturating_sub(start_cycle) >= opts.cycle_slice
-                        {
-                            *preempt = Some(PreemptReason::SliceExhausted);
-                            return CkptControl::Abort;
-                        }
-                        CkptControl::Continue
-                    }))
+                            if let Some((plan, attempt)) = opts.crash {
+                                if plan.should_crash(key_hash, attempt, *taken) {
+                                    std::panic::panic_any(InjectedCrash {
+                                        attempt,
+                                        at_checkpoint: *taken,
+                                    });
+                                }
+                            }
+                            if opts.cycle_slice > 0
+                                && ck.cycle().saturating_sub(start_cycle) >= opts.cycle_slice
+                            {
+                                *preempt = Some(PreemptReason::SliceExhausted);
+                                return CkptControl::Abort;
+                            }
+                            CkptControl::Continue
+                        }),
+                    )
                 },
             ))
         };
         self.checkpoints_taken += taken;
         match result {
             Ok(Ok(RunOutcome::Finished {
-                metrics, hit_limit, ..
+                metrics,
+                hit_limit,
+                sanitizer,
+                ..
             })) => {
                 if hit_limit {
                     ExecOutcome::Failed(ShardError::CycleBudgetExhausted(cycle_budget))
@@ -332,6 +330,7 @@ impl ShardEngine {
                     ExecOutcome::Done {
                         receipt: Receipt::from_metrics(spec, &metrics),
                         last_checkpoint: latest,
+                        sanitizer,
                     }
                 }
             }
@@ -405,6 +404,29 @@ mod tests {
             scale: 0.02,
             seed,
             opt: OptLevel::All,
+            sanitize: false,
+        }
+    }
+
+    #[test]
+    fn sanitized_job_reports_and_matches_the_plain_receipt() {
+        let mut engine = ShardEngine::new(0);
+        let reference = engine.execute(&spec(3), u64::MAX).unwrap();
+        let mut s = spec(3);
+        s.sanitize = true;
+        match engine.execute_resumable(&s, u64::MAX, ExecOpts::default()) {
+            ExecOutcome::Done {
+                receipt, sanitizer, ..
+            } => {
+                // The sanitizer must not perturb the schedule…
+                assert_eq!(receipt.canonical(), reference.canonical());
+                // …and the serving workloads are race- and cycle-free.
+                let report = sanitizer.expect("sanitize: true must yield a report");
+                assert!(report.races.is_empty());
+                assert!(report.lock_cycles.is_empty());
+                assert!(report.acquires > 0);
+            }
+            _ => panic!("sanitized run must finish"),
         }
     }
 

@@ -31,6 +31,7 @@ fn spec(workload: &str, seed: u64) -> JobSpec {
         scale: 0.02,
         seed,
         opt: OptLevel::All,
+        sanitize: false,
     }
 }
 
@@ -77,6 +78,47 @@ fn two_sweeps_yield_identical_receipts() {
         .and_then(|c| c.get("receipt_mismatches"))
         .and_then(Json::as_u64);
     assert_eq!(mismatches, Some(0));
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+/// A `sanitize: true` job over the wire: the response grows a `sanitize`
+/// block (zero races/cycles on the serving workloads), the receipt is
+/// byte-identical to the unsanitized run's, and `/stats` counts the job
+/// under the `sanitizer` block.
+#[test]
+fn sanitized_jobs_report_over_the_wire() {
+    let server = DetServed::start(test_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let plain = spec("ocean", 4);
+    let mut sanitized = plain.clone();
+    sanitized.sanitize = true;
+
+    let (resp_plain, receipt_plain) = run_ok(&mut client, &plain);
+    assert!(
+        resp_plain.get("sanitize").is_none(),
+        "unsanitized responses must not carry a sanitize block"
+    );
+    let (resp, receipt) = run_ok(&mut client, &sanitized);
+    assert_eq!(
+        receipt.canonical(),
+        receipt_plain.canonical(),
+        "the sanitizer must not perturb the schedule"
+    );
+    let block = resp.get("sanitize").expect("sanitize block in response");
+    let races = block.get("races").and_then(Json::as_arr).unwrap();
+    let cycles = block.get("lock_cycles").and_then(Json::as_arr).unwrap();
+    assert!(races.is_empty(), "ocean must be dynamically race-free");
+    assert!(cycles.is_empty());
+
+    let stats = client.stats().unwrap();
+    let san = stats.get("sanitizer").expect("sanitizer stats block");
+    assert_eq!(san.get("jobs").and_then(Json::as_u64), Some(1));
+    assert_eq!(san.get("races").and_then(Json::as_u64), Some(0));
+    assert_eq!(san.get("lock_cycles").and_then(Json::as_u64), Some(0));
 
     client.shutdown().unwrap();
     server.join();
@@ -425,9 +467,9 @@ fn retrying_client_survives_wire_chaos_and_observes_one_receipt_per_job() {
     );
     for round in 0..3 {
         for (j, job) in jobs.iter().enumerate() {
-            let resp = rc.run(job).unwrap_or_else(|e| {
-                panic!("round {round} job {j} failed under wire chaos: {e}")
-            });
+            let resp = rc
+                .run(job)
+                .unwrap_or_else(|e| panic!("round {round} job {j} failed under wire chaos: {e}"));
             let receipt = Receipt::from_json(resp.get("receipt").unwrap()).unwrap();
             assert_eq!(
                 receipt.canonical(),

@@ -18,6 +18,11 @@
 //! [`determinism::check_determinism`] verifies the weak-determinism
 //! guarantee empirically by rerunning a workload across jitter seeds and
 //! comparing lock-acquisition-order fingerprints.
+//!
+//! [`sanitizer`] is `detsan`: a FastTrack-style happens-before sanitizer
+//! the machine drives on every memory and synchronization operation when
+//! [`MachineConfig::sanitize`] is set, reporting precise races, deadlock-
+//! prone lock-order cycles, and the minimal schedule log.
 
 #![warn(missing_docs)]
 
@@ -27,6 +32,7 @@ pub mod machine;
 pub mod metrics;
 pub mod race;
 pub mod replay;
+pub mod sanitizer;
 
 pub use determinism::{check_determinism, DeterminismReport, Divergence};
 pub use machine::{
@@ -35,3 +41,6 @@ pub use machine::{
 };
 pub use metrics::{RunMetrics, ThreadMetrics};
 pub use race::{confirm_race, RaceWitness};
+pub use sanitizer::{
+    DynAccess, DynRace, LockCycle, LockEdge, Sanitizer, SanitizerReport, SiteStat,
+};

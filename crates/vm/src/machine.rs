@@ -29,6 +29,7 @@
 
 use crate::builtins;
 use crate::metrics::{OrderHasher, RunMetrics, ThreadMetrics};
+use crate::sanitizer::{Sanitizer, SanitizerReport};
 use detlock_ir::inst::{Inst, Operand, Terminator};
 use detlock_ir::module::Module;
 use detlock_ir::types::{BlockId, FuncId, Reg};
@@ -190,6 +191,11 @@ pub struct MachineConfig {
     /// The grant log consulted in [`ExecMode::Replay`] (set by
     /// [`crate::replay::replay`]).
     pub replay_log: std::sync::Arc<Vec<(i64, u32)>>,
+    /// Run the `detsan` happens-before sanitizer (see [`crate::sanitizer`])
+    /// alongside execution. Off by default: the only cost of the disabled
+    /// path is one pointer-null check per memory/sync operation, which the
+    /// perf gate holds to zero measurable overhead.
+    pub sanitize: bool,
 }
 
 impl Default for MachineConfig {
@@ -203,6 +209,7 @@ impl Default for MachineConfig {
             lock_order_limit: 100_000,
             det_event_cost: 120,
             replay_log: std::sync::Arc::new(Vec::new()),
+            sanitize: false,
         }
     }
 }
@@ -285,6 +292,9 @@ pub struct Checkpoint {
     done_count: usize,
     replay_pos: usize,
     commit_stall: u64,
+    /// Sanitizer state at the snapshot (present iff the run sanitizes), so
+    /// resume-from-checkpoint reports the same races as run-from-zero.
+    san: Option<Box<Sanitizer>>,
 }
 
 fn fnv_fold(h: &mut u64, v: u64) {
@@ -386,6 +396,13 @@ impl Checkpoint {
                 fnv_fold(&mut h, a as u64);
             }
         }
+        match &self.san {
+            Some(s) => {
+                fnv_fold(&mut h, 1);
+                fnv_fold(&mut h, s.digest());
+            }
+            None => fnv_fold(&mut h, 0),
+        }
         h
     }
 }
@@ -415,6 +432,7 @@ fn config_fingerprint(cfg: &MachineConfig, module: &Module, n_threads: usize) ->
     fnv_fold(&mut h, cfg.det_event_cost);
     fnv_fold(&mut h, cfg.lock_order_limit as u64);
     fnv_fold(&mut h, n_threads as u64);
+    fnv_fold(&mut h, cfg.sanitize as u64);
     fnv_fold(&mut h, cfg.replay_log.len() as u64);
     fnv_fold(&mut h, module.functions.len() as u64);
     for f in &module.functions {
@@ -448,6 +466,9 @@ pub enum RunOutcome {
         memory: Vec<i64>,
         /// True when the cycle limit stopped the run.
         hit_limit: bool,
+        /// Finalized sanitizer report, present iff
+        /// [`MachineConfig::sanitize`] was set.
+        sanitizer: Option<SanitizerReport>,
     },
     /// The sink aborted the run at a checkpoint boundary.
     Aborted {
@@ -485,6 +506,9 @@ pub struct Machine<'m> {
     replay_pos: usize,
     /// Bulk-sync: remaining commit-phase stall cycles.
     commit_stall: u64,
+    /// Happens-before sanitizer (`None` unless `cfg.sanitize`): the
+    /// disabled path costs exactly one null check per hook site.
+    san: Option<Box<Sanitizer>>,
 }
 
 impl<'m> Machine<'m> {
@@ -497,7 +521,7 @@ impl<'m> Machine<'m> {
     ) -> Machine<'m> {
         assert!(!threads.is_empty(), "need at least one thread");
         let mem = vec![0i64; cfg.mem_words.max(1)];
-        let threads = threads
+        let threads: Vec<Thread> = threads
             .iter()
             .enumerate()
             .map(|(tid, spec)| {
@@ -535,6 +559,9 @@ impl<'m> Machine<'m> {
                 }
             })
             .collect();
+        let san = cfg
+            .sanitize
+            .then(|| Box::new(Sanitizer::new(threads.len())));
         Machine {
             module,
             cost,
@@ -549,6 +576,7 @@ impl<'m> Machine<'m> {
             done_count: 0,
             replay_pos: 0,
             commit_stall: 0,
+            san,
         }
     }
 
@@ -562,7 +590,19 @@ impl<'m> Machine<'m> {
     /// Like [`Machine::run`], additionally returning the final shared
     /// memory — lets tests assert that deterministic runs converge to
     /// identical program *state*, not just identical lock orders.
-    pub fn run_with_memory(mut self) -> (RunMetrics, Vec<i64>, bool) {
+    pub fn run_with_memory(self) -> (RunMetrics, Vec<i64>, bool) {
+        let (metrics, mem, hit, _) = self.run_sanitized_inner();
+        (metrics, mem, hit)
+    }
+
+    /// Like [`Machine::run_with_memory`], additionally returning the
+    /// finalized [`SanitizerReport`] when [`MachineConfig::sanitize`] was
+    /// set (`None` otherwise).
+    pub fn run_sanitized(self) -> (RunMetrics, Vec<i64>, bool, Option<SanitizerReport>) {
+        self.run_sanitized_inner()
+    }
+
+    fn run_sanitized_inner(mut self) -> (RunMetrics, Vec<i64>, bool, Option<SanitizerReport>) {
         let n = self.threads.len();
         while self.done_count < n && self.cycle < self.cfg.max_cycles {
             self.round();
@@ -585,7 +625,7 @@ impl<'m> Machine<'m> {
         let n = self.threads.len();
         let resumed_at = self.cycle;
         while self.done_count < n && self.cycle < self.cfg.max_cycles {
-            if every > 0 && self.cycle % every == 0 && self.cycle != resumed_at {
+            if every > 0 && self.cycle.is_multiple_of(every) && self.cycle != resumed_at {
                 let ckpt = self.snapshot();
                 if sink(&ckpt) == CkptControl::Abort {
                     return RunOutcome::Aborted {
@@ -595,11 +635,12 @@ impl<'m> Machine<'m> {
             }
             self.round();
         }
-        let (metrics, memory, hit_limit) = self.into_results();
+        let (metrics, memory, hit_limit, sanitizer) = self.into_results();
         RunOutcome::Finished {
             metrics,
             memory,
             hit_limit,
+            sanitizer,
         }
     }
 
@@ -642,8 +683,9 @@ impl<'m> Machine<'m> {
         self.cycle += 1;
     }
 
-    fn into_results(self) -> (RunMetrics, Vec<i64>, bool) {
+    fn into_results(self) -> (RunMetrics, Vec<i64>, bool, Option<SanitizerReport>) {
         let hit_limit = self.done_count < self.threads.len();
+        let sanitizer = self.san.map(|s| s.finalize(self.module));
         let metrics = RunMetrics {
             cycles: self.cycle,
             per_thread: self.threads.into_iter().map(|t| t.m).collect(),
@@ -651,7 +693,7 @@ impl<'m> Machine<'m> {
             lock_order: self.lock_order,
             ghz: self.cfg.ghz,
         };
-        (metrics, self.mem, hit_limit)
+        (metrics, self.mem, hit_limit, sanitizer)
     }
 
     /// Take a [`Checkpoint`] of the current state (a pure read).
@@ -668,6 +710,7 @@ impl<'m> Machine<'m> {
             done_count: self.done_count,
             replay_pos: self.replay_pos,
             commit_stall: self.commit_stall,
+            san: self.san.clone(),
         }
     }
 
@@ -705,6 +748,7 @@ impl<'m> Machine<'m> {
             done_count: ckpt.done_count,
             replay_pos: ckpt.replay_pos,
             commit_stall: ckpt.commit_stall,
+            san: ckpt.san.clone(),
         })
     }
 
@@ -734,7 +778,7 @@ impl<'m> Machine<'m> {
     fn step(&mut self, t: usize, turn: Option<u32>) {
         let det = self.cfg.mode.deterministic();
         let tid = t as u32;
-        match self.threads[t].status.clone() {
+        match self.threads[t].status {
             Status::Done => {}
             Status::InBarrier(_) => {
                 self.threads[t].m.wait_cycles += 1;
@@ -841,6 +885,9 @@ impl<'m> Machine<'m> {
                         if det {
                             self.threads[t].clock += 1;
                         }
+                        if let Some(san) = self.san.as_deref_mut() {
+                            san.release(tid, id);
+                        }
                         self.charge(t, self.cost.sync);
                     }
                     Action::Barrier(id) => {
@@ -881,7 +928,7 @@ impl<'m> Machine<'m> {
         let total_stores: u64 = self.threads.iter().map(|t| t.round_stores).sum();
         self.commit_stall = bp.commit_base + bp.commit_per_store * total_stores;
         for t in 0..self.threads.len() {
-            match self.threads[t].status.clone() {
+            match self.threads[t].status {
                 Status::AcquiringLock(id) => {
                     let held = self.locks.entry(id).or_default().held_by;
                     if held.is_none() {
@@ -912,6 +959,21 @@ impl<'m> Machine<'m> {
             let st = self.locks.entry(id).or_default();
             st.held_by = Some(tid);
         }
+        if self.san.is_some() {
+            // The frame's ip already points past the Lock instruction the
+            // thread blocked on.
+            let site = {
+                let fr = self.threads[t].frames.last().unwrap();
+                (
+                    fr.func.index() as u32,
+                    fr.block.index() as u32,
+                    fr.ip.saturating_sub(1) as u32,
+                )
+            };
+            if let Some(san) = self.san.as_deref_mut() {
+                san.acquire(tid, id, site);
+            }
+        }
         if self.cfg.mode.deterministic() {
             self.threads[t].clock += 1;
         }
@@ -939,6 +1001,9 @@ impl<'m> Machine<'m> {
         if bar.arrivals.len() >= everyone {
             // Release: reconcile clocks to max+1 in deterministic modes.
             let arrivals = std::mem::take(&mut self.barriers.get_mut(&id).unwrap().arrivals);
+            if let Some(san) = self.san.as_deref_mut() {
+                san.barrier(&arrivals);
+            }
             let new_clock = arrivals
                 .iter()
                 .map(|&a| self.threads[a as usize].clock)
@@ -1004,6 +1069,24 @@ impl<'m> Machine<'m> {
     #[inline]
     fn mem_index(&self, addr: i64) -> usize {
         (addr.rem_euclid(self.mem.len() as i64)) as usize
+    }
+
+    /// Sanitizer memory hook: record the access at the instruction site
+    /// `frame` points at. A no-op (one null check) when sanitizing is off.
+    #[inline]
+    fn san_access(&mut self, t: usize, word: usize, write: bool, frame: &Frame) {
+        if let Some(san) = self.san.as_deref_mut() {
+            san.access(
+                t as u32,
+                word,
+                write,
+                (
+                    frame.func.index() as u32,
+                    frame.block.index() as u32,
+                    frame.ip as u32,
+                ),
+            );
+        }
     }
 
     fn retired_store(&mut self, t: usize, count: u64) {
@@ -1125,7 +1208,9 @@ impl<'m> Machine<'m> {
                 let (dst, addr, offset) = (*dst, *addr, *offset);
                 self.threads[t].m.instructions += 1;
                 let a = self.reg(t, addr).wrapping_add(offset);
-                let v = self.mem[self.mem_index(a)];
+                let idx = self.mem_index(a);
+                let v = self.mem[idx];
+                self.san_access(t, idx, false, &frame);
                 self.set_reg(t, dst, v);
                 self.charge(t, self.cost.load);
             }
@@ -1136,6 +1221,7 @@ impl<'m> Machine<'m> {
                 let v = self.operand(t, src);
                 let idx = self.mem_index(a);
                 self.mem[idx] = v;
+                self.san_access(t, idx, true, &frame);
                 self.charge(t, self.cost.store);
                 self.retired_store(t, 1);
             }
@@ -1183,6 +1269,7 @@ impl<'m> Machine<'m> {
                         for k in 0..len.min(self.mem.len() as i64) {
                             let idx = self.mem_index(base.wrapping_add(k));
                             self.mem[idx] = val;
+                            self.san_access(t, idx, true, &frame);
                         }
                         self.retired_store(t, len.max(0) as u64);
                         0
@@ -1197,6 +1284,8 @@ impl<'m> Machine<'m> {
                             let si = self.mem_index(s.wrapping_add(k));
                             let di = self.mem_index(d.wrapping_add(k));
                             self.mem[di] = self.mem[si];
+                            self.san_access(t, si, false, &frame);
+                            self.san_access(t, di, true, &frame);
                         }
                         self.retired_store(t, len.max(0) as u64);
                         0

@@ -10,31 +10,54 @@
 //! proof of absence).
 
 use crate::machine::{ExecMode, Machine, MachineConfig, ThreadSpec};
+use crate::sanitizer::DynRace;
 use detlock_ir::module::Module;
 use detlock_passes::cost::CostModel;
 
-/// Concrete evidence that a program's final state depends on timing.
+/// Concrete evidence that a program races.
+///
+/// One witness type for both confirmation paths, so downstream consumers
+/// of `detlint --confirm` see one format:
+///
+/// * [`RaceWitness::Divergence`] — the legacy empirical probe: two jitter
+///   seeds under `Baseline` produced different final memories.
+/// * [`RaceWitness::HappensBefore`] — a precise `detsan` witness: two
+///   conflicting accesses with no happens-before edge, named down to the
+///   instruction (the default confirmation path since the sanitizer).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RaceWitness {
-    /// Jitter seed of the reference run.
-    pub seed_a: u64,
-    /// Jitter seed of the run that disagreed with it.
-    pub seed_b: u64,
-    /// First memory word whose final value differs between the two runs.
-    pub addr: usize,
-    /// The word's final value under `seed_a`.
-    pub a: i64,
-    /// The word's final value under `seed_b`.
-    pub b: i64,
+pub enum RaceWitness {
+    /// Two-seed final-memory divergence under nondeterministic `Baseline`.
+    Divergence {
+        /// Jitter seed of the reference run.
+        seed_a: u64,
+        /// Jitter seed of the run that disagreed with it.
+        seed_b: u64,
+        /// First memory word whose final value differs between the runs.
+        addr: usize,
+        /// The word's final value under `seed_a`.
+        a: i64,
+        /// The word's final value under `seed_b`.
+        b: i64,
+    },
+    /// A happens-before race from [`crate::sanitizer`].
+    HappensBefore(DynRace),
 }
 
 impl std::fmt::Display for RaceWitness {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "word {} finished as {} under seed {} but {} under seed {}",
-            self.addr, self.a, self.seed_a, self.b, self.seed_b
-        )
+        match self {
+            RaceWitness::Divergence {
+                seed_a,
+                seed_b,
+                addr,
+                a,
+                b,
+            } => write!(
+                f,
+                "word {addr} finished as {a} under seed {seed_a} but {b} under seed {seed_b}"
+            ),
+            RaceWitness::HappensBefore(r) => write!(f, "{r}"),
+        }
     }
 }
 
@@ -60,7 +83,7 @@ pub fn confirm_race(
             None => reference = Some((seed, mem)),
             Some((seed_a, ref_mem)) => {
                 if let Some(addr) = ref_mem.iter().zip(&mem).position(|(a, b)| a != b) {
-                    return Some(RaceWitness {
+                    return Some(RaceWitness::Divergence {
                         seed_a: *seed_a,
                         seed_b: seed,
                         addr,
@@ -130,8 +153,11 @@ mod tests {
         let cost = CostModel::default();
         let w = confirm_race(&m, &cost, &threads(4), &MachineConfig::default(), &SEEDS)
             .expect("lost updates should surface across seeds");
-        assert_eq!(w.addr, 0);
-        assert_ne!(w.a, w.b);
+        let RaceWitness::Divergence { addr, a, b, .. } = w else {
+            panic!("the divergence probe reports divergence witnesses");
+        };
+        assert_eq!(addr, 0);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -808,6 +808,7 @@ fn repeated_crash_resume_chain_matches_uninterrupted_run() {
                     metrics,
                     memory,
                     hit_limit,
+                    ..
                 } => {
                     assert!(!hit_limit);
                     assert!(crashes > 0, "interval {every} never checkpointed");
@@ -840,8 +841,8 @@ fn checkpoint_digests_fingerprint_machine_state() {
     let threads = counter_threads(f, 4, 20);
     let collect = |config: MachineConfig| {
         let mut digests = Vec::new();
-        let outcome = Machine::new(&m, &cost, &threads, config)
-            .run_with_checkpoints(1000, &mut |ck| {
+        let outcome =
+            Machine::new(&m, &cost, &threads, config).run_with_checkpoints(1000, &mut |ck| {
                 digests.push((ck.cycle(), ck.digest()));
                 CkptControl::Continue
             });

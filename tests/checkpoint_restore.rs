@@ -32,6 +32,7 @@ fn spec(workload: &str, seed: u64) -> JobSpec {
         scale: 0.02,
         seed,
         opt: OptLevel::All,
+        sanitize: false,
     }
 }
 
@@ -98,6 +99,111 @@ fn resume_from_checkpoint_matches_run_from_zero_across_the_workload_grid() {
         chains > 0,
         "no chain was ever interrupted — intervals too coarse to test anything"
     );
+}
+
+/// Sanitizer state is part of the checkpoint: a racy program interrupted
+/// at *every* checkpoint boundary and resumed must report exactly the
+/// races (and the minimal log) the uninterrupted run reports. Races that
+/// straddle a snapshot are the interesting case — the shadow memory and
+/// vector clocks crossing the boundary are what make them detectable.
+#[test]
+fn sanitizer_state_survives_checkpoint_restore() {
+    use detlock_bench::{machine_config, thread_specs};
+    use detlock_passes::cost::CostModel;
+    use detlock_vm::machine::{CkptControl, ExecMode, Machine, RunOutcome};
+    use detlock_workloads::racy;
+
+    let w = racy::build(4, &racy::RacyParams { iters: 40 });
+    let cost = CostModel::default();
+    let mut cfg = machine_config(&w, ExecMode::Det, 5);
+    cfg.sanitize = true;
+    let specs = thread_specs(&w);
+
+    let (_, _, hit, report) = Machine::new(&w.module, &cost, &specs, cfg.clone()).run_sanitized();
+    assert!(!hit);
+    let reference = report.expect("sanitize was on");
+    assert!(!reference.races.is_empty(), "racy counter must race");
+
+    let mut resume = None;
+    let mut rounds = 0u64;
+    let resumed = loop {
+        let machine = match &resume {
+            Some(ck) => Machine::resume(&w.module, &cost, cfg.clone(), ck).unwrap(),
+            None => Machine::new(&w.module, &cost, &specs, cfg.clone()),
+        };
+        let mut taken = None;
+        match machine.run_with_checkpoints(64, &mut |ck| {
+            taken = Some(ck.clone());
+            CkptControl::Abort
+        }) {
+            RunOutcome::Finished {
+                sanitizer,
+                hit_limit,
+                ..
+            } => {
+                assert!(!hit_limit);
+                break sanitizer.expect("sanitize was on");
+            }
+            RunOutcome::Aborted { .. } => {
+                rounds += 1;
+                resume = taken;
+            }
+        }
+        assert!(rounds < 100_000, "resume chain never converged");
+    };
+    assert!(rounds > 0, "interval too coarse to interrupt anything");
+    assert_eq!(resumed.canonical(), reference.canonical());
+    assert_eq!(resumed.minimal_log(), reference.minimal_log());
+}
+
+/// The serving layer's version of the same property: a `sanitize: true`
+/// job preempted at every checkpoint yields the same receipt *and* the
+/// same sanitizer report as the direct run.
+#[test]
+fn serve_resume_chain_preserves_the_sanitizer_report() {
+    let mut engine = ShardEngine::new(0);
+    let mut job = spec("ocean", 9);
+    job.sanitize = true;
+    let reference = match engine.execute_resumable(&job, u64::MAX, ExecOpts::default()) {
+        ExecOutcome::Done {
+            receipt, sanitizer, ..
+        } => (
+            receipt.canonical(),
+            sanitizer.expect("sanitize on").canonical(),
+        ),
+        _ => panic!("direct run failed"),
+    };
+    let mut resume = None;
+    let mut rounds = 0u64;
+    let chained = loop {
+        let opts = ExecOpts {
+            checkpoint_every: 900,
+            cycle_slice: 900,
+            resume_from: resume.take(),
+            ..ExecOpts::default()
+        };
+        match engine.execute_resumable(&job, u64::MAX, opts) {
+            ExecOutcome::Done {
+                receipt, sanitizer, ..
+            } => {
+                break (
+                    receipt.canonical(),
+                    sanitizer.expect("sanitize on").canonical(),
+                )
+            }
+            ExecOutcome::Preempted {
+                checkpoint,
+                reason: PreemptReason::SliceExhausted,
+            } => {
+                rounds += 1;
+                resume = Some(checkpoint);
+            }
+            _ => panic!("unexpected outcome in sanitize resume chain"),
+        }
+        assert!(rounds < 100_000, "resume chain never converged");
+    };
+    assert!(rounds > 0, "job too short to exercise preemption");
+    assert_eq!(chained, reference);
 }
 
 #[test]

@@ -342,6 +342,7 @@ fn serve_spec(workload: &str, seed: u64) -> JobSpec {
         scale: 0.02,
         seed,
         opt: detlock_passes::pipeline::OptLevel::All,
+        sanitize: false,
     }
 }
 

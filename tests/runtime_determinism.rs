@@ -1,6 +1,8 @@
 //! Real-thread integration tests of the deterministic runtime: mixed
 //! primitives under injected timing noise must reproduce the same
-//! synchronization order, run after run.
+//! synchronization order, run after run — plus the same property for the
+//! VM-integrated happens-before sanitizer: its race report and minimal
+//! schedule log are a function of the program, not the jitter seed.
 
 use detlock::{tick, DetBarrier, DetCondvar, DetConfig, DetMutex, DetPool, DetRuntime, DetRwLock};
 use std::sync::Arc;
@@ -196,6 +198,64 @@ fn nested_spawn_trees_reproduce() {
     let b = run(true);
     assert_eq!(a.len(), 60);
     assert_eq!(a, b);
+}
+
+/// Sanitizer determinism: in deterministic mode the happens-before
+/// relation depends only on the synchronization order, which DetLock pins
+/// regardless of timing noise — so any two jitter seeds must yield
+/// byte-identical canonical race reports *and* byte-identical minimal
+/// schedule logs, for racy and clean programs alike.
+#[test]
+fn sanitizer_reports_are_seed_invariant() {
+    use detlock_bench::sanitize_workload;
+    use detlock_passes::cost::CostModel;
+    use detlock_workloads::racy;
+
+    let cost = CostModel::default();
+    let seeds = [1u64, 7, 99];
+
+    // Racy control: races must be found, identically, under every seed.
+    let w = racy::build(4, &racy::RacyParams { iters: 60 });
+    let reports: Vec<_> = seeds
+        .iter()
+        .map(|&s| sanitize_workload(&w, &cost, s))
+        .collect();
+    assert!(!reports[0].races.is_empty(), "racy counter must race");
+    for r in &reports[1..] {
+        assert_eq!(r.canonical(), reports[0].canonical());
+        assert_eq!(r.minimal_log(), reports[0].minimal_log());
+    }
+    // The minimal log carries one ordering constraint per racy pair and
+    // nothing else — that is what makes it minimal.
+    assert_eq!(
+        reports[0].minimal_log().matches("constraint ").count(),
+        reports[0].races.len()
+    );
+
+    // Deadlock control: the lock-order cycle is seed-invariant too.
+    let w = racy::build_deadlock(4);
+    let reports: Vec<_> = seeds
+        .iter()
+        .map(|&s| sanitize_workload(&w, &cost, s))
+        .collect();
+    assert!(reports[0].races.is_empty(), "deadlock control is race-free");
+    assert!(!reports[0].lock_cycles.is_empty(), "cycle must be seen");
+    for r in &reports[1..] {
+        assert_eq!(r.canonical(), reports[0].canonical());
+    }
+
+    // Clean workload: silent under every seed, with an empty minimal log.
+    let w = detlock_workloads::by_name("ocean", 2, 0.02).unwrap();
+    let reports: Vec<_> = seeds
+        .iter()
+        .map(|&s| sanitize_workload(&w, &cost, s))
+        .collect();
+    for r in &reports {
+        assert!(r.races.is_empty(), "ocean must be race-free");
+        assert!(r.lock_cycles.is_empty());
+        assert_eq!(r.canonical(), reports[0].canonical());
+        assert!(!r.minimal_log().contains("constraint "));
+    }
 }
 
 #[test]
