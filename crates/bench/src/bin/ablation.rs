@@ -385,6 +385,82 @@ fn main() {
         );
     }
 
+    // 8. Execution-backend speedup: the same deterministic run (all opts,
+    // Det mode) on the tree-walking interpreter vs the threaded-code
+    // engine. Result equality is pinned by the differential suite; this
+    // section records the wall-clock win the lowering buys, per Table I
+    // workload. The lowering itself happens once outside the timed region
+    // (it is cached process-wide, like a real compile would be).
+    const BACKEND_REPS: u32 = 3;
+    if text {
+        println!("\n== execution backend speedup (all opts, det mode) ==");
+        println!(
+            "{:<12}{:>14}{:>14}{:>10}",
+            "benchmark", "interp us", "threaded us", "speedup"
+        );
+    }
+    let mut backend_rows: Vec<Json> = Vec::new();
+    let (mut interp_total, mut threaded_total) = (0u64, 0u64);
+    for w in opts.workloads_at(scale) {
+        let inst = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::all(),
+            Placement::Start,
+            &w.entries,
+        );
+        let specs = thread_specs(&w);
+        let time = |backend: detlock_vm::Backend| -> u64 {
+            (0..BACKEND_REPS)
+                .map(|_| {
+                    let mut cfg = machine_config(&w, ExecMode::Det, opts.seed);
+                    cfg.backend = backend;
+                    let t = std::time::Instant::now();
+                    let (metrics, hit) = run(&inst.module, &cost, &specs, cfg);
+                    assert!(!hit, "{}: hit the cycle limit", w.name);
+                    std::hint::black_box(&metrics);
+                    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                })
+                .min()
+                .unwrap()
+        };
+        // Warm the lowering cache so the threaded timings measure
+        // execution, not the one-time lowering.
+        let threaded_ns = {
+            time(detlock_vm::Backend::Threaded);
+            time(detlock_vm::Backend::Threaded)
+        };
+        let interp_ns = time(detlock_vm::Backend::Interp);
+        interp_total += interp_ns;
+        threaded_total += threaded_ns;
+        let speedup = interp_ns as f64 / threaded_ns.max(1) as f64;
+        if text {
+            println!(
+                "{:<12}{:>14.1}{:>14.1}{:>9.2}x",
+                w.name,
+                interp_ns as f64 / 1e3,
+                threaded_ns as f64 / 1e3,
+                speedup
+            );
+        }
+        backend_rows.push(Json::obj([
+            ("name", w.name.to_json()),
+            ("interp_ns", interp_ns.to_json()),
+            ("threaded_ns", threaded_ns.to_json()),
+            ("speedup", speedup.to_json()),
+        ]));
+    }
+    let backend_speedup = interp_total as f64 / threaded_total.max(1) as f64;
+    if text {
+        println!(
+            "{:<12}{:>14.1}{:>14.1}{:>9.2}x",
+            "TOTAL",
+            interp_total as f64 / 1e3,
+            threaded_total as f64 / 1e3,
+            backend_speedup
+        );
+    }
+
     opts.emit_json(&Json::obj([
         ("o2a_vs_o2b", Json::Arr(o2_rows)),
         ("o1_thresholds", Json::Arr(o1_rows)),
@@ -401,6 +477,15 @@ fn main() {
                 ("parallel_total_ns", parallel_total.to_json()),
                 ("total_speedup", total_speedup.to_json()),
                 ("workloads", Json::Arr(speedup_rows)),
+            ]),
+        ),
+        (
+            "exec_backends",
+            Json::obj([
+                ("interp_total_ns", interp_total.to_json()),
+                ("threaded_total_ns", threaded_total.to_json()),
+                ("total_speedup", backend_speedup.to_json()),
+                ("workloads", Json::Arr(backend_rows)),
             ]),
         ),
     ]));

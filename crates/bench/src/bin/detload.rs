@@ -15,7 +15,8 @@
 //! cargo run -p detlock-bench --release --bin detload -- --addr HOST:PORT \
 //!     [--ready-file PATH] [--rate JOBS_PER_SEC] [--jobs N] [--threads N] \
 //!     [--scale F] [--seeds A,B,C] [--json] [--out BENCH_serve.json] \
-//!     [--net-faults SEED] [--crash-faults SEED] [--shutdown]
+//!     [--net-faults SEED] [--crash-faults SEED] [--cross-backends] \
+//!     [--shutdown]
 //! ```
 //!
 //! `--ready-file PATH` waits for `detserved --ready-file PATH` to publish
@@ -33,6 +34,13 @@
 //! faults were armed at least one **checkpoint recovery** must have
 //! happened on the server — otherwise the sweep exercised nothing and
 //! detload exits nonzero.
+//!
+//! `--cross-backends` additionally re-executes every unique job spec
+//! locally on *both* execution backends (interpreter and threaded-code)
+//! and demands all three receipts — server's, local interp, local
+//! threaded — be byte-identical. This is the end-to-end form of the
+//! differential-oracle guarantee: whatever engine the server happens to
+//! run, the receipt is a property of the program, not of the engine.
 
 use detlock_bench::CliOptions;
 use detlock_passes::pipeline::OptLevel;
@@ -214,6 +222,7 @@ fn main() {
     let mut do_shutdown = false;
     let mut net_seed: Option<u64> = None;
     let mut crash_seed: Option<u64> = None;
+    let mut cross_backends = false;
     let mut opts = CliOptions::parse_with(|flag, args, i| {
         match flag {
             "--addr" => {
@@ -240,6 +249,7 @@ fn main() {
                 *i += 1;
                 crash_seed = Some(args[*i].parse().expect("--crash-faults SEED"));
             }
+            "--cross-backends" => cross_backends = true,
             "--shutdown" => do_shutdown = true,
             _ => return false,
         }
@@ -342,6 +352,43 @@ fn main() {
     }
     let identical = mismatches.is_empty();
 
+    // Cross-backend differential: every unique spec is re-executed locally
+    // on both engines; server receipt, local interp receipt, and local
+    // threaded receipt must be one and the same byte string.
+    let mut backend_compared = 0u64;
+    let mut backend_mismatches: Vec<Json> = Vec::new();
+    if cross_backends {
+        use detlock_serve::shard::ShardEngine;
+        use detlock_vm::Backend;
+        let mut interp = ShardEngine::new(usize::MAX - 1).with_backend(Backend::Interp);
+        let mut threaded = ShardEngine::new(usize::MAX).with_backend(Backend::Threaded);
+        let mut seen = std::collections::HashSet::new();
+        for (spec, outcome) in jobs.iter().zip(&first.outcomes) {
+            let Some(server_receipt) = &outcome.canonical else {
+                continue;
+            };
+            if !seen.insert(spec.identity_key()) {
+                continue;
+            }
+            let local = [&mut interp, &mut threaded].map(|engine| {
+                engine
+                    .execute(spec, u64::MAX)
+                    .map(|r| r.canonical())
+                    .unwrap_or_else(|e| format!("local execution failed: {e}"))
+            });
+            backend_compared += 1;
+            if local[0] != *server_receipt || local[1] != *server_receipt {
+                backend_mismatches.push(Json::obj([
+                    ("job", spec.identity_key().to_json()),
+                    ("server", server_receipt.to_json()),
+                    ("interp", local[0].to_json()),
+                    ("threaded", local[1].to_json()),
+                ]));
+            }
+        }
+    }
+    let backends_identical = backend_mismatches.is_empty();
+
     let server_stats = Client::connect(&addr)
         .and_then(|mut c| c.stats())
         .unwrap_or_else(|e| Json::obj([("error", format!("stats: {e}").to_json())]));
@@ -394,6 +441,15 @@ fn main() {
         ("receipts_compared", compared.to_json()),
         ("receipts_identical", identical.to_json()),
         ("mismatches", Json::Arr(mismatches)),
+        (
+            "cross_backends",
+            Json::obj([
+                ("enabled", cross_backends.to_json()),
+                ("backend_receipts_compared", backend_compared.to_json()),
+                ("backend_receipts_identical", backends_identical.to_json()),
+                ("backend_mismatches", Json::Arr(backend_mismatches)),
+            ]),
+        ),
         ("server_stats", server_stats),
     ]);
     opts.emit_json(&report);
@@ -429,6 +485,17 @@ fn main() {
                 "MISMATCH"
             }
         );
+        if cross_backends {
+            eprintln!(
+                "cross-backend receipts: {} specs x (server, interp, threaded), {}",
+                backend_compared,
+                if backends_identical {
+                    "all identical"
+                } else {
+                    "MISMATCH"
+                }
+            );
+        }
     }
 
     if do_shutdown {
@@ -445,6 +512,9 @@ fn main() {
     }
     if crash_seed.is_some() && recoveries == 0 {
         failures.push("crash chaos requested but zero checkpoint recoveries happened");
+    }
+    if cross_backends && (!backends_identical || backend_compared == 0) {
+        failures.push("cross-backend receipt mismatch (or nothing comparable)");
     }
     if !failures.is_empty() {
         eprintln!("detload: FAIL ({})", failures.join("; "));

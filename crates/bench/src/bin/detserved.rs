@@ -9,13 +9,17 @@
 //! cargo run -p detlock-bench --release --bin detserved -- \
 //!     [--addr HOST:PORT] [--shards N] [--queue N] [--max-retries N] \
 //!     [--budget CYCLES] [--watchdog-ms MS] [--compile-threads N] \
-//!     [--checkpoint-interval CYCLES] [--cycle-slice CYCLES] \
-//!     [--net-faults SEED] [--crash-faults SEED] [--ready-file PATH]
+//!     [--backend interp|threaded] [--checkpoint-interval CYCLES] \
+//!     [--cycle-slice CYCLES] [--net-faults SEED] [--crash-faults SEED] \
+//!     [--ready-file PATH]
 //! ```
 //!
 //! `--watchdog-ms 0` disables the stall supervisor. `--compile-threads N`
 //! sizes each shard engine's instrumentation compile pool (byte-identical
 //! output at any setting; also settable via `DETLOCK_COMPILE_THREADS`).
+//! `--backend` picks the execution engine every shard runs jobs on
+//! (byte-identical receipts either way; also settable via
+//! `DETLOCK_BACKEND`).
 //! `--checkpoint-interval 0` disables checkpointing (crash recovery then
 //! requeues cold); `--cycle-slice N` preempts jobs every N cycles of
 //! progress so long jobs share shards. `--net-faults` / `--crash-faults`
@@ -53,6 +57,11 @@ fn main() {
                 i += 1;
                 let n: usize = args[i].parse().expect("--compile-threads N");
                 cfg.compile_threads = n.max(1);
+            }
+            "--backend" => {
+                i += 1;
+                cfg.backend =
+                    detlock_vm::Backend::parse(&args[i]).unwrap_or_else(|e| panic!("{e}"));
             }
             "--ready-file" => {
                 i += 1;
@@ -116,13 +125,14 @@ fn main() {
     }
     eprintln!(
         "shards={} queue={} max_retries={} budget={} watchdog={:?} compile_threads={} \
-         checkpoint_interval={} cycle_slice={} net_faults={:?} crash_faults={:?}",
+         backend={} checkpoint_interval={} cycle_slice={} net_faults={:?} crash_faults={:?}",
         cfg.shards,
         cfg.queue_capacity,
         cfg.max_retries,
         cfg.job_cycle_budget,
         cfg.watchdog,
         cfg.compile_threads,
+        cfg.backend,
         cfg.checkpoint_interval,
         cfg.cycle_slice,
         cfg.net_faults.map(|p| p.seed),

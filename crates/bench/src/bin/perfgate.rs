@@ -11,6 +11,7 @@
 //! perfgate [--baseline-passes FILE --current-passes FILE]
 //!          [--baseline-serve FILE --current-serve FILE]
 //!          [--max-regress-pct PCT]      # default 25
+//!          [--min-backend-speedup F]    # default 1.5; 0 disables the check
 //!          [--slowdown F]               # scale current wall times (negative control)
 //!          [--out diff.json]            # machine-readable diff artifact
 //! ```
@@ -46,7 +47,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: perfgate [--baseline-passes FILE --current-passes FILE]\n\
          \x20               [--baseline-serve FILE --current-serve FILE]\n\
-         \x20               [--max-regress-pct PCT] [--slowdown F] [--out FILE]"
+         \x20               [--max-regress-pct PCT] [--min-backend-speedup F]\n\
+         \x20               [--slowdown F] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -193,6 +195,34 @@ fn check_passes(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks
     });
 }
 
+/// The threaded-code engine must actually be faster than the interpreter:
+/// gate the `exec_backends` total speedup against a floor. Unlike the
+/// wall-time regression checks this is an *absolute* bar — a lowering
+/// change that erodes the win below the floor fails CI even if nothing
+/// "regressed" relative to the baseline machine.
+fn check_backends(current: &Json, min_speedup: f64, checks: &mut Vec<Check>) {
+    let Some(section) = current.get("exec_backends") else {
+        checks.push(Check {
+            name: "passes/backend-speedup".to_string(),
+            ok: false,
+            detail: "current report has no exec_backends section".to_string(),
+        });
+        return;
+    };
+    let speedup = section
+        .get("total_speedup")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    checks.push(Check {
+        name: "passes/backend-speedup".to_string(),
+        ok: speedup >= min_speedup,
+        detail: format!(
+            "threaded-code engine {speedup:.2}x faster than the interpreter \
+             (floor {min_speedup:.2}x)"
+        ),
+    });
+}
+
 fn check_serve(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks: &mut Vec<Check>) {
     let identical = current
         .get("receipts_identical")
@@ -261,6 +291,7 @@ fn main() {
     let mut baseline_serve: Option<String> = None;
     let mut current_serve: Option<String> = None;
     let mut max_regress_pct = 25.0f64;
+    let mut min_backend_speedup = 1.5f64;
     let mut slowdown = 1.0f64;
     let mut out: Option<String> = None;
 
@@ -279,6 +310,9 @@ fn main() {
             "--max-regress-pct" => {
                 max_regress_pct = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--min-backend-speedup" => {
+                min_backend_speedup = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--slowdown" => slowdown = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => out = Some(take(&mut i)),
             _ => usage(),
@@ -290,7 +324,11 @@ fn main() {
     let mut ran_any = false;
     if let (Some(b), Some(c)) = (&baseline_passes, &current_passes) {
         ran_any = true;
-        check_passes(&load(b), &load(c), slowdown, max_regress_pct, &mut checks);
+        let current = load(c);
+        check_passes(&load(b), &current, slowdown, max_regress_pct, &mut checks);
+        if min_backend_speedup > 0.0 {
+            check_backends(&current, min_backend_speedup, &mut checks);
+        }
     }
     if let (Some(b), Some(c)) = (&baseline_serve, &current_serve) {
         ran_any = true;

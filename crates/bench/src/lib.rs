@@ -23,6 +23,7 @@ use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, Machine, MachineConfig, ThreadSpec};
 use detlock_vm::metrics::RunMetrics;
 use detlock_vm::sanitizer::SanitizerReport;
+use detlock_vm::Backend;
 use detlock_workloads::Workload;
 
 /// Convert workload thread plans into VM thread specs.
@@ -475,12 +476,18 @@ pub struct CliOptions {
     /// `DETLOCK_COMPILE_THREADS` or 1). Distinct from `--threads`, which is
     /// the *simulated* core count.
     pub compile_threads: usize,
+    /// Execution backend (`--backend interp|threaded`, default
+    /// `DETLOCK_BACKEND` or the interpreter). Parsing the flag installs the
+    /// process-wide default, so every machine the binary builds afterwards
+    /// uses it without further plumbing.
+    pub backend: Backend,
 }
 
 impl CliOptions {
     /// Parse from `std::env::args` (ignores the binary name). Supported:
     /// `--threads N`, `--scale F`, `--seed N`, `--seeds A,B,C`, `--json`,
-    /// `--out FILE`, `--only NAME`, `--compile-threads N`.
+    /// `--out FILE`, `--only NAME`, `--compile-threads N`,
+    /// `--backend interp|threaded`.
     pub fn parse() -> CliOptions {
         Self::parse_with(|_, _, _| false)
     }
@@ -498,6 +505,7 @@ impl CliOptions {
             out: None,
             only: None,
             compile_threads: CompileOpts::from_env().threads,
+            backend: Backend::resolve(),
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -526,6 +534,11 @@ impl CliOptions {
                 "--compile-threads" => {
                     i += 1;
                     opts.compile_threads = args[i].parse().expect("--compile-threads N");
+                }
+                "--backend" => {
+                    i += 1;
+                    opts.backend = Backend::parse(&args[i]).unwrap_or_else(|e| panic!("{e}"));
+                    opts.backend.set_process_default();
                 }
                 "--json" => opts.json = true,
                 "--out" => {

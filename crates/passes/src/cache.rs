@@ -120,29 +120,42 @@ pub fn plan_key(
 
 /// A cache slot: either a finished artifact or a marker that some thread is
 /// compiling it right now.
-enum Slot {
+enum Slot<V> {
     Pending,
-    Ready(Arc<Instrumented>),
+    Ready(Arc<V>),
 }
 
 /// One lock shard of the cache.
-struct Shard {
-    map: Mutex<ShardMap>,
+struct Shard<V> {
+    map: Mutex<ShardMap<V>>,
     cv: Condvar,
 }
 
-#[derive(Default)]
-struct ShardMap {
-    slots: HashMap<u64, Slot>,
+struct ShardMap<V> {
+    slots: HashMap<u64, Slot<V>>,
     /// Ready keys in insertion order — the FIFO eviction queue.
     order: Vec<u64>,
 }
 
+impl<V> Default for ShardMap<V> {
+    fn default() -> Self {
+        ShardMap {
+            slots: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+}
+
 const NUM_SHARDS: usize = 8;
 
-/// Sharded content-addressed cache of [`Instrumented`] artifacts.
-pub struct PlanCache {
-    shards: Vec<Shard>,
+/// Sharded content-addressed cache of compiled artifacts.
+///
+/// The value type defaults to the pipeline's [`Instrumented`] (the plan
+/// cache proper); other layers reuse the same coalescing/eviction machinery
+/// for their own derived artifacts — e.g. the VM's threaded-code lowering
+/// caches `ThreadedProgram`s keyed by module content + cost fingerprint.
+pub struct PlanCache<V = Instrumented> {
+    shards: Vec<Shard<V>>,
     /// Max *ready* entries per shard.
     per_shard_capacity: usize,
     hits: AtomicU64,
@@ -150,10 +163,19 @@ pub struct PlanCache {
     evictions: AtomicU64,
 }
 
-impl PlanCache {
+impl PlanCache<Instrumented> {
+    /// The process-wide cache shared by `dlc`, the bench bins and every
+    /// `detserved` shard.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| PlanCache::with_capacity(512))
+    }
+}
+
+impl<V> PlanCache<V> {
     /// A cache bounded at roughly `capacity` entries (rounded up to a
     /// multiple of the shard count).
-    pub fn with_capacity(capacity: usize) -> PlanCache {
+    pub fn with_capacity(capacity: usize) -> PlanCache<V> {
         PlanCache {
             shards: (0..NUM_SHARDS)
                 .map(|_| Shard {
@@ -168,25 +190,14 @@ impl PlanCache {
         }
     }
 
-    /// The process-wide cache shared by `dlc`, the bench bins and every
-    /// `detserved` shard.
-    pub fn global() -> &'static PlanCache {
-        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
-        GLOBAL.get_or_init(|| PlanCache::with_capacity(512))
-    }
-
-    fn shard(&self, key: u64) -> &Shard {
+    fn shard(&self, key: u64) -> &Shard<V> {
         &self.shards[(key % NUM_SHARDS as u64) as usize]
     }
 
     /// Fetch the artifact for `key`, running `compile` exactly once per key
     /// across all racing threads. Concurrent callers with the same key
     /// block until the first one finishes and then count as hits.
-    pub fn get_or_compute(
-        &self,
-        key: u64,
-        compile: impl FnOnce() -> Instrumented,
-    ) -> Arc<Instrumented> {
+    pub fn get_or_compute(&self, key: u64, compile: impl FnOnce() -> V) -> Arc<V> {
         let shard = self.shard(key);
         let mut g = shard.map.lock();
         loop {
@@ -206,12 +217,12 @@ impl PlanCache {
 
         // If `compile` unwinds (debug-build verifier panic), clear the
         // pending marker so waiters retry instead of hanging forever.
-        struct Unpend<'a> {
-            cache: &'a PlanCache,
+        struct Unpend<'a, V> {
+            cache: &'a PlanCache<V>,
             key: u64,
             armed: bool,
         }
-        impl Drop for Unpend<'_> {
+        impl<V> Drop for Unpend<'_, V> {
             fn drop(&mut self) {
                 if self.armed {
                     let shard = self.cache.shard(self.key);
@@ -267,7 +278,7 @@ impl PlanCache {
     }
 }
 
-impl std::fmt::Debug for PlanCache {
+impl<V> std::fmt::Debug for PlanCache<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PlanCache")
             .field("entries", &self.len())

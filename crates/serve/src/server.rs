@@ -54,6 +54,7 @@ use detlock_shim::json::{Json, ToJson};
 use detlock_shim::sync::Mutex;
 use detlock_vm::machine::Checkpoint;
 use detlock_vm::sanitizer::SanitizerReport;
+use detlock_vm::Backend;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -81,6 +82,10 @@ pub struct ServeConfig {
     /// Compile-pool workers each shard engine uses for instrumentation
     /// (1 = serial). Output is byte-identical at any setting.
     pub compile_threads: usize,
+    /// Execution backend every shard engine runs jobs on. Receipts are
+    /// byte-identical across backends; `threaded` just retires jobs
+    /// faster. Defaults to `DETLOCK_BACKEND` (or the interpreter).
+    pub backend: Backend,
     /// Snapshot a [`Checkpoint`] every this many arbiter cycles while a
     /// job runs (0 disables checkpointing — crashes then requeue cold).
     pub checkpoint_interval: u64,
@@ -105,6 +110,7 @@ impl Default for ServeConfig {
             job_cycle_budget: 60_000_000_000,
             watchdog: Some(Duration::from_secs(30)),
             compile_threads: CompileOpts::from_env().threads,
+            backend: Backend::resolve(),
             checkpoint_interval: 200_000,
             cycle_slice: 0,
             net_faults: None,
@@ -805,7 +811,8 @@ fn requeue_with_backoff(
 
 fn shard_worker(id: usize, shared: &Arc<Shared>) {
     let mut engine = ShardEngine::new(id)
-        .with_compile_opts(CompileOpts::threads(shared.config.compile_threads).cached());
+        .with_compile_opts(CompileOpts::threads(shared.config.compile_threads).cached())
+        .with_backend(shared.config.backend);
     let slot = &shared.shards[id];
     while let Some((mut job, seq)) = shared.queue.pop() {
         if slot.evicted.load(Ordering::Relaxed) {

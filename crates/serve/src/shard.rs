@@ -20,6 +20,7 @@ use detlock_vm::machine::{
     Checkpoint, CkptControl, ExecMode, Jitter, Machine, MachineConfig, RunOutcome, ThreadSpec,
 };
 use detlock_vm::sanitizer::SanitizerReport;
+use detlock_vm::Backend;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -149,6 +150,7 @@ pub struct ShardEngine {
     cost: CostModel,
     cache: HashMap<String, CachedJob>,
     compile: CompileOpts,
+    backend: Backend,
     analysis_hits: u64,
     analysis_misses: u64,
     pass_totals: Vec<PassStats>,
@@ -165,6 +167,7 @@ impl ShardEngine {
             cost: CostModel::default(),
             cache: HashMap::new(),
             compile: CompileOpts::from_env().cached(),
+            backend: Backend::resolve(),
             analysis_hits: 0,
             analysis_misses: 0,
             pass_totals: Vec::new(),
@@ -175,6 +178,14 @@ impl ShardEngine {
     /// Override the compile options (worker count / cache participation).
     pub fn with_compile_opts(mut self, opts: CompileOpts) -> ShardEngine {
         self.compile = opts;
+        self
+    }
+
+    /// Override the execution backend. Receipts are byte-identical across
+    /// backends (the differential-oracle guarantee), so this only changes
+    /// how fast the shard retires jobs.
+    pub fn with_backend(mut self, backend: Backend) -> ShardEngine {
+        self.backend = backend;
         self
     }
 
@@ -267,6 +278,7 @@ impl ShardEngine {
             jitter: Jitter::default().with_seed(spec.seed),
             max_cycles: cycle_budget,
             sanitize: spec.sanitize,
+            backend: self.backend,
             ..MachineConfig::default()
         };
         let start_cycle = opts.resume_from.as_ref().map(|c| c.cycle()).unwrap_or(0);

@@ -44,6 +44,7 @@ impl SmallRng {
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
@@ -57,6 +58,7 @@ impl SmallRng {
     }
 
     /// Uniform value in `range` (half-open). Panics on an empty range.
+    #[inline]
     pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
         assert!(range.end > range.start, "gen_range on empty range");
         let span = range.end - range.start;
@@ -66,6 +68,7 @@ impl SmallRng {
     }
 
     /// Uniform `usize` in `range` (half-open).
+    #[inline]
     pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
         self.gen_range(range.start as u64..range.end as u64) as usize
     }

@@ -20,13 +20,16 @@
 //! `--pass-stats` prints per-pass telemetry after instrumenting.
 //! `--compile-threads N` (or `DETLOCK_COMPILE_THREADS`) sizes the compile
 //! pool and routes the compile through the plan cache — output is
-//! byte-identical at any setting.
+//! byte-identical at any setting. `--backend interp|threaded` (or
+//! `DETLOCK_BACKEND`) picks the execution engine; results are identical
+//! either way, only the wall-clock time differs.
 
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_passes::{render_pass_table, PassPipeline};
 use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
+use detlock_vm::Backend;
 
 struct Options {
     input: String,
@@ -49,6 +52,7 @@ fn usage() -> ! {
         "usage: dlc <input.dir> [--opt none|o1|o2|o3|o4|all] [--placement start|end]\n\
          \x20          [--emit text|dot|none] [--estimates FILE]\n\
          \x20          [--print-passes] [--pass-stats] [--compile-threads N]\n\
+         \x20          [--backend interp|threaded]\n\
          \x20          [--run ENTRY --threads N --mode baseline|clocks|det|kendo\n\
          \x20           --args a,b,tid --seed S]"
     );
@@ -137,6 +141,13 @@ fn parse_options() -> Options {
             "--estimates" => {
                 i += 1;
                 o.estimates = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--backend" => {
+                i += 1;
+                match argv.get(i).map(|v| Backend::parse(v)) {
+                    Some(Ok(b)) => b.set_process_default(),
+                    _ => usage(),
+                }
             }
             "--print-passes" => o.print_passes = true,
             "--pass-stats" => o.pass_stats = true,

@@ -26,15 +26,19 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod builtins;
 pub mod determinism;
+pub mod lower;
 pub mod machine;
 pub mod metrics;
 pub mod race;
 pub mod replay;
 pub mod sanitizer;
 
+pub use backend::Backend;
 pub use determinism::{check_determinism, DeterminismReport, Divergence};
+pub use lower::ThreadedProgram;
 pub use machine::{
     run, BulkSyncParams, Checkpoint, CkptControl, ExecMode, Jitter, KendoParams, Machine,
     MachineConfig, RunOutcome, ThreadSpec,

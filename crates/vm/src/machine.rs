@@ -26,7 +26,23 @@
 //!   every `chunk_size` stores (costing `interrupt_cost` cycles per
 //!   overflow interrupt), and ticks are skipped: the paper's Table II
 //!   comparison baseline.
+//!
+//! # Architecture: determinism core vs execution backend
+//!
+//! The machine is split in two. [`DetCore`] owns everything that makes a
+//! run deterministic and measurable — thread states, logical clocks, the
+//! min-`(clock, tid)` arbiter, lock/barrier tables, the trace hasher,
+//! checkpoints, and the sanitizer hooks. How the *next instruction of a
+//! ready thread* is fetched, applied, and charged is delegated to an
+//! [`ExecBackend`]: either the tree-walking interpreter in this module (the
+//! oracle) or the threaded-code engine in [`crate::lower`] that runs a flat
+//! pre-decoded program. Both backends drive the identical core, charge the
+//! identical costs in the identical order (so the jitter RNG draws agree),
+//! and report the identical `(func, block, ip)` sites to the sanitizer —
+//! which is what makes cross-backend trace hashes, receipts, metrics,
+//! sanitizer reports, and even checkpoints byte-compatible.
 
+use crate::backend::Backend;
 use crate::builtins;
 use crate::metrics::{OrderHasher, RunMetrics, ThreadMetrics};
 use crate::sanitizer::{Sanitizer, SanitizerReport};
@@ -105,7 +121,7 @@ pub enum ExecMode {
 }
 
 impl ExecMode {
-    fn executes_ticks(self) -> bool {
+    pub(crate) fn executes_ticks(self) -> bool {
         matches!(self, ExecMode::ClocksOnly | ExecMode::Det)
     }
 
@@ -117,7 +133,7 @@ impl ExecMode {
         matches!(self, ExecMode::Replay)
     }
 
-    fn bulk_sync(self) -> Option<BulkSyncParams> {
+    pub(crate) fn bulk_sync(self) -> Option<BulkSyncParams> {
         match self {
             ExecMode::BulkSync(p) => Some(p),
             _ => None,
@@ -196,6 +212,13 @@ pub struct MachineConfig {
     /// path is one pointer-null check per memory/sync operation, which the
     /// perf gate holds to zero measurable overhead.
     pub sanitize: bool,
+    /// Which execution engine runs instructions (see [`crate::backend`]).
+    /// Defaults to [`Backend::resolve`] — a `--backend` flag or the
+    /// `DETLOCK_BACKEND` env var reroutes every default-constructed config
+    /// in the process. Deliberately *excluded* from the checkpoint
+    /// fingerprint: both backends execute bit-identically, so a checkpoint
+    /// taken under one may be resumed under the other.
+    pub backend: Backend,
 }
 
 impl Default for MachineConfig {
@@ -210,12 +233,13 @@ impl Default for MachineConfig {
             det_event_cost: 120,
             replay_log: std::sync::Arc::new(Vec::new()),
             sanitize: false,
+            backend: Backend::resolve(),
         }
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Status {
+pub(crate) enum Status {
     Ready,
     AcquiringLock(i64),
     AcquiringBarrier(u32),
@@ -226,39 +250,41 @@ enum Status {
     Done,
 }
 
-#[derive(Debug, Clone)]
-struct Frame {
-    func: FuncId,
-    block: BlockId,
-    ip: usize,
-    reg_base: usize,
-    ret_dst: Option<Reg>,
+/// A call-stack frame. `Copy` so the hot loop reads it off the stack
+/// without cloning a heap structure per step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    pub(crate) func: FuncId,
+    pub(crate) block: BlockId,
+    pub(crate) ip: usize,
+    pub(crate) reg_base: usize,
+    pub(crate) ret_dst: Option<Reg>,
 }
 
 #[derive(Clone)]
-struct Thread {
-    status: Status,
-    frames: Vec<Frame>,
-    regs: Vec<i64>,
-    clock: u64,
-    pending: u64,
+pub(crate) struct Thread {
+    pub(crate) status: Status,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) regs: Vec<i64>,
+    pub(crate) clock: u64,
+    pub(crate) pending: u64,
     /// Bulk-sync: cycles left in the current quantum.
-    quantum_left: u64,
+    pub(crate) quantum_left: u64,
     /// Bulk-sync: stores executed this round (drives the commit cost).
-    round_stores: u64,
-    rng: SmallRng,
-    m: ThreadMetrics,
+    pub(crate) round_stores: u64,
+    pub(crate) rng: SmallRng,
+    pub(crate) m: ThreadMetrics,
 }
 
 #[derive(Debug, Default, Clone)]
-struct LockState {
-    held_by: Option<u32>,
-    release_clock: Option<u64>,
+pub(crate) struct LockState {
+    pub(crate) held_by: Option<u32>,
+    pub(crate) release_clock: Option<u64>,
 }
 
 #[derive(Debug, Default, Clone)]
-struct BarrierState {
-    arrivals: Vec<u32>,
+pub(crate) struct BarrierState {
+    pub(crate) arrivals: Vec<u32>,
 }
 
 /// A deterministic snapshot of a running [`Machine`].
@@ -279,6 +305,10 @@ struct BarrierState {
 /// (`Clone + Send`), so a serving layer can hand it to another worker —
 /// cross-shard migration is sound exactly when both shards compiled the
 /// byte-identical module, which the fingerprint asserts structurally.
+/// The execution [`Backend`] is *not* part of the fingerprint: both
+/// backends are bit-identical executors of the same module, so a shard may
+/// resume an interpreter checkpoint on the threaded engine (and vice
+/// versa) — the checkpoint/restore tests pin this down.
 #[derive(Clone)]
 pub struct Checkpoint {
     fingerprint: u64,
@@ -410,7 +440,10 @@ impl Checkpoint {
 /// Structural fingerprint binding a checkpoint to what it may resume on:
 /// the execution mode (with parameters), jitter model, memory geometry,
 /// cost-relevant config, thread count, and the module shape. Two shards
-/// that compiled the same plan-cache entry agree on all of these.
+/// that compiled the same plan-cache entry agree on all of these. The
+/// execution [`Backend`] is deliberately not folded in — backends are
+/// bit-identical, so resuming a checkpoint on the other engine is sound
+/// (and exercised by the cross-backend checkpoint tests).
 fn config_fingerprint(cfg: &MachineConfig, module: &Module, n_threads: usize) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     let (mode_tag, a, b, c) = match cfg.mode {
@@ -457,6 +490,7 @@ pub enum CkptControl {
 }
 
 /// Result of a checkpointed run.
+#[derive(Debug, PartialEq)]
 pub enum RunOutcome {
     /// The program ran to completion (or hit the cycle limit).
     Finished {
@@ -478,7 +512,7 @@ pub enum RunOutcome {
     },
 }
 
-enum Action {
+pub(crate) enum Action {
     None,
     /// A tick skipped in a mode that does not execute ticks: the
     /// uninstrumented binary never contained it, so it must not consume a
@@ -490,25 +524,108 @@ enum Action {
     Exited,
 }
 
-/// The simulator. Build with [`Machine::new`], run with [`Machine::run`].
-pub struct Machine<'m> {
-    module: &'m Module,
-    cost: &'m CostModel,
-    cfg: MachineConfig,
-    threads: Vec<Thread>,
-    mem: Vec<i64>,
-    locks: HashMap<i64, LockState>,
-    barriers: HashMap<u32, BarrierState>,
-    hasher: OrderHasher,
-    lock_order: Vec<(i64, u32)>,
-    cycle: u64,
-    done_count: usize,
-    replay_pos: usize,
+/// One instruction executor. The contract is strict: an implementation
+/// must fetch/apply/charge exactly as the interpreter does — same metric
+/// increments, same [`DetCore::charge`] calls in the same order (the
+/// jitter RNG is positional), same sanitizer sites, same frame coordinate
+/// updates — so that every observable artifact (trace hash, receipt,
+/// metrics, sanitizer report, checkpoint digest) is backend-invariant.
+pub(crate) trait ExecBackend {
+    /// Fetch, apply, and charge the next instruction (or terminator) of
+    /// thread `t`. Returns the synchronization action, if any.
+    fn exec_next(&self, core: &mut DetCore<'_>, t: usize) -> Action;
+}
+
+/// The tree-walking interpreter: decodes IR on every step. The oracle.
+pub(crate) struct InterpBackend;
+
+impl ExecBackend for InterpBackend {
+    #[inline]
+    fn exec_next(&self, core: &mut DetCore<'_>, t: usize) -> Action {
+        core.interp_exec_next(t)
+    }
+}
+
+/// Static enum dispatch over the two backends (no vtable in the hot loop).
+pub(crate) enum ExecImpl {
+    Interp(InterpBackend),
+    Threaded(crate::lower::ThreadedBackend),
+}
+
+/// The backend-agnostic determinism and scheduling core: arbitration,
+/// clocks, lock/barrier tables, metrics, checkpoints, sanitizer. Shared
+/// verbatim by both execution backends; the only thing a backend supplies
+/// is [`ExecBackend::exec_next`].
+pub(crate) struct DetCore<'m> {
+    pub(crate) module: &'m Module,
+    pub(crate) cost: &'m CostModel,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) mem: Vec<i64>,
+    pub(crate) locks: HashMap<i64, LockState>,
+    pub(crate) barriers: HashMap<u32, BarrierState>,
+    pub(crate) hasher: OrderHasher,
+    pub(crate) lock_order: Vec<(i64, u32)>,
+    pub(crate) cycle: u64,
+    pub(crate) done_count: usize,
+    pub(crate) replay_pos: usize,
     /// Bulk-sync: remaining commit-phase stall cycles.
-    commit_stall: u64,
+    pub(crate) commit_stall: u64,
     /// Happens-before sanitizer (`None` unless `cfg.sanitize`): the
     /// disabled path costs exactly one null check per hook site.
-    san: Option<Box<Sanitizer>>,
+    pub(crate) san: Option<Box<Sanitizer>>,
+    /// Scratch buffer for builtin-call argument evaluation — transient
+    /// within one `exec_next`, so it is *not* part of a [`Checkpoint`].
+    pub(crate) scratch_args: Vec<i64>,
+    /// Checkpoint interval of the driving loop (0 = none). Derived from the
+    /// caller each run — not machine state, so not part of a [`Checkpoint`]
+    /// — and consulted only to clamp the countdown fast-forward in
+    /// [`DetCore::round`] so batching never skips a snapshot boundary.
+    pub(crate) ckpt_every: u64,
+    /// `mem.len() - 1` when the memory size is a power of two: address
+    /// wrapping then becomes a mask instead of a 64-bit `rem_euclid`
+    /// division per load/store. Derived from `mem`, never checkpointed.
+    pub(crate) mem_mask: Option<u64>,
+    /// Rotation cache (all derived, never checkpointed): `rot_start` is
+    /// `(rot_cycle · φ64 + jitter.seed) mod n` and `rot_acc` the same
+    /// product before the reduction. [`DetCore::rotation_start`] keeps them
+    /// in sync with `cycle`, advancing incrementally (no division) in the
+    /// common +1 case.
+    pub(crate) rot_cycle: u64,
+    pub(crate) rot_acc: u64,
+    pub(crate) rot_start: usize,
+    /// `φ64 mod n` — the per-cycle rotation stride after reduction.
+    pub(crate) rot_stride: usize,
+    /// `(n - 2^64 mod n) mod n` — correction applied when `rot_acc` wraps.
+    pub(crate) rot_wrap_adj: usize,
+}
+
+/// The rotation multiplier (64-bit golden ratio; Weyl sequence over tids).
+const ROT_MUL: u64 = 0x9e3779b97f4a7c15;
+
+/// Initial rotation cache for a core at `cycle` with `n` threads: returns
+/// `(rot_cycle, rot_acc, rot_start, rot_stride, rot_wrap_adj)`.
+fn init_rotation(cycle: u64, seed: u64, n: usize) -> (u64, u64, usize, usize, usize) {
+    let acc = cycle.wrapping_mul(ROT_MUL).wrapping_add(seed);
+    let start = (acc % n as u64) as usize;
+    let stride = (ROT_MUL % n as u64) as usize;
+    let wrap_adj = ((n as u128 - (1u128 << 64) % n as u128) % n as u128) as usize;
+    (cycle, acc, start, stride, wrap_adj)
+}
+
+/// The simulator. Build with [`Machine::new`], run with [`Machine::run`].
+pub struct Machine<'m> {
+    core: DetCore<'m>,
+    exec: ExecImpl,
+}
+
+fn make_exec(module: &Module, cost: &CostModel, backend: Backend) -> ExecImpl {
+    match backend {
+        Backend::Interp => ExecImpl::Interp(InterpBackend),
+        Backend::Threaded => ExecImpl::Threaded(crate::lower::ThreadedBackend::new(
+            crate::lower::lowered(module, cost),
+        )),
+    }
 }
 
 impl<'m> Machine<'m> {
@@ -562,21 +679,36 @@ impl<'m> Machine<'m> {
         let san = cfg
             .sanitize
             .then(|| Box::new(Sanitizer::new(threads.len())));
+        let exec = make_exec(module, cost, cfg.backend);
+        let mem_mask = mem.len().is_power_of_two().then(|| mem.len() as u64 - 1);
+        let (rot_cycle, rot_acc, rot_start, rot_stride, rot_wrap_adj) =
+            init_rotation(0, cfg.jitter.seed, threads.len());
         Machine {
-            module,
-            cost,
-            cfg,
-            threads,
-            mem,
-            locks: HashMap::new(),
-            barriers: HashMap::new(),
-            hasher: OrderHasher::new(),
-            lock_order: Vec::new(),
-            cycle: 0,
-            done_count: 0,
-            replay_pos: 0,
-            commit_stall: 0,
-            san,
+            core: DetCore {
+                module,
+                cost,
+                cfg,
+                threads,
+                mem,
+                locks: HashMap::new(),
+                barriers: HashMap::new(),
+                hasher: OrderHasher::new(),
+                lock_order: Vec::new(),
+                cycle: 0,
+                done_count: 0,
+                replay_pos: 0,
+                commit_stall: 0,
+                san,
+                scratch_args: Vec::new(),
+                ckpt_every: 0,
+                mem_mask,
+                rot_cycle,
+                rot_acc,
+                rot_start,
+                rot_stride,
+                rot_wrap_adj,
+            },
+            exec,
         }
     }
 
@@ -603,11 +735,11 @@ impl<'m> Machine<'m> {
     }
 
     fn run_sanitized_inner(mut self) -> (RunMetrics, Vec<i64>, bool, Option<SanitizerReport>) {
-        let n = self.threads.len();
-        while self.done_count < n && self.cycle < self.cfg.max_cycles {
-            self.round();
+        let n = self.core.threads.len();
+        while self.core.done_count < n && self.core.cycle < self.core.cfg.max_cycles {
+            self.core.round(&self.exec);
         }
-        self.into_results()
+        self.core.into_results()
     }
 
     /// Run with a checkpoint sink: every `every` cycles (a round boundary
@@ -622,20 +754,21 @@ impl<'m> Machine<'m> {
         every: u64,
         sink: &mut dyn FnMut(&Checkpoint) -> CkptControl,
     ) -> RunOutcome {
-        let n = self.threads.len();
-        let resumed_at = self.cycle;
-        while self.done_count < n && self.cycle < self.cfg.max_cycles {
-            if every > 0 && self.cycle.is_multiple_of(every) && self.cycle != resumed_at {
+        let n = self.core.threads.len();
+        let resumed_at = self.core.cycle;
+        self.core.ckpt_every = every;
+        while self.core.done_count < n && self.core.cycle < self.core.cfg.max_cycles {
+            if every > 0 && self.core.cycle.is_multiple_of(every) && self.core.cycle != resumed_at {
                 let ckpt = self.snapshot();
                 if sink(&ckpt) == CkptControl::Abort {
                     return RunOutcome::Aborted {
-                        at_cycle: self.cycle,
+                        at_cycle: self.core.cycle,
                     };
                 }
             }
-            self.round();
+            self.core.round(&self.exec);
         }
-        let (metrics, memory, hit_limit, sanitizer) = self.into_results();
+        let (metrics, memory, hit_limit, sanitizer) = self.core.into_results();
         RunOutcome::Finished {
             metrics,
             memory,
@@ -644,12 +777,104 @@ impl<'m> Machine<'m> {
         }
     }
 
+    /// Take a [`Checkpoint`] of the current state (a pure read).
+    pub fn snapshot(&self) -> Checkpoint {
+        let core = &self.core;
+        Checkpoint {
+            fingerprint: config_fingerprint(&core.cfg, core.module, core.threads.len()),
+            cycle: core.cycle,
+            threads: core.threads.clone(),
+            mem: core.mem.clone(),
+            locks: core.locks.clone(),
+            barriers: core.barriers.clone(),
+            hasher: core.hasher.clone(),
+            lock_order: core.lock_order.clone(),
+            done_count: core.done_count,
+            replay_pos: core.replay_pos,
+            commit_stall: core.commit_stall,
+            san: core.san.clone(),
+        }
+    }
+
+    /// Rebuild a machine from a checkpoint, continuing exactly where the
+    /// snapshot was taken. `module`, `cost`, and `cfg` must match what the
+    /// checkpoint was taken under — the structural fingerprint is checked
+    /// and a mismatch is refused rather than allowed to silently diverge
+    /// (the [`Backend`] is the one config knob allowed to differ). The
+    /// caller is responsible for passing the *same* compiled module
+    /// (byte-identical compiles, e.g. from a shared plan cache, qualify).
+    pub fn resume(
+        module: &'m Module,
+        cost: &'m CostModel,
+        cfg: MachineConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<Machine<'m>, String> {
+        let fp = config_fingerprint(&cfg, module, ckpt.threads.len());
+        if fp != ckpt.fingerprint {
+            return Err(format!(
+                "checkpoint fingerprint mismatch: checkpoint 0x{:016x} vs machine 0x{:016x} \
+                 (different module, config, or thread count)",
+                ckpt.fingerprint, fp
+            ));
+        }
+        let exec = make_exec(module, cost, cfg.backend);
+        let mem_mask = ckpt
+            .mem
+            .len()
+            .is_power_of_two()
+            .then(|| ckpt.mem.len() as u64 - 1);
+        let (rot_cycle, rot_acc, rot_start, rot_stride, rot_wrap_adj) =
+            init_rotation(ckpt.cycle, cfg.jitter.seed, ckpt.threads.len());
+        Ok(Machine {
+            core: DetCore {
+                module,
+                cost,
+                cfg,
+                threads: ckpt.threads.clone(),
+                mem: ckpt.mem.clone(),
+                locks: ckpt.locks.clone(),
+                barriers: ckpt.barriers.clone(),
+                hasher: ckpt.hasher.clone(),
+                lock_order: ckpt.lock_order.clone(),
+                cycle: ckpt.cycle,
+                done_count: ckpt.done_count,
+                replay_pos: ckpt.replay_pos,
+                commit_stall: ckpt.commit_stall,
+                san: ckpt.san.clone(),
+                scratch_args: Vec::new(),
+                ckpt_every: 0,
+                mem_mask,
+                rot_cycle,
+                rot_acc,
+                rot_start,
+                rot_stride,
+                rot_wrap_adj,
+            },
+            exec,
+        })
+    }
+}
+
+impl<'m> DetCore<'m> {
     /// One round of the main loop: commit-stall / serial-phase handling in
     /// bulk-sync mode, otherwise one arbiter turn stepping every thread.
-    /// Advances `self.cycle` by exactly 1.
-    fn round(&mut self) {
+    /// Advances `self.cycle` by exactly 1 — except when every live thread
+    /// is mid-instruction, where the equivalent of several rounds is
+    /// applied at once (see the countdown fast-forward below).
+    fn round(&mut self, exec: &ExecImpl) {
+        // One enum match per *round*, not per step: `round_inner` is
+        // monomorphized per backend, so every `exec_next` call below is a
+        // direct (inlinable) call instead of a dispatch in the hot loop.
+        match exec {
+            ExecImpl::Interp(b) => self.round_inner(b),
+            ExecImpl::Threaded(b) => self.round_inner(b),
+        }
+    }
+
+    fn round_inner<B: ExecBackend>(&mut self, exec: &B) {
         let n = self.threads.len();
-        if let Some(bp) = self.cfg.mode.bulk_sync() {
+        let bulk = self.cfg.mode.bulk_sync();
+        if let Some(bp) = bulk {
             if self.commit_stall > 0 {
                 // Commit phase: every thread stalls.
                 self.commit_stall -= 1;
@@ -667,20 +892,114 @@ impl<'m> Machine<'m> {
                 return;
             }
         }
-        let turn = self.compute_turn();
+        // One pass over the threads computes both the deterministic turn
+        // (min `(clock, tid)` among arbitration participants) and the
+        // countdown fast-forward bound `k` (min `pending` if every live
+        // thread is Ready and mid-instruction, else 0).
+        let mut best: Option<(u64, u32)> = None;
+        let mut k = u64::MAX;
+        for (tid, th) in self.threads.iter().enumerate() {
+            match th.status {
+                Status::Done => continue,
+                Status::Ready => {
+                    if th.pending == 0 {
+                        k = 0;
+                    } else if th.pending < k {
+                        k = th.pending;
+                    }
+                }
+                Status::AcquiringLock(_) | Status::AcquiringBarrier(_) | Status::ExitWait => {
+                    k = 0;
+                }
+                Status::InBarrier(_) | Status::QuantumDone => {
+                    // Parked: no turn participation.
+                    k = 0;
+                    continue;
+                }
+            }
+            let key = (th.clock, tid as u32);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        // Countdown fast-forward: when every live thread is Ready and
+        // mid-instruction (`pending > 0`), the next `k` rounds are pure
+        // counter decrements — the turn cannot change hands, no RNG is
+        // drawn, no instruction issues. Apply all `k` in one pass. Clamped
+        // so the cycle counter still lands exactly on every checkpoint
+        // boundary and on `max_cycles`; batching is thus invisible to
+        // snapshots, crash plans, and all metrics. (Bulk-sync is excluded:
+        // its quantum bookkeeping runs per cycle.)
+        if bulk.is_none() && k > 0 && k < u64::MAX {
+            k = k.min(self.cfg.max_cycles - self.cycle);
+            if let Some(intervals) = self.cycle.checked_div(self.ckpt_every) {
+                let next = (intervals + 1) * self.ckpt_every;
+                k = k.min(next - self.cycle);
+            }
+            for th in self.threads.iter_mut() {
+                if th.status != Status::Done {
+                    th.pending -= k;
+                    th.m.busy_cycles += k;
+                }
+            }
+            self.cycle += k;
+            return;
+        }
+        let turn = best.map(|(_, tid)| tid);
         // Rotate the service order so baseline FCFS has no fixed
         // lowest-tid bias; in deterministic modes only the turn holder
         // acts on sync events, so rotation is inert there.
-        let start = ((self
-            .cycle
-            .wrapping_mul(0x9e3779b97f4a7c15)
-            .wrapping_add(self.cfg.jitter.seed))
-            % n as u64) as usize;
+        let start = self.rotation_start(n);
         for k in 0..n {
-            let t = (start + k) % n;
-            self.step(t, turn);
+            // `start + k < 2n`, so a conditional subtraction replaces the
+            // 64-bit modulo the old `(start + k) % n` paid per step.
+            let mut t = start + k;
+            if t >= n {
+                t -= n;
+            }
+            self.step(t, turn, exec);
         }
         self.cycle += 1;
+    }
+
+    /// `(cycle · φ64 + jitter.seed) mod n`, the round's rotation offset —
+    /// served from the incremental cache. The +1 case (every executing
+    /// round) is a stride add with a wrap correction, no division; any
+    /// other jump (fast-forward, resume) recomputes from scratch.
+    #[inline]
+    fn rotation_start(&mut self, n: usize) -> usize {
+        if self.cycle == self.rot_cycle {
+            return self.rot_start;
+        }
+        if self.cycle == self.rot_cycle.wrapping_add(1) {
+            let old = self.rot_acc;
+            self.rot_acc = old.wrapping_add(ROT_MUL);
+            let mut r = self.rot_start + self.rot_stride;
+            if self.rot_acc < old {
+                // The 2^64 wrap dropped a `2^64 mod n` residue.
+                r += self.rot_wrap_adj;
+            }
+            while r >= n {
+                r -= n;
+            }
+            self.rot_start = r;
+        } else {
+            self.rot_acc = self
+                .cycle
+                .wrapping_mul(ROT_MUL)
+                .wrapping_add(self.cfg.jitter.seed);
+            self.rot_start = (self.rot_acc % n as u64) as usize;
+        }
+        self.rot_cycle = self.cycle;
+        debug_assert_eq!(
+            self.rot_start,
+            ((self
+                .cycle
+                .wrapping_mul(ROT_MUL)
+                .wrapping_add(self.cfg.jitter.seed))
+                % n as u64) as usize
+        );
+        self.rot_start
     }
 
     fn into_results(self) -> (RunMetrics, Vec<i64>, bool, Option<SanitizerReport>) {
@@ -696,86 +1015,7 @@ impl<'m> Machine<'m> {
         (metrics, self.mem, hit_limit, sanitizer)
     }
 
-    /// Take a [`Checkpoint`] of the current state (a pure read).
-    pub fn snapshot(&self) -> Checkpoint {
-        Checkpoint {
-            fingerprint: config_fingerprint(&self.cfg, self.module, self.threads.len()),
-            cycle: self.cycle,
-            threads: self.threads.clone(),
-            mem: self.mem.clone(),
-            locks: self.locks.clone(),
-            barriers: self.barriers.clone(),
-            hasher: self.hasher.clone(),
-            lock_order: self.lock_order.clone(),
-            done_count: self.done_count,
-            replay_pos: self.replay_pos,
-            commit_stall: self.commit_stall,
-            san: self.san.clone(),
-        }
-    }
-
-    /// Rebuild a machine from a checkpoint, continuing exactly where the
-    /// snapshot was taken. `module`, `cost`, and `cfg` must match what the
-    /// checkpoint was taken under — the structural fingerprint is checked
-    /// and a mismatch is refused rather than allowed to silently diverge.
-    /// The caller is responsible for passing the *same* compiled module
-    /// (byte-identical compiles, e.g. from a shared plan cache, qualify).
-    pub fn resume(
-        module: &'m Module,
-        cost: &'m CostModel,
-        cfg: MachineConfig,
-        ckpt: &Checkpoint,
-    ) -> Result<Machine<'m>, String> {
-        let fp = config_fingerprint(&cfg, module, ckpt.threads.len());
-        if fp != ckpt.fingerprint {
-            return Err(format!(
-                "checkpoint fingerprint mismatch: checkpoint 0x{:016x} vs machine 0x{:016x} \
-                 (different module, config, or thread count)",
-                ckpt.fingerprint, fp
-            ));
-        }
-        Ok(Machine {
-            module,
-            cost,
-            cfg,
-            threads: ckpt.threads.clone(),
-            mem: ckpt.mem.clone(),
-            locks: ckpt.locks.clone(),
-            barriers: ckpt.barriers.clone(),
-            hasher: ckpt.hasher.clone(),
-            lock_order: ckpt.lock_order.clone(),
-            cycle: ckpt.cycle,
-            done_count: ckpt.done_count,
-            replay_pos: ckpt.replay_pos,
-            commit_stall: ckpt.commit_stall,
-            san: ckpt.san.clone(),
-        })
-    }
-
-    /// The thread currently holding the deterministic turn: minimum
-    /// `(clock, tid)` among threads participating in arbitration.
-    fn compute_turn(&self) -> Option<u32> {
-        let mut best: Option<(u64, u32)> = None;
-        for (tid, th) in self.threads.iter().enumerate() {
-            let participates = matches!(
-                th.status,
-                Status::Ready
-                    | Status::AcquiringLock(_)
-                    | Status::AcquiringBarrier(_)
-                    | Status::ExitWait
-            );
-            if !participates {
-                continue;
-            }
-            let key = (th.clock, tid as u32);
-            if best.is_none_or(|b| key < b) {
-                best = Some(key);
-            }
-        }
-        best.map(|(_, tid)| tid)
-    }
-
-    fn step(&mut self, t: usize, turn: Option<u32>) {
+    fn step<B: ExecBackend>(&mut self, t: usize, turn: Option<u32>, exec: &B) {
         let det = self.cfg.mode.deterministic();
         let tid = t as u32;
         match self.threads[t].status {
@@ -866,11 +1106,11 @@ impl<'m> Machine<'m> {
                 if self.cfg.mode.bulk_sync().is_some() {
                     self.threads[t].quantum_left -= 1;
                 }
-                let mut action = self.exec_next(t);
+                let mut action = exec.exec_next(self, t);
                 // Skipped ticks are free: retry until a real instruction
                 // issues this cycle.
                 while matches!(action, Action::Free) {
-                    action = self.exec_next(t);
+                    action = exec.exec_next(self, t);
                 }
                 match action {
                     Action::None | Action::Free => {}
@@ -1031,24 +1271,8 @@ impl<'m> Machine<'m> {
 
     /// Charge `cost` cycles for the instruction just applied (1 cycle is
     /// consumed now; the remainder plus jitter occupies subsequent cycles).
-    fn charge(&mut self, t: usize, cost: u64) {
-        let th = &mut self.threads[t];
-        let extra = if self.cfg.jitter.prob_den > 0
-            && th.rng.gen_range(0..self.cfg.jitter.prob_den as u64)
-                < self.cfg.jitter.prob_num as u64
-        {
-            1 + th.rng.gen_range(0..self.cfg.jitter.max_extra.max(1))
-        } else {
-            0
-        };
-        th.pending = cost.saturating_sub(1) + extra;
-        th.m.busy_cycles += 1;
-    }
-
-    #[inline]
-    fn reg(&self, t: usize, r: Reg) -> i64 {
-        let th = &self.threads[t];
-        th.regs[th.frames.last().unwrap().reg_base + r.index()]
+    pub(crate) fn charge(&mut self, t: usize, cost: u64) {
+        charge_thread(&mut self.threads[t], &self.cfg.jitter, cost);
     }
 
     #[inline]
@@ -1058,23 +1282,36 @@ impl<'m> Machine<'m> {
         th.regs[base + r.index()] = v;
     }
 
+    /// Register read against a hoisted frame base — the hot-loop variant
+    /// that skips the per-access `frames.last()` lookup.
     #[inline]
-    fn operand(&self, t: usize, o: Operand) -> i64 {
+    pub(crate) fn reg_at(&self, t: usize, base: usize, r: Reg) -> i64 {
+        self.threads[t].regs[base + r.index()]
+    }
+
+    /// Register write against a hoisted frame base.
+    #[inline]
+    pub(crate) fn set_reg_at(&mut self, t: usize, base: usize, r: Reg, v: i64) {
+        self.threads[t].regs[base + r.index()] = v;
+    }
+
+    #[inline]
+    pub(crate) fn operand_at(&self, t: usize, base: usize, o: Operand) -> i64 {
         match o {
-            Operand::Reg(r) => self.reg(t, r),
+            Operand::Reg(r) => self.reg_at(t, base, r),
             Operand::Imm(v) => v,
         }
     }
 
     #[inline]
-    fn mem_index(&self, addr: i64) -> usize {
-        (addr.rem_euclid(self.mem.len() as i64)) as usize
+    pub(crate) fn mem_index(&self, addr: i64) -> usize {
+        mem_index_of(self.mem_mask, self.mem.len(), addr)
     }
 
     /// Sanitizer memory hook: record the access at the instruction site
     /// `frame` points at. A no-op (one null check) when sanitizing is off.
     #[inline]
-    fn san_access(&mut self, t: usize, word: usize, write: bool, frame: &Frame) {
+    pub(crate) fn san_access(&mut self, t: usize, word: usize, write: bool, frame: Frame) {
         if let Some(san) = self.san.as_deref_mut() {
             san.access(
                 t as u32,
@@ -1089,27 +1326,73 @@ impl<'m> Machine<'m> {
         }
     }
 
-    fn retired_store(&mut self, t: usize, count: u64) {
-        let th = &mut self.threads[t];
-        let before = th.m.retired_stores;
-        th.m.retired_stores += count;
-        th.round_stores += count;
-        if let ExecMode::Kendo(kp) = self.cfg.mode {
-            // The virtualized performance counter only surfaces at overflow
-            // interrupts: the clock advances in chunk_size units, and each
-            // interrupt costs cycles.
-            let chunks = th.m.retired_stores / kp.chunk_size - before / kp.chunk_size;
-            if chunks > 0 {
-                th.clock += chunks * kp.chunk_size;
-                th.pending += chunks * kp.interrupt_cost;
+    pub(crate) fn retired_store(&mut self, t: usize, count: u64) {
+        retire_stores(&mut self.threads[t], self.cfg.mode, count);
+    }
+
+    /// Shared builtin semantics: apply `builtin` to the already-evaluated
+    /// arguments, including the memset/memcpy memory side effects and
+    /// sanitizer hooks. Both backends call this, so the store-retirement
+    /// accounting and san-site order agree by construction.
+    #[inline]
+    pub(crate) fn apply_builtin(
+        &mut self,
+        t: usize,
+        builtin: detlock_ir::Builtin,
+        argv: &[i64],
+        size: i64,
+        frame: Frame,
+    ) -> i64 {
+        use detlock_ir::Builtin as B;
+        match builtin {
+            B::Memset => {
+                let (base, val, len) = (
+                    argv.first().copied().unwrap_or(0),
+                    argv.get(1).copied().unwrap_or(0),
+                    size.max(0),
+                );
+                for k in 0..len.min(self.mem.len() as i64) {
+                    let idx = self.mem_index(base.wrapping_add(k));
+                    self.mem[idx] = val;
+                    self.san_access(t, idx, true, frame);
+                }
+                self.retired_store(t, len.max(0) as u64);
+                0
             }
+            B::Memcpy => {
+                let (d, s, len) = (
+                    argv.first().copied().unwrap_or(0),
+                    argv.get(1).copied().unwrap_or(0),
+                    size.max(0),
+                );
+                for k in 0..len.min(self.mem.len() as i64) {
+                    let si = self.mem_index(s.wrapping_add(k));
+                    let di = self.mem_index(d.wrapping_add(k));
+                    self.mem[di] = self.mem[si];
+                    self.san_access(t, si, false, frame);
+                    self.san_access(t, di, true, frame);
+                }
+                self.retired_store(t, len.max(0) as u64);
+                0
+            }
+            B::Sqrt => builtins::isqrt(argv.first().copied().unwrap_or(0)),
+            B::Sin => builtins::fixed_sin(argv.first().copied().unwrap_or(0)),
+            B::Cos => builtins::fixed_cos(argv.first().copied().unwrap_or(0)),
+            B::Exp => builtins::fixed_exp(argv.first().copied().unwrap_or(0)),
+            B::Log => builtins::ilog2(argv.first().copied().unwrap_or(0)),
+            B::Rand => builtins::xorshift64(argv.first().copied().unwrap_or(0)),
         }
     }
 
-    /// Fetch, apply, and charge the next instruction (or terminator) of
-    /// thread `t`. Returns the synchronization action, if any.
-    fn exec_next(&mut self, t: usize) -> Action {
-        let frame = self.threads[t].frames.last().unwrap().clone();
+    /// The interpreter's fetch/apply/charge (see [`InterpBackend`]). The
+    /// function/block/frame state is re-derived from the IR each step; the
+    /// frame is `Copy` and the register base is hoisted once, so the loop
+    /// carries no per-step allocation or repeated `frames.last()` walks.
+    fn interp_exec_next(&mut self, t: usize) -> Action {
+        let frame = *self.threads[t].frames.last().unwrap();
+        let base = frame.reg_base;
+        // `module` is a `&'m` field, so these borrows are independent of
+        // `self` and stay live across the mutations below.
         let func = &self.module.functions[frame.func.index()];
         let block = &func.blocks[frame.block.index()];
 
@@ -1129,7 +1412,7 @@ impl<'m> Machine<'m> {
                     then_bb,
                     else_bb,
                 } => {
-                    let c = self.reg(t, *cond);
+                    let c = self.reg_at(t, base, *cond);
                     let f = self.threads[t].frames.last_mut().unwrap();
                     f.block = if c != 0 { *then_bb } else { *else_bb };
                     f.ip = 0;
@@ -1139,7 +1422,7 @@ impl<'m> Machine<'m> {
                     cases,
                     default,
                 } => {
-                    let d = self.reg(t, *disc);
+                    let d = self.reg_at(t, base, *disc);
                     let target = cases
                         .iter()
                         .find(|(v, _)| *v == d)
@@ -1150,7 +1433,7 @@ impl<'m> Machine<'m> {
                     f.ip = 0;
                 }
                 Terminator::Ret { value } => {
-                    let v = value.map(|o| self.operand(t, o));
+                    let v = value.map(|o| self.operand_at(t, base, o));
                     let th = &mut self.threads[t];
                     let popped = th.frames.pop().unwrap();
                     th.regs.truncate(popped.reg_base);
@@ -1173,22 +1456,22 @@ impl<'m> Machine<'m> {
             Inst::Const { dst, value } => {
                 let (dst, value) = (*dst, *value);
                 self.threads[t].m.instructions += 1;
-                self.set_reg(t, dst, value);
+                self.set_reg_at(t, base, dst, value);
                 self.charge(t, self.cost.alu);
             }
             Inst::Mov { dst, src } => {
                 let (dst, src) = (*dst, *src);
                 self.threads[t].m.instructions += 1;
-                let v = self.operand(t, src);
-                self.set_reg(t, dst, v);
+                let v = self.operand_at(t, base, src);
+                self.set_reg_at(t, base, dst, v);
                 self.charge(t, self.cost.alu);
             }
             Inst::Bin { op, dst, lhs, rhs } => {
                 let (op, dst, lhs, rhs) = (*op, *dst, *lhs, *rhs);
                 self.threads[t].m.instructions += 1;
-                let a = self.reg(t, lhs);
-                let b = self.operand(t, rhs);
-                self.set_reg(t, dst, op.apply(a, b));
+                let a = self.reg_at(t, base, lhs);
+                let b = self.operand_at(t, base, rhs);
+                self.set_reg_at(t, base, dst, op.apply(a, b));
                 let c = match op {
                     detlock_ir::BinOp::Mul => self.cost.mul,
                     detlock_ir::BinOp::Div | detlock_ir::BinOp::Rem => self.cost.div,
@@ -1199,29 +1482,29 @@ impl<'m> Machine<'m> {
             Inst::Cmp { op, dst, lhs, rhs } => {
                 let (op, dst, lhs, rhs) = (*op, *dst, *lhs, *rhs);
                 self.threads[t].m.instructions += 1;
-                let a = self.reg(t, lhs);
-                let b = self.operand(t, rhs);
-                self.set_reg(t, dst, op.apply(a, b));
+                let a = self.reg_at(t, base, lhs);
+                let b = self.operand_at(t, base, rhs);
+                self.set_reg_at(t, base, dst, op.apply(a, b));
                 self.charge(t, self.cost.alu);
             }
             Inst::Load { dst, addr, offset } => {
                 let (dst, addr, offset) = (*dst, *addr, *offset);
                 self.threads[t].m.instructions += 1;
-                let a = self.reg(t, addr).wrapping_add(offset);
+                let a = self.reg_at(t, base, addr).wrapping_add(offset);
                 let idx = self.mem_index(a);
                 let v = self.mem[idx];
-                self.san_access(t, idx, false, &frame);
-                self.set_reg(t, dst, v);
+                self.san_access(t, idx, false, frame);
+                self.set_reg_at(t, base, dst, v);
                 self.charge(t, self.cost.load);
             }
             Inst::Store { src, addr, offset } => {
                 let (src, addr, offset) = (*src, *addr, *offset);
                 self.threads[t].m.instructions += 1;
-                let a = self.reg(t, addr).wrapping_add(offset);
-                let v = self.operand(t, src);
+                let a = self.reg_at(t, base, addr).wrapping_add(offset);
+                let v = self.operand_at(t, base, src);
                 let idx = self.mem_index(a);
                 self.mem[idx] = v;
-                self.san_access(t, idx, true, &frame);
+                self.san_access(t, idx, true, frame);
                 self.charge(t, self.cost.store);
                 self.retired_store(t, 1);
             }
@@ -1229,13 +1512,20 @@ impl<'m> Machine<'m> {
                 let callee_id = *func;
                 let dst = *dst;
                 self.threads[t].m.instructions += 1;
-                let argv: Vec<i64> = args.iter().map(|&a| self.operand(t, a)).collect();
                 let callee = &self.module.functions[callee_id.index()];
-                let th = &mut self.threads[t];
-                let reg_base = th.regs.len();
-                th.regs.resize(reg_base + callee.num_regs as usize, 0);
-                th.regs[reg_base..reg_base + argv.len()].copy_from_slice(&argv);
-                th.frames.push(Frame {
+                // Grow the register file first, then evaluate arguments
+                // straight into the callee's slots: the caller's registers
+                // live below `reg_base`, so the resize cannot disturb them
+                // and no temporary argument vector is needed.
+                let reg_base = self.threads[t].regs.len();
+                self.threads[t]
+                    .regs
+                    .resize(reg_base + callee.num_regs as usize, 0);
+                for (i, &a) in args.iter().enumerate() {
+                    let v = self.operand_at(t, base, a);
+                    self.threads[t].regs[reg_base + i] = v;
+                }
+                self.threads[t].frames.push(Frame {
                     func: callee_id,
                     block: BlockId(0),
                     ip: 0,
@@ -1254,51 +1544,16 @@ impl<'m> Machine<'m> {
                 let dst = *dst;
                 let size_arg = *size_arg;
                 self.threads[t].m.instructions += 1;
-                let argv: Vec<i64> = args.iter().map(|&a| self.operand(t, a)).collect();
+                let mut argv = std::mem::take(&mut self.scratch_args);
+                argv.clear();
+                argv.extend(args.iter().map(|&a| self.operand_at(t, base, a)));
                 let est = self.cost.builtin(builtin);
                 let size = size_arg.and_then(|i| argv.get(i).copied()).unwrap_or(0);
                 let cycles = est.eval(size);
-                use detlock_ir::Builtin as B;
-                let result = match builtin {
-                    B::Memset => {
-                        let (base, val, len) = (
-                            argv.first().copied().unwrap_or(0),
-                            argv.get(1).copied().unwrap_or(0),
-                            size.max(0),
-                        );
-                        for k in 0..len.min(self.mem.len() as i64) {
-                            let idx = self.mem_index(base.wrapping_add(k));
-                            self.mem[idx] = val;
-                            self.san_access(t, idx, true, &frame);
-                        }
-                        self.retired_store(t, len.max(0) as u64);
-                        0
-                    }
-                    B::Memcpy => {
-                        let (d, s, len) = (
-                            argv.first().copied().unwrap_or(0),
-                            argv.get(1).copied().unwrap_or(0),
-                            size.max(0),
-                        );
-                        for k in 0..len.min(self.mem.len() as i64) {
-                            let si = self.mem_index(s.wrapping_add(k));
-                            let di = self.mem_index(d.wrapping_add(k));
-                            self.mem[di] = self.mem[si];
-                            self.san_access(t, si, false, &frame);
-                            self.san_access(t, di, true, &frame);
-                        }
-                        self.retired_store(t, len.max(0) as u64);
-                        0
-                    }
-                    B::Sqrt => builtins::isqrt(argv.first().copied().unwrap_or(0)),
-                    B::Sin => builtins::fixed_sin(argv.first().copied().unwrap_or(0)),
-                    B::Cos => builtins::fixed_cos(argv.first().copied().unwrap_or(0)),
-                    B::Exp => builtins::fixed_exp(argv.first().copied().unwrap_or(0)),
-                    B::Log => builtins::ilog2(argv.first().copied().unwrap_or(0)),
-                    B::Rand => builtins::xorshift64(argv.first().copied().unwrap_or(0)),
-                };
+                let result = self.apply_builtin(t, builtin, &argv, size, frame);
+                self.scratch_args = argv;
                 if let Some(d) = dst {
-                    self.set_reg(t, d, result);
+                    self.set_reg_at(t, base, d, result);
                 }
                 self.charge(t, cycles.max(1));
             }
@@ -1316,16 +1571,16 @@ impl<'m> Machine<'m> {
                 }
             }
             Inst::TickDyn {
-                base,
+                base: tick_base,
                 per_unit,
                 size,
             } => {
-                let (base, per_unit, size) = (*base, *per_unit, *size);
+                let (tick_base, per_unit, size) = (*tick_base, *per_unit, *size);
                 if self.cfg.mode.executes_ticks() {
                     self.threads[t].m.instructions += 1;
                     self.threads[t].m.ticks_executed += 1;
-                    let s = self.operand(t, size).max(0) as u64;
-                    self.threads[t].clock += base + per_unit * s;
+                    let s = self.operand_at(t, base, size).max(0) as u64;
+                    self.threads[t].clock += tick_base + per_unit * s;
                     self.charge(t, self.cost.tick + self.cost.tick_dyn_extra);
                 } else {
                     return Action::Free;
@@ -1334,13 +1589,13 @@ impl<'m> Machine<'m> {
             Inst::Lock { id } => {
                 let id = *id;
                 self.threads[t].m.instructions += 1;
-                let v = self.operand(t, id);
+                let v = self.operand_at(t, base, id);
                 return Action::Lock(v);
             }
             Inst::Unlock { id } => {
                 let id = *id;
                 self.threads[t].m.instructions += 1;
-                let v = self.operand(t, id);
+                let v = self.operand_at(t, base, id);
                 return Action::Unlock(v);
             }
             Inst::Barrier { id } => {
@@ -1350,6 +1605,66 @@ impl<'m> Machine<'m> {
             }
         }
         Action::None
+    }
+}
+
+/// Wrap `addr` into the memory of size `len` (`mask = len - 1` when `len`
+/// is a power of two). The mask path equals `rem_euclid` exactly: in
+/// two's complement, `addr as u64` is `addr + 2^64` for negative `addr`,
+/// and `len` divides `2^64`, so masking yields the Euclidean residue
+/// without the 64-bit division `rem_euclid` costs per load/store.
+#[inline]
+pub(crate) fn mem_index_of(mask: Option<u64>, len: usize, addr: i64) -> usize {
+    match mask {
+        Some(m) => (addr as u64 & m) as usize,
+        None => addr.rem_euclid(len as i64) as usize,
+    }
+}
+
+/// [`DetCore::charge`] over one thread's state: a free function so a
+/// backend holding disjoint field borrows on the core can charge without
+/// re-borrowing `&mut DetCore`. The jitter draw sequence on `th.rng` is
+/// positional — every backend must call this exactly where the
+/// interpreter would, or trace hashes diverge.
+#[inline]
+pub(crate) fn charge_thread(th: &mut Thread, jitter: &Jitter, cost: u64) {
+    th.pending = charge_amount(th, jitter, cost);
+    th.m.busy_cycles += 1;
+}
+
+/// The countdown a charge of `cost` earns: draws the jitter RNG exactly
+/// like [`charge_thread`] but leaves `pending` and `busy_cycles` for the
+/// caller — the fused-run path in the threaded backend accumulates several
+/// charges (in program order, preserving the positional draw sequence)
+/// into one combined countdown.
+#[inline]
+pub(crate) fn charge_amount(th: &mut Thread, jitter: &Jitter, cost: u64) -> u64 {
+    let extra = if jitter.prob_den > 0
+        && th.rng.gen_range(0..jitter.prob_den as u64) < jitter.prob_num as u64
+    {
+        1 + th.rng.gen_range(0..jitter.max_extra.max(1))
+    } else {
+        0
+    };
+    cost.saturating_sub(1) + extra
+}
+
+/// [`DetCore::retired_store`] over one thread's state (a free function for
+/// the same reason as [`charge_thread`]).
+#[inline]
+pub(crate) fn retire_stores(th: &mut Thread, mode: ExecMode, count: u64) {
+    let before = th.m.retired_stores;
+    th.m.retired_stores += count;
+    th.round_stores += count;
+    if let ExecMode::Kendo(kp) = mode {
+        // The virtualized performance counter only surfaces at overflow
+        // interrupts: the clock advances in chunk_size units, and each
+        // interrupt costs cycles.
+        let chunks = th.m.retired_stores / kp.chunk_size - before / kp.chunk_size;
+        if chunks > 0 {
+            th.clock += chunks * kp.chunk_size;
+            th.pending += chunks * kp.interrupt_cost;
+        }
     }
 }
 

@@ -229,3 +229,78 @@ fn checkpoint_interval_does_not_leak_into_the_receipt() {
         }
     }
 }
+
+/// The threaded-code backend runs under the same checkpoint machinery:
+/// a maximal-interruption resume chain (preempted at every boundary) must
+/// reproduce the uninterrupted run bit-for-bit — metrics, memory, and the
+/// sanitizer report. Because the checkpoint fingerprint deliberately
+/// excludes the backend (both engines are differentially bit-identical),
+/// the chain also alternates backends across resumes: a snapshot taken
+/// under the interpreter resumes under the threaded engine and vice versa,
+/// and the result must still match.
+#[test]
+fn threaded_and_cross_backend_resume_match_run_from_zero() {
+    use detlock_bench::{instrumented, machine_config, thread_specs};
+    use detlock_passes::cost::CostModel;
+    use detlock_passes::plan::Placement;
+    use detlock_vm::machine::{CkptControl, ExecMode, Machine, RunOutcome};
+    use detlock_vm::Backend;
+
+    let cost = CostModel::default();
+    for w in detlock_workloads::all_benchmarks(2, 0.02) {
+        let inst = instrumented(&w, &cost, OptLevel::All, Placement::Start);
+        let specs = thread_specs(&w);
+        let mut cfg = machine_config(&w, ExecMode::Det, 11);
+        cfg.sanitize = true;
+
+        // Reference: uninterrupted, interpreter (the oracle).
+        cfg.backend = Backend::Interp;
+        let (m_ref, mem_ref, hit, san_ref) =
+            Machine::new(&inst.module, &cost, &specs, cfg.clone()).run_sanitized();
+        assert!(!hit, "{}: reference hit the cycle limit", w.name);
+
+        // One chain per resume policy: always-threaded, and alternating
+        // backends across the chain (cross-backend restore).
+        for policy in ["threaded", "alternate"] {
+            let mut resume = None;
+            let mut rounds = 0u64;
+            let (m, mem, san) = loop {
+                let mut cfg = cfg.clone();
+                cfg.backend = match (policy, rounds % 2) {
+                    ("threaded", _) | ("alternate", 1) => Backend::Threaded,
+                    _ => Backend::Interp,
+                };
+                let machine = match &resume {
+                    Some(ck) => Machine::resume(&inst.module, &cost, cfg, ck)
+                        .expect("cross-backend resume must pass the fingerprint check"),
+                    None => Machine::new(&inst.module, &cost, &specs, cfg),
+                };
+                let mut taken = None;
+                match machine.run_with_checkpoints(512, &mut |ck| {
+                    taken = Some(ck.clone());
+                    CkptControl::Abort
+                }) {
+                    RunOutcome::Finished {
+                        metrics,
+                        memory,
+                        hit_limit,
+                        sanitizer,
+                    } => {
+                        assert!(!hit_limit);
+                        break (metrics, memory, sanitizer);
+                    }
+                    RunOutcome::Aborted { .. } => {
+                        rounds += 1;
+                        resume = taken;
+                    }
+                }
+                assert!(rounds < 100_000, "resume chain never converged");
+            };
+            assert!(rounds > 0, "{}: interval too coarse to interrupt", w.name);
+            let ctx = format!("{} / {policy}", w.name);
+            assert_eq!(m, m_ref, "metrics diverged: {ctx}");
+            assert_eq!(mem, mem_ref, "memory diverged: {ctx}");
+            assert_eq!(san, san_ref, "sanitizer report diverged: {ctx}");
+        }
+    }
+}
