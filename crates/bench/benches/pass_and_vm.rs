@@ -87,7 +87,7 @@ fn bench_vm_throughput() {
         ("baseline", ExecMode::Baseline),
         ("clocks_only", ExecMode::ClocksOnly),
         ("det", ExecMode::Det),
-        ("kendo", ExecMode::Kendo(detlock_vm::KendoParams::default())),
+        ("kendo", ExecMode::Kendo),
     ] {
         bench(&format!("vm_raytrace/{name}"), 5, || {
             black_box(run(&inst.module, &cost, &specs, mk(mode)));

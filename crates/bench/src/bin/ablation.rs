@@ -20,6 +20,7 @@ use detlock_passes::pipeline::{instrument, instrument_with, OptConfig};
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
 use detlock_vm::machine::{run, ExecMode};
+use detlock_vm::{ChunkParams, Sched};
 use detlock_workloads::Workload;
 
 fn overheads(w: &Workload, cost: &CostModel, cfg: &OptConfig, seed: u64) -> (f64, f64, usize) {
@@ -199,16 +200,12 @@ fn main() {
             let base = run_baseline(&w, &cost, opts.seed);
             let specs = thread_specs(&w);
             for chunk in [128u64, 512, 2048, 8192, 32768] {
-                let mode = ExecMode::Kendo(detlock_vm::KendoParams {
+                let mut mc = machine_config(&w, ExecMode::Kendo, opts.seed);
+                mc.scheduler = Sched::Chunk(ChunkParams {
                     chunk_size: chunk,
                     ..Default::default()
                 });
-                let (k, hit) = run(
-                    &w.module,
-                    &cost,
-                    &specs,
-                    machine_config(&w, mode, opts.seed),
-                );
+                let (k, hit) = run(&w.module, &cost, &specs, mc);
                 assert!(!hit);
                 if text {
                     println!("{:<12}{:>10}{:>13.1}%", name, chunk, k.overhead_pct(&base));
@@ -461,6 +458,69 @@ fn main() {
         );
     }
 
+    // 9. Scheduler overhead: the same deterministic run (all opts, Det
+    // mode, interpreter timing semantics) under each arbitration policy.
+    // Simulated cycles differ legitimately across policies — each is
+    // internally deterministic but orders contended acquires differently —
+    // so this section reports per-policy cycles and the overhead factor
+    // over the Kendo reference. Perfgate bounds the worst factor.
+    if text {
+        println!("\n== scheduler overhead (all opts, det mode) ==");
+        println!(
+            "{:<12}{:>14}{:>14}{:>14}{:>10}{:>10}",
+            "benchmark", "kendo cyc", "chunk cyc", "dc-batch cyc", "chunk x", "dc x"
+        );
+    }
+    let mut sched_rows: Vec<Json> = Vec::new();
+    let (mut kendo_cyc_total, mut chunk_cyc_total, mut dc_cyc_total) = (0u64, 0u64, 0u64);
+    for w in opts.workloads_at(scale) {
+        let inst = instrument(
+            &w.module,
+            &cost,
+            &OptConfig::all(),
+            Placement::Start,
+            &w.entries,
+        );
+        let specs = thread_specs(&w);
+        let cycles = |sched: Sched| -> u64 {
+            let mut cfg = machine_config(&w, ExecMode::Det, opts.seed);
+            cfg.scheduler = sched;
+            let (metrics, hit) = run(&inst.module, &cost, &specs, cfg);
+            assert!(!hit, "{}: {sched} hit the cycle limit", w.name);
+            metrics.cycles
+        };
+        let kendo = cycles(Sched::Kendo);
+        let chunk = cycles(Sched::Chunk(ChunkParams::default()));
+        let dc = cycles(Sched::DcBatch);
+        kendo_cyc_total += kendo;
+        chunk_cyc_total += chunk;
+        dc_cyc_total += dc;
+        let chunk_x = chunk as f64 / kendo.max(1) as f64;
+        let dc_x = dc as f64 / kendo.max(1) as f64;
+        if text {
+            println!(
+                "{:<12}{:>14}{:>14}{:>14}{:>9.2}x{:>9.2}x",
+                w.name, kendo, chunk, dc, chunk_x, dc_x
+            );
+        }
+        sched_rows.push(Json::obj([
+            ("name", w.name.to_json()),
+            ("kendo_cycles", kendo.to_json()),
+            ("chunk_cycles", chunk.to_json()),
+            ("dc_batch_cycles", dc.to_json()),
+            ("chunk_overhead", chunk_x.to_json()),
+            ("dc_batch_overhead", dc_x.to_json()),
+        ]));
+    }
+    let chunk_total_x = chunk_cyc_total as f64 / kendo_cyc_total.max(1) as f64;
+    let dc_total_x = dc_cyc_total as f64 / kendo_cyc_total.max(1) as f64;
+    if text {
+        println!(
+            "{:<12}{:>14}{:>14}{:>14}{:>9.2}x{:>9.2}x",
+            "TOTAL", kendo_cyc_total, chunk_cyc_total, dc_cyc_total, chunk_total_x, dc_total_x
+        );
+    }
+
     opts.emit_json(&Json::obj([
         ("o2a_vs_o2b", Json::Arr(o2_rows)),
         ("o1_thresholds", Json::Arr(o1_rows)),
@@ -486,6 +546,17 @@ fn main() {
                 ("threaded_total_ns", threaded_total.to_json()),
                 ("total_speedup", backend_speedup.to_json()),
                 ("workloads", Json::Arr(backend_rows)),
+            ]),
+        ),
+        (
+            "schedulers",
+            Json::obj([
+                ("kendo_total_cycles", kendo_cyc_total.to_json()),
+                ("chunk_total_cycles", chunk_cyc_total.to_json()),
+                ("dc_batch_total_cycles", dc_cyc_total.to_json()),
+                ("chunk_total_overhead", chunk_total_x.to_json()),
+                ("dc_batch_total_overhead", dc_total_x.to_json()),
+                ("workloads", Json::Arr(sched_rows)),
             ]),
         ),
     ]));

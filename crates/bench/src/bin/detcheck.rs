@@ -10,6 +10,11 @@
 //! dynamic races or lock cycles, else a `confirmed/unobserved/refuted`
 //! triage of the static findings (see `detlock-analyze`'s `triage`).
 //!
+//! A final probe checks the checkpoint/scheduler safety contract: a
+//! snapshot taken under one arbitration policy must *refuse* to resume
+//! under another with the typed `SchedulerMismatch` error. A broken
+//! refusal exits 3 (distinct from exit 1, a determinism violation).
+//!
 //! ```text
 //! cargo run -p detlock-bench --release --bin detcheck [--scale F]
 //! ```
@@ -24,7 +29,45 @@ use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
 use detlock_vm::determinism::check_determinism;
-use detlock_vm::machine::ExecMode;
+use detlock_vm::machine::{CkptControl, ExecMode, Machine, ResumeError};
+use detlock_vm::Sched;
+
+/// The scheduler/checkpoint safety probe: snapshots are scheduler-keyed,
+/// so resuming a Kendo checkpoint under `dc-batch` must fail with the
+/// typed mismatch — never silently run under the wrong policy. Returns
+/// `false` (exit 3 at the call site) when the refusal contract is broken.
+fn scheduler_restore_refusal_holds(opts: &CliOptions, cost: &CostModel) -> bool {
+    let Some(w) = detlock_workloads::by_name("ocean", opts.threads, 0.02) else {
+        return false;
+    };
+    let mut cfg = machine_config(&w, ExecMode::Det, opts.seed);
+    cfg.scheduler = Sched::Kendo;
+    let mut taken = None;
+    let outcome = Machine::new(&w.module, cost, &thread_specs(&w), cfg.clone())
+        .run_with_checkpoints(256, &mut |ck| {
+            taken = Some(ck.clone());
+            CkptControl::Abort
+        });
+    let Some(ckpt) = taken else {
+        eprintln!("detcheck: scheduler probe took no checkpoint ({outcome:?})");
+        return false;
+    };
+    let mut other = cfg.clone();
+    other.scheduler = Sched::DcBatch;
+    match Machine::resume(&w.module, cost, other, &ckpt) {
+        Err(ResumeError::SchedulerMismatch { .. }) => {
+            Machine::resume(&w.module, cost, cfg, &ckpt).is_ok()
+        }
+        Err(e) => {
+            eprintln!("detcheck: expected SchedulerMismatch, got {e}");
+            false
+        }
+        Ok(_) => {
+            eprintln!("detcheck: checkpoint resumed under the wrong scheduler");
+            false
+        }
+    }
+}
 
 fn main() {
     let opts = CliOptions::parse();
@@ -143,4 +186,9 @@ fn main() {
         eprintln!("\n{failures} workload(s) violated weak determinism");
         std::process::exit(1);
     }
+    if !scheduler_restore_refusal_holds(&opts, &cost) {
+        eprintln!("\nscheduler/checkpoint refusal contract violated");
+        std::process::exit(3);
+    }
+    println!("scheduler restore-mismatch refusal: PASS");
 }

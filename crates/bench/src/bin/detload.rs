@@ -16,7 +16,7 @@
 //!     [--ready-file PATH] [--rate JOBS_PER_SEC] [--jobs N] [--threads N] \
 //!     [--scale F] [--seeds A,B,C] [--json] [--out BENCH_serve.json] \
 //!     [--net-faults SEED] [--crash-faults SEED] [--cross-backends] \
-//!     [--shutdown]
+//!     [--schedulers kendo,chunk,dc-batch] [--shutdown]
 //! ```
 //!
 //! `--ready-file PATH` waits for `detserved --ready-file PATH` to publish
@@ -41,6 +41,12 @@
 //! threaded — be byte-identical. This is the end-to-end form of the
 //! differential-oracle guarantee: whatever engine the server happens to
 //! run, the receipt is a property of the program, not of the engine.
+//!
+//! `--schedulers kendo,chunk,dc-batch` re-executes every unique job spec
+//! locally under each listed arbitration policy **twice** and demands the
+//! two receipts per policy be byte-identical. Unlike backends, policies
+//! legitimately differ from each other — the sweep certifies that each is
+//! internally deterministic, not that they agree.
 
 use detlock_bench::CliOptions;
 use detlock_passes::pipeline::OptLevel;
@@ -223,6 +229,7 @@ fn main() {
     let mut net_seed: Option<u64> = None;
     let mut crash_seed: Option<u64> = None;
     let mut cross_backends = false;
+    let mut sched_sweep: Vec<detlock_vm::Sched> = Vec::new();
     let mut opts = CliOptions::parse_with(|flag, args, i| {
         match flag {
             "--addr" => {
@@ -250,6 +257,14 @@ fn main() {
                 crash_seed = Some(args[*i].parse().expect("--crash-faults SEED"));
             }
             "--cross-backends" => cross_backends = true,
+            "--schedulers" => {
+                *i += 1;
+                sched_sweep = args[*i]
+                    .split(',')
+                    .map(|s| detlock_vm::Sched::parse(s.trim()).unwrap_or_else(|e| panic!("{e}")))
+                    .collect();
+                assert!(!sched_sweep.is_empty(), "--schedulers needs at least one");
+            }
             "--shutdown" => do_shutdown = true,
             _ => return false,
         }
@@ -289,6 +304,7 @@ fn main() {
                 seed: *seed,
                 opt: OptLevel::All,
                 sanitize: false,
+                scheduler: opts.scheduler,
             });
         }
     }
@@ -389,6 +405,45 @@ fn main() {
     }
     let backends_identical = backend_mismatches.is_empty();
 
+    // Scheduler sweep: every unique job spec re-executed locally under
+    // each listed policy, twice per policy. The two receipts per policy
+    // must be byte-identical (internal determinism); the policies may —
+    // and on contended workloads do — differ from one another.
+    let mut sched_compared = 0u64;
+    let mut sched_mismatches: Vec<Json> = Vec::new();
+    if !sched_sweep.is_empty() {
+        use detlock_serve::shard::ShardEngine;
+        let mut engine = ShardEngine::new(usize::MAX - 2);
+        let mut seen = std::collections::HashSet::new();
+        for spec in &jobs {
+            if !seen.insert(spec.identity_key()) {
+                continue;
+            }
+            for &sched in &sched_sweep {
+                let mut spec = spec.clone();
+                spec.scheduler = sched;
+                let pair: Vec<String> = (0..2)
+                    .map(|_| {
+                        engine
+                            .execute(&spec, u64::MAX)
+                            .map(|r| r.canonical())
+                            .unwrap_or_else(|e| format!("local execution failed: {e}"))
+                    })
+                    .collect();
+                sched_compared += 1;
+                if pair[0] != pair[1] {
+                    sched_mismatches.push(Json::obj([
+                        ("job", spec.identity_key().to_json()),
+                        ("scheduler", sched.spec().to_json()),
+                        ("run1", pair[0].to_json()),
+                        ("run2", pair[1].to_json()),
+                    ]));
+                }
+            }
+        }
+    }
+    let schedulers_stable = sched_mismatches.is_empty();
+
     let server_stats = Client::connect(&addr)
         .and_then(|mut c| c.stats())
         .unwrap_or_else(|e| Json::obj([("error", format!("stats: {e}").to_json())]));
@@ -450,6 +505,23 @@ fn main() {
                 ("backend_mismatches", Json::Arr(backend_mismatches)),
             ]),
         ),
+        (
+            "schedulers",
+            Json::obj([
+                (
+                    "swept",
+                    Json::Arr(
+                        sched_sweep
+                            .iter()
+                            .map(|s| s.spec().to_json())
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("sched_receipts_compared", sched_compared.to_json()),
+                ("sched_receipts_stable", schedulers_stable.to_json()),
+                ("sched_mismatches", Json::Arr(sched_mismatches)),
+            ]),
+        ),
         ("server_stats", server_stats),
     ]);
     opts.emit_json(&report);
@@ -496,6 +568,17 @@ fn main() {
                 }
             );
         }
+        if !sched_sweep.is_empty() {
+            eprintln!(
+                "scheduler sweep: {} (spec, policy) cells x 2 runs, {}",
+                sched_compared,
+                if schedulers_stable {
+                    "all per-policy receipts stable"
+                } else {
+                    "MISMATCH"
+                }
+            );
+        }
     }
 
     if do_shutdown {
@@ -515,6 +598,9 @@ fn main() {
     }
     if cross_backends && (!backends_identical || backend_compared == 0) {
         failures.push("cross-backend receipt mismatch (or nothing comparable)");
+    }
+    if !sched_sweep.is_empty() && (!schedulers_stable || sched_compared == 0) {
+        failures.push("per-scheduler receipt instability (or nothing comparable)");
     }
     if !failures.is_empty() {
         eprintln!("detload: FAIL ({})", failures.join("; "));

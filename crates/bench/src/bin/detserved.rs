@@ -9,7 +9,8 @@
 //! cargo run -p detlock-bench --release --bin detserved -- \
 //!     [--addr HOST:PORT] [--shards N] [--queue N] [--max-retries N] \
 //!     [--budget CYCLES] [--watchdog-ms MS] [--compile-threads N] \
-//!     [--backend interp|threaded] [--checkpoint-interval CYCLES] \
+//!     [--backend interp|threaded] [--scheduler kendo|chunk|dc-batch] \
+//!     [--checkpoint-interval CYCLES] \
 //!     [--cycle-slice CYCLES] [--net-faults SEED] [--crash-faults SEED] \
 //!     [--ready-file PATH]
 //! ```
@@ -19,7 +20,10 @@
 //! output at any setting; also settable via `DETLOCK_COMPILE_THREADS`).
 //! `--backend` picks the execution engine every shard runs jobs on
 //! (byte-identical receipts either way; also settable via
-//! `DETLOCK_BACKEND`).
+//! `DETLOCK_BACKEND`). `--scheduler` sets the default arbitration policy
+//! for jobs whose request does not name one (also settable via
+//! `DETLOCK_SCHEDULER`); unlike the backend it is part of job identity,
+//! and per-request `scheduler` fields override it.
 //! `--checkpoint-interval 0` disables checkpointing (crash recovery then
 //! requeues cold); `--cycle-slice N` preempts jobs every N cycles of
 //! progress so long jobs share shards. `--net-faults` / `--crash-faults`
@@ -62,6 +66,11 @@ fn main() {
                 i += 1;
                 cfg.backend =
                     detlock_vm::Backend::parse(&args[i]).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--scheduler" => {
+                i += 1;
+                cfg.scheduler =
+                    detlock_vm::Sched::parse(&args[i]).unwrap_or_else(|e| panic!("{e}"));
             }
             "--ready-file" => {
                 i += 1;
@@ -125,7 +134,8 @@ fn main() {
     }
     eprintln!(
         "shards={} queue={} max_retries={} budget={} watchdog={:?} compile_threads={} \
-         backend={} checkpoint_interval={} cycle_slice={} net_faults={:?} crash_faults={:?}",
+         backend={} scheduler={} checkpoint_interval={} cycle_slice={} net_faults={:?} \
+         crash_faults={:?}",
         cfg.shards,
         cfg.queue_capacity,
         cfg.max_retries,
@@ -133,6 +143,7 @@ fn main() {
         cfg.watchdog,
         cfg.compile_threads,
         cfg.backend,
+        cfg.scheduler,
         cfg.checkpoint_interval,
         cfg.cycle_slice,
         cfg.net_faults.map(|p| p.seed),

@@ -12,6 +12,7 @@
 //!          [--baseline-serve FILE --current-serve FILE]
 //!          [--max-regress-pct PCT]      # default 25
 //!          [--min-backend-speedup F]    # default 1.5; 0 disables the check
+//!          [--max-sched-overhead F]     # default 3.0; 0 disables the check
 //!          [--slowdown F]               # scale current wall times (negative control)
 //!          [--out diff.json]            # machine-readable diff artifact
 //! ```
@@ -48,7 +49,7 @@ fn usage() -> ! {
         "usage: perfgate [--baseline-passes FILE --current-passes FILE]\n\
          \x20               [--baseline-serve FILE --current-serve FILE]\n\
          \x20               [--max-regress-pct PCT] [--min-backend-speedup F]\n\
-         \x20               [--slowdown F] [--out FILE]"
+         \x20               [--max-sched-overhead F] [--slowdown F] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -223,6 +224,34 @@ fn check_backends(current: &Json, min_speedup: f64, checks: &mut Vec<Check>) {
     });
 }
 
+/// Alternative schedulers may cost simulated cycles relative to the Kendo
+/// reference, but not unboundedly: gate the worst per-policy total
+/// overhead factor from the `schedulers` ablation section against a
+/// ceiling. Like the backend floor this is an absolute bar, not a
+/// baseline-relative one.
+fn check_schedulers(current: &Json, max_overhead: f64, checks: &mut Vec<Check>) {
+    let Some(section) = current.get("schedulers") else {
+        checks.push(Check {
+            name: "passes/scheduler-overhead".to_string(),
+            ok: false,
+            detail: "current report has no schedulers section".to_string(),
+        });
+        return;
+    };
+    let factor = |key: &str| section.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let chunk = factor("chunk_total_overhead");
+    let dc = factor("dc_batch_total_overhead");
+    let worst = chunk.max(dc);
+    checks.push(Check {
+        name: "passes/scheduler-overhead".to_string(),
+        ok: worst > 0.0 && worst <= max_overhead,
+        detail: format!(
+            "per-policy cycle overhead vs kendo: chunk {chunk:.2}x, dc-batch {dc:.2}x \
+             (ceiling {max_overhead:.2}x)"
+        ),
+    });
+}
+
 fn check_serve(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks: &mut Vec<Check>) {
     let identical = current
         .get("receipts_identical")
@@ -292,6 +321,7 @@ fn main() {
     let mut current_serve: Option<String> = None;
     let mut max_regress_pct = 25.0f64;
     let mut min_backend_speedup = 1.5f64;
+    let mut max_sched_overhead = 3.0f64;
     let mut slowdown = 1.0f64;
     let mut out: Option<String> = None;
 
@@ -313,6 +343,9 @@ fn main() {
             "--min-backend-speedup" => {
                 min_backend_speedup = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--max-sched-overhead" => {
+                max_sched_overhead = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--slowdown" => slowdown = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => out = Some(take(&mut i)),
             _ => usage(),
@@ -328,6 +361,9 @@ fn main() {
         check_passes(&load(b), &current, slowdown, max_regress_pct, &mut checks);
         if min_backend_speedup > 0.0 {
             check_backends(&current, min_backend_speedup, &mut checks);
+        }
+        if max_sched_overhead > 0.0 {
+            check_schedulers(&current, max_sched_overhead, &mut checks);
         }
     }
     if let (Some(b), Some(c)) = (&baseline_serve, &current_serve) {

@@ -18,7 +18,8 @@ use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
-use detlock_vm::machine::{run, BulkSyncParams, ExecMode, KendoParams};
+use detlock_vm::machine::{run, BulkSyncParams, ExecMode};
+use detlock_vm::{ChunkParams, Sched};
 
 fn main() {
     let opts = CliOptions::parse();
@@ -50,16 +51,12 @@ fn main() {
         let kendo = [256u64, 1024, 4096]
             .iter()
             .map(|&chunk| {
-                let mode = ExecMode::Kendo(KendoParams {
+                let mut mc = machine_config(&w, ExecMode::Kendo, opts.seed);
+                mc.scheduler = Sched::Chunk(ChunkParams {
                     chunk_size: chunk,
                     ..Default::default()
                 });
-                let (k, h) = run(
-                    &w.module,
-                    &cost,
-                    &specs,
-                    machine_config(&w, mode, opts.seed),
-                );
+                let (k, h) = run(&w.module, &cost, &specs, mc);
                 assert!(!h);
                 k.overhead_pct(&base)
             })

@@ -20,10 +20,10 @@ use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_shim::json::{Json, ToJson};
-use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, Machine, MachineConfig, ThreadSpec};
+use detlock_vm::machine::{run, ExecMode, Jitter, Machine, MachineConfig, ThreadSpec};
 use detlock_vm::metrics::RunMetrics;
 use detlock_vm::sanitizer::SanitizerReport;
-use detlock_vm::Backend;
+use detlock_vm::{Backend, ChunkParams, Sched};
 use detlock_workloads::Workload;
 
 /// Convert workload thread plans into VM thread specs.
@@ -274,17 +274,15 @@ pub fn run_kendo_comparison(
     let kendo_specs = thread_specs(kw);
     let mut best: Option<(f64, u64)> = None;
     for &chunk in chunks {
-        let mode = ExecMode::Kendo(KendoParams {
+        // Kendo runs the uninstrumented module: `ExecMode::Kendo` (no tick
+        // clocks) under the chunk scheduler, pinned explicitly so Table II
+        // numbers are independent of `DETLOCK_SCHEDULER`.
+        let mut cfg = machine_config(kw, ExecMode::Kendo, seed);
+        cfg.scheduler = Sched::Chunk(ChunkParams {
             chunk_size: chunk,
-            ..KendoParams::default()
+            ..ChunkParams::default()
         });
-        // Kendo runs the uninstrumented module.
-        let (k, hit) = run(
-            &kw.module,
-            cost,
-            &kendo_specs,
-            machine_config(kw, mode, seed),
-        );
+        let (k, hit) = run(&kw.module, cost, &kendo_specs, cfg);
         assert!(!hit, "{}: kendo chunk {} hit limit", kw.name, chunk);
         let pct = k.overhead_pct(&kendo_base);
         if best.is_none_or(|(b, _)| pct < b) {
@@ -481,13 +479,17 @@ pub struct CliOptions {
     /// process-wide default, so every machine the binary builds afterwards
     /// uses it without further plumbing.
     pub backend: Backend,
+    /// Deterministic scheduling policy (`--scheduler
+    /// kendo|chunk[:SIZE[:COST]]|dc-batch`, default `DETLOCK_SCHEDULER` or
+    /// Kendo). Like `--backend`, parsing installs the process-wide default.
+    pub scheduler: Sched,
 }
 
 impl CliOptions {
     /// Parse from `std::env::args` (ignores the binary name). Supported:
     /// `--threads N`, `--scale F`, `--seed N`, `--seeds A,B,C`, `--json`,
     /// `--out FILE`, `--only NAME`, `--compile-threads N`,
-    /// `--backend interp|threaded`.
+    /// `--backend interp|threaded`, `--scheduler kendo|chunk|dc-batch`.
     pub fn parse() -> CliOptions {
         Self::parse_with(|_, _, _| false)
     }
@@ -506,6 +508,7 @@ impl CliOptions {
             only: None,
             compile_threads: CompileOpts::from_env().threads,
             backend: Backend::resolve(),
+            scheduler: Sched::resolve(),
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -539,6 +542,11 @@ impl CliOptions {
                     i += 1;
                     opts.backend = Backend::parse(&args[i]).unwrap_or_else(|e| panic!("{e}"));
                     opts.backend.set_process_default();
+                }
+                "--scheduler" => {
+                    i += 1;
+                    opts.scheduler = Sched::parse(&args[i]).unwrap_or_else(|e| panic!("{e}"));
+                    opts.scheduler.set_process_default();
                 }
                 "--json" => opts.json = true,
                 "--out" => {

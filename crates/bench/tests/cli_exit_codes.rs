@@ -2,7 +2,9 @@
 //! README.md ("Exit codes"). CI and editor integrations key off these
 //! numbers, so they are pinned by test: 0 = clean, 1 = findings /
 //! violations / gate failure, 2 = usage or unreadable input (perfgate),
-//! 101 = argument-parse panic (the bench CLIs).
+//! 3 = broken scheduler/checkpoint refusal (detcheck; unreachable here
+//! unless the typed `SchedulerMismatch` contract regresses, so only the
+//! clean path is exercised), 101 = argument-parse panic (the bench CLIs).
 
 use std::process::Command;
 

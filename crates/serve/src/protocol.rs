@@ -23,6 +23,7 @@
 
 use detlock_passes::pipeline::OptLevel;
 use detlock_shim::json::{Json, ToJson};
+use detlock_vm::Sched;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -48,6 +49,10 @@ pub struct JobSpec {
     /// only: the receipt does not depend on it (the sanitizer never
     /// changes the schedule), so it is excluded from `identity_key`.
     pub sanitize: bool,
+    /// Deterministic scheduling policy. Part of the job's identity: two
+    /// submissions differing only in scheduler are *different* jobs with
+    /// different (each internally deterministic) receipts.
+    pub scheduler: Sched,
 }
 
 /// Parse an [`OptLevel`] from its lowercase wire name.
@@ -86,12 +91,13 @@ impl JobSpec {
     /// get the same receipt, and the server checks exactly that).
     pub fn identity_key(&self) -> String {
         format!(
-            "{}/t{}/s{}/seed{}/{}",
+            "{}/t{}/s{}/seed{}/{}/{}",
             self.workload,
             self.threads,
             self.scale.to_bits(),
             self.seed,
-            self.opt_label()
+            self.opt_label(),
+            self.scheduler.spec()
         )
     }
 
@@ -120,6 +126,10 @@ impl JobSpec {
             seed: v.get("seed").and_then(Json::as_u64).unwrap_or(1),
             opt: opt_from_str(&opt_name).ok_or_else(|| format!("unknown opt `{opt_name}`"))?,
             sanitize: v.get("sanitize").and_then(Json::as_bool).unwrap_or(false),
+            scheduler: match v.get("scheduler").and_then(Json::as_str) {
+                Some(s) => Sched::parse(s)?,
+                None => Sched::resolve(),
+            },
         })
     }
 }
@@ -135,6 +145,7 @@ impl ToJson for JobSpec {
             ("seed", self.seed.to_json()),
             ("opt", self.opt_label().to_json()),
             ("sanitize", self.sanitize.to_json()),
+            ("scheduler", self.scheduler.spec().to_json()),
         ])
     }
 }
@@ -240,6 +251,7 @@ mod tests {
             seed: 42,
             opt: OptLevel::All,
             sanitize: true,
+            scheduler: Sched::DcBatch,
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -262,6 +274,7 @@ mod tests {
             r#"{"op":"run"}"#,
             r#"{"op":"run","workload":7}"#,
             r#"{"op":"run","workload":"ocean","opt":"o9"}"#,
+            r#"{"op":"run","workload":"ocean","scheduler":"fifo"}"#,
         ] {
             assert!(JobSpec::from_json(&Json::parse(bad).unwrap()).is_err());
         }
@@ -277,6 +290,7 @@ mod tests {
             seed: 1,
             opt: OptLevel::All,
             sanitize: false,
+            scheduler: Sched::Kendo,
         };
         let mut b = a.clone();
         b.tenant = "b".into();
@@ -284,6 +298,11 @@ mod tests {
         b.sanitize = true;
         assert_eq!(a.identity_key(), b.identity_key());
         b.seed = 2;
+        assert_ne!(a.identity_key(), b.identity_key());
+        // Scheduler IS identity: same job under another policy is a
+        // different job with a different (still deterministic) receipt.
+        b.seed = 1;
+        b.scheduler = Sched::DcBatch;
         assert_ne!(a.identity_key(), b.identity_key());
     }
 

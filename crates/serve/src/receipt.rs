@@ -27,6 +27,9 @@ pub struct Receipt {
     pub seed: u64,
     /// Optimization configuration label (`none`..`all`).
     pub opt: String,
+    /// Scheduler spec (`kendo`, `chunk[:SIZE[:COST]]`, `dc-batch`). Part
+    /// of the receipt: each policy certifies its own lock order.
+    pub scheduler: String,
     /// FNV-1a hash over the global `(lock, tid)` acquisition sequence.
     pub trace_hash: u64,
     /// Final logical clock of every thread, in tid order.
@@ -46,6 +49,7 @@ impl Receipt {
             scale: spec.scale,
             seed: spec.seed,
             opt: spec.opt_label().to_string(),
+            scheduler: spec.scheduler.spec(),
             trace_hash: m.lock_order_hash,
             final_clocks: m.per_thread.iter().map(|t| t.final_clock).collect(),
             lock_acquires: m.lock_acquires(),
@@ -67,6 +71,7 @@ impl Receipt {
             scale: v.get("scale")?.as_f64()?,
             seed: v.get("seed")?.as_u64()?,
             opt: v.get("opt")?.as_str()?.to_string(),
+            scheduler: v.get("scheduler")?.as_str()?.to_string(),
             trace_hash: u64::from_str_radix(
                 v.get("trace_hash")?.as_str()?.trim_start_matches("0x"),
                 16,
@@ -92,6 +97,7 @@ impl ToJson for Receipt {
             ("scale", self.scale.to_json()),
             ("seed", self.seed.to_json()),
             ("opt", self.opt.to_json()),
+            ("scheduler", self.scheduler.to_json()),
             (
                 "trace_hash",
                 format!("0x{:016x}", self.trace_hash).to_json(),
@@ -114,6 +120,7 @@ mod tests {
             scale: 0.05,
             seed: 7,
             opt: "all".into(),
+            scheduler: "kendo".into(),
             trace_hash: 0xdeadbeef,
             final_clocks: vec![10, 20, 30, 40],
             lock_acquires: 99,
@@ -142,6 +149,9 @@ mod tests {
         assert_ne!(r.canonical(), base);
         let mut r = sample();
         r.cycles += 1;
+        assert_ne!(r.canonical(), base);
+        let mut r = sample();
+        r.scheduler = "dc-batch".into();
         assert_ne!(r.canonical(), base);
     }
 }

@@ -54,7 +54,7 @@ use detlock_shim::json::{Json, ToJson};
 use detlock_shim::sync::Mutex;
 use detlock_vm::machine::Checkpoint;
 use detlock_vm::sanitizer::SanitizerReport;
-use detlock_vm::Backend;
+use detlock_vm::{Backend, Sched};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -86,6 +86,11 @@ pub struct ServeConfig {
     /// byte-identical across backends; `threaded` just retires jobs
     /// faster. Defaults to `DETLOCK_BACKEND` (or the interpreter).
     pub backend: Backend,
+    /// Default deterministic scheduler for jobs whose request omits
+    /// `scheduler`. Unlike `backend` this is part of job identity:
+    /// requests naming a policy explicitly override it per job. Defaults
+    /// to `DETLOCK_SCHEDULER` (or Kendo).
+    pub scheduler: Sched,
     /// Snapshot a [`Checkpoint`] every this many arbiter cycles while a
     /// job runs (0 disables checkpointing — crashes then requeue cold).
     pub checkpoint_interval: u64,
@@ -111,6 +116,7 @@ impl Default for ServeConfig {
             watchdog: Some(Duration::from_secs(30)),
             compile_threads: CompileOpts::from_env().threads,
             backend: Backend::resolve(),
+            scheduler: Sched::resolve(),
             checkpoint_interval: 200_000,
             cycle_slice: 0,
             net_faults: None,
@@ -681,10 +687,15 @@ fn dispatch(req: &Json, shared: &Arc<Shared>, addr: Option<SocketAddr>) -> Json 
 }
 
 fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
-    let spec = match JobSpec::from_json(req) {
+    let mut spec = match JobSpec::from_json(req) {
         Ok(spec) => spec,
         Err(e) => return error_json(&format!("bad job spec: {e}")),
     };
+    // Requests that omit `scheduler` inherit the server's configured
+    // default (explicit requests already carry their own policy).
+    if req.get("scheduler").is_none() {
+        spec.scheduler = shared.config.scheduler;
+    }
     let (tx, rx) = mpsc::channel();
     let job = Job {
         spec,

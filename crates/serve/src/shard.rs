@@ -67,6 +67,10 @@ pub enum PreemptReason {
 }
 
 /// Result of [`ShardEngine::execute_resumable`].
+// Checkpoint-carrying variants dominate the size, but one outcome exists
+// per execution attempt and is consumed immediately — boxing would trade
+// a transient stack copy for an allocation on the hot serving path.
+#[allow(clippy::large_enum_variant)]
 pub enum ExecOutcome {
     /// The run finished with a receipt. `last_checkpoint` is the most
     /// recent snapshot taken on the way (None when checkpointing was off
@@ -279,6 +283,7 @@ impl ShardEngine {
             max_cycles: cycle_budget,
             sanitize: spec.sanitize,
             backend: self.backend,
+            scheduler: spec.scheduler,
             ..MachineConfig::default()
         };
         let start_cycle = opts.resume_from.as_ref().map(|c| c.cycle()).unwrap_or(0);
@@ -297,7 +302,8 @@ impl ShardEngine {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                 move || -> Result<RunOutcome, String> {
                     let machine = match &opts.resume_from {
-                        Some(ck) => Machine::resume(&cached.inst.module, cost, cfg.clone(), ck)?,
+                        Some(ck) => Machine::resume(&cached.inst.module, cost, cfg.clone(), ck)
+                            .map_err(|e| e.to_string())?,
                         None => Machine::new(&cached.inst.module, cost, &cached.specs, cfg),
                     };
                     Ok(
@@ -417,6 +423,7 @@ mod tests {
             seed,
             opt: OptLevel::All,
             sanitize: false,
+            scheduler: detlock_vm::Sched::resolve(),
         }
     }
 

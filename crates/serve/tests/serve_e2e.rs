@@ -32,6 +32,7 @@ fn spec(workload: &str, seed: u64) -> JobSpec {
         seed,
         opt: OptLevel::All,
         sanitize: false,
+        scheduler: detlock_vm::Sched::resolve(),
     }
 }
 

@@ -22,14 +22,19 @@
 //! pool and routes the compile through the plan cache — output is
 //! byte-identical at any setting. `--backend interp|threaded` (or
 //! `DETLOCK_BACKEND`) picks the execution engine; results are identical
-//! either way, only the wall-clock time differs.
+//! either way, only the wall-clock time differs. `--scheduler
+//! kendo|chunk[:SIZE[:COST]]|dc-batch` (or `DETLOCK_SCHEDULER`) picks the
+//! deterministic arbitration policy; different policies legitimately
+//! produce different (each internally deterministic) lock orders. `--mode
+//! kendo` with no explicit `--scheduler` implies `--scheduler chunk`,
+//! preserving the historical Table II spelling.
 
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;
 use detlock_passes::{render_pass_table, PassPipeline};
-use detlock_vm::machine::{run, ExecMode, Jitter, KendoParams, MachineConfig, ThreadSpec};
-use detlock_vm::Backend;
+use detlock_vm::machine::{run, ExecMode, Jitter, MachineConfig, ThreadSpec};
+use detlock_vm::{Backend, Sched};
 
 struct Options {
     input: String,
@@ -45,6 +50,7 @@ struct Options {
     print_passes: bool,
     pass_stats: bool,
     compile: CompileOpts,
+    scheduler_set: bool,
 }
 
 fn usage() -> ! {
@@ -53,6 +59,7 @@ fn usage() -> ! {
          \x20          [--emit text|dot|none] [--estimates FILE]\n\
          \x20          [--print-passes] [--pass-stats] [--compile-threads N]\n\
          \x20          [--backend interp|threaded]\n\
+         \x20          [--scheduler kendo|chunk[:SIZE[:COST]]|dc-batch]\n\
          \x20          [--run ENTRY --threads N --mode baseline|clocks|det|kendo\n\
          \x20           --args a,b,tid --seed S]"
     );
@@ -74,6 +81,7 @@ fn parse_options() -> Options {
         print_passes: false,
         pass_stats: false,
         compile: CompileOpts::from_env().cached(),
+        scheduler_set: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -120,7 +128,7 @@ fn parse_options() -> Options {
                     Some("baseline") => ExecMode::Baseline,
                     Some("clocks") => ExecMode::ClocksOnly,
                     Some("det") => ExecMode::Det,
-                    Some("kendo") => ExecMode::Kendo(KendoParams::default()),
+                    Some("kendo") => ExecMode::Kendo,
                     _ => usage(),
                 };
             }
@@ -149,6 +157,16 @@ fn parse_options() -> Options {
                     _ => usage(),
                 }
             }
+            "--scheduler" => {
+                i += 1;
+                match argv.get(i).map(|v| Sched::parse(v)) {
+                    Some(Ok(s)) => {
+                        s.set_process_default();
+                        o.scheduler_set = true;
+                    }
+                    _ => usage(),
+                }
+            }
             "--print-passes" => o.print_passes = true,
             "--pass-stats" => o.pass_stats = true,
             "--compile-threads" => {
@@ -171,6 +189,11 @@ fn parse_options() -> Options {
     }
     if o.input.is_empty() {
         usage();
+    }
+    // `--mode kendo` historically meant "Kendo with chunked clocks"; keep
+    // that spelling working when no scheduler was named explicitly.
+    if matches!(o.mode, ExecMode::Kendo) && !o.scheduler_set {
+        Sched::Chunk(Default::default()).set_process_default();
     }
     o
 }

@@ -12,8 +12,14 @@
 //! |---|---|---|---|
 //! | `Baseline` | skipped | FCFS (nondeterministic) | "Original Exec Time" |
 //! | `ClocksOnly` | executed | FCFS | Table I upper half |
-//! | `Det` | executed | Kendo arbitration on tick-driven clocks | Table I lower half |
-//! | `Kendo` | skipped | Kendo arbitration on chunked store-counter clocks | Table II |
+//! | `Det` | executed | deterministic scheduler on tick-driven clocks | Table I lower half |
+//! | `Kendo` | skipped | deterministic scheduler, no tick clocks | Table II (with `Sched::Chunk`) |
+//!
+//! Deterministic modes arbitrate through a pluggable [`sched::DetScheduler`]
+//! policy — [`sched::KendoSched`] (min-clock reference), [`sched::ChunkSched`]
+//! (chunked store-counter clocks), or [`sched::DcBatchSched`]
+//! (deterministic-consistency batch commits) — selected per
+//! [`MachineConfig`] via `--scheduler` / `DETLOCK_SCHEDULER`.
 //!
 //! [`determinism::check_determinism`] verifies the weak-determinism
 //! guarantee empirically by rerunning a workload across jitter seeds and
@@ -35,16 +41,18 @@ pub mod metrics;
 pub mod race;
 pub mod replay;
 pub mod sanitizer;
+pub mod sched;
 
 pub use backend::Backend;
 pub use determinism::{check_determinism, DeterminismReport, Divergence};
 pub use lower::ThreadedProgram;
 pub use machine::{
     run, BulkSyncParams, Checkpoint, CkptControl, ExecMode, Jitter, KendoParams, Machine,
-    MachineConfig, RunOutcome, ThreadSpec,
+    MachineConfig, ResumeError, RunOutcome, ThreadSpec,
 };
 pub use metrics::{RunMetrics, ThreadMetrics};
 pub use race::{confirm_race, RaceWitness};
 pub use sanitizer::{
     DynAccess, DynRace, LockCycle, LockEdge, Sanitizer, SanitizerReport, SiteStat,
 };
+pub use sched::{ChunkParams, ChunkSched, DcBatchSched, DetScheduler, KendoSched, Sched};

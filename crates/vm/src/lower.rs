@@ -33,9 +33,9 @@
 //! shards dedup the lowering exactly as they dedup instrumentation plans.
 
 use crate::machine::{
-    charge_amount, charge_thread, mem_index_of, retire_stores, Action, DetCore, ExecBackend,
-    ExecMode, Frame,
+    charge_amount, charge_thread, mem_index_of, retire_stores, Action, DetCore, ExecBackend, Frame,
 };
+use crate::sched::ChunkParams;
 use detlock_ir::dot::function_to_text;
 use detlock_ir::inst::{BinOp, CmpOp, Inst, Operand, Terminator};
 use detlock_ir::module::Module;
@@ -504,6 +504,7 @@ fn run_fused(
     cfg: &crate::machine::MachineConfig,
     cost: &CostModel,
     mem_mask: Option<u64>,
+    chunk: Option<ChunkParams>,
     t: usize,
 ) -> Action {
     let base = frame.reg_base;
@@ -606,7 +607,7 @@ fn run_fused(
                     s.access(t as u32, idx, true, san_site(&frame));
                 }
                 pending_sum += charge_amount(th, &cfg.jitter, cost.store);
-                retire_stores(th, cfg.mode, 1);
+                retire_stores(th, chunk, 1);
                 executed += 1;
             }
             Op::StoreI {
@@ -623,7 +624,7 @@ fn run_fused(
                     s.access(t as u32, idx, true, san_site(&frame));
                 }
                 pending_sum += charge_amount(th, &cfg.jitter, cost.store);
-                retire_stores(th, cfg.mode, 1);
+                retire_stores(th, chunk, 1);
                 executed += 1;
             }
             Op::Tick { amount } => {
@@ -699,7 +700,7 @@ fn run_fused(
     }
     *th.frames.last_mut().unwrap() = fr;
     th.m.busy_cycles += 1;
-    // `+=`, not `=`: a Kendo store retirement above may already have
+    // `+=`, not `=`: a chunk-clock store retirement above may already have
     // deposited its interrupt countdown.
     th.pending += pending_sum + (executed - 1);
     Action::None
@@ -767,12 +768,14 @@ impl ExecBackend for ThreadedBackend {
                 mem_mask,
                 cycle,
                 ckpt_every,
+                chunk,
                 ..
             } = &mut *core;
             let cost = *cost;
             let mem_mask = *mem_mask;
             let cycle = *cycle;
             let ckpt_every = *ckpt_every;
+            let chunk = *chunk;
             let th = &mut threads[t];
             let frame = *th.frames.last().unwrap();
             let base = frame.reg_base;
@@ -785,12 +788,12 @@ impl ExecBackend for ThreadedBackend {
             let fuse = lf.fuse[pc];
             if fuse.len > 1 && cfg.mode.bulk_sync().is_none() {
                 // Upper bound on the divergence window: every charge is at
-                // most `cost + max_extra`, plus the Kendo store-retirement
-                // interrupt the head may incur.
+                // most `cost + max_extra`, plus the chunk-clock
+                // store-retirement interrupt the head may incur.
                 let mut w =
                     fuse.cost_sum as u64 + fuse.len as u64 * (cfg.jitter.max_extra.max(1) + 1);
-                if let ExecMode::Kendo(kp) = cfg.mode {
-                    w = w.saturating_add(kp.interrupt_cost);
+                if let Some(cp) = chunk {
+                    w = w.saturating_add(cp.interrupt_cost);
                 }
                 let fits_limit = cycle.saturating_add(w) < cfg.max_cycles;
                 let fits_ckpt = ckpt_every == 0 || cycle % ckpt_every + w < ckpt_every;
@@ -806,6 +809,7 @@ impl ExecBackend for ThreadedBackend {
                         cfg,
                         cost,
                         mem_mask,
+                        chunk,
                         t,
                     );
                 }
@@ -902,7 +906,7 @@ impl ExecBackend for ThreadedBackend {
                         s.access(t as u32, idx, true, san_site(&frame));
                     }
                     charge_thread(th, &cfg.jitter, cost.store);
-                    retire_stores(th, cfg.mode, 1);
+                    retire_stores(th, chunk, 1);
                     return Action::None;
                 }
                 Op::StoreI {
@@ -919,7 +923,7 @@ impl ExecBackend for ThreadedBackend {
                         s.access(t as u32, idx, true, san_site(&frame));
                     }
                     charge_thread(th, &cfg.jitter, cost.store);
-                    retire_stores(th, cfg.mode, 1);
+                    retire_stores(th, chunk, 1);
                     return Action::None;
                 }
                 Op::Call {

@@ -21,11 +21,17 @@
 //!   release clock; an acquire succeeds only when the lock is free *and*
 //!   logically released in the acquirer's past (Table I, "After Inserting
 //!   Clocks and Performing Deterministic Execution").
-//! * [`ExecMode::Kendo`] — same deterministic arbitration, but clocks come
-//!   from a simulated *retired-store* hardware counter that only updates
-//!   every `chunk_size` stores (costing `interrupt_cost` cycles per
-//!   overflow interrupt), and ticks are skipped: the paper's Table II
-//!   comparison baseline.
+//! * [`ExecMode::Kendo`] — deterministic arbitration over an
+//!   *uninstrumented* binary: ticks are skipped, so the logical clocks are
+//!   whatever the scheduler supplies. Paired with [`Sched::Chunk`]
+//!   (simulated retired-store hardware counters that only update every
+//!   `chunk_size` stores, costing `interrupt_cost` cycles per overflow
+//!   interrupt) this is the paper's Table II comparison baseline.
+//!
+//! Deterministic modes delegate *who may synchronize this round* to a
+//! pluggable [`crate::sched::DetScheduler`] policy selected by
+//! [`MachineConfig::scheduler`] — see [`crate::sched`] for the three
+//! shipped policies and the observation contract.
 //!
 //! # Architecture: determinism core vs execution backend
 //!
@@ -46,6 +52,7 @@ use crate::backend::Backend;
 use crate::builtins;
 use crate::metrics::{OrderHasher, RunMetrics, ThreadMetrics};
 use crate::sanitizer::{Sanitizer, SanitizerReport};
+use crate::sched::{ChunkParams, Decision, DetScheduler, Phase, Sched, SchedImpl, ThreadView};
 use detlock_ir::inst::{Inst, Operand, Terminator};
 use detlock_ir::module::Module;
 use detlock_ir::types::{BlockId, FuncId, Reg};
@@ -78,26 +85,13 @@ impl Default for BulkSyncParams {
     }
 }
 
-/// Kendo-simulation parameters (Table II). The paper notes Kendo must
-/// balance chunk size by hand; `chunk_size` is that knob.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct KendoParams {
-    /// Retired stores between performance-counter overflow interrupts.
-    pub chunk_size: u64,
-    /// Cycle cost of servicing one overflow interrupt.
-    pub interrupt_cost: u64,
-}
-
-impl Default for KendoParams {
-    fn default() -> Self {
-        KendoParams {
-            chunk_size: 1024,
-            // A performance-counter overflow interrupt traps into the
-            // kernel: order 10^3 cycles on the paper's era of hardware.
-            interrupt_cost: 800,
-        }
-    }
-}
+/// Deprecation alias: the Kendo-simulation knobs became [`ChunkSched`]
+/// configuration ([`Sched::Chunk`]) when arbitration moved behind the
+/// [`crate::sched::DetScheduler`] trait. Existing spellings — including
+/// `KendoParams { chunk_size, .. }` construction — keep compiling.
+///
+/// [`ChunkSched`]: crate::sched::ChunkSched
+pub type KendoParams = ChunkParams;
 
 /// Execution mode (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,8 +102,11 @@ pub enum ExecMode {
     ClocksOnly,
     /// Instrumented, deterministic (DetLock).
     Det,
-    /// Uninstrumented, deterministic with chunked store-counter clocks.
-    Kendo(KendoParams),
+    /// Uninstrumented, deterministic: ticks are skipped, so logical
+    /// clocks advance only through the scheduler (pair with
+    /// [`Sched::Chunk`] for the paper's Table II simulated-Kendo
+    /// baseline).
+    Kendo,
     /// Uninstrumented; lock grants forced to follow a recorded log
     /// (see [`crate::replay`]). Ticks are skipped and no clock arbitration
     /// runs — determinism comes entirely from the log.
@@ -126,7 +123,7 @@ impl ExecMode {
     }
 
     fn deterministic(self) -> bool {
-        matches!(self, ExecMode::Det | ExecMode::Kendo(_))
+        matches!(self, ExecMode::Det | ExecMode::Kendo)
     }
 
     fn replayed(self) -> bool {
@@ -219,6 +216,14 @@ pub struct MachineConfig {
     /// fingerprint: both backends execute bit-identically, so a checkpoint
     /// taken under one may be resumed under the other.
     pub backend: Backend,
+    /// Which deterministic arbitration policy runs in `Det` / `Kendo`
+    /// modes (see [`crate::sched`]). Defaults to [`Sched::resolve`] — a
+    /// `--scheduler` flag or the `DETLOCK_SCHEDULER` env var reroutes
+    /// every default-constructed config. Unlike the backend, the
+    /// scheduler *is* folded into the checkpoint fingerprint: policies
+    /// produce genuinely different schedules, so resuming under a
+    /// different one is refused (see [`ResumeError::SchedulerMismatch`]).
+    pub scheduler: Sched,
 }
 
 impl Default for MachineConfig {
@@ -234,6 +239,7 @@ impl Default for MachineConfig {
             replay_log: std::sync::Arc::new(Vec::new()),
             sanitize: false,
             backend: Backend::resolve(),
+            scheduler: Sched::resolve(),
         }
     }
 }
@@ -308,10 +314,16 @@ pub(crate) struct BarrierState {
 /// The execution [`Backend`] is *not* part of the fingerprint: both
 /// backends are bit-identical executors of the same module, so a shard may
 /// resume an interpreter checkpoint on the threaded engine (and vice
-/// versa) — the checkpoint/restore tests pin this down.
+/// versa) — the checkpoint/restore tests pin this down. The scheduling
+/// policy is the inverse case: a checkpoint records its [`Sched`] (plus
+/// any scheduler-private state) and [`Machine::resume`] refuses a
+/// different one with a typed [`ResumeError::SchedulerMismatch`], because
+/// two policies continue the run with genuinely different schedules.
 #[derive(Clone)]
 pub struct Checkpoint {
     fingerprint: u64,
+    sched: Sched,
+    sched_state: Vec<u64>,
     cycle: u64,
     threads: Vec<Thread>,
     mem: Vec<i64>,
@@ -357,6 +369,12 @@ impl Checkpoint {
         self.fingerprint
     }
 
+    /// The scheduling policy the snapshot was taken under — the only
+    /// policy it may resume on.
+    pub fn scheduler(&self) -> Sched {
+        self.sched
+    }
+
     /// Approximate heap footprint in bytes (memory image + registers),
     /// for capacity accounting in serving layers.
     pub fn approx_bytes(&self) -> usize {
@@ -372,6 +390,13 @@ impl Checkpoint {
     pub fn digest(&self) -> u64 {
         let mut h = 0xcbf29ce484222325u64;
         fnv_fold(&mut h, self.fingerprint);
+        for w in self.sched.fingerprint_words() {
+            fnv_fold(&mut h, w);
+        }
+        fnv_fold(&mut h, self.sched_state.len() as u64);
+        for &w in &self.sched_state {
+            fnv_fold(&mut h, w);
+        }
         fnv_fold(&mut h, self.cycle);
         fnv_fold(&mut h, self.done_count as u64);
         fnv_fold(&mut h, self.replay_pos as u64);
@@ -438,23 +463,28 @@ impl Checkpoint {
 }
 
 /// Structural fingerprint binding a checkpoint to what it may resume on:
-/// the execution mode (with parameters), jitter model, memory geometry,
-/// cost-relevant config, thread count, and the module shape. Two shards
-/// that compiled the same plan-cache entry agree on all of these. The
-/// execution [`Backend`] is deliberately not folded in — backends are
-/// bit-identical, so resuming a checkpoint on the other engine is sound
-/// (and exercised by the cross-backend checkpoint tests).
+/// the execution mode (with parameters), scheduling policy (with
+/// parameters), jitter model, memory geometry, cost-relevant config,
+/// thread count, and the module shape. Two shards that compiled the same
+/// plan-cache entry agree on all of these. The execution [`Backend`] is
+/// deliberately not folded in — backends are bit-identical, so resuming a
+/// checkpoint on the other engine is sound (and exercised by the
+/// cross-backend checkpoint tests). The scheduler *is* folded in: see
+/// [`ResumeError::SchedulerMismatch`].
 fn config_fingerprint(cfg: &MachineConfig, module: &Module, n_threads: usize) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     let (mode_tag, a, b, c) = match cfg.mode {
         ExecMode::Baseline => (0u64, 0u64, 0u64, 0u64),
         ExecMode::ClocksOnly => (1, 0, 0, 0),
         ExecMode::Det => (2, 0, 0, 0),
-        ExecMode::Kendo(kp) => (3, kp.chunk_size, kp.interrupt_cost, 0),
+        ExecMode::Kendo => (3, 0, 0, 0),
         ExecMode::Replay => (4, 0, 0, 0),
         ExecMode::BulkSync(bp) => (5, bp.quantum, bp.commit_base, bp.commit_per_store),
     };
     for v in [mode_tag, a, b, c] {
+        fnv_fold(&mut h, v);
+    }
+    for v in cfg.scheduler.fingerprint_words() {
         fnv_fold(&mut h, v);
     }
     fnv_fold(&mut h, cfg.jitter.seed);
@@ -476,6 +506,57 @@ fn config_fingerprint(cfg: &MachineConfig, module: &Module, n_threads: usize) ->
     }
     h
 }
+
+/// Why [`Machine::resume`] refused a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint was taken under a different scheduling policy (or
+    /// the same policy with different parameters). Unlike the execution
+    /// backend — which is excluded from the fingerprint because both
+    /// engines execute the one schedule bit-identically — the scheduler
+    /// *defines* the schedule: resuming under another policy would
+    /// continue the run with a different lock order than it started with,
+    /// silently breaking receipt and trace-hash stability.
+    SchedulerMismatch {
+        /// The policy the checkpoint was taken under.
+        checkpoint: Sched,
+        /// The policy the resuming config requested.
+        requested: Sched,
+    },
+    /// The structural fingerprints disagree: different module, config, or
+    /// thread count.
+    ConfigMismatch {
+        /// The checkpoint's fingerprint.
+        checkpoint: u64,
+        /// The fingerprint of the config/module offered for resume.
+        machine: u64,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::SchedulerMismatch {
+                checkpoint,
+                requested,
+            } => write!(
+                f,
+                "checkpoint was taken under scheduler '{checkpoint}' but resume requested \
+                 '{requested}' (schedulers define the schedule and are not interchangeable)"
+            ),
+            ResumeError::ConfigMismatch {
+                checkpoint,
+                machine,
+            } => write!(
+                f,
+                "checkpoint fingerprint mismatch: checkpoint 0x{checkpoint:016x} vs machine \
+                 0x{machine:016x} (different module, config, or thread count)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
 
 /// Per-checkpoint control returned by the sink passed to
 /// [`Machine::run_with_checkpoints`].
@@ -574,6 +655,18 @@ pub(crate) struct DetCore<'m> {
     /// Happens-before sanitizer (`None` unless `cfg.sanitize`): the
     /// disabled path costs exactly one null check per hook site.
     pub(crate) san: Option<Box<Sanitizer>>,
+    /// The arbitration policy (built from `cfg.scheduler`). Consulted
+    /// once per round in deterministic modes; its private state (if any)
+    /// rides every [`Checkpoint`].
+    pub(crate) sched: SchedImpl,
+    /// Chunked store-counter parameters, hoisted out of the scheduler:
+    /// `Some` iff the mode is deterministic and the policy drives clocks
+    /// from retired stores. Consulted on every store retirement and by
+    /// the threaded backend's fusion gate. Derived, never checkpointed.
+    pub(crate) chunk: Option<ChunkParams>,
+    /// Scratch view buffer handed to the scheduler each round — rebuilt
+    /// per round, so not part of a [`Checkpoint`].
+    views: Vec<ThreadView>,
     /// Scratch buffer for builtin-call argument evaluation — transient
     /// within one `exec_next`, so it is *not* part of a [`Checkpoint`].
     pub(crate) scratch_args: Vec<i64>,
@@ -617,6 +710,17 @@ fn init_rotation(cycle: u64, seed: u64, n: usize) -> (u64, u64, usize, usize, us
 pub struct Machine<'m> {
     core: DetCore<'m>,
     exec: ExecImpl,
+}
+
+/// Chunked store-counter parameters in effect for a config: the policy's
+/// chunk knobs, active only in deterministic modes (nondeterministic
+/// modes never consult the scheduler, so their clocks must not move).
+fn chunk_of(cfg: &MachineConfig) -> Option<ChunkParams> {
+    if cfg.mode.deterministic() {
+        cfg.scheduler.chunk_params()
+    } else {
+        None
+    }
 }
 
 fn make_exec(module: &Module, cost: &CostModel, backend: Backend) -> ExecImpl {
@@ -680,6 +784,8 @@ impl<'m> Machine<'m> {
             .sanitize
             .then(|| Box::new(Sanitizer::new(threads.len())));
         let exec = make_exec(module, cost, cfg.backend);
+        let sched = cfg.scheduler.build();
+        let chunk = chunk_of(&cfg);
         let mem_mask = mem.len().is_power_of_two().then(|| mem.len() as u64 - 1);
         let (rot_cycle, rot_acc, rot_start, rot_stride, rot_wrap_adj) =
             init_rotation(0, cfg.jitter.seed, threads.len());
@@ -699,6 +805,9 @@ impl<'m> Machine<'m> {
                 replay_pos: 0,
                 commit_stall: 0,
                 san,
+                sched,
+                chunk,
+                views: Vec::new(),
                 scratch_args: Vec::new(),
                 ckpt_every: 0,
                 mem_mask,
@@ -782,6 +891,8 @@ impl<'m> Machine<'m> {
         let core = &self.core;
         Checkpoint {
             fingerprint: config_fingerprint(&core.cfg, core.module, core.threads.len()),
+            sched: core.cfg.scheduler,
+            sched_state: core.sched.save_state(),
             cycle: core.cycle,
             threads: core.threads.clone(),
             mem: core.mem.clone(),
@@ -798,26 +909,35 @@ impl<'m> Machine<'m> {
 
     /// Rebuild a machine from a checkpoint, continuing exactly where the
     /// snapshot was taken. `module`, `cost`, and `cfg` must match what the
-    /// checkpoint was taken under — the structural fingerprint is checked
-    /// and a mismatch is refused rather than allowed to silently diverge
-    /// (the [`Backend`] is the one config knob allowed to differ). The
-    /// caller is responsible for passing the *same* compiled module
+    /// checkpoint was taken under — the scheduling policy and the
+    /// structural fingerprint are checked and a mismatch is refused with a
+    /// typed [`ResumeError`] rather than allowed to silently diverge (the
+    /// [`Backend`] is the one config knob allowed to differ). The caller
+    /// is responsible for passing the *same* compiled module
     /// (byte-identical compiles, e.g. from a shared plan cache, qualify).
     pub fn resume(
         module: &'m Module,
         cost: &'m CostModel,
         cfg: MachineConfig,
         ckpt: &Checkpoint,
-    ) -> Result<Machine<'m>, String> {
+    ) -> Result<Machine<'m>, ResumeError> {
+        if cfg.scheduler != ckpt.sched {
+            return Err(ResumeError::SchedulerMismatch {
+                checkpoint: ckpt.sched,
+                requested: cfg.scheduler,
+            });
+        }
         let fp = config_fingerprint(&cfg, module, ckpt.threads.len());
         if fp != ckpt.fingerprint {
-            return Err(format!(
-                "checkpoint fingerprint mismatch: checkpoint 0x{:016x} vs machine 0x{:016x} \
-                 (different module, config, or thread count)",
-                ckpt.fingerprint, fp
-            ));
+            return Err(ResumeError::ConfigMismatch {
+                checkpoint: ckpt.fingerprint,
+                machine: fp,
+            });
         }
         let exec = make_exec(module, cost, cfg.backend);
+        let mut sched = cfg.scheduler.build();
+        sched.load_state(&ckpt.sched_state);
+        let chunk = chunk_of(&cfg);
         let mem_mask = ckpt
             .mem
             .len()
@@ -841,6 +961,9 @@ impl<'m> Machine<'m> {
                 replay_pos: ckpt.replay_pos,
                 commit_stall: ckpt.commit_stall,
                 san: ckpt.san.clone(),
+                sched,
+                chunk,
+                views: Vec::new(),
                 scratch_args: Vec::new(),
                 ckpt_every: 0,
                 mem_mask,
@@ -892,44 +1015,51 @@ impl<'m> DetCore<'m> {
                 return;
             }
         }
-        // One pass over the threads computes both the deterministic turn
-        // (min `(clock, tid)` among arbitration participants) and the
-        // countdown fast-forward bound `k` (min `pending` if every live
-        // thread is Ready and mid-instruction, else 0).
-        let mut best: Option<(u64, u32)> = None;
+        // One pass over the threads fills the scheduler's view and
+        // computes the countdown fast-forward bound `k` (min `pending` if
+        // every live thread is Ready and mid-instruction, else 0).
         let mut k = u64::MAX;
-        for (tid, th) in self.threads.iter().enumerate() {
-            match th.status {
-                Status::Done => continue,
-                Status::Ready => {
-                    if th.pending == 0 {
-                        k = 0;
-                    } else if th.pending < k {
-                        k = th.pending;
+        {
+            let views = &mut self.views;
+            views.clear();
+            for th in &self.threads {
+                let phase = match th.status {
+                    Status::Done => Phase::Done,
+                    Status::Ready => {
+                        if th.pending == 0 {
+                            k = 0;
+                        } else if th.pending < k {
+                            k = th.pending;
+                        }
+                        Phase::Runnable
                     }
-                }
-                Status::AcquiringLock(_) | Status::AcquiringBarrier(_) | Status::ExitWait => {
-                    k = 0;
-                }
-                Status::InBarrier(_) | Status::QuantumDone => {
-                    // Parked: no turn participation.
-                    k = 0;
-                    continue;
-                }
-            }
-            let key = (th.clock, tid as u32);
-            if best.is_none_or(|b| key < b) {
-                best = Some(key);
+                    Status::AcquiringLock(_) | Status::AcquiringBarrier(_) | Status::ExitWait => {
+                        k = 0;
+                        Phase::Arbitrating
+                    }
+                    Status::InBarrier(_) | Status::QuantumDone => {
+                        // Parked: no turn participation.
+                        k = 0;
+                        Phase::Parked
+                    }
+                };
+                views.push(ThreadView {
+                    phase,
+                    clock: th.clock,
+                    pending: th.pending,
+                });
             }
         }
         // Countdown fast-forward: when every live thread is Ready and
         // mid-instruction (`pending > 0`), the next `k` rounds are pure
-        // counter decrements — the turn cannot change hands, no RNG is
+        // counter decrements — no scheduler decision can fire, no RNG is
         // drawn, no instruction issues. Apply all `k` in one pass. Clamped
         // so the cycle counter still lands exactly on every checkpoint
         // boundary and on `max_cycles`; batching is thus invisible to
-        // snapshots, crash plans, and all metrics. (Bulk-sync is excluded:
-        // its quantum bookkeeping runs per cycle.)
+        // snapshots, crash plans, and all metrics — and scheduler-agnostic,
+        // because a policy only ever decides *synchronization*, which
+        // cannot happen mid-countdown. (Bulk-sync is excluded: its quantum
+        // bookkeeping runs per cycle.)
         if bulk.is_none() && k > 0 && k < u64::MAX {
             k = k.min(self.cfg.max_cycles - self.cycle);
             if let Some(intervals) = self.cycle.checked_div(self.ckpt_every) {
@@ -945,7 +1075,21 @@ impl<'m> DetCore<'m> {
             self.cycle += k;
             return;
         }
-        let turn = best.map(|(_, tid)| tid);
+        // Deterministic modes delegate the round's synchronization
+        // decision to the policy; nondeterministic modes never consult it
+        // (their grants are FCFS / replayed / bulk-serial).
+        let turn = if self.cfg.mode.deterministic() {
+            match self.sched.decide(&self.views) {
+                Decision::Turn(t) => t,
+                Decision::Batch(order) => {
+                    self.commit_batch(&order);
+                    self.cycle += 1;
+                    return;
+                }
+            }
+        } else {
+            None
+        };
         // Rotate the service order so baseline FCFS has no fixed
         // lowest-tid bias; in deterministic modes only the turn holder
         // acts on sync events, so rotation is inert there.
@@ -1056,14 +1200,20 @@ impl<'m> DetCore<'m> {
                             (st.held_by, st.release_clock)
                         };
                         let clock = self.threads[t].clock;
-                        let logically_free =
-                            held_by.is_none() && release_clock.is_none_or(|r| r < clock);
+                        // The policy decides whether logical release
+                        // precedence gates the grant (Kendo's rule) on
+                        // top of the physical hold state.
+                        let logically_free = held_by.is_none()
+                            && (!self.sched.uses_release_clocks()
+                                || release_clock.is_none_or(|r| r < clock));
                         if logically_free {
                             self.grant_lock(t, id);
-                        } else {
+                        } else if self.sched.bumps_on_contention() {
                             // Deterministic clock bump and retry (Kendo).
                             self.threads[t].clock += 1;
                             self.threads[t].m.lock_clock_bumps += 1;
+                            self.threads[t].m.wait_cycles += 1;
+                        } else {
                             self.threads[t].m.wait_cycles += 1;
                         }
                     } else {
@@ -1139,6 +1289,45 @@ impl<'m> DetCore<'m> {
                         // deterministic modes the exit is a det event.
                     }
                 }
+            }
+        }
+    }
+
+    /// Commit one [`Decision::Batch`]: the listed threads perform their
+    /// pending synchronization events in batch order, against the lock
+    /// table as it evolves within the batch — the deterministic-
+    /// consistency commit round. A member whose lock is physically held
+    /// when its slot comes stays blocked (no clock bump: the batch
+    /// policy's contention rule) and joins a later batch; because batches
+    /// only form at quiescence, any such holder is itself in this batch
+    /// or parked, so nested acquisitions drain batch-by-batch. Grants go
+    /// through [`DetCore::grant_lock`], so protocol costs, trace-hash
+    /// records, and sanitizer hooks are identical to turn-based grants.
+    fn commit_batch(&mut self, order: &[u32]) {
+        for &tid in order {
+            let t = tid as usize;
+            match self.threads[t].status {
+                Status::AcquiringLock(id) => {
+                    // Physical hold state alone gates the grant
+                    // (`uses_release_clocks` is false for batch policies):
+                    // the batch order *is* the logical order.
+                    let held = self.locks.entry(id).or_default().held_by;
+                    if held.is_none() {
+                        self.grant_lock(t, id);
+                    } else {
+                        self.threads[t].m.wait_cycles += 1;
+                    }
+                }
+                Status::AcquiringBarrier(id) => self.arrive_barrier(t, id),
+                Status::ExitWait => self.finish(t),
+                // A barrier arrival earlier in the batch released this
+                // member back to Ready; it resumes next round.
+                _ => {}
+            }
+        }
+        for th in self.threads.iter_mut() {
+            if matches!(th.status, Status::InBarrier(_)) {
+                th.m.wait_cycles += 1;
             }
         }
     }
@@ -1327,7 +1516,7 @@ impl<'m> DetCore<'m> {
     }
 
     pub(crate) fn retired_store(&mut self, t: usize, count: u64) {
-        retire_stores(&mut self.threads[t], self.cfg.mode, count);
+        retire_stores(&mut self.threads[t], self.chunk, count);
     }
 
     /// Shared builtin semantics: apply `builtin` to the already-evaluated
@@ -1650,20 +1839,21 @@ pub(crate) fn charge_amount(th: &mut Thread, jitter: &Jitter, cost: u64) -> u64 
 }
 
 /// [`DetCore::retired_store`] over one thread's state (a free function for
-/// the same reason as [`charge_thread`]).
+/// the same reason as [`charge_thread`]). `chunk` is the core's hoisted
+/// [`DetCore::chunk`]: `Some` iff a chunk-clock scheduler is active.
 #[inline]
-pub(crate) fn retire_stores(th: &mut Thread, mode: ExecMode, count: u64) {
+pub(crate) fn retire_stores(th: &mut Thread, chunk: Option<ChunkParams>, count: u64) {
     let before = th.m.retired_stores;
     th.m.retired_stores += count;
     th.round_stores += count;
-    if let ExecMode::Kendo(kp) = mode {
+    if let Some(cp) = chunk {
         // The virtualized performance counter only surfaces at overflow
         // interrupts: the clock advances in chunk_size units, and each
         // interrupt costs cycles.
-        let chunks = th.m.retired_stores / kp.chunk_size - before / kp.chunk_size;
+        let chunks = th.m.retired_stores / cp.chunk_size - before / cp.chunk_size;
         if chunks > 0 {
-            th.clock += chunks * kp.chunk_size;
-            th.pending += chunks * kp.interrupt_cost;
+            th.clock += chunks * cp.chunk_size;
+            th.pending += chunks * cp.interrupt_cost;
         }
     }
 }

@@ -1,0 +1,65 @@
+//! Deterministic-consistency batched commit rounds.
+
+use super::{Decision, DetScheduler, Phase, ThreadView};
+
+/// Deterministic-consistency-style scheduling (after Aviram & Ford's
+/// workspace-consistency model): threads execute *freely* to their next
+/// synchronization point — no per-acquire arbitration, no clock bumps
+/// while contended — and once no live thread is runnable, every pending
+/// synchronization operation commits in one deterministic batch, ordered
+/// by `(clock, tid)`.
+///
+/// Within a batch the lock table evolves as grants land: a member whose
+/// lock is still physically held when its slot comes (taken by an
+/// earlier member, or by a holder that is itself blocked elsewhere in
+/// the batch) simply stays blocked and joins a later batch. Because a
+/// batch only forms at quiescence, every held lock's holder is itself in
+/// the batch (or parked), so nested acquisitions drain batch-by-batch
+/// instead of deadlocking.
+///
+/// Determinism argument: batch *membership* is fixed by program
+/// structure — the batch forms exactly when every thread has reached its
+/// next synchronization point, which is a per-thread deterministic
+/// sequence — and batch *order* is a pure function of logical clocks,
+/// which advance only at ticks and deterministic events. Jitter moves
+/// the cycle at which quiescence happens, never who is in the batch or
+/// in what order it commits, so lock orders, trace hashes, and final
+/// clocks stay seed-invariant. They differ from [`super::KendoSched`]'s
+/// on contended workloads by design — receipts are scheduler-keyed.
+///
+/// The policy is stateless: the batch is recomputed from the view at
+/// quiescence and committed within the same round.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DcBatchSched;
+
+impl DetScheduler for DcBatchSched {
+    fn decide(&mut self, threads: &[ThreadView]) -> Decision {
+        if threads.iter().any(|v| v.phase == Phase::Runnable) {
+            return Decision::Turn(None);
+        }
+        let mut batch: Vec<u32> = threads
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.phase == Phase::Arbitrating)
+            .map(|(tid, _)| tid as u32)
+            .collect();
+        if batch.is_empty() {
+            return Decision::Turn(None);
+        }
+        batch.sort_unstable_by_key(|&tid| (threads[tid as usize].clock, tid));
+        Decision::Batch(batch)
+    }
+
+    /// Contended members wait for the holder's release; bumping clocks
+    /// while waiting would make final clocks depend on how many rounds
+    /// the wait lasted — i.e. on the jitter seed.
+    fn bumps_on_contention(&self) -> bool {
+        false
+    }
+
+    /// Grants are ordered structurally by the batch, not by logical
+    /// release precedence: the physical hold state alone gates a grant.
+    fn uses_release_clocks(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,20 @@
+//! The reference policy: Kendo's min-clock arbitration.
+
+use super::{min_clock_turn, Decision, DetScheduler, ThreadView};
+
+/// Kendo-style arbitration on whatever drives the logical clocks (ticks
+/// in `Det` mode): the unique thread with the minimum `(clock, tid)`
+/// among runnable and arbitrating threads holds the turn for the round; a
+/// contended acquirer bumps its clock by one and retries, and an acquire
+/// additionally requires the lock's logical release to precede the
+/// acquirer's clock. This is the policy the paper's DetLock measurements
+/// use, extracted verbatim from the old arbiter loop.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KendoSched;
+
+impl DetScheduler for KendoSched {
+    #[inline]
+    fn decide(&mut self, threads: &[ThreadView]) -> Decision {
+        Decision::Turn(min_clock_turn(threads))
+    }
+}

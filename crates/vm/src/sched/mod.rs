@@ -1,0 +1,472 @@
+//! Pluggable deterministic scheduling policies.
+//!
+//! DetLock's contribution is the *instrumentation* — compiler-placed
+//! logical clocks. The *arbitration policy* that consumes those clocks is
+//! a separate axis: [`DetScheduler`] factors it out of the core round
+//! loop. Given a per-round view of every thread (phase, logical clock,
+//! pending countdown), a scheduler decides who may perform a
+//! synchronization event this round and what the clock-bump policy on
+//! contended acquires is. Three policies ship:
+//!
+//! * [`KendoSched`] — the reference policy: the unique thread with the
+//!   minimum `(clock, tid)` among arbitration participants holds the
+//!   turn; a contended acquirer deterministically bumps its clock and
+//!   retries (Kendo's algorithm as adopted by DetLock).
+//! * [`ChunkSched`] — the same turn rule, plus simulated retired-store
+//!   performance-counter clocks: threads run fixed logical-work chunks
+//!   ([`ChunkParams::chunk_size`] stores) between clock updates, each
+//!   costing an overflow-interrupt ([`ChunkParams::interrupt_cost`]).
+//!   This subsumes the old `ExecMode::Kendo` special-casing — Table II's
+//!   simulated Kendo is `ExecMode::Kendo` (uninstrumented) + `ChunkSched`.
+//! * [`DcBatchSched`] — deterministic-consistency-style rounds (Aviram &
+//!   Ford): all runnable threads execute freely to their next
+//!   synchronization point; once no thread is runnable, the pending
+//!   synchronization operations commit in one deterministic batch,
+//!   ordered by `(clock, tid)`.
+//!
+//! # What a scheduler may observe
+//!
+//! Exactly the [`ThreadView`] slice: thread phase, logical clock, pending
+//! countdown. Nothing else — no cycle counter, no jitter RNG, no memory,
+//! no lock table. That restriction is the determinism argument: every
+//! view field is itself jitter-invariant in deterministic modes (clocks
+//! advance only by ticks, store chunks, and deterministic sync events;
+//! phases change only at deterministic points), so any pure function of
+//! the view sequence is jitter-invariant too. A scheduler that peeked at
+//! wall-clock state (cycles, RNG position) would leak seed-dependence
+//! into the lock order and break the weak-determinism guarantee.
+//!
+//! Because different policies legitimately produce different lock orders
+//! (and hence different trace hashes, receipts, and sanitizer reports),
+//! the scheduler is part of the job identity: receipts are
+//! scheduler-keyed, and a [`crate::machine::Checkpoint`] refuses to
+//! resume under a different scheduler (see
+//! [`crate::machine::ResumeError::SchedulerMismatch`]).
+//!
+//! Selection mirrors [`crate::backend::Backend`]: a process-wide override
+//! installed by a `--scheduler` CLI flag, then the `DETLOCK_SCHEDULER`
+//! environment variable (`kendo` | `chunk[:SIZE[:COST]]` | `dc-batch`),
+//! then [`Sched::Kendo`].
+
+mod chunk;
+mod dc_batch;
+mod kendo;
+
+pub use chunk::{ChunkParams, ChunkSched};
+pub use dc_batch::DcBatchSched;
+pub use kendo::KendoSched;
+
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// What a scheduler sees of one thread in one round. The deliberately
+/// minimal observation surface — see the module docs for why nothing
+/// cycle- or jitter-dependent is exposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadView {
+    /// Where the thread is in its lifecycle this round.
+    pub phase: Phase,
+    /// The thread's logical clock.
+    pub clock: u64,
+    /// Cycles left in the instruction currently occupying the core.
+    pub pending: u64,
+}
+
+/// Thread lifecycle phase, as visible to a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Executing instructions (or mid-instruction countdown).
+    Runnable,
+    /// Blocked on a synchronization event that needs the scheduler's
+    /// permission: a lock acquire, a barrier arrival, or a thread exit.
+    Arbitrating,
+    /// Parked with no pending decision (inside a barrier, or waiting for
+    /// a bulk-sync round): not a turn candidate.
+    Parked,
+    /// Finished.
+    Done,
+}
+
+/// One round's scheduling decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// At most one thread may perform its synchronization event this
+    /// round (min-clock-style arbitration). `None` parks every
+    /// arbitrating thread for the round.
+    Turn(Option<u32>),
+    /// Commit a whole synchronization batch this round: the listed
+    /// threads perform their pending events in order, against the lock
+    /// table as it evolves within the batch. Threads whose lock is still
+    /// physically held when their turn comes stay blocked and join a
+    /// later batch.
+    Batch(Vec<u32>),
+}
+
+/// A deterministic scheduling policy. Implementations must be pure
+/// functions of the [`ThreadView`] sequence (plus their own
+/// [`save_state`](DetScheduler::save_state)-captured state): the round
+/// loop calls [`decide`](DetScheduler::decide) once per arbitration round
+/// in deterministic modes.
+pub trait DetScheduler {
+    /// The turn (or batch) for this round.
+    fn decide(&mut self, threads: &[ThreadView]) -> Decision;
+
+    /// Clock-bump policy on contended acquires: `true` means a turn
+    /// holder whose lock is not logically free bumps its clock by one and
+    /// retries (Kendo); `false` means it simply waits.
+    fn bumps_on_contention(&self) -> bool {
+        true
+    }
+
+    /// Whether an acquire additionally requires the lock's release clock
+    /// to precede the acquirer's clock (Kendo's logical-release rule).
+    /// Policies that order grants structurally (e.g. batch commit) use
+    /// the physical hold state alone.
+    fn uses_release_clocks(&self) -> bool {
+        true
+    }
+
+    /// Chunked store-counter clock parameters, if this policy drives
+    /// clocks from simulated retired-store performance counters.
+    fn chunk(&self) -> Option<ChunkParams> {
+        None
+    }
+
+    /// Scheduler-private state to ride a [`crate::machine::Checkpoint`].
+    /// All built-in policies are stateless (their decisions are pure
+    /// functions of the view), so this is empty — but the mechanism is
+    /// part of the contract: a stateful policy that did not checkpoint
+    /// its state would silently diverge on resume.
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restore [`save_state`](DetScheduler::save_state)-captured state.
+    fn load_state(&mut self, _state: &[u64]) {}
+}
+
+/// Which deterministic scheduling policy arbitrates synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sched {
+    /// Kendo-style min-`(clock, tid)` arbitration (the reference).
+    #[default]
+    Kendo,
+    /// Min-clock arbitration over chunked store-counter clocks.
+    Chunk(ChunkParams),
+    /// Deterministic-consistency batched commit rounds.
+    DcBatch,
+}
+
+/// Process-wide override installed by `--scheduler` (params make this a
+/// `Mutex<Option<..>>` rather than the atomic tag `Backend` uses).
+static PROCESS_DEFAULT: Mutex<Option<Sched>> = Mutex::new(None);
+
+impl Sched {
+    /// Parse a CLI/env spelling: `kendo`, `chunk`, `chunk:SIZE`,
+    /// `chunk:SIZE:COST`, `dc-batch`.
+    pub fn parse(s: &str) -> Result<Sched, String> {
+        match s {
+            "kendo" => return Ok(Sched::Kendo),
+            "chunk" => return Ok(Sched::Chunk(ChunkParams::default())),
+            "dc-batch" | "dcbatch" | "dc_batch" => return Ok(Sched::DcBatch),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("chunk:") {
+            let mut it = rest.split(':');
+            let size = it
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&v| v > 0);
+            let cost = match it.next() {
+                None => Some(ChunkParams::default().interrupt_cost),
+                Some(v) => v.parse::<u64>().ok(),
+            };
+            if let (Some(chunk_size), Some(interrupt_cost), None) = (size, cost, it.next()) {
+                return Ok(Sched::Chunk(ChunkParams {
+                    chunk_size,
+                    interrupt_cost,
+                }));
+            }
+        }
+        Err(format!(
+            "unknown scheduler '{s}' (expected 'kendo', 'chunk[:SIZE[:COST]]', or 'dc-batch')"
+        ))
+    }
+
+    /// The policy family name (no parameters).
+    pub fn label(self) -> &'static str {
+        match self {
+            Sched::Kendo => "kendo",
+            Sched::Chunk(_) => "chunk",
+            Sched::DcBatch => "dc-batch",
+        }
+    }
+
+    /// The full canonical spelling, round-tripped by [`Sched::parse`].
+    /// Default chunk parameters print as plain `chunk` so the common
+    /// spelling stays stable in identity keys and receipts.
+    pub fn spec(self) -> String {
+        match self {
+            Sched::Chunk(p) if p != ChunkParams::default() => {
+                format!("chunk:{}:{}", p.chunk_size, p.interrupt_cost)
+            }
+            other => other.label().to_string(),
+        }
+    }
+
+    /// The chunked store-counter parameters, if this is [`Sched::Chunk`].
+    pub fn chunk_params(self) -> Option<ChunkParams> {
+        match self {
+            Sched::Chunk(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Words folded into the checkpoint fingerprint: a policy tag plus
+    /// its parameters. Restoring a checkpoint under a different scheduler
+    /// (or the same policy with different parameters) must be refused —
+    /// unlike the execution backend, schedulers are *not* interchangeable
+    /// executors of the same schedule.
+    pub(crate) fn fingerprint_words(self) -> [u64; 3] {
+        match self {
+            Sched::Kendo => [0, 0, 0],
+            Sched::Chunk(p) => [1, p.chunk_size, p.interrupt_cost],
+            Sched::DcBatch => [2, 0, 0],
+        }
+    }
+
+    /// Install a process-wide default, overriding `DETLOCK_SCHEDULER`.
+    /// Called by the `--scheduler` flag of the CLI tools so every machine
+    /// built afterwards uses the requested policy.
+    pub fn set_process_default(self) {
+        *PROCESS_DEFAULT.lock().unwrap() = Some(self);
+    }
+
+    /// The scheduler a fresh [`crate::machine::MachineConfig`] gets: the
+    /// process override if installed, else `DETLOCK_SCHEDULER` (read once
+    /// and cached), else [`Sched::Kendo`].
+    ///
+    /// # Panics
+    /// On an unparseable `DETLOCK_SCHEDULER` value — a misconfigured
+    /// environment should fail loudly, not silently fall back.
+    pub fn resolve() -> Sched {
+        if let Some(s) = *PROCESS_DEFAULT.lock().unwrap() {
+            return s;
+        }
+        static ENV: OnceLock<Option<Sched>> = OnceLock::new();
+        ENV.get_or_init(|| {
+            std::env::var("DETLOCK_SCHEDULER").ok().map(|v| {
+                Sched::parse(&v).unwrap_or_else(|e| panic!("invalid DETLOCK_SCHEDULER: {e}"))
+            })
+        })
+        .unwrap_or(Sched::Kendo)
+    }
+
+    /// Build the policy implementation (static enum dispatch, mirroring
+    /// the backend's `ExecImpl`).
+    pub(crate) fn build(self) -> SchedImpl {
+        match self {
+            Sched::Kendo => SchedImpl::Kendo(KendoSched),
+            Sched::Chunk(p) => SchedImpl::Chunk(ChunkSched::new(p)),
+            Sched::DcBatch => SchedImpl::DcBatch(DcBatchSched),
+        }
+    }
+}
+
+impl std::fmt::Display for Sched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// Static enum dispatch over the built-in policies (no vtable in the
+/// round loop).
+pub(crate) enum SchedImpl {
+    Kendo(KendoSched),
+    Chunk(ChunkSched),
+    DcBatch(DcBatchSched),
+}
+
+impl DetScheduler for SchedImpl {
+    #[inline]
+    fn decide(&mut self, threads: &[ThreadView]) -> Decision {
+        match self {
+            SchedImpl::Kendo(s) => s.decide(threads),
+            SchedImpl::Chunk(s) => s.decide(threads),
+            SchedImpl::DcBatch(s) => s.decide(threads),
+        }
+    }
+
+    fn bumps_on_contention(&self) -> bool {
+        match self {
+            SchedImpl::Kendo(s) => s.bumps_on_contention(),
+            SchedImpl::Chunk(s) => s.bumps_on_contention(),
+            SchedImpl::DcBatch(s) => s.bumps_on_contention(),
+        }
+    }
+
+    fn uses_release_clocks(&self) -> bool {
+        match self {
+            SchedImpl::Kendo(s) => s.uses_release_clocks(),
+            SchedImpl::Chunk(s) => s.uses_release_clocks(),
+            SchedImpl::DcBatch(s) => s.uses_release_clocks(),
+        }
+    }
+
+    fn chunk(&self) -> Option<ChunkParams> {
+        match self {
+            SchedImpl::Kendo(s) => s.chunk(),
+            SchedImpl::Chunk(s) => s.chunk(),
+            SchedImpl::DcBatch(s) => s.chunk(),
+        }
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        match self {
+            SchedImpl::Kendo(s) => s.save_state(),
+            SchedImpl::Chunk(s) => s.save_state(),
+            SchedImpl::DcBatch(s) => s.save_state(),
+        }
+    }
+
+    fn load_state(&mut self, state: &[u64]) {
+        match self {
+            SchedImpl::Kendo(s) => s.load_state(state),
+            SchedImpl::Chunk(s) => s.load_state(state),
+            SchedImpl::DcBatch(s) => s.load_state(state),
+        }
+    }
+}
+
+/// The min-`(clock, tid)` turn over runnable and arbitrating threads —
+/// shared by [`KendoSched`] and [`ChunkSched`].
+pub(crate) fn min_clock_turn(threads: &[ThreadView]) -> Option<u32> {
+    let mut best: Option<(u64, u32)> = None;
+    for (tid, v) in threads.iter().enumerate() {
+        if matches!(v.phase, Phase::Parked | Phase::Done) {
+            continue;
+        }
+        let key = (v.clock, tid as u32);
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    best.map(|(_, tid)| tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(phase: Phase, clock: u64) -> ThreadView {
+        ThreadView {
+            phase,
+            clock,
+            pending: 0,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_specs() {
+        for s in [
+            Sched::Kendo,
+            Sched::Chunk(ChunkParams::default()),
+            Sched::Chunk(ChunkParams {
+                chunk_size: 512,
+                interrupt_cost: 900,
+            }),
+            Sched::DcBatch,
+        ] {
+            assert_eq!(Sched::parse(&s.spec()), Ok(s));
+        }
+        assert_eq!(Sched::parse("dcbatch"), Ok(Sched::DcBatch));
+        assert_eq!(
+            Sched::parse("chunk:64"),
+            Ok(Sched::Chunk(ChunkParams {
+                chunk_size: 64,
+                ..ChunkParams::default()
+            }))
+        );
+        assert!(Sched::parse("fifo").is_err());
+        assert!(Sched::parse("chunk:0").is_err());
+        assert!(Sched::parse("chunk:1:2:3").is_err());
+    }
+
+    #[test]
+    fn default_chunk_spec_is_bare() {
+        assert_eq!(Sched::Chunk(ChunkParams::default()).spec(), "chunk");
+        assert_eq!(
+            Sched::Chunk(ChunkParams {
+                chunk_size: 64,
+                interrupt_cost: 800,
+            })
+            .spec(),
+            "chunk:64:800"
+        );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_policies_and_params() {
+        let all = [
+            Sched::Kendo,
+            Sched::Chunk(ChunkParams::default()),
+            Sched::Chunk(ChunkParams {
+                chunk_size: 64,
+                interrupt_cost: 800,
+            }),
+            Sched::DcBatch,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(
+                    a.fingerprint_words() == b.fingerprint_words(),
+                    i == j,
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kendo_picks_min_clock_breaking_ties_by_tid() {
+        let mut s = KendoSched;
+        let views = [
+            v(Phase::Runnable, 5),
+            v(Phase::Arbitrating, 3),
+            v(Phase::Arbitrating, 3),
+            v(Phase::Parked, 0),
+            v(Phase::Done, 0),
+        ];
+        assert_eq!(s.decide(&views), Decision::Turn(Some(1)));
+    }
+
+    #[test]
+    fn dc_batch_waits_for_quiescence_then_commits_in_clock_order() {
+        let mut s = DcBatchSched;
+        let running = [v(Phase::Runnable, 9), v(Phase::Arbitrating, 1)];
+        assert_eq!(s.decide(&running), Decision::Turn(None));
+        let quiescent = [
+            v(Phase::Arbitrating, 9),
+            v(Phase::Arbitrating, 2),
+            v(Phase::Parked, 0),
+            v(Phase::Arbitrating, 2),
+        ];
+        assert_eq!(s.decide(&quiescent), Decision::Batch(vec![1, 3, 0]));
+    }
+
+    #[test]
+    fn built_policies_expose_their_contracts() {
+        assert!(Sched::Kendo.build().bumps_on_contention());
+        assert!(Sched::Kendo.build().uses_release_clocks());
+        assert_eq!(Sched::Kendo.build().chunk(), None);
+        let p = ChunkParams {
+            chunk_size: 7,
+            interrupt_cost: 11,
+        };
+        assert_eq!(Sched::Chunk(p).build().chunk(), Some(p));
+        let dc = Sched::DcBatch.build();
+        assert!(!dc.bumps_on_contention());
+        assert!(!dc.uses_release_clocks());
+        assert!(dc.save_state().is_empty());
+    }
+}

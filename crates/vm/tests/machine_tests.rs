@@ -11,6 +11,7 @@ use detlock_vm::machine::{
     run, Checkpoint, CkptControl, ExecMode, Jitter, KendoParams, Machine, MachineConfig,
     RunOutcome, ThreadSpec,
 };
+use detlock_vm::Sched;
 
 fn cfg(mode: ExecMode) -> MachineConfig {
     MachineConfig {
@@ -18,6 +19,15 @@ fn cfg(mode: ExecMode) -> MachineConfig {
         max_cycles: 50_000_000,
         ..MachineConfig::default()
     }
+}
+
+/// Kendo-mode config with the chunk scheduler pinned explicitly (these
+/// tests assert chunked-clock behaviour, so they must not inherit
+/// whatever `DETLOCK_SCHEDULER` the environment selects).
+fn kendo_cfg(params: KendoParams) -> MachineConfig {
+    let mut c = cfg(ExecMode::Kendo);
+    c.scheduler = Sched::Chunk(params);
+    c
 }
 
 fn no_jitter(mut c: MachineConfig) -> MachineConfig {
@@ -286,10 +296,10 @@ fn kendo_mode_is_deterministic_across_seeds() {
         &m,
         &cost,
         &counter_threads(f, 4, 40),
-        &cfg(ExecMode::Kendo(KendoParams {
+        &kendo_cfg(KendoParams {
             chunk_size: 8,
             interrupt_cost: 30,
-        })),
+        }),
         &[1, 2, 3, 42],
     );
     assert!(!report.any_hit_limit);
@@ -497,12 +507,7 @@ fn ticks_free_in_baseline_and_kendo() {
     }];
     let (base, _) = run(&m, &cost, &t, no_jitter(cfg(ExecMode::Baseline)));
     let (clk, _) = run(&m, &cost, &t, no_jitter(cfg(ExecMode::ClocksOnly)));
-    let (kendo, _) = run(
-        &m,
-        &cost,
-        &t,
-        no_jitter(cfg(ExecMode::Kendo(KendoParams::default()))),
-    );
+    let (kendo, _) = run(&m, &cost, &t, no_jitter(kendo_cfg(KendoParams::default())));
     assert!(
         clk.cycles > base.cycles + 150,
         "100 ticks cost ≥ 200 cycles"
@@ -533,10 +538,10 @@ fn kendo_chunked_clock_advances_on_stores() {
             func: f,
             args: vec![],
         }],
-        no_jitter(cfg(ExecMode::Kendo(KendoParams {
+        no_jitter(kendo_cfg(KendoParams {
             chunk_size: 8,
             interrupt_cost: 10,
-        }))),
+        })),
     );
     // 20 stores → 2 full chunks of 8 → clock 16 (chunk granularity).
     assert_eq!(metrics.per_thread[0].final_clock, 16);

@@ -15,10 +15,10 @@ use detlock_bench::{instrumented, machine_config, thread_specs};
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::OptLevel;
 use detlock_passes::plan::Placement;
-use detlock_vm::machine::{BulkSyncParams, ExecMode, KendoParams, Machine, ThreadSpec};
+use detlock_vm::machine::{BulkSyncParams, ExecMode, Machine, ThreadSpec};
 use detlock_vm::metrics::RunMetrics;
 use detlock_vm::sanitizer::SanitizerReport;
-use detlock_vm::{confirm_race, Backend, MachineConfig};
+use detlock_vm::{confirm_race, Backend, ChunkParams, MachineConfig, Sched};
 use detlock_workloads::all_benchmarks;
 use detlock_workloads::racy::{self, RacyParams};
 
@@ -84,6 +84,37 @@ fn det_runs_identical_across_the_full_opt_grid() {
     assert!(cells >= 120, "grid shrank to {cells} cells");
 }
 
+/// Every arbitration policy must be backend-invariant too: for each
+/// scheduler, both engines must produce byte-identical metrics, memory,
+/// and sanitizer reports. Schedulers legitimately differ from *each
+/// other* — that cross-policy divergence is pinned by the scheduler
+/// matrix suite — but within one policy the backend must not matter.
+#[test]
+fn det_runs_identical_across_the_scheduler_grid() {
+    let cost = CostModel::default();
+    let scheds = [
+        Sched::Kendo,
+        Sched::Chunk(ChunkParams::default()),
+        Sched::DcBatch,
+    ];
+    let mut cells = 0u32;
+    for w in all_benchmarks(2, 0.02) {
+        let specs = thread_specs(&w);
+        let inst = instrumented(&w, &cost, OptLevel::All, Placement::Start);
+        for sched in scheds {
+            for seed in [1u64, 31337] {
+                let mut cfg = machine_config(&w, ExecMode::Det, seed);
+                cfg.scheduler = sched;
+                cfg.sanitize = true;
+                let ctx = format!("{} / {sched} / seed {seed}", w.name);
+                assert_identical(run_both(&inst.module, &cost, &specs, &cfg), &ctx);
+                cells += 1;
+            }
+        }
+    }
+    assert!(cells >= 30, "scheduler grid shrank to {cells} cells");
+}
+
 /// Every execution mode the simulator supports — including the
 /// nondeterministic ones, whose schedules are still a deterministic
 /// function of the jitter seed — must agree across backends.
@@ -94,7 +125,7 @@ fn all_exec_modes_identical_across_backends() {
         ExecMode::Baseline,
         ExecMode::ClocksOnly,
         ExecMode::Det,
-        ExecMode::Kendo(KendoParams::default()),
+        ExecMode::Kendo,
         ExecMode::BulkSync(BulkSyncParams::default()),
     ];
     for w in all_benchmarks(2, 0.02) {

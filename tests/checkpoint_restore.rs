@@ -33,6 +33,10 @@ fn spec(workload: &str, seed: u64) -> JobSpec {
         seed,
         opt: OptLevel::All,
         sanitize: false,
+        // Inherits `DETLOCK_SCHEDULER`: the resume-equals-from-zero
+        // property must hold under every policy, so the CI scheduler
+        // matrix runs this whole suite once per policy.
+        scheduler: detlock_vm::Sched::resolve(),
     }
 }
 
@@ -228,6 +232,87 @@ fn checkpoint_interval_does_not_leak_into_the_receipt() {
             _ => panic!("checkpointed run failed"),
         }
     }
+}
+
+/// The scheduler grid version of the resume property: under *each*
+/// arbitration policy, a maximal-interruption resume chain must reproduce
+/// the uninterrupted run's receipt byte-for-byte. The policies produce
+/// different receipts from each other on contended workloads — each chain
+/// is compared against its own policy's reference.
+#[test]
+fn resume_chains_match_run_from_zero_under_every_scheduler() {
+    use detlock_vm::Sched;
+    let mut engine = ShardEngine::new(0);
+    let scheds = [
+        Sched::Kendo,
+        Sched::Chunk(detlock_vm::ChunkParams::default()),
+        Sched::DcBatch,
+    ];
+    for name in ["ocean", "radiosity"] {
+        for sched in scheds {
+            let mut job = spec(name, 5);
+            job.scheduler = sched;
+            let reference = match engine.execute_resumable(&job, u64::MAX, ExecOpts::default()) {
+                ExecOutcome::Done { receipt, .. } => receipt.canonical(),
+                _ => panic!("uninterrupted {sched} run failed for {name}"),
+            };
+            let (canonical, rounds) = run_interrupted(&mut engine, &job, 1500);
+            assert!(rounds > 0, "{name}/{sched}: interval too coarse");
+            assert_eq!(
+                canonical, reference,
+                "{name}/{sched}: resumed receipt diverged from run-from-zero"
+            );
+        }
+    }
+}
+
+/// Scheduler identity rides the checkpoint, and restoring under a
+/// *different* scheduler is refused with the typed error — the inverse of
+/// the backend exclusion above: backends are proven bit-identical, so
+/// snapshots are portable across them; schedulers legitimately produce
+/// different executions, so a snapshot must replay under the policy that
+/// produced it.
+#[test]
+fn restore_under_a_different_scheduler_is_a_typed_error() {
+    use detlock_bench::{machine_config, thread_specs};
+    use detlock_passes::cost::CostModel;
+    use detlock_vm::machine::{CkptControl, ExecMode, Machine, ResumeError, RunOutcome};
+    use detlock_vm::Sched;
+
+    let w = detlock_workloads::by_name("ocean", 2, 0.02).unwrap();
+    let cost = CostModel::default();
+    let mut cfg = machine_config(&w, ExecMode::Det, 3);
+    cfg.scheduler = Sched::Kendo;
+    let specs = thread_specs(&w);
+
+    let mut taken = None;
+    let outcome =
+        Machine::new(&w.module, &cost, &specs, cfg.clone()).run_with_checkpoints(256, &mut |ck| {
+            taken = Some(ck.clone());
+            CkptControl::Abort
+        });
+    assert!(matches!(outcome, RunOutcome::Aborted { .. }));
+    let ckpt = taken.expect("a checkpoint was taken");
+    assert_eq!(ckpt.scheduler(), Sched::Kendo);
+
+    // Same config, different scheduler: refused with the typed mismatch,
+    // not the generic fingerprint error.
+    let mut other = cfg.clone();
+    other.scheduler = Sched::DcBatch;
+    match Machine::resume(&w.module, &cost, other, &ckpt) {
+        Err(ResumeError::SchedulerMismatch {
+            checkpoint,
+            requested,
+        }) => {
+            assert_eq!(checkpoint, Sched::Kendo);
+            assert_eq!(requested, Sched::DcBatch);
+        }
+        Err(e) => panic!("expected SchedulerMismatch, got {e:?}"),
+        Ok(_) => panic!("scheduler mismatch must refuse to resume"),
+    }
+
+    // The matching scheduler still resumes fine.
+    assert!(Machine::resume(&w.module, &cost, cfg, &ckpt).is_ok());
 }
 
 /// The threaded-code backend runs under the same checkpoint machinery:

@@ -343,6 +343,7 @@ fn serve_spec(workload: &str, seed: u64) -> JobSpec {
         seed,
         opt: detlock_passes::pipeline::OptLevel::All,
         sanitize: false,
+        scheduler: detlock_vm::Sched::resolve(),
     }
 }
 

@@ -15,6 +15,16 @@ use detlock_workloads::by_name;
 
 const SCALE: f64 = 0.1;
 
+/// The shapes this suite pins are claims about the paper's reference
+/// arbitration (Kendo min-clock turns). Alternative policies legitimately
+/// move the numbers — dc-batch costs ~2x in simulated cycles — so the
+/// suite pins the policy itself and stays green under the CI scheduler
+/// matrix (`DETLOCK_SCHEDULER`) instead of re-testing the paper's claims
+/// against a policy the paper never measured.
+fn pin_reference_policy() {
+    detlock_vm::Sched::Kendo.set_process_default();
+}
+
 fn level_idx(l: OptLevel) -> usize {
     OptLevel::table1_rows()
         .iter()
@@ -24,6 +34,7 @@ fn level_idx(l: OptLevel) -> usize {
 
 #[test]
 fn water_shape_o2_o4_help_o1_o3_dont() {
+    pin_reference_policy();
     let w = by_name("water-nsq", 4, SCALE).unwrap();
     let cost = CostModel::default();
     let r = run_benchmark(&w, &cost, 1);
@@ -45,6 +56,7 @@ fn water_shape_o2_o4_help_o1_o3_dont() {
 
 #[test]
 fn radiosity_shape_highest_det_overhead_o1_strongest() {
+    pin_reference_policy();
     let w = by_name("radiosity", 4, SCALE).unwrap();
     let cost = CostModel::default();
     let r = run_benchmark(&w, &cost, 1);
@@ -74,6 +86,7 @@ fn radiosity_shape_highest_det_overhead_o1_strongest() {
 
 #[test]
 fn ocean_shape_negligible_overheads() {
+    pin_reference_policy();
     let w = by_name("ocean", 4, SCALE).unwrap();
     let cost = CostModel::default();
     let r = run_benchmark(&w, &cost, 1);
@@ -87,6 +100,7 @@ fn ocean_shape_negligible_overheads() {
 
 #[test]
 fn raytrace_volrend_shape_moderate() {
+    pin_reference_policy();
     let cost = CostModel::default();
     for name in ["raytrace", "volrend"] {
         let w = by_name(name, 4, SCALE).unwrap();
@@ -102,6 +116,7 @@ fn raytrace_volrend_shape_moderate() {
 
 #[test]
 fn table2_crossover_detlock_beats_kendo_on_radiosity_loses_on_water() {
+    pin_reference_policy();
     let cost = CostModel::default();
     let chunks = [256, 1024, 4096];
 
@@ -145,6 +160,7 @@ fn table2_crossover_detlock_beats_kendo_on_radiosity_loses_on_water() {
 
 #[test]
 fn fig15_shape_start_placement_beats_end_beats_nothing() {
+    pin_reference_policy();
     let w = by_name("radiosity", 4, 0.15).unwrap();
     let cost = CostModel::default();
     let r = run_placement(&w, &cost, 1);
@@ -166,6 +182,7 @@ fn fig15_shape_start_placement_beats_end_beats_nothing() {
 
 #[test]
 fn locks_per_sec_spread_matches_paper_ordering() {
+    pin_reference_policy();
     // Paper Table I ordering: radiosity ≫ volrend > raytrace > water ≫ ocean.
     let cost = CostModel::default();
     let rate = |name: &str| {
@@ -185,24 +202,23 @@ fn locks_per_sec_spread_matches_paper_ordering() {
 
 #[test]
 fn kendo_mode_also_deterministic_on_workloads() {
+    pin_reference_policy();
     // Table II's comparison is only fair if the simulated Kendo is itself
     // deterministic.
     let cost = CostModel::default();
     let w = by_name("radiosity", 4, 0.05).unwrap();
     let specs = thread_specs(&w);
-    let report = detlock_vm::determinism::check_determinism(
-        &w.module,
-        &cost,
-        &specs,
-        &machine_config(&w, ExecMode::Kendo(detlock_vm::KendoParams::default()), 0),
-        &[1, 5, 23],
-    );
+    let mut cfg = machine_config(&w, ExecMode::Kendo, 0);
+    cfg.scheduler = detlock_vm::Sched::Chunk(Default::default());
+    let report =
+        detlock_vm::determinism::check_determinism(&w.module, &cost, &specs, &cfg, &[1, 5, 23]);
     assert!(!report.any_hit_limit);
     assert!(report.deterministic, "{:x?}", report.hashes);
 }
 
 #[test]
 fn clocks_only_never_deterministic_claim_is_not_made() {
+    pin_reference_policy();
     // Sanity that instrumentation alone does NOT give determinism — the
     // runtime arbitration is load-bearing.
     let cost = CostModel::default();
@@ -224,6 +240,7 @@ fn clocks_only_never_deterministic_claim_is_not_made() {
 
 #[test]
 fn det_overhead_grows_with_core_count() {
+    pin_reference_policy();
     // Extension shape (scaling binary): deterministic-execution overhead
     // rises with thread count — more clocks to pass, higher aggregate lock
     // rate — while instrumentation overhead stays flat.
@@ -261,6 +278,7 @@ fn det_overhead_grows_with_core_count() {
 
 #[test]
 fn bulk_sync_much_worse_than_detlock_everywhere() {
+    pin_reference_policy();
     // The paper's §II motivation: CoreDet-style bulk-synchronous quanta
     // cost far more than weak determinism on every benchmark.
     let cost = CostModel::default();
