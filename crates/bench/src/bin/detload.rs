@@ -16,8 +16,26 @@
 //!     [--ready-file PATH] [--rate JOBS_PER_SEC] [--jobs N] [--threads N] \
 //!     [--scale F] [--seeds A,B,C] [--json] [--out BENCH_serve.json] \
 //!     [--net-faults SEED] [--crash-faults SEED] [--cross-backends] \
-//!     [--schedulers kendo,chunk,dc-batch] [--shutdown]
+//!     [--schedulers kendo,chunk,dc-batch] [--shutdown] \
+//!     [--conns N] [--closed-conns N] [--pipeline D] [--hot-key P] \
+//!     [--sweep R1,R2,...]
 //! ```
+//!
+//! **Event-loop mode** (`--conns N`, N ≥ 1): instead of a thread per
+//! job, a single `poll(2)` loop drives N persistent keep-alive
+//! connections — tens of thousands are fine — with `--pipeline D` jobs
+//! per v2 `batch` frame, `--hot-key P` (per-1024) deterministic hot-key
+//! skew, and `--closed-conns M` closed-loop background connections
+//! alongside the open-loop schedule. `--sweep R1,R2,...` replaces the
+//! single `--rate` with an offered-load sweep; each rate becomes one
+//! point on a `latency_curve` (p50/p99 vs offered and achieved QPS) in
+//! the report, which `perfgate --max-p99-ms/--min-sustained-qps` gates.
+//! Under chaos the curve comes from the *clean* sweep (sweep 2 measures
+//! fault recovery, not service latency).
+//! The whole sweep still runs **twice** and every receipt — including
+//! hot-key duplicates and post-reconnect reissues — must be
+//! byte-identical across sightings, sweeps, and (behind a group router)
+//! processes.
 //!
 //! `--ready-file PATH` waits for `detserved --ready-file PATH` to publish
 //! its bound address and uses that instead of (or as well as) `--addr` —
@@ -48,6 +66,7 @@
 //! legitimately differ from each other — the sweep certifies that each is
 //! internally deterministic, not that they agree.
 
+use detlock_bench::loadgen::{Ledger, LoadGen, LoadOptions, PhaseReport};
 use detlock_bench::CliOptions;
 use detlock_passes::pipeline::OptLevel;
 use detlock_serve::client::{ClientError, RetryPolicy, RetryingClient};
@@ -230,8 +249,39 @@ fn main() {
     let mut crash_seed: Option<u64> = None;
     let mut cross_backends = false;
     let mut sched_sweep: Vec<detlock_vm::Sched> = Vec::new();
+    let mut conns = 0usize;
+    let mut closed_conns = 0usize;
+    let mut pipeline = 1usize;
+    let mut hot_key = 0u32;
+    let mut rate_sweep: Vec<f64> = Vec::new();
     let mut opts = CliOptions::parse_with(|flag, args, i| {
         match flag {
+            "--conns" => {
+                *i += 1;
+                conns = args[*i].parse().expect("--conns N");
+            }
+            "--closed-conns" => {
+                *i += 1;
+                closed_conns = args[*i].parse().expect("--closed-conns N");
+            }
+            "--pipeline" => {
+                *i += 1;
+                pipeline = args[*i].parse().expect("--pipeline D");
+                assert!(pipeline >= 1, "--pipeline must be at least 1");
+            }
+            "--hot-key" => {
+                *i += 1;
+                hot_key = args[*i].parse().expect("--hot-key PER_1024");
+                assert!(hot_key <= 1024, "--hot-key is a per-1024 rate");
+            }
+            "--sweep" => {
+                *i += 1;
+                rate_sweep = args[*i]
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("--sweep R1,R2,..."))
+                    .collect();
+                assert!(!rate_sweep.is_empty(), "--sweep needs at least one rate");
+            }
             "--addr" => {
                 *i += 1;
                 addr = args[*i].clone();
@@ -313,6 +363,29 @@ fn main() {
     } else {
         grid.iter().cycle().take(jobs_target).cloned().collect()
     };
+
+    if conns > 0 {
+        evloop_mode(EvloopArgs {
+            addr: &addr,
+            jobs: &jobs,
+            rates: if rate_sweep.is_empty() {
+                vec![rate]
+            } else {
+                rate_sweep
+            },
+            conns,
+            closed_conns,
+            pipeline,
+            hot_key,
+            net_seed,
+            crash_seed,
+            do_shutdown,
+            cross_backends,
+            sched_sweep: &sched_sweep,
+            opts: &opts,
+            scale,
+        });
+    }
 
     eprintln!(
         "detload: {} jobs x 2 sweeps at {} jobs/sec against {}{}",
@@ -606,4 +679,407 @@ fn main() {
         eprintln!("detload: FAIL ({})", failures.join("; "));
         std::process::exit(1);
     }
+}
+
+/// Inputs for [`evloop_mode`] (the flag soup, bundled).
+struct EvloopArgs<'a> {
+    addr: &'a str,
+    jobs: &'a [JobSpec],
+    rates: Vec<f64>,
+    conns: usize,
+    closed_conns: usize,
+    pipeline: usize,
+    hot_key: u32,
+    net_seed: Option<u64>,
+    crash_seed: Option<u64>,
+    do_shutdown: bool,
+    cross_backends: bool,
+    sched_sweep: &'a [detlock_vm::Sched],
+    opts: &'a CliOptions,
+    scale: f64,
+}
+
+/// Aggregate a pass (one trip over all sweep rates) into the same JSON
+/// shape the legacy per-sweep report uses, so downstream consumers
+/// (perfgate, CI assertions) read both modes identically.
+fn pass_json(phases: &[PhaseReport], ledger: &Ledger) -> Json {
+    let completed: u64 = phases.iter().map(|p| p.completed).sum();
+    let failed: u64 = phases.iter().map(|p| p.failed).sum();
+    let sheds: u64 = phases.iter().map(|p| p.sheds).sum();
+    let reconnects: u64 = phases.iter().map(|p| p.reconnects).sum();
+    let wall_ms: u64 = phases.iter().map(|p| p.wall.as_millis() as u64).sum();
+    let mut backends: Vec<u64> = Vec::new();
+    for p in phases {
+        for &b in &p.backends_seen {
+            if !backends.contains(&b) {
+                backends.push(b);
+            }
+        }
+    }
+    backends.sort_unstable();
+    Json::obj([
+        ("completed", completed.to_json()),
+        ("failed", failed.to_json()),
+        ("unanswered", ledger.unanswered.to_json()),
+        ("rejections", sheds.to_json()),
+        ("reconnects", reconnects.to_json()),
+        ("wall_ms", wall_ms.to_json()),
+        (
+            "throughput_jps",
+            (completed as f64 / (wall_ms as f64 / 1000.0).max(1e-9)).to_json(),
+        ),
+        (
+            "latency",
+            phases
+                .last()
+                .map(|p| p.latency.clone())
+                .unwrap_or(Json::Null),
+        ),
+        ("backends_seen", backends.to_json()),
+        (
+            "failures",
+            Json::Arr(ledger.failures.iter().take(50).cloned().collect()),
+        ),
+    ])
+}
+
+/// The `--conns` driver: one poll loop, a persistent keep-alive pool,
+/// pipelined v2 frames, an offered-load sweep run twice, and the same
+/// receipt-identity verdicts as the legacy path.
+fn evloop_mode(a: EvloopArgs) -> ! {
+    let chaos = a.net_seed.is_some() || a.crash_seed.is_some();
+    let total_conns = a.conns + a.closed_conns;
+    eprintln!(
+        "detload: event-loop mode — {} jobs x {} rate(s) x 2 passes, {} open-loop + {} \
+         closed-loop conns, pipeline {}, hot-key {}/1024 against {}{}",
+        a.jobs.len(),
+        a.rates.len(),
+        a.conns,
+        a.closed_conns,
+        a.pipeline,
+        a.hot_key,
+        a.addr,
+        if chaos { " (chaos mode)" } else { "" },
+    );
+
+    let set_chaos = |net: Option<&NetFaultPlan>, crash: Option<&CrashPlan>| {
+        let mut c = Client::connect(a.addr).expect("connect for chaos op");
+        let resp = c.chaos(net, crash).expect("chaos op failed");
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "chaos op rejected: {}",
+            resp.to_string_compact()
+        );
+    };
+    if chaos {
+        set_chaos(None, None);
+    }
+
+    let mut gen = LoadGen::new(LoadOptions {
+        addr: a.addr.to_string(),
+        conns: a.conns,
+        closed_conns: a.closed_conns,
+        pipeline: a.pipeline,
+        hot_per_1024: a.hot_key,
+        max_attempts: 32,
+    });
+    let open = gen.prewarm();
+    let conns_ok = open == total_conns;
+    eprintln!("detload: {open}/{total_conns} keep-alive connections established");
+
+    // Pass 1: the clean reference.
+    let mut ledger1 = Ledger::default();
+    let phases1: Vec<PhaseReport> = a
+        .rates
+        .iter()
+        .map(|&r| {
+            let p = gen.run_phase(a.jobs, r, &mut ledger1);
+            eprintln!(
+                "detload: pass1 offered={:.0}qps achieved={:.0}qps p50={}us p99={}us \
+                 completed={} failed={} sheds={} reconnects={}",
+                p.offered_qps,
+                p.achieved_qps,
+                p.p50_us,
+                p.p99_us,
+                p.completed,
+                p.failed,
+                p.sheds,
+                p.reconnects
+            );
+            p
+        })
+        .collect();
+
+    // Pass 2: same schedule, optionally through armed fault plans.
+    let net_plan = a.net_seed.map(NetFaultPlan::new);
+    let crash_plan = a.crash_seed.map(CrashPlan::new);
+    if chaos {
+        set_chaos(net_plan.as_ref(), crash_plan.as_ref());
+    }
+    let mut ledger2 = Ledger::default();
+    let phases2: Vec<PhaseReport> = a
+        .rates
+        .iter()
+        .map(|&r| {
+            let p = gen.run_phase(a.jobs, r, &mut ledger2);
+            eprintln!(
+                "detload: pass2 offered={:.0}qps achieved={:.0}qps p50={}us p99={}us \
+                 completed={} failed={} sheds={} reconnects={}",
+                p.offered_qps,
+                p.achieved_qps,
+                p.p50_us,
+                p.p99_us,
+                p.completed,
+                p.failed,
+                p.sheds,
+                p.reconnects
+            );
+            p
+        })
+        .collect();
+    if chaos {
+        set_chaos(None, None);
+    }
+
+    // Receipt identity: in-pass divergence (hot-key duplicates, reissues)
+    // plus cross-pass divergence, key for key.
+    let mut mismatches: Vec<Json> = Vec::new();
+    mismatches.extend(ledger1.mismatches.iter().cloned());
+    mismatches.extend(ledger2.mismatches.iter().cloned());
+    let mut compared = ledger1.mismatches.len() as u64 + ledger2.mismatches.len() as u64;
+    for (key, r1) in &ledger1.receipts {
+        if let Some(r2) = ledger2.receipts.get(key) {
+            compared += 1;
+            if r1 != r2 {
+                mismatches.push(Json::obj([
+                    ("job", key.clone().to_json()),
+                    ("sweep1", r1.clone().to_json()),
+                    ("sweep2", r2.clone().to_json()),
+                ]));
+            }
+        }
+    }
+    let identical = mismatches.is_empty();
+
+    // Cross-backend differential against the pass-1 receipts.
+    let mut backend_compared = 0u64;
+    let mut backend_mismatches: Vec<Json> = Vec::new();
+    if a.cross_backends {
+        use detlock_serve::shard::ShardEngine;
+        use detlock_vm::Backend;
+        let mut interp = ShardEngine::new(usize::MAX - 1).with_backend(Backend::Interp);
+        let mut threaded = ShardEngine::new(usize::MAX).with_backend(Backend::Threaded);
+        let mut seen = std::collections::HashSet::new();
+        for spec in a.jobs {
+            let key = spec.identity_key();
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            let Some(server_receipt) = ledger1.receipts.get(&key) else {
+                continue;
+            };
+            let local = [&mut interp, &mut threaded].map(|engine| {
+                engine
+                    .execute(spec, u64::MAX)
+                    .map(|r| r.canonical())
+                    .unwrap_or_else(|e| format!("local execution failed: {e}"))
+            });
+            backend_compared += 1;
+            if local[0] != *server_receipt || local[1] != *server_receipt {
+                backend_mismatches.push(Json::obj([
+                    ("job", key.to_json()),
+                    ("server", server_receipt.clone().to_json()),
+                    ("interp", local[0].clone().to_json()),
+                    ("threaded", local[1].clone().to_json()),
+                ]));
+            }
+        }
+    }
+    let backends_identical = backend_mismatches.is_empty();
+
+    // Per-scheduler internal-determinism sweep (local re-execution).
+    let mut sched_compared = 0u64;
+    let mut sched_mismatches: Vec<Json> = Vec::new();
+    if !a.sched_sweep.is_empty() {
+        use detlock_serve::shard::ShardEngine;
+        let mut engine = ShardEngine::new(usize::MAX - 2);
+        let mut seen = std::collections::HashSet::new();
+        for spec in a.jobs {
+            if !seen.insert(spec.identity_key()) {
+                continue;
+            }
+            for &sched in a.sched_sweep {
+                let mut spec = spec.clone();
+                spec.scheduler = sched;
+                let pair: Vec<String> = (0..2)
+                    .map(|_| {
+                        engine
+                            .execute(&spec, u64::MAX)
+                            .map(|r| r.canonical())
+                            .unwrap_or_else(|e| format!("local execution failed: {e}"))
+                    })
+                    .collect();
+                sched_compared += 1;
+                if pair[0] != pair[1] {
+                    sched_mismatches.push(Json::obj([
+                        ("job", spec.identity_key().to_json()),
+                        ("scheduler", sched.spec().to_json()),
+                        ("run1", pair[0].clone().to_json()),
+                        ("run2", pair[1].clone().to_json()),
+                    ]));
+                }
+            }
+        }
+    }
+    let schedulers_stable = sched_mismatches.is_empty();
+
+    let server_stats = Client::connect(a.addr)
+        .and_then(|mut c| c.stats())
+        .unwrap_or_else(|e| Json::obj([("error", format!("stats: {e}").to_json())]));
+    let server_counter = |k: &str| {
+        server_stats
+            .get("counters")
+            .and_then(|c| c.get(k))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let recoveries = server_counter("recoveries");
+    let unanswered_total = ledger1.unanswered + ledger2.unanswered;
+
+    let chaos_json = Json::obj([
+        ("enabled", chaos.to_json()),
+        (
+            "net_seed",
+            a.net_seed.map(|s| s.to_json()).unwrap_or(Json::Null),
+        ),
+        (
+            "crash_seed",
+            a.crash_seed.map(|s| s.to_json()).unwrap_or(Json::Null),
+        ),
+        ("recoveries", recoveries.to_json()),
+        ("cold_requeues", server_counter("cold_requeues").to_json()),
+        (
+            "net_faults_injected",
+            server_counter("net_faults_injected").to_json(),
+        ),
+        (
+            "crashes_injected",
+            server_counter("crashes_injected").to_json(),
+        ),
+        ("unanswered", unanswered_total.to_json()),
+    ]);
+
+    let report = Json::obj([
+        ("addr", a.addr.to_json()),
+        ("mode", "evloop".to_json()),
+        (
+            "rates",
+            Json::Arr(a.rates.iter().map(|r| r.to_json()).collect()),
+        ),
+        ("jobs_per_sweep", a.jobs.len().to_json()),
+        ("threads", a.opts.threads.to_json()),
+        ("scale", a.scale.to_json()),
+        ("seeds", a.opts.seeds.to_json()),
+        (
+            "load",
+            Json::obj([
+                ("conns", a.conns.to_json()),
+                ("closed_conns", a.closed_conns.to_json()),
+                ("conns_requested", total_conns.to_json()),
+                ("conns_open", open.to_json()),
+                ("pipeline", a.pipeline.to_json()),
+                ("hot_key_per_1024", (a.hot_key as u64).to_json()),
+                ("reconnects", gen.reconnects().to_json()),
+            ]),
+        ),
+        ("chaos", chaos_json),
+        ("sweep1", pass_json(&phases1, &ledger1)),
+        ("sweep2", pass_json(&phases2, &ledger2)),
+        (
+            // The gateable curve: under chaos, sweep 2 measures fault
+            // recovery, not service latency — the clean sweep is the
+            // honest curve. Without chaos, sweep 2 is the warm one.
+            "latency_curve",
+            Json::Arr(
+                (if chaos { &phases1 } else { &phases2 })
+                    .iter()
+                    .map(PhaseReport::to_json)
+                    .collect(),
+            ),
+        ),
+        ("receipts_compared", compared.to_json()),
+        ("receipts_identical", identical.to_json()),
+        ("mismatches", Json::Arr(mismatches)),
+        (
+            "cross_backends",
+            Json::obj([
+                ("enabled", a.cross_backends.to_json()),
+                ("backend_receipts_compared", backend_compared.to_json()),
+                ("backend_receipts_identical", backends_identical.to_json()),
+                ("backend_mismatches", Json::Arr(backend_mismatches)),
+            ]),
+        ),
+        (
+            "schedulers",
+            Json::obj([
+                (
+                    "swept",
+                    Json::Arr(
+                        a.sched_sweep
+                            .iter()
+                            .map(|s| s.spec().to_json())
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("sched_receipts_compared", sched_compared.to_json()),
+                ("sched_receipts_stable", schedulers_stable.to_json()),
+                ("sched_mismatches", Json::Arr(sched_mismatches)),
+            ]),
+        ),
+        ("server_stats", server_stats),
+    ]);
+    a.opts.emit_json(&report);
+    if !a.opts.json {
+        eprintln!(
+            "receipts: {} compared, {}",
+            compared,
+            if identical {
+                "all identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+
+    if a.do_shutdown {
+        if let Ok(mut c) = Client::connect(a.addr) {
+            let _ = c.shutdown();
+        }
+    }
+
+    let mut failures: Vec<&str> = Vec::new();
+    if !identical || compared == 0 {
+        failures.push("no comparable receipts or receipt mismatch");
+    }
+    if unanswered_total > 0 {
+        failures.push("requests went unanswered (lost jobs are errors, not gaps)");
+    }
+    if !conns_ok {
+        failures.push("failed to establish the requested keep-alive connection count");
+    }
+    if a.crash_seed.is_some() && recoveries == 0 {
+        failures.push("crash chaos requested but zero checkpoint recoveries happened");
+    }
+    if a.cross_backends && (!backends_identical || backend_compared == 0) {
+        failures.push("cross-backend receipt mismatch (or nothing comparable)");
+    }
+    if !a.sched_sweep.is_empty() && (!schedulers_stable || sched_compared == 0) {
+        failures.push("per-scheduler receipt instability (or nothing comparable)");
+    }
+    if !failures.is_empty() {
+        eprintln!("detload: FAIL ({})", failures.join("; "));
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }

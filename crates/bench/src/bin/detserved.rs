@@ -13,6 +13,11 @@
 //!     [--checkpoint-interval CYCLES] \
 //!     [--cycle-slice CYCLES] [--net-faults SEED] [--crash-faults SEED] \
 //!     [--ready-file PATH]
+//!
+//! # router mode (multi-process shard group)
+//! cargo run -p detlock-bench --release --bin detserved -- \
+//!     --route ADDR1,ADDR2,... [--addr HOST:PORT] [--vnodes N] \
+//!     [--verify-per-1024 N] [--ready-file PATH]
 //! ```
 //!
 //! `--watchdog-ms 0` disables the stall supervisor. `--compile-threads N`
@@ -32,7 +37,14 @@
 //! PATH` atomically publishes the bound address to `PATH` *after* the
 //! listener is accepting — a race-free readiness marker for scripts that
 //! would otherwise have to sleep-poll the port.
+//!
+//! With `--route`, the binary becomes a [`GroupRouter`] instead: a
+//! consistent-hash front for a multi-process shard group. `--vnodes`
+//! sizes the ring; `--verify-per-1024 N` double-runs a deterministic
+//! fraction of jobs on a second process and compares receipts
+//! (cross-process determinism verification).
 
+use detlock_serve::group::{GroupConfig, GroupRouter};
 use detlock_serve::netfault::{CrashPlan, NetFaultPlan};
 use detlock_serve::server::{DetServed, ServeConfig};
 use std::io::Write;
@@ -52,11 +64,28 @@ fn write_ready_file(path: &str, addr: &str) {
 
 fn main() {
     let mut cfg = ServeConfig::default();
+    let mut group = GroupConfig::default();
     let mut ready_file: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--route" => {
+                i += 1;
+                group.backends = args[i]
+                    .split(',')
+                    .map(|a| a.trim().to_string())
+                    .filter(|a| !a.is_empty())
+                    .collect();
+            }
+            "--vnodes" => {
+                i += 1;
+                group.vnodes = args[i].parse().expect("--vnodes N");
+            }
+            "--verify-per-1024" => {
+                i += 1;
+                group.verify_per_1024 = args[i].parse().expect("--verify-per-1024 N");
+            }
             "--compile-threads" => {
                 i += 1;
                 let n: usize = args[i].parse().expect("--compile-threads N");
@@ -126,6 +155,22 @@ fn main() {
         i += 1;
     }
     assert!(cfg.shards >= 1, "--shards must be at least 1");
+
+    if !group.backends.is_empty() {
+        group.addr = cfg.addr.clone();
+        let router = GroupRouter::start(group.clone()).expect("bind router address");
+        println!("detserved routing on {}", router.local_addr());
+        if let Some(path) = &ready_file {
+            write_ready_file(path, &router.local_addr().to_string());
+        }
+        eprintln!(
+            "router backends={:?} vnodes={} verify_per_1024={}",
+            group.backends, group.vnodes, group.verify_per_1024
+        );
+        router.join();
+        eprintln!("detserved: router stopped");
+        return;
+    }
 
     let server = DetServed::start(cfg.clone()).expect("bind listen address");
     println!("detserved listening on {}", server.local_addr());

@@ -13,9 +13,23 @@
 //!          [--max-regress-pct PCT]      # default 25
 //!          [--min-backend-speedup F]    # default 1.5; 0 disables the check
 //!          [--max-sched-overhead F]     # default 3.0; 0 disables the check
+//!          [--max-p99-ms MS]            # latency-curve tail ceiling; 0 disables
+//!          [--min-sustained-qps QPS]    # latency-curve throughput floor; 0 disables
 //!          [--slowdown F]               # scale current wall times (negative control)
 //!          [--out diff.json]            # machine-readable diff artifact
 //! ```
+//!
+//! The curve checks read the `latency_curve` array a `detload --sweep`
+//! run emits (one point per offered rate): `--min-sustained-qps` floors
+//! the best achieved QPS on the curve, `--max-p99-ms` ceilings the tail
+//! latency at the lowest offered rate, and when the baseline report also
+//! carries a curve *from the same campaign* (identical load shape,
+//! offered rates and chaos arming) the best achieved QPS is additionally
+//! gated against it like any other regression — baseline-relative checks
+//! are skipped across campaigns, because a heavy chaos run and a light
+//! clean sweep are different experiments. `--slowdown F` divides current
+//! throughput and multiplies current latency by F, so the same negative
+//! control proves these gates trip too.
 //!
 //! Wall-time checks compare **totals** (summed across every workload and
 //! pass), never individual sub-millisecond timings, so single-workload
@@ -49,7 +63,8 @@ fn usage() -> ! {
         "usage: perfgate [--baseline-passes FILE --current-passes FILE]\n\
          \x20               [--baseline-serve FILE --current-serve FILE]\n\
          \x20               [--max-regress-pct PCT] [--min-backend-speedup F]\n\
-         \x20               [--max-sched-overhead F] [--slowdown F] [--out FILE]"
+         \x20               [--max-sched-overhead F] [--max-p99-ms MS]\n\
+         \x20               [--min-sustained-qps QPS] [--slowdown F] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -252,6 +267,138 @@ fn check_schedulers(current: &Json, max_overhead: f64, checks: &mut Vec<Check>) 
     });
 }
 
+/// The identity of a serve measurement campaign: load shape, offered
+/// rates, chaos arming. Baseline-*relative* gates (sweep walls, curve
+/// throughput vs baseline) only make sense when the two reports drove
+/// the same campaign — a 10k-connection chaos run and a light clean
+/// sweep are different experiments, and comparing their walls would gate
+/// workload-shape differences, not regressions. Absolute gates
+/// (receipt identity, failed jobs, p99 ceiling, sustained-QPS floor)
+/// always apply regardless.
+fn campaign_shape(j: &Json) -> String {
+    let load = |k: &str| -> i64 {
+        j.get("load")
+            .and_then(|l| l.get(k))
+            .and_then(Json::as_i64)
+            .unwrap_or(-1)
+    };
+    let rates = j
+        .get("rates")
+        .map(Json::to_string_compact)
+        .unwrap_or_default();
+    let chaos = j
+        .get("chaos")
+        .and_then(|c| c.get("enabled"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    format!(
+        "conns={} closed={} pipeline={} hot={} rates={} chaos={}",
+        load("conns"),
+        load("closed_conns"),
+        load("pipeline"),
+        load("hot_key_per_1024"),
+        rates,
+        chaos
+    )
+}
+
+/// Latency-under-load curve gates (reports from `detload --sweep`).
+/// `slowdown` scales the current run pessimistically — throughput
+/// divided, latency multiplied — so the negative control trips these
+/// checks the same way it trips the wall checks.
+fn check_curve(
+    baseline: &Json,
+    current: &Json,
+    slowdown: f64,
+    pct: f64,
+    max_p99_ms: f64,
+    min_sustained_qps: f64,
+    checks: &mut Vec<Check>,
+) {
+    let curve = |j: &Json| -> Vec<Json> {
+        j.get("latency_curve")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let cur = curve(current);
+    checks.push(Check {
+        name: "serve/curve-present".to_string(),
+        ok: !cur.is_empty(),
+        detail: format!("current report has {} latency-curve point(s)", cur.len()),
+    });
+    if cur.is_empty() {
+        return;
+    }
+    let best_qps = |pts: &[Json]| -> f64 {
+        pts.iter()
+            .filter_map(|p| p.get("achieved_qps").and_then(Json::as_f64))
+            .fold(0.0, f64::max)
+    };
+    let sustained = best_qps(&cur) / slowdown;
+    if min_sustained_qps > 0.0 {
+        checks.push(Check {
+            name: "serve/min-sustained-qps".to_string(),
+            ok: sustained >= min_sustained_qps,
+            detail: format!(
+                "best achieved {sustained:.1} qps (/{slowdown} slowdown), floor \
+                 {min_sustained_qps:.1} qps"
+            ),
+        });
+    }
+    if max_p99_ms > 0.0 {
+        // Tail latency is judged at the *lowest* offered rate: the one
+        // point that should be uncongested on any machine.
+        let lightest = cur
+            .iter()
+            .min_by(|a, b| {
+                let qps = |p: &&Json| {
+                    p.get("offered_qps")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(f64::MAX)
+                };
+                qps(a).total_cmp(&qps(b))
+            })
+            .expect("non-empty curve");
+        let p99_ms =
+            lightest.get("p99_us").and_then(Json::as_u64).unwrap_or(0) as f64 / 1000.0 * slowdown;
+        checks.push(Check {
+            name: "serve/max-p99-ms".to_string(),
+            ok: p99_ms > 0.0 && p99_ms <= max_p99_ms,
+            detail: format!(
+                "p99 at lightest offered rate {p99_ms:.1}ms (x{slowdown} slowdown), ceiling \
+                 {max_p99_ms:.1}ms"
+            ),
+        });
+    }
+    let base = curve(baseline);
+    if !base.is_empty() {
+        if campaign_shape(baseline) == campaign_shape(current) {
+            let base_best = best_qps(&base);
+            let floor = base_best * (1.0 - pct / 100.0);
+            checks.push(Check {
+                name: "serve/curve-throughput".to_string(),
+                ok: base_best <= 0.0 || sustained >= floor,
+                detail: format!(
+                    "best achieved: baseline {base_best:.1} qps, current {sustained:.1} qps \
+                     (floor {floor:.1} = -{pct}%)"
+                ),
+            });
+        } else {
+            checks.push(Check {
+                name: "serve/curve-throughput".to_string(),
+                ok: true,
+                detail: format!(
+                    "skipped: baseline campaign [{}] != current [{}] — curves from \
+                     different campaigns are not comparable (absolute gates still apply)",
+                    campaign_shape(baseline),
+                    campaign_shape(current)
+                ),
+            });
+        }
+    }
+}
+
 fn check_serve(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks: &mut Vec<Check>) {
     let identical = current
         .get("receipts_identical")
@@ -291,27 +438,63 @@ fn check_serve(baseline: &Json, current: &Json, slowdown: f64, pct: f64, checks:
             .and_then(Json::as_u64)
             .unwrap_or(0)
     };
-    checks.push(wall_check(
-        "serve/sweep2-wall",
-        wall(baseline) * 1_000_000,
-        wall(current) * 1_000_000,
-        slowdown,
-        pct,
-    ));
-    let plan_hits = current
-        .get("server_stats")
-        .and_then(|s| s.get("instrumentation"))
-        .and_then(|i| i.get("plan_cache_hits"))
-        .and_then(Json::as_u64)
-        .unwrap_or(0);
-    checks.push(Check {
-        name: "serve/plan-cache-hits".to_string(),
-        ok: plan_hits > 0,
-        detail: format!(
-            "server reported {plan_hits} plan-cache hits after the two-sweep drive \
-             (sibling shards must reuse compiled artifacts)"
-        ),
-    });
+    if campaign_shape(baseline) == campaign_shape(current) {
+        checks.push(wall_check(
+            "serve/sweep2-wall",
+            wall(baseline) * 1_000_000,
+            wall(current) * 1_000_000,
+            slowdown,
+            pct,
+        ));
+    } else {
+        checks.push(Check {
+            name: "serve/sweep2-wall".to_string(),
+            ok: true,
+            detail: format!(
+                "skipped: baseline campaign [{}] != current [{}] — walls from different \
+                 campaigns are not comparable (absolute gates still apply)",
+                campaign_shape(baseline),
+                campaign_shape(current)
+            ),
+        });
+    }
+    // Behind a group router the stats snapshot is the router's, which has
+    // no instrumentation section; the equivalent warm-path evidence there
+    // is the cross-process dedup ledger getting hits.
+    let stats = current.get("server_stats");
+    let is_router = stats
+        .and_then(|s| s.get("router"))
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    if is_router {
+        let dedup = stats
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get("dedup_hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        checks.push(Check {
+            name: "serve/router-dedup-hits".to_string(),
+            ok: dedup > 0,
+            detail: format!(
+                "group router reported {dedup} receipt-ledger dedup hits after the \
+                 two-sweep drive (sweep 2 must re-sight sweep 1's keys)"
+            ),
+        });
+    } else {
+        let plan_hits = stats
+            .and_then(|s| s.get("instrumentation"))
+            .and_then(|i| i.get("plan_cache_hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        checks.push(Check {
+            name: "serve/plan-cache-hits".to_string(),
+            ok: plan_hits > 0,
+            detail: format!(
+                "server reported {plan_hits} plan-cache hits after the two-sweep drive \
+                 (sibling shards must reuse compiled artifacts)"
+            ),
+        });
+    }
 }
 
 fn main() {
@@ -322,6 +505,8 @@ fn main() {
     let mut max_regress_pct = 25.0f64;
     let mut min_backend_speedup = 1.5f64;
     let mut max_sched_overhead = 3.0f64;
+    let mut max_p99_ms = 0.0f64;
+    let mut min_sustained_qps = 0.0f64;
     let mut slowdown = 1.0f64;
     let mut out: Option<String> = None;
 
@@ -346,6 +531,10 @@ fn main() {
             "--max-sched-overhead" => {
                 max_sched_overhead = take(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--max-p99-ms" => max_p99_ms = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-sustained-qps" => {
+                min_sustained_qps = take(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--slowdown" => slowdown = take(&mut i).parse().unwrap_or_else(|_| usage()),
             "--out" => out = Some(take(&mut i)),
             _ => usage(),
@@ -368,7 +557,19 @@ fn main() {
     }
     if let (Some(b), Some(c)) = (&baseline_serve, &current_serve) {
         ran_any = true;
-        check_serve(&load(b), &load(c), slowdown, max_regress_pct, &mut checks);
+        let (baseline, current) = (load(b), load(c));
+        check_serve(&baseline, &current, slowdown, max_regress_pct, &mut checks);
+        if max_p99_ms > 0.0 || min_sustained_qps > 0.0 {
+            check_curve(
+                &baseline,
+                &current,
+                slowdown,
+                max_regress_pct,
+                max_p99_ms,
+                min_sustained_qps,
+                &mut checks,
+            );
+        }
     }
     if !ran_any {
         usage();

@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod loadgen;
+
 use detlock_passes::cost::CostModel;
 use detlock_passes::pipeline::{instrument, instrument_with, CompileOpts, OptConfig, OptLevel};
 use detlock_passes::plan::Placement;

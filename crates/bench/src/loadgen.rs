@@ -1,0 +1,804 @@
+//! Event-loop traffic driver for `detload`: tens of thousands of
+//! keep-alive connections from one thread.
+//!
+//! The legacy `detload` path spawns a thread per job — honest, but it
+//! tops out far below the connection counts a serving stack must handle.
+//! This module drives the same verified traffic through a single
+//! `poll(2)` loop (the shim's [`Poller`], the same primitive the server
+//! uses): a persistent pool of nonblocking keep-alive connections, v2
+//! pipelined `batch` frames, deterministic hot-key skew, and an
+//! open-loop/closed-loop mix.
+//!
+//! * **Open loop**: frame *k* is released at `k·depth/rate` seconds by
+//!   the clock, regardless of completions — a slow server accumulates
+//!   queueing delay instead of politely throttling the load, which is
+//!   what makes the latency-under-load curve honest.
+//! * **Closed loop**: optionally, a set of connections that always keep
+//!   exactly one frame in flight — the "steady background tenant" shape.
+//! * **Hot-key skew**: a deterministic per-1024 draw replaces a frame
+//!   slot's job with the grid's first job, concentrating load on one
+//!   identity key (one shard/backend) the way real traffic does.
+//!
+//! Every job result feeds a receipt ledger: first sighting of an
+//! identity key records the canonical receipt, every later sighting —
+//! same phase, later phase, retry after a reconnect, duplicate from the
+//! hot key — must match byte-for-byte. Determinism is what makes the
+//! retry policy trivially safe: re-running a job can only produce the
+//! same receipt.
+
+use detlock_serve::protocol::{batch_request, FrameBuffer, JobSpec};
+use detlock_serve::receipt::Receipt;
+use detlock_serve::stats::LatencyHistogram;
+use detlock_shim::evloop::{Interest, Poller, RawFd};
+use detlock_shim::json::{Json, ToJson};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// FNV-1a over a counter: the deterministic per-slot draw for hot-key
+/// skew (well-spread, reproducible across sweeps).
+fn slot_hash(n: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in n.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Load-driver shape: connection counts, pipelining depth, skew.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server (or group-router) address.
+    pub addr: String,
+    /// Open-loop keep-alive connections (frames round-robin over them).
+    pub conns: usize,
+    /// Additional closed-loop connections (each keeps one frame in
+    /// flight at all times while the phase is active).
+    pub closed_conns: usize,
+    /// Jobs per frame: 1 sends v1 `run` lines, >1 sends v2 `batch`
+    /// frames (pipelined either way — the driver never waits for a
+    /// response before sending the next frame).
+    pub pipeline: usize,
+    /// Per-1024 chance a frame slot is replaced by the hot job
+    /// (`jobs[0]`). 0 disables skew.
+    pub hot_per_1024: u32,
+    /// Per-job cap on connection-casualty reissues. Sheds don't count —
+    /// they are definitive "later" answers bounded by the phase deadline.
+    pub max_attempts: u32,
+}
+
+impl Default for LoadOptions {
+    fn default() -> LoadOptions {
+        LoadOptions {
+            addr: String::new(),
+            conns: 1,
+            closed_conns: 0,
+            pipeline: 1,
+            hot_per_1024: 0,
+            max_attempts: 96,
+        }
+    }
+}
+
+/// Receipt ledger and verdicts accumulated over a whole pass (a sequence
+/// of phases driven through one [`LoadGen`]).
+#[derive(Default)]
+pub struct Ledger {
+    /// identity key → canonical receipt (first sighting wins).
+    pub receipts: std::collections::HashMap<String, String>,
+    /// Divergent re-sightings: `{job, first, later}` objects.
+    pub mismatches: Vec<Json>,
+    /// Permanently failed jobs: `{job, error, unanswered}` objects.
+    pub failures: Vec<Json>,
+    /// Jobs that exhausted retries without a definitive answer.
+    pub unanswered: u64,
+}
+
+impl Ledger {
+    /// Record a successful receipt; returns `false` on divergence from
+    /// an earlier sighting of the same key.
+    fn record(&mut self, key: &str, canonical: String) -> bool {
+        match self.receipts.get(key) {
+            Some(first) if *first != canonical => {
+                self.mismatches.push(Json::obj([
+                    ("job", key.to_json()),
+                    ("first", first.clone().to_json()),
+                    ("later", canonical.to_json()),
+                ]));
+                false
+            }
+            Some(_) => true,
+            None => {
+                self.receipts.insert(key.to_string(), canonical);
+                true
+            }
+        }
+    }
+
+    fn fail(&mut self, key: &str, error: String, unanswered: bool) {
+        if unanswered {
+            self.unanswered += 1;
+        }
+        self.failures.push(Json::obj([
+            ("job", key.to_json()),
+            ("error", error.to_json()),
+            ("unanswered", unanswered.to_json()),
+        ]));
+    }
+}
+
+/// One point on the latency-under-load curve.
+pub struct PhaseReport {
+    /// The rate the phase *asked* for.
+    pub offered_qps: f64,
+    /// Jobs completed per wall second actually observed.
+    pub achieved_qps: f64,
+    /// Jobs that returned a receipt.
+    pub completed: u64,
+    /// Jobs that resolved without a receipt (typed failure or retry
+    /// exhaustion).
+    pub failed: u64,
+    /// Typed shed responses seen (each triggers a retry until the cap).
+    pub sheds: u64,
+    /// Connections re-dialed during this phase.
+    pub reconnects: u64,
+    /// Frames driven by the closed-loop connections.
+    pub closed_frames: u64,
+    /// Phase wall time, release of the first frame to the last response.
+    pub wall: Duration,
+    /// Median request latency (release → response parsed).
+    pub p50_us: u64,
+    /// Tail request latency.
+    pub p99_us: u64,
+    /// Full latency histogram JSON.
+    pub latency: Json,
+    /// Distinct `backend` stamps seen in responses (router runs only).
+    pub backends_seen: Vec<u64>,
+}
+
+impl PhaseReport {
+    /// The curve-point JSON `perfgate` consumes.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_qps", self.offered_qps.to_json()),
+            ("achieved_qps", self.achieved_qps.to_json()),
+            ("completed", self.completed.to_json()),
+            ("failed", self.failed.to_json()),
+            ("sheds", self.sheds.to_json()),
+            ("reconnects", self.reconnects.to_json()),
+            ("closed_frames", self.closed_frames.to_json()),
+            ("wall_ms", (self.wall.as_millis() as u64).to_json()),
+            ("p50_us", self.p50_us.to_json()),
+            ("p99_us", self.p99_us.to_json()),
+            ("latency", self.latency.clone()),
+            ("backends_seen", self.backends_seen.to_json()),
+        ])
+    }
+}
+
+/// One pipelined request frame awaiting its response line.
+struct Frame {
+    released: Instant,
+    jobs: Vec<PendJob>,
+    /// True when issued by a closed-loop connection.
+    closed_loop: bool,
+}
+
+struct PendJob {
+    spec_idx: usize,
+    attempts: u32,
+}
+
+struct LoadConn {
+    stream: Option<TcpStream>,
+    rbuf: FrameBuffer,
+    out: Vec<u8>,
+    out_written: usize,
+    inflight: VecDeque<Frame>,
+    closed_loop: bool,
+    next_dial: Instant,
+}
+
+impl LoadConn {
+    fn new(closed_loop: bool) -> LoadConn {
+        LoadConn {
+            stream: None,
+            rbuf: FrameBuffer::new(),
+            out: Vec::new(),
+            out_written: 0,
+            inflight: VecDeque::new(),
+            closed_loop,
+            next_dial: Instant::now(),
+        }
+    }
+
+    fn dial(&mut self, addr: &str) -> bool {
+        if self.stream.is_some() {
+            return true;
+        }
+        if Instant::now() < self.next_dial {
+            return false;
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                if s.set_nonblocking(true).is_err() {
+                    self.next_dial = Instant::now() + Duration::from_millis(50);
+                    return false;
+                }
+                self.stream = Some(s);
+                true
+            }
+            Err(_) => {
+                self.next_dial = Instant::now() + Duration::from_millis(50);
+                false
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Ok(());
+        };
+        while self.out_written < self.out.len() {
+            match stream.write(&self.out[self.out_written..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_written = 0;
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd(s: &TcpStream) -> RawFd {
+    use std::os::unix::io::AsRawFd;
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd(_s: &TcpStream) -> RawFd {
+    0
+}
+
+/// The persistent connection pool + event loop. One `LoadGen` is reused
+/// across phases and sweeps so connections are genuinely keep-alive.
+pub struct LoadGen {
+    opts: LoadOptions,
+    conns: Vec<LoadConn>,
+    reconnects_total: u64,
+    /// Monotone slot counter feeding the hot-key draw (spans phases so
+    /// repeated passes see the identical skew pattern only if reset —
+    /// phases reset it, see `run_phase`).
+    scratch: Vec<u8>,
+}
+
+impl LoadGen {
+    /// Create the pool (lazily dialed — the first phase connects).
+    pub fn new(opts: LoadOptions) -> LoadGen {
+        assert!(opts.conns >= 1, "need at least one open-loop connection");
+        assert!(opts.pipeline >= 1, "pipeline depth must be at least 1");
+        let mut conns: Vec<LoadConn> = (0..opts.conns).map(|_| LoadConn::new(false)).collect();
+        conns.extend((0..opts.closed_conns).map(|_| LoadConn::new(true)));
+        LoadGen {
+            opts,
+            conns,
+            reconnects_total: 0,
+            scratch: vec![0u8; 64 * 1024],
+        }
+    }
+
+    /// Dial every connection in the pool up front; returns how many are
+    /// live. Used to assert "N concurrent connections are actually open"
+    /// before any traffic flows.
+    pub fn prewarm(&mut self) -> usize {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let addr = self.opts.addr.clone();
+        loop {
+            let mut live = 0;
+            for c in &mut self.conns {
+                if c.dial(&addr) {
+                    live += 1;
+                }
+            }
+            if live == self.conns.len() || Instant::now() >= deadline {
+                return live;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Total reconnect count over the generator's lifetime.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects_total
+    }
+
+    /// Drive `jobs` once at `rate` jobs/sec (open loop), with the
+    /// closed-loop connections cycling the same grid in the background.
+    /// Receipts and failures land in `ledger`; latency lands in the
+    /// returned curve point.
+    pub fn run_phase(&mut self, jobs: &[JobSpec], rate: f64, ledger: &mut Ledger) -> PhaseReport {
+        assert!(!jobs.is_empty() && rate > 0.0);
+        let depth = self.opts.pipeline.min(jobs.len());
+        let keys: Vec<String> = jobs.iter().map(|j| j.identity_key()).collect();
+
+        // Open-loop schedule: frame k = jobs [k·depth, (k+1)·depth), with
+        // the deterministic hot-key substitution applied per slot, and a
+        // release time of k·depth/rate. The slot counter restarts at 0
+        // each phase so every pass over the same grid sees the same skew.
+        let mut frames: Vec<Vec<usize>> = Vec::new();
+        for (slot, idx) in (0..jobs.len()).enumerate() {
+            let idx = if self.opts.hot_per_1024 > 0
+                && slot_hash(slot as u64) % 1024 < self.opts.hot_per_1024 as u64
+            {
+                0 // the hot key
+            } else {
+                idx
+            };
+            if slot % depth == 0 {
+                frames.push(Vec::with_capacity(depth));
+            }
+            frames.last_mut().expect("just pushed").push(idx);
+        }
+        let period = Duration::from_secs_f64(depth as f64 / rate);
+
+        let hist = LatencyHistogram::default();
+        let mut completed = 0u64;
+        let mut failed = 0u64;
+        let mut sheds = 0u64;
+        let mut closed_frames = 0u64;
+        let reconnects_before = self.reconnects_total;
+        let mut backends_seen: Vec<u64> = Vec::new();
+
+        // Outstanding open-loop jobs: the phase ends when every one has
+        // been definitively resolved (receipt, typed failure, or retry
+        // exhaustion). Retries keep a job outstanding.
+        let mut outstanding: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        let mut next_frame = 0usize;
+        let mut rr = 0usize; // open-loop round-robin cursor
+        let mut retryq: Vec<(Instant, PendJob)> = Vec::new();
+        let mut closed_cursor = 0usize;
+        let t0 = Instant::now();
+        // Generous overall deadline: schedule length + drain allowance.
+        let deadline = t0
+            + Duration::from_secs_f64(frames.len() as f64 * period.as_secs_f64())
+            + Duration::from_secs(180);
+
+        let mut poller = Poller::new();
+        loop {
+            let now = Instant::now();
+
+            // 1. Release due open-loop frames.
+            while next_frame < frames.len() && t0 + period * next_frame as u32 <= now {
+                let jobs_in = frames[next_frame]
+                    .iter()
+                    .map(|&spec_idx| PendJob {
+                        spec_idx,
+                        attempts: 0,
+                    })
+                    .collect();
+                let conn = rr % self.opts.conns;
+                rr += 1;
+                self.issue(conn, jobs_in, jobs, false);
+                next_frame += 1;
+            }
+
+            // 2. Re-release due retries (grouped into fresh frames).
+            if !retryq.is_empty() {
+                let mut due: Vec<PendJob> = Vec::new();
+                let mut rest = Vec::with_capacity(retryq.len());
+                for (when, job) in std::mem::take(&mut retryq) {
+                    if when <= now {
+                        due.push(job);
+                    } else {
+                        rest.push((when, job));
+                    }
+                }
+                retryq = rest;
+                for chunk in due.chunks(depth) {
+                    let conn = rr % self.opts.conns;
+                    rr += 1;
+                    let batch: Vec<PendJob> = chunk
+                        .iter()
+                        .map(|j| PendJob {
+                            spec_idx: j.spec_idx,
+                            attempts: j.attempts,
+                        })
+                        .collect();
+                    self.issue(conn, batch, jobs, false);
+                }
+            }
+
+            let open_work_left = outstanding > 0;
+
+            // 3. Closed-loop connections: keep one frame in flight while
+            //    the open-loop phase is still running.
+            if open_work_left {
+                for ci in self.opts.conns..self.conns.len() {
+                    if self.conns[ci].inflight.is_empty() {
+                        let mut batch = Vec::with_capacity(depth);
+                        for _ in 0..depth {
+                            let idx = if self.opts.hot_per_1024 > 0
+                                && slot_hash(0x9e37_79b9 ^ closed_cursor as u64) % 1024
+                                    < self.opts.hot_per_1024 as u64
+                            {
+                                0
+                            } else {
+                                closed_cursor % jobs.len()
+                            };
+                            closed_cursor += 1;
+                            batch.push(PendJob {
+                                spec_idx: idx,
+                                attempts: 0,
+                            });
+                        }
+                        self.issue(ci, batch, jobs, true);
+                        closed_frames += 1;
+                    }
+                }
+            }
+
+            // 4. Phase exit: all open-loop work resolved and every
+            //    closed-loop tail frame answered.
+            let closed_idle = self
+                .conns
+                .iter()
+                .skip(self.opts.conns)
+                .all(|c| c.inflight.is_empty());
+            if next_frame == frames.len() && !open_work_left && retryq.is_empty() && closed_idle {
+                break;
+            }
+            if now >= deadline {
+                // Account every unresolved job as unanswered — missing
+                // data points are errors, not gaps.
+                for conn in &mut self.conns {
+                    for frame in conn.inflight.drain(..) {
+                        for j in frame.jobs {
+                            ledger.fail(
+                                &keys[j.spec_idx],
+                                "phase deadline exceeded".to_string(),
+                                true,
+                            );
+                            if !frame.closed_loop {
+                                outstanding = outstanding.saturating_sub(1);
+                            }
+                            failed += 1;
+                        }
+                    }
+                }
+                for (_, j) in retryq.drain(..) {
+                    ledger.fail(
+                        &keys[j.spec_idx],
+                        "phase deadline exceeded".to_string(),
+                        true,
+                    );
+                    outstanding = outstanding.saturating_sub(1);
+                    failed += 1;
+                }
+                break;
+            }
+
+            // 5. Dial/flush, then poll.
+            poller.clear();
+            let mut order: Vec<(usize, usize)> = Vec::with_capacity(self.conns.len());
+            for (ci, conn) in self.conns.iter_mut().enumerate() {
+                let wants_io = !conn.inflight.is_empty() || conn.out.len() > conn.out_written;
+                if wants_io && conn.stream.is_none() {
+                    conn.dial(&self.opts.addr);
+                }
+                if conn.flush().is_err() {
+                    // Handled below via fail path on next read; mark by
+                    // dropping the stream now.
+                    Self::fail_conn_inner(
+                        conn,
+                        &keys,
+                        &mut retryq,
+                        &mut outstanding,
+                        &mut failed,
+                        ledger,
+                        self.opts.max_attempts,
+                        &mut self.reconnects_total,
+                    );
+                    continue;
+                }
+                let Some(stream) = conn.stream.as_ref() else {
+                    continue;
+                };
+                let reads = !conn.inflight.is_empty();
+                let writes = conn.out.len() > conn.out_written;
+                let interest = match (reads, writes) {
+                    (true, true) => Interest::BOTH,
+                    (true, false) => Interest::READABLE,
+                    (false, true) => Interest::WRITABLE,
+                    (false, false) => continue,
+                };
+                order.push((poller.push(raw_fd(stream), interest), ci));
+            }
+
+            // Wake for the earliest of: next open-loop release, next
+            // retry release, a coarse 20ms tick.
+            let mut timeout = Duration::from_millis(20);
+            if next_frame < frames.len() {
+                let due = t0 + period * next_frame as u32;
+                timeout = timeout.min(due.saturating_duration_since(now));
+            }
+            for (when, _) in &retryq {
+                timeout = timeout.min(when.saturating_duration_since(now));
+            }
+            if poller.is_empty() || poller.wait(Some(timeout)).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+
+            // 6. Read responses.
+            for &(pidx, ci) in &order {
+                let ready = poller.ready(pidx);
+                if !ready.readable && !ready.error {
+                    continue;
+                }
+                let conn = &mut self.conns[ci];
+                let mut broken = ready.error && !ready.readable;
+                if ready.readable {
+                    while let Some(stream) = conn.stream.as_mut() {
+                        match stream.read(&mut self.scratch) {
+                            Ok(0) => {
+                                broken = true;
+                                break;
+                            }
+                            Ok(n) => {
+                                let data = &self.scratch[..n];
+                                conn.rbuf.push(data);
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                broken = true;
+                                break;
+                            }
+                        }
+                    }
+                    while let Some(line) = conn.rbuf.next_frame() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let Some(frame) = conn.inflight.pop_front() else {
+                            broken = true; // unsolicited response
+                            break;
+                        };
+                        handle_response(
+                            frame,
+                            &line,
+                            &keys,
+                            ledger,
+                            &hist,
+                            &mut completed,
+                            &mut failed,
+                            &mut sheds,
+                            &mut outstanding,
+                            &mut retryq,
+                            &mut backends_seen,
+                        );
+                    }
+                }
+                if broken {
+                    Self::fail_conn_inner(
+                        conn,
+                        &keys,
+                        &mut retryq,
+                        &mut outstanding,
+                        &mut failed,
+                        ledger,
+                        self.opts.max_attempts,
+                        &mut self.reconnects_total,
+                    );
+                }
+            }
+        }
+
+        let wall = t0.elapsed();
+        backends_seen.sort_unstable();
+        PhaseReport {
+            offered_qps: rate,
+            achieved_qps: completed as f64 / wall.as_secs_f64().max(1e-9),
+            completed,
+            failed,
+            sheds,
+            reconnects: self.reconnects_total - reconnects_before,
+            closed_frames,
+            wall,
+            p50_us: hist.percentile_us(50.0),
+            p99_us: hist.percentile_us(99.0),
+            latency: hist.to_json(),
+            backends_seen,
+        }
+    }
+
+    /// Encode a frame onto connection `ci` and record it in flight.
+    fn issue(&mut self, ci: usize, batch: Vec<PendJob>, jobs: &[JobSpec], closed_loop: bool) {
+        let conn = &mut self.conns[ci];
+        let line = if batch.len() == 1 {
+            jobs[batch[0].spec_idx].to_json().to_string_compact()
+        } else {
+            let specs: Vec<JobSpec> = batch.iter().map(|j| jobs[j.spec_idx].clone()).collect();
+            batch_request(&specs).to_string_compact()
+        };
+        conn.out.extend_from_slice(line.as_bytes());
+        conn.out.push(b'\n');
+        conn.inflight.push_back(Frame {
+            released: Instant::now(),
+            jobs: batch,
+            closed_loop,
+        });
+    }
+
+    /// Connection death: every in-flight job is re-queued (attempts
+    /// permitting) — determinism makes reissue safe, the receipt ledger
+    /// proves it.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_conn_inner(
+        conn: &mut LoadConn,
+        keys: &[String],
+        retryq: &mut Vec<(Instant, PendJob)>,
+        outstanding: &mut u64,
+        failed: &mut u64,
+        ledger: &mut Ledger,
+        max_attempts: u32,
+        reconnects: &mut u64,
+    ) {
+        conn.stream = None;
+        conn.rbuf = FrameBuffer::new();
+        conn.out.clear();
+        conn.out_written = 0;
+        conn.next_dial = Instant::now() + Duration::from_millis(20);
+        *reconnects += 1;
+        let was_closed_loop = conn.closed_loop;
+        for frame in conn.inflight.drain(..) {
+            for mut j in frame.jobs {
+                j.attempts += 1;
+                if was_closed_loop {
+                    // Closed-loop frames are background load: a lost one
+                    // is simply regenerated by the refill logic.
+                    continue;
+                }
+                if j.attempts > max_attempts {
+                    ledger.fail(
+                        &keys[j.spec_idx],
+                        "connection failed and retries exhausted".to_string(),
+                        true,
+                    );
+                    *outstanding = outstanding.saturating_sub(1);
+                    *failed += 1;
+                } else {
+                    retryq.push((Instant::now() + Duration::from_millis(25), j));
+                }
+            }
+        }
+    }
+}
+
+/// Decode one response line against its frame and resolve every job in
+/// it: record receipts, schedule shed retries, count failures.
+#[allow(clippy::too_many_arguments)]
+fn handle_response(
+    frame: Frame,
+    line: &str,
+    keys: &[String],
+    ledger: &mut Ledger,
+    hist: &LatencyHistogram,
+    completed: &mut u64,
+    failed: &mut u64,
+    sheds: &mut u64,
+    outstanding: &mut u64,
+    retryq: &mut Vec<(Instant, PendJob)>,
+    backends_seen: &mut Vec<u64>,
+) {
+    let latency_us = frame.released.elapsed().as_micros() as u64;
+    let parsed = Json::parse(line).ok();
+    let results: Vec<Option<Json>> = match (&parsed, frame.jobs.len()) {
+        (Some(resp), 1) => vec![Some(resp.clone())],
+        (Some(resp), n) => {
+            match resp.get("results").and_then(Json::as_arr) {
+                Some(items) if items.len() == n => items.iter().cloned().map(Some).collect(),
+                // Whole-batch rejection (or malformed): every job in the
+                // frame sees the same verdict.
+                _ => vec![Some(resp.clone()); n],
+            }
+        }
+        (None, n) => vec![None; n],
+    };
+    let from_closed_loop = frame.closed_loop;
+    for (j, result) in frame.jobs.into_iter().zip(results) {
+        let key = &keys[j.spec_idx];
+        let resolve_open = |outstanding: &mut u64| {
+            if !from_closed_loop {
+                *outstanding = outstanding.saturating_sub(1);
+            }
+        };
+        let Some(result) = result else {
+            ledger.fail(key, "unparseable response line".to_string(), false);
+            resolve_open(outstanding);
+            *failed += 1;
+            continue;
+        };
+        if result.get("ok").and_then(Json::as_bool) == Some(true) {
+            match result.get("receipt").and_then(Receipt::from_json) {
+                Some(receipt) => {
+                    hist.record_us(latency_us);
+                    ledger.record(key, receipt.canonical());
+                    *completed += 1;
+                    if let Some(b) = result.get("backend").and_then(Json::as_u64) {
+                        if !backends_seen.contains(&b) {
+                            backends_seen.push(b);
+                        }
+                    }
+                }
+                None => {
+                    ledger.fail(key, "malformed receipt".to_string(), false);
+                    *failed += 1;
+                }
+            }
+            resolve_open(outstanding);
+        } else if result.get("error_kind").and_then(Json::as_str) == Some("shed") {
+            *sheds += 1;
+            if from_closed_loop {
+                continue; // background load: just regenerate
+            }
+            // A shed is a definitive "later" from a live server, not a
+            // casualty: it consumes no reissue attempt (mirroring
+            // `RetryingClient`). The phase deadline bounds the waiting —
+            // a job still shed at the deadline surfaces as unanswered.
+            let backoff = result
+                .get("retry_after_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(25)
+                .min(2000);
+            retryq.push((Instant::now() + Duration::from_millis(backoff), j));
+        } else {
+            let err = result
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+                .to_string();
+            ledger.fail(key, err, false);
+            resolve_open(outstanding);
+            *failed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_key_draw_is_deterministic_and_roughly_calibrated() {
+        let hits = |per_1024: u32| -> usize {
+            (0..10_000u64)
+                .filter(|&s| slot_hash(s) % 1024 < per_1024 as u64)
+                .count()
+        };
+        let h = hits(256); // ask for ~25%
+        assert!((2000..3000).contains(&h), "256/1024 draw hit {h}/10000");
+        assert_eq!(hits(0), 0);
+        assert_eq!(hits(1024), 10_000);
+        // Determinism: the same slot always draws the same way.
+        assert_eq!(slot_hash(42), slot_hash(42));
+    }
+
+    #[test]
+    fn ledger_flags_divergent_receipts() {
+        let mut l = Ledger::default();
+        assert!(l.record("k", "r1".to_string()));
+        assert!(l.record("k", "r1".to_string()));
+        assert!(!l.record("k", "r2".to_string()));
+        assert_eq!(l.mismatches.len(), 1);
+        l.fail("k2", "boom".to_string(), true);
+        assert_eq!(l.unanswered, 1);
+    }
+}

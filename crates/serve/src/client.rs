@@ -29,7 +29,7 @@
 //! [`ClientError::Unanswered`] — callers like `detload` treat those as
 //! hard errors, never as silently-missing data points.
 
-use crate::protocol::{Client, JobSpec};
+use crate::protocol::{batch_request, Client, JobSpec};
 use crate::receipt::Receipt;
 use detlock_shim::json::{Json, ToJson};
 use std::collections::HashMap;
@@ -249,6 +249,90 @@ impl RetryingClient {
                     .to_string(),
             });
         }
+        self.record_receipt(spec, &resp);
+        Ok(resp)
+    }
+
+    /// Submit many jobs as one v2 `batch` frame with the same retry
+    /// semantics as [`Self::run`]. A wire casualty or a `queue_full` shed
+    /// of any job re-issues the **whole** batch — safe because execution
+    /// is deterministic and every completion is cross-checked against the
+    /// receipt ledger. Per-job responses come back in submission order.
+    pub fn run_batch(&mut self, specs: &[JobSpec]) -> Result<Vec<Json>, ClientError> {
+        let frame = batch_request(specs);
+        let mut shed_waits = 0u32;
+        loop {
+            let resp = self.request(&frame)?;
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(ClientError::Rejected {
+                    error: resp
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("batch rejected")
+                        .to_string(),
+                });
+            }
+            let results = resp
+                .get("results")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::to_vec)
+                .unwrap_or_default();
+            if results.len() != specs.len() {
+                return Err(ClientError::Rejected {
+                    error: format!(
+                        "batch answered {} results for {} jobs",
+                        results.len(),
+                        specs.len()
+                    ),
+                });
+            }
+            // A job inside the batch can be individually shed while its
+            // siblings complete; honor the hint and re-issue everything.
+            let mut retry_after = None;
+            for r in &results {
+                let shed = r.get("ok").and_then(Json::as_bool) == Some(false)
+                    && r.get("error_kind").and_then(Json::as_str) == Some("shed");
+                if !shed {
+                    continue;
+                }
+                if r.get("reason").and_then(Json::as_str) == Some("draining") {
+                    return Err(ClientError::Draining);
+                }
+                let ms = r.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(50);
+                retry_after = Some(retry_after.unwrap_or(0).max(ms));
+            }
+            if let Some(ms) = retry_after {
+                shed_waits += 1;
+                self.stats.shed_retries += 1;
+                if shed_waits > self.policy.max_shed_retries {
+                    self.stats.unanswered += 1;
+                    return Err(ClientError::Unanswered {
+                        attempts: 0,
+                        last_error: "admission queue stayed full".to_string(),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+                continue;
+            }
+            for (spec, r) in specs.iter().zip(&results) {
+                if r.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err(ClientError::Rejected {
+                        error: r
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown server error")
+                            .to_string(),
+                    });
+                }
+                self.record_receipt(spec, r);
+            }
+            return Ok(results);
+        }
+    }
+
+    /// Cross-check a completion's receipt against the ledger for its
+    /// identity key (recording it on first sight).
+    fn record_receipt(&mut self, spec: &JobSpec, resp: &Json) {
         if let Some(receipt) = resp.get("receipt").and_then(Receipt::from_json) {
             let canon = receipt.canonical();
             match self.seen.get(&spec.identity_key()) {
@@ -259,7 +343,6 @@ impl RetryingClient {
                 }
             }
         }
-        Ok(resp)
     }
 }
 

@@ -1,0 +1,1282 @@
+//! Multi-process shard groups: consistent-hash routing over backends.
+//!
+//! One `detserved` process holds a fixed set of in-process shards; a
+//! *shard group* scales past that by running several such processes and
+//! putting a [`GroupRouter`] in front. The router speaks the same wire
+//! protocol as a single server (v1 and v2), so clients — including
+//! [`crate::client::RetryingClient`] and `detload` — need no changes.
+//!
+//! Routing is a consistent-hash [`HashRing`] over [`JobSpec::identity_key`]:
+//! every field an episode's outcome depends on hashes to a stable backend,
+//! so the same job always lands on the same process (plan-cache affinity),
+//! and removing a backend only remaps the keys it owned.
+//!
+//! Determinism makes the multi-process story *verifiable for free*:
+//!
+//! * **cross-process dedup** — the router keeps a bounded
+//!   identity-key → receipt ledger spanning all backends; any divergence
+//!   (`receipt_mismatches`) is an incident, because receipts are a
+//!   function of the job, not the process.
+//! * **duplicate verification** — a deterministic fraction of jobs
+//!   (`verify_per_1024`, drawn from the identity-key hash) is *also* sent
+//!   to the next distinct backend on the ring; the two receipts must be
+//!   byte-identical (`cross_checks` / `cross_check_mismatches`).
+//! * **failover** — a dead backend's in-flight jobs are replayed by the
+//!   router to the ring's next live process (`failovers`, `replays`);
+//!   determinism makes the reissue safe, and the substitute backend's
+//!   receipt is checked against the ledger like any other. A job only
+//!   falls back to a retryable typed shed when its replay budget runs
+//!   out or no process in the group is reachable.
+
+use crate::protocol::{FrameBuffer, JobSpec, WIRE_VERSION};
+use detlock_shim::evloop::{self, Interest, Poller};
+use detlock_shim::json::{Json, ToJson};
+use detlock_shim::sync::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// FNV-1a, the workspace's standard cheap stable hash (same family the
+/// receipts use for trace hashes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A consistent-hash ring over backend labels with virtual nodes.
+pub struct HashRing {
+    /// (point hash, backend index), sorted by hash.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Build a ring with `vnodes` virtual nodes per backend label.
+    pub fn new(labels: &[String], vnodes: usize) -> HashRing {
+        assert!(!labels.is_empty() && vnodes >= 1);
+        let mut points = Vec::with_capacity(labels.len() * vnodes);
+        for (i, label) in labels.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((fnv1a(format!("{label}#{v}").as_bytes()), i));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            backends: labels.len(),
+        }
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    fn walk_from(&self, key: &str) -> impl Iterator<Item = usize> + '_ {
+        let h = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        (0..self.points.len()).map(move |off| self.points[(start + off) % self.points.len()].1)
+    }
+
+    /// The backend owning `key`: first ring point at or after the key's
+    /// hash (wrapping).
+    pub fn route(&self, key: &str) -> usize {
+        self.walk_from(key).next().expect("ring is never empty")
+    }
+
+    /// The backend owning `key` among those `alive` — walks the ring past
+    /// dead entries, so failover inherits consistent-hash locality.
+    pub fn route_alive(&self, key: &str, alive: &[bool]) -> Option<usize> {
+        self.walk_from(key)
+            .find(|&b| alive.get(b).copied().unwrap_or(false))
+    }
+
+    /// The next backend after `key`'s owner that is a *different* process
+    /// (the duplicate-verification target). `None` on a 1-backend ring.
+    pub fn next_distinct(&self, key: &str, primary: usize) -> Option<usize> {
+        self.walk_from(key).find(|&b| b != primary)
+    }
+}
+
+/// Group router configuration.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// Listen address for clients (`127.0.0.1:0` picks a port).
+    pub addr: String,
+    /// Backend `detserved` addresses (the shard-group members).
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Per-1024 deterministic rate of duplicate-verified jobs (keys whose
+    /// hash falls in the residue class are *always* double-run on the next
+    /// distinct backend and the receipts compared). 0 disables.
+    pub verify_per_1024: u32,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: Vec::new(),
+            vnodes: 32,
+            verify_per_1024: 0,
+        }
+    }
+}
+
+/// How long a failed backend stays marked down before re-dial attempts.
+const BACKEND_RETRY_AFTER: Duration = Duration::from_millis(500);
+
+/// How many times one job rides out a backend-connection casualty before
+/// the router gives up and sheds it back to the client. Replay is safe
+/// because execution is deterministic: a re-run of the same `JobSpec`
+/// produces the same receipt bytes wherever it lands.
+const REPLAY_BUDGET: u32 = 4;
+
+#[derive(Default)]
+struct RouterCounters {
+    routed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    failovers: AtomicU64,
+    replays: AtomicU64,
+    dedup_hits: AtomicU64,
+    receipt_mismatches: AtomicU64,
+    verify_sent: AtomicU64,
+    cross_checks: AtomicU64,
+    cross_check_mismatches: AtomicU64,
+}
+
+struct RouterShared {
+    config: GroupConfig,
+    shutdown: AtomicBool,
+    waker: evloop::Waker,
+    counters: RouterCounters,
+    open_conns: AtomicU64,
+    peak_conns: AtomicU64,
+    /// identity key → canonical receipt JSON, spanning every backend.
+    receipts_seen: Mutex<HashMap<String, String>>,
+    started: Instant,
+}
+
+const RECEIPT_MEMORY: usize = 4096;
+
+impl RouterShared {
+    /// Ledger check; returns `false` on cross-process divergence.
+    fn check_receipt(&self, key: String, canonical: &str) -> bool {
+        let mut seen = self.receipts_seen.lock();
+        match seen.get(&key) {
+            Some(prev) => {
+                self.counters.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                prev == canonical
+            }
+            None => {
+                if seen.len() < RECEIPT_MEMORY {
+                    seen.insert(key, canonical.to_string());
+                }
+                true
+            }
+        }
+    }
+}
+
+/// A running shard-group router. Speaks the full wire protocol; routes
+/// `run`/`batch` jobs across backends by identity-key consistent hash.
+pub struct GroupRouter {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl GroupRouter {
+    /// Bind the client-facing listener and start the router loop.
+    pub fn start(config: GroupConfig) -> std::io::Result<GroupRouter> {
+        if config.backends.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "a shard group needs at least one backend",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let (waker, wake_rx) = evloop::wake_pair()?;
+        let shared = Arc::new(RouterShared {
+            shutdown: AtomicBool::new(false),
+            waker,
+            counters: RouterCounters::default(),
+            open_conns: AtomicU64::new(0),
+            peak_conns: AtomicU64::new(0),
+            receipts_seen: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            config,
+        });
+        let sh = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("group-router".to_string())
+            .spawn(move || router_loop(listener, wake_rx, &sh))?;
+        Ok(GroupRouter {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound client-facing address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the router loop exits (after a client `shutdown`).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stop the router from the server side (does **not** shut the
+    /// backends down — use the wire `shutdown` op for a full group drain).
+    pub fn shutdown_and_join(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RSlotKind {
+    Control,
+    Run,
+    Batch,
+}
+
+struct RSlot {
+    kind: RSlotKind,
+    results: Vec<Option<Json>>,
+    remaining: usize,
+}
+
+/// A client connection: same ordered-slot pipelining discipline as the
+/// single-server event loop, minus wire-fault injection (faults are a
+/// backend feature; the router is transparent).
+struct ClientConn {
+    stream: TcpStream,
+    rbuf: FrameBuffer,
+    slots: VecDeque<RSlot>,
+    slot_base: u64,
+    next_slot: u64,
+    out: Vec<u8>,
+    out_written: usize,
+    peer_closed: bool,
+    dead: bool,
+}
+
+impl ClientConn {
+    fn new(stream: TcpStream) -> ClientConn {
+        ClientConn {
+            stream,
+            rbuf: FrameBuffer::new(),
+            slots: VecDeque::new(),
+            slot_base: 0,
+            next_slot: 0,
+            out: Vec::new(),
+            out_written: 0,
+            peer_closed: false,
+            dead: false,
+        }
+    }
+
+    fn alloc_slot(&mut self, kind: RSlotKind, width: usize) -> u64 {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.slots.push_back(RSlot {
+            kind,
+            results: vec![None; width],
+            remaining: width,
+        });
+        id
+    }
+
+    fn fill(&mut self, slot: u64, idx: usize, result: Json) {
+        let Some(off) = slot.checked_sub(self.slot_base) else {
+            return;
+        };
+        let Some(s) = self.slots.get_mut(off as usize) else {
+            return;
+        };
+        if idx < s.results.len() && s.results[idx].is_none() {
+            s.results[idx] = Some(result);
+            s.remaining -= 1;
+        }
+    }
+
+    fn push_ready(&mut self, kind: RSlotKind, result: Json) {
+        let id = self.alloc_slot(kind, 1);
+        self.fill(id, 0, result);
+    }
+
+    /// Serialize completed front slots into the output buffer.
+    fn render_ready(&mut self) {
+        while self
+            .slots
+            .front()
+            .map(|s| s.remaining == 0)
+            .unwrap_or(false)
+        {
+            let slot = self.slots.pop_front().expect("checked front");
+            self.slot_base += 1;
+            let resp = match slot.kind {
+                RSlotKind::Batch => {
+                    let results: Vec<Json> = slot
+                        .results
+                        .into_iter()
+                        .map(|r| r.unwrap_or_else(|| error_json("internal: missing result")))
+                        .collect();
+                    Json::obj([("ok", true.to_json()), ("results", Json::Arr(results))])
+                }
+                _ => slot
+                    .results
+                    .into_iter()
+                    .next()
+                    .flatten()
+                    .unwrap_or_else(|| error_json("internal: empty slot")),
+            };
+            self.out
+                .extend_from_slice(resp.to_string_compact().as_bytes());
+            self.out.push(b'\n');
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        while self.out_written < self.out.len() {
+            match self.stream.write(&self.out[self.out_written..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_written = 0;
+        Ok(())
+    }
+}
+
+/// Where a backend's next response line goes. `verify` carries the
+/// duplicate-verification id; a `secondary` response is only compared,
+/// never relayed.
+struct PendingForward {
+    token: u64,
+    slot: u64,
+    idx: usize,
+    key: String,
+    /// The forwarded job line, newline included — kept so a connection
+    /// casualty can be replayed to another backend instead of shed.
+    line: String,
+    attempts: u32,
+    verify: Option<u64>,
+    secondary: bool,
+}
+
+struct VerifyState {
+    key: String,
+    primary: Option<String>,
+    secondary: Option<String>,
+}
+
+/// One backend process: a single pipelined connection carrying forwarded
+/// job lines; responses come back strictly in order (FIFO matching).
+struct Backend {
+    addr: String,
+    stream: Option<TcpStream>,
+    rbuf: FrameBuffer,
+    out: Vec<u8>,
+    out_written: usize,
+    pending: VecDeque<PendingForward>,
+    down_until: Option<Instant>,
+    forwarded: u64,
+    completed: u64,
+    errors: u64,
+}
+
+impl Backend {
+    fn new(addr: String) -> Backend {
+        Backend {
+            addr,
+            stream: None,
+            rbuf: FrameBuffer::new(),
+            out: Vec::new(),
+            out_written: 0,
+            pending: VecDeque::new(),
+            down_until: None,
+            forwarded: 0,
+            completed: 0,
+            errors: 0,
+        }
+    }
+
+    fn usable(&self, now: Instant) -> bool {
+        self.stream.is_some() || self.down_until.map(|d| now >= d).unwrap_or(true)
+    }
+
+    fn ensure_connected(&mut self) -> bool {
+        if self.stream.is_some() {
+            return true;
+        }
+        if let Some(d) = self.down_until {
+            if Instant::now() < d {
+                return false;
+            }
+        }
+        let Some(sock_addr) = self.addr.to_socket_addrs().ok().and_then(|mut a| a.next()) else {
+            self.down_until = Some(Instant::now() + BACKEND_RETRY_AFTER);
+            return false;
+        };
+        match TcpStream::connect_timeout(&sock_addr, Duration::from_secs(2)) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                if s.set_nonblocking(true).is_err() {
+                    self.down_until = Some(Instant::now() + BACKEND_RETRY_AFTER);
+                    return false;
+                }
+                self.stream = Some(s);
+                self.down_until = None;
+                true
+            }
+            Err(_) => {
+                self.down_until = Some(Instant::now() + BACKEND_RETRY_AFTER);
+                false
+            }
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Ok(());
+        };
+        while self.out_written < self.out.len() {
+            match stream.write(&self.out[self.out_written..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_written = 0;
+        Ok(())
+    }
+}
+
+fn error_json(msg: &str) -> Json {
+    Json::obj([("ok", false.to_json()), ("error", msg.to_json())])
+}
+
+/// The retryable shed a client sees when its backend died mid-request:
+/// the retry (e.g. `RetryingClient`) re-routes around the dead process.
+fn failover_shed() -> Json {
+    Json::obj([
+        ("ok", false.to_json()),
+        ("error", "backend_unavailable".to_json()),
+        ("error_kind", "shed".to_json()),
+        ("reason", "queue_full".to_json()),
+        ("retry_after_ms", 100u64.to_json()),
+    ])
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> evloop::RawFd {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> evloop::RawFd {
+    0
+}
+
+struct RouterState {
+    ring: HashRing,
+    backends: Vec<Backend>,
+    verify: HashMap<u64, VerifyState>,
+    next_verify_id: u64,
+}
+
+impl RouterState {
+    /// Record one half of a duplicate verification; when both receipts
+    /// are in, compare and count.
+    fn record_verify(
+        &mut self,
+        vid: u64,
+        secondary: bool,
+        receipt: Option<String>,
+        shared: &RouterShared,
+    ) {
+        let done = {
+            let Some(v) = self.verify.get_mut(&vid) else {
+                return;
+            };
+            if secondary {
+                v.secondary = Some(receipt.unwrap_or_default());
+            } else {
+                v.primary = Some(receipt.unwrap_or_default());
+            }
+            v.primary.is_some() && v.secondary.is_some()
+        };
+        if done {
+            let v = self.verify.remove(&vid).expect("checked above");
+            // Only two *successful* runs constitute a check; a shed or
+            // failure on either side just voids the draw.
+            if !v.primary.as_deref().unwrap_or("").is_empty()
+                && !v.secondary.as_deref().unwrap_or("").is_empty()
+            {
+                shared.counters.cross_checks.fetch_add(1, Ordering::Relaxed);
+                if v.primary != v.secondary {
+                    shared
+                        .counters
+                        .cross_check_mismatches
+                        .fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[group-router] cross-process receipt mismatch for {}",
+                        v.key
+                    );
+                }
+            }
+        }
+    }
+
+    /// Tear down a backend connection. In-flight primaries are replayed
+    /// to another live backend (determinism makes the reissue safe);
+    /// only a job that exhausts its replay budget — or finds the whole
+    /// group unreachable — is answered with a retryable shed. In-flight
+    /// verification duplicates just void their draw.
+    fn fail_backend(
+        &mut self,
+        b: usize,
+        conns: &mut HashMap<u64, ClientConn>,
+        shared: &RouterShared,
+    ) {
+        let backend = &mut self.backends[b];
+        backend.stream = None;
+        backend.out.clear();
+        backend.out_written = 0;
+        backend.rbuf = FrameBuffer::new();
+        backend.down_until = Some(Instant::now() + BACKEND_RETRY_AFTER);
+        backend.errors += 1;
+        let pending: Vec<PendingForward> = backend.pending.drain(..).collect();
+        if !pending.is_empty() {
+            shared
+                .counters
+                .failovers
+                .fetch_add(pending.len() as u64, Ordering::Relaxed);
+            eprintln!(
+                "[group-router] backend {} ({}) failed with {} pending jobs — replaying",
+                b,
+                self.backends[b].addr,
+                pending.len()
+            );
+        }
+        for mut p in pending {
+            if let Some(vid) = p.verify.take() {
+                self.verify.remove(&vid);
+            }
+            if p.secondary {
+                continue;
+            }
+            if p.attempts >= REPLAY_BUDGET {
+                if let Some(conn) = conns.get_mut(&p.token) {
+                    conn.fill(p.slot, p.idx, failover_shed());
+                }
+                continue;
+            }
+            p.attempts += 1;
+            self.replay_forward(p, conns, shared);
+        }
+    }
+
+    /// Re-forward a casualty's job to the ring's next live backend; shed
+    /// back to the client only when no process in the group is dialable.
+    fn replay_forward(
+        &mut self,
+        p: PendingForward,
+        conns: &mut HashMap<u64, ClientConn>,
+        shared: &RouterShared,
+    ) {
+        let now = Instant::now();
+        let alive: Vec<bool> = self.backends.iter().map(|b| b.usable(now)).collect();
+        let target = self
+            .ring
+            .route_alive(&p.key, &alive)
+            .filter(|&b| self.backends[b].ensure_connected())
+            .or_else(|| (0..self.backends.len()).find(|&b| self.backends[b].ensure_connected()));
+        match target {
+            Some(t) => {
+                shared.counters.replays.fetch_add(1, Ordering::Relaxed);
+                let backend = &mut self.backends[t];
+                backend.out.extend_from_slice(p.line.as_bytes());
+                backend.forwarded += 1;
+                backend.pending.push_back(p);
+            }
+            None => {
+                if let Some(conn) = conns.get_mut(&p.token) {
+                    conn.fill(p.slot, p.idx, failover_shed());
+                }
+            }
+        }
+    }
+
+    /// Route one job body: forward to its ring owner (plus, on a verify
+    /// draw, to the next distinct backend), or answer immediately.
+    fn route_job(
+        &mut self,
+        body: &Json,
+        token: u64,
+        slot: u64,
+        idx: usize,
+        shared: &RouterShared,
+    ) -> Option<Json> {
+        let spec = match JobSpec::from_json(body) {
+            Ok(s) => s,
+            Err(e) => return Some(error_json(&format!("bad job spec: {e}"))),
+        };
+        let key = spec.identity_key();
+        let now = Instant::now();
+        let alive: Vec<bool> = self.backends.iter().map(|b| b.usable(now)).collect();
+        let Some(primary) = self
+            .ring
+            .route_alive(&key, &alive)
+            .filter(|&b| self.backends[b].ensure_connected())
+            .or_else(|| {
+                // The ring owner refused the dial: walk the rest.
+                (0..self.backends.len()).find(|&b| self.backends[b].ensure_connected())
+            })
+        else {
+            return Some(failover_shed());
+        };
+        shared.counters.routed.fetch_add(1, Ordering::Relaxed);
+        let mut line = body.to_string_compact();
+        line.push('\n');
+        // Deterministic duplicate-verification draw off the identity key:
+        // the same keys are double-run in every sweep, so sweep-to-sweep
+        // comparisons stay reproducible.
+        let verify_draw = shared.config.verify_per_1024 > 0
+            && (fnv1a(key.as_bytes()) % 1024) < shared.config.verify_per_1024 as u64
+            && self.ring.backends() > 1;
+        let vid = if verify_draw {
+            let vid = self.next_verify_id;
+            self.next_verify_id += 1;
+            self.verify.insert(
+                vid,
+                VerifyState {
+                    key: key.clone(),
+                    primary: None,
+                    secondary: None,
+                },
+            );
+            Some(vid)
+        } else {
+            None
+        };
+        {
+            let backend = &mut self.backends[primary];
+            backend.out.extend_from_slice(line.as_bytes());
+            backend.forwarded += 1;
+            backend.pending.push_back(PendingForward {
+                token,
+                slot,
+                idx,
+                key: key.clone(),
+                line: line.clone(),
+                attempts: 0,
+                verify: vid,
+                secondary: false,
+            });
+        }
+        if let Some(vid) = vid {
+            let secondary = self
+                .ring
+                .next_distinct(&key, primary)
+                .filter(|&b| self.backends[b].ensure_connected());
+            match secondary {
+                Some(s) => {
+                    shared.counters.verify_sent.fetch_add(1, Ordering::Relaxed);
+                    let backend = &mut self.backends[s];
+                    backend.out.extend_from_slice(line.as_bytes());
+                    backend.forwarded += 1;
+                    backend.pending.push_back(PendingForward {
+                        token,
+                        slot,
+                        idx,
+                        key,
+                        line,
+                        attempts: 0,
+                        verify: Some(vid),
+                        secondary: true,
+                    });
+                }
+                None => {
+                    // No second process reachable: void the draw.
+                    self.verify.remove(&vid);
+                }
+            }
+        }
+        None
+    }
+
+    /// Handle one response line from backend `b`.
+    fn backend_response(
+        &mut self,
+        b: usize,
+        line: &str,
+        conns: &mut HashMap<u64, ClientConn>,
+        shared: &RouterShared,
+    ) {
+        let Some(p) = self.backends[b].pending.pop_front() else {
+            // Unsolicited line: protocol confusion; drop the link.
+            self.fail_backend(b, conns, shared);
+            return;
+        };
+        let mut resp = match Json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                // A mangled frame voids in-order matching for everything
+                // behind it: fail the link, shed the rest.
+                self.backends[b].pending.push_front(p);
+                self.fail_backend(b, conns, shared);
+                return;
+            }
+        };
+        self.backends[b].completed += 1;
+        let ok = resp.get("ok").and_then(Json::as_bool) == Some(true);
+        let receipt_canonical = resp
+            .get("receipt")
+            .map(|r| r.to_string_compact())
+            .filter(|_| ok);
+        if let Some(vid) = p.verify {
+            self.record_verify(vid, p.secondary, receipt_canonical.clone(), shared);
+        }
+        if p.secondary {
+            return; // comparison-only duplicate, never relayed
+        }
+        if ok {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(canonical) = &receipt_canonical {
+                if !shared.check_receipt(p.key.clone(), canonical) {
+                    shared
+                        .counters
+                        .receipt_mismatches
+                        .fetch_add(1, Ordering::Relaxed);
+                    eprintln!("[group-router] cross-process ledger mismatch for {}", p.key);
+                }
+            }
+        } else if resp.get("error_kind").and_then(Json::as_str) != Some("shed") {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        // Stamp which process served it — detload uses this to prove the
+        // sweep actually spanned the group.
+        if let Json::Obj(fields) = &mut resp {
+            fields.push(("backend".to_string(), (b as u64).to_json()));
+        }
+        if let Some(conn) = conns.get_mut(&p.token) {
+            conn.fill(p.slot, p.idx, resp);
+        }
+    }
+
+    fn stats_json(&self, shared: &RouterShared, open: usize) -> Json {
+        let backends: Vec<Json> = self
+            .backends
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("addr", b.addr.to_json()),
+                    ("up", b.stream.is_some().to_json()),
+                    ("forwarded", b.forwarded.to_json()),
+                    ("completed", b.completed.to_json()),
+                    ("errors", b.errors.to_json()),
+                    ("pending", b.pending.len().to_json()),
+                ])
+            })
+            .collect();
+        let c = &shared.counters;
+        Json::obj([
+            ("ok", true.to_json()),
+            ("router", true.to_json()),
+            (
+                "uptime_ms",
+                (shared.started.elapsed().as_millis() as u64).to_json(),
+            ),
+            ("open_conns", (open as u64).to_json()),
+            (
+                "peak_conns",
+                shared.peak_conns.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "counters",
+                Json::obj([
+                    ("routed", c.routed.load(Ordering::Relaxed).to_json()),
+                    ("completed", c.completed.load(Ordering::Relaxed).to_json()),
+                    ("failed", c.failed.load(Ordering::Relaxed).to_json()),
+                    ("failovers", c.failovers.load(Ordering::Relaxed).to_json()),
+                    ("replays", c.replays.load(Ordering::Relaxed).to_json()),
+                    ("dedup_hits", c.dedup_hits.load(Ordering::Relaxed).to_json()),
+                    (
+                        "receipt_mismatches",
+                        c.receipt_mismatches.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "verify_sent",
+                        c.verify_sent.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "cross_checks",
+                        c.cross_checks.load(Ordering::Relaxed).to_json(),
+                    ),
+                    (
+                        "cross_check_mismatches",
+                        c.cross_check_mismatches.load(Ordering::Relaxed).to_json(),
+                    ),
+                ]),
+            ),
+            (
+                "ring",
+                Json::obj([
+                    ("backends", self.ring.backends().to_json()),
+                    ("vnodes", shared.config.vnodes.to_json()),
+                    (
+                        "verify_per_1024",
+                        (shared.config.verify_per_1024 as u64).to_json(),
+                    ),
+                ]),
+            ),
+            ("backends", Json::Arr(backends)),
+        ])
+    }
+}
+
+/// Forward a control op (chaos/shutdown) to every backend over a fresh
+/// blocking connection. Rare control-plane work, so blocking the loop
+/// briefly is acceptable.
+fn broadcast_control(state: &RouterState, req: &Json, timeout: Duration) -> Vec<Json> {
+    state
+        .backends
+        .iter()
+        .map(
+            |b| match crate::protocol::Client::connect_with_timeout(&b.addr, timeout) {
+                Ok(mut c) => c
+                    .request(req)
+                    .unwrap_or_else(|e| error_json(&format!("backend {}: {e}", b.addr))),
+                Err(e) => error_json(&format!("backend {}: {e}", b.addr)),
+            },
+        )
+        .collect()
+}
+
+fn process_client_frame(
+    conn: &mut ClientConn,
+    token: u64,
+    line: &str,
+    state: &mut RouterState,
+    shared: &RouterShared,
+    open_conns: usize,
+    drain_requested: &mut bool,
+) {
+    let req = match Json::parse(line) {
+        Err(e) => {
+            conn.push_ready(RSlotKind::Control, error_json(&format!("bad json: {e}")));
+            return;
+        }
+        Ok(req) => req,
+    };
+    match req.get("op").and_then(Json::as_str) {
+        Some("run") => {
+            let slot = conn.alloc_slot(RSlotKind::Run, 1);
+            if let Some(now) = state.route_job(&req, token, slot, 0, shared) {
+                conn.fill(slot, 0, now);
+            }
+        }
+        Some("batch") => {
+            let jobs = match req.get("jobs").and_then(Json::as_arr) {
+                None => {
+                    conn.push_ready(
+                        RSlotKind::Batch,
+                        error_json("batch frame missing `jobs` array"),
+                    );
+                    return;
+                }
+                Some([]) => {
+                    conn.push_ready(RSlotKind::Batch, error_json("batch frame has no jobs"));
+                    return;
+                }
+                Some(arr) => arr.to_vec(),
+            };
+            let slot = conn.alloc_slot(RSlotKind::Batch, jobs.len());
+            for (idx, body) in jobs.iter().enumerate() {
+                if let Some(now) = state.route_job(body, token, slot, idx, shared) {
+                    conn.fill(slot, idx, now);
+                }
+            }
+        }
+        Some("hello") => {
+            let client_max = req.get("max_version").and_then(Json::as_u64).unwrap_or(1);
+            conn.push_ready(
+                RSlotKind::Control,
+                Json::obj([
+                    ("ok", true.to_json()),
+                    ("version", client_max.min(WIRE_VERSION).to_json()),
+                    ("batch", true.to_json()),
+                    ("router", true.to_json()),
+                ]),
+            );
+        }
+        Some("ping") => conn.push_ready(RSlotKind::Control, Json::obj([("ok", true.to_json())])),
+        Some("stats") => {
+            let stats = state.stats_json(shared, open_conns);
+            conn.push_ready(RSlotKind::Control, stats);
+        }
+        Some("chaos") => {
+            let results = broadcast_control(state, &req, Duration::from_secs(10));
+            let all_ok = results
+                .iter()
+                .all(|r| r.get("ok").and_then(Json::as_bool) == Some(true));
+            conn.push_ready(
+                RSlotKind::Control,
+                Json::obj([("ok", all_ok.to_json()), ("backends", Json::Arr(results))]),
+            );
+        }
+        Some("kill") => conn.push_ready(
+            RSlotKind::Control,
+            error_json("kill is per-process: send it to a backend address directly"),
+        ),
+        Some("shutdown") => {
+            // Drain the whole group: every backend drains its in-flight
+            // work (blocking, each answers after its own drain), then the
+            // router answers and exits.
+            let results = broadcast_control(
+                state,
+                &Json::obj([("op", "shutdown".to_json())]),
+                Duration::from_secs(120),
+            );
+            let all_ok = results
+                .iter()
+                .all(|r| r.get("ok").and_then(Json::as_bool) == Some(true));
+            conn.push_ready(
+                RSlotKind::Control,
+                Json::obj([
+                    ("ok", all_ok.to_json()),
+                    ("drained", true.to_json()),
+                    ("backends", Json::Arr(results)),
+                ]),
+            );
+            *drain_requested = true;
+        }
+        Some(other) => conn.push_ready(
+            RSlotKind::Control,
+            error_json(&format!("unknown op `{other}`")),
+        ),
+        None => conn.push_ready(RSlotKind::Control, error_json("missing `op`")),
+    }
+}
+
+fn router_loop(listener: TcpListener, wake_rx: evloop::WakeRx, shared: &Arc<RouterShared>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let mut state = RouterState {
+        ring: HashRing::new(&shared.config.backends, shared.config.vnodes),
+        backends: shared
+            .config
+            .backends
+            .iter()
+            .map(|a| Backend::new(a.clone()))
+            .collect(),
+        verify: HashMap::new(),
+        next_verify_id: 0,
+    };
+    let mut conns: HashMap<u64, ClientConn> = HashMap::new();
+    let mut next_token = 0u64;
+    let mut poller = Poller::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut exit_deadline: Option<Instant> = None;
+
+    loop {
+        let exiting = shared.shutdown.load(Ordering::SeqCst);
+        if exiting && exit_deadline.is_none() {
+            exit_deadline = Some(Instant::now() + Duration::from_secs(5));
+        }
+
+        // Render + flush clients; reap the dead.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            conn.render_ready();
+            if conn.flush().is_err() {
+                conn.dead = true;
+            }
+            let finished =
+                conn.peer_closed && conn.out.len() == conn.out_written && conn.slots.is_empty();
+            if conn.dead || finished {
+                dead.push(token);
+            }
+        }
+        for token in &dead {
+            conns.remove(token);
+        }
+        shared
+            .open_conns
+            .store(conns.len() as u64, Ordering::Relaxed);
+
+        // Flush backends; a write error fails the link and sheds pendings.
+        for b in 0..state.backends.len() {
+            if state.backends[b].flush().is_err() {
+                state.fail_backend(b, &mut conns, shared);
+            }
+        }
+
+        if exiting {
+            let flushed = conns
+                .values()
+                .all(|c| c.out.len() == c.out_written && c.slots.is_empty());
+            let overdue = exit_deadline.map(|d| Instant::now() >= d).unwrap_or(false);
+            if flushed || overdue {
+                break;
+            }
+        }
+
+        // Interest set: wake, listener, clients, live backend links.
+        poller.clear();
+        poller.push(wake_rx.fd(), Interest::READABLE);
+        let accept_idx = if exiting {
+            None
+        } else {
+            Some(poller.push(raw_fd(&listener), Interest::READABLE))
+        };
+        let mut client_order: Vec<(usize, u64)> = Vec::with_capacity(conns.len());
+        for (&token, conn) in conns.iter() {
+            let reads = !conn.peer_closed;
+            let writes = conn.out.len() > conn.out_written;
+            let interest = match (reads, writes) {
+                (true, true) => Interest::BOTH,
+                (true, false) => Interest::READABLE,
+                (false, true) => Interest::WRITABLE,
+                (false, false) => continue,
+            };
+            client_order.push((poller.push(raw_fd(&conn.stream), interest), token));
+        }
+        let mut backend_order: Vec<(usize, usize)> = Vec::with_capacity(state.backends.len());
+        for (b, backend) in state.backends.iter().enumerate() {
+            let Some(stream) = backend.stream.as_ref() else {
+                continue;
+            };
+            let interest = if backend.out.len() > backend.out_written {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            backend_order.push((poller.push(raw_fd(stream), interest), b));
+        }
+
+        if poller.wait(Some(Duration::from_millis(250))).is_err() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        wake_rx.drain();
+
+        // Accept.
+        if accept_idx
+            .map(|i| poller.ready(i).readable)
+            .unwrap_or(false)
+        {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let token = next_token;
+                        next_token += 1;
+                        conns.insert(token, ClientConn::new(stream));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            let open = conns.len() as u64;
+            shared.open_conns.store(open, Ordering::Relaxed);
+            shared.peak_conns.fetch_max(open, Ordering::Relaxed);
+        }
+
+        // Backend responses first: frees pending slots before new work.
+        for &(idx, b) in &backend_order {
+            let ready = poller.ready(idx);
+            if !ready.any() {
+                continue;
+            }
+            if ready.readable {
+                let mut failed = false;
+                while let Some(stream) = state.backends[b].stream.as_mut() {
+                    match stream.read(&mut scratch) {
+                        Ok(0) => {
+                            failed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            let data = scratch[..n].to_vec();
+                            state.backends[b].rbuf.push(&data);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+                while let Some(line) = state.backends[b].rbuf.next_frame() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    state.backend_response(b, &line, &mut conns, shared);
+                }
+                if failed {
+                    state.fail_backend(b, &mut conns, shared);
+                }
+            } else if ready.error {
+                state.fail_backend(b, &mut conns, shared);
+            }
+        }
+
+        // Client requests.
+        if !exiting {
+            let open = conns.len();
+            let mut drain_requested = false;
+            for &(idx, token) in &client_order {
+                let ready = poller.ready(idx);
+                if !ready.any() {
+                    continue;
+                }
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if ready.readable && !conn.peer_closed {
+                    loop {
+                        match conn.stream.read(&mut scratch) {
+                            Ok(0) => {
+                                conn.peer_closed = true;
+                                if conn.rbuf.pending() > 0 {
+                                    conn.rbuf.push(b"\n");
+                                }
+                                break;
+                            }
+                            Ok(n) => conn.rbuf.push(&scratch[..n]),
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    while let Some(line) = conn.rbuf.next_frame() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        process_client_frame(
+                            conn,
+                            token,
+                            &line,
+                            &mut state,
+                            shared,
+                            open,
+                            &mut drain_requested,
+                        );
+                    }
+                } else if ready.error {
+                    conn.dead = true;
+                }
+            }
+            if drain_requested {
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:90{i:02}")).collect()
+    }
+
+    #[test]
+    fn ring_routes_deterministically_and_spreads() {
+        let ring = HashRing::new(&labels(3), 32);
+        let mut hits = [0usize; 3];
+        for i in 0..600 {
+            let key = format!("ocean/t2/s{}/seed{}/all/kendo", i, i);
+            let a = ring.route(&key);
+            assert_eq!(a, ring.route(&key), "routing must be stable");
+            hits[a] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                h > 60,
+                "backend {i} got only {h}/600 keys — ring too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_next_distinct_names_a_different_backend() {
+        let ring = HashRing::new(&labels(3), 16);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let p = ring.route(&key);
+            let s = ring.next_distinct(&key, p).expect("3 backends");
+            assert_ne!(p, s);
+        }
+        let solo = HashRing::new(&labels(1), 16);
+        assert_eq!(solo.next_distinct("k", 0), None);
+    }
+
+    #[test]
+    fn ring_failover_walks_past_dead_backends() {
+        let ring = HashRing::new(&labels(3), 32);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            let owner = ring.route(&key);
+            let mut alive = [true; 3];
+            alive[owner] = false;
+            let fallback = ring.route_alive(&key, &alive).expect("two still alive");
+            assert_ne!(fallback, owner);
+            // Keys whose owner is alive stay put.
+            assert_eq!(ring.route_alive(&key, &[true, true, true]), Some(owner));
+        }
+        assert_eq!(ring.route_alive("k", &[false, false, false]), None);
+    }
+
+    #[test]
+    fn ring_removal_only_remaps_owned_keys() {
+        // Consistent hashing's defining property: removing backend 2 must
+        // not move any key owned by 0 or 1.
+        let three = HashRing::new(&labels(3), 64);
+        let two = HashRing::new(&labels(2), 64);
+        for i in 0..500 {
+            let key = format!("job/{i}");
+            let before = three.route(&key);
+            if before < 2 {
+                assert_eq!(two.route(&key), before, "key {key} moved needlessly");
+            }
+        }
+    }
+}

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod group;
 pub mod netfault;
 pub mod protocol;
 pub mod queue;

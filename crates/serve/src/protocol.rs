@@ -20,6 +20,24 @@
 //! (retryable; carries `retry_after_ms`) or `"reason":"draining"` (not
 //! retryable — the server is going away). [`crate::client::RetryingClient`]
 //! understands both.
+//!
+//! ## Protocol v2: negotiation, batching, pipelining
+//!
+//! v2 keeps the v1 framing (one JSON object per `\n`-terminated line) and
+//! adds two ops:
+//!
+//! | op      | fields                         | response |
+//! |---------|--------------------------------|----------|
+//! | `hello` | `max_version`                  | `ok, version, batch` — the server picks `min(client max, 2)` |
+//! | `batch` | `jobs:[run-body, …]`           | `ok, results:[per-job v1 response, …]` in submission order |
+//!
+//! A v1 client never sends `hello` and never sees v2 frames; a v2 server
+//! answers every v1 op exactly as before, so negotiation is optional and
+//! backward compatibility is structural rather than versioned-endpoint.
+//! Connections are **pipelined**: a client may send many frames without
+//! waiting; the server answers frames strictly in arrival order per
+//! connection (a batch frame produces exactly one response line, which is
+//! one data-plane frame for fault-injection purposes).
 
 use detlock_passes::pipeline::OptLevel;
 use detlock_shim::json::{Json, ToJson};
@@ -27,6 +45,95 @@ use detlock_vm::Sched;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
+
+/// Highest wire-protocol version this build speaks.
+pub const WIRE_VERSION: u64 = 2;
+
+/// Incremental newline framing over a nonblocking byte stream.
+///
+/// Bytes arrive in arbitrary splits (partial writes, coalesced frames);
+/// [`FrameBuffer::push`] accumulates them and [`FrameBuffer::next_frame`]
+/// yields each complete line exactly once, without its terminator. The
+/// scan position is remembered so repeated pushes stay O(bytes), not
+/// O(buffer²).
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl FrameBuffer {
+    /// An empty frame buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete line (without `\n`; a trailing `\r` is also
+    /// stripped), or `None` if no full frame has arrived yet.
+    pub fn next_frame(&mut self) -> Option<String> {
+        let nl = self.buf[self.scanned..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| p + self.scanned);
+        match nl {
+            None => {
+                self.scanned = self.buf.len();
+                None
+            }
+            Some(pos) => {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                Some(String::from_utf8_lossy(&line).into_owned())
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Build a v2 `hello` negotiation request.
+pub fn hello_request(max_version: u64) -> Json {
+    Json::obj([
+        ("op", "hello".to_json()),
+        ("max_version", max_version.to_json()),
+    ])
+}
+
+/// Build a v2 `batch` frame carrying many jobs (one response line comes
+/// back with a `results` array in the same order).
+pub fn batch_request(jobs: &[JobSpec]) -> Json {
+    Json::obj([
+        ("op", "batch".to_json()),
+        (
+            "jobs",
+            Json::Arr(jobs.iter().map(|j| j.to_json()).collect()),
+        ),
+    ])
+}
+
+/// Parse the `jobs` array out of a `batch` frame.
+pub fn parse_batch(v: &Json) -> Result<Vec<JobSpec>, String> {
+    let jobs = v
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or("batch frame missing `jobs` array")?;
+    if jobs.is_empty() {
+        return Err("batch frame has no jobs".into());
+    }
+    jobs.iter().map(JobSpec::from_json).collect()
+}
 
 /// One job: "run workload W with config C, seed S".
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +342,45 @@ impl Client {
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.request(&Json::obj([("op", "shutdown".to_json())]))
     }
+
+    /// Negotiate the wire version (v2): returns what the server will
+    /// speak, `min(our max, server max)`. A v1 server answers with an
+    /// error object, which maps to version 1 here.
+    pub fn hello(&mut self) -> io::Result<u64> {
+        let resp = self.request(&hello_request(WIRE_VERSION))?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Ok(1);
+        }
+        Ok(resp.get("version").and_then(Json::as_u64).unwrap_or(1))
+    }
+
+    /// Submit many jobs in one v2 `batch` frame; returns the per-job
+    /// response objects in submission order.
+    pub fn run_batch(&mut self, specs: &[JobSpec]) -> io::Result<Vec<Json>> {
+        let resp = self.request(&batch_request(specs))?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            let err = resp
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("batch rejected");
+            return Err(io::Error::new(io::ErrorKind::InvalidData, err.to_string()));
+        }
+        match resp.get("results").and_then(Json::as_arr) {
+            Some(items) if items.len() == specs.len() => Ok(items.to_vec()),
+            Some(items) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "batch answered {} results for {} jobs",
+                    items.len(),
+                    specs.len()
+                ),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "batch response missing `results`",
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +450,50 @@ mod tests {
         b.seed = 1;
         b.scheduler = Sched::DcBatch;
         assert_ne!(a.identity_key(), b.identity_key());
+    }
+
+    #[test]
+    fn frame_buffer_handles_arbitrary_splits() {
+        let mut fb = FrameBuffer::new();
+        fb.push(b"{\"op\":");
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"\"ping\"}\n{\"op\":\"sta");
+        assert_eq!(fb.next_frame().as_deref(), Some("{\"op\":\"ping\"}"));
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"ts\"}\r\n\n");
+        assert_eq!(fb.next_frame().as_deref(), Some("{\"op\":\"stats\"}"));
+        assert_eq!(fb.next_frame().as_deref(), Some(""));
+        assert_eq!(fb.next_frame(), None);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn batch_frames_round_trip() {
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec {
+                tenant: format!("t{i}"),
+                workload: "ocean".into(),
+                threads: 2,
+                scale: 0.02,
+                seed: i,
+                opt: OptLevel::All,
+                sanitize: false,
+                scheduler: Sched::Kendo,
+            })
+            .collect();
+        let frame = batch_request(&jobs);
+        let parsed = parse_batch(&Json::parse(&frame.to_string_compact()).unwrap()).unwrap();
+        assert_eq!(parsed, jobs);
+    }
+
+    #[test]
+    fn empty_and_malformed_batches_are_rejected() {
+        assert!(parse_batch(&Json::parse(r#"{"op":"batch","jobs":[]}"#).unwrap()).is_err());
+        assert!(parse_batch(&Json::parse(r#"{"op":"batch"}"#).unwrap()).is_err());
+        assert!(
+            parse_batch(&Json::parse(r#"{"op":"batch","jobs":[{"workload":7}]}"#).unwrap())
+                .is_err()
+        );
     }
 
     #[test]

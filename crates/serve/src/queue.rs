@@ -128,6 +128,21 @@ impl<T> AdmissionQueue<T> {
     }
 }
 
+/// Exponent cap for [`backoff_deadline`]: beyond 2^16 dispatch
+/// opportunities the backoff is already longer than any realistic queue
+/// lifetime, and larger shifts only risk wrapping.
+pub const MAX_BACKOFF_EXP: u32 = 16;
+
+/// The deterministic-backoff deadline for a retry: `seq + 2^attempts`,
+/// measured in pop-sequence numbers, **saturating** at both the exponent
+/// (capped at [`MAX_BACKOFF_EXP`]) and the addition. A raw `1 << attempts`
+/// wraps for `attempts ≥ 64` — the wrapped deadline could land astronomically
+/// far in the future (or behave erratically), starving the job forever.
+/// Saturation keeps the deadline finite and monotone in `attempts`.
+pub fn backoff_deadline(seq: u64, attempts: u32) -> u64 {
+    seq.saturating_add(1u64 << attempts.min(MAX_BACKOFF_EXP))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +183,31 @@ mod tests {
         assert!(matches!(q.try_push(2), Err((2, SubmitError::Closed))));
         assert_eq!(q.pop().map(|(v, _)| v), Some(1));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backoff_deadline_saturates_instead_of_wrapping() {
+        // Small attempt counts: plain exponential.
+        assert_eq!(backoff_deadline(10, 0), 11);
+        assert_eq!(backoff_deadline(10, 3), 18);
+        // At and beyond the exponent cap the deadline stops growing —
+        // a pathological attempt counter must not wrap the shift.
+        let capped = backoff_deadline(10, MAX_BACKOFF_EXP);
+        assert_eq!(capped, 10 + (1 << MAX_BACKOFF_EXP));
+        assert_eq!(backoff_deadline(10, MAX_BACKOFF_EXP + 1), capped);
+        assert_eq!(backoff_deadline(10, 63), capped);
+        assert_eq!(backoff_deadline(10, 64), capped); // raw shift would wrap
+        assert_eq!(backoff_deadline(10, u32::MAX), capped);
+        // The addition saturates too: a deadline near u64::MAX stays
+        // representable instead of wrapping to a tiny (starving) value.
+        assert_eq!(backoff_deadline(u64::MAX - 1, u32::MAX), u64::MAX);
+        // Monotone in attempts — a retry never gets an *earlier* slot.
+        let mut last = 0;
+        for a in 0..100 {
+            let d = backoff_deadline(0, a);
+            assert!(d >= last, "backoff must be monotone");
+            last = d;
+        }
     }
 
     #[test]

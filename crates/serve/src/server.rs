@@ -3,16 +3,28 @@
 //! Architecture:
 //!
 //! ```text
-//!  clients ──TCP──▶ accept loop ──▶ handler threads
-//!                                        │ try_push (backpressure)
-//!                                        ▼
-//!                               AdmissionQueue<Job>
+//!  clients ──TCP──▶ poll(2) event loop (one thread, nonblocking sockets,
+//!                   per-connection state machines, pipelined v1/v2 frames)
+//!                         │ try_push (backpressure)      ▲ completions
+//!                         ▼                              │ (channel + waker)
+//!                          AdmissionQueue<Job> ──────────┘
 //!                                   │ pop
 //!        ┌──────────────┬───────────┴──┬──────────────┐
 //!        ▼              ▼              ▼              ▼
 //!    shard 0        shard 1        shard 2        shard N-1      supervisor
 //!   ShardEngine    ShardEngine    ShardEngine    ShardEngine     (watchdog)
 //! ```
+//!
+//! The network edge is a single readiness-driven event loop
+//! ([`detlock_shim::evloop`]): every connection is nonblocking, frames are
+//! reassembled incrementally ([`crate::protocol::FrameBuffer`]), and
+//! responses flush strictly in per-connection request order, so clients
+//! may **pipeline** arbitrarily many v1 `run` or v2 `batch` frames.
+//! Shard workers stay plain threads (execution is CPU-bound); they hand
+//! results back over an mpsc channel and poke the loop's waker. Injected
+//! wire faults become gated output chunks (a `Delay` is a chunk whose
+//! `not_before` hasn't passed) instead of thread sleeps, so one faulted
+//! connection can no longer stall its neighbors.
 //!
 //! Failure model, in one paragraph: a job is admitted once (backpressure
 //! at the door, as a **typed shed** the client can reason about), then
@@ -42,21 +54,22 @@
 //! checkpoints.
 
 use crate::netfault::{CrashPlan, NetFaultPlan, WireFault};
-use crate::protocol::JobSpec;
-use crate::queue::{AdmissionQueue, SubmitError};
+use crate::protocol::{FrameBuffer, JobSpec, WIRE_VERSION};
+use crate::queue::{backoff_deadline, AdmissionQueue, SubmitError};
 use crate::receipt::Receipt;
 use crate::shard::{ExecOpts, ExecOutcome, PreemptReason, ShardEngine};
 use crate::stats::{Counters, LatencyHistogram};
 use detlock_passes::cache::PlanCache;
 use detlock_passes::pipeline::CompileOpts;
 use detlock_passes::stats::PassStats;
+use detlock_shim::evloop::{self, Interest, Poller};
 use detlock_shim::json::{Json, ToJson};
 use detlock_shim::sync::Mutex;
 use detlock_vm::machine::Checkpoint;
 use detlock_vm::sanitizer::SanitizerReport;
 use detlock_vm::{Backend, Sched};
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -147,9 +160,40 @@ enum JobResult {
     },
 }
 
+/// Where a finished job's result goes: back to the event loop, addressed
+/// by (connection token, response slot, index within the slot — batch
+/// frames hold many jobs in one slot). The waker interrupts the loop's
+/// `poll` so delivery latency is bounded by the channel, not the tick.
+struct Responder {
+    tx: mpsc::Sender<Completion>,
+    waker: evloop::Waker,
+    token: u64,
+    slot: u64,
+    idx: usize,
+}
+
+impl Responder {
+    fn send(&self, result: JobResult) {
+        let _ = self.tx.send(Completion {
+            token: self.token,
+            slot: self.slot,
+            idx: self.idx,
+            result,
+        });
+        self.waker.wake();
+    }
+}
+
+struct Completion {
+    token: u64,
+    slot: u64,
+    idx: usize,
+    result: JobResult,
+}
+
 struct Job {
     spec: JobSpec,
-    respond: mpsc::Sender<JobResult>,
+    respond: Responder,
     enqueued: Instant,
     attempts: u32,
     excluded: Vec<usize>,
@@ -211,6 +255,12 @@ struct Shared {
     crash_faults: Mutex<Option<CrashPlan>>,
     /// Data-plane connection ids, the stable coordinate wire faults key on.
     conn_counter: AtomicU64,
+    /// Connections currently held by the event loop / the most held at
+    /// once (the "sustains N keep-alive connections" evidence).
+    open_conns: AtomicU64,
+    peak_conns: AtomicU64,
+    /// Wakes the event loop (result delivery, shutdown).
+    loop_waker: evloop::Waker,
     /// Final checkpoints flushed for jobs that completed during drain
     /// (identity key -> checkpoint).
     drain_checkpoints: Mutex<HashMap<String, Checkpoint>>,
@@ -398,6 +448,14 @@ impl Shared {
                 "in_flight",
                 self.in_flight.load(Ordering::Relaxed).to_json(),
             ),
+            (
+                "open_conns",
+                self.open_conns.load(Ordering::Relaxed).to_json(),
+            ),
+            (
+                "peak_conns",
+                self.peak_conns.load(Ordering::Relaxed).to_json(),
+            ),
             ("draining", self.draining.load(Ordering::Relaxed).to_json()),
             ("counters", self.counters.to_json()),
             ("recovery", recovery),
@@ -419,10 +477,11 @@ pub struct DetServed {
 }
 
 impl DetServed {
-    /// Bind, spawn shard workers + supervisor + accept loop, and return.
+    /// Bind, spawn shard workers + supervisor + event loop, and return.
     pub fn start(config: ServeConfig) -> std::io::Result<DetServed> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let (loop_waker, wake_rx) = evloop::wake_pair()?;
         let shards = (0..config.shards)
             .map(|_| ShardSlot {
                 evicted: AtomicBool::new(false),
@@ -454,6 +513,9 @@ impl DetServed {
             net_faults: Mutex::new(config.net_faults),
             crash_faults: Mutex::new(config.crash_faults),
             conn_counter: AtomicU64::new(0),
+            open_conns: AtomicU64::new(0),
+            peak_conns: AtomicU64::new(0),
+            loop_waker,
             drain_checkpoints: Mutex::new(HashMap::new()),
             started: Instant::now(),
             config,
@@ -480,8 +542,8 @@ impl DetServed {
             let sh = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
-                    .name("accept".to_string())
-                    .spawn(move || accept_loop(listener, &sh))?,
+                    .name("evloop".to_string())
+                    .spawn(move || event_loop(listener, wake_rx, &sh))?,
             );
         }
         Ok(DetServed {
@@ -507,11 +569,10 @@ impl DetServed {
     /// Convenience for tests and `detserved`'s signal path: drain and stop
     /// from the server side, then join.
     pub fn shutdown_and_join(self) {
-        let addr = self.addr;
         let shared = Arc::clone(&self.shared);
         begin_drain(&shared);
         wait_drained(&shared);
-        finish_shutdown(&shared, addr);
+        finish_shutdown(&shared);
         self.join();
     }
 }
@@ -527,111 +588,535 @@ fn wait_drained(shared: &Shared) {
     }
 }
 
-fn finish_shutdown(shared: &Shared, addr: SocketAddr) {
+fn finish_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
-    // Unblock the accept loop with a no-op connection.
-    let _ = TcpStream::connect(addr);
-}
-
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let sh = Arc::clone(shared);
-        let addr = listener.local_addr().ok();
-        let _ = std::thread::Builder::new()
-            .name("conn".to_string())
-            .spawn(move || handle_connection(stream, &sh, addr));
-    }
+    // Interrupt the event loop's poll so it notices the flag now.
+    shared.loop_waker.wake();
 }
 
 fn error_json(msg: &str) -> Json {
     Json::obj([("ok", false.to_json()), ("error", msg.to_json())])
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, addr: Option<SocketAddr>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = write_half;
-    let reader = BufReader::new(stream);
-    let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
-    // Wire-fault coordinate: index of this connection's data-plane
-    // responses (control-plane traffic doesn't advance it, so a stats
-    // poll can't shift which run responses get mangled).
-    let mut resp_idx = 0u64;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let parsed = Json::parse(&line);
-        let data_plane = parsed
-            .as_ref()
-            .ok()
-            .and_then(|req| req.get("op"))
-            .and_then(Json::as_str)
-            == Some("run");
-        let response = match &parsed {
-            Err(e) => error_json(&format!("bad json: {e}")),
-            Ok(req) => dispatch(req, shared, addr),
-        };
-        let mut out = response.to_string_compact();
-        out.push('\n');
-        let fault = if data_plane {
-            let plan = *shared.net_faults.lock();
-            let f = plan.and_then(|p| p.fault_for(conn_id, resp_idx, out.len()));
-            resp_idx += 1;
-            f
-        } else {
-            None
-        };
-        if let Some(f) = fault {
-            Counters::bump(&shared.counters.net_faults_injected);
-            match f {
-                WireFault::Drop => return,
-                WireFault::Truncate { keep } => {
-                    let _ = writer.write_all(&out.as_bytes()[..keep.min(out.len())]);
-                    let _ = writer.flush();
-                    return;
-                }
-                WireFault::PartialWrite { first, stall_ms } => {
-                    let first = first.min(out.len());
-                    if writer.write_all(&out.as_bytes()[..first]).is_err()
-                        || writer.flush().is_err()
-                    {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(stall_ms));
-                    if writer.write_all(&out.as_bytes()[first..]).is_err()
-                        || writer.flush().is_err()
-                    {
-                        break;
-                    }
-                }
-                WireFault::Delay { ms } => {
-                    std::thread::sleep(Duration::from_millis(ms));
-                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                        break;
-                    }
-                }
-            }
-        } else if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-            break;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(s: &T) -> evloop::RawFd {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn raw_fd<T>(_s: &T) -> evloop::RawFd {
+    0
+}
+
+/// What a response slot is for: `Run`/`Batch` are data-plane (wire faults
+/// apply, `resp_idx` advances), the rest are control-plane.
+#[derive(Clone, Copy, PartialEq)]
+enum SlotKind {
+    Control,
+    Run,
+    Batch,
+    Shutdown,
+}
+
+/// One response frame owed to a connection, in request order. A v1 `run`
+/// holds one result; a v2 `batch` holds one per job. The frame is
+/// rendered to bytes only when `remaining` hits zero *and* every earlier
+/// slot has flushed — that is what makes pipelining answer in order.
+struct PendingSlot {
+    kind: SlotKind,
+    results: Vec<Option<Json>>,
+    remaining: usize,
+}
+
+/// Bytes owed to a connection. `not_before` gates delivery (injected
+/// `Delay`/`PartialWrite` stalls become timers instead of thread sleeps);
+/// `close_after` expresses `Drop`/`Truncate` faults.
+struct OutChunk {
+    bytes: Vec<u8>,
+    written: usize,
+    not_before: Option<Instant>,
+    close_after: bool,
+}
+
+impl OutChunk {
+    fn plain(bytes: Vec<u8>) -> OutChunk {
+        OutChunk {
+            bytes,
+            written: 0,
+            not_before: None,
+            close_after: false,
         }
     }
 }
 
-fn dispatch(req: &Json, shared: &Arc<Shared>, addr: Option<SocketAddr>) -> Json {
+/// Per-connection state machine: incremental frame reassembly in,
+/// ordered response slots and gated output chunks out.
+struct Conn {
+    stream: TcpStream,
+    /// Wire-fault coordinate (stable accept order, like the old
+    /// thread-per-connection ids).
+    conn_id: u64,
+    /// Index of this connection's data-plane responses (control-plane
+    /// traffic doesn't advance it, so a stats poll can't shift which run
+    /// responses get mangled).
+    resp_idx: u64,
+    rbuf: FrameBuffer,
+    slots: VecDeque<PendingSlot>,
+    /// Slot id of `slots.front()`; ids are issued monotonically.
+    slot_base: u64,
+    next_slot: u64,
+    out: VecDeque<OutChunk>,
+    peer_closed: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, conn_id: u64) -> Conn {
+        Conn {
+            stream,
+            conn_id,
+            resp_idx: 0,
+            rbuf: FrameBuffer::new(),
+            slots: VecDeque::new(),
+            slot_base: 0,
+            next_slot: 0,
+            out: VecDeque::new(),
+            peer_closed: false,
+            dead: false,
+        }
+    }
+
+    fn alloc_slot(&mut self, kind: SlotKind, width: usize) -> u64 {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.slots.push_back(PendingSlot {
+            kind,
+            results: vec![None; width],
+            remaining: width,
+        });
+        id
+    }
+
+    fn fill(&mut self, slot: u64, idx: usize, result: Json) {
+        let Some(off) = slot.checked_sub(self.slot_base) else {
+            return;
+        };
+        let Some(s) = self.slots.get_mut(off as usize) else {
+            return;
+        };
+        if idx < s.results.len() && s.results[idx].is_none() {
+            s.results[idx] = Some(result);
+            s.remaining -= 1;
+        }
+    }
+
+    /// Allocate a slot that is already complete (control ops, sheds).
+    fn push_ready(&mut self, kind: SlotKind, result: Json) {
+        let id = self.alloc_slot(kind, 1);
+        self.fill(id, 0, result);
+    }
+}
+
+fn fill_slot(conns: &mut HashMap<u64, Conn>, token: u64, slot: u64, idx: usize, result: Json) {
+    if let Some(conn) = conns.get_mut(&token) {
+        conn.fill(slot, idx, result);
+    }
+}
+
+fn deliver(conns: &mut HashMap<u64, Conn>, c: Completion) {
+    // A completion for a connection that died in the meantime is simply
+    // discarded — the job itself already finished and was counted.
+    let rendered = render_result(c.result);
+    fill_slot(conns, c.token, c.slot, c.idx, rendered);
+}
+
+/// Render complete front slots into wire bytes, applying any injected
+/// fault to data-plane frames.
+fn render_ready(conn: &mut Conn, shared: &Shared) {
+    while conn
+        .slots
+        .front()
+        .map(|s| s.remaining == 0)
+        .unwrap_or(false)
+    {
+        let slot = conn.slots.pop_front().expect("checked front");
+        conn.slot_base += 1;
+        let resp = match slot.kind {
+            SlotKind::Batch => {
+                let results: Vec<Json> = slot
+                    .results
+                    .into_iter()
+                    .map(|r| r.unwrap_or_else(|| error_json("internal: missing result")))
+                    .collect();
+                Json::obj([("ok", true.to_json()), ("results", Json::Arr(results))])
+            }
+            _ => slot
+                .results
+                .into_iter()
+                .next()
+                .flatten()
+                .unwrap_or_else(|| error_json("internal: empty slot")),
+        };
+        let mut bytes = resp.to_string_compact().into_bytes();
+        bytes.push(b'\n');
+        let data_plane = matches!(slot.kind, SlotKind::Run | SlotKind::Batch);
+        let fault = if data_plane {
+            let plan = *shared.net_faults.lock();
+            let f = plan.and_then(|p| p.fault_for(conn.conn_id, conn.resp_idx, bytes.len()));
+            conn.resp_idx += 1;
+            f
+        } else {
+            None
+        };
+        match fault {
+            None => conn.out.push_back(OutChunk::plain(bytes)),
+            Some(f) => {
+                Counters::bump(&shared.counters.net_faults_injected);
+                match f {
+                    WireFault::Drop => conn.out.push_back(OutChunk {
+                        bytes: Vec::new(),
+                        written: 0,
+                        not_before: None,
+                        close_after: true,
+                    }),
+                    WireFault::Truncate { keep } => {
+                        bytes.truncate(keep.min(bytes.len()));
+                        conn.out.push_back(OutChunk {
+                            bytes,
+                            written: 0,
+                            not_before: None,
+                            close_after: true,
+                        });
+                    }
+                    WireFault::PartialWrite { first, stall_ms } => {
+                        let first = first.min(bytes.len());
+                        let rest = bytes.split_off(first);
+                        conn.out.push_back(OutChunk::plain(bytes));
+                        conn.out.push_back(OutChunk {
+                            bytes: rest,
+                            written: 0,
+                            not_before: Some(Instant::now() + Duration::from_millis(stall_ms)),
+                            close_after: false,
+                        });
+                    }
+                    WireFault::Delay { ms } => conn.out.push_back(OutChunk {
+                        bytes,
+                        written: 0,
+                        not_before: Some(Instant::now() + Duration::from_millis(ms)),
+                        close_after: false,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Write as much owed output as the socket accepts right now. Gated
+/// chunks stop the flush until their deadline passes.
+fn flush_conn(conn: &mut Conn) -> std::io::Result<()> {
+    while let Some(chunk) = conn.out.front_mut() {
+        if let Some(nb) = chunk.not_before {
+            if Instant::now() < nb {
+                break;
+            }
+        }
+        while chunk.written < chunk.bytes.len() {
+            match conn.stream.write(&chunk.bytes[chunk.written..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => chunk.written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let close = chunk.close_after;
+        conn.out.pop_front();
+        if close {
+            conn.dead = true;
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// The server's single network thread: accepts, reads, frames,
+/// dispatches, and flushes every connection via `poll(2)` readiness.
+fn event_loop(listener: TcpListener, wake_rx: evloop::WakeRx, shared: &Arc<Shared>) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let (tx, completions) = mpsc::channel::<Completion>();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = 0u64;
+    let mut poller = Poller::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    // Connections whose `shutdown` op awaits drain completion.
+    let mut shutdown_waiters: Vec<(u64, u64)> = Vec::new();
+    let mut exit_deadline: Option<Instant> = None;
+
+    loop {
+        // Deliver results from shard workers into their slots.
+        while let Ok(c) = completions.try_recv() {
+            deliver(&mut conns, c);
+        }
+
+        // A pending `shutdown` op resolves once the drain completes.
+        if !shutdown_waiters.is_empty()
+            && shared.queue.is_empty()
+            && shared.in_flight.load(Ordering::SeqCst) == 0
+        {
+            let resp = Json::obj([
+                ("ok", true.to_json()),
+                ("drained", true.to_json()),
+                (
+                    "drain_flushed",
+                    Counters::get(&shared.counters.drain_flushed).to_json(),
+                ),
+            ]);
+            for (token, slot) in shutdown_waiters.drain(..) {
+                fill_slot(&mut conns, token, slot, 0, resp.clone());
+            }
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+
+        let exiting = shared.shutdown.load(Ordering::SeqCst);
+        if exiting && exit_deadline.is_none() {
+            exit_deadline = Some(Instant::now() + Duration::from_secs(5));
+        }
+
+        // Render completed slots to bytes, flush, and reap dead peers.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            render_ready(conn, shared);
+            if flush_conn(conn).is_err() {
+                conn.dead = true;
+            }
+            let finished = conn.peer_closed && conn.out.is_empty() && conn.slots.is_empty();
+            if conn.dead || finished {
+                dead.push(token);
+            }
+        }
+        for token in &dead {
+            conns.remove(token);
+        }
+        shared
+            .open_conns
+            .store(conns.len() as u64, Ordering::Relaxed);
+
+        // Exit once everything owed has flushed (or the grace deadline
+        // passes — a stuck peer must not wedge shutdown forever).
+        if exiting {
+            let flushed = conns
+                .values()
+                .all(|c| c.out.is_empty() && c.slots.is_empty());
+            let overdue = exit_deadline.map(|d| Instant::now() >= d).unwrap_or(false);
+            if flushed || overdue {
+                break;
+            }
+        }
+
+        // Build the interest set. Entry order fixes the index mapping.
+        poller.clear();
+        poller.push(wake_rx.fd(), Interest::READABLE);
+        let accept_idx = if exiting {
+            None
+        } else {
+            Some(poller.push(raw_fd(&listener), Interest::READABLE))
+        };
+        let mut order: Vec<(usize, u64)> = Vec::with_capacity(conns.len());
+        let now = Instant::now();
+        let mut timeout = if exiting {
+            Duration::from_millis(10)
+        } else if !shutdown_waiters.is_empty() {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(250)
+        };
+        for (&token, conn) in conns.iter() {
+            let reads = !conn.peer_closed;
+            let mut writes = false;
+            if let Some(chunk) = conn.out.front() {
+                match chunk.not_before {
+                    Some(nb) if nb > now => {
+                        // Gated: wake on the timer, not on writability.
+                        let until = nb - now;
+                        timeout = timeout.min(until.max(Duration::from_millis(1)));
+                    }
+                    _ => writes = true,
+                }
+            }
+            let interest = match (reads, writes) {
+                (true, true) => Interest::BOTH,
+                (true, false) => Interest::READABLE,
+                (false, true) => Interest::WRITABLE,
+                (false, false) => continue,
+            };
+            let idx = poller.push(raw_fd(&conn.stream), interest);
+            order.push((idx, token));
+        }
+
+        if poller.wait(Some(timeout)).is_err() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        wake_rx.drain();
+
+        // Accept the whole backlog (level-triggered).
+        if accept_idx
+            .map(|i| poller.ready(i).readable)
+            .unwrap_or(false)
+        {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let token = next_token;
+                        next_token += 1;
+                        let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
+                        conns.insert(token, Conn::new(stream, conn_id));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            let open = conns.len() as u64;
+            shared.open_conns.store(open, Ordering::Relaxed);
+            shared.peak_conns.fetch_max(open, Ordering::Relaxed);
+        }
+
+        // Read + process frames on readable connections.
+        if !exiting {
+            for &(idx, token) in &order {
+                let ready = poller.ready(idx);
+                if !ready.any() {
+                    continue;
+                }
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if ready.readable && !conn.peer_closed {
+                    loop {
+                        match conn.stream.read(&mut scratch) {
+                            Ok(0) => {
+                                conn.peer_closed = true;
+                                // A final unterminated line still counts as
+                                // a frame, like BufRead::lines would.
+                                if conn.rbuf.pending() > 0 {
+                                    conn.rbuf.push(b"\n");
+                                }
+                                break;
+                            }
+                            Ok(n) => conn.rbuf.push(&scratch[..n]),
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    while let Some(line) = conn.rbuf.next_frame() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        process_frame(conn, token, &line, shared, &tx, &mut shutdown_waiters);
+                    }
+                } else if ready.error {
+                    conn.dead = true;
+                }
+            }
+        }
+    }
+}
+
+/// Parse and dispatch one request frame on a connection.
+fn process_frame(
+    conn: &mut Conn,
+    token: u64,
+    line: &str,
+    shared: &Arc<Shared>,
+    tx: &mpsc::Sender<Completion>,
+    shutdown_waiters: &mut Vec<(u64, u64)>,
+) {
+    let parsed = Json::parse(line);
+    let req = match parsed {
+        Err(e) => {
+            conn.push_ready(SlotKind::Control, error_json(&format!("bad json: {e}")));
+            return;
+        }
+        Ok(req) => req,
+    };
+    match req.get("op").and_then(Json::as_str) {
+        Some("run") => {
+            let slot = conn.alloc_slot(SlotKind::Run, 1);
+            let respond = Responder {
+                tx: tx.clone(),
+                waker: shared.loop_waker.clone(),
+                token,
+                slot,
+                idx: 0,
+            };
+            if let Some(immediate) = admit(shared, &req, respond) {
+                conn.fill(slot, 0, immediate);
+            }
+        }
+        Some("batch") => {
+            let jobs = match req.get("jobs").and_then(Json::as_arr) {
+                None => {
+                    conn.push_ready(
+                        SlotKind::Batch,
+                        error_json("batch frame missing `jobs` array"),
+                    );
+                    return;
+                }
+                Some([]) => {
+                    conn.push_ready(SlotKind::Batch, error_json("batch frame has no jobs"));
+                    return;
+                }
+                Some(arr) => arr.to_vec(),
+            };
+            let slot = conn.alloc_slot(SlotKind::Batch, jobs.len());
+            for (idx, body) in jobs.iter().enumerate() {
+                let respond = Responder {
+                    tx: tx.clone(),
+                    waker: shared.loop_waker.clone(),
+                    token,
+                    slot,
+                    idx,
+                };
+                if let Some(immediate) = admit(shared, body, respond) {
+                    conn.fill(slot, idx, immediate);
+                }
+            }
+        }
+        Some("hello") => {
+            let client_max = req.get("max_version").and_then(Json::as_u64).unwrap_or(1);
+            conn.push_ready(
+                SlotKind::Control,
+                Json::obj([
+                    ("ok", true.to_json()),
+                    ("version", client_max.min(WIRE_VERSION).to_json()),
+                    ("batch", true.to_json()),
+                ]),
+            );
+        }
+        Some("shutdown") => {
+            begin_drain(shared);
+            let slot = conn.alloc_slot(SlotKind::Shutdown, 1);
+            shutdown_waiters.push((token, slot));
+        }
+        _ => conn.push_ready(SlotKind::Control, dispatch(&req, shared)),
+    }
+}
+
+/// Control-plane ops that answer synchronously (`run`/`batch`/`hello`/
+/// `shutdown` are handled by the event loop itself).
+fn dispatch(req: &Json, shared: &Arc<Shared>) -> Json {
     match req.get("op").and_then(Json::as_str) {
         Some("ping") => Json::obj([("ok", true.to_json())]),
         Some("stats") => shared.stats_json(),
-        Some("run") => handle_run(req, shared),
         Some("kill") => {
             let Some(shard) = req.get("shard").and_then(Json::as_u64) else {
                 return error_json("kill requires `shard`");
@@ -664,42 +1149,28 @@ fn dispatch(req: &Json, shared: &Arc<Shared>, addr: Option<SocketAddr>) -> Json 
                 ("crash", crash.map(|p| p.to_json()).unwrap_or(Json::Null)),
             ])
         }
-        Some("shutdown") => {
-            begin_drain(shared);
-            wait_drained(shared);
-            if let Some(addr) = addr {
-                finish_shutdown(shared, addr);
-            } else {
-                shared.shutdown.store(true, Ordering::SeqCst);
-            }
-            Json::obj([
-                ("ok", true.to_json()),
-                ("drained", true.to_json()),
-                (
-                    "drain_flushed",
-                    Counters::get(&shared.counters.drain_flushed).to_json(),
-                ),
-            ])
-        }
         Some(other) => error_json(&format!("unknown op `{other}`")),
         None => error_json("missing `op`"),
     }
 }
 
-fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
-    let mut spec = match JobSpec::from_json(req) {
+/// Admit one job body (a v1 `run` frame or one element of a v2 `batch`).
+/// Returns `Some(response)` when the request resolves immediately (bad
+/// spec, typed shed); `None` once the job is queued — the shard worker's
+/// completion will fill the slot via the `Responder`.
+fn admit(shared: &Arc<Shared>, body: &Json, respond: Responder) -> Option<Json> {
+    let mut spec = match JobSpec::from_json(body) {
         Ok(spec) => spec,
-        Err(e) => return error_json(&format!("bad job spec: {e}")),
+        Err(e) => return Some(error_json(&format!("bad job spec: {e}"))),
     };
     // Requests that omit `scheduler` inherit the server's configured
     // default (explicit requests already carry their own policy).
-    if req.get("scheduler").is_none() {
+    if body.get("scheduler").is_none() {
         spec.scheduler = shared.config.scheduler;
     }
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         spec,
-        respond: tx,
+        respond,
         enqueued: Instant::now(),
         attempts: 0,
         excluded: Vec::new(),
@@ -710,7 +1181,7 @@ fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
     if let Err((_, err)) = shared.queue.try_push(job) {
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         Counters::bump(&shared.counters.rejected);
-        return match err {
+        return Some(match err {
             SubmitError::Full { depth } => {
                 Counters::bump(&shared.counters.shed_full);
                 // Backpressure hint scaled to the backlog we just refused.
@@ -732,18 +1203,23 @@ fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
                     ("reason", "draining".to_json()),
                 ])
             }
-        };
+        });
     }
     Counters::bump(&shared.counters.accepted);
-    match rx.recv() {
-        Ok(JobResult::Done {
+    None
+}
+
+/// Render a finished job's result as its wire response object.
+fn render_result(result: JobResult) -> Json {
+    match result {
+        JobResult::Done {
             receipt,
             shard,
             attempts,
             queue_us,
             exec_us,
             sanitizer,
-        }) => {
+        } => {
             let mut fields = vec![
                 ("ok", true.to_json()),
                 ("shard", shard.to_json()),
@@ -757,12 +1233,11 @@ fn handle_run(req: &Json, shared: &Arc<Shared>) -> Json {
             }
             Json::obj(fields)
         }
-        Ok(JobResult::Failed { error, attempts }) => Json::obj([
+        JobResult::Failed { error, attempts } => Json::obj([
             ("ok", false.to_json()),
             ("error", error.to_json()),
             ("attempts", (attempts as u64).to_json()),
         ]),
-        Err(_) => error_json("server dropped the job"),
     }
 }
 
@@ -773,7 +1248,7 @@ fn finish_job(shared: &Shared, job: Job, result: JobResult) {
         JobResult::Done { .. } => Counters::bump(&shared.counters.completed),
         JobResult::Failed { .. } => Counters::bump(&shared.counters.failed),
     }
-    let _ = job.respond.send(result);
+    job.respond.send(result);
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -794,7 +1269,9 @@ fn requeue_with_backoff(
         job.excluded.push(failed_shard);
     }
     job.attempts += 1;
-    job.not_before = seq + (1u64 << job.attempts.min(16));
+    // Saturating: a pathological attempt counter must cap the backoff,
+    // not wrap the shift and exile the job to a bogus far-future seq.
+    job.not_before = backoff_deadline(seq, job.attempts);
     Counters::bump(&shared.counters.requeues);
     Counters::bump(&shared.shards[failed_shard].requeues);
     if job.checkpoint.is_some() {

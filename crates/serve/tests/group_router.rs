@@ -1,0 +1,270 @@
+//! Shard-group end-to-end tests: several real `DetServed` processes'
+//! worth of shards behind a `GroupRouter`, driven over real TCP.
+//!
+//! (The backends here are in-process `DetServed` instances rather than
+//! forked binaries — the router talks to them over loopback TCP exactly
+//! as it would to separate processes, so the wire paths exercised are
+//! identical; CI's serve-load job runs the true multi-process shape.)
+
+use detlock_passes::pipeline::OptLevel;
+use detlock_serve::client::{RetryPolicy, RetryingClient};
+use detlock_serve::group::{GroupConfig, GroupRouter};
+use detlock_serve::protocol::{Client, JobSpec};
+use detlock_serve::server::{DetServed, ServeConfig};
+use detlock_shim::json::{Json, ToJson};
+use std::time::Duration;
+
+fn backend_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        queue_capacity: 32,
+        max_retries: 3,
+        job_cycle_budget: u64::MAX,
+        watchdog: Some(Duration::from_secs(60)),
+        compile_threads: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn spec(workload: &str, seed: u64) -> JobSpec {
+    JobSpec {
+        tenant: "group-e2e".to_string(),
+        workload: workload.to_string(),
+        threads: 2,
+        scale: 0.02,
+        seed,
+        opt: OptLevel::All,
+        sanitize: false,
+        scheduler: detlock_vm::Sched::resolve(),
+    }
+}
+
+struct Group {
+    backends: Vec<DetServed>,
+    router: GroupRouter,
+}
+
+fn boot_group(n: usize, verify_per_1024: u32) -> Group {
+    let backends: Vec<DetServed> = (0..n)
+        .map(|_| DetServed::start(backend_config()).expect("backend boot"))
+        .collect();
+    let router = GroupRouter::start(GroupConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: backends
+            .iter()
+            .map(|b| b.local_addr().to_string())
+            .collect(),
+        vnodes: 32,
+        verify_per_1024,
+    })
+    .expect("router boot");
+    Group { backends, router }
+}
+
+fn counter(stats: &Json, name: &str) -> u64 {
+    stats
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| {
+            panic!(
+                "stats missing counter {name}: {}",
+                stats.to_string_compact()
+            )
+        })
+}
+
+#[test]
+fn receipts_are_identical_across_sweeps_and_processes() {
+    // verify_per_1024 = 1024: every job is double-run on a second process
+    // and the receipts compared.
+    let group = boot_group(3, 1024);
+    let addr = group.router.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let jobs: Vec<JobSpec> = (0..8)
+        .map(|i| spec(["ocean", "raytrace", "water-nsq"][i % 3], i as u64))
+        .collect();
+
+    let sweep = |client: &mut Client| -> (Vec<String>, Vec<u64>) {
+        let mut receipts = Vec::new();
+        let mut backends = Vec::new();
+        for j in &jobs {
+            let resp = client.run(j).expect("request");
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "job failed through router: {}",
+                resp.to_string_compact()
+            );
+            receipts.push(resp.get("receipt").expect("receipt").to_string_compact());
+            backends.push(
+                resp.get("backend")
+                    .and_then(Json::as_u64)
+                    .expect("backend stamp"),
+            );
+        }
+        (receipts, backends)
+    };
+
+    let (first, placement1) = sweep(&mut client);
+    let (second, placement2) = sweep(&mut client);
+    assert_eq!(first, second, "receipts must be identical across sweeps");
+    assert_eq!(
+        placement1, placement2,
+        "consistent hashing must give stable placement"
+    );
+    let distinct: std::collections::HashSet<u64> = placement1.iter().copied().collect();
+    assert!(
+        distinct.len() >= 2,
+        "8 keys on a 3-backend ring should span processes, got {placement1:?}"
+    );
+
+    let stats = client
+        .request(&Json::obj([("op", "stats".to_json())]))
+        .unwrap();
+    assert_eq!(stats.get("router").and_then(Json::as_bool), Some(true));
+    assert!(counter(&stats, "routed") >= 16);
+    assert!(
+        counter(&stats, "cross_checks") >= 8,
+        "every job should have been duplicate-verified: {}",
+        stats.to_string_compact()
+    );
+    assert_eq!(counter(&stats, "cross_check_mismatches"), 0);
+    assert!(
+        counter(&stats, "dedup_hits") >= 8,
+        "second sweep repeats every key"
+    );
+    assert_eq!(counter(&stats, "receipt_mismatches"), 0);
+
+    group.router.shutdown_and_join();
+    for b in group.backends {
+        b.shutdown_and_join();
+    }
+}
+
+#[test]
+fn protocol_v2_negotiation_and_batches_work_through_the_router() {
+    let group = boot_group(2, 0);
+    let addr = group.router.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    assert_eq!(client.hello().unwrap(), 2, "router speaks wire v2");
+
+    let jobs: Vec<JobSpec> = (0..5).map(|i| spec("ocean", 100 + i)).collect();
+    let results = client.run_batch(&jobs).unwrap();
+    assert_eq!(results.len(), jobs.len());
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "batch job {i} failed: {}",
+            r.to_string_compact()
+        );
+        assert!(r.get("receipt").is_some());
+    }
+    // Same batch again: byte-identical receipts.
+    let again = client.run_batch(&jobs).unwrap();
+    let pick = |v: &[Json]| -> Vec<String> {
+        v.iter()
+            .map(|r| r.get("receipt").unwrap().to_string_compact())
+            .collect()
+    };
+    assert_eq!(pick(&results), pick(&again));
+
+    group.router.shutdown_and_join();
+    for b in group.backends {
+        b.shutdown_and_join();
+    }
+}
+
+#[test]
+fn dead_backend_fails_over_without_losing_determinism() {
+    let mut group = boot_group(3, 0);
+    let addr = group.router.local_addr().to_string();
+
+    let jobs: Vec<JobSpec> = (0..6).map(|i| spec("raytrace", 500 + i)).collect();
+
+    // Warm sweep with all three backends up.
+    let mut client = Client::connect(&addr).unwrap();
+    let mut warm = Vec::new();
+    for j in &jobs {
+        let resp = client.run(j).expect("warm request");
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        warm.push(resp.get("receipt").unwrap().to_string_compact());
+    }
+
+    // Take a backend down; its keys must re-route, and the receipts the
+    // substitutes produce must match the ledger from the warm sweep.
+    group.backends.remove(2).shutdown_and_join();
+    let mut retrying = RetryingClient::new(
+        &addr,
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        },
+    );
+    let mut after = Vec::new();
+    for j in &jobs {
+        let resp = retrying.run(j).expect("failover request");
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "job failed after backend loss: {}",
+            resp.to_string_compact()
+        );
+        let b = resp.get("backend").and_then(Json::as_u64).unwrap();
+        assert_ne!(b, 2, "dead backend cannot have answered");
+        after.push(resp.get("receipt").unwrap().to_string_compact());
+    }
+    assert_eq!(warm, after, "failover must not change receipts");
+
+    let stats = retrying
+        .request(&Json::obj([("op", "stats".to_json())]))
+        .unwrap();
+    assert_eq!(
+        counter(&stats, "receipt_mismatches"),
+        0,
+        "substitute backends diverged from the ledger: {}",
+        stats.to_string_compact()
+    );
+
+    group.router.shutdown_and_join();
+    for b in group.backends {
+        b.shutdown_and_join();
+    }
+}
+
+#[test]
+fn wire_shutdown_drains_the_whole_group() {
+    let group = boot_group(2, 0);
+    let addr = group.router.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let resp = client.run(&spec("ocean", 9000)).unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+
+    let down = client
+        .request(&Json::obj([("op", "shutdown".to_json())]))
+        .unwrap();
+    assert_eq!(
+        down.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "group shutdown failed: {}",
+        down.to_string_compact()
+    );
+    assert_eq!(down.get("drained").and_then(Json::as_bool), Some(true));
+    let per_backend = down.get("backends").and_then(Json::as_arr).unwrap();
+    assert_eq!(per_backend.len(), 2);
+    for r in per_backend {
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    group.router.join();
+    for b in group.backends {
+        b.join();
+    }
+}

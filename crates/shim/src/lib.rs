@@ -19,10 +19,14 @@
 //! * [`rng::SmallRng`] — a seeded splitmix64/xoshiro-style generator for
 //!   simulator jitter and test-case generation;
 //! * [`json::Json`] — a minimal JSON tree with pretty printing for the
-//!   bench binaries' `--json` output.
+//!   bench binaries' `--json` output;
+//! * [`evloop::Poller`] / [`evloop::wake_pair`] — `poll(2)`-based socket
+//!   readiness and a cross-thread waker, so the serving edge can drive
+//!   thousands of nonblocking connections from one thread without `mio`.
 
 #![warn(missing_docs)]
 
+pub mod evloop;
 pub mod json;
 pub mod rng;
 pub mod sync;
